@@ -1,0 +1,43 @@
+//! E2: ART index build overhead and upsert speedup (DESIGN.md §4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ivm_bench::scenarios::{apply_batch, groups_session};
+use ivm_core::{IndexCreation, IvmFlags, UpsertStrategy};
+use ivm_engine::index::{encode_key, Art};
+use ivm_engine::Value;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_art_overhead");
+    group.sample_size(10);
+    // Raw ART build cost (the "one-time overhead").
+    for n in [1_000usize, 10_000, 100_000] {
+        let pairs: Vec<(Vec<u8>, u64)> = (0..n)
+            .map(|i| (encode_key(&[Value::from(format!("g{i:06}"))]), i as u64))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("art_bulk_build", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(Art::bulk_build(pairs.clone()).len()));
+        });
+    }
+    // Refresh with index (LEFT JOIN upsert) vs without (UNION regroup).
+    for (label, strategy, index) in [
+        ("refresh_indexed", UpsertStrategy::LeftJoinUpsert, IndexCreation::AfterPopulate),
+        ("refresh_regroup", UpsertStrategy::UnionRegroup, IndexCreation::None),
+    ] {
+        group.bench_function(BenchmarkId::new(label, 10_000), |b| {
+            let flags = IvmFlags {
+                upsert_strategy: strategy,
+                index_creation: index,
+                ..IvmFlags::paper_defaults()
+            };
+            let (mut ivm, mut existing, mut w) = groups_session(flags, 1_000, 10_000, 0xB2);
+            b.iter(|| {
+                let batch = w.delta_batch(100, 0.7, &mut existing);
+                apply_batch(&mut ivm, &batch);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! E3: the 4-way cross-system comparison (DESIGN.md §4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ivm_bench::scenarios::e3_cross_system;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_cross_system");
+    group.sample_size(10);
+    // One criterion sample = one full 4-way round; the per-configuration
+    // split is printed by the experiments binary.
+    group.bench_function("four_way_round", |b| {
+        b.iter(|| std::hint::black_box(e3_cross_system(50, 2_000, 50, 1)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E4: Step-2 upsert-strategy ablation (DESIGN.md §4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ivm_bench::scenarios::{apply_batch, groups_session};
+use ivm_core::{IndexCreation, IvmFlags, UpsertStrategy};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_upsert_strategies");
+    group.sample_size(10);
+    for strategy in [
+        UpsertStrategy::LeftJoinUpsert,
+        UpsertStrategy::UnionRegroup,
+        UpsertStrategy::FullOuterJoin,
+    ] {
+        for groups_n in [64usize, 4_096] {
+            let flags = IvmFlags {
+                upsert_strategy: strategy,
+                index_creation: if strategy.needs_index() {
+                    IndexCreation::AfterPopulate
+                } else {
+                    IndexCreation::None
+                },
+                ..IvmFlags::paper_defaults()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), groups_n),
+                &groups_n,
+                |b, &groups_n| {
+                    let (mut ivm, mut existing, mut w) =
+                        groups_session(flags.clone(), groups_n, 20_000, 0xB4);
+                    b.iter(|| {
+                        let batch = w.delta_batch(100, 0.7, &mut existing);
+                        apply_batch(&mut ivm, &batch);
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! E5: batching granularity (DESIGN.md §4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ivm_bench::scenarios::e5_batching;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_batching");
+    group.sample_size(10);
+    for batch in [1usize, 10, 100, 0] {
+        let label = if batch == 0 { "lazy".to_string() } else { batch.to_string() };
+        group.bench_with_input(BenchmarkId::new("apply_100_changes", label), &batch, |b, &batch| {
+            b.iter(|| std::hint::black_box(e5_batching(2_000, 100, &[batch])));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

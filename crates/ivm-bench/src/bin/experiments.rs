@@ -1,0 +1,142 @@
+//! The experiment harness: regenerates every evaluation claim of the paper
+//! as a printed table (recorded in EXPERIMENTS.md).
+//!
+//! Run with `cargo run --release -p ivm-bench --bin experiments`.
+//! Pass `--quick` for smaller sizes (used in CI).
+
+use ivm_bench::harness::{fmt_duration, Report};
+use ivm_bench::scenarios::{
+    e1_ivm_vs_recompute, e2_art_overhead, e3_cross_system, e4_upsert_strategies, e5_batching,
+    e6_compile_time,
+};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("OpenIVM experiment harness ({} mode)\n", if quick { "quick" } else { "full" });
+
+    // ---------------- E1
+    println!("== E1: incremental maintenance vs full recomputation ==");
+    println!("   (paper §2/§3: \"clear improvements in resource consumption by executing");
+    println!("    incremental computations rather than running the query against the whole dataset\")\n");
+    let (bases, deltas): (&[usize], &[usize]) = if quick {
+        (&[1_000, 10_000], &[10, 100])
+    } else {
+        (&[1_000, 10_000, 100_000, 1_000_000], &[10, 100, 1_000])
+    };
+    let mut report = Report::new(&[
+        "base rows",
+        "delta rows",
+        "incremental",
+        "recompute",
+        "speedup",
+    ]);
+    for r in e1_ivm_vs_recompute(bases, deltas) {
+        report.row(&[
+            r.base_rows.to_string(),
+            r.delta_rows.to_string(),
+            fmt_duration(r.incremental),
+            fmt_duration(r.recompute),
+            format!("{:.1}x", r.speedup()),
+        ]);
+    }
+    println!("{}", report.render());
+
+    // ---------------- E2
+    println!("== E2: ART index overhead ==");
+    println!("   (paper §2: \"its creation only adds significant overhead the first time\")\n");
+    let bases: &[usize] = if quick { &[1_000, 10_000] } else { &[1_000, 10_000, 100_000] };
+    let mut report = Report::new(&[
+        "base rows",
+        "setup+ART",
+        "ART build",
+        "setup no-index",
+        "refresh indexed",
+        "refresh regroup",
+        "ART bytes",
+    ]);
+    for r in e2_art_overhead(bases, 100) {
+        report.row(&[
+            r.base_rows.to_string(),
+            fmt_duration(r.setup_with_index),
+            fmt_duration(r.index_build),
+            fmt_duration(r.setup_without_index),
+            fmt_duration(r.refresh_indexed),
+            fmt_duration(r.refresh_unindexed),
+            r.art_bytes.to_string(),
+        ]);
+    }
+    println!("{}", report.render());
+
+    // ---------------- E3
+    println!("== E3: cross-system comparison ==");
+    println!("   (paper §3: \"pure DuckDB, pure PostgreSQL, cross-system, and without IVM\")\n");
+    let (base_orders, burst, rounds) =
+        if quick { (2_000, 50, 3) } else { (50_000, 200, 5) };
+    let mut report = Report::new(&["configuration", "write burst", "analytical query"]);
+    for r in e3_cross_system(100, base_orders, burst, rounds) {
+        report.row(&[
+            r.config.to_string(),
+            fmt_duration(r.write_time),
+            fmt_duration(r.query_time),
+        ]);
+    }
+    println!("{}", report.render());
+
+    // ---------------- E4
+    println!("== E4: Step-2 upsert-strategy ablation ==");
+    println!("   (paper §2: UNION+regroup vs full-outer-join vs LEFT JOIN upsert)\n");
+    let (base, groups): (usize, &[usize]) = if quick {
+        (5_000, &[16, 1_024])
+    } else {
+        (50_000, &[16, 1_024, 16_384])
+    };
+    let mut report = Report::new(&["groups", "strategy", "refresh"]);
+    for r in e4_upsert_strategies(base, groups, 200) {
+        report.row(&[
+            r.num_groups.to_string(),
+            r.strategy.name().to_string(),
+            fmt_duration(r.refresh),
+        ]);
+    }
+    println!("{}", report.render());
+
+    // ---------------- E5
+    println!("== E5: batching granularity ==");
+    println!("   (paper §1: \"batching changes together can amortize part of this cost\")\n");
+    let (base, changes): (usize, usize) = if quick { (2_000, 100) } else { (20_000, 1_000) };
+    let mut report = Report::new(&[
+        "batch size",
+        "total",
+        "per change",
+        "maintenance runs",
+    ]);
+    for r in e5_batching(base, changes, &[1, 10, 100, 0]) {
+        let label = if r.batch_size == 0 { "lazy".to_string() } else { r.batch_size.to_string() };
+        report.row(&[
+            label,
+            fmt_duration(r.total),
+            fmt_duration(r.total / changes as u32),
+            r.maintenance_runs.to_string(),
+        ]);
+    }
+    println!("{}", report.render());
+
+    // ---------------- E6
+    println!("== E6: SQL-to-SQL compilation cost per view class ==\n");
+    let iters = if quick { 20 } else { 200 };
+    let mut report = Report::new(&[
+        "view class",
+        "compile",
+        "setup stmts",
+        "maintenance stmts",
+    ]);
+    for r in e6_compile_time(iters) {
+        report.row(&[
+            r.class.to_string(),
+            fmt_duration(r.compile),
+            r.setup_statements.to_string(),
+            r.maintenance_statements.to_string(),
+        ]);
+    }
+    println!("{}", report.render());
+}

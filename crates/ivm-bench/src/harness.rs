@@ -1,0 +1,121 @@
+//! Timing and report-table helpers shared by the experiments binary and
+//! the criterion benches.
+
+use std::time::{Duration, Instant};
+
+/// Time a closure once.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Time a closure over `iters` runs and return the mean duration.
+pub fn time_mean(iters: usize, mut f: impl FnMut()) -> Duration {
+    assert!(iters > 0);
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed() / iters as u32
+}
+
+/// Format a duration in adaptive units.
+pub fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// A fixed-width report table (the experiments binary prints the same rows
+/// the paper's demo shows on screen).
+#[derive(Debug, Default)]
+pub struct Report {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Start a report with column headers.
+    pub fn new(header: &[&str]) -> Report {
+        Report { header: header.iter().map(|s| s.to_string()).collect(), rows: vec![] }
+    }
+
+    /// Append one row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "report arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(
+            &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_aligned() {
+        let mut r = Report::new(&["name", "value"]);
+        r.row(&["short".into(), "1".into()]);
+        r.row(&["a_longer_name".into(), "2".into()]);
+        let text = r.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("----"));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+
+    #[test]
+    fn timers_run() {
+        let (v, d) = time_once(|| 2 + 2);
+        assert_eq!(v, 4);
+        assert!(d.as_nanos() > 0);
+        let mean = time_mean(3, || {
+            std::hint::black_box(1 + 1);
+        });
+        let _ = mean;
+    }
+}

@@ -1,0 +1,13 @@
+//! # ivm-bench — workloads, experiment scenarios, and reporting
+//!
+//! Everything needed to regenerate the paper's evaluation claims:
+//! deterministic workload generators, the E1–E6 experiment scenarios
+//! indexed in DESIGN.md §4, and a report formatter. The `experiments`
+//! binary prints paper-style tables; the criterion benches in `benches/`
+//! wrap the same scenarios.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod scenarios;
+pub mod workload;

@@ -1,0 +1,613 @@
+//! The six experiments (E1–E6 in DESIGN.md §4), shared by the criterion
+//! benches and the `experiments` binary.
+
+use std::time::Duration;
+
+use ivm_core::{IndexCreation, IvmFlags, IvmSession, PropagationMode, UpsertStrategy};
+use ivm_engine::Value;
+use ivm_htap::HtapPipeline;
+use ivm_oltp::OltpEngine;
+
+use crate::harness::{time_mean, time_once};
+use crate::workload::{GroupChange, GroupsWorkload, SalesWorkload};
+
+/// Listing 1's view, used throughout.
+pub const LISTING_1_VIEW: &str = "CREATE MATERIALIZED VIEW query_groups AS \
+     SELECT group_index, SUM(group_value) AS total_value \
+     FROM groups GROUP BY group_index";
+
+/// Build an [`IvmSession`] with `groups` loaded with `base_rows` rows over
+/// `num_groups` groups, and the Listing-1 view installed. Returns the
+/// session, the live rows (for deletion draws), and the workload generator.
+pub fn groups_session(
+    flags: IvmFlags,
+    num_groups: usize,
+    base_rows: usize,
+    seed: u64,
+) -> (IvmSession, Vec<(String, i64)>, GroupsWorkload) {
+    let mut w = GroupsWorkload::new(num_groups, seed);
+    let rows = w.base_rows(base_rows);
+    let mut ivm = IvmSession::new(flags);
+    ivm.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)").unwrap();
+    {
+        // Bulk load through the storage layer (the paper loads datasets
+        // before the demo starts).
+        let table = ivm.database_mut().catalog_mut().table_mut("groups").unwrap();
+        for (g, v) in &rows {
+            table.insert(vec![Value::from(g.clone()), Value::Integer(*v)]).unwrap();
+        }
+    }
+    ivm.execute(LISTING_1_VIEW).unwrap();
+    (ivm, rows, w)
+}
+
+/// Apply a delta batch through the cross-system ingest path and refresh.
+pub fn apply_batch(ivm: &mut IvmSession, batch: &[GroupChange]) {
+    let pairs: Vec<(Vec<Value>, bool)> = batch
+        .iter()
+        .map(|c| {
+            (
+                vec![Value::from(c.group_index.clone()), Value::Integer(c.group_value)],
+                c.insertion,
+            )
+        })
+        .collect();
+    ivm.ingest_deltas("groups", &pairs).unwrap();
+    ivm.refresh("query_groups").unwrap();
+}
+
+/// Mean refresh latency over `iters` *fresh* delta batches (a batch can
+/// only be applied once: its deletions consume rows).
+fn mean_refresh(
+    ivm: &mut IvmSession,
+    w: &mut GroupsWorkload,
+    existing: &mut Vec<(String, i64)>,
+    delta: usize,
+    iters: usize,
+) -> Duration {
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let batch = w.delta_batch(delta, 0.7, existing);
+        let ((), d) = time_once(|| apply_batch(ivm, &batch));
+        total += d;
+    }
+    total / iters as u32
+}
+
+// ---------------------------------------------------------------- E1
+
+/// One E1 measurement.
+#[derive(Debug, Clone)]
+pub struct E1Row {
+    /// Base-table size.
+    pub base_rows: usize,
+    /// Delta batch size.
+    pub delta_rows: usize,
+    /// Time to maintain the view incrementally.
+    pub incremental: Duration,
+    /// Time to recompute the view from scratch.
+    pub recompute: Duration,
+}
+
+impl E1Row {
+    /// recompute / incremental.
+    pub fn speedup(&self) -> f64 {
+        self.recompute.as_secs_f64() / self.incremental.as_secs_f64().max(1e-9)
+    }
+}
+
+/// E1: incremental maintenance vs full recomputation (the demo's headline
+/// claim).
+pub fn e1_ivm_vs_recompute(base_sizes: &[usize], delta_sizes: &[usize]) -> Vec<E1Row> {
+    let mut out = Vec::new();
+    for &base in base_sizes {
+        // √N distinct groups: the view stays small relative to the base
+        // table, as in aggregation dashboards.
+        let num_groups = (base as f64).sqrt().ceil() as usize;
+        let (mut ivm, mut existing, mut w) =
+            groups_session(IvmFlags::paper_defaults(), num_groups, base, 0xE1);
+        for &delta in delta_sizes {
+            let batch = w.delta_batch(delta, 0.7, &mut existing);
+            let ((), incremental) = time_once(|| apply_batch(&mut ivm, &batch));
+            let view_sql = ivm.view("query_groups").unwrap().artifacts.view_sql.clone();
+            let (result, recompute) =
+                time_once(|| ivm.database().query(&view_sql).unwrap());
+            std::hint::black_box(result.rows.len());
+            out.push(E1Row { base_rows: base, delta_rows: delta, incremental, recompute });
+        }
+        assert!(ivm.check_consistency("query_groups").unwrap(), "E1 must stay consistent");
+    }
+    out
+}
+
+// ---------------------------------------------------------------- E2
+
+/// One E2 measurement.
+#[derive(Debug, Clone)]
+pub struct E2Row {
+    /// Base-table size.
+    pub base_rows: usize,
+    /// Time for full view setup with the post-population ART build.
+    pub setup_with_index: Duration,
+    /// Time for the ART `CREATE UNIQUE INDEX` statement alone.
+    pub index_build: Duration,
+    /// Time for setup without any index (UNION-regroup strategy).
+    pub setup_without_index: Duration,
+    /// Mean refresh latency using the index (LEFT JOIN upsert).
+    pub refresh_indexed: Duration,
+    /// Mean refresh latency without an index (UNION regroup).
+    pub refresh_unindexed: Duration,
+    /// Approximate ART memory in bytes after setup.
+    pub art_bytes: usize,
+}
+
+/// E2: the materialized-index (ART) overhead — "its creation only adds
+/// significant overhead the first time".
+pub fn e2_art_overhead(base_sizes: &[usize], delta: usize) -> Vec<E2Row> {
+    let mut out = Vec::new();
+    for &base in base_sizes {
+        let num_groups = (base / 10).max(4);
+
+        // Indexed path (paper defaults: ART built after population).
+        let ((mut ivm_idx, mut existing, mut w), setup_with_index) = time_once(|| {
+            groups_session(IvmFlags::paper_defaults(), num_groups, base, 0xE2)
+        });
+        // Isolate the index-build share by timing the same statement on a
+        // fresh copy of the view table.
+        let index_build = {
+            let artifacts = ivm_idx.view("query_groups").unwrap().artifacts.clone();
+            let stmt = artifacts.ddl.post_population_indexes[0]
+                .replace("_ivm_idx_query_groups", "_ivm_idx_probe");
+            let (_, d) = time_once(|| ivm_idx.database_mut().execute(&stmt).unwrap());
+            ivm_idx.database_mut().execute("DROP INDEX _ivm_idx_probe").unwrap();
+            d
+        };
+        let art_bytes = ivm_idx
+            .database()
+            .catalog()
+            .table("query_groups")
+            .unwrap()
+            .index_memory_bytes();
+        let refresh_indexed =
+            mean_refresh(&mut ivm_idx, &mut w, &mut existing, delta, 5);
+
+        // Unindexed path (UNION regroup).
+        let flags = IvmFlags {
+            upsert_strategy: UpsertStrategy::UnionRegroup,
+            index_creation: IndexCreation::None,
+            ..IvmFlags::paper_defaults()
+        };
+        let ((mut ivm_no, mut existing2, mut w2), setup_without_index) =
+            time_once(|| groups_session(flags, num_groups, base, 0xE2));
+        let refresh_unindexed =
+            mean_refresh(&mut ivm_no, &mut w2, &mut existing2, delta, 5);
+
+        out.push(E2Row {
+            base_rows: base,
+            setup_with_index,
+            index_build,
+            setup_without_index,
+            refresh_indexed,
+            refresh_unindexed,
+            art_bytes,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------- E3
+
+/// One E3 measurement: latency of one round (write burst + analytical
+/// query) per system configuration.
+#[derive(Debug, Clone)]
+pub struct E3Row {
+    /// Configuration name.
+    pub config: &'static str,
+    /// Mean write-burst application time.
+    pub write_time: Duration,
+    /// Mean analytical-query latency after the burst.
+    pub query_time: Duration,
+}
+
+/// The analytical query used by E3 (single-table so the OLTP engine can
+/// also answer it).
+pub const E3_QUERY: &str =
+    "SELECT cust, SUM(amount) AS revenue, COUNT(*) AS n FROM orders GROUP BY cust";
+
+const E3_VIEW: &str = "CREATE MATERIALIZED VIEW revenue AS \
+     SELECT cust, SUM(amount) AS revenue, COUNT(*) AS n FROM orders GROUP BY cust";
+
+/// E3: the 4-way cross-system comparison of §3 — pure OLAP, pure OLTP,
+/// cross-system with IVM, cross-system without IVM.
+pub fn e3_cross_system(
+    customers: usize,
+    base_orders: usize,
+    burst: usize,
+    rounds: usize,
+) -> Vec<E3Row> {
+    let mut out = Vec::new();
+
+    // --- Pure OLAP: everything in the analytical engine.
+    {
+        let mut db = ivm_engine::Database::new();
+        let mut w = SalesWorkload::new(customers, 0xE3);
+        for stmt in SalesWorkload::ddl() {
+            db.execute(stmt).unwrap();
+        }
+        for stmt in w.customer_statements() {
+            db.execute(&stmt).unwrap();
+        }
+        for stmt in w.order_statements(base_orders) {
+            db.execute(&stmt).unwrap();
+        }
+        let mut write_total = Duration::ZERO;
+        let mut query_total = Duration::ZERO;
+        for _ in 0..rounds {
+            let stmts = w.order_statements(burst);
+            let ((), wt) = time_once(|| {
+                for s in &stmts {
+                    db.execute(s).unwrap();
+                }
+            });
+            let (r, qt) = time_once(|| db.query(E3_QUERY).unwrap());
+            std::hint::black_box(r.rows.len());
+            write_total += wt;
+            query_total += qt;
+        }
+        out.push(E3Row {
+            config: "pure OLAP",
+            write_time: write_total / rounds as u32,
+            query_time: query_total / rounds as u32,
+        });
+    }
+
+    // --- Pure OLTP: everything in the row store (naive analytics).
+    {
+        let mut pg = OltpEngine::new();
+        let mut w = SalesWorkload::new(customers, 0xE3);
+        for stmt in SalesWorkload::ddl() {
+            pg.execute(stmt).unwrap();
+        }
+        for stmt in w.customer_statements() {
+            pg.execute(&stmt).unwrap();
+        }
+        for stmt in w.order_statements(base_orders) {
+            pg.execute(&stmt).unwrap();
+        }
+        let mut write_total = Duration::ZERO;
+        let mut query_total = Duration::ZERO;
+        for _ in 0..rounds {
+            let stmts = w.order_statements(burst);
+            let ((), wt) = time_once(|| {
+                for s in &stmts {
+                    pg.execute(s).unwrap();
+                }
+            });
+            let (r, qt) = time_once(|| pg.execute(E3_QUERY).unwrap());
+            std::hint::black_box(r.rows.len());
+            write_total += wt;
+            query_total += qt;
+        }
+        out.push(E3Row {
+            config: "pure OLTP",
+            write_time: write_total / rounds as u32,
+            query_time: query_total / rounds as u32,
+        });
+    }
+
+    // --- Cross-system with IVM (the OpenIVM pipeline).
+    {
+        let mut htap = HtapPipeline::with_defaults();
+        let mut w = SalesWorkload::new(customers, 0xE3);
+        for stmt in SalesWorkload::ddl() {
+            htap.mirror_table(stmt).unwrap();
+        }
+        for stmt in w.customer_statements() {
+            htap.execute_oltp(&stmt).unwrap();
+        }
+        for stmt in w.order_statements(base_orders) {
+            htap.execute_oltp(&stmt).unwrap();
+        }
+        // Views must see the already-committed data: create after a ship is
+        // impossible (no delta tables yet), so create first on empty OLAP,
+        // then ship the backlog.
+        htap.create_materialized_view(E3_VIEW).unwrap();
+        htap.sync_and_refresh().unwrap();
+        let mut write_total = Duration::ZERO;
+        let mut query_total = Duration::ZERO;
+        for _ in 0..rounds {
+            let stmts = w.order_statements(burst);
+            let ((), wt) = time_once(|| {
+                for s in &stmts {
+                    htap.execute_oltp(s).unwrap();
+                }
+            });
+            let (r, qt) = time_once(|| htap.query_view("revenue").unwrap());
+            std::hint::black_box(r.rows.len());
+            write_total += wt;
+            query_total += qt;
+        }
+        assert!(htap.check_consistency().unwrap().is_consistent());
+        out.push(E3Row {
+            config: "cross-system + IVM",
+            write_time: write_total / rounds as u32,
+            query_time: query_total / rounds as u32,
+        });
+    }
+
+    // --- Cross-system without IVM: ship deltas, recompute from the mirror.
+    {
+        let mut pg = OltpEngine::new();
+        let mut olap = ivm_engine::Database::new();
+        let mut w = SalesWorkload::new(customers, 0xE3);
+        for stmt in SalesWorkload::ddl() {
+            pg.execute(stmt).unwrap();
+            olap.execute(stmt).unwrap();
+        }
+        pg.create_capture_trigger("orders").unwrap();
+        pg.create_capture_trigger("customers").unwrap();
+        for stmt in w.customer_statements() {
+            pg.execute(&stmt).unwrap();
+        }
+        for stmt in w.order_statements(base_orders) {
+            pg.execute(&stmt).unwrap();
+        }
+        let ship = |pg: &mut OltpEngine, olap: &mut ivm_engine::Database| {
+            for table in ["orders", "customers"] {
+                for change in pg.drain_changes(table) {
+                    let t = olap.catalog_mut().table_mut(table).unwrap();
+                    if change.insertion {
+                        t.insert(change.row).unwrap();
+                    } else {
+                        let victim = t.find_row(&change.row).expect("mirror in sync");
+                        t.delete(victim).unwrap();
+                    }
+                }
+            }
+        };
+        ship(&mut pg, &mut olap);
+        let mut write_total = Duration::ZERO;
+        let mut query_total = Duration::ZERO;
+        for _ in 0..rounds {
+            let stmts = w.order_statements(burst);
+            let ((), wt) = time_once(|| {
+                for s in &stmts {
+                    pg.execute(s).unwrap();
+                }
+            });
+            let (r, qt) = time_once(|| {
+                ship(&mut pg, &mut olap);
+                olap.query(E3_QUERY).unwrap()
+            });
+            std::hint::black_box(r.rows.len());
+            write_total += wt;
+            query_total += qt;
+        }
+        out.push(E3Row {
+            config: "cross-system, no IVM",
+            write_time: write_total / rounds as u32,
+            query_time: query_total / rounds as u32,
+        });
+    }
+
+    out
+}
+
+// ---------------------------------------------------------------- E4
+
+/// One E4 measurement.
+#[derive(Debug, Clone)]
+pub struct E4Row {
+    /// Number of distinct groups (≈ view size).
+    pub num_groups: usize,
+    /// Strategy under test.
+    pub strategy: UpsertStrategy,
+    /// Mean refresh latency for a fixed delta batch.
+    pub refresh: Duration,
+}
+
+/// E4: the Step-2 upsert-strategy ablation (LEFT JOIN vs UNION-regroup vs
+/// FULL OUTER JOIN) across view sizes.
+pub fn e4_upsert_strategies(
+    base_rows: usize,
+    group_counts: &[usize],
+    delta: usize,
+) -> Vec<E4Row> {
+    let mut out = Vec::new();
+    for &num_groups in group_counts {
+        for strategy in [
+            UpsertStrategy::LeftJoinUpsert,
+            UpsertStrategy::UnionRegroup,
+            UpsertStrategy::FullOuterJoin,
+            UpsertStrategy::Adaptive,
+        ] {
+            let flags = IvmFlags {
+                upsert_strategy: strategy,
+                index_creation: if strategy.needs_index() {
+                    IndexCreation::AfterPopulate
+                } else {
+                    IndexCreation::None
+                },
+                ..IvmFlags::paper_defaults()
+            };
+            let (mut ivm, mut existing, mut w) =
+                groups_session(flags, num_groups, base_rows, 0xE4);
+            let refresh = mean_refresh(&mut ivm, &mut w, &mut existing, delta, 5);
+            assert!(ivm.check_consistency("query_groups").unwrap());
+            out.push(E4Row { num_groups, strategy, refresh });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- E5
+
+/// One E5 measurement.
+#[derive(Debug, Clone)]
+pub struct E5Row {
+    /// Propagation batch size (0 = lazy: a single refresh at read time).
+    pub batch_size: usize,
+    /// Total time to apply all changes and read the view once.
+    pub total: Duration,
+    /// Number of maintenance runs the mode triggered.
+    pub maintenance_runs: usize,
+}
+
+/// E5: the batching trade-off of §1 — "batching changes together can
+/// amortize part of this cost but comes at the price of reduced recency".
+pub fn e5_batching(base_rows: usize, changes: usize, batch_sizes: &[usize]) -> Vec<E5Row> {
+    let mut out = Vec::new();
+    for &batch in batch_sizes {
+        let mode = if batch == 0 {
+            PropagationMode::Lazy
+        } else if batch == 1 {
+            PropagationMode::Eager
+        } else {
+            PropagationMode::Batch(batch)
+        };
+        let flags = IvmFlags { propagation: mode, ..IvmFlags::paper_defaults() };
+        let num_groups = (base_rows / 10).max(4);
+        let (mut ivm, mut existing, mut w) =
+            groups_session(flags, num_groups, base_rows, 0xE5);
+        let deltas: Vec<GroupChange> = w.delta_batch(changes, 0.7, &mut existing);
+        let ((), total) = time_once(|| {
+            for c in &deltas {
+                let pairs = vec![(
+                    vec![
+                        Value::from(c.group_index.clone()),
+                        Value::Integer(c.group_value),
+                    ],
+                    c.insertion,
+                )];
+                ivm.ingest_deltas("groups", &pairs).unwrap();
+            }
+            // Reading the view reconciles whatever is still pending.
+            std::hint::black_box(ivm.query_view("query_groups").unwrap().rows.len());
+        });
+        out.push(E5Row {
+            batch_size: batch,
+            total,
+            maintenance_runs: ivm.stats().maintenance_runs,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------- E6
+
+/// One E6 measurement.
+#[derive(Debug, Clone)]
+pub struct E6Row {
+    /// View-class label.
+    pub class: &'static str,
+    /// Mean compile latency (parse → plan → rewrite → emit).
+    pub compile: Duration,
+    /// Number of setup statements emitted.
+    pub setup_statements: usize,
+    /// Number of maintenance statements emitted.
+    pub maintenance_statements: usize,
+}
+
+/// E6: SQL-to-SQL compilation cost per supported view class.
+pub fn e6_compile_time(iters: usize) -> Vec<E6Row> {
+    let mut db = ivm_engine::Database::new();
+    db.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)").unwrap();
+    db.execute("CREATE TABLE orders (id INTEGER, cust INTEGER, amount INTEGER)").unwrap();
+    db.execute("CREATE TABLE customers (id INTEGER, name VARCHAR)").unwrap();
+    let cases: [(&'static str, &'static str); 6] = [
+        (
+            "simple_projection",
+            "CREATE MATERIALIZED VIEW v AS SELECT group_index, group_value \
+             FROM groups WHERE group_value > 10",
+        ),
+        (
+            "group_aggregate(SUM)",
+            "CREATE MATERIALIZED VIEW v AS SELECT group_index, SUM(group_value) AS t \
+             FROM groups GROUP BY group_index",
+        ),
+        (
+            "group_aggregate(AVG)",
+            "CREATE MATERIALIZED VIEW v AS SELECT group_index, AVG(group_value) AS m \
+             FROM groups GROUP BY group_index",
+        ),
+        (
+            "group_aggregate(MIN/MAX)",
+            "CREATE MATERIALIZED VIEW v AS SELECT group_index, MIN(group_value) AS lo, \
+             MAX(group_value) AS hi FROM groups GROUP BY group_index",
+        ),
+        (
+            "join_projection",
+            "CREATE MATERIALIZED VIEW v AS SELECT customers.name, orders.amount \
+             FROM orders JOIN customers ON orders.cust = customers.id",
+        ),
+        (
+            "join_aggregate",
+            "CREATE MATERIALIZED VIEW v AS SELECT customers.name, SUM(orders.amount) AS t \
+             FROM orders JOIN customers ON orders.cust = customers.id GROUP BY customers.name",
+        ),
+    ];
+    let compiler = ivm_core::IvmCompiler::new();
+    let flags = IvmFlags::paper_defaults();
+    let mut out = Vec::new();
+    for (class, sql) in cases {
+        let artifacts = compiler.compile_sql(sql, db.catalog(), &flags).unwrap();
+        let compile = time_mean(iters, || {
+            std::hint::black_box(
+                compiler.compile_sql(sql, db.catalog(), &flags).unwrap(),
+            );
+        });
+        out.push(E6Row {
+            class,
+            compile,
+            setup_statements: artifacts.setup_statements().len(),
+            maintenance_statements: artifacts.maintenance_statements().len(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_smoke() {
+        let rows = e1_ivm_vs_recompute(&[500], &[10]);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].incremental.as_nanos() > 0);
+    }
+
+    #[test]
+    fn e2_smoke() {
+        let rows = e2_art_overhead(&[500], 20);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].art_bytes > 0);
+    }
+
+    #[test]
+    fn e3_smoke() {
+        let rows = e3_cross_system(10, 200, 20, 2);
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn e4_smoke() {
+        let rows = e4_upsert_strategies(400, &[8], 20);
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn e5_smoke() {
+        let rows = e5_batching(300, 30, &[1, 10, 0]);
+        assert_eq!(rows.len(), 3);
+        // Eager runs maintenance per change; lazy exactly once.
+        assert!(rows[0].maintenance_runs > rows[2].maintenance_runs);
+        assert_eq!(rows[2].maintenance_runs, 1);
+    }
+
+    #[test]
+    fn e6_smoke() {
+        let rows = e6_compile_time(3);
+        assert_eq!(rows.len(), 6);
+    }
+}

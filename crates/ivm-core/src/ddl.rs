@@ -1,0 +1,220 @@
+//! DDL generation: delta tables, the materialized view table, staging
+//! tables, and indexes.
+//!
+//! §2: "Our implementation takes in input a database schema and view
+//! definition, and generates from there the DDL to create delta tables,
+//! possibly intermediate tables and index structures."
+
+use ivm_engine::{Catalog, DataType};
+use ivm_sql::ast::{ColumnDef, CreateIndex, CreateTable, Statement, TypeName};
+use ivm_sql::{print_statement, Ident};
+
+use crate::analyze::ViewAnalysis;
+use crate::error::IvmError;
+use crate::flags::{IndexCreation, IvmFlags, UpsertStrategy};
+use crate::names::{self, MULTIPLICITY_COL};
+use crate::rewrite::{delta_view_layout, view_table_layout};
+
+/// DDL statements for one view, split by phase.
+#[derive(Debug, Clone)]
+pub struct GeneratedDdl {
+    /// Delta tables for every base table (idempotent: IF NOT EXISTS).
+    pub delta_tables: Vec<String>,
+    /// The view table, ΔV, and (for the FULL OUTER JOIN strategy) the
+    /// staging table.
+    pub view_tables: Vec<String>,
+    /// Index statements that run *after* initial population (empty when
+    /// the index is inline or disabled).
+    pub post_population_indexes: Vec<String>,
+}
+
+impl GeneratedDdl {
+    /// All statements in execution order (indexes last).
+    pub fn all(&self) -> Vec<String> {
+        let mut out = self.delta_tables.clone();
+        out.extend(self.view_tables.clone());
+        out.extend(self.post_population_indexes.clone());
+        out
+    }
+}
+
+fn column_def(name: &str, ty: DataType) -> ColumnDef {
+    ColumnDef { name: Ident::new(name), ty: TypeName::from(ty), not_null: false }
+}
+
+fn create_table(
+    name: &str,
+    columns: Vec<(String, DataType)>,
+    primary_key: Vec<String>,
+    if_not_exists: bool,
+) -> Statement {
+    Statement::CreateTable(CreateTable {
+        name: Ident::new(name),
+        if_not_exists,
+        columns: columns.iter().map(|(n, t)| column_def(n, *t)).collect(),
+        primary_key: primary_key.into_iter().map(Ident::new).collect(),
+    })
+}
+
+/// Generate the DDL for a view.
+pub fn generate_ddl(
+    analysis: &ViewAnalysis,
+    catalog: &Catalog,
+    flags: &IvmFlags,
+) -> Result<GeneratedDdl, IvmError> {
+    let dialect = flags.dialect;
+
+    // ΔT per base table: base columns plus the multiplicity flag.
+    let mut delta_tables = Vec::with_capacity(analysis.base_tables.len());
+    for t in &analysis.base_tables {
+        let table = catalog.table(t).map_err(|e| IvmError::Engine(e.to_string()))?;
+        let mut cols: Vec<(String, DataType)> = table
+            .schema
+            .columns
+            .iter()
+            .map(|c| (c.name.clone(), c.ty))
+            .collect();
+        cols.push((MULTIPLICITY_COL.to_string(), DataType::Boolean));
+        let stmt = create_table(&names::delta(t), cols, vec![], true);
+        delta_tables.push(print_statement(&stmt, dialect));
+    }
+
+    let needs_index = flags.upsert_strategy.needs_index();
+    if needs_index && flags.index_creation == IndexCreation::None {
+        return Err(IvmError::unsupported(
+            "the left-join upsert strategy requires a key index \
+             (set index_creation or switch to union_regroup)",
+        ));
+    }
+
+    // The materialized view table.
+    let view_cols = view_table_layout(analysis);
+    let inline_pk = needs_index && flags.index_creation == IndexCreation::Inline;
+    let key_cols = analysis.key_columns();
+    let mut view_tables = vec![print_statement(
+        &create_table(
+            &analysis.view_name,
+            view_cols.clone(),
+            if inline_pk { key_cols.clone() } else { vec![] },
+            false,
+        ),
+        dialect,
+    )];
+
+    // ΔV.
+    let stmt = create_table(
+        &names::delta(&analysis.view_name),
+        delta_view_layout(analysis),
+        vec![],
+        false,
+    );
+    view_tables.push(print_statement(&stmt, dialect));
+
+    // Staging table for the FULL OUTER JOIN strategy.
+    if flags.upsert_strategy == UpsertStrategy::FullOuterJoin {
+        let stmt = create_table(&names::stage(&analysis.view_name), view_cols, vec![], false);
+        view_tables.push(print_statement(&stmt, dialect));
+    }
+
+    // Post-population ART build (the paper's preferred ordering).
+    let mut post_population_indexes = Vec::new();
+    if needs_index && flags.index_creation == IndexCreation::AfterPopulate {
+        let stmt = Statement::CreateIndex(CreateIndex {
+            name: Ident::new(names::view_index(&analysis.view_name)),
+            table: Ident::new(analysis.view_name.clone()),
+            columns: key_cols.into_iter().map(Ident::new).collect(),
+            unique: true,
+        });
+        post_population_indexes.push(print_statement(&stmt, dialect));
+    }
+
+    Ok(GeneratedDdl { delta_tables, view_tables, post_population_indexes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze_view;
+    use ivm_engine::Database;
+    use ivm_sql::ast::Statement as Stmt;
+
+    fn analysis(sql: &str) -> (Database, ViewAnalysis) {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)").unwrap();
+        let q = match ivm_sql::parse_statement(sql).unwrap() {
+            Stmt::Query(q) => q,
+            _ => unreachable!(),
+        };
+        let a = analyze_view("query_groups", &q, db.catalog()).unwrap();
+        (db, a)
+    }
+
+    const LISTING_1: &str = "SELECT group_index, SUM(group_value) AS total_value \
+                             FROM groups GROUP BY group_index";
+
+    #[test]
+    fn listing_1_ddl() {
+        let (db, a) = analysis(LISTING_1);
+        let ddl = generate_ddl(&a, db.catalog(), &IvmFlags::paper_defaults()).unwrap();
+        assert_eq!(
+            ddl.delta_tables,
+            vec![
+                "CREATE TABLE IF NOT EXISTS delta_groups (group_index VARCHAR, \
+                 group_value INTEGER, _duckdb_ivm_multiplicity BOOLEAN)"
+            ]
+        );
+        assert!(ddl.view_tables[0].starts_with("CREATE TABLE query_groups (group_index VARCHAR, total_value INTEGER, _ivm_count INTEGER)"), "{}", ddl.view_tables[0]);
+        assert!(ddl.view_tables[1].contains("delta_query_groups"));
+        // Default flags: ART built after population.
+        assert_eq!(
+            ddl.post_population_indexes,
+            vec!["CREATE UNIQUE INDEX _ivm_idx_query_groups ON query_groups (group_index)"]
+        );
+    }
+
+    #[test]
+    fn inline_pk_when_requested() {
+        let (db, a) = analysis(LISTING_1);
+        let flags = IvmFlags {
+            index_creation: IndexCreation::Inline,
+            ..IvmFlags::paper_defaults()
+        };
+        let ddl = generate_ddl(&a, db.catalog(), &flags).unwrap();
+        assert!(ddl.view_tables[0].contains("PRIMARY KEY (group_index)"));
+        assert!(ddl.post_population_indexes.is_empty());
+    }
+
+    #[test]
+    fn union_regroup_needs_no_index() {
+        let (db, a) = analysis(LISTING_1);
+        let flags = IvmFlags {
+            upsert_strategy: UpsertStrategy::UnionRegroup,
+            index_creation: IndexCreation::None,
+            ..IvmFlags::paper_defaults()
+        };
+        let ddl = generate_ddl(&a, db.catalog(), &flags).unwrap();
+        assert!(ddl.post_population_indexes.is_empty());
+        assert!(!ddl.view_tables[0].contains("PRIMARY KEY"));
+    }
+
+    #[test]
+    fn left_join_without_index_rejected() {
+        let (db, a) = analysis(LISTING_1);
+        let flags = IvmFlags {
+            index_creation: IndexCreation::None,
+            ..IvmFlags::paper_defaults()
+        };
+        assert!(generate_ddl(&a, db.catalog(), &flags).is_err());
+    }
+
+    #[test]
+    fn stage_table_for_full_outer_join() {
+        let (db, a) = analysis(LISTING_1);
+        let flags = IvmFlags {
+            upsert_strategy: UpsertStrategy::FullOuterJoin,
+            ..IvmFlags::paper_defaults()
+        };
+        let ddl = generate_ddl(&a, db.catalog(), &flags).unwrap();
+        assert!(ddl.view_tables.iter().any(|s| s.contains("_ivm_stage_query_groups")));
+    }
+}

@@ -1,0 +1,165 @@
+//! DuckAST: the dialect-neutral intermediate tree between the rewritten
+//! logical plan and emitted SQL.
+//!
+//! Following footnote 5 of the paper (after LinkedIn's Coral), the compiler
+//! does not print SQL straight from the logical plan: it first lowers the
+//! plan into this "simpler abstract tree", which is then "rewritten to a
+//! string in the desired SQL dialect".
+//!
+//! A [`SelectFrame`] is one SELECT block: a FROM list, conjunctive WHERE
+//! filters, a projection, and optional grouping. A [`DuckAst`] is a bag
+//! union of frames (the DBSP join rewrite produces three frames).
+
+use ivm_sql::ast::{
+    Expr, Query, Select, SelectItem, SetExpr, SetOp, TableRef,
+};
+use ivm_sql::Ident;
+
+/// One SELECT-shaped relational frame.
+#[derive(Debug, Clone)]
+pub struct SelectFrame {
+    /// FROM items (comma list; inner-join conditions live in `filters`).
+    pub from: Vec<TableRef>,
+    /// Conjunctive WHERE predicates.
+    pub filters: Vec<Expr>,
+    /// Output columns: `(expression, output name)`.
+    pub projection: Vec<(Expr, String)>,
+    /// GROUP BY expressions (empty = no grouping).
+    pub group_by: Vec<Expr>,
+}
+
+impl SelectFrame {
+    /// Lower one frame to an AST `SELECT`.
+    pub fn to_select(&self) -> Select {
+        Select {
+            distinct: false,
+            projection: self
+                .projection
+                .iter()
+                .map(|(e, name)| {
+                    // Skip redundant aliases (`a AS a`).
+                    let is_bare_same = matches!(
+                        e,
+                        Expr::Column(c) if c.column == Ident::new(name.clone())
+                    );
+                    if is_bare_same {
+                        SelectItem::expr(e.clone())
+                    } else {
+                        SelectItem::aliased(e.clone(), Ident::new(name.clone()))
+                    }
+                })
+                .collect(),
+            from: self.from.clone(),
+            selection: conjoin(&self.filters),
+            group_by: self.group_by.clone(),
+            having: None,
+        }
+    }
+}
+
+/// The DuckAST root: one frame, or a UNION ALL of several.
+#[derive(Debug, Clone)]
+pub struct DuckAst {
+    /// The frames; all share the same projection names.
+    pub frames: Vec<SelectFrame>,
+}
+
+impl DuckAst {
+    /// A single-frame tree.
+    pub fn single(frame: SelectFrame) -> DuckAst {
+        DuckAst { frames: vec![frame] }
+    }
+
+    /// Output column names (taken from the first frame).
+    pub fn column_names(&self) -> Vec<String> {
+        self.frames
+            .first()
+            .map(|f| f.projection.iter().map(|(_, n)| n.clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Lower to an AST query (`UNION ALL` across frames).
+    pub fn to_query(&self) -> Query {
+        let mut bodies: Vec<SetExpr> = self
+            .frames
+            .iter()
+            .map(|f| SetExpr::Select(Box::new(f.to_select())))
+            .collect();
+        let mut body = bodies.remove(0);
+        for rhs in bodies {
+            body = SetExpr::SetOp {
+                op: SetOp::Union,
+                all: true,
+                left: Box::new(body),
+                right: Box::new(rhs),
+            };
+        }
+        Query { ctes: Vec::new(), body, order_by: Vec::new(), limit: None, offset: None }
+    }
+
+    /// Wrap this tree as a derived table `(query) AS alias`, exposing its
+    /// columns under that alias — used when an aggregation consumes the
+    /// three-frame join expansion.
+    pub fn as_derived_table(&self, alias: &str) -> (TableRef, Vec<Expr>) {
+        let cols = self
+            .column_names()
+            .iter()
+            .map(|n| Expr::qcol(alias, n.clone()))
+            .collect();
+        let tref = TableRef::Subquery {
+            query: Box::new(self.to_query()),
+            alias: Ident::new(alias),
+        };
+        (tref, cols)
+    }
+}
+
+/// AND together a conjunct list.
+pub fn conjoin(filters: &[Expr]) -> Option<Expr> {
+    filters.iter().cloned().reduce(|l, r| l.and(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_sql::{print_query, Dialect};
+
+    fn frame() -> SelectFrame {
+        SelectFrame {
+            from: vec![TableRef::table("delta_groups")],
+            filters: vec![Expr::col("group_value").eq(Expr::int(1))],
+            projection: vec![
+                (Expr::col("group_index"), "group_index".into()),
+                (Expr::col("group_value"), "v".into()),
+            ],
+            group_by: vec![],
+        }
+    }
+
+    #[test]
+    fn frame_prints_single_select() {
+        let q = DuckAst::single(frame()).to_query();
+        assert_eq!(
+            print_query(&q, Dialect::DuckDb),
+            "SELECT group_index, group_value AS v FROM delta_groups WHERE group_value = 1"
+        );
+    }
+
+    #[test]
+    fn union_of_frames() {
+        let ast = DuckAst { frames: vec![frame(), frame(), frame()] };
+        let sql = print_query(&ast.to_query(), Dialect::DuckDb);
+        assert_eq!(sql.matches("UNION ALL").count(), 2);
+    }
+
+    #[test]
+    fn derived_table_exposes_columns() {
+        let ast = DuckAst::single(frame());
+        let (tref, cols) = ast.as_derived_table("u");
+        assert!(matches!(tref, TableRef::Subquery { .. }));
+        assert_eq!(
+            cols,
+            vec![Expr::qcol("u", "group_index"), Expr::qcol("u", "v")]
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Compiler error type.
+
+use std::fmt;
+
+/// Errors raised by the OpenIVM compiler and extension session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IvmError {
+    /// The view definition uses SQL outside the supported IVM subset.
+    Unsupported(String),
+    /// Parsing / planning / executing through the engine failed.
+    Engine(String),
+    /// The IVM catalog is inconsistent (unknown view, duplicate view, …).
+    Catalog(String),
+}
+
+impl IvmError {
+    /// Unsupported-feature constructor.
+    pub fn unsupported(msg: impl Into<String>) -> IvmError {
+        IvmError::Unsupported(msg.into())
+    }
+
+    /// Catalog constructor.
+    pub fn catalog(msg: impl Into<String>) -> IvmError {
+        IvmError::Catalog(msg.into())
+    }
+}
+
+impl fmt::Display for IvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IvmError::Unsupported(m) => write!(f, "unsupported view: {m}"),
+            IvmError::Engine(m) => write!(f, "engine error: {m}"),
+            IvmError::Catalog(m) => write!(f, "ivm catalog error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IvmError {}
+
+impl From<ivm_engine::EngineError> for IvmError {
+    fn from(e: ivm_engine::EngineError) -> Self {
+        IvmError::Engine(e.to_string())
+    }
+}
+
+impl From<ivm_sql::SqlError> for IvmError {
+    fn from(e: ivm_sql::SqlError) -> Self {
+        IvmError::Engine(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            IvmError::unsupported("DISTINCT").to_string(),
+            "unsupported view: DISTINCT"
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Metadata tables.
+//!
+//! §2: "Internally, we store materialized views as tables and save their
+//! additional properties — query plan, SQL string, query type — in
+//! metadata tables", and the propagation scripts are stored for "future
+//! inspection and usage".
+
+use crate::analyze::ViewAnalysis;
+use crate::flags::IvmFlags;
+use crate::names::{META_SCRIPTS_TABLE, META_VIEWS_TABLE};
+use crate::propagation::PropagationScript;
+
+fn quote(s: &str) -> String {
+    format!("'{}'", s.replace('\'', "''"))
+}
+
+/// DDL for the two metadata tables (idempotent).
+pub fn metadata_ddl() -> Vec<String> {
+    vec![
+        format!(
+            "CREATE TABLE IF NOT EXISTS {META_VIEWS_TABLE} (\
+             view_name VARCHAR PRIMARY KEY, query_type VARCHAR, view_sql VARCHAR, \
+             query_plan VARCHAR, strategy VARCHAR, dialect VARCHAR)"
+        ),
+        format!(
+            "CREATE TABLE IF NOT EXISTS {META_SCRIPTS_TABLE} (\
+             view_name VARCHAR, step INTEGER, description VARCHAR, sql VARCHAR)"
+        ),
+    ]
+}
+
+/// Metadata DDL plus the INSERTs describing one compiled view.
+pub fn metadata_statements(
+    analysis: &ViewAnalysis,
+    view_sql: &str,
+    propagation: &PropagationScript,
+    flags: &IvmFlags,
+) -> Vec<String> {
+    let mut out = metadata_ddl();
+    out.push(format!(
+        "INSERT INTO {META_VIEWS_TABLE} VALUES ({}, {}, {}, {}, {}, {})",
+        quote(&analysis.view_name),
+        quote(analysis.class.name()),
+        quote(view_sql),
+        quote(&analysis.plan.explain()),
+        quote(flags.upsert_strategy.name()),
+        quote(flags.dialect.name()),
+    ));
+    for (i, step) in propagation.steps.iter().enumerate() {
+        out.push(format!(
+            "INSERT INTO {META_SCRIPTS_TABLE} VALUES ({}, {}, {}, {})",
+            quote(&analysis.view_name),
+            i,
+            quote(&step.description),
+            quote(&step.sql),
+        ));
+    }
+    out
+}
+
+/// Statements removing a view's metadata.
+pub fn metadata_remove(view_name: &str) -> Vec<String> {
+    vec![
+        format!(
+            "DELETE FROM {META_VIEWS_TABLE} WHERE view_name = {}",
+            quote(view_name)
+        ),
+        format!(
+            "DELETE FROM {META_SCRIPTS_TABLE} WHERE view_name = {}",
+            quote(view_name)
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quoting_escapes() {
+        assert_eq!(quote("it's"), "'it''s'");
+    }
+
+    #[test]
+    fn ddl_is_idempotent_sql() {
+        for stmt in metadata_ddl() {
+            ivm_sql::parse_statement(&stmt).unwrap();
+            assert!(stmt.contains("IF NOT EXISTS"));
+        }
+    }
+
+    #[test]
+    fn remove_statements_parse() {
+        for stmt in metadata_remove("v") {
+            ivm_sql::parse_statement(&stmt).unwrap();
+        }
+    }
+}

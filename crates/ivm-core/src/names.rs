@@ -1,0 +1,52 @@
+//! Naming conventions for generated objects, matching the paper's demo
+//! (`delta_groups`, `delta_query_groups`, `_duckdb_ivm_multiplicity`, …).
+
+/// The boolean multiplicity column: `true` = insertion, `false` = deletion.
+pub const MULTIPLICITY_COL: &str = "_duckdb_ivm_multiplicity";
+
+/// Hidden Z-set weight column on materialized view tables. Groups/rows
+/// whose weight reaches zero are removed in propagation Step 3.
+pub const COUNT_COL: &str = "_ivm_count";
+
+/// Metadata table holding one row per materialized view.
+pub const META_VIEWS_TABLE: &str = "_openivm_views";
+
+/// Metadata table holding the stored propagation scripts.
+pub const META_SCRIPTS_TABLE: &str = "_openivm_scripts";
+
+/// Delta table name for a base table or view: `delta_<name>`.
+pub fn delta(name: &str) -> String {
+    format!("delta_{name}")
+}
+
+/// Staging table used by the FULL OUTER JOIN strategy.
+pub fn stage(view: &str) -> String {
+    format!("_ivm_stage_{view}")
+}
+
+/// Name of the unique index built over the view key.
+pub fn view_index(view: &str) -> String {
+    format!("_ivm_idx_{view}")
+}
+
+/// Hidden per-aggregate helper columns (AVG keeps a sum and a count).
+pub fn hidden_sum(i: usize) -> String {
+    format!("_ivm_sum_{i}")
+}
+
+/// Hidden non-null count column for AVG aggregate `i`.
+pub fn hidden_cnt(i: usize) -> String {
+    format!("_ivm_cnt_{i}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_names() {
+        assert_eq!(delta("groups"), "delta_groups");
+        assert_eq!(delta("query_groups"), "delta_query_groups");
+        assert_eq!(MULTIPLICITY_COL, "_duckdb_ivm_multiplicity");
+    }
+}

@@ -1,0 +1,641 @@
+//! The DBSP-style incremental rewrite.
+//!
+//! Operates bottom-up on the view's logical plan (§2): leaves are
+//! substituted so "the query is executed against the changes rather than
+//! the original table" (`T → ΔT`), selections and projections keep their
+//! relational form (σ\* = σ, π\* = π) while threading the boolean
+//! multiplicity column, aggregates group additionally by multiplicity, and
+//! "the incremental form of a join consists of three relational join
+//! operators": ΔA⋈B ∪ A⋈ΔB ∪ ΔA⋈ΔB (with post-state base tables the third
+//! term carries a negated sign, encoded in the multiplicity expression).
+
+use ivm_engine::expr::{AggExpr, AggFunc, BoundExpr};
+use ivm_engine::planner::LogicalPlan;
+use ivm_engine::DataType;
+use ivm_sql::ast::{BinaryOp, Expr, Query, TableRef};
+use ivm_sql::Ident;
+
+use crate::analyze::{OutputSource, ViewAnalysis, ViewClass};
+use crate::duckast::{DuckAst, SelectFrame};
+use crate::error::IvmError;
+use crate::names::{self, COUNT_COL, MULTIPLICITY_COL};
+use crate::unbind::unbind;
+
+/// One rewritten relational term: a FROM/WHERE frame whose rows carry a
+/// multiplicity expression.
+#[derive(Debug, Clone)]
+struct TermFrame {
+    from: Vec<TableRef>,
+    filters: Vec<Expr>,
+    /// AST expression for each column of the original operator's schema.
+    cols: Vec<Expr>,
+    /// Multiplicity of each produced row.
+    mult: Expr,
+}
+
+/// Rewrite result for a source subplan.
+struct Rewritten {
+    /// Incremental terms (1 for single-table sources, 3 for one join).
+    delta: Vec<TermFrame>,
+    /// The non-incremental frame over current base tables (used for
+    /// initial population and MIN/MAX group recomputation).
+    full: TermFrame,
+}
+
+fn rewrite_source(plan: &LogicalPlan) -> Result<Rewritten, IvmError> {
+    match plan {
+        LogicalPlan::Scan { table, schema } => {
+            let delta_name = names::delta(table);
+            let delta_cols: Vec<Expr> = schema
+                .columns
+                .iter()
+                .map(|c| Expr::qcol(delta_name.clone(), c.name.clone()))
+                .collect();
+            let full_cols: Vec<Expr> = schema
+                .columns
+                .iter()
+                .map(|c| Expr::qcol(table.clone(), c.name.clone()))
+                .collect();
+            Ok(Rewritten {
+                delta: vec![TermFrame {
+                    from: vec![TableRef::table(delta_name.clone())],
+                    filters: vec![],
+                    cols: delta_cols,
+                    mult: Expr::qcol(delta_name, MULTIPLICITY_COL),
+                }],
+                full: TermFrame {
+                    from: vec![TableRef::table(table.clone())],
+                    filters: vec![],
+                    cols: full_cols,
+                    mult: Expr::boolean(true),
+                },
+            })
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            // σ* = σ: the same predicate applies to every term.
+            let mut inner = rewrite_source(input)?;
+            for frame in &mut inner.delta {
+                frame.filters.push(unbind(predicate, &frame.cols)?);
+            }
+            inner.full.filters.push(unbind(predicate, &inner.full.cols)?);
+            Ok(inner)
+        }
+        LogicalPlan::Join { left, right, on, .. } => {
+            let l = rewrite_source(left)?;
+            let r = rewrite_source(right)?;
+            let on = on.as_ref().ok_or_else(|| {
+                IvmError::unsupported("joins without ON in view definitions")
+            })?;
+            let mut delta = Vec::new();
+            // ΔA ⋈ B  (sign of the ΔA row)
+            for dl in &l.delta {
+                delta.push(join_frames(dl, &r.full, on, dl.mult.clone())?);
+            }
+            // A ⋈ ΔB  (sign of the ΔB row)
+            for dr in &r.delta {
+                delta.push(join_frames(&l.full, dr, on, dr.mult.clone())?);
+            }
+            // ΔA ⋈ ΔB, subtracted: with post-state tables the double-counted
+            // term flips sign, so mult = (mA <> mB).
+            for dl in &l.delta {
+                for dr in &r.delta {
+                    let mult = Expr::Binary {
+                        left: Box::new(dl.mult.clone()),
+                        op: BinaryOp::NotEq,
+                        right: Box::new(dr.mult.clone()),
+                    };
+                    delta.push(join_frames(dl, dr, on, mult)?);
+                }
+            }
+            let full = join_frames(&l.full, &r.full, on, Expr::boolean(true))?;
+            Ok(Rewritten { delta, full })
+        }
+        other => Err(IvmError::unsupported(format!(
+            "operator {:?} in view source",
+            std::mem::discriminant(other)
+        ))),
+    }
+}
+
+fn join_frames(
+    a: &TermFrame,
+    b: &TermFrame,
+    on: &BoundExpr,
+    mult: Expr,
+) -> Result<TermFrame, IvmError> {
+    let mut cols = a.cols.clone();
+    cols.extend(b.cols.iter().cloned());
+    let mut filters = a.filters.clone();
+    filters.extend(b.filters.iter().cloned());
+    filters.push(unbind(on, &cols)?);
+    let mut from = a.from.clone();
+    from.extend(b.from.iter().cloned());
+    Ok(TermFrame { from, filters, cols, mult })
+}
+
+/// The decomposed top of an analyzed view plan: projection expressions,
+/// optional (group keys, aggregates), and the source subplan.
+type PeeledPlan<'a> =
+    (&'a [BoundExpr], Option<(&'a [BoundExpr], &'a [AggExpr])>, &'a LogicalPlan);
+
+fn peel(analysis: &ViewAnalysis) -> Result<PeeledPlan<'_>, IvmError> {
+    let LogicalPlan::Project { input, exprs, .. } = &analysis.plan else {
+        return Err(IvmError::unsupported("view plan lacks a projection"));
+    };
+    match input.as_ref() {
+        LogicalPlan::Aggregate { input: agg_in, group, aggs, .. } => {
+            Ok((exprs, Some((group, aggs)), agg_in))
+        }
+        other => Ok((exprs, None, other)),
+    }
+}
+
+/// The delta-table layout of ΔV: `(name, type)` pairs, multiplicity last.
+pub fn delta_view_layout(analysis: &ViewAnalysis) -> Vec<(String, DataType)> {
+    let mut cols = Vec::new();
+    match analysis.class {
+        ViewClass::GroupAggregate | ViewClass::JoinAggregate => {
+            for g in analysis.group_columns() {
+                cols.push((g.name.clone(), g.ty));
+            }
+            for (i, agg) in analysis.aggs.iter().enumerate() {
+                match agg.func {
+                    AggFunc::Sum | AggFunc::Min | AggFunc::Max => {
+                        cols.push((agg.name.clone(), agg.ty));
+                    }
+                    AggFunc::Count => cols.push((agg.name.clone(), DataType::Integer)),
+                    AggFunc::Avg => {
+                        cols.push((names::hidden_sum(i), DataType::Double));
+                        cols.push((names::hidden_cnt(i), DataType::Integer));
+                    }
+                }
+            }
+            cols.push((COUNT_COL.to_string(), DataType::Integer));
+        }
+        ViewClass::SimpleProjection | ViewClass::JoinProjection => {
+            for c in &analysis.output {
+                cols.push((c.name.clone(), c.ty));
+            }
+        }
+    }
+    cols.push((MULTIPLICITY_COL.to_string(), DataType::Boolean));
+    cols
+}
+
+/// The materialized view table layout: visible columns in projection order,
+/// hidden AVG helpers, then the Z-set weight column.
+pub fn view_table_layout(analysis: &ViewAnalysis) -> Vec<(String, DataType)> {
+    let mut cols: Vec<(String, DataType)> =
+        analysis.output.iter().map(|c| (c.name.clone(), c.ty)).collect();
+    for (i, agg) in analysis.aggs.iter().enumerate() {
+        if agg.func == AggFunc::Avg {
+            cols.push((names::hidden_sum(i), DataType::Double));
+            cols.push((names::hidden_cnt(i), DataType::Integer));
+        }
+    }
+    cols.push((COUNT_COL.to_string(), DataType::Integer));
+    cols
+}
+
+/// Build the Step-1 query: the DBSP-rewritten view query reading ΔT and
+/// producing ΔV rows (multiplicity column last, matching
+/// [`delta_view_layout`]).
+pub fn build_delta_query(analysis: &ViewAnalysis) -> Result<Query, IvmError> {
+    let (proj_exprs, agg, source) = peel(analysis)?;
+    let rewritten = rewrite_source(source)?;
+
+    match agg {
+        None => {
+            // π* = π: project each term, keep its multiplicity.
+            let mut frames = Vec::with_capacity(rewritten.delta.len());
+            for term in &rewritten.delta {
+                let mut projection = Vec::with_capacity(proj_exprs.len() + 1);
+                for (expr, out) in proj_exprs.iter().zip(&analysis.output) {
+                    projection.push((unbind(expr, &term.cols)?, out.name.clone()));
+                }
+                projection.push((term.mult.clone(), MULTIPLICITY_COL.to_string()));
+                frames.push(SelectFrame {
+                    from: term.from.clone(),
+                    filters: term.filters.clone(),
+                    projection,
+                    group_by: vec![],
+                });
+            }
+            Ok(DuckAst { frames }.to_query())
+        }
+        Some((group, aggs)) => {
+            // Aggregate* groups by (keys, multiplicity) and emits partial
+            // aggregates plus the per-group row count.
+            let group_names: Vec<String> =
+                analysis.group_columns().iter().map(|c| c.name.clone()).collect();
+            if rewritten.delta.len() == 1 {
+                let term = &rewritten.delta[0];
+                let frame = aggregate_frame(term, group, aggs, &group_names, analysis)?;
+                Ok(DuckAst::single(frame).to_query())
+            } else {
+                // Join expansion feeding an aggregate: materialize the
+                // three-term union as a derived table, then aggregate it.
+                let mut inner_frames = Vec::with_capacity(rewritten.delta.len());
+                for term in &rewritten.delta {
+                    let mut projection = Vec::new();
+                    for (i, g) in group.iter().enumerate() {
+                        projection.push((unbind(g, &term.cols)?, format!("_ivm_g{i}")));
+                    }
+                    for (i, a) in aggs.iter().enumerate() {
+                        if let Some(arg) = &a.arg {
+                            projection.push((unbind(arg, &term.cols)?, format!("_ivm_a{i}")));
+                        }
+                    }
+                    projection.push((term.mult.clone(), MULTIPLICITY_COL.to_string()));
+                    inner_frames.push(SelectFrame {
+                        from: term.from.clone(),
+                        filters: term.filters.clone(),
+                        projection,
+                        group_by: vec![],
+                    });
+                }
+                let inner = DuckAst { frames: inner_frames };
+                let (tref, _) = inner.as_derived_table("ivm_join_delta");
+                // Build a pseudo-term over the derived table.
+                let mut cols: Vec<Expr> = Vec::new();
+                for i in 0..group.len() {
+                    cols.push(Expr::qcol("ivm_join_delta", format!("_ivm_g{i}")));
+                }
+                // Map aggregate args to their derived columns by position:
+                // constructed below via arg_cols.
+                let mut arg_cols: Vec<Option<Expr>> = Vec::new();
+                for (i, a) in aggs.iter().enumerate() {
+                    arg_cols.push(
+                        a.arg
+                            .as_ref()
+                            .map(|_| Expr::qcol("ivm_join_delta", format!("_ivm_a{i}"))),
+                    );
+                }
+                let mult = Expr::qcol("ivm_join_delta", MULTIPLICITY_COL);
+                let frame = aggregate_frame_prelowered(
+                    vec![tref],
+                    vec![],
+                    (0..group.len()).map(|i| cols[i].clone()).collect(),
+                    &arg_cols,
+                    aggs,
+                    &group_names,
+                    analysis,
+                    mult,
+                );
+                Ok(DuckAst::single(frame).to_query())
+            }
+        }
+    }
+}
+
+/// Aggregate a single term frame (common single-table case).
+fn aggregate_frame(
+    term: &TermFrame,
+    group: &[BoundExpr],
+    aggs: &[AggExpr],
+    group_names: &[String],
+    analysis: &ViewAnalysis,
+) -> Result<SelectFrame, IvmError> {
+    let group_exprs: Vec<Expr> = group
+        .iter()
+        .map(|g| unbind(g, &term.cols))
+        .collect::<Result<_, _>>()?;
+    let mut arg_cols: Vec<Option<Expr>> = Vec::with_capacity(aggs.len());
+    for a in aggs {
+        arg_cols.push(match &a.arg {
+            Some(arg) => Some(unbind(arg, &term.cols)?),
+            None => None,
+        });
+    }
+    Ok(aggregate_frame_prelowered(
+        term.from.clone(),
+        term.filters.clone(),
+        group_exprs,
+        &arg_cols,
+        aggs,
+        group_names,
+        analysis,
+        term.mult.clone(),
+    ))
+}
+
+/// Assemble the grouped Step-1 frame once all expressions are AST-level.
+#[allow(clippy::too_many_arguments)]
+fn aggregate_frame_prelowered(
+    from: Vec<TableRef>,
+    filters: Vec<Expr>,
+    group_exprs: Vec<Expr>,
+    arg_cols: &[Option<Expr>],
+    aggs: &[AggExpr],
+    group_names: &[String],
+    analysis: &ViewAnalysis,
+    mult: Expr,
+) -> SelectFrame {
+    let mut projection: Vec<(Expr, String)> = group_exprs
+        .iter()
+        .cloned()
+        .zip(group_names.iter().cloned())
+        .collect();
+    for (i, agg) in aggs.iter().enumerate() {
+        let arg = arg_cols[i].clone();
+        let info = &analysis.aggs[i];
+        match agg.func {
+            AggFunc::Sum => {
+                projection.push((call("sum", arg.clone()), info.name.clone()));
+            }
+            AggFunc::Count => {
+                projection.push((count_call(arg.clone()), info.name.clone()));
+            }
+            AggFunc::Avg => {
+                projection.push((call("sum", arg.clone()), names::hidden_sum(i)));
+                projection.push((count_call(arg.clone()), names::hidden_cnt(i)));
+            }
+            AggFunc::Min => {
+                projection.push((call("min", arg.clone()), info.name.clone()));
+            }
+            AggFunc::Max => {
+                projection.push((call("max", arg.clone()), info.name.clone()));
+            }
+        }
+    }
+    projection.push((count_call(None), COUNT_COL.to_string()));
+    projection.push((mult.clone(), MULTIPLICITY_COL.to_string()));
+    let mut group_by = group_exprs;
+    group_by.push(mult);
+    SelectFrame { from, filters, projection, group_by }
+}
+
+fn call(name: &str, arg: Option<Expr>) -> Expr {
+    Expr::Function {
+        name: Ident::new(name),
+        args: arg.into_iter().collect(),
+        distinct: false,
+        star: false,
+    }
+}
+
+fn count_call(arg: Option<Expr>) -> Expr {
+    match arg {
+        Some(a) => Expr::Function {
+            name: Ident::new("count"),
+            args: vec![a],
+            distinct: false,
+            star: false,
+        },
+        None => Expr::Function {
+            name: Ident::new("count"),
+            args: vec![],
+            distinct: false,
+            star: true,
+        },
+    }
+}
+
+/// Build the non-incremental query producing rows in the *view table*
+/// layout (visible columns, hidden AVG helpers, weight). Used for initial
+/// population and — with `dirty_groups` — MIN/MAX group recomputation.
+pub fn build_full_query(
+    analysis: &ViewAnalysis,
+    dirty_groups: Option<Query>,
+) -> Result<Query, IvmError> {
+    let (proj_exprs, agg, source) = peel(analysis)?;
+    let rewritten = rewrite_source(source)?;
+    let full = rewritten.full;
+
+    match agg {
+        None => {
+            // Z-set weight = duplicate count: GROUP BY every projected
+            // column and COUNT(*).
+            let mut projection = Vec::with_capacity(proj_exprs.len() + 1);
+            let mut group_by = Vec::with_capacity(proj_exprs.len());
+            for (expr, out) in proj_exprs.iter().zip(&analysis.output) {
+                let e = unbind(expr, &full.cols)?;
+                group_by.push(e.clone());
+                projection.push((e, out.name.clone()));
+            }
+            projection.push((count_call(None), COUNT_COL.to_string()));
+            if dirty_groups.is_some() {
+                return Err(IvmError::unsupported(
+                    "dirty-group recomputation applies to aggregate views only",
+                ));
+            }
+            Ok(DuckAst::single(SelectFrame {
+                from: full.from,
+                filters: full.filters,
+                projection,
+                group_by,
+            })
+            .to_query())
+        }
+        Some((group, aggs)) => {
+            let group_exprs: Vec<Expr> = group
+                .iter()
+                .map(|g| unbind(g, &full.cols))
+                .collect::<Result<_, _>>()?;
+            // Visible columns in projection order.
+            let mut projection = Vec::new();
+            for (expr, out) in proj_exprs.iter().zip(&analysis.output) {
+                let BoundExpr::Column { index, .. } = expr else {
+                    return Err(IvmError::unsupported("projection over aggregates"));
+                };
+                let e = match out.source {
+                    OutputSource::Group(_) => group_exprs[*index].clone(),
+                    OutputSource::Agg(j) => {
+                        let arg = match &aggs[j].arg {
+                            Some(a) => Some(unbind(a, &full.cols)?),
+                            None => None,
+                        };
+                        match aggs[j].func {
+                            AggFunc::Sum => call("sum", arg),
+                            AggFunc::Count => count_call(arg),
+                            AggFunc::Avg => call("avg", arg),
+                            AggFunc::Min => call("min", arg),
+                            AggFunc::Max => call("max", arg),
+                        }
+                    }
+                    OutputSource::Plain(_) => {
+                        return Err(IvmError::unsupported("mixed projection sources"));
+                    }
+                };
+                projection.push((e, out.name.clone()));
+            }
+            // Hidden AVG helpers.
+            for (i, agg) in aggs.iter().enumerate() {
+                if agg.func == AggFunc::Avg {
+                    let arg = match &agg.arg {
+                        Some(a) => Some(unbind(a, &full.cols)?),
+                        None => None,
+                    };
+                    projection.push((call("sum", arg.clone()), names::hidden_sum(i)));
+                    projection.push((count_call(arg), names::hidden_cnt(i)));
+                }
+            }
+            projection.push((count_call(None), COUNT_COL.to_string()));
+
+            let mut filters = full.filters;
+            if let Some(dirty) = dirty_groups {
+                // Single-key restriction is enforced by analyze for MIN/MAX.
+                let key = group_exprs
+                    .first()
+                    .cloned()
+                    .ok_or_else(|| IvmError::unsupported("dirty recompute without keys"))?;
+                filters.push(Expr::InSubquery {
+                    expr: Box::new(key),
+                    query: Box::new(dirty),
+                    negated: false,
+                });
+            }
+            Ok(DuckAst::single(SelectFrame {
+                from: full.from,
+                filters,
+                projection,
+                group_by: group_exprs,
+            })
+            .to_query())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze_view;
+    use ivm_engine::Database;
+    use ivm_sql::ast::Statement;
+    use ivm_sql::{print_query, Dialect};
+
+    fn setup() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)").unwrap();
+        db.execute("CREATE TABLE orders (id INTEGER, cust INTEGER, amount INTEGER)").unwrap();
+        db.execute("CREATE TABLE customers (id INTEGER, name VARCHAR)").unwrap();
+        db
+    }
+
+    fn analysis(sql: &str) -> ViewAnalysis {
+        let db = setup();
+        let q = match ivm_sql::parse_statement(sql).unwrap() {
+            Statement::Query(q) => q,
+            _ => unreachable!(),
+        };
+        analyze_view("v", &q, db.catalog()).unwrap()
+    }
+
+    #[test]
+    fn listing_1_delta_query_matches_listing_2_shape() {
+        let a = analysis(
+            "SELECT group_index, SUM(group_value) AS total_value \
+             FROM groups GROUP BY group_index",
+        );
+        let q = build_delta_query(&a).unwrap();
+        let sql = print_query(&q, Dialect::DuckDb);
+        // Listing 2 lines 1–4: select from delta_groups, grouped by key and
+        // multiplicity, emitting the partial SUM.
+        assert!(sql.contains("FROM delta_groups"), "{sql}");
+        assert!(sql.contains("sum(delta_groups.group_value) AS total_value"), "{sql}");
+        assert!(
+            sql.contains("GROUP BY delta_groups.group_index, delta_groups._duckdb_ivm_multiplicity"),
+            "{sql}"
+        );
+        assert!(sql.contains("count(*) AS _ivm_count"), "{sql}");
+    }
+
+    #[test]
+    fn filter_views_keep_sigma() {
+        let a = analysis("SELECT group_index FROM groups WHERE group_value > 10");
+        let q = build_delta_query(&a).unwrap();
+        let sql = print_query(&q, Dialect::DuckDb);
+        assert!(sql.contains("WHERE delta_groups.group_value > 10"), "{sql}");
+        assert!(sql.contains("_duckdb_ivm_multiplicity"), "{sql}");
+        assert!(!sql.contains("GROUP BY"), "projection views do not group: {sql}");
+    }
+
+    #[test]
+    fn join_view_expands_to_three_terms() {
+        let a = analysis(
+            "SELECT customers.name, orders.amount FROM orders \
+             JOIN customers ON orders.cust = customers.id",
+        );
+        let q = build_delta_query(&a).unwrap();
+        let sql = print_query(&q, Dialect::DuckDb);
+        assert_eq!(sql.matches("UNION ALL").count(), 2, "{sql}");
+        assert!(sql.contains("delta_orders"), "{sql}");
+        assert!(sql.contains("delta_customers"), "{sql}");
+        // The ΔA⋈ΔB term carries the sign-flip multiplicity.
+        assert!(
+            sql.contains("delta_orders._duckdb_ivm_multiplicity <> delta_customers._duckdb_ivm_multiplicity"),
+            "{sql}"
+        );
+    }
+
+    #[test]
+    fn join_aggregate_wraps_union_in_derived_table() {
+        let a = analysis(
+            "SELECT customers.name, SUM(orders.amount) AS total FROM orders \
+             JOIN customers ON orders.cust = customers.id GROUP BY customers.name",
+        );
+        let q = build_delta_query(&a).unwrap();
+        let sql = print_query(&q, Dialect::DuckDb);
+        assert!(sql.contains("FROM ((SELECT"), "{sql}");
+        assert!(sql.contains("AS ivm_join_delta"), "{sql}");
+        assert!(sql.contains("GROUP BY ivm_join_delta._ivm_g0"), "{sql}");
+    }
+
+    #[test]
+    fn full_query_for_initial_population() {
+        let a = analysis(
+            "SELECT group_index, SUM(group_value) AS total_value \
+             FROM groups GROUP BY group_index",
+        );
+        let q = build_full_query(&a, None).unwrap();
+        let sql = print_query(&q, Dialect::DuckDb);
+        assert_eq!(
+            sql,
+            "SELECT groups.group_index, sum(groups.group_value) AS total_value, \
+             count(*) AS _ivm_count FROM groups GROUP BY groups.group_index"
+        );
+    }
+
+    #[test]
+    fn full_query_simple_projection_weights_duplicates() {
+        let a = analysis("SELECT group_index FROM groups WHERE group_value > 0");
+        let q = build_full_query(&a, None).unwrap();
+        let sql = print_query(&q, Dialect::DuckDb);
+        assert!(sql.contains("count(*) AS _ivm_count"), "{sql}");
+        assert!(sql.contains("GROUP BY groups.group_index"), "{sql}");
+    }
+
+    #[test]
+    fn avg_produces_hidden_partials() {
+        let a = analysis(
+            "SELECT group_index, AVG(group_value) AS mean FROM groups GROUP BY group_index",
+        );
+        let delta = print_query(&build_delta_query(&a).unwrap(), Dialect::DuckDb);
+        assert!(delta.contains("AS _ivm_sum_0"), "{delta}");
+        assert!(delta.contains("AS _ivm_cnt_0"), "{delta}");
+        let layout = delta_view_layout(&a);
+        assert!(layout.iter().any(|(n, _)| n == "_ivm_sum_0"));
+        let vlayout = view_table_layout(&a);
+        assert_eq!(vlayout.last().unwrap().0, COUNT_COL);
+        assert!(vlayout.iter().any(|(n, _)| n == "mean"));
+    }
+
+    #[test]
+    fn dirty_group_recompute_emits_in_subquery() {
+        let a = analysis(
+            "SELECT group_index, MIN(group_value) AS lo FROM groups GROUP BY group_index",
+        );
+        let dirty = match ivm_sql::parse_statement(
+            "SELECT DISTINCT group_index FROM delta_v WHERE _duckdb_ivm_multiplicity = FALSE",
+        )
+        .unwrap()
+        {
+            Statement::Query(q) => *q,
+            _ => unreachable!(),
+        };
+        let q = build_full_query(&a, Some(dirty)).unwrap();
+        let sql = print_query(&q, Dialect::DuckDb);
+        assert!(sql.contains("groups.group_index IN (SELECT DISTINCT group_index"), "{sql}");
+        assert!(sql.contains("min(groups.group_value) AS lo"), "{sql}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors raised by the engine: catalog misses, binder/type errors,
+/// execution failures, and constraint violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineError {
+    kind: ErrorKind,
+    message: String,
+}
+
+/// Classification of an [`EngineError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// SQL could not be parsed.
+    Parse,
+    /// A referenced catalog object does not exist (or already exists).
+    Catalog,
+    /// Name resolution or type checking failed.
+    Bind,
+    /// A cast failed at runtime.
+    InvalidCast,
+    /// Arithmetic overflow/division by zero and similar runtime faults.
+    Execution,
+    /// Primary-key or NOT NULL violation.
+    Constraint,
+    /// Feature outside the supported subset.
+    Unsupported,
+}
+
+impl EngineError {
+    pub(crate) fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        EngineError { kind, message: message.into() }
+    }
+
+    /// Parse-phase error (wraps [`ivm_sql::SqlError`]).
+    pub fn parse(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Parse, message)
+    }
+
+    /// Catalog error: unknown/duplicate table, view, or index.
+    pub fn catalog(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Catalog, message)
+    }
+
+    /// Binder error: unknown column, ambiguous name, type mismatch.
+    pub fn bind(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Bind, message)
+    }
+
+    /// Cast failure.
+    pub fn invalid_cast(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::InvalidCast, message)
+    }
+
+    /// Runtime execution failure.
+    pub fn execution(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Execution, message)
+    }
+
+    /// Constraint violation.
+    pub fn constraint(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Constraint, message)
+    }
+
+    /// Unsupported SQL feature.
+    pub fn unsupported(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Unsupported, message)
+    }
+
+    /// The error's classification.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            ErrorKind::Parse => "parse error",
+            ErrorKind::Catalog => "catalog error",
+            ErrorKind::Bind => "binder error",
+            ErrorKind::InvalidCast => "cast error",
+            ErrorKind::Execution => "execution error",
+            ErrorKind::Constraint => "constraint violation",
+            ErrorKind::Unsupported => "unsupported",
+        };
+        write!(f, "{kind}: {}", self.message)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ivm_sql::SqlError> for EngineError {
+    fn from(e: ivm_sql::SqlError) -> Self {
+        EngineError::parse(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_kind() {
+        let e = EngineError::bind("unknown column x");
+        assert_eq!(e.to_string(), "binder error: unknown column x");
+        assert_eq!(e.kind(), ErrorKind::Bind);
+        assert_eq!(e.message(), "unknown column x");
+    }
+}

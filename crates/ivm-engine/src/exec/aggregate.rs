@@ -1,0 +1,334 @@
+//! Hash aggregation.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::catalog::Catalog;
+use crate::error::EngineError;
+use crate::exec::{prepare_expr, Row};
+use crate::expr::{AggExpr, AggFunc, BoundExpr};
+use crate::value::Value;
+
+/// One accumulator per aggregate per group.
+#[derive(Debug, Clone)]
+enum Acc {
+    Sum { total_i: i64, total_f: f64, is_float: bool, seen: bool },
+    Count(i64),
+    Avg { total: f64, count: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl Acc {
+    fn new(func: AggFunc) -> Acc {
+        match func {
+            AggFunc::Sum => Acc::Sum { total_i: 0, total_f: 0.0, is_float: false, seen: false },
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::Avg => Acc::Avg { total: 0.0, count: 0 },
+            AggFunc::Min => Acc::Min(None),
+            AggFunc::Max => Acc::Max(None),
+        }
+    }
+
+    fn update(&mut self, v: &Value) -> Result<(), EngineError> {
+        // NULLs never reach here (skipped by the caller), except COUNT(*)
+        // which feeds a non-null marker.
+        match self {
+            Acc::Sum { total_i, total_f, is_float, seen } => {
+                *seen = true;
+                match v {
+                    Value::Integer(i) => {
+                        if *is_float {
+                            *total_f += *i as f64;
+                        } else {
+                            *total_i = total_i.checked_add(*i).ok_or_else(|| {
+                                EngineError::execution("integer overflow in SUM")
+                            })?;
+                        }
+                    }
+                    Value::Double(d) => {
+                        if !*is_float {
+                            *total_f = *total_i as f64;
+                            *is_float = true;
+                        }
+                        *total_f += d;
+                    }
+                    other => {
+                        return Err(EngineError::execution(format!("SUM of {other}")));
+                    }
+                }
+            }
+            Acc::Count(c) => *c += 1,
+            Acc::Avg { total, count } => {
+                let d = v
+                    .as_f64()
+                    .ok_or_else(|| EngineError::execution(format!("AVG of {v}")))?;
+                *total += d;
+                *count += 1;
+            }
+            Acc::Min(cur) => {
+                if cur.as_ref().is_none_or(|c| v.total_cmp(c).is_lt()) {
+                    *cur = Some(v.clone());
+                }
+            }
+            Acc::Max(cur) => {
+                if cur.as_ref().is_none_or(|c| v.total_cmp(c).is_gt()) {
+                    *cur = Some(v.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Acc::Sum { total_i, total_f, is_float, seen } => {
+                if !seen {
+                    Value::Null
+                } else if is_float {
+                    Value::Double(total_f)
+                } else {
+                    Value::Integer(total_i)
+                }
+            }
+            Acc::Count(c) => Value::Integer(c),
+            Acc::Avg { total, count } => {
+                if count == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(total / count as f64)
+                }
+            }
+            Acc::Min(v) | Acc::Max(v) => v.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Execute hash aggregation over materialized input rows.
+pub(crate) fn execute_aggregate(
+    rows: Vec<Row>,
+    group: &[BoundExpr],
+    aggs: &[AggExpr],
+    catalog: &Catalog,
+) -> Result<Vec<Row>, EngineError> {
+    let group_exprs: Vec<BoundExpr> = group
+        .iter()
+        .map(|e| prepare_expr(e, catalog))
+        .collect::<Result<_, _>>()?;
+    let agg_args: Vec<Option<BoundExpr>> = aggs
+        .iter()
+        .map(|a| a.arg.as_ref().map(|e| prepare_expr(e, catalog)).transpose())
+        .collect::<Result<_, _>>()?;
+
+    struct GroupState {
+        accs: Vec<Acc>,
+        distinct_seen: Vec<Option<HashSet<Value>>>,
+    }
+
+    let mut groups: HashMap<Vec<Value>, GroupState> = HashMap::new();
+    // Preserve first-seen group order for deterministic output.
+    let mut order: Vec<Vec<Value>> = Vec::new();
+
+    for row in &rows {
+        let mut key = Vec::with_capacity(group_exprs.len());
+        for g in &group_exprs {
+            key.push(g.eval(row)?);
+        }
+        let state = match groups.get_mut(&key) {
+            Some(s) => s,
+            None => {
+                order.push(key.clone());
+                groups.entry(key.clone()).or_insert_with(|| GroupState {
+                    accs: aggs.iter().map(|a| Acc::new(a.func)).collect(),
+                    distinct_seen: aggs
+                        .iter()
+                        .map(|a| a.distinct.then(HashSet::new))
+                        .collect(),
+                })
+            }
+        };
+        for (i, _agg) in aggs.iter().enumerate() {
+            let value = match &agg_args[i] {
+                Some(e) => e.eval(row)?,
+                // COUNT(*) counts rows; feed a constant marker.
+                None => Value::Boolean(true),
+            };
+            if value.is_null() {
+                continue;
+            }
+            if let Some(seen) = &mut state.distinct_seen[i] {
+                if !seen.insert(value.clone()) {
+                    continue;
+                }
+            }
+            state.accs[i].update(&value)?;
+        }
+    }
+
+    // Global aggregates over empty input still produce one row.
+    if group_exprs.is_empty() && groups.is_empty() {
+        let out: Vec<Value> =
+            aggs.iter().map(|a| Acc::new(a.func).finish()).collect();
+        return Ok(vec![out]);
+    }
+
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let state = groups.remove(&key).expect("group recorded");
+        let mut row = key;
+        for acc in state.accs {
+            row.push(acc.finish());
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DataType;
+
+    fn col(i: usize) -> BoundExpr {
+        BoundExpr::Column { index: i, ty: Some(DataType::Integer), name: format!("c{i}") }
+    }
+
+    fn agg(func: AggFunc, arg: Option<BoundExpr>) -> AggExpr {
+        AggExpr { func, arg, distinct: false, name: func.name().to_string() }
+    }
+
+    fn run(rows: Vec<Row>, group: &[BoundExpr], aggs: &[AggExpr]) -> Vec<Row> {
+        execute_aggregate(rows, group, aggs, &Catalog::new()).unwrap()
+    }
+
+    #[test]
+    fn grouped_sum_count() {
+        let rows = vec![
+            vec![Value::from("a"), Value::Integer(1)],
+            vec![Value::from("b"), Value::Integer(2)],
+            vec![Value::from("a"), Value::Integer(3)],
+        ];
+        let group = [BoundExpr::Column { index: 0, ty: Some(DataType::Varchar), name: "g".into() }];
+        let out = run(
+            rows,
+            &group,
+            &[agg(AggFunc::Sum, Some(col(1))), agg(AggFunc::Count, None)],
+        );
+        assert_eq!(
+            out,
+            vec![
+                vec![Value::from("a"), Value::Integer(4), Value::Integer(2)],
+                vec![Value::from("b"), Value::Integer(2), Value::Integer(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let out = run(
+            vec![],
+            &[],
+            &[
+                agg(AggFunc::Sum, Some(col(0))),
+                agg(AggFunc::Count, None),
+                agg(AggFunc::Min, Some(col(0))),
+                agg(AggFunc::Avg, Some(col(0))),
+            ],
+        );
+        assert_eq!(
+            out,
+            vec![vec![Value::Null, Value::Integer(0), Value::Null, Value::Null]]
+        );
+    }
+
+    #[test]
+    fn nulls_are_skipped() {
+        let rows = vec![
+            vec![Value::Integer(1)],
+            vec![Value::Null],
+            vec![Value::Integer(3)],
+        ];
+        let out = run(
+            rows,
+            &[],
+            &[
+                agg(AggFunc::Sum, Some(col(0))),
+                agg(AggFunc::Count, Some(col(0))),
+                agg(AggFunc::Count, None),
+                agg(AggFunc::Avg, Some(col(0))),
+            ],
+        );
+        assert_eq!(
+            out,
+            vec![vec![
+                Value::Integer(4),
+                Value::Integer(2),
+                Value::Integer(3),
+                Value::Double(2.0),
+            ]]
+        );
+    }
+
+    #[test]
+    fn sum_promotes_to_double() {
+        let rows = vec![
+            vec![Value::Integer(1)],
+            vec![Value::Double(2.5)],
+            vec![Value::Integer(2)],
+        ];
+        let out = run(rows, &[], &[agg(AggFunc::Sum, Some(col(0)))]);
+        assert_eq!(out, vec![vec![Value::Double(5.5)]]);
+    }
+
+    #[test]
+    fn min_max_strings() {
+        let rows = vec![
+            vec![Value::from("pear")],
+            vec![Value::from("apple")],
+            vec![Value::from("fig")],
+        ];
+        let out = run(
+            rows,
+            &[],
+            &[agg(AggFunc::Min, Some(col(0))), agg(AggFunc::Max, Some(col(0)))],
+        );
+        assert_eq!(out, vec![vec![Value::from("apple"), Value::from("pear")]]);
+    }
+
+    #[test]
+    fn distinct_aggregation() {
+        let rows = vec![
+            vec![Value::Integer(1)],
+            vec![Value::Integer(1)],
+            vec![Value::Integer(2)],
+        ];
+        let mut sum_distinct = agg(AggFunc::Sum, Some(col(0)));
+        sum_distinct.distinct = true;
+        let mut count_distinct = agg(AggFunc::Count, Some(col(0)));
+        count_distinct.distinct = true;
+        let out = run(rows, &[], &[sum_distinct, count_distinct]);
+        assert_eq!(out, vec![vec![Value::Integer(3), Value::Integer(2)]]);
+    }
+
+    #[test]
+    fn null_group_keys_group_together() {
+        let rows = vec![
+            vec![Value::Null, Value::Integer(1)],
+            vec![Value::Null, Value::Integer(2)],
+        ];
+        let group = [BoundExpr::Column { index: 0, ty: Some(DataType::Varchar), name: "g".into() }];
+        let out = run(rows, &group, &[agg(AggFunc::Sum, Some(col(1)))]);
+        assert_eq!(out, vec![vec![Value::Null, Value::Integer(3)]]);
+    }
+
+    #[test]
+    fn sum_overflow_errors() {
+        let rows = vec![vec![Value::Integer(i64::MAX)], vec![Value::Integer(1)]];
+        let res = execute_aggregate(
+            rows,
+            &[],
+            &[agg(AggFunc::Sum, Some(col(0)))],
+            &Catalog::new(),
+        );
+        assert!(res.is_err());
+    }
+}

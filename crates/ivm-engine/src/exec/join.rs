@@ -1,0 +1,362 @@
+//! Join execution: hash join for equi-joins, nested loops otherwise.
+
+use std::collections::HashMap;
+
+use ivm_sql::ast::{BinaryOp, JoinKind};
+
+use crate::catalog::Catalog;
+use crate::error::EngineError;
+use crate::exec::{prepare_expr, Row};
+use crate::expr::BoundExpr;
+use crate::value::Value;
+
+/// Execute a join between two materialized inputs.
+///
+/// Equality conjuncts of the form `left_col = right_col` are extracted and
+/// drive a hash join; any residual predicate is applied to candidate pairs.
+/// Joins with no equi-conjunct fall back to a nested loop.
+pub(crate) fn execute_join(
+    lrows: Vec<Row>,
+    rrows: Vec<Row>,
+    lwidth: usize,
+    rwidth: usize,
+    kind: JoinKind,
+    on: Option<&BoundExpr>,
+    catalog: &Catalog,
+) -> Result<Vec<Row>, EngineError> {
+    // RIGHT JOIN = mirrored LEFT JOIN with columns swapped back.
+    if kind == JoinKind::Right {
+        let on_swapped = on.map(|e| {
+            let mut e = e.clone();
+            // Columns [0..l) ↔ [l..l+r): right side becomes the build side.
+            e.remap_columns(&|i| if i < lwidth { i + rwidth } else { i - lwidth });
+            e
+        });
+        let mirrored = execute_join(
+            rrows,
+            lrows,
+            rwidth,
+            lwidth,
+            JoinKind::Left,
+            on_swapped.as_ref(),
+            catalog,
+        )?;
+        return Ok(mirrored
+            .into_iter()
+            .map(|mut row| {
+                let tail = row.split_off(rwidth);
+                let mut out = tail;
+                out.extend(row);
+                out
+            })
+            .collect());
+    }
+
+    let on = match on {
+        Some(e) => Some(prepare_expr(e, catalog)?),
+        None => None,
+    };
+    let (equi, residual) = match &on {
+        Some(pred) => split_equi_conjuncts(pred, lwidth),
+        None => (Vec::new(), None),
+    };
+
+    let pairs: Vec<(usize, usize)> = if equi.is_empty() {
+        nested_loop_pairs(&lrows, &rrows, lwidth, on.as_ref())?
+    } else {
+        hash_join_pairs(&lrows, &rrows, lwidth, &equi, residual.as_ref())?
+    };
+
+    let mut matched_left = vec![false; lrows.len()];
+    let mut matched_right = vec![false; rrows.len()];
+    let mut out = Vec::with_capacity(pairs.len());
+    for (li, ri) in pairs {
+        matched_left[li] = true;
+        matched_right[ri] = true;
+        let mut row = lrows[li].clone();
+        row.extend(rrows[ri].iter().cloned());
+        out.push(row);
+    }
+
+    // Outer padding.
+    if matches!(kind, JoinKind::Left | JoinKind::Full) {
+        for (li, l) in lrows.iter().enumerate() {
+            if !matched_left[li] {
+                let mut row = l.clone();
+                row.extend(std::iter::repeat_n(Value::Null, rwidth));
+                out.push(row);
+            }
+        }
+    }
+    if kind == JoinKind::Full {
+        for (ri, r) in rrows.iter().enumerate() {
+            if !matched_right[ri] {
+                let mut row: Row = std::iter::repeat_n(Value::Null, lwidth).collect();
+                row.extend(r.iter().cloned());
+                out.push(row);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Split a predicate into `(left_col, right_col)` equality pairs plus a
+/// residual predicate (None when fully consumed). Only top-level AND
+/// conjuncts are considered.
+fn split_equi_conjuncts(
+    pred: &BoundExpr,
+    lwidth: usize,
+) -> (Vec<(usize, usize)>, Option<BoundExpr>) {
+    let mut conjuncts = Vec::new();
+    flatten_and(pred, &mut conjuncts);
+    let mut equi = Vec::new();
+    let mut residual: Vec<BoundExpr> = Vec::new();
+    for c in conjuncts {
+        if let BoundExpr::Binary { op: BinaryOp::Eq, left, right } = &c {
+            if let (BoundExpr::Column { index: a, .. }, BoundExpr::Column { index: b, .. }) =
+                (left.as_ref(), right.as_ref())
+            {
+                if *a < lwidth && *b >= lwidth {
+                    equi.push((*a, *b - lwidth));
+                    continue;
+                }
+                if *b < lwidth && *a >= lwidth {
+                    equi.push((*b, *a - lwidth));
+                    continue;
+                }
+            }
+        }
+        residual.push(c);
+    }
+    let residual = residual.into_iter().reduce(|l, r| BoundExpr::Binary {
+        op: BinaryOp::And,
+        left: Box::new(l),
+        right: Box::new(r),
+    });
+    (equi, residual)
+}
+
+fn flatten_and(e: &BoundExpr, out: &mut Vec<BoundExpr>) {
+    if let BoundExpr::Binary { op: BinaryOp::And, left, right } = e {
+        flatten_and(left, out);
+        flatten_and(right, out);
+    } else {
+        out.push(e.clone());
+    }
+}
+
+fn hash_join_pairs(
+    lrows: &[Row],
+    rrows: &[Row],
+    lwidth: usize,
+    equi: &[(usize, usize)],
+    residual: Option<&BoundExpr>,
+) -> Result<Vec<(usize, usize)>, EngineError> {
+    // Build on the right side.
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    'right: for (ri, r) in rrows.iter().enumerate() {
+        let mut key = Vec::with_capacity(equi.len());
+        for (_, rc) in equi {
+            let v = r[*rc].clone();
+            if v.is_null() {
+                // SQL equality never matches NULL keys.
+                continue 'right;
+            }
+            key.push(v);
+        }
+        table.entry(key).or_default().push(ri);
+    }
+    let mut pairs = Vec::new();
+    'left: for (li, l) in lrows.iter().enumerate() {
+        let mut key = Vec::with_capacity(equi.len());
+        for (lc, _) in equi {
+            let v = l[*lc].clone();
+            if v.is_null() {
+                continue 'left;
+            }
+            key.push(v);
+        }
+        if let Some(candidates) = table.get(&key) {
+            for &ri in candidates {
+                if let Some(resid) = residual {
+                    let mut row = l.clone();
+                    row.extend(rrows[ri].iter().cloned());
+                    if resid.eval(&row)?.as_bool() != Some(true) {
+                        continue;
+                    }
+                }
+                pairs.push((li, ri));
+            }
+        }
+    }
+    let _ = lwidth;
+    Ok(pairs)
+}
+
+fn nested_loop_pairs(
+    lrows: &[Row],
+    rrows: &[Row],
+    _lwidth: usize,
+    on: Option<&BoundExpr>,
+) -> Result<Vec<(usize, usize)>, EngineError> {
+    let mut pairs = Vec::new();
+    for (li, l) in lrows.iter().enumerate() {
+        for (ri, r) in rrows.iter().enumerate() {
+            let ok = match on {
+                None => true,
+                Some(pred) => {
+                    let mut row = l.clone();
+                    row.extend(r.iter().cloned());
+                    pred.eval(&row)?.as_bool() == Some(true)
+                }
+            };
+            if ok {
+                pairs.push((li, ri));
+            }
+        }
+    }
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DataType;
+
+    fn col(i: usize) -> BoundExpr {
+        BoundExpr::Column { index: i, ty: Some(DataType::Integer), name: format!("c{i}") }
+    }
+
+    fn eq(l: BoundExpr, r: BoundExpr) -> BoundExpr {
+        BoundExpr::Binary { op: BinaryOp::Eq, left: Box::new(l), right: Box::new(r) }
+    }
+
+    fn run(
+        l: Vec<Row>,
+        r: Vec<Row>,
+        lw: usize,
+        rw: usize,
+        kind: JoinKind,
+        on: Option<BoundExpr>,
+    ) -> Vec<Row> {
+        execute_join(l, r, lw, rw, kind, on.as_ref(), &Catalog::new()).unwrap()
+    }
+
+    fn i(v: i64) -> Value {
+        Value::Integer(v)
+    }
+
+    #[test]
+    fn inner_hash_join() {
+        let l = vec![vec![i(1), i(10)], vec![i(2), i(20)], vec![i(3), i(30)]];
+        let r = vec![vec![i(2), i(200)], vec![i(3), i(300)], vec![i(3), i(301)]];
+        let on = eq(col(0), col(2));
+        let mut out = run(l, r, 2, 2, JoinKind::Inner, Some(on));
+        out.sort();
+        assert_eq!(
+            out,
+            vec![
+                vec![i(2), i(20), i(2), i(200)],
+                vec![i(3), i(30), i(3), i(300)],
+                vec![i(3), i(30), i(3), i(301)],
+            ]
+        );
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let l = vec![vec![i(1)], vec![i(2)]];
+        let r = vec![vec![i(2), i(200)]];
+        let on = eq(col(0), col(1));
+        let mut out = run(l, r, 1, 2, JoinKind::Left, Some(on));
+        out.sort();
+        assert_eq!(
+            out,
+            vec![
+                vec![i(1), Value::Null, Value::Null],
+                vec![i(2), i(2), i(200)],
+            ]
+        );
+    }
+
+    #[test]
+    fn right_join_mirrors() {
+        let l = vec![vec![i(2), i(20)]];
+        let r = vec![vec![i(1)], vec![i(2)]];
+        let on = eq(col(0), col(2));
+        let mut out = run(l, r, 2, 1, JoinKind::Right, Some(on));
+        out.sort();
+        assert_eq!(
+            out,
+            vec![
+                vec![Value::Null, Value::Null, i(1)],
+                vec![i(2), i(20), i(2)],
+            ]
+        );
+    }
+
+    #[test]
+    fn full_join() {
+        let l = vec![vec![i(1)], vec![i(2)]];
+        let r = vec![vec![i(2)], vec![i(3)]];
+        let on = eq(col(0), col(1));
+        let mut out = run(l, r, 1, 1, JoinKind::Full, Some(on));
+        out.sort();
+        assert_eq!(
+            out,
+            vec![
+                vec![Value::Null, i(3)],
+                vec![i(1), Value::Null],
+                vec![i(2), i(2)],
+            ]
+        );
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let l = vec![vec![Value::Null]];
+        let r = vec![vec![Value::Null]];
+        let on = eq(col(0), col(1));
+        let out = run(l, r, 1, 1, JoinKind::Inner, Some(on));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn cross_join() {
+        let l = vec![vec![i(1)], vec![i(2)]];
+        let r = vec![vec![i(10)], vec![i(20)]];
+        let out = run(l, r, 1, 1, JoinKind::Cross, None);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn residual_predicate_applies() {
+        // ON a = b AND c > 15
+        let l = vec![vec![i(1), i(10)], vec![i(1), i(20)]];
+        let r = vec![vec![i(1)]];
+        let on = BoundExpr::Binary {
+            op: BinaryOp::And,
+            left: Box::new(eq(col(0), col(2))),
+            right: Box::new(BoundExpr::Binary {
+                op: BinaryOp::Gt,
+                left: Box::new(col(1)),
+                right: Box::new(BoundExpr::Literal(i(15))),
+            }),
+        };
+        let out = run(l, r, 2, 1, JoinKind::Inner, Some(on));
+        assert_eq!(out, vec![vec![i(1), i(20), i(1)]]);
+    }
+
+    #[test]
+    fn non_equi_falls_back_to_nested_loop() {
+        let l = vec![vec![i(1)], vec![i(5)]];
+        let r = vec![vec![i(3)]];
+        let on = BoundExpr::Binary {
+            op: BinaryOp::Lt,
+            left: Box::new(col(0)),
+            right: Box::new(col(1)),
+        };
+        let out = run(l, r, 1, 1, JoinKind::Inner, Some(on));
+        assert_eq!(out, vec![vec![i(1), i(3)]]);
+    }
+}

@@ -1,0 +1,263 @@
+//! Plan interpreter: executes a [`LogicalPlan`] against the catalog.
+
+mod aggregate;
+mod join;
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use crate::catalog::Catalog;
+use crate::error::EngineError;
+use crate::expr::BoundExpr;
+use crate::planner::{LogicalPlan, SetOpKind, SortKey};
+use crate::value::Value;
+
+/// A materialized result row.
+pub type Row = Vec<Value>;
+
+/// Execute a plan, materializing all rows.
+pub fn execute(plan: &LogicalPlan, catalog: &Catalog) -> Result<Vec<Row>, EngineError> {
+    match plan {
+        LogicalPlan::Scan { table, .. } => {
+            let t = catalog.table(table)?;
+            Ok(t.scan().map(|(_, row)| row).collect())
+        }
+        LogicalPlan::Dual { .. } => Ok(vec![vec![]]),
+        LogicalPlan::Filter { input, predicate } => {
+            let rows = execute(input, catalog)?;
+            let predicate = prepare_expr(predicate, catalog)?;
+            let mut out = Vec::new();
+            for row in rows {
+                if predicate.eval(&row)?.as_bool() == Some(true) {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        LogicalPlan::Project { input, exprs, .. } => {
+            let rows = execute(input, catalog)?;
+            let exprs: Vec<BoundExpr> = exprs
+                .iter()
+                .map(|e| prepare_expr(e, catalog))
+                .collect::<Result<_, _>>()?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut projected = Vec::with_capacity(exprs.len());
+                for e in &exprs {
+                    projected.push(e.eval(&row)?);
+                }
+                out.push(projected);
+            }
+            Ok(out)
+        }
+        LogicalPlan::Aggregate { input, group, aggs, .. } => {
+            let rows = execute(input, catalog)?;
+            aggregate::execute_aggregate(rows, group, aggs, catalog)
+        }
+        LogicalPlan::Join { left, right, kind, on, .. } => {
+            let lrows = execute(left, catalog)?;
+            let rrows = execute(right, catalog)?;
+            join::execute_join(
+                lrows,
+                rrows,
+                left.schema().len(),
+                right.schema().len(),
+                *kind,
+                on.as_ref(),
+                catalog,
+            )
+        }
+        LogicalPlan::SetOp { op, all, left, right, .. } => {
+            let lrows = execute(left, catalog)?;
+            let rrows = execute(right, catalog)?;
+            Ok(execute_set_op(*op, *all, lrows, rrows))
+        }
+        LogicalPlan::Distinct { input } => {
+            let rows = execute(input, catalog)?;
+            let mut seen = HashSet::new();
+            Ok(rows.into_iter().filter(|r| seen.insert(r.clone())).collect())
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let rows = execute(input, catalog)?;
+            sort_rows(rows, keys, catalog)
+        }
+        LogicalPlan::Limit { input, limit, offset } => {
+            let rows = execute(input, catalog)?;
+            let end = match limit {
+                Some(l) => (*offset + *l).min(rows.len()),
+                None => rows.len(),
+            };
+            let start = (*offset).min(rows.len());
+            Ok(rows[start..end.max(start)].to_vec())
+        }
+    }
+}
+
+/// Replace [`BoundExpr::InSubquery`] with materialized [`BoundExpr::InSet`]
+/// by executing the subquery once. Uncorrelated by construction.
+pub fn prepare_expr(expr: &BoundExpr, catalog: &Catalog) -> Result<BoundExpr, EngineError> {
+    Ok(match expr {
+        BoundExpr::InSubquery { expr: probe, plan, negated } => {
+            let rows = execute(plan, catalog)?;
+            let mut set = HashSet::with_capacity(rows.len());
+            let mut has_null = false;
+            for row in rows {
+                let v = row.into_iter().next().ok_or_else(|| {
+                    EngineError::execution("IN subquery produced zero columns")
+                })?;
+                if v.is_null() {
+                    has_null = true;
+                } else {
+                    set.insert(v);
+                }
+            }
+            BoundExpr::InSet {
+                expr: Box::new(prepare_expr(probe, catalog)?),
+                set: Arc::new(set),
+                has_null,
+                negated: *negated,
+            }
+        }
+        BoundExpr::Literal(_) | BoundExpr::Column { .. } | BoundExpr::InSet { .. } => {
+            expr.clone()
+        }
+        BoundExpr::Binary { op, left, right } => BoundExpr::Binary {
+            op: *op,
+            left: Box::new(prepare_expr(left, catalog)?),
+            right: Box::new(prepare_expr(right, catalog)?),
+        },
+        BoundExpr::Unary { op, expr } => BoundExpr::Unary {
+            op: *op,
+            expr: Box::new(prepare_expr(expr, catalog)?),
+        },
+        BoundExpr::Case { branches, else_result } => BoundExpr::Case {
+            branches: branches
+                .iter()
+                .map(|(w, t)| Ok((prepare_expr(w, catalog)?, prepare_expr(t, catalog)?)))
+                .collect::<Result<_, EngineError>>()?,
+            else_result: match else_result {
+                Some(e) => Some(Box::new(prepare_expr(e, catalog)?)),
+                None => None,
+            },
+        },
+        BoundExpr::Cast { expr, ty } => BoundExpr::Cast {
+            expr: Box::new(prepare_expr(expr, catalog)?),
+            ty: *ty,
+        },
+        BoundExpr::IsNull { expr, negated } => BoundExpr::IsNull {
+            expr: Box::new(prepare_expr(expr, catalog)?),
+            negated: *negated,
+        },
+        BoundExpr::InList { expr, list, negated } => BoundExpr::InList {
+            expr: Box::new(prepare_expr(expr, catalog)?),
+            list: list.iter().map(|e| prepare_expr(e, catalog)).collect::<Result<_, _>>()?,
+            negated: *negated,
+        },
+        BoundExpr::Like { expr, pattern, negated } => BoundExpr::Like {
+            expr: Box::new(prepare_expr(expr, catalog)?),
+            pattern: Box::new(prepare_expr(pattern, catalog)?),
+            negated: *negated,
+        },
+        BoundExpr::ScalarFn { func, args } => BoundExpr::ScalarFn {
+            func: *func,
+            args: args.iter().map(|e| prepare_expr(e, catalog)).collect::<Result<_, _>>()?,
+        },
+    })
+}
+
+fn execute_set_op(op: SetOpKind, all: bool, lrows: Vec<Row>, rrows: Vec<Row>) -> Vec<Row> {
+    match (op, all) {
+        (SetOpKind::Union, true) => {
+            let mut out = lrows;
+            out.extend(rrows);
+            out
+        }
+        (SetOpKind::Union, false) => {
+            let mut seen = HashSet::new();
+            lrows
+                .into_iter()
+                .chain(rrows)
+                .filter(|r| seen.insert(r.clone()))
+                .collect()
+        }
+        (SetOpKind::Except, all) => {
+            // Bag difference for ALL; set difference otherwise.
+            let mut counts: HashMap<Row, usize> = HashMap::new();
+            for r in rrows {
+                *counts.entry(r).or_insert(0) += 1;
+            }
+            if all {
+                let mut out = Vec::new();
+                for r in lrows {
+                    match counts.get_mut(&r) {
+                        Some(c) if *c > 0 => *c -= 1,
+                        _ => out.push(r),
+                    }
+                }
+                out
+            } else {
+                let mut seen = HashSet::new();
+                lrows
+                    .into_iter()
+                    .filter(|r| !counts.contains_key(r) && seen.insert(r.clone()))
+                    .collect()
+            }
+        }
+        (SetOpKind::Intersect, all) => {
+            let mut counts: HashMap<Row, usize> = HashMap::new();
+            for r in rrows {
+                *counts.entry(r).or_insert(0) += 1;
+            }
+            if all {
+                let mut out = Vec::new();
+                for r in lrows {
+                    if let Some(c) = counts.get_mut(&r) {
+                        if *c > 0 {
+                            *c -= 1;
+                            out.push(r);
+                        }
+                    }
+                }
+                out
+            } else {
+                let mut seen = HashSet::new();
+                lrows
+                    .into_iter()
+                    .filter(|r| counts.contains_key(r) && seen.insert(r.clone()))
+                    .collect()
+            }
+        }
+    }
+}
+
+fn sort_rows(
+    mut rows: Vec<Row>,
+    keys: &[SortKey],
+    catalog: &Catalog,
+) -> Result<Vec<Row>, EngineError> {
+    let prepared: Vec<(BoundExpr, bool)> = keys
+        .iter()
+        .map(|k| Ok((prepare_expr(&k.expr, catalog)?, k.desc)))
+        .collect::<Result<_, EngineError>>()?;
+    // Pre-compute sort keys to keep evaluation errors out of the comparator.
+    let mut decorated: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
+    for row in rows.drain(..) {
+        let mut kv = Vec::with_capacity(prepared.len());
+        for (e, _) in &prepared {
+            kv.push(e.eval(&row)?);
+        }
+        decorated.push((kv, row));
+    }
+    decorated.sort_by(|(ka, _), (kb, _)| {
+        for (i, (_, desc)) in prepared.iter().enumerate() {
+            let ord = ka[i].total_cmp(&kb[i]);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(decorated.into_iter().map(|(_, row)| row).collect())
+}

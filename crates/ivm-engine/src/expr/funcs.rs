@@ -1,0 +1,181 @@
+//! Scalar and aggregate function catalogs.
+
+use crate::expr::BoundExpr;
+use crate::types::DataType;
+
+/// Built-in scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarFunc {
+    /// First non-NULL argument.
+    Coalesce,
+    /// `NULLIF(a, b)`: NULL when `a = b`, else `a`.
+    NullIf,
+    /// Absolute value.
+    Abs,
+    /// Lower-case a string.
+    Lower,
+    /// Upper-case a string.
+    Upper,
+    /// String length in characters.
+    Length,
+    /// Round a double to the nearest integer value (returns DOUBLE).
+    Round,
+    /// Floor.
+    Floor,
+    /// Ceiling.
+    Ceil,
+    /// Largest argument (SQL `GREATEST`).
+    Greatest,
+    /// Smallest argument (SQL `LEAST`).
+    Least,
+    /// `LEFT(s, n)`: first `n` characters.
+    Left,
+    /// `RIGHT(s, n)`: last `n` characters.
+    Right,
+    /// `CONCAT(args…)`: string concatenation, NULLs skipped.
+    Concat,
+}
+
+impl ScalarFunc {
+    /// Resolve a function name (normalized lower-case).
+    pub fn lookup(name: &str) -> Option<ScalarFunc> {
+        Some(match name {
+            "coalesce" => ScalarFunc::Coalesce,
+            "nullif" => ScalarFunc::NullIf,
+            "abs" => ScalarFunc::Abs,
+            "lower" => ScalarFunc::Lower,
+            "upper" => ScalarFunc::Upper,
+            "length" => ScalarFunc::Length,
+            "round" => ScalarFunc::Round,
+            "floor" => ScalarFunc::Floor,
+            "ceil" | "ceiling" => ScalarFunc::Ceil,
+            "greatest" => ScalarFunc::Greatest,
+            "least" => ScalarFunc::Least,
+            "left" => ScalarFunc::Left,
+            "right" => ScalarFunc::Right,
+            "concat" => ScalarFunc::Concat,
+            _ => return None,
+        })
+    }
+
+    /// Canonical name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScalarFunc::Coalesce => "coalesce",
+            ScalarFunc::NullIf => "nullif",
+            ScalarFunc::Abs => "abs",
+            ScalarFunc::Lower => "lower",
+            ScalarFunc::Upper => "upper",
+            ScalarFunc::Length => "length",
+            ScalarFunc::Round => "round",
+            ScalarFunc::Floor => "floor",
+            ScalarFunc::Ceil => "ceil",
+            ScalarFunc::Greatest => "greatest",
+            ScalarFunc::Least => "least",
+            ScalarFunc::Left => "left",
+            ScalarFunc::Right => "right",
+            ScalarFunc::Concat => "concat",
+        }
+    }
+
+    /// Accepted argument count range.
+    pub fn arity(&self) -> (usize, usize) {
+        match self {
+            ScalarFunc::Coalesce | ScalarFunc::Greatest | ScalarFunc::Least => (1, usize::MAX),
+            ScalarFunc::Concat => (0, usize::MAX),
+            ScalarFunc::NullIf | ScalarFunc::Left | ScalarFunc::Right => (2, 2),
+            ScalarFunc::Abs
+            | ScalarFunc::Lower
+            | ScalarFunc::Upper
+            | ScalarFunc::Length
+            | ScalarFunc::Round
+            | ScalarFunc::Floor
+            | ScalarFunc::Ceil => (1, 1),
+        }
+    }
+
+    /// Static return type, when derivable from the arguments.
+    pub fn return_type(&self, args: &[BoundExpr]) -> Option<DataType> {
+        match self {
+            ScalarFunc::Coalesce | ScalarFunc::Greatest | ScalarFunc::Least => {
+                args.iter().find_map(BoundExpr::ty)
+            }
+            ScalarFunc::NullIf | ScalarFunc::Abs => args.first().and_then(BoundExpr::ty),
+            ScalarFunc::Lower
+            | ScalarFunc::Upper
+            | ScalarFunc::Left
+            | ScalarFunc::Right
+            | ScalarFunc::Concat => Some(DataType::Varchar),
+            ScalarFunc::Length => Some(DataType::Integer),
+            ScalarFunc::Round | ScalarFunc::Floor | ScalarFunc::Ceil => Some(DataType::Double),
+        }
+    }
+}
+
+/// Built-in aggregate functions. The paper's prototype supports SUM and
+/// COUNT with MIN/MAX "in progress"; we implement the full set plus AVG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `SUM(x)`.
+    Sum,
+    /// `COUNT(x)` / `COUNT(*)`.
+    Count,
+    /// `AVG(x)`.
+    Avg,
+    /// `MIN(x)`.
+    Min,
+    /// `MAX(x)`.
+    Max,
+}
+
+impl AggFunc {
+    /// Resolve an aggregate name (normalized lower-case).
+    pub fn lookup(name: &str) -> Option<AggFunc> {
+        Some(match name {
+            "sum" => AggFunc::Sum,
+            "count" => AggFunc::Count,
+            "avg" => AggFunc::Avg,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            _ => return None,
+        })
+    }
+
+    /// Canonical name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Sum => "sum",
+            AggFunc::Count => "count",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+
+    /// True when the name denotes any aggregate.
+    pub fn is_aggregate_name(name: &str) -> bool {
+        AggFunc::lookup(name).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookups() {
+        assert_eq!(ScalarFunc::lookup("coalesce"), Some(ScalarFunc::Coalesce));
+        assert_eq!(ScalarFunc::lookup("ceiling"), Some(ScalarFunc::Ceil));
+        assert_eq!(ScalarFunc::lookup("sum"), None);
+        assert_eq!(AggFunc::lookup("sum"), Some(AggFunc::Sum));
+        assert!(AggFunc::is_aggregate_name("count"));
+        assert!(!AggFunc::is_aggregate_name("coalesce"));
+    }
+
+    #[test]
+    fn arity_ranges() {
+        assert_eq!(ScalarFunc::Abs.arity(), (1, 1));
+        assert_eq!(ScalarFunc::NullIf.arity(), (2, 2));
+        assert_eq!(ScalarFunc::Coalesce.arity().0, 1);
+    }
+}

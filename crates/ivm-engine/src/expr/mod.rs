@@ -1,0 +1,310 @@
+//! Bound (resolved, typed) expressions and their evaluation.
+
+pub mod bind;
+pub mod eval;
+mod funcs;
+
+pub use bind::{BindColumn, Scope};
+pub use eval::like_match;
+pub use funcs::{AggFunc, ScalarFunc};
+
+use ivm_sql::ast::{BinaryOp, UnaryOp};
+
+use crate::types::DataType;
+use crate::value::Value;
+
+/// A name-resolved expression evaluated against a row of the child
+/// operator's output. `BETWEEN` is desugared at bind time; `COALESCE` and
+/// friends become [`ScalarFunc`] calls; aggregate calls never appear here —
+/// the planner extracts them into the Aggregate operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundExpr {
+    /// A constant.
+    Literal(Value),
+    /// Reference to column `index` of the input row.
+    Column {
+        /// Position in the input row.
+        index: usize,
+        /// Static type, when known.
+        ty: Option<DataType>,
+        /// Display name (for EXPLAIN-style output and projection naming).
+        name: String,
+    },
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<BoundExpr>,
+        /// Right operand.
+        right: Box<BoundExpr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<BoundExpr>,
+    },
+    /// `CASE` expression (operand form desugared into searched form).
+    Case {
+        /// `(when, then)` pairs.
+        branches: Vec<(BoundExpr, BoundExpr)>,
+        /// `ELSE` result (NULL if absent).
+        else_result: Option<Box<BoundExpr>>,
+    },
+    /// `CAST(expr AS ty)`.
+    Cast {
+        /// Operand.
+        expr: Box<BoundExpr>,
+        /// Target type.
+        ty: DataType,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Operand.
+        expr: Box<BoundExpr>,
+        /// IS NOT NULL when true.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (list)`.
+    InList {
+        /// Probe expression.
+        expr: Box<BoundExpr>,
+        /// Candidate values.
+        list: Vec<BoundExpr>,
+        /// NOT IN when true.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE pattern`.
+    Like {
+        /// Matched string.
+        expr: Box<BoundExpr>,
+        /// Pattern with `%`/`_` wildcards.
+        pattern: Box<BoundExpr>,
+        /// NOT LIKE when true.
+        negated: bool,
+    },
+    /// Scalar function call.
+    ScalarFn {
+        /// Which function.
+        func: ScalarFunc,
+        /// Arguments.
+        args: Vec<BoundExpr>,
+    },
+    /// `expr [NOT] IN (subquery)` with the subquery planned but not yet
+    /// executed. The executor's prepare pass turns this into [`Self::InSet`];
+    /// evaluating it directly is an error.
+    InSubquery {
+        /// Probe expression.
+        expr: Box<BoundExpr>,
+        /// Planned uncorrelated subquery producing one column.
+        plan: Box<crate::planner::LogicalPlan>,
+        /// NOT IN when true.
+        negated: bool,
+    },
+    /// Membership test against a materialized value set (the prepared form
+    /// of [`Self::InSubquery`]).
+    InSet {
+        /// Probe expression.
+        expr: Box<BoundExpr>,
+        /// Materialized subquery values.
+        set: std::sync::Arc<std::collections::HashSet<Value>>,
+        /// Whether the subquery produced any NULL (three-valued IN).
+        has_null: bool,
+        /// NOT IN when true.
+        negated: bool,
+    },
+}
+
+impl BoundExpr {
+    /// Static result type, when inferable (NULL literals and some function
+    /// results are unknown until runtime).
+    pub fn ty(&self) -> Option<DataType> {
+        match self {
+            BoundExpr::Literal(v) => v.data_type(),
+            BoundExpr::Column { ty, .. } => *ty,
+            BoundExpr::Binary { op, left, right } => match op {
+                BinaryOp::Or
+                | BinaryOp::And
+                | BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq => Some(DataType::Boolean),
+                BinaryOp::Concat => Some(DataType::Varchar),
+                BinaryOp::Plus | BinaryOp::Minus | BinaryOp::Multiply | BinaryOp::Modulo => {
+                    match (left.ty(), right.ty()) {
+                        (Some(a), Some(b)) => DataType::promote(a, b),
+                        (Some(a), None) | (None, Some(a)) => Some(a),
+                        (None, None) => None,
+                    }
+                }
+                BinaryOp::Divide => match (left.ty(), right.ty()) {
+                    (Some(DataType::Integer), Some(DataType::Integer)) => {
+                        Some(DataType::Integer)
+                    }
+                    (Some(a), Some(b)) => DataType::promote(a, b),
+                    _ => None,
+                },
+            },
+            BoundExpr::Unary { op, expr } => match op {
+                UnaryOp::Not => Some(DataType::Boolean),
+                UnaryOp::Minus | UnaryOp::Plus => expr.ty(),
+            },
+            BoundExpr::Case { branches, else_result } => branches
+                .iter()
+                .map(|(_, t)| t.ty())
+                .chain(else_result.iter().map(|e| e.ty()))
+                .flatten()
+                .next(),
+            BoundExpr::Cast { ty, .. } => Some(*ty),
+            BoundExpr::IsNull { .. } | BoundExpr::InList { .. } | BoundExpr::Like { .. } => {
+                Some(DataType::Boolean)
+            }
+            BoundExpr::ScalarFn { func, args } => func.return_type(args),
+            BoundExpr::InSubquery { .. } | BoundExpr::InSet { .. } => Some(DataType::Boolean),
+        }
+    }
+
+    /// True when the expression references no input columns (a constant).
+    pub fn is_constant(&self) -> bool {
+        match self {
+            BoundExpr::Literal(_) => true,
+            BoundExpr::Column { .. } => false,
+            BoundExpr::Binary { left, right, .. } => left.is_constant() && right.is_constant(),
+            BoundExpr::Unary { expr, .. } => expr.is_constant(),
+            BoundExpr::Case { branches, else_result } => {
+                branches.iter().all(|(w, t)| w.is_constant() && t.is_constant())
+                    && else_result.as_ref().is_none_or(|e| e.is_constant())
+            }
+            BoundExpr::Cast { expr, .. } | BoundExpr::IsNull { expr, .. } => expr.is_constant(),
+            BoundExpr::InList { expr, list, .. } => {
+                expr.is_constant() && list.iter().all(BoundExpr::is_constant)
+            }
+            BoundExpr::Like { expr, pattern, .. } => {
+                expr.is_constant() && pattern.is_constant()
+            }
+            BoundExpr::ScalarFn { args, .. } => args.iter().all(BoundExpr::is_constant),
+            // Subqueries read tables, so they are never constant-folded.
+            BoundExpr::InSubquery { .. } => false,
+            BoundExpr::InSet { expr, .. } => expr.is_constant(),
+        }
+    }
+
+    /// Collect the column indexes this expression reads.
+    pub fn referenced_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            BoundExpr::Literal(_) => {}
+            BoundExpr::Column { index, .. } => {
+                if !out.contains(index) {
+                    out.push(*index);
+                }
+            }
+            BoundExpr::Binary { left, right, .. } => {
+                left.referenced_columns(out);
+                right.referenced_columns(out);
+            }
+            BoundExpr::Unary { expr, .. }
+            | BoundExpr::Cast { expr, .. }
+            | BoundExpr::IsNull { expr, .. } => expr.referenced_columns(out),
+            BoundExpr::Case { branches, else_result } => {
+                for (w, t) in branches {
+                    w.referenced_columns(out);
+                    t.referenced_columns(out);
+                }
+                if let Some(e) = else_result {
+                    e.referenced_columns(out);
+                }
+            }
+            BoundExpr::InList { expr, list, .. } => {
+                expr.referenced_columns(out);
+                for e in list {
+                    e.referenced_columns(out);
+                }
+            }
+            BoundExpr::Like { expr, pattern, .. } => {
+                expr.referenced_columns(out);
+                pattern.referenced_columns(out);
+            }
+            BoundExpr::ScalarFn { args, .. } => {
+                for a in args {
+                    a.referenced_columns(out);
+                }
+            }
+            BoundExpr::InSubquery { expr, .. } | BoundExpr::InSet { expr, .. } => {
+                expr.referenced_columns(out)
+            }
+        }
+    }
+
+    /// Rewrite every column index through `map` (old index → new index).
+    /// Used by optimizer rules when reshaping operator inputs.
+    pub fn remap_columns(&mut self, map: &impl Fn(usize) -> usize) {
+        match self {
+            BoundExpr::Literal(_) => {}
+            BoundExpr::Column { index, .. } => *index = map(*index),
+            BoundExpr::Binary { left, right, .. } => {
+                left.remap_columns(map);
+                right.remap_columns(map);
+            }
+            BoundExpr::Unary { expr, .. }
+            | BoundExpr::Cast { expr, .. }
+            | BoundExpr::IsNull { expr, .. } => expr.remap_columns(map),
+            BoundExpr::Case { branches, else_result } => {
+                for (w, t) in branches {
+                    w.remap_columns(map);
+                    t.remap_columns(map);
+                }
+                if let Some(e) = else_result {
+                    e.remap_columns(map);
+                }
+            }
+            BoundExpr::InList { expr, list, .. } => {
+                expr.remap_columns(map);
+                for e in list {
+                    e.remap_columns(map);
+                }
+            }
+            BoundExpr::Like { expr, pattern, .. } => {
+                expr.remap_columns(map);
+                pattern.remap_columns(map);
+            }
+            BoundExpr::ScalarFn { args, .. } => {
+                for a in args {
+                    a.remap_columns(map);
+                }
+            }
+            BoundExpr::InSubquery { expr, .. } | BoundExpr::InSet { expr, .. } => {
+                expr.remap_columns(map)
+            }
+        }
+    }
+}
+
+/// One aggregate computed by an Aggregate operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Argument (None only for `COUNT(*)`).
+    pub arg: Option<BoundExpr>,
+    /// DISTINCT aggregation.
+    pub distinct: bool,
+    /// Output column name.
+    pub name: String,
+}
+
+impl AggExpr {
+    /// Result type of this aggregate.
+    pub fn ty(&self) -> Option<DataType> {
+        match self.func {
+            AggFunc::Count => Some(DataType::Integer),
+            AggFunc::Avg => Some(DataType::Double),
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => {
+                self.arg.as_ref().and_then(BoundExpr::ty)
+            }
+        }
+    }
+}

@@ -1,0 +1,769 @@
+//! Adaptive Radix Tree (Leis et al., ICDE 2013).
+//!
+//! The paper uses DuckDB's ART for the primary key of materialized
+//! aggregation tables: "DuckDB requires an index to apply upserts. The ART
+//! … is generated after having populated V". This module reproduces the
+//! structure with the four adaptive node sizes (Node4/16/48/256), path
+//! compression, and lazy leaf expansion, mapping binary-comparable keys
+//! (see [`super::key`]) to row ids.
+
+/// An adaptive radix tree from byte-string keys to `u64` payloads (row ids).
+///
+/// Keys must be prefix-free (no key may be a proper prefix of another); the
+/// [`super::key`] encoding guarantees this for fixed-arity composite keys.
+#[derive(Debug, Default)]
+pub struct Art {
+    root: Option<Box<Node>>,
+    len: usize,
+}
+
+#[derive(Debug)]
+enum Node {
+    Leaf { key: Box<[u8]>, value: u64 },
+    Inner(Box<Inner>),
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Compressed path: bytes shared by every key below this node,
+    /// relative to the node's depth.
+    prefix: Vec<u8>,
+    children: Children,
+}
+
+/// The four adaptive node layouts.
+#[derive(Debug)]
+enum Children {
+    /// Up to 4 children; linear key array.
+    N4 { keys: [u8; 4], slots: [Option<Box<Node>>; 4], len: u8 },
+    /// Up to 16 children; sorted key array.
+    N16 { keys: [u8; 16], slots: [Option<Box<Node>>; 16], len: u8 },
+    /// Up to 48 children; 256-entry indirection into a slot array.
+    N48 { index: Box<[u8; 256]>, slots: Box<[Option<Box<Node>>; 48]>, len: u8 },
+    /// Direct 256-entry array.
+    N256 { slots: Box<[Option<Box<Node>>; 256]>, len: u16 },
+}
+
+const EMPTY48: u8 = 0xFF;
+
+impl Children {
+    fn n4() -> Children {
+        Children::N4 { keys: [0; 4], slots: Default::default(), len: 0 }
+    }
+
+    fn find(&self, byte: u8) -> Option<&Node> {
+        match self {
+            Children::N4 { keys, slots, len } => keys[..*len as usize]
+                .iter()
+                .position(|&k| k == byte)
+                .and_then(|i| slots[i].as_deref()),
+            Children::N16 { keys, slots, len } => keys[..*len as usize]
+                .binary_search(&byte)
+                .ok()
+                .and_then(|i| slots[i].as_deref()),
+            Children::N48 { index, slots, .. } => {
+                let slot = index[byte as usize];
+                if slot == EMPTY48 {
+                    None
+                } else {
+                    slots[slot as usize].as_deref()
+                }
+            }
+            Children::N256 { slots, .. } => slots[byte as usize].as_deref(),
+        }
+    }
+
+    fn find_mut(&mut self, byte: u8) -> Option<&mut Box<Node>> {
+        match self {
+            Children::N4 { keys, slots, len } => keys[..*len as usize]
+                .iter()
+                .position(|&k| k == byte)
+                .and_then(|i| slots[i].as_mut()),
+            Children::N16 { keys, slots, len } => keys[..*len as usize]
+                .binary_search(&byte)
+                .ok()
+                .and_then(|i| slots[i].as_mut()),
+            Children::N48 { index, slots, .. } => {
+                let slot = index[byte as usize];
+                if slot == EMPTY48 {
+                    None
+                } else {
+                    slots[slot as usize].as_mut()
+                }
+            }
+            Children::N256 { slots, .. } => slots[byte as usize].as_mut(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Children::N4 { len, .. } | Children::N16 { len, .. } | Children::N48 { len, .. } => {
+                *len as usize
+            }
+            Children::N256 { len, .. } => *len as usize,
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        match self {
+            Children::N4 { len, .. } => *len == 4,
+            Children::N16 { len, .. } => *len == 16,
+            Children::N48 { len, .. } => *len == 48,
+            Children::N256 { .. } => false,
+        }
+    }
+
+    /// Insert a child; caller must have grown the node when full.
+    fn insert(&mut self, byte: u8, node: Box<Node>) {
+        debug_assert!(!self.is_full());
+        match self {
+            Children::N4 { keys, slots, len } => {
+                let i = *len as usize;
+                keys[i] = byte;
+                slots[i] = Some(node);
+                *len += 1;
+            }
+            Children::N16 { keys, slots, len } => {
+                let n = *len as usize;
+                let pos = keys[..n].partition_point(|&k| k < byte);
+                // Shift to keep keys sorted for binary search.
+                for i in (pos..n).rev() {
+                    keys[i + 1] = keys[i];
+                    slots[i + 1] = slots[i].take();
+                }
+                keys[pos] = byte;
+                slots[pos] = Some(node);
+                *len += 1;
+            }
+            Children::N48 { index, slots, len } => {
+                let slot = slots.iter().position(Option::is_none).expect("node48 not full");
+                index[byte as usize] = slot as u8;
+                slots[slot] = Some(node);
+                *len += 1;
+            }
+            Children::N256 { slots, len } => {
+                debug_assert!(slots[byte as usize].is_none());
+                slots[byte as usize] = Some(node);
+                *len += 1;
+            }
+        }
+    }
+
+    /// Grow to the next size class.
+    fn grow(&mut self) {
+        let grown = match self {
+            Children::N4 { keys, slots, len } => {
+                let mut nkeys = [0u8; 16];
+                let mut nslots: [Option<Box<Node>>; 16] = Default::default();
+                // Re-sort while copying (N4 keys are unsorted).
+                let n = *len as usize;
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by_key(|&i| keys[i]);
+                for (dst, &src) in order.iter().enumerate() {
+                    nkeys[dst] = keys[src];
+                    nslots[dst] = slots[src].take();
+                }
+                Children::N16 { keys: nkeys, slots: nslots, len: *len }
+            }
+            Children::N16 { keys, slots, len } => {
+                let mut index = Box::new([EMPTY48; 256]);
+                let mut nslots: Box<[Option<Box<Node>>; 48]> =
+                    Box::new([const { None }; 48]);
+                for i in 0..*len as usize {
+                    index[keys[i] as usize] = i as u8;
+                    nslots[i] = slots[i].take();
+                }
+                Children::N48 { index, slots: nslots, len: *len }
+            }
+            Children::N48 { index, slots, len } => {
+                let mut nslots: Box<[Option<Box<Node>>; 256]> =
+                    Box::new([const { None }; 256]);
+                for byte in 0..256usize {
+                    let slot = index[byte];
+                    if slot != EMPTY48 {
+                        nslots[byte] = slots[slot as usize].take();
+                    }
+                }
+                Children::N256 { slots: nslots, len: u16::from(*len) }
+            }
+            Children::N256 { .. } => return,
+        };
+        *self = grown;
+    }
+
+    /// Remove the child for `byte`, returning it. Shrinking to smaller node
+    /// classes keeps memory proportional to fan-out.
+    fn remove(&mut self, byte: u8) -> Option<Box<Node>> {
+        let removed = match self {
+            Children::N4 { keys, slots, len } => {
+                let n = *len as usize;
+                let pos = keys[..n].iter().position(|&k| k == byte)?;
+                let node = slots[pos].take();
+                for i in pos + 1..n {
+                    keys[i - 1] = keys[i];
+                    slots[i - 1] = slots[i].take();
+                }
+                *len -= 1;
+                node
+            }
+            Children::N16 { keys, slots, len } => {
+                let n = *len as usize;
+                let pos = keys[..n].binary_search(&byte).ok()?;
+                let node = slots[pos].take();
+                for i in pos + 1..n {
+                    keys[i - 1] = keys[i];
+                    slots[i - 1] = slots[i].take();
+                }
+                *len -= 1;
+                node
+            }
+            Children::N48 { index, slots, len } => {
+                let slot = index[byte as usize];
+                if slot == EMPTY48 {
+                    return None;
+                }
+                index[byte as usize] = EMPTY48;
+                let node = slots[slot as usize].take();
+                *len -= 1;
+                node
+            }
+            Children::N256 { slots, len } => {
+                let node = slots[byte as usize].take()?;
+                *len -= 1;
+                Some(node)
+            }
+        };
+        self.maybe_shrink();
+        removed
+    }
+
+    fn maybe_shrink(&mut self) {
+        let shrunk = match self {
+            Children::N16 { keys, slots, len } if *len <= 3 => {
+                let mut nkeys = [0u8; 4];
+                let mut nslots: [Option<Box<Node>>; 4] = Default::default();
+                for i in 0..*len as usize {
+                    nkeys[i] = keys[i];
+                    nslots[i] = slots[i].take();
+                }
+                Children::N4 { keys: nkeys, slots: nslots, len: *len }
+            }
+            Children::N48 { index, slots, len } if *len <= 12 => {
+                let mut nkeys = [0u8; 16];
+                let mut nslots: [Option<Box<Node>>; 16] = Default::default();
+                let mut n = 0usize;
+                for byte in 0..256usize {
+                    let slot = index[byte];
+                    if slot != EMPTY48 {
+                        nkeys[n] = byte as u8;
+                        nslots[n] = slots[slot as usize].take();
+                        n += 1;
+                    }
+                }
+                Children::N16 { keys: nkeys, slots: nslots, len: *len }
+            }
+            Children::N256 { slots, len } if *len <= 36 => {
+                let mut index = Box::new([EMPTY48; 256]);
+                let mut nslots: Box<[Option<Box<Node>>; 48]> =
+                    Box::new([const { None }; 48]);
+                let mut n = 0usize;
+                for byte in 0..256usize {
+                    if let Some(node) = slots[byte].take() {
+                        index[byte] = n as u8;
+                        nslots[n] = Some(node);
+                        n += 1;
+                    }
+                }
+                Children::N48 { index, slots: nslots, len: *len as u8 }
+            }
+            _ => return,
+        };
+        *self = shrunk;
+    }
+
+    /// Iterate children in key order.
+    fn for_each<'a>(&'a self, f: &mut impl FnMut(&'a Node)) {
+        match self {
+            Children::N4 { keys, slots, len } => {
+                let n = *len as usize;
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by_key(|&i| keys[i]);
+                for i in order {
+                    if let Some(c) = &slots[i] {
+                        f(c);
+                    }
+                }
+            }
+            Children::N16 { slots, len, .. } => {
+                for slot in slots[..*len as usize].iter().flatten() {
+                    f(slot);
+                }
+            }
+            Children::N48 { index, slots, .. } => {
+                for byte in 0..256usize {
+                    let slot = index[byte];
+                    if slot != EMPTY48 {
+                        if let Some(c) = &slots[slot as usize] {
+                            f(c);
+                        }
+                    }
+                }
+            }
+            Children::N256 { slots, .. } => {
+                for c in slots.iter().flatten() {
+                    f(c);
+                }
+            }
+        }
+    }
+
+    /// The single remaining child, if exactly one.
+    fn take_only_child(&mut self) -> Option<(u8, Box<Node>)> {
+        if self.len() != 1 {
+            return None;
+        }
+        match self {
+            Children::N4 { keys, slots, len } => {
+                let byte = keys[0];
+                let node = slots[0].take()?;
+                *len = 0;
+                Some((byte, node))
+            }
+            // Shrinking keeps single-child nodes in N4 form; other layouts
+            // only occur transiently.
+            Children::N16 { keys, slots, len } => {
+                let byte = keys[0];
+                let node = slots[0].take()?;
+                *len = 0;
+                Some((byte, node))
+            }
+            Children::N48 { index, slots, len } => {
+                let byte = (0..256usize).find(|&b| index[b] != EMPTY48)? as u8;
+                let slot = index[byte as usize];
+                index[byte as usize] = EMPTY48;
+                let node = slots[slot as usize].take()?;
+                *len = 0;
+                Some((byte, node))
+            }
+            Children::N256 { slots, len } => {
+                let byte = (0..256usize).find(|&b| slots[b].is_some())? as u8;
+                let node = slots[byte as usize].take()?;
+                *len = 0;
+                Some((byte, node))
+            }
+        }
+    }
+}
+
+impl Art {
+    /// An empty tree.
+    pub fn new() -> Art {
+        Art::default()
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove all entries.
+    pub fn clear(&mut self) {
+        self.root = None;
+        self.len = 0;
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &[u8]) -> Option<u64> {
+        let mut node = self.root.as_deref()?;
+        let mut depth = 0usize;
+        loop {
+            match node {
+                Node::Leaf { key: lkey, value } => {
+                    return (&lkey[..] == key).then_some(*value);
+                }
+                Node::Inner(inner) => {
+                    let prefix = &inner.prefix;
+                    if key.len() < depth + prefix.len()
+                        || &key[depth..depth + prefix.len()] != prefix.as_slice()
+                    {
+                        return None;
+                    }
+                    depth += prefix.len();
+                    let byte = *key.get(depth)?;
+                    node = inner.children.find(byte)?;
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    /// Insert `key → value`; returns the previous value if the key existed.
+    pub fn insert(&mut self, key: &[u8], value: u64) -> Option<u64> {
+        match self.root.take() {
+            None => {
+                self.root = Some(Box::new(Node::Leaf { key: key.into(), value }));
+                self.len = 1;
+                None
+            }
+            Some(root) => {
+                let (root, old) = insert_rec(root, key, 0, value);
+                self.root = Some(root);
+                if old.is_none() {
+                    self.len += 1;
+                }
+                old
+            }
+        }
+    }
+
+    /// Remove a key, returning its value.
+    pub fn remove(&mut self, key: &[u8]) -> Option<u64> {
+        let root = self.root.take()?;
+        let (root, removed) = remove_rec(root, key, 0);
+        self.root = root;
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Visit every `(key, value)` pair in ascending key order.
+    pub fn for_each(&self, mut f: impl FnMut(&[u8], u64)) {
+        fn walk(node: &Node, f: &mut impl FnMut(&[u8], u64)) {
+            match node {
+                Node::Leaf { key, value } => f(key, *value),
+                Node::Inner(inner) => inner.children.for_each(&mut |c| walk(c, f)),
+            }
+        }
+        if let Some(root) = &self.root {
+            walk(root, &mut f);
+        }
+    }
+
+    /// Collect all values whose key starts with `prefix`, in key order.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.for_each(|key, value| {
+            if key.len() >= prefix.len() && &key[..prefix.len()] == prefix {
+                out.push(value);
+            }
+        });
+        out
+    }
+
+    /// Bulk-build from sorted or unsorted pairs. The paper notes the ART "is
+    /// generated after having populated V, as it is more efficient to build
+    /// small indexes for each chunk and merge them" — building bottom-up
+    /// after the data lands is exactly this fast path.
+    pub fn bulk_build(pairs: impl IntoIterator<Item = (Vec<u8>, u64)>) -> Art {
+        let mut art = Art::new();
+        for (k, v) in pairs {
+            art.insert(&k, v);
+        }
+        art
+    }
+
+    /// Approximate heap footprint in bytes (for the E2 index-overhead
+    /// experiment).
+    pub fn memory_bytes(&self) -> usize {
+        fn node_bytes(node: &Node) -> usize {
+            match node {
+                Node::Leaf { key, .. } => std::mem::size_of::<Node>() + key.len(),
+                Node::Inner(inner) => {
+                    let mut total = std::mem::size_of::<Node>()
+                        + std::mem::size_of::<Inner>()
+                        + inner.prefix.capacity();
+                    total += match &inner.children {
+                        Children::N4 { .. } => 0,
+                        Children::N16 { .. } => 0,
+                        Children::N48 { .. } => 256 + 48 * std::mem::size_of::<usize>(),
+                        Children::N256 { .. } => 256 * std::mem::size_of::<usize>(),
+                    };
+                    inner.children.for_each(&mut |c| total += node_bytes(c));
+                    total
+                }
+            }
+        }
+        self.root.as_deref().map_or(0, node_bytes)
+    }
+}
+
+/// Length of the shared prefix of two byte slices.
+fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+fn insert_rec(mut node: Box<Node>, key: &[u8], depth: usize, value: u64) -> (Box<Node>, Option<u64>) {
+    match &mut *node {
+        Node::Leaf { key: lkey, value: lvalue } => {
+            if &lkey[..] == key {
+                let old = *lvalue;
+                *lvalue = value;
+                return (node, Some(old));
+            }
+            // Split: create an inner node with the common suffix-prefix.
+            let common = common_prefix_len(&lkey[depth..], &key[depth..]);
+            let prefix = key[depth..depth + common].to_vec();
+            let split = depth + common;
+            // Prefix-free keys guarantee both continue past the split point.
+            let old_byte = lkey[split];
+            let new_byte = key[split];
+            let mut children = Children::n4();
+            children.insert(old_byte, node);
+            children.insert(new_byte, Box::new(Node::Leaf { key: key.into(), value }));
+            (Box::new(Node::Inner(Box::new(Inner { prefix, children }))), None)
+        }
+        Node::Inner(inner) => {
+            let plen = inner.prefix.len();
+            let common = common_prefix_len(&inner.prefix, &key[depth..]);
+            if common < plen {
+                // Prefix mismatch: split the compressed path.
+                let mut rest = inner.prefix.split_off(common);
+                let promoted_byte = rest.remove(0);
+                let shared = std::mem::take(&mut inner.prefix);
+                inner.prefix = rest;
+                let new_byte = key[depth + common];
+                let mut children = Children::n4();
+                children.insert(promoted_byte, node);
+                children.insert(new_byte, Box::new(Node::Leaf { key: key.into(), value }));
+                return (
+                    Box::new(Node::Inner(Box::new(Inner { prefix: shared, children }))),
+                    None,
+                );
+            }
+            let next_depth = depth + plen;
+            let byte = key[next_depth];
+            if let Some(child) = inner.children.find_mut(byte) {
+                let taken = std::mem::replace(
+                    child,
+                    Box::new(Node::Leaf { key: Box::from(&[][..]), value: 0 }),
+                );
+                let (new_child, old) = insert_rec(taken, key, next_depth + 1, value);
+                *child = new_child;
+                (node, old)
+            } else {
+                if inner.children.is_full() {
+                    inner.children.grow();
+                }
+                inner
+                    .children
+                    .insert(byte, Box::new(Node::Leaf { key: key.into(), value }));
+                (node, None)
+            }
+        }
+    }
+}
+
+fn remove_rec(mut node: Box<Node>, key: &[u8], depth: usize) -> (Option<Box<Node>>, Option<u64>) {
+    match &mut *node {
+        Node::Leaf { key: lkey, value } => {
+            if &lkey[..] == key {
+                (None, Some(*value))
+            } else {
+                (Some(node), None)
+            }
+        }
+        Node::Inner(inner) => {
+            let plen = inner.prefix.len();
+            if key.len() < depth + plen || key[depth..depth + plen] != inner.prefix[..] {
+                return (Some(node), None);
+            }
+            let next_depth = depth + plen;
+            let Some(&byte) = key.get(next_depth) else {
+                return (Some(node), None);
+            };
+            let Some(child) = inner.children.find_mut(byte) else {
+                return (Some(node), None);
+            };
+            let taken = std::mem::replace(
+                child,
+                Box::new(Node::Leaf { key: Box::from(&[][..]), value: 0 }),
+            );
+            let (new_child, removed) = remove_rec(taken, key, next_depth + 1);
+            match new_child {
+                Some(c) => *child = c,
+                None => {
+                    inner.children.remove(byte);
+                    // Path compression on the way up: collapse single-child
+                    // inner nodes into their child.
+                    if let Some((only_byte, only_child)) = inner.children.take_only_child() {
+                        let mut merged = inner.prefix.clone();
+                        merged.push(only_byte);
+                        return match *only_child {
+                            Node::Leaf { .. } => (Some(only_child), removed),
+                            Node::Inner(mut ci) => {
+                                merged.extend_from_slice(&ci.prefix);
+                                ci.prefix = merged;
+                                (Some(Box::new(Node::Inner(ci))), removed)
+                            }
+                        };
+                    }
+                    if inner.children.len() == 0 {
+                        return (None, removed);
+                    }
+                }
+            }
+            (Some(node), removed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: &str) -> Vec<u8> {
+        crate::index::key::encode_key(&[crate::value::Value::from(s)])
+    }
+
+    #[test]
+    fn insert_get_single() {
+        let mut art = Art::new();
+        assert_eq!(art.insert(&key("apple"), 1), None);
+        assert_eq!(art.get(&key("apple")), Some(1));
+        assert_eq!(art.get(&key("banana")), None);
+        assert_eq!(art.len(), 1);
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut art = Art::new();
+        art.insert(&key("apple"), 1);
+        assert_eq!(art.insert(&key("apple"), 2), Some(1));
+        assert_eq!(art.get(&key("apple")), Some(2));
+        assert_eq!(art.len(), 1);
+    }
+
+    #[test]
+    fn shared_prefix_split() {
+        let mut art = Art::new();
+        art.insert(&key("apple"), 1);
+        art.insert(&key("apply"), 2);
+        art.insert(&key("ape"), 3);
+        assert_eq!(art.get(&key("apple")), Some(1));
+        assert_eq!(art.get(&key("apply")), Some(2));
+        assert_eq!(art.get(&key("ape")), Some(3));
+        assert_eq!(art.get(&key("ap")), None);
+        assert_eq!(art.len(), 3);
+    }
+
+    #[test]
+    fn grows_through_all_node_sizes() {
+        let mut art = Art::new();
+        // 256 distinct first bytes force N4→N16→N48→N256 at the root.
+        for i in 0..256usize {
+            let mut k = vec![i as u8];
+            k.extend_from_slice(b"suffix");
+            art.insert(&k, i as u64);
+        }
+        assert_eq!(art.len(), 256);
+        for i in 0..256usize {
+            let mut k = vec![i as u8];
+            k.extend_from_slice(b"suffix");
+            assert_eq!(art.get(&k), Some(i as u64), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn remove_and_shrink() {
+        let mut art = Art::new();
+        for i in 0..100u64 {
+            let k = crate::index::key::encode_key(&[crate::value::Value::Integer(i as i64)]);
+            art.insert(&k, i);
+        }
+        for i in (0..100u64).step_by(2) {
+            let k = crate::index::key::encode_key(&[crate::value::Value::Integer(i as i64)]);
+            assert_eq!(art.remove(&k), Some(i));
+        }
+        assert_eq!(art.len(), 50);
+        for i in 0..100u64 {
+            let k = crate::index::key::encode_key(&[crate::value::Value::Integer(i as i64)]);
+            assert_eq!(art.get(&k), if i % 2 == 0 { None } else { Some(i) });
+        }
+        // Remove the rest, tree must end empty.
+        for i in (1..100u64).step_by(2) {
+            let k = crate::index::key::encode_key(&[crate::value::Value::Integer(i as i64)]);
+            assert_eq!(art.remove(&k), Some(i));
+        }
+        assert!(art.is_empty());
+        assert!(art.root.is_none());
+    }
+
+    #[test]
+    fn remove_missing_is_none() {
+        let mut art = Art::new();
+        art.insert(&key("a"), 1);
+        assert_eq!(art.remove(&key("b")), None);
+        assert_eq!(art.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut art = Art::new();
+        let words = ["pear", "apple", "banana", "apricot", "peach", "a", "z"];
+        for (i, w) in words.iter().enumerate() {
+            art.insert(&key(w), i as u64);
+        }
+        let mut keys = Vec::new();
+        art.for_each(|k, _| keys.push(k.to_vec()));
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(keys.len(), words.len());
+    }
+
+    #[test]
+    fn scan_prefix_finds_group() {
+        let mut art = Art::new();
+        use crate::index::key::encode_key;
+        use crate::value::Value;
+        for (i, (g, v)) in
+            [("a", 1i64), ("a", 2), ("b", 1), ("ab", 1)].iter().enumerate()
+        {
+            let k = encode_key(&[Value::from(*g), Value::Integer(*v)]);
+            art.insert(&k, i as u64);
+        }
+        let prefix = encode_key(&[Value::from("a")]);
+        assert_eq!(art.scan_prefix(&prefix), vec![0, 1]);
+    }
+
+    #[test]
+    fn bulk_build_matches_incremental() {
+        let pairs: Vec<(Vec<u8>, u64)> =
+            (0..1000).map(|i| (key(&format!("key{i:04}")), i as u64)).collect();
+        let art = Art::bulk_build(pairs.clone());
+        assert_eq!(art.len(), 1000);
+        for (k, v) in &pairs {
+            assert_eq!(art.get(k), Some(*v));
+        }
+    }
+
+    #[test]
+    fn memory_reporting_grows() {
+        let mut art = Art::new();
+        let empty = art.memory_bytes();
+        for i in 0..100 {
+            art.insert(&key(&format!("k{i}")), i as u64);
+        }
+        assert!(art.memory_bytes() > empty);
+    }
+
+    #[test]
+    fn path_compression_collapses_on_remove() {
+        let mut art = Art::new();
+        art.insert(b"aaaa\x00\x00", 1);
+        art.insert(b"aaab\x00\x00", 2);
+        art.insert(b"b\x00\x00", 3);
+        art.remove(b"aaab\x00\x00");
+        assert_eq!(art.get(b"aaaa\x00\x00"), Some(1));
+        assert_eq!(art.get(b"b\x00\x00"), Some(3));
+        art.remove(b"b\x00\x00");
+        assert_eq!(art.get(b"aaaa\x00\x00"), Some(1));
+        assert_eq!(art.len(), 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! # ivm-engine — an embedded analytical SQL engine
+//!
+//! This crate plays the role DuckDB plays in the OpenIVM paper: an
+//! embeddable engine whose parser, planner, optimizer, and executor the
+//! SQL-to-SQL compiler piggybacks on, and which then *executes* the
+//! generated propagation scripts.
+//!
+//! Components:
+//! - columnar in-memory storage with tombstone deletes ([`storage`])
+//! - an Adaptive Radix Tree index with order-preserving key encoding
+//!   ([`index`]) — used for primary keys and `INSERT OR REPLACE`
+//! - expression binding and evaluation with SQL NULL semantics ([`expr`])
+//! - a logical planner ([`planner`]) and rule-based optimizer ([`optimizer`])
+//! - an interpreter executor: hash aggregate, hash join (INNER/LEFT/RIGHT/
+//!   FULL/CROSS), set operations, sorting ([`exec`])
+//! - the `Database` session API ([`session`])
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ivm_engine::Database;
+//!
+//! let mut db = Database::new();
+//! db.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)").unwrap();
+//! db.execute("INSERT INTO groups VALUES ('a', 1), ('a', 2), ('b', 5)").unwrap();
+//! let result = db
+//!     .query("SELECT group_index, SUM(group_value) FROM groups GROUP BY group_index ORDER BY 1")
+//!     .unwrap();
+//! assert_eq!(result.rows.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod index;
+pub mod optimizer;
+pub mod planner;
+pub mod schema;
+pub mod session;
+pub mod storage;
+pub mod types;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use error::{EngineError, ErrorKind};
+pub use planner::{plan_query, LogicalPlan};
+pub use schema::{Column, Schema};
+pub use session::{Database, QueryResult};
+pub use storage::Table;
+pub use types::DataType;
+pub use value::Value;

@@ -1,0 +1,281 @@
+//! Individual optimizer rules.
+
+use ivm_sql::ast::BinaryOp;
+
+use crate::expr::BoundExpr;
+use crate::planner::LogicalPlan;
+use crate::value::Value;
+
+/// Fold constant sub-expressions throughout the plan.
+pub(crate) fn fold_constants(plan: LogicalPlan) -> LogicalPlan {
+    map_exprs(plan, &fold_expr)
+}
+
+/// Remove filters whose predicate folded to literal TRUE.
+pub(crate) fn remove_trivial_filters(plan: LogicalPlan) -> LogicalPlan {
+    transform_up(plan, &|node| match node {
+        LogicalPlan::Filter {
+            input,
+            predicate: BoundExpr::Literal(Value::Boolean(true)),
+        } => *input,
+        other => other,
+    })
+}
+
+/// Push filters through projections and into join inputs when every
+/// referenced column comes from one side.
+pub(crate) fn push_down_filters(plan: LogicalPlan) -> LogicalPlan {
+    transform_up(plan, &|node| {
+        let LogicalPlan::Filter { input, predicate } = node else { return node };
+        match *input {
+            // Filter(Project(x)) → Project(Filter'(x)) when the predicate
+            // only references pass-through columns (plain column refs).
+            LogicalPlan::Project { input: pinput, exprs, schema } => {
+                let mut cols = Vec::new();
+                predicate.referenced_columns(&mut cols);
+                let all_passthrough = cols.iter().all(|&c| {
+                    matches!(exprs.get(c), Some(BoundExpr::Column { .. }))
+                });
+                if all_passthrough {
+                    let mut pushed = predicate.clone();
+                    pushed.remap_columns(&|c| match &exprs[c] {
+                        BoundExpr::Column { index, .. } => *index,
+                        _ => unreachable!("checked passthrough"),
+                    });
+                    LogicalPlan::Project {
+                        input: Box::new(LogicalPlan::Filter {
+                            input: pinput,
+                            predicate: pushed,
+                        }),
+                        exprs,
+                        schema,
+                    }
+                } else {
+                    LogicalPlan::Filter {
+                        input: Box::new(LogicalPlan::Project {
+                            input: pinput,
+                            exprs,
+                            schema,
+                        }),
+                        predicate,
+                    }
+                }
+            }
+            // Filter(InnerJoin(l, r)) → push single-side conjuncts down.
+            LogicalPlan::Join { left, right, kind, on, schema }
+                if kind == ivm_sql::ast::JoinKind::Inner =>
+            {
+                let lwidth = left.schema().len();
+                let mut conjuncts = Vec::new();
+                flatten_and(&predicate, &mut conjuncts);
+                let mut left_preds = Vec::new();
+                let mut right_preds = Vec::new();
+                let mut keep = Vec::new();
+                for c in conjuncts {
+                    let mut cols = Vec::new();
+                    c.referenced_columns(&mut cols);
+                    if !cols.is_empty() && cols.iter().all(|&i| i < lwidth) {
+                        left_preds.push(c);
+                    } else if !cols.is_empty() && cols.iter().all(|&i| i >= lwidth) {
+                        let mut shifted = c.clone();
+                        shifted.remap_columns(&|i| i - lwidth);
+                        right_preds.push(shifted);
+                    } else {
+                        keep.push(c);
+                    }
+                }
+                let new_left = wrap_filter(*left, left_preds);
+                let new_right = wrap_filter(*right, right_preds);
+                let joined = LogicalPlan::Join {
+                    left: Box::new(new_left),
+                    right: Box::new(new_right),
+                    kind,
+                    on,
+                    schema,
+                };
+                wrap_filter(joined, keep)
+            }
+            other => LogicalPlan::Filter { input: Box::new(other), predicate },
+        }
+    })
+}
+
+fn wrap_filter(plan: LogicalPlan, preds: Vec<BoundExpr>) -> LogicalPlan {
+    match preds.into_iter().reduce(|l, r| BoundExpr::Binary {
+        op: BinaryOp::And,
+        left: Box::new(l),
+        right: Box::new(r),
+    }) {
+        Some(predicate) => LogicalPlan::Filter { input: Box::new(plan), predicate },
+        None => plan,
+    }
+}
+
+fn flatten_and(e: &BoundExpr, out: &mut Vec<BoundExpr>) {
+    if let BoundExpr::Binary { op: BinaryOp::And, left, right } = e {
+        flatten_and(left, out);
+        flatten_and(right, out);
+    } else {
+        out.push(e.clone());
+    }
+}
+
+/// Bottom-up plan transformation.
+fn transform_up(plan: LogicalPlan, f: &impl Fn(LogicalPlan) -> LogicalPlan) -> LogicalPlan {
+    let with_children = match plan {
+        LogicalPlan::Scan { .. } | LogicalPlan::Dual { .. } => plan,
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(transform_up(*input, f)),
+            predicate,
+        },
+        LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
+            input: Box::new(transform_up(*input, f)),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Aggregate { input, group, aggs, schema } => LogicalPlan::Aggregate {
+            input: Box::new(transform_up(*input, f)),
+            group,
+            aggs,
+            schema,
+        },
+        LogicalPlan::Join { left, right, kind, on, schema } => LogicalPlan::Join {
+            left: Box::new(transform_up(*left, f)),
+            right: Box::new(transform_up(*right, f)),
+            kind,
+            on,
+            schema,
+        },
+        LogicalPlan::SetOp { op, all, left, right, schema } => LogicalPlan::SetOp {
+            op,
+            all,
+            left: Box::new(transform_up(*left, f)),
+            right: Box::new(transform_up(*right, f)),
+            schema,
+        },
+        LogicalPlan::Distinct { input } => {
+            LogicalPlan::Distinct { input: Box::new(transform_up(*input, f)) }
+        }
+        LogicalPlan::Sort { input, keys } => {
+            LogicalPlan::Sort { input: Box::new(transform_up(*input, f)), keys }
+        }
+        LogicalPlan::Limit { input, limit, offset } => LogicalPlan::Limit {
+            input: Box::new(transform_up(*input, f)),
+            limit,
+            offset,
+        },
+    };
+    f(with_children)
+}
+
+/// Apply an expression rewriter to every expression in the plan.
+fn map_exprs(plan: LogicalPlan, f: &impl Fn(BoundExpr) -> BoundExpr) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Scan { .. } | LogicalPlan::Dual { .. } => plan,
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(map_exprs(*input, f)),
+            predicate: f(predicate),
+        },
+        LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
+            input: Box::new(map_exprs(*input, f)),
+            exprs: exprs.into_iter().map(f).collect(),
+            schema,
+        },
+        LogicalPlan::Aggregate { input, group, aggs, schema } => LogicalPlan::Aggregate {
+            input: Box::new(map_exprs(*input, f)),
+            group: group.into_iter().map(f).collect(),
+            aggs: aggs
+                .into_iter()
+                .map(|mut a| {
+                    a.arg = a.arg.map(f);
+                    a
+                })
+                .collect(),
+            schema,
+        },
+        LogicalPlan::Join { left, right, kind, on, schema } => LogicalPlan::Join {
+            left: Box::new(map_exprs(*left, f)),
+            right: Box::new(map_exprs(*right, f)),
+            kind,
+            on: on.map(f),
+            schema,
+        },
+        LogicalPlan::SetOp { op, all, left, right, schema } => LogicalPlan::SetOp {
+            op,
+            all,
+            left: Box::new(map_exprs(*left, f)),
+            right: Box::new(map_exprs(*right, f)),
+            schema,
+        },
+        LogicalPlan::Distinct { input } => {
+            LogicalPlan::Distinct { input: Box::new(map_exprs(*input, f)) }
+        }
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(map_exprs(*input, f)),
+            keys: keys
+                .into_iter()
+                .map(|mut k| {
+                    k.expr = f(k.expr);
+                    k
+                })
+                .collect(),
+        },
+        LogicalPlan::Limit { input, limit, offset } => LogicalPlan::Limit {
+            input: Box::new(map_exprs(*input, f)),
+            limit,
+            offset,
+        },
+    }
+}
+
+/// Recursively fold constant sub-expressions. Folding is best-effort: any
+/// evaluation error (overflow, bad cast) leaves the expression unfolded so
+/// the runtime reports it in context.
+fn fold_expr(e: BoundExpr) -> BoundExpr {
+    // First fold children.
+    let e = match e {
+        BoundExpr::Binary { op, left, right } => BoundExpr::Binary {
+            op,
+            left: Box::new(fold_expr(*left)),
+            right: Box::new(fold_expr(*right)),
+        },
+        BoundExpr::Unary { op, expr } => {
+            BoundExpr::Unary { op, expr: Box::new(fold_expr(*expr)) }
+        }
+        BoundExpr::Case { branches, else_result } => BoundExpr::Case {
+            branches: branches
+                .into_iter()
+                .map(|(w, t)| (fold_expr(w), fold_expr(t)))
+                .collect(),
+            else_result: else_result.map(|b| Box::new(fold_expr(*b))),
+        },
+        BoundExpr::Cast { expr, ty } => {
+            BoundExpr::Cast { expr: Box::new(fold_expr(*expr)), ty }
+        }
+        BoundExpr::IsNull { expr, negated } => {
+            BoundExpr::IsNull { expr: Box::new(fold_expr(*expr)), negated }
+        }
+        BoundExpr::InList { expr, list, negated } => BoundExpr::InList {
+            expr: Box::new(fold_expr(*expr)),
+            list: list.into_iter().map(fold_expr).collect(),
+            negated,
+        },
+        BoundExpr::Like { expr, pattern, negated } => BoundExpr::Like {
+            expr: Box::new(fold_expr(*expr)),
+            pattern: Box::new(fold_expr(*pattern)),
+            negated,
+        },
+        BoundExpr::ScalarFn { func, args } => BoundExpr::ScalarFn {
+            func,
+            args: args.into_iter().map(fold_expr).collect(),
+        },
+        other => other,
+    };
+    // Then fold this node if it became constant (subqueries excluded).
+    if !matches!(e, BoundExpr::Literal(_)) && e.is_constant() {
+        if let Ok(v) = e.eval(&[]) {
+            return BoundExpr::Literal(v);
+        }
+    }
+    e
+}

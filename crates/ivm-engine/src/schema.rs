@@ -1,0 +1,82 @@
+//! Column and schema descriptors.
+
+use crate::types::DataType;
+
+/// One column of a table or intermediate result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (normalized lower case for unquoted identifiers).
+    pub name: String,
+    /// Column type.
+    pub ty: DataType,
+    /// NOT NULL constraint (only enforced on base tables).
+    pub not_null: bool,
+}
+
+impl Column {
+    /// A nullable column.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Column {
+        Column { name: name.into(), ty, not_null: false }
+    }
+
+    /// A NOT NULL column.
+    pub fn not_null(name: impl Into<String>, ty: DataType) -> Column {
+        Column { name: name.into(), ty, not_null: true }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    /// The columns, in position order.
+    pub columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build a schema from columns.
+    pub fn new(columns: Vec<Column>) -> Schema {
+        Schema { columns }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Position of the column with the given (normalized) name.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Column types in order.
+    pub fn types(&self) -> Vec<DataType> {
+        self.columns.iter().map(|c| c.ty).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_lookup() {
+        let s = Schema::new(vec![
+            Column::new("a", DataType::Integer),
+            Column::not_null("b", DataType::Varchar),
+        ]);
+        assert_eq!(s.position("b"), Some(1));
+        assert_eq!(s.position("missing"), None);
+        assert_eq!(s.len(), 2);
+        assert!(s.columns[1].not_null);
+    }
+}

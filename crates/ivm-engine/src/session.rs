@@ -1,0 +1,505 @@
+//! The embedded database session: `Database::execute(sql)`.
+
+use ivm_sql::ast::{
+    Assignment, ConflictAction, CreateIndex, CreateTable, Delete, Drop, DropKind, Insert,
+    InsertSource, Statement, Update,
+};
+use ivm_sql::{parse_statement, parse_statements};
+
+use crate::catalog::Catalog;
+use crate::error::EngineError;
+use crate::exec::{execute, prepare_expr, Row};
+use crate::expr::bind::{bind_expr_with, Scope};
+use crate::expr::BindColumn;
+use crate::optimizer::optimize;
+use crate::planner::plan_query;
+use crate::schema::{Column, Schema};
+use crate::storage::Table;
+use crate::types::DataType;
+use crate::value::Value;
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryResult {
+    /// Output column names (empty for DML/DDL).
+    pub columns: Vec<String>,
+    /// Result rows (empty for DML/DDL).
+    pub rows: Vec<Row>,
+    /// Rows inserted/updated/deleted by DML.
+    pub rows_affected: usize,
+}
+
+impl QueryResult {
+    fn dml(rows_affected: usize) -> QueryResult {
+        QueryResult { rows_affected, ..Default::default() }
+    }
+
+    /// First value of the first row, if any (convenience for scalar queries).
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+}
+
+/// An embedded single-threaded database instance — the role DuckDB plays
+/// inside OpenIVM ("linking it as a library" per Figure 1).
+#[derive(Debug, Default)]
+pub struct Database {
+    catalog: Catalog,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Borrow the catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutably borrow the catalog (bulk loads, index rebuilds).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Execute a single SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult, EngineError> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Execute a `;`-separated script, returning one result per statement.
+    /// Execution stops at the first error.
+    pub fn execute_script(&mut self, sql: &str) -> Result<Vec<QueryResult>, EngineError> {
+        let stmts = parse_statements(sql)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in &stmts {
+            out.push(self.execute_statement(stmt)?);
+        }
+        Ok(out)
+    }
+
+    /// Execute a read-only query and return its rows.
+    pub fn query(&self, sql: &str) -> Result<QueryResult, EngineError> {
+        let stmt = parse_statement(sql)?;
+        match &stmt {
+            Statement::Query(q) => {
+                let plan = optimize(plan_query(q, &self.catalog)?);
+                let rows = execute(&plan, &self.catalog)?;
+                Ok(QueryResult {
+                    columns: plan.schema().names(),
+                    rows,
+                    rows_affected: 0,
+                })
+            }
+            _ => Err(EngineError::unsupported("query() accepts SELECT statements only")),
+        }
+    }
+
+    /// Execute one parsed statement.
+    pub fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult, EngineError> {
+        match stmt {
+            Statement::Query(q) => {
+                let plan = optimize(plan_query(q, &self.catalog)?);
+                let rows = execute(&plan, &self.catalog)?;
+                Ok(QueryResult {
+                    columns: plan.schema().names(),
+                    rows,
+                    rows_affected: 0,
+                })
+            }
+            Statement::CreateTable(ct) => self.create_table(ct),
+            Statement::CreateIndex(ci) => self.create_index(ci),
+            Statement::CreateView(cv) => {
+                if cv.materialized {
+                    // Mirrors stock DuckDB: materialized views need the
+                    // OpenIVM extension (ivm-core's IvmSession fallback).
+                    return Err(EngineError::unsupported(
+                        "CREATE MATERIALIZED VIEW requires the OpenIVM extension",
+                    ));
+                }
+                // Validate the view body eagerly, as real engines do.
+                plan_query(&cv.query, &self.catalog)?;
+                self.catalog.create_view(cv.name.normalized(), (*cv.query).clone())?;
+                Ok(QueryResult::default())
+            }
+            Statement::Drop(d) => self.drop(d),
+            Statement::Insert(ins) => self.insert(ins),
+            Statement::Update(u) => self.update(u),
+            Statement::Delete(d) => self.delete(d),
+            // The analytical engine auto-commits; real transaction scoping
+            // lives in the OLTP substrate (ivm-oltp).
+            Statement::Begin | Statement::Commit | Statement::Rollback => {
+                Ok(QueryResult::default())
+            }
+            Statement::Explain(inner) => {
+                let Statement::Query(q) = inner.as_ref() else {
+                    return Err(EngineError::unsupported("EXPLAIN supports queries only"));
+                };
+                let plan = optimize(plan_query(q, &self.catalog)?);
+                let rows = plan
+                    .explain()
+                    .lines()
+                    .map(|l| vec![Value::Varchar(l.to_string())])
+                    .collect();
+                Ok(QueryResult {
+                    columns: vec!["explain".to_string()],
+                    rows,
+                    rows_affected: 0,
+                })
+            }
+        }
+    }
+
+    fn create_table(&mut self, ct: &CreateTable) -> Result<QueryResult, EngineError> {
+        let name = ct.name.normalized().to_string();
+        if self.catalog.has_table(&name) {
+            if ct.if_not_exists {
+                return Ok(QueryResult::default());
+            }
+            return Err(EngineError::catalog(format!("{name} already exists")));
+        }
+        let columns: Vec<Column> = ct
+            .columns
+            .iter()
+            .map(|c| Column {
+                name: c.name.normalized().to_string(),
+                ty: DataType::from(c.ty),
+                not_null: c.not_null,
+            })
+            .collect();
+        let schema = Schema::new(columns);
+        let mut pk = Vec::with_capacity(ct.primary_key.len());
+        for k in &ct.primary_key {
+            let pos = schema.position(k.normalized()).ok_or_else(|| {
+                EngineError::bind(format!("unknown PRIMARY KEY column {}", k.normalized()))
+            })?;
+            pk.push(pos);
+        }
+        self.catalog.create_table(Table::new(name, schema, pk))?;
+        Ok(QueryResult::default())
+    }
+
+    fn create_index(&mut self, ci: &CreateIndex) -> Result<QueryResult, EngineError> {
+        let tname = ci.table.normalized();
+        let table = self.catalog.table_mut(tname)?;
+        let mut cols = Vec::with_capacity(ci.columns.len());
+        for c in &ci.columns {
+            let pos = table.schema.position(c.normalized()).ok_or_else(|| {
+                EngineError::bind(format!("unknown column {} in index", c.normalized()))
+            })?;
+            cols.push(pos);
+        }
+        // A UNIQUE index on a keyless table becomes its primary-key ART —
+        // the paper's "ART is generated after having populated V" path.
+        if ci.unique && !table.has_pk_index() {
+            table.add_pk_index(cols)?;
+        } else {
+            table.create_secondary_index(ci.name.normalized().to_string(), cols, ci.unique)?;
+        }
+        Ok(QueryResult::default())
+    }
+
+    fn drop(&mut self, d: &Drop) -> Result<QueryResult, EngineError> {
+        let name = d.name.normalized();
+        match d.kind {
+            DropKind::Table => {
+                self.catalog.drop_table(name, d.if_exists)?;
+            }
+            DropKind::View => {
+                self.catalog.drop_view(name, d.if_exists)?;
+            }
+            DropKind::Index => {
+                // Indexes are table-scoped; search all tables.
+                let mut dropped = false;
+                for tname in self.catalog.table_names() {
+                    let t = self.catalog.table_mut(&tname)?;
+                    if t.drop_secondary_index(name) {
+                        dropped = true;
+                        break;
+                    }
+                }
+                if !dropped && !d.if_exists {
+                    return Err(EngineError::catalog(format!("index {name} does not exist")));
+                }
+            }
+        }
+        Ok(QueryResult::default())
+    }
+
+    fn insert(&mut self, ins: &Insert) -> Result<QueryResult, EngineError> {
+        let tname = ins.table.normalized().to_string();
+        let (schema, column_map) = {
+            let table = self.catalog.table(&tname)?;
+            let schema = table.schema.clone();
+            let map: Vec<usize> = if ins.columns.is_empty() {
+                (0..schema.len()).collect()
+            } else {
+                let mut m = Vec::with_capacity(ins.columns.len());
+                for c in &ins.columns {
+                    let pos = schema.position(c.normalized()).ok_or_else(|| {
+                        EngineError::bind(format!(
+                            "unknown column {} in INSERT",
+                            c.normalized()
+                        ))
+                    })?;
+                    m.push(pos);
+                }
+                m
+            };
+            (schema, map)
+        };
+
+        // Materialize source rows (before mutating the target table).
+        let source_rows: Vec<Row> = match &ins.source {
+            InsertSource::Values(rows) => {
+                let scope = Scope::empty();
+                let mut out = Vec::with_capacity(rows.len());
+                for row in rows {
+                    if row.len() != column_map.len() {
+                        return Err(EngineError::bind(format!(
+                            "INSERT expects {} values per row, got {}",
+                            column_map.len(),
+                            row.len()
+                        )));
+                    }
+                    let mut vals = Vec::with_capacity(row.len());
+                    for e in row {
+                        let bound = bind_expr_with(e, &scope, Some(&self.catalog))?;
+                        let prepared = prepare_expr(&bound, &self.catalog)?;
+                        vals.push(prepared.eval(&[])?);
+                    }
+                    out.push(vals);
+                }
+                out
+            }
+            InsertSource::Query(q) => {
+                let plan = optimize(plan_query(q, &self.catalog)?);
+                if plan.schema().len() != column_map.len() {
+                    return Err(EngineError::bind(format!(
+                        "INSERT expects {} columns, query returns {}",
+                        column_map.len(),
+                        plan.schema().len()
+                    )));
+                }
+                execute(&plan, &self.catalog)?
+            }
+        };
+
+        // Widen each source row to full table width and coerce types.
+        let mut full_rows = Vec::with_capacity(source_rows.len());
+        for src in source_rows {
+            let mut row = vec![Value::Null; schema.len()];
+            for (i, v) in src.into_iter().enumerate() {
+                let target = column_map[i];
+                row[target] = coerce(v, schema.columns[target].ty)?;
+            }
+            full_rows.push(row);
+        }
+
+        // Pre-bind ON CONFLICT assignments.
+        let conflict = ins.on_conflict.as_ref();
+        let do_update: Option<Vec<(usize, crate::expr::BoundExpr)>> = match conflict {
+            Some(oc) => match &oc.action {
+                ConflictAction::DoNothing => None,
+                ConflictAction::DoUpdate(assignments) => {
+                    Some(self.bind_conflict_assignments(&tname, &schema, assignments)?)
+                }
+            },
+            None => None,
+        };
+
+        let mut affected = 0usize;
+        for row in full_rows {
+            let table = self.catalog.table(&tname)?;
+            let dup = match table.pk_index() {
+                Some(pk) => {
+                    let key = pk.key_of(&row);
+                    pk.get_encoded(&key)
+                }
+                None => None,
+            };
+            match dup {
+                None => {
+                    self.catalog.table_mut(&tname)?.insert(row)?;
+                    affected += 1;
+                }
+                Some(existing) => {
+                    if ins.or_replace {
+                        self.catalog.table_mut(&tname)?.upsert(row)?;
+                        affected += 1;
+                    } else if let Some(oc) = conflict {
+                        match &oc.action {
+                            ConflictAction::DoNothing => {}
+                            ConflictAction::DoUpdate(_) => {
+                                let assignments =
+                                    do_update.as_ref().expect("bound with DoUpdate");
+                                let old = self.catalog.table(&tname)?.row(existing);
+                                // Scope row: existing row ++ excluded row.
+                                let mut env = old.clone();
+                                env.extend(row.iter().cloned());
+                                let mut updated = old;
+                                for (pos, expr) in assignments {
+                                    let prepared = prepare_expr(expr, &self.catalog)?;
+                                    updated[*pos] =
+                                        coerce(prepared.eval(&env)?, schema.columns[*pos].ty)?;
+                                }
+                                self.catalog.table_mut(&tname)?.update(existing, updated)?;
+                                affected += 1;
+                            }
+                        }
+                    } else {
+                        return Err(EngineError::constraint(format!(
+                            "duplicate key in table {tname}"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(QueryResult::dml(affected))
+    }
+
+    fn bind_conflict_assignments(
+        &self,
+        tname: &str,
+        schema: &Schema,
+        assignments: &[Assignment],
+    ) -> Result<Vec<(usize, crate::expr::BoundExpr)>, EngineError> {
+        // Visible names: the table's columns, then `excluded.*`.
+        let mut scope_cols: Vec<BindColumn> = schema
+            .columns
+            .iter()
+            .map(|c| BindColumn {
+                qualifier: Some(tname.to_string()),
+                name: c.name.clone(),
+                ty: Some(c.ty),
+            })
+            .collect();
+        scope_cols.extend(schema.columns.iter().map(|c| BindColumn {
+            qualifier: Some("excluded".to_string()),
+            name: c.name.clone(),
+            ty: Some(c.ty),
+        }));
+        let scope = Scope { columns: scope_cols };
+        let mut out = Vec::with_capacity(assignments.len());
+        for a in assignments {
+            let pos = schema.position(a.column.normalized()).ok_or_else(|| {
+                EngineError::bind(format!("unknown column {} in DO UPDATE", a.column.normalized()))
+            })?;
+            let bound = bind_expr_with(&a.value, &scope, Some(&self.catalog))?;
+            out.push((pos, bound));
+        }
+        Ok(out)
+    }
+
+    fn update(&mut self, u: &Update) -> Result<QueryResult, EngineError> {
+        let tname = u.table.normalized().to_string();
+        let (schema, scope) = self.table_scope(&tname)?;
+        let predicate = match &u.selection {
+            Some(e) => {
+                let b = bind_expr_with(e, &scope, Some(&self.catalog))?;
+                Some(prepare_expr(&b, &self.catalog)?)
+            }
+            None => None,
+        };
+        let mut bound_assignments = Vec::with_capacity(u.assignments.len());
+        for a in &u.assignments {
+            let pos = schema.position(a.column.normalized()).ok_or_else(|| {
+                EngineError::bind(format!("unknown column {} in UPDATE", a.column.normalized()))
+            })?;
+            let b = bind_expr_with(&a.value, &scope, Some(&self.catalog))?;
+            bound_assignments.push((pos, prepare_expr(&b, &self.catalog)?));
+        }
+        // Phase 1: compute new rows against a stable snapshot.
+        let mut changes: Vec<(u64, Row)> = Vec::new();
+        {
+            let table = self.catalog.table(&tname)?;
+            for (row_id, row) in table.scan() {
+                let selected = match &predicate {
+                    Some(p) => p.eval(&row)?.as_bool() == Some(true),
+                    None => true,
+                };
+                if !selected {
+                    continue;
+                }
+                let mut updated = row.clone();
+                for (pos, expr) in &bound_assignments {
+                    updated[*pos] = coerce(expr.eval(&row)?, schema.columns[*pos].ty)?;
+                }
+                changes.push((row_id, updated));
+            }
+        }
+        // Phase 2: apply.
+        let affected = changes.len();
+        let table = self.catalog.table_mut(&tname)?;
+        for (row_id, updated) in changes {
+            table.update(row_id, updated)?;
+        }
+        Ok(QueryResult::dml(affected))
+    }
+
+    fn delete(&mut self, d: &Delete) -> Result<QueryResult, EngineError> {
+        let tname = d.table.normalized().to_string();
+        let (_, scope) = self.table_scope(&tname)?;
+        let predicate = match &d.selection {
+            Some(e) => {
+                let b = bind_expr_with(e, &scope, Some(&self.catalog))?;
+                Some(prepare_expr(&b, &self.catalog)?)
+            }
+            None => None,
+        };
+        let mut victims: Vec<u64> = Vec::new();
+        {
+            let table = self.catalog.table(&tname)?;
+            for (row_id, row) in table.scan() {
+                let selected = match &predicate {
+                    Some(p) => p.eval(&row)?.as_bool() == Some(true),
+                    None => true,
+                };
+                if selected {
+                    victims.push(row_id);
+                }
+            }
+        }
+        let affected = victims.len();
+        let table = self.catalog.table_mut(&tname)?;
+        for row_id in victims {
+            table.delete(row_id)?;
+        }
+        Ok(QueryResult::dml(affected))
+    }
+
+    fn table_scope(&self, tname: &str) -> Result<(Schema, Scope), EngineError> {
+        let table = self.catalog.table(tname)?;
+        let schema = table.schema.clone();
+        let scope = Scope {
+            columns: schema
+                .columns
+                .iter()
+                .map(|c| BindColumn {
+                    qualifier: Some(tname.to_string()),
+                    name: c.name.clone(),
+                    ty: Some(c.ty),
+                })
+                .collect(),
+        };
+        Ok((schema, scope))
+    }
+}
+
+/// Coerce a runtime value into a column type: exact/widening passes through,
+/// everything else goes through SQL cast rules.
+fn coerce(v: Value, target: DataType) -> Result<Value, EngineError> {
+    match v.data_type() {
+        None => Ok(Value::Null),
+        Some(t) if target.accepts(t) => {
+            if t == DataType::Integer && target == DataType::Double {
+                v.cast(DataType::Double)
+            } else {
+                Ok(v)
+            }
+        }
+        Some(_) => v.cast(target),
+    }
+}

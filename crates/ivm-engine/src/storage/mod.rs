@@ -1,0 +1,5 @@
+//! In-memory columnar table storage.
+
+mod table;
+
+pub use table::Table;

@@ -1,0 +1,550 @@
+//! Columnar table with tombstone deletes and index maintenance.
+
+use crate::error::EngineError;
+use crate::index::TableIndex;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// An in-memory, column-major table.
+///
+/// Rows are append-only with tombstone deletion (like an analytical engine's
+/// row-group storage); row ids are stable until [`Table::compact`]. A table
+/// optionally owns a primary-key index plus named secondary indexes, all
+/// ART-backed, which are kept in sync by every mutation.
+#[derive(Debug)]
+pub struct Table {
+    /// Table name as stored in the catalog.
+    pub name: String,
+    /// Column layout.
+    pub schema: Schema,
+    /// Positions of the primary key columns (empty = no PK).
+    pub primary_key: Vec<usize>,
+    columns: Vec<Vec<Value>>,
+    deleted: Vec<bool>,
+    live: usize,
+    pk_index: Option<TableIndex>,
+    secondary: Vec<(String, TableIndex)>,
+}
+
+impl Table {
+    /// Create an empty table. When `primary_key` is non-empty a unique
+    /// ART index is created over those column positions.
+    pub fn new(name: impl Into<String>, schema: Schema, primary_key: Vec<usize>) -> Table {
+        let pk_index =
+            (!primary_key.is_empty()).then(|| TableIndex::new(primary_key.clone(), true));
+        let ncols = schema.len();
+        Table {
+            name: name.into(),
+            schema,
+            primary_key,
+            columns: vec![Vec::new(); ncols],
+            deleted: Vec::new(),
+            live: 0,
+            pk_index,
+            secondary: Vec::new(),
+        }
+    }
+
+    /// Number of live rows.
+    pub fn live_rows(&self) -> usize {
+        self.live
+    }
+
+    /// Total slots including tombstones.
+    pub fn total_slots(&self) -> usize {
+        self.deleted.len()
+    }
+
+    /// Whether the table has a primary key index.
+    pub fn has_pk_index(&self) -> bool {
+        self.pk_index.is_some()
+    }
+
+    /// Borrow the primary key index.
+    pub fn pk_index(&self) -> Option<&TableIndex> {
+        self.pk_index.as_ref()
+    }
+
+    /// Names of secondary indexes.
+    pub fn secondary_index_names(&self) -> Vec<&str> {
+        self.secondary.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Total approximate index memory (primary + secondary), for E2.
+    pub fn index_memory_bytes(&self) -> usize {
+        self.pk_index.as_ref().map_or(0, TableIndex::memory_bytes)
+            + self.secondary.iter().map(|(_, i)| i.memory_bytes()).sum::<usize>()
+    }
+
+    /// Validate a row against arity, types, and NOT NULL.
+    fn check_row(&self, row: &[Value]) -> Result<(), EngineError> {
+        if row.len() != self.schema.len() {
+            return Err(EngineError::execution(format!(
+                "table {} expects {} columns, got {}",
+                self.name,
+                self.schema.len(),
+                row.len()
+            )));
+        }
+        for (value, col) in row.iter().zip(&self.schema.columns) {
+            if value.is_null() {
+                if col.not_null {
+                    return Err(EngineError::constraint(format!(
+                        "NOT NULL constraint failed: {}.{}",
+                        self.name, col.name
+                    )));
+                }
+                continue;
+            }
+            if let Some(vt) = value.data_type() {
+                if !col.ty.accepts(vt) {
+                    return Err(EngineError::execution(format!(
+                        "type mismatch for {}.{}: expected {}, got {}",
+                        self.name, col.name, col.ty, vt
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Append a row, enforcing the PK. Returns the new row id.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<u64, EngineError> {
+        self.check_row(&row)?;
+        if let Some(pk) = &self.pk_index {
+            let key = pk.key_of(&row);
+            if pk.get_encoded(&key).is_some() {
+                return Err(EngineError::constraint(format!(
+                    "duplicate key in table {}",
+                    self.name
+                )));
+            }
+        }
+        Ok(self.append_unchecked(row))
+    }
+
+    /// Upsert a row through the PK index ("INSERT OR REPLACE"): replaces
+    /// the existing row with the same key, if any. Returns `(row_id,
+    /// replaced)`.
+    pub fn upsert(&mut self, row: Vec<Value>) -> Result<(u64, bool), EngineError> {
+        self.check_row(&row)?;
+        let Some(pk) = &self.pk_index else {
+            return Err(EngineError::constraint(format!(
+                "INSERT OR REPLACE on table {} requires a primary key index",
+                self.name
+            )));
+        };
+        let key = pk.key_of(&row);
+        if let Some(existing) = pk.get_encoded(&key) {
+            self.delete(existing)?;
+            let id = self.append_unchecked(row);
+            Ok((id, true))
+        } else {
+            Ok((self.append_unchecked(row), false))
+        }
+    }
+
+    fn append_unchecked(&mut self, row: Vec<Value>) -> u64 {
+        let id = self.deleted.len() as u64;
+        if let Some(pk) = &mut self.pk_index {
+            let key = pk.key_of(&row);
+            pk.insert(&key, id);
+        }
+        for (_, idx) in &mut self.secondary {
+            let key = idx.key_of(&row);
+            idx.insert(&key, id);
+        }
+        for (col, value) in self.columns.iter_mut().zip(row) {
+            col.push(value);
+        }
+        self.deleted.push(false);
+        self.live += 1;
+        id
+    }
+
+    /// Tombstone a row by id.
+    pub fn delete(&mut self, row_id: u64) -> Result<(), EngineError> {
+        let idx = row_id as usize;
+        if idx >= self.deleted.len() || self.deleted[idx] {
+            return Err(EngineError::execution(format!(
+                "row {row_id} does not exist in table {}",
+                self.name
+            )));
+        }
+        let row = self.row(row_id);
+        if let Some(pk) = &mut self.pk_index {
+            let key = pk.key_of(&row);
+            pk.remove(&key);
+        }
+        for (_, sidx) in &mut self.secondary {
+            let key = sidx.key_of(&row);
+            sidx.remove(&key);
+        }
+        self.deleted[idx] = true;
+        self.live -= 1;
+        Ok(())
+    }
+
+    /// Replace the row contents in place, keeping the row id.
+    pub fn update(&mut self, row_id: u64, new_row: Vec<Value>) -> Result<(), EngineError> {
+        self.check_row(&new_row)?;
+        let idx = row_id as usize;
+        if idx >= self.deleted.len() || self.deleted[idx] {
+            return Err(EngineError::execution(format!(
+                "row {row_id} does not exist in table {}",
+                self.name
+            )));
+        }
+        let old_row = self.row(row_id);
+        if let Some(pk) = &mut self.pk_index {
+            let old_key = pk.key_of(&old_row);
+            let new_key = pk.key_of(&new_row);
+            if old_key != new_key {
+                if pk.get_encoded(&new_key).is_some() {
+                    return Err(EngineError::constraint(format!(
+                        "duplicate key in table {}",
+                        self.name
+                    )));
+                }
+                pk.remove(&old_key);
+                pk.insert(&new_key, row_id);
+            }
+        }
+        for (_, sidx) in &mut self.secondary {
+            let old_key = sidx.key_of(&old_row);
+            sidx.remove(&old_key);
+            let new_key = sidx.key_of(&new_row);
+            sidx.insert(&new_key, row_id);
+        }
+        for (col, value) in self.columns.iter_mut().zip(new_row) {
+            col[idx] = value;
+        }
+        Ok(())
+    }
+
+    /// Materialize the row with the given id (caller must know it's live).
+    pub fn row(&self, row_id: u64) -> Vec<Value> {
+        let idx = row_id as usize;
+        self.columns.iter().map(|c| c[idx].clone()).collect()
+    }
+
+    /// Row id for a primary-key value, via the ART.
+    pub fn lookup_pk(&self, key_values: &[Value]) -> Option<u64> {
+        self.pk_index.as_ref()?.get(key_values)
+    }
+
+    /// Find a live row equal to `target` without materializing rows
+    /// (column-major comparison; PK fast path when available). Used by the
+    /// cross-system delta ingest to locate deletion victims.
+    pub fn find_row(&self, target: &[Value]) -> Option<u64> {
+        if target.len() != self.schema.len() {
+            return None;
+        }
+        if let Some(pk) = &self.pk_index {
+            let key: Vec<Value> = pk.columns.iter().map(|&c| target[c].clone()).collect();
+            let id = pk.get(&key)?;
+            let idx = id as usize;
+            let matches = self
+                .columns
+                .iter()
+                .zip(target)
+                .all(|(col, t)| &col[idx] == t);
+            return matches.then_some(id);
+        }
+        (0..self.deleted.len()).find(|&i| {
+            !self.deleted[i]
+                && self.columns.iter().zip(target).all(|(col, t)| &col[i] == t)
+        }).map(|i| i as u64)
+    }
+
+    /// Iterate live rows as `(row_id, row)`.
+    pub fn scan(&self) -> impl Iterator<Item = (u64, Vec<Value>)> + '_ {
+        (0..self.deleted.len()).filter(|&i| !self.deleted[i]).map(move |i| (i as u64, self.row(i as u64)))
+    }
+
+    /// Ids of all live rows.
+    pub fn live_row_ids(&self) -> Vec<u64> {
+        (0..self.deleted.len() as u64).filter(|&i| !self.deleted[i as usize]).collect()
+    }
+
+    /// Delete every row (keeps schema and indexes, emptied).
+    pub fn truncate(&mut self) {
+        for col in &mut self.columns {
+            col.clear();
+        }
+        self.deleted.clear();
+        self.live = 0;
+        if let Some(pk) = &mut self.pk_index {
+            pk.clear();
+        }
+        for (_, idx) in &mut self.secondary {
+            idx.clear();
+        }
+    }
+
+    /// Drop tombstones and renumber rows; rebuilds all indexes.
+    pub fn compact(&mut self) {
+        if self.live == self.deleted.len() {
+            return;
+        }
+        let keep: Vec<usize> =
+            (0..self.deleted.len()).filter(|&i| !self.deleted[i]).collect();
+        for col in &mut self.columns {
+            let mut next = Vec::with_capacity(keep.len());
+            for &i in &keep {
+                next.push(std::mem::replace(&mut col[i], Value::Null));
+            }
+            *col = next;
+        }
+        self.deleted = vec![false; keep.len()];
+        self.live = keep.len();
+        self.rebuild_indexes();
+    }
+
+    /// Create (or replace) a secondary index over the named columns. The
+    /// build is bulk: rows are scanned once and the ART populated directly
+    /// — the "one-time overhead" the paper measures.
+    pub fn create_secondary_index(
+        &mut self,
+        index_name: impl Into<String>,
+        columns: Vec<usize>,
+        unique: bool,
+    ) -> Result<(), EngineError> {
+        let name = index_name.into();
+        if self.secondary.iter().any(|(n, _)| *n == name) {
+            return Err(EngineError::catalog(format!("index {name} already exists")));
+        }
+        let mut idx = TableIndex::new(columns, unique);
+        for (row_id, row) in self.scan() {
+            let key = idx.key_of(&row);
+            if idx.insert(&key, row_id).is_some() && unique {
+                return Err(EngineError::constraint(format!(
+                    "duplicate key while building unique index {name}"
+                )));
+            }
+        }
+        self.secondary.push((name, idx));
+        Ok(())
+    }
+
+    /// Remove a secondary index by name.
+    pub fn drop_secondary_index(&mut self, name: &str) -> bool {
+        let before = self.secondary.len();
+        self.secondary.retain(|(n, _)| n != name);
+        self.secondary.len() != before
+    }
+
+    /// Build (or rebuild) the PK index from current contents. Used after
+    /// bulk loads, mirroring DuckDB's build-after-populate ART strategy.
+    pub fn rebuild_indexes(&mut self) {
+        if let Some(pk) = &mut self.pk_index {
+            pk.clear();
+            for i in 0..self.deleted.len() {
+                if !self.deleted[i] {
+                    let row: Vec<Value> =
+                        self.columns.iter().map(|c| c[i].clone()).collect();
+                    let key = pk.key_of(&row);
+                    pk.insert(&key, i as u64);
+                }
+            }
+        }
+        for (_, idx) in &mut self.secondary {
+            idx.clear();
+        }
+        for i in 0..self.deleted.len() {
+            if self.deleted[i] {
+                continue;
+            }
+            let row: Vec<Value> = self.columns.iter().map(|c| c[i].clone()).collect();
+            for (_, idx) in &mut self.secondary {
+                let key = idx.key_of(&row);
+                idx.insert(&key, i as u64);
+            }
+        }
+    }
+
+    /// Attach a primary key index after creation (bulk build). Errors on
+    /// duplicate keys.
+    pub fn add_pk_index(&mut self, columns: Vec<usize>) -> Result<(), EngineError> {
+        let mut idx = TableIndex::new(columns.clone(), true);
+        for (row_id, row) in self.scan() {
+            let key = idx.key_of(&row);
+            if idx.insert(&key, row_id).is_some() {
+                return Err(EngineError::constraint(format!(
+                    "duplicate key while building primary key index on {}",
+                    self.name
+                )));
+            }
+        }
+        self.primary_key = columns;
+        self.pk_index = Some(idx);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::types::DataType;
+
+    fn groups_table() -> Table {
+        Table::new(
+            "groups",
+            Schema::new(vec![
+                Column::new("group_index", DataType::Varchar),
+                Column::new("group_value", DataType::Integer),
+            ]),
+            vec![],
+        )
+    }
+
+    fn keyed_table() -> Table {
+        Table::new(
+            "v",
+            Schema::new(vec![
+                Column::new("k", DataType::Varchar),
+                Column::new("total", DataType::Integer),
+            ]),
+            vec![0],
+        )
+    }
+
+    #[test]
+    fn insert_scan_delete() {
+        let mut t = groups_table();
+        let id0 = t.insert(vec![Value::from("a"), Value::Integer(1)]).unwrap();
+        let id1 = t.insert(vec![Value::from("b"), Value::Integer(2)]).unwrap();
+        assert_eq!(t.live_rows(), 2);
+        t.delete(id0).unwrap();
+        assert_eq!(t.live_rows(), 1);
+        let rows: Vec<_> = t.scan().collect();
+        assert_eq!(rows, vec![(id1, vec![Value::from("b"), Value::Integer(2)])]);
+        assert!(t.delete(id0).is_err(), "double delete must fail");
+    }
+
+    #[test]
+    fn arity_and_type_checks() {
+        let mut t = groups_table();
+        assert!(t.insert(vec![Value::from("a")]).is_err());
+        assert!(t
+            .insert(vec![Value::Integer(1), Value::Integer(2)])
+            .is_err());
+        // Integer widening into DOUBLE columns is allowed.
+        let mut t2 = Table::new(
+            "d",
+            Schema::new(vec![Column::new("x", DataType::Double)]),
+            vec![],
+        );
+        t2.insert(vec![Value::Integer(3)]).unwrap();
+    }
+
+    #[test]
+    fn not_null_enforced() {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![Column::not_null("a", DataType::Integer)]),
+            vec![],
+        );
+        assert!(t.insert(vec![Value::Null]).is_err());
+    }
+
+    #[test]
+    fn pk_uniqueness_and_lookup() {
+        let mut t = keyed_table();
+        t.insert(vec![Value::from("a"), Value::Integer(1)]).unwrap();
+        let err = t.insert(vec![Value::from("a"), Value::Integer(9)]);
+        assert!(err.is_err(), "duplicate key must fail");
+        assert_eq!(t.lookup_pk(&[Value::from("a")]), Some(0));
+        assert_eq!(t.lookup_pk(&[Value::from("zz")]), None);
+    }
+
+    #[test]
+    fn upsert_replaces() {
+        let mut t = keyed_table();
+        let (_, replaced) = t.upsert(vec![Value::from("a"), Value::Integer(1)]).unwrap();
+        assert!(!replaced);
+        let (_, replaced) = t.upsert(vec![Value::from("a"), Value::Integer(5)]).unwrap();
+        assert!(replaced);
+        assert_eq!(t.live_rows(), 1);
+        let row_id = t.lookup_pk(&[Value::from("a")]).unwrap();
+        assert_eq!(t.row(row_id)[1], Value::Integer(5));
+    }
+
+    #[test]
+    fn upsert_without_pk_fails() {
+        let mut t = groups_table();
+        assert!(t.upsert(vec![Value::from("a"), Value::Integer(1)]).is_err());
+    }
+
+    #[test]
+    fn update_maintains_pk() {
+        let mut t = keyed_table();
+        let id = t.insert(vec![Value::from("a"), Value::Integer(1)]).unwrap();
+        t.update(id, vec![Value::from("b"), Value::Integer(2)]).unwrap();
+        assert_eq!(t.lookup_pk(&[Value::from("a")]), None);
+        assert_eq!(t.lookup_pk(&[Value::from("b")]), Some(id));
+        // Updating into an existing key must fail.
+        t.insert(vec![Value::from("c"), Value::Integer(3)]).unwrap();
+        assert!(t.update(id, vec![Value::from("c"), Value::Integer(9)]).is_err());
+    }
+
+    #[test]
+    fn compact_renumbers_and_rebuilds() {
+        let mut t = keyed_table();
+        for (k, v) in [("a", 1i64), ("b", 2), ("c", 3)] {
+            t.insert(vec![Value::from(k), Value::Integer(v)]).unwrap();
+        }
+        t.delete(1).unwrap();
+        t.compact();
+        assert_eq!(t.total_slots(), 2);
+        assert_eq!(t.live_rows(), 2);
+        let ida = t.lookup_pk(&[Value::from("a")]).unwrap();
+        let idc = t.lookup_pk(&[Value::from("c")]).unwrap();
+        assert_eq!(t.row(ida)[1], Value::Integer(1));
+        assert_eq!(t.row(idc)[1], Value::Integer(3));
+    }
+
+    #[test]
+    fn secondary_index_build_and_maintain() {
+        let mut t = groups_table();
+        for (k, v) in [("a", 1i64), ("b", 2), ("a", 3)] {
+            t.insert(vec![Value::from(k), Value::Integer(v)]).unwrap();
+        }
+        t.create_secondary_index("idx_g", vec![0], false).unwrap();
+        assert_eq!(t.secondary_index_names(), vec!["idx_g"]);
+        assert!(t.index_memory_bytes() > 0);
+        // Unique build over duplicate group keys must fail.
+        let err = t.create_secondary_index("idx_unique", vec![0], true);
+        assert!(err.is_err());
+        assert!(t.drop_secondary_index("idx_g"));
+        assert!(!t.drop_secondary_index("idx_g"));
+    }
+
+    #[test]
+    fn truncate_empties() {
+        let mut t = keyed_table();
+        t.insert(vec![Value::from("a"), Value::Integer(1)]).unwrap();
+        t.truncate();
+        assert_eq!(t.live_rows(), 0);
+        assert_eq!(t.lookup_pk(&[Value::from("a")]), None);
+        // Re-insert after truncate works.
+        t.insert(vec![Value::from("a"), Value::Integer(2)]).unwrap();
+    }
+
+    #[test]
+    fn add_pk_after_bulk_load() {
+        let mut t = groups_table();
+        for (k, v) in [("a", 1i64), ("b", 2)] {
+            t.insert(vec![Value::from(k), Value::Integer(v)]).unwrap();
+        }
+        t.add_pk_index(vec![0]).unwrap();
+        assert!(t.has_pk_index());
+        assert_eq!(t.lookup_pk(&[Value::from("b")]), Some(1));
+        // Duplicate data rejects the build.
+        let mut t2 = groups_table();
+        t2.insert(vec![Value::from("a"), Value::Integer(1)]).unwrap();
+        t2.insert(vec![Value::from("a"), Value::Integer(2)]).unwrap();
+        assert!(t2.add_pk_index(vec![0]).is_err());
+    }
+}

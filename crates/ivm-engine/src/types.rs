@@ -1,0 +1,129 @@
+//! Data types supported by the engine.
+
+use std::fmt;
+
+use ivm_sql::ast::TypeName;
+
+/// The engine's type system: a deliberately small, analytics-oriented set
+/// mirroring what the paper's workloads need (Listing 1 uses VARCHAR and
+/// INTEGER; aggregates produce INTEGER/DOUBLE; the multiplicity column is
+/// BOOLEAN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// `BOOLEAN` — notably the `_ivm_multiplicity` column type.
+    Boolean,
+    /// 64-bit signed integer (`INTEGER`, `BIGINT`).
+    Integer,
+    /// 64-bit IEEE float (`DOUBLE`, `FLOAT`, `REAL`).
+    Double,
+    /// UTF-8 string (`VARCHAR`, `TEXT`).
+    Varchar,
+    /// Days since the Unix epoch (`DATE`).
+    Date,
+}
+
+impl DataType {
+    /// Canonical SQL spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DataType::Boolean => "BOOLEAN",
+            DataType::Integer => "INTEGER",
+            DataType::Double => "DOUBLE",
+            DataType::Varchar => "VARCHAR",
+            DataType::Date => "DATE",
+        }
+    }
+
+    /// True for INTEGER and DOUBLE.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DataType::Integer | DataType::Double)
+    }
+
+    /// Whether a value of type `from` may be used where `self` is expected
+    /// without an explicit cast (we allow the usual numeric widening).
+    pub fn accepts(&self, from: DataType) -> bool {
+        *self == from || (*self == DataType::Double && from == DataType::Integer)
+    }
+
+    /// The common type two operands promote to for arithmetic/comparison,
+    /// if any.
+    pub fn promote(a: DataType, b: DataType) -> Option<DataType> {
+        if a == b {
+            return Some(a);
+        }
+        match (a, b) {
+            (DataType::Integer, DataType::Double) | (DataType::Double, DataType::Integer) => {
+                Some(DataType::Double)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl From<TypeName> for DataType {
+    fn from(t: TypeName) -> Self {
+        match t {
+            TypeName::Boolean => DataType::Boolean,
+            TypeName::Integer => DataType::Integer,
+            TypeName::Double => DataType::Double,
+            TypeName::Varchar => DataType::Varchar,
+            TypeName::Date => DataType::Date,
+        }
+    }
+}
+
+impl From<DataType> for TypeName {
+    fn from(t: DataType) -> Self {
+        match t {
+            DataType::Boolean => TypeName::Boolean,
+            DataType::Integer => TypeName::Integer,
+            DataType::Double => TypeName::Double,
+            DataType::Varchar => TypeName::Varchar,
+            DataType::Date => TypeName::Date,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn promotion() {
+        assert_eq!(
+            DataType::promote(DataType::Integer, DataType::Double),
+            Some(DataType::Double)
+        );
+        assert_eq!(
+            DataType::promote(DataType::Integer, DataType::Integer),
+            Some(DataType::Integer)
+        );
+        assert_eq!(DataType::promote(DataType::Integer, DataType::Varchar), None);
+    }
+
+    #[test]
+    fn accepts_widening() {
+        assert!(DataType::Double.accepts(DataType::Integer));
+        assert!(!DataType::Integer.accepts(DataType::Double));
+        assert!(DataType::Varchar.accepts(DataType::Varchar));
+    }
+
+    #[test]
+    fn typename_round_trip() {
+        for t in [
+            DataType::Boolean,
+            DataType::Integer,
+            DataType::Double,
+            DataType::Varchar,
+            DataType::Date,
+        ] {
+            assert_eq!(DataType::from(TypeName::from(t)), t);
+        }
+    }
+}

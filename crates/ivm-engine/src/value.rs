@@ -1,0 +1,377 @@
+//! Runtime values with SQL semantics.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::error::EngineError;
+use crate::types::DataType;
+
+/// A single runtime value.
+///
+/// `Value` implements *grouping* equality/ordering (used by hash aggregation,
+/// hash joins, DISTINCT, ORDER BY, and index keys): `Null == Null`, doubles
+/// compare via `total_cmp`, and `Null` sorts first. SQL three-valued
+/// comparison lives in the expression evaluator, not here.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// BOOLEAN value.
+    Boolean(bool),
+    /// INTEGER value.
+    Integer(i64),
+    /// DOUBLE value.
+    Double(f64),
+    /// VARCHAR value.
+    Varchar(String),
+    /// DATE value as days since the Unix epoch.
+    Date(i32),
+}
+
+impl Value {
+    /// Type of the value, when it has one (NULL is typeless).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Boolean(_) => Some(DataType::Boolean),
+            Value::Integer(_) => Some(DataType::Integer),
+            Value::Double(_) => Some(DataType::Double),
+            Value::Varchar(_) => Some(DataType::Varchar),
+            Value::Date(_) => Some(DataType::Date),
+        }
+    }
+
+    /// True when the value is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interpret as boolean for predicate evaluation; NULL is `None`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Boolean(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Integer accessor.
+    pub fn as_integer(&self) -> Option<i64> {
+        match self {
+            Value::Integer(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Numeric value widened to f64, when numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Integer(i) => Some(*i as f64),
+            Value::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Varchar(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Cast to `target`, with SQL cast semantics. NULL casts to NULL.
+    pub fn cast(&self, target: DataType) -> Result<Value, EngineError> {
+        if self.is_null() {
+            return Ok(Value::Null);
+        }
+        if self.data_type() == Some(target) {
+            return Ok(self.clone());
+        }
+        let out = match (self, target) {
+            (Value::Integer(i), DataType::Double) => Some(Value::Double(*i as f64)),
+            (Value::Double(d), DataType::Integer) => {
+                // SQL rounds half away from zero on double→int casts.
+                let r = d.round();
+                if r.is_finite() && (i64::MIN as f64..=i64::MAX as f64).contains(&r) {
+                    Some(Value::Integer(r as i64))
+                } else {
+                    None
+                }
+            }
+            (Value::Integer(i), DataType::Boolean) => Some(Value::Boolean(*i != 0)),
+            (Value::Boolean(b), DataType::Integer) => Some(Value::Integer(i64::from(*b))),
+            (Value::Varchar(s), DataType::Integer) => {
+                s.trim().parse::<i64>().ok().map(Value::Integer)
+            }
+            (Value::Varchar(s), DataType::Double) => {
+                s.trim().parse::<f64>().ok().map(Value::Double)
+            }
+            (Value::Varchar(s), DataType::Boolean) => match s.trim().to_ascii_lowercase().as_str()
+            {
+                "true" | "t" | "1" => Some(Value::Boolean(true)),
+                "false" | "f" | "0" => Some(Value::Boolean(false)),
+                _ => None,
+            },
+            (Value::Varchar(s), DataType::Date) => parse_date(s).map(Value::Date),
+            (v, DataType::Varchar) => Some(Value::Varchar(v.to_string())),
+            (Value::Date(d), DataType::Integer) => Some(Value::Integer(i64::from(*d))),
+            (Value::Integer(i), DataType::Date) => i32::try_from(*i).ok().map(Value::Date),
+            _ => None,
+        };
+        out.ok_or_else(|| {
+            EngineError::invalid_cast(format!("cannot cast {self} to {target}"))
+        })
+    }
+
+    /// Grouping comparison used by sorting and index keys: NULL first, then
+    /// by type-specific order. Cross-numeric-type values compare by value.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Boolean(a), Boolean(b)) => a.cmp(b),
+            (Integer(a), Integer(b)) => a.cmp(b),
+            (Double(a), Double(b)) => a.total_cmp(b),
+            (Integer(a), Double(b)) => (*a as f64).total_cmp(b),
+            (Double(a), Integer(b)) => a.total_cmp(&(*b as f64)),
+            (Varchar(a), Varchar(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            // Differently-typed values never meet in well-typed plans; fall
+            // back to a stable order by type tag for robustness.
+            _ => type_rank(self).cmp(&type_rank(other)),
+        }
+    }
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Boolean(_) => 1,
+        Value::Integer(_) => 2,
+        Value::Double(_) => 3,
+        Value::Varchar(_) => 4,
+        Value::Date(_) => 5,
+    }
+}
+
+/// Parse `YYYY-MM-DD` into days since the Unix epoch (proleptic Gregorian).
+pub fn parse_date(s: &str) -> Option<i32> {
+    let mut parts = s.trim().splitn(3, '-');
+    let year: i32 = parts.next()?.parse().ok()?;
+    let month: u32 = parts.next()?.parse().ok()?;
+    let day: u32 = parts.next()?.parse().ok()?;
+    days_from_civil(year, month, day)
+}
+
+/// Format days-since-epoch as `YYYY-MM-DD`.
+pub fn format_date(days: i32) -> String {
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Howard Hinnant's `days_from_civil` algorithm.
+fn days_from_civil(y: i32, m: u32, d: u32) -> Option<i32> {
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as i64;
+    let mp = ((m + 9) % 12) as i64;
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    i32::try_from(era as i64 * 146_097 + doe - 719_468).ok()
+}
+
+/// Inverse of [`days_from_civil`].
+fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z as i64 + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Boolean(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Integers and doubles that are numerically equal must hash the
+            // same because they compare equal in total_cmp.
+            Value::Integer(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Double(d) => {
+                2u8.hash(state);
+                d.to_bits().hash(state);
+            }
+            Value::Varchar(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+            Value::Date(d) => {
+                5u8.hash(state);
+                d.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Boolean(b) => write!(f, "{}", if *b { "true" } else { "false" }),
+            Value::Integer(i) => write!(f, "{i}"),
+            Value::Double(d) => {
+                if d.fract() == 0.0 && d.is_finite() && d.abs() < 1e15 {
+                    write!(f, "{d:.1}")
+                } else {
+                    write!(f, "{d}")
+                }
+            }
+            Value::Varchar(s) => write!(f, "{s}"),
+            Value::Date(d) => write!(f, "{}", format_date(*d)),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Integer(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Boolean(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Varchar(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Varchar(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_groups_with_null() {
+        assert_eq!(Value::Null, Value::Null);
+        assert!(Value::Null < Value::Integer(0));
+    }
+
+    #[test]
+    fn cross_numeric_equality_and_hash() {
+        use std::collections::hash_map::DefaultHasher;
+        let a = Value::Integer(3);
+        let b = Value::Double(3.0);
+        assert_eq!(a, b);
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        a.hash(&mut h1);
+        b.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(Value::Integer(2).cast(DataType::Double).unwrap(), Value::Double(2.0));
+        assert_eq!(Value::Double(2.6).cast(DataType::Integer).unwrap(), Value::Integer(3));
+        assert_eq!(
+            Value::Varchar("42".into()).cast(DataType::Integer).unwrap(),
+            Value::Integer(42)
+        );
+        assert_eq!(
+            Value::Integer(7).cast(DataType::Varchar).unwrap(),
+            Value::Varchar("7".into())
+        );
+        assert_eq!(Value::Null.cast(DataType::Integer).unwrap(), Value::Null);
+        assert!(Value::Varchar("xyz".into()).cast(DataType::Integer).is_err());
+        assert!(Value::Double(f64::NAN).cast(DataType::Integer).is_err());
+    }
+
+    #[test]
+    fn date_round_trip() {
+        for s in ["1970-01-01", "2024-06-09", "1969-12-31", "2000-02-29", "1582-10-15"] {
+            let d = parse_date(s).unwrap();
+            assert_eq!(format_date(d), s, "round trip of {s}");
+        }
+        assert_eq!(parse_date("1970-01-01"), Some(0));
+        assert_eq!(parse_date("1970-01-02"), Some(1));
+        assert_eq!(parse_date("1969-12-31"), Some(-1));
+        assert_eq!(parse_date("not-a-date"), None);
+        assert_eq!(parse_date("2024-13-01"), None);
+    }
+
+    #[test]
+    fn boolean_casts() {
+        assert_eq!(
+            Value::Varchar("true".into()).cast(DataType::Boolean).unwrap(),
+            Value::Boolean(true)
+        );
+        assert_eq!(Value::Boolean(true).cast(DataType::Integer).unwrap(), Value::Integer(1));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Double(2.0).to_string(), "2.0");
+        assert_eq!(Value::Double(2.5).to_string(), "2.5");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Date(0).to_string(), "1970-01-01");
+    }
+
+    #[test]
+    fn nan_totals() {
+        // NaN groups with NaN under total_cmp — required for stable grouping.
+        assert_eq!(Value::Double(f64::NAN), Value::Double(f64::NAN));
+    }
+}

@@ -1,0 +1,77 @@
+//! The delta bridge: OLTP triggers → OLAP delta tables.
+//!
+//! Replaces the paper's postgres_scanner hop with an explicit ship step:
+//! committed `(row, multiplicity)` pairs drained from the OLTP change logs
+//! are ingested into the OLAP session's ΔT tables (and its base-table
+//! mirrors, emulating attached-database access).
+
+use ivm_core::IvmSession;
+use ivm_oltp::OltpEngine;
+
+use crate::error::HtapError;
+
+/// Shipping counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShipStats {
+    /// Ship invocations that moved at least one delta.
+    pub batches: usize,
+    /// Total delta rows moved.
+    pub rows: usize,
+}
+
+/// Moves deltas for a set of mirrored tables.
+#[derive(Debug, Default)]
+pub struct Bridge {
+    tables: Vec<String>,
+    stats: ShipStats,
+}
+
+impl Bridge {
+    /// A bridge over no tables.
+    pub fn new() -> Bridge {
+        Bridge::default()
+    }
+
+    /// Track a mirrored table.
+    pub fn track(&mut self, table: impl Into<String>) {
+        let t = table.into();
+        if !self.tables.contains(&t) {
+            self.tables.push(t);
+        }
+    }
+
+    /// Tracked tables.
+    pub fn tables(&self) -> &[String] {
+        &self.tables
+    }
+
+    /// Shipping counters.
+    pub fn stats(&self) -> ShipStats {
+        self.stats
+    }
+
+    /// Drain every tracked table's change log from the OLTP engine and
+    /// ingest into the OLAP session. Returns the number of rows shipped.
+    pub fn ship(
+        &mut self,
+        oltp: &mut OltpEngine,
+        olap: &mut IvmSession,
+    ) -> Result<usize, HtapError> {
+        let mut shipped = 0usize;
+        for table in self.tables.clone() {
+            let changes = oltp.drain_changes(&table);
+            if changes.is_empty() {
+                continue;
+            }
+            let pairs: Vec<(Vec<ivm_engine::Value>, bool)> =
+                changes.into_iter().map(|c| (c.row, c.insertion)).collect();
+            shipped += pairs.len();
+            olap.ingest_deltas(&table, &pairs)?;
+        }
+        if shipped > 0 {
+            self.stats.batches += 1;
+            self.stats.rows += shipped;
+        }
+        Ok(shipped)
+    }
+}

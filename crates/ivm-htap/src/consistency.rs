@@ -1,0 +1,64 @@
+//! Cross-system consistency checking.
+
+use std::collections::HashMap;
+
+use ivm_engine::Value;
+
+/// Outcome of a pipeline-wide consistency check.
+#[derive(Debug, Clone, Default)]
+pub struct ConsistencyReport {
+    /// Mirrored tables whose OLTP and OLAP contents diverge.
+    pub mismatched_tables: Vec<String>,
+    /// Materialized views that disagree with a from-scratch recomputation.
+    pub mismatched_views: Vec<String>,
+}
+
+impl ConsistencyReport {
+    /// True when everything matched.
+    pub fn is_consistent(&self) -> bool {
+        self.mismatched_tables.is_empty() && self.mismatched_views.is_empty()
+    }
+}
+
+/// Compare two row sets as multisets, normalizing INTEGER/DOUBLE so values
+/// widened by arithmetic still compare equal.
+pub fn rows_equal_as_multisets(a: &[Vec<Value>], b: &[Vec<Value>]) -> bool {
+    fn key(rows: &[Vec<Value>]) -> HashMap<Vec<Value>, usize> {
+        let mut m = HashMap::new();
+        for r in rows {
+            let normalized: Vec<Value> = r
+                .iter()
+                .map(|v| match v {
+                    Value::Integer(i) => Value::Double(*i as f64),
+                    other => other.clone(),
+                })
+                .collect();
+            *m.entry(normalized).or_insert(0) += 1;
+        }
+        m
+    }
+    key(a) == key(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiset_semantics() {
+        let a = vec![vec![Value::Integer(1)], vec![Value::Integer(1)]];
+        let b = vec![vec![Value::Integer(1)]];
+        assert!(!rows_equal_as_multisets(&a, &b), "counts matter");
+        let c = vec![vec![Value::Double(1.0)], vec![Value::Integer(1)]];
+        assert!(rows_equal_as_multisets(&a, &c), "numeric widening normalized");
+        let d = vec![vec![Value::Integer(1)], vec![Value::Integer(2)]];
+        assert!(!rows_equal_as_multisets(&a, &d));
+    }
+
+    #[test]
+    fn order_is_irrelevant() {
+        let a = vec![vec![Value::from("x")], vec![Value::from("y")]];
+        let b = vec![vec![Value::from("y")], vec![Value::from("x")]];
+        assert!(rows_equal_as_multisets(&a, &b));
+    }
+}

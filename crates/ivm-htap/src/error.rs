@@ -1,0 +1,53 @@
+//! HTAP pipeline error type.
+
+use std::fmt;
+
+/// Errors from the cross-system pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HtapError {
+    message: String,
+}
+
+impl HtapError {
+    /// Construct an error.
+    pub fn new(message: impl Into<String>) -> HtapError {
+        HtapError { message: message.into() }
+    }
+
+    /// The message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for HtapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "htap error: {}", self.message)
+    }
+}
+
+impl std::error::Error for HtapError {}
+
+impl From<ivm_oltp::OltpError> for HtapError {
+    fn from(e: ivm_oltp::OltpError) -> Self {
+        HtapError::new(e.to_string())
+    }
+}
+
+impl From<ivm_core::IvmError> for HtapError {
+    fn from(e: ivm_core::IvmError) -> Self {
+        HtapError::new(e.to_string())
+    }
+}
+
+impl From<ivm_engine::EngineError> for HtapError {
+    fn from(e: ivm_engine::EngineError) -> Self {
+        HtapError::new(e.to_string())
+    }
+}
+
+impl From<ivm_sql::SqlError> for HtapError {
+    fn from(e: ivm_sql::SqlError) -> Self {
+        HtapError::new(e.to_string())
+    }
+}

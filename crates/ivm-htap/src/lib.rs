@@ -1,0 +1,36 @@
+//! # ivm-htap — cross-system IVM orchestration
+//!
+//! Reproduces the paper's Figure 3: "an HTAP pipeline … capturing deltas in
+//! an OLTP system and feeding these into an IVM computation that maintains
+//! materialized views in an OLAP system". The OLTP side is
+//! [`ivm_oltp::OltpEngine`] (the PostgreSQL stand-in, with user-configured
+//! triggers); the OLAP side is [`ivm_core::IvmSession`] over the embedded
+//! columnar engine (the DuckDB stand-in); the [`HtapPipeline`] is the glue
+//! that ships delta batches and kicks off the generated propagation SQL.
+//!
+//! ```
+//! use ivm_htap::HtapPipeline;
+//!
+//! let mut htap = HtapPipeline::with_defaults();
+//! htap.mirror_table("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)").unwrap();
+//! htap.create_materialized_view(
+//!     "CREATE MATERIALIZED VIEW qg AS \
+//!      SELECT group_index, SUM(group_value) AS total FROM groups GROUP BY group_index",
+//! ).unwrap();
+//! htap.execute_oltp("INSERT INTO groups VALUES ('a', 1), ('a', 2)").unwrap();
+//! htap.sync().unwrap();
+//! let result = htap.query_view("qg").unwrap();
+//! assert_eq!(result.rows.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bridge;
+mod consistency;
+mod error;
+mod pipeline;
+
+pub use bridge::{Bridge, ShipStats};
+pub use consistency::{rows_equal_as_multisets, ConsistencyReport};
+pub use error::HtapError;
+pub use pipeline::HtapPipeline;

@@ -1,0 +1,226 @@
+//! The Figure-3 pipeline: OLTP writes → triggers → delta ship → OLAP IVM.
+
+use ivm_core::{IvmFlags, IvmSession};
+use ivm_engine::QueryResult;
+use ivm_oltp::{OltpEngine, OltpResult};
+
+use crate::bridge::{Bridge, ShipStats};
+use crate::consistency::{rows_equal_as_multisets, ConsistencyReport};
+use crate::error::HtapError;
+
+/// The cross-system HTAP pipeline: "a trusted and efficient OLTP system
+/// (PostgreSQL) with an efficient analytical engine (DuckDB)" (§3), with
+/// OpenIVM-generated SQL maintaining the analytical views.
+#[derive(Debug)]
+pub struct HtapPipeline {
+    oltp: OltpEngine,
+    olap: IvmSession,
+    bridge: Bridge,
+}
+
+impl HtapPipeline {
+    /// Build a pipeline with the given OLAP-side compiler flags.
+    pub fn new(flags: IvmFlags) -> HtapPipeline {
+        HtapPipeline {
+            oltp: OltpEngine::new(),
+            olap: IvmSession::new(flags),
+            bridge: Bridge::new(),
+        }
+    }
+
+    /// Paper-default flags.
+    pub fn with_defaults() -> HtapPipeline {
+        HtapPipeline::new(IvmFlags::paper_defaults())
+    }
+
+    /// Borrow the OLTP engine.
+    pub fn oltp(&self) -> &OltpEngine {
+        &self.oltp
+    }
+
+    /// Mutably borrow the OLTP engine (bulk loads in benchmarks).
+    pub fn oltp_mut(&mut self) -> &mut OltpEngine {
+        &mut self.oltp
+    }
+
+    /// Borrow the OLAP IVM session.
+    pub fn olap(&self) -> &IvmSession {
+        &self.olap
+    }
+
+    /// Mutably borrow the OLAP IVM session.
+    pub fn olap_mut(&mut self) -> &mut IvmSession {
+        &mut self.olap
+    }
+
+    /// Shipping counters.
+    pub fn ship_stats(&self) -> ShipStats {
+        self.bridge.stats()
+    }
+
+    /// Create a base table on both systems, install the change-capture
+    /// trigger on the OLTP side, and start tracking it in the bridge.
+    pub fn mirror_table(&mut self, create_table_sql: &str) -> Result<(), HtapError> {
+        // Validate shape first.
+        let stmt = ivm_sql::parse_statement(create_table_sql)?;
+        let ivm_sql::ast::Statement::CreateTable(ct) = &stmt else {
+            return Err(HtapError::new("mirror_table expects CREATE TABLE"));
+        };
+        let name = ct.name.normalized().to_string();
+        self.oltp.execute(create_table_sql)?;
+        self.olap.execute(create_table_sql)?;
+        self.oltp.create_capture_trigger(&name)?;
+        self.bridge.track(name);
+        Ok(())
+    }
+
+    /// Run a transactional statement on the OLTP system.
+    pub fn execute_oltp(&mut self, sql: &str) -> Result<OltpResult, HtapError> {
+        Ok(self.oltp.execute(sql)?)
+    }
+
+    /// Create a materialized view on the OLAP side. Base-table contents
+    /// already on the OLTP side must have been shipped first (the mirror
+    /// feeds initial population).
+    pub fn create_materialized_view(&mut self, sql: &str) -> Result<(), HtapError> {
+        self.olap.execute(sql)?;
+        Ok(())
+    }
+
+    /// Ship pending deltas across. Returns rows shipped. Propagation runs
+    /// per the OLAP session's [`ivm_core::PropagationMode`] — with the
+    /// default lazy mode it is deferred to the next view read.
+    pub fn sync(&mut self) -> Result<usize, HtapError> {
+        // Tables that feed no view yet have no delta tables to ingest into.
+        if self.olap.views().is_empty() {
+            return Ok(0);
+        }
+        self.bridge.ship(&mut self.oltp, &mut self.olap)
+    }
+
+    /// Ship and force propagation of every dirty view.
+    pub fn sync_and_refresh(&mut self) -> Result<(), HtapError> {
+        self.sync()?;
+        self.olap.refresh_all()?;
+        Ok(())
+    }
+
+    /// Query a materialized view (ships pending deltas first, then lets the
+    /// lazy refresh policy do its work).
+    pub fn query_view(&mut self, name: &str) -> Result<QueryResult, HtapError> {
+        self.sync()?;
+        Ok(self.olap.query_view(name)?)
+    }
+
+    /// Run an arbitrary analytical query on the OLAP engine (views refresh
+    /// lazily when referenced).
+    pub fn query_olap(&mut self, sql: &str) -> Result<QueryResult, HtapError> {
+        self.sync()?;
+        Ok(self.olap.execute(sql)?)
+    }
+
+    /// Full-pipeline consistency check: every mirror equals its OLTP
+    /// source, and every view equals a from-scratch recomputation.
+    pub fn check_consistency(&mut self) -> Result<ConsistencyReport, HtapError> {
+        self.sync_and_refresh()?;
+        let mut report = ConsistencyReport::default();
+        for table in self.bridge.tables().to_vec() {
+            let oltp_rows = self.oltp.execute(&format!("SELECT * FROM {table}"))?.rows;
+            let olap_rows = self
+                .olap
+                .database()
+                .query(&format!("SELECT * FROM {table}"))?
+                .rows;
+            if !rows_equal_as_multisets(&oltp_rows, &olap_rows) {
+                report.mismatched_tables.push(table);
+            }
+        }
+        let views: Vec<String> =
+            self.olap.views().iter().map(|v| v.name.clone()).collect();
+        for v in views {
+            if !self.olap.check_consistency(&v)? {
+                report.mismatched_views.push(v);
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipeline_with_view() -> HtapPipeline {
+        let mut htap = HtapPipeline::with_defaults();
+        htap.mirror_table(
+            "CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)",
+        )
+        .unwrap();
+        htap.create_materialized_view(
+            "CREATE MATERIALIZED VIEW qg AS \
+             SELECT group_index, SUM(group_value) AS total \
+             FROM groups GROUP BY group_index",
+        )
+        .unwrap();
+        htap
+    }
+
+    #[test]
+    fn basic_flow() {
+        let mut htap = pipeline_with_view();
+        htap.execute_oltp("INSERT INTO groups VALUES ('a', 1), ('a', 2), ('b', 5)").unwrap();
+        let shipped = htap.sync().unwrap();
+        assert_eq!(shipped, 3);
+        let r = htap.query_view("qg").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let report = htap.check_consistency().unwrap();
+        assert!(report.is_consistent(), "{report:?}");
+    }
+
+    #[test]
+    fn transactional_visibility() {
+        let mut htap = pipeline_with_view();
+        htap.execute_oltp("BEGIN").unwrap();
+        htap.execute_oltp("INSERT INTO groups VALUES ('a', 1)").unwrap();
+        assert_eq!(htap.sync().unwrap(), 0, "uncommitted rows never ship");
+        htap.execute_oltp("COMMIT").unwrap();
+        assert_eq!(htap.sync().unwrap(), 1);
+        assert!(htap.check_consistency().unwrap().is_consistent());
+    }
+
+    #[test]
+    fn rollback_ships_nothing() {
+        let mut htap = pipeline_with_view();
+        htap.execute_oltp("BEGIN").unwrap();
+        htap.execute_oltp("INSERT INTO groups VALUES ('x', 9)").unwrap();
+        htap.execute_oltp("ROLLBACK").unwrap();
+        assert_eq!(htap.sync().unwrap(), 0);
+        let r = htap.query_view("qg").unwrap();
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn updates_and_deletes_flow_through() {
+        let mut htap = pipeline_with_view();
+        htap.execute_oltp("INSERT INTO groups VALUES ('a', 1), ('b', 2)").unwrap();
+        htap.execute_oltp("UPDATE groups SET group_value = 10 WHERE group_index = 'a'").unwrap();
+        htap.execute_oltp("DELETE FROM groups WHERE group_index = 'b'").unwrap();
+        let report = htap.check_consistency().unwrap();
+        assert!(report.is_consistent(), "{report:?}");
+        let r = htap.query_view("qg").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][1], ivm_engine::Value::Integer(10));
+    }
+
+    #[test]
+    fn ship_stats_accumulate() {
+        let mut htap = pipeline_with_view();
+        htap.execute_oltp("INSERT INTO groups VALUES ('a', 1)").unwrap();
+        htap.sync().unwrap();
+        htap.execute_oltp("INSERT INTO groups VALUES ('b', 2)").unwrap();
+        htap.sync().unwrap();
+        let stats = htap.ship_stats();
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.rows, 2);
+    }
+}

@@ -1,0 +1,41 @@
+//! OLTP engine error type.
+
+use std::fmt;
+
+/// Errors raised by the OLTP row-store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OltpError {
+    message: String,
+}
+
+impl OltpError {
+    /// Construct an error.
+    pub fn new(message: impl Into<String>) -> OltpError {
+        OltpError { message: message.into() }
+    }
+
+    /// The message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for OltpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "oltp error: {}", self.message)
+    }
+}
+
+impl std::error::Error for OltpError {}
+
+impl From<ivm_sql::SqlError> for OltpError {
+    fn from(e: ivm_sql::SqlError) -> Self {
+        OltpError::new(e.to_string())
+    }
+}
+
+impl From<ivm_engine::EngineError> for OltpError {
+    fn from(e: ivm_engine::EngineError) -> Self {
+        OltpError::new(e.to_string())
+    }
+}

@@ -1,0 +1,37 @@
+//! # ivm-oltp — a simulated OLTP row store with change-capture triggers
+//!
+//! Stands in for PostgreSQL in the paper's cross-system HTAP demonstration
+//! (Figure 3). The engine is row-oriented with B-tree primary keys,
+//! supports single-writer transactions (`BEGIN`/`COMMIT`/`ROLLBACK` with
+//! undo-based rollback), and offers AFTER-statement change-capture
+//! triggers: every committed INSERT/UPDATE/DELETE is recorded as
+//! `(row, multiplicity)` pairs — the ΔT stream the OpenIVM propagation
+//! scripts consume. UPDATEs appear as deletion + insertion, following the
+//! DBSP Z-set treatment.
+//!
+//! Analytical queries run here too (for the E3 "pure OLTP" baseline), but
+//! through deliberately naive row-at-a-time loops: the performance
+//! asymmetry against the columnar OLAP engine is what motivates
+//! cross-system IVM.
+//!
+//! ```
+//! use ivm_oltp::OltpEngine;
+//!
+//! let mut pg = OltpEngine::new();
+//! pg.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+//! pg.create_capture_trigger("t").unwrap();
+//! pg.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+//! let deltas = pg.drain_changes("t");
+//! assert_eq!(deltas.len(), 1);
+//! assert!(deltas[0].insertion);
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+mod trigger;
+
+pub use engine::{OltpEngine, OltpResult};
+pub use error::OltpError;
+pub use trigger::{ChangeLog, ChangeRecord};

@@ -1,0 +1,113 @@
+//! Change capture: AFTER-statement triggers.
+//!
+//! The paper leaves delta capture on the OLTP side to "triggers …
+//! configured independently" by the user (§2). This module provides those
+//! triggers: once installed on a table, every committed row change is
+//! recorded as a `(row, multiplicity)` pair — exactly the ΔT representation
+//! OpenIVM consumes. UPDATEs surface as deletion + insertion, following
+//! the DBSP Z-set view of updates.
+
+use ivm_engine::Value;
+
+/// One captured change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChangeRecord {
+    /// The full row image.
+    pub row: Vec<Value>,
+    /// `true` = insertion, `false` = deletion.
+    pub insertion: bool,
+}
+
+impl ChangeRecord {
+    /// Insertion record.
+    pub fn insert(row: Vec<Value>) -> ChangeRecord {
+        ChangeRecord { row, insertion: true }
+    }
+
+    /// Deletion record.
+    pub fn delete(row: Vec<Value>) -> ChangeRecord {
+        ChangeRecord { row, insertion: false }
+    }
+}
+
+/// A per-table change buffer, drained by the HTAP bridge.
+#[derive(Debug, Default)]
+pub struct ChangeLog {
+    committed: Vec<ChangeRecord>,
+    /// Changes made inside the open transaction; promoted on COMMIT,
+    /// discarded on ROLLBACK.
+    pending: Vec<ChangeRecord>,
+}
+
+impl ChangeLog {
+    /// Record a change in the current transaction scope.
+    pub fn record(&mut self, change: ChangeRecord, in_txn: bool) {
+        if in_txn {
+            self.pending.push(change);
+        } else {
+            self.committed.push(change);
+        }
+    }
+
+    /// Promote pending changes (COMMIT).
+    pub fn commit(&mut self) {
+        self.committed.append(&mut self.pending);
+    }
+
+    /// Discard pending changes (ROLLBACK).
+    pub fn rollback(&mut self) {
+        self.pending.clear();
+    }
+
+    /// Take all committed changes, leaving the log empty.
+    pub fn drain(&mut self) -> Vec<ChangeRecord> {
+        std::mem::take(&mut self.committed)
+    }
+
+    /// Committed changes waiting to be shipped.
+    pub fn len(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// Whether no committed changes are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.committed.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(v: i64) -> Vec<Value> {
+        vec![Value::Integer(v)]
+    }
+
+    #[test]
+    fn autocommit_records_directly() {
+        let mut log = ChangeLog::default();
+        log.record(ChangeRecord::insert(row(1)), false);
+        assert_eq!(log.len(), 1);
+        let drained = log.drain();
+        assert_eq!(drained, vec![ChangeRecord::insert(row(1))]);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn transactional_changes_wait_for_commit() {
+        let mut log = ChangeLog::default();
+        log.record(ChangeRecord::insert(row(1)), true);
+        assert!(log.is_empty(), "uncommitted changes are invisible");
+        log.commit();
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn rollback_discards_pending() {
+        let mut log = ChangeLog::default();
+        log.record(ChangeRecord::delete(row(2)), true);
+        log.rollback();
+        log.commit();
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,15 @@
+//! Abstract syntax tree for the OpenIVM SQL subset.
+//!
+//! The AST is designed to round-trip: `parse(print(ast)) == ast` for every
+//! tree the parser can produce (see the property tests in the crate root).
+//! Numeric literals keep their lexeme so the whole tree derives `Eq`.
+
+mod expr;
+mod stmt;
+
+pub use expr::{BinaryOp, ColumnRef, Expr, Literal, TypeName, UnaryOp};
+pub use stmt::{
+    Assignment, ColumnDef, ConflictAction, CreateIndex, CreateTable, CreateView, Cte, Delete,
+    Drop, DropKind, Insert, InsertSource, JoinKind, OnConflict, OrderByExpr, Query, Select,
+    SelectItem, SetExpr, SetOp, Statement, TableRef, Update,
+};

@@ -1,0 +1,69 @@
+//! SQL dialects.
+//!
+//! Following the Coral-inspired design in the paper (§1, footnote 5), the
+//! compiler lowers its rewritten plan into an abstract tree and prints it in
+//! "the desired SQL dialect, chosen through a flag". The [`Dialect`] trait
+//! captures the differences our generated SQL relies on; the printer and the
+//! OpenIVM emitter consult it.
+
+/// A target SQL dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Dialect {
+    /// DuckDB-flavoured SQL: `INSERT OR REPLACE` upserts.
+    #[default]
+    DuckDb,
+    /// PostgreSQL-flavoured SQL: `INSERT … ON CONFLICT (…) DO UPDATE` upserts.
+    Postgres,
+}
+
+impl Dialect {
+    /// Human-readable dialect name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dialect::DuckDb => "duckdb",
+            Dialect::Postgres => "postgres",
+        }
+    }
+
+    /// Whether the dialect accepts DuckDB's `INSERT OR REPLACE` shorthand.
+    /// PostgreSQL requires the explicit `ON CONFLICT` clause instead, so the
+    /// OpenIVM emitter rewrites upserts before printing for Postgres.
+    pub fn supports_insert_or_replace(&self) -> bool {
+        matches!(self, Dialect::DuckDb)
+    }
+
+    /// Whether the dialect accepts `ON CONFLICT` clauses.
+    pub fn supports_on_conflict(&self) -> bool {
+        // DuckDB supports both spellings; Postgres only ON CONFLICT.
+        true
+    }
+
+    /// Parse a dialect name (as used by compiler flags / CLI).
+    pub fn parse(name: &str) -> Option<Dialect> {
+        match name.to_ascii_lowercase().as_str() {
+            "duckdb" | "duck" => Some(Dialect::DuckDb),
+            "postgres" | "postgresql" | "pg" => Some(Dialect::Postgres),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(Dialect::parse("duckdb"), Some(Dialect::DuckDb));
+        assert_eq!(Dialect::parse("PostgreSQL"), Some(Dialect::Postgres));
+        assert_eq!(Dialect::parse("pg"), Some(Dialect::Postgres));
+        assert_eq!(Dialect::parse("oracle"), None);
+    }
+
+    #[test]
+    fn upsert_capabilities() {
+        assert!(Dialect::DuckDb.supports_insert_or_replace());
+        assert!(!Dialect::Postgres.supports_insert_or_replace());
+        assert!(Dialect::Postgres.supports_on_conflict());
+    }
+}

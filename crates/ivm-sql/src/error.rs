@@ -1,0 +1,66 @@
+//! Error type shared by the lexer and parser.
+
+use std::fmt;
+
+/// An error produced while lexing or parsing SQL text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    kind: SqlErrorKind,
+    message: String,
+    /// Byte offset into the original SQL where the problem was detected.
+    offset: Option<usize>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SqlErrorKind {
+    Lex,
+    Parse,
+}
+
+impl SqlError {
+    pub(crate) fn lex(message: impl Into<String>, offset: usize) -> Self {
+        SqlError { kind: SqlErrorKind::Lex, message: message.into(), offset: Some(offset) }
+    }
+
+    pub(crate) fn parse(message: impl Into<String>, offset: usize) -> Self {
+        SqlError { kind: SqlErrorKind::Parse, message: message.into(), offset: Some(offset) }
+    }
+
+    /// Byte offset of the error in the input, when known.
+    pub fn offset(&self) -> Option<usize> {
+        self.offset
+    }
+
+    /// True when the error was raised by the tokenizer rather than the parser.
+    pub fn is_lex_error(&self) -> bool {
+        self.kind == SqlErrorKind::Lex
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.kind {
+            SqlErrorKind::Lex => "lex error",
+            SqlErrorKind::Parse => "parse error",
+        };
+        match self.offset {
+            Some(off) => write!(f, "{phase} at byte {off}: {}", self.message),
+            None => write!(f, "{phase}: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset_and_phase() {
+        let e = SqlError::parse("expected FROM", 12);
+        assert_eq!(e.to_string(), "parse error at byte 12: expected FROM");
+        assert_eq!(e.offset(), Some(12));
+        assert!(!e.is_lex_error());
+    }
+}

@@ -1,0 +1,198 @@
+//! Recursive-descent parser for the OpenIVM SQL subset.
+
+mod expr;
+mod select;
+mod stmt;
+
+use crate::ast::Statement;
+use crate::error::SqlError;
+use crate::ident::Ident;
+use crate::lexer::tokenize;
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Parse a string containing exactly one statement (a trailing `;` is
+/// allowed).
+pub fn parse_statement(sql: &str) -> Result<Statement, SqlError> {
+    let mut stmts = parse_statements(sql)?;
+    match stmts.len() {
+        1 => Ok(stmts.pop().expect("checked length")),
+        0 => Err(SqlError::parse("empty statement", 0)),
+        n => Err(SqlError::parse(format!("expected one statement, found {n}"), 0)),
+    }
+}
+
+/// Parse a `;`-separated script into statements.
+pub fn parse_statements(sql: &str) -> Result<Vec<Statement>, SqlError> {
+    let tokens = tokenize(sql)?;
+    let mut parser = Parser::new(tokens);
+    let mut out = Vec::new();
+    loop {
+        while parser.eat_token(&TokenKind::Semicolon) {}
+        if parser.at_eof() {
+            break;
+        }
+        out.push(parser.parse_statement()?);
+        if !parser.at_eof() && !parser.check_token(&TokenKind::Semicolon) {
+            return Err(parser.unexpected("`;` or end of input"));
+        }
+    }
+    Ok(out)
+}
+
+pub(crate) struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    pub(crate) fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    pub(crate) fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    pub(crate) fn peek_ahead(&self, n: usize) -> &TokenKind {
+        let idx = (self.pos + n).min(self.tokens.len() - 1);
+        &self.tokens[idx].kind
+    }
+
+    pub(crate) fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    pub(crate) fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    pub(crate) fn advance(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    pub(crate) fn check_token(&self, kind: &TokenKind) -> bool {
+        self.peek() == kind
+    }
+
+    pub(crate) fn eat_token(&mut self, kind: &TokenKind) -> bool {
+        if self.check_token(kind) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn expect_token(&mut self, kind: &TokenKind) -> Result<(), SqlError> {
+        if self.eat_token(kind) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("`{kind}`")))
+        }
+    }
+
+    pub(crate) fn check_kw(&self, kw: Keyword) -> bool {
+        matches!(self.peek(), TokenKind::Keyword(k) if *k == kw)
+    }
+
+    pub(crate) fn check_kw_ahead(&self, n: usize, kw: Keyword) -> bool {
+        matches!(self.peek_ahead(n), TokenKind::Keyword(k) if *k == kw)
+    }
+
+    pub(crate) fn eat_kw(&mut self, kw: Keyword) -> bool {
+        if self.check_kw(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn expect_kw(&mut self, kw: Keyword) -> Result<(), SqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.unexpected(kw.as_str()))
+        }
+    }
+
+    /// Consume an identifier. Non-reserved keywords double as identifiers in
+    /// a few places (e.g. a column named `key`), but we keep it strict and
+    /// only allow a small allowlist used by our own generated SQL.
+    pub(crate) fn parse_ident(&mut self) -> Result<Ident, SqlError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(Ident::new(name))
+            }
+            TokenKind::QuotedIdent(name) => {
+                self.advance();
+                Ok(Ident::quoted(name))
+            }
+            // Soft keywords usable as identifiers.
+            TokenKind::Keyword(kw)
+                if matches!(
+                    kw,
+                    Keyword::Key
+                        | Keyword::Date
+                        | Keyword::Text
+                        | Keyword::Index
+                        | Keyword::Replace
+                        | Keyword::Excluded
+                        | Keyword::Conflict
+                ) =>
+            {
+                self.advance();
+                Ok(Ident::new(kw.as_str().to_lowercase()))
+            }
+            _ => Err(self.unexpected("identifier")),
+        }
+    }
+
+    /// Parse a comma-separated list using `f` for each element.
+    pub(crate) fn parse_comma_separated<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Parser) -> Result<T, SqlError>,
+    ) -> Result<Vec<T>, SqlError> {
+        let mut items = vec![f(self)?];
+        while self.eat_token(&TokenKind::Comma) {
+            items.push(f(self)?);
+        }
+        Ok(items)
+    }
+
+    pub(crate) fn unexpected(&self, expected: &str) -> SqlError {
+        SqlError::parse(
+            format!("expected {expected}, found `{}`", self.peek()),
+            self.offset(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_statement_rejects_trailing_garbage() {
+        assert!(parse_statement("SELECT 1 SELECT 2").is_err());
+        assert!(parse_statement("SELECT 1; SELECT 2;").is_err());
+        assert!(parse_statement("").is_err());
+    }
+
+    #[test]
+    fn parse_statements_handles_script() {
+        let stmts = parse_statements("SELECT 1; ; SELECT 2;").unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn trailing_semicolon_ok() {
+        assert!(parse_statement("SELECT 1;").is_ok());
+        assert!(parse_statement("SELECT 1").is_ok());
+    }
+}

@@ -1,0 +1,395 @@
+//! Query / SELECT parsing.
+
+use crate::ast::{
+    Cte, JoinKind, OrderByExpr, Query, Select, SelectItem, SetExpr, SetOp, TableRef,
+};
+use crate::error::SqlError;
+use crate::parser::Parser;
+use crate::token::{Keyword, TokenKind};
+
+impl Parser {
+    /// Parse a query: `[WITH …] select-body [ORDER BY …] [LIMIT …] [OFFSET …]`.
+    pub(crate) fn parse_query(&mut self) -> Result<Query, SqlError> {
+        let mut ctes = Vec::new();
+        if self.eat_kw(Keyword::With) {
+            ctes = self.parse_comma_separated(|p| {
+                let name = p.parse_ident()?;
+                p.expect_kw(Keyword::As)?;
+                p.expect_token(&TokenKind::LParen)?;
+                let query = p.parse_query()?;
+                p.expect_token(&TokenKind::RParen)?;
+                Ok(Cte { name, query: Box::new(query) })
+            })?;
+        }
+        let body = self.parse_set_expr()?;
+        let mut order_by = Vec::new();
+        if self.eat_kw(Keyword::Order) {
+            self.expect_kw(Keyword::By)?;
+            order_by = self.parse_comma_separated(|p| {
+                let expr = p.parse_expr()?;
+                let desc = if p.eat_kw(Keyword::Desc) {
+                    true
+                } else {
+                    p.eat_kw(Keyword::Asc);
+                    false
+                };
+                Ok(OrderByExpr { expr, desc })
+            })?;
+        }
+        let mut limit = None;
+        let mut offset = None;
+        if self.eat_kw(Keyword::Limit) {
+            limit = Some(self.parse_expr()?);
+        }
+        if self.eat_kw(Keyword::Offset) {
+            offset = Some(self.parse_expr()?);
+        }
+        Ok(Query { ctes, body, order_by, limit, offset })
+    }
+
+    /// Parse a set expression with left-associative UNION/EXCEPT/INTERSECT.
+    /// INTERSECT binds tighter than UNION/EXCEPT, per the SQL standard.
+    fn parse_set_expr(&mut self) -> Result<SetExpr, SqlError> {
+        let mut left = self.parse_intersect_operand()?;
+        loop {
+            let op = if self.check_kw(Keyword::Union) {
+                SetOp::Union
+            } else if self.check_kw(Keyword::Except) {
+                SetOp::Except
+            } else {
+                break;
+            };
+            self.advance();
+            let all = self.eat_kw(Keyword::All);
+            let right = self.parse_intersect_operand()?;
+            left = SetExpr::SetOp { op, all, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_intersect_operand(&mut self) -> Result<SetExpr, SqlError> {
+        let mut left = self.parse_set_primary()?;
+        while self.check_kw(Keyword::Intersect) {
+            self.advance();
+            let all = self.eat_kw(Keyword::All);
+            let right = self.parse_set_primary()?;
+            left = SetExpr::SetOp {
+                op: SetOp::Intersect,
+                all,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_set_primary(&mut self) -> Result<SetExpr, SqlError> {
+        if self.check_token(&TokenKind::LParen) {
+            // Parenthesised set expression: `(SELECT …) UNION …`.
+            self.advance();
+            let inner = self.parse_set_expr()?;
+            self.expect_token(&TokenKind::RParen)?;
+            return Ok(inner);
+        }
+        Ok(SetExpr::Select(Box::new(self.parse_select()?)))
+    }
+
+    /// Parse one `SELECT` block (without trailing ORDER BY etc.).
+    pub(crate) fn parse_select(&mut self) -> Result<Select, SqlError> {
+        self.expect_kw(Keyword::Select)?;
+        let distinct = self.eat_kw(Keyword::Distinct);
+        let projection = self.parse_comma_separated(|p| p.parse_select_item())?;
+        let mut from = Vec::new();
+        if self.eat_kw(Keyword::From) {
+            from = self.parse_comma_separated(|p| p.parse_table_ref())?;
+        }
+        let selection = if self.eat_kw(Keyword::Where) { Some(self.parse_expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw(Keyword::Group) {
+            self.expect_kw(Keyword::By)?;
+            group_by = self.parse_comma_separated(|p| p.parse_expr())?;
+        }
+        let having = if self.eat_kw(Keyword::Having) { Some(self.parse_expr()?) } else { None };
+        Ok(Select { distinct, projection, from, selection, group_by, having })
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem, SqlError> {
+        if self.eat_token(&TokenKind::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `alias.*`
+        if matches!(self.peek(), TokenKind::Ident(_) | TokenKind::QuotedIdent(_))
+            && matches!(self.peek_ahead(1), TokenKind::Dot)
+            && matches!(self.peek_ahead(2), TokenKind::Star)
+        {
+            let qualifier = self.parse_ident()?;
+            self.expect_token(&TokenKind::Dot)?;
+            self.expect_token(&TokenKind::Star)?;
+            return Ok(SelectItem::QualifiedWildcard(qualifier));
+        }
+        let expr = self.parse_expr()?;
+        // `AS alias` or a bare alias: `SELECT x total FROM t`.
+        let has_alias = self.eat_kw(Keyword::As)
+            || matches!(self.peek(), TokenKind::Ident(_) | TokenKind::QuotedIdent(_));
+        let alias = if has_alias { Some(self.parse_ident()?) } else { None };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    /// Parse a table reference including any chained joins.
+    pub(crate) fn parse_table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let mut rel = self.parse_table_factor()?;
+        loop {
+            let kind = if self.eat_kw(Keyword::Cross) {
+                self.expect_kw(Keyword::Join)?;
+                JoinKind::Cross
+            } else if self.eat_kw(Keyword::Inner) {
+                self.expect_kw(Keyword::Join)?;
+                JoinKind::Inner
+            } else if self.check_kw(Keyword::Join) {
+                self.advance();
+                JoinKind::Inner
+            } else if self.check_kw(Keyword::Left) {
+                self.advance();
+                self.eat_kw(Keyword::Outer);
+                self.expect_kw(Keyword::Join)?;
+                JoinKind::Left
+            } else if self.check_kw(Keyword::Right) {
+                self.advance();
+                self.eat_kw(Keyword::Outer);
+                self.expect_kw(Keyword::Join)?;
+                JoinKind::Right
+            } else if self.check_kw(Keyword::Full) {
+                self.advance();
+                self.eat_kw(Keyword::Outer);
+                self.expect_kw(Keyword::Join)?;
+                JoinKind::Full
+            } else {
+                break;
+            };
+            let right = self.parse_table_factor()?;
+            let constraint = if kind == JoinKind::Cross {
+                None
+            } else {
+                self.expect_kw(Keyword::On)?;
+                Some(self.parse_expr()?)
+            };
+            rel = TableRef::Join {
+                left: Box::new(rel),
+                right: Box::new(right),
+                kind,
+                constraint,
+            };
+        }
+        Ok(rel)
+    }
+
+    fn parse_table_factor(&mut self) -> Result<TableRef, SqlError> {
+        if self.check_token(&TokenKind::LParen) {
+            // Look through consecutive parens: a SELECT/WITH makes this a
+            // derived table, anything else a parenthesised join tree.
+            let mut depth = 0usize;
+            while matches!(self.peek_ahead(depth), TokenKind::LParen) {
+                depth += 1;
+            }
+            let is_query = matches!(
+                self.peek_ahead(depth),
+                TokenKind::Keyword(Keyword::Select) | TokenKind::Keyword(Keyword::With)
+            );
+            if is_query && depth == 1 {
+                // `(query) AS alias` — the query may carry ORDER BY/LIMIT.
+                self.advance();
+                let query = self.parse_query()?;
+                self.expect_token(&TokenKind::RParen)?;
+                self.eat_kw(Keyword::As);
+                let alias = self.parse_ident()?;
+                return Ok(TableRef::Subquery { query: Box::new(query), alias });
+            }
+            if is_query {
+                // Deeper nesting: a parenthesised set expression, e.g.
+                // `((SELECT … UNION ALL SELECT …) UNION ALL SELECT …) AS x`.
+                // parse_query's set-operand parser consumes the balanced
+                // parens itself.
+                let query = self.parse_query()?;
+                self.eat_kw(Keyword::As);
+                let alias = self.parse_ident()?;
+                return Ok(TableRef::Subquery { query: Box::new(query), alias });
+            }
+            self.advance();
+            let inner = self.parse_table_ref()?;
+            self.expect_token(&TokenKind::RParen)?;
+            return Ok(inner);
+        }
+        let name = self.parse_ident()?;
+        // `AS alias` or a bare alias.
+        let has_alias = self.eat_kw(Keyword::As)
+            || matches!(self.peek(), TokenKind::Ident(_) | TokenKind::QuotedIdent(_));
+        let alias = if has_alias { Some(self.parse_ident()?) } else { None };
+        Ok(TableRef::Table { name, alias })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Expr;
+    use crate::ast::Statement;
+    use crate::ident::Ident;
+    use crate::parser::parse_statement;
+
+    fn query(sql: &str) -> Query {
+        match parse_statement(sql).unwrap() {
+            Statement::Query(q) => *q,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_listing_1_view_query() {
+        let q = query(
+            "SELECT group_index, SUM(group_value) AS total_value \
+             FROM groups GROUP BY group_index",
+        );
+        match q.body {
+            SetExpr::Select(s) => {
+                assert_eq!(s.projection.len(), 2);
+                assert_eq!(s.group_by.len(), 1);
+                assert_eq!(s.from, vec![TableRef::table("groups")]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_listing_2_cte_left_join() {
+        let q = query(
+            "WITH ivm_cte AS (
+               SELECT group_index,
+                 SUM(CASE WHEN _duckdb_ivm_multiplicity = FALSE
+                     THEN -total_value ELSE total_value END) AS total_value
+               FROM delta_query_groups
+               GROUP BY group_index)
+             SELECT query_groups.group_index,
+               SUM(COALESCE(query_groups.total_value, 0) + delta_query_groups.total_value)
+             FROM ivm_cte AS delta_query_groups
+             LEFT JOIN query_groups
+               ON query_groups.group_index = delta_query_groups.group_index
+             GROUP BY query_groups.group_index",
+        );
+        assert_eq!(q.ctes.len(), 1);
+        assert_eq!(q.ctes[0].name, Ident::new("ivm_cte"));
+        match q.body {
+            SetExpr::Select(s) => match &s.from[0] {
+                TableRef::Join { kind, .. } => assert_eq!(*kind, JoinKind::Left),
+                other => panic!("unexpected from {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn union_all_and_except() {
+        let q = query("SELECT a FROM t UNION ALL SELECT a FROM u EXCEPT SELECT a FROM v");
+        // Left-associative: (t UNION ALL u) EXCEPT v
+        match q.body {
+            SetExpr::SetOp { op: SetOp::Except, all: false, left, .. } => {
+                assert!(matches!(*left, SetExpr::SetOp { op: SetOp::Union, all: true, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn intersect_binds_tighter() {
+        let q = query("SELECT 1 UNION SELECT 2 INTERSECT SELECT 3");
+        match q.body {
+            SetExpr::SetOp { op: SetOp::Union, right, .. } => {
+                assert!(matches!(*right, SetExpr::SetOp { op: SetOp::Intersect, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_by_limit_offset() {
+        let q = query("SELECT a FROM t ORDER BY a DESC, b LIMIT 10 OFFSET 5");
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].desc);
+        assert!(!q.order_by[1].desc);
+        assert!(q.limit.is_some());
+        assert!(q.offset.is_some());
+    }
+
+    #[test]
+    fn bare_aliases() {
+        let q = query("SELECT x total FROM t tab");
+        match q.body {
+            SetExpr::Select(s) => {
+                assert_eq!(
+                    s.projection[0],
+                    SelectItem::aliased(Expr::col("x"), "total")
+                );
+                assert_eq!(s.from[0], TableRef::aliased("t", "tab"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn qualified_wildcard() {
+        let q = query("SELECT t.*, u.a FROM t, u");
+        match q.body {
+            SetExpr::Select(s) => {
+                assert_eq!(s.projection[0], SelectItem::QualifiedWildcard(Ident::new("t")));
+                assert_eq!(s.from.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn derived_table() {
+        let q = query("SELECT * FROM (SELECT a FROM t) AS sub WHERE sub.a > 1");
+        match q.body {
+            SetExpr::Select(s) => {
+                assert!(matches!(&s.from[0], TableRef::Subquery { alias, .. } if *alias == Ident::new("sub")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_chain_kinds() {
+        let q = query(
+            "SELECT * FROM a JOIN b ON a.x = b.x \
+             LEFT OUTER JOIN c ON b.y = c.y \
+             FULL JOIN d ON c.z = d.z \
+             CROSS JOIN e",
+        );
+        match q.body {
+            SetExpr::Select(s) => {
+                // Outermost join is the CROSS JOIN.
+                match &s.from[0] {
+                    TableRef::Join { kind: JoinKind::Cross, constraint: None, left, .. } => {
+                        assert!(matches!(**left, TableRef::Join { kind: JoinKind::Full, .. }));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn having_clause() {
+        let q = query("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1");
+        match q.body {
+            SetExpr::Select(s) => assert!(s.having.is_some()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_on_is_error() {
+        assert!(parse_statement("SELECT * FROM a JOIN b").is_err());
+    }
+}

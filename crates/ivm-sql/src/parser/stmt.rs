@@ -1,0 +1,456 @@
+//! Top-level statement parsing: DDL, DML, transactions.
+
+use crate::ast::{
+    Assignment, ColumnDef, ConflictAction, CreateIndex, CreateTable, CreateView, Delete, Drop,
+    DropKind, Insert, InsertSource, OnConflict, Statement, Update,
+};
+use crate::error::SqlError;
+use crate::ident::Ident;
+use crate::parser::Parser;
+use crate::token::{Keyword, TokenKind};
+
+impl Parser {
+    /// Parse one statement starting at the cursor.
+    pub(crate) fn parse_statement(&mut self) -> Result<Statement, SqlError> {
+        match self.peek() {
+            TokenKind::Keyword(Keyword::Select) | TokenKind::Keyword(Keyword::With) => {
+                Ok(Statement::Query(Box::new(self.parse_query()?)))
+            }
+            TokenKind::LParen => Ok(Statement::Query(Box::new(self.parse_query()?))),
+            TokenKind::Keyword(Keyword::Create) => self.parse_create(),
+            TokenKind::Keyword(Keyword::Drop) => self.parse_drop(),
+            TokenKind::Keyword(Keyword::Insert) => self.parse_insert(),
+            TokenKind::Keyword(Keyword::Update) => self.parse_update(),
+            TokenKind::Keyword(Keyword::Delete) => self.parse_delete(),
+            TokenKind::Keyword(Keyword::Begin) => {
+                self.advance();
+                self.eat_kw(Keyword::Transaction);
+                Ok(Statement::Begin)
+            }
+            TokenKind::Keyword(Keyword::Commit) => {
+                self.advance();
+                Ok(Statement::Commit)
+            }
+            TokenKind::Keyword(Keyword::Rollback) => {
+                self.advance();
+                Ok(Statement::Rollback)
+            }
+            TokenKind::Keyword(Keyword::Explain) => {
+                self.advance();
+                Ok(Statement::Explain(Box::new(self.parse_statement()?)))
+            }
+            _ => Err(self.unexpected("statement")),
+        }
+    }
+
+    fn parse_create(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw(Keyword::Create)?;
+        if self.eat_kw(Keyword::Table) {
+            return self.parse_create_table();
+        }
+        if self.eat_kw(Keyword::Materialized) {
+            self.expect_kw(Keyword::View)?;
+            return self.parse_create_view(true);
+        }
+        if self.eat_kw(Keyword::View) {
+            return self.parse_create_view(false);
+        }
+        let unique = self.eat_kw(Keyword::Unique);
+        if self.eat_kw(Keyword::Index) {
+            return self.parse_create_index(unique);
+        }
+        Err(self.unexpected("TABLE, VIEW, MATERIALIZED VIEW, or INDEX"))
+    }
+
+    fn parse_create_table(&mut self) -> Result<Statement, SqlError> {
+        let if_not_exists = if self.eat_kw(Keyword::If) {
+            self.expect_kw(Keyword::Not)?;
+            self.expect_kw(Keyword::Exists)?;
+            true
+        } else {
+            false
+        };
+        let name = self.parse_ident()?;
+        self.expect_token(&TokenKind::LParen)?;
+        let mut columns: Vec<ColumnDef> = Vec::new();
+        let mut primary_key: Vec<Ident> = Vec::new();
+        loop {
+            if self.eat_kw(Keyword::Primary) {
+                self.expect_kw(Keyword::Key)?;
+                self.expect_token(&TokenKind::LParen)?;
+                let cols = self.parse_comma_separated(|p| p.parse_ident())?;
+                self.expect_token(&TokenKind::RParen)?;
+                if !primary_key.is_empty() {
+                    return Err(SqlError::parse("duplicate PRIMARY KEY", self.offset()));
+                }
+                primary_key = cols;
+            } else {
+                let col_name = self.parse_ident()?;
+                let ty = self.parse_type_name()?;
+                let mut not_null = false;
+                loop {
+                    if self.eat_kw(Keyword::Primary) {
+                        self.expect_kw(Keyword::Key)?;
+                        if !primary_key.is_empty() {
+                            return Err(SqlError::parse("duplicate PRIMARY KEY", self.offset()));
+                        }
+                        primary_key = vec![col_name.clone()];
+                        not_null = true;
+                    } else if self.eat_kw(Keyword::Not) {
+                        self.expect_kw(Keyword::Null)?;
+                        not_null = true;
+                    } else if self.eat_kw(Keyword::Unique) {
+                        // Accepted and treated as informational.
+                    } else {
+                        break;
+                    }
+                }
+                columns.push(ColumnDef { name: col_name, ty, not_null });
+            }
+            if !self.eat_token(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_token(&TokenKind::RParen)?;
+        Ok(Statement::CreateTable(CreateTable { name, if_not_exists, columns, primary_key }))
+    }
+
+    fn parse_create_view(&mut self, materialized: bool) -> Result<Statement, SqlError> {
+        let name = self.parse_ident()?;
+        self.expect_kw(Keyword::As)?;
+        let query = self.parse_query()?;
+        Ok(Statement::CreateView(CreateView { name, materialized, query: Box::new(query) }))
+    }
+
+    fn parse_create_index(&mut self, unique: bool) -> Result<Statement, SqlError> {
+        let name = self.parse_ident()?;
+        self.expect_kw(Keyword::On)?;
+        let table = self.parse_ident()?;
+        self.expect_token(&TokenKind::LParen)?;
+        let columns = self.parse_comma_separated(|p| p.parse_ident())?;
+        self.expect_token(&TokenKind::RParen)?;
+        Ok(Statement::CreateIndex(CreateIndex { name, table, columns, unique }))
+    }
+
+    fn parse_drop(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw(Keyword::Drop)?;
+        let kind = if self.eat_kw(Keyword::Table) {
+            DropKind::Table
+        } else if self.eat_kw(Keyword::View) {
+            DropKind::View
+        } else if self.eat_kw(Keyword::Index) {
+            DropKind::Index
+        } else {
+            return Err(self.unexpected("TABLE, VIEW, or INDEX"));
+        };
+        let if_exists = if self.eat_kw(Keyword::If) {
+            self.expect_kw(Keyword::Exists)?;
+            true
+        } else {
+            false
+        };
+        let name = self.parse_ident()?;
+        Ok(Statement::Drop(Drop { kind, name, if_exists }))
+    }
+
+    fn parse_insert(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw(Keyword::Insert)?;
+        let or_replace = if self.eat_kw(Keyword::Or) {
+            self.expect_kw(Keyword::Replace)?;
+            true
+        } else {
+            false
+        };
+        self.expect_kw(Keyword::Into)?;
+        let table = self.parse_ident()?;
+        // Optional column list: disambiguate from `VALUES`/`SELECT` by
+        // looking one token past the parenthesis.
+        let mut columns = Vec::new();
+        if self.check_token(&TokenKind::LParen)
+            && !self.check_kw_ahead(1, Keyword::Select)
+            && !self.check_kw_ahead(1, Keyword::With)
+            && !self.check_kw_ahead(1, Keyword::Values)
+        {
+            self.advance();
+            columns = self.parse_comma_separated(|p| p.parse_ident())?;
+            self.expect_token(&TokenKind::RParen)?;
+        }
+        let source = if self.eat_kw(Keyword::Values) {
+            let rows = self.parse_comma_separated(|p| {
+                p.expect_token(&TokenKind::LParen)?;
+                let row = p.parse_comma_separated(|p| p.parse_expr())?;
+                p.expect_token(&TokenKind::RParen)?;
+                Ok(row)
+            })?;
+            InsertSource::Values(rows)
+        } else {
+            InsertSource::Query(Box::new(self.parse_query()?))
+        };
+        let on_conflict = if self.eat_kw(Keyword::On) {
+            self.expect_kw(Keyword::Conflict)?;
+            let mut target = Vec::new();
+            if self.eat_token(&TokenKind::LParen) {
+                target = self.parse_comma_separated(|p| p.parse_ident())?;
+                self.expect_token(&TokenKind::RParen)?;
+            }
+            self.expect_kw(Keyword::Do)?;
+            let action = if self.eat_kw(Keyword::Nothing) {
+                ConflictAction::DoNothing
+            } else {
+                self.expect_kw(Keyword::Update)?;
+                self.expect_kw(Keyword::Set)?;
+                let assignments = self.parse_comma_separated(|p| p.parse_assignment())?;
+                ConflictAction::DoUpdate(assignments)
+            };
+            Some(OnConflict { target, action })
+        } else {
+            None
+        };
+        Ok(Statement::Insert(Insert { table, columns, source, or_replace, on_conflict }))
+    }
+
+    fn parse_assignment(&mut self) -> Result<Assignment, SqlError> {
+        let column = self.parse_ident()?;
+        self.expect_token(&TokenKind::Eq)?;
+        let value = self.parse_expr()?;
+        Ok(Assignment { column, value })
+    }
+
+    fn parse_update(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw(Keyword::Update)?;
+        let table = self.parse_ident()?;
+        self.expect_kw(Keyword::Set)?;
+        let assignments = self.parse_comma_separated(|p| p.parse_assignment())?;
+        let selection = if self.eat_kw(Keyword::Where) { Some(self.parse_expr()?) } else { None };
+        Ok(Statement::Update(Update { table, assignments, selection }))
+    }
+
+    fn parse_delete(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw(Keyword::Delete)?;
+        self.expect_kw(Keyword::From)?;
+        let table = self.parse_ident()?;
+        let selection = if self.eat_kw(Keyword::Where) { Some(self.parse_expr()?) } else { None };
+        Ok(Statement::Delete(Delete { table, selection }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Expr, TypeName};
+    use crate::parser::parse_statement;
+
+    #[test]
+    fn paper_listing_1_ddl() {
+        let stmt = parse_statement(
+            "CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateTable(ct) => {
+                assert_eq!(ct.name, Ident::new("groups"));
+                assert_eq!(ct.columns.len(), 2);
+                assert_eq!(ct.columns[0].ty, TypeName::Varchar);
+                assert_eq!(ct.columns[1].ty, TypeName::Integer);
+                assert!(ct.primary_key.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_listing_1_materialized_view() {
+        let stmt = parse_statement(
+            "CREATE MATERIALIZED VIEW query_groups AS SELECT group_index, \
+             SUM(group_value) AS total_value FROM groups GROUP BY group_index",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateView(cv) => {
+                assert!(cv.materialized);
+                assert_eq!(cv.name, Ident::new("query_groups"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn primary_key_column_modifier() {
+        let stmt =
+            parse_statement("CREATE TABLE t (id INTEGER PRIMARY KEY, v DOUBLE NOT NULL)").unwrap();
+        match stmt {
+            Statement::CreateTable(ct) => {
+                assert_eq!(ct.primary_key, vec![Ident::new("id")]);
+                assert!(ct.columns[0].not_null);
+                assert!(ct.columns[1].not_null);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn table_level_primary_key() {
+        let stmt = parse_statement(
+            "CREATE TABLE t (a INTEGER, b VARCHAR, PRIMARY KEY (a, b))",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateTable(ct) => {
+                assert_eq!(ct.primary_key, vec![Ident::new("a"), Ident::new("b")]);
+                assert_eq!(ct.columns.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_primary_key_rejected() {
+        assert!(parse_statement(
+            "CREATE TABLE t (a INTEGER PRIMARY KEY, b INTEGER PRIMARY KEY)"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn insert_or_replace_with_query() {
+        let stmt = parse_statement(
+            "INSERT OR REPLACE INTO v SELECT a, SUM(b) FROM d GROUP BY a",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Insert(ins) => {
+                assert!(ins.or_replace);
+                assert!(matches!(ins.source, InsertSource::Query(_)));
+                assert!(ins.columns.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_values_with_columns() {
+        let stmt =
+            parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
+        match stmt {
+            Statement::Insert(ins) => {
+                assert_eq!(ins.columns.len(), 2);
+                match ins.source {
+                    InsertSource::Values(rows) => assert_eq!(rows.len(), 2),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_on_conflict_do_update() {
+        let stmt = parse_statement(
+            "INSERT INTO v (k, total) VALUES (1, 2) \
+             ON CONFLICT (k) DO UPDATE SET total = excluded.total",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Insert(ins) => {
+                let oc = ins.on_conflict.unwrap();
+                assert_eq!(oc.target, vec![Ident::new("k")]);
+                match oc.action {
+                    ConflictAction::DoUpdate(assignments) => {
+                        assert_eq!(assignments.len(), 1);
+                        assert_eq!(assignments[0].value, Expr::qcol("excluded", "total"));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_on_conflict_do_nothing() {
+        let stmt =
+            parse_statement("INSERT INTO t VALUES (1) ON CONFLICT DO NOTHING").unwrap();
+        match stmt {
+            Statement::Insert(ins) => {
+                assert_eq!(
+                    ins.on_conflict,
+                    Some(OnConflict { target: vec![], action: ConflictAction::DoNothing })
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let stmt = parse_statement("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3").unwrap();
+        match stmt {
+            Statement::Update(u) => {
+                assert_eq!(u.assignments.len(), 2);
+                assert!(u.selection.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let stmt = parse_statement("DELETE FROM query_groups WHERE total_value = 0").unwrap();
+        match stmt {
+            Statement::Delete(d) => {
+                assert_eq!(d.table, Ident::new("query_groups"));
+                assert!(d.selection.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let stmt = parse_statement("DELETE FROM delta_query_groups").unwrap();
+        assert!(matches!(stmt, Statement::Delete(Delete { selection: None, .. })));
+    }
+
+    #[test]
+    fn transactions() {
+        assert_eq!(parse_statement("BEGIN").unwrap(), Statement::Begin);
+        assert_eq!(parse_statement("BEGIN TRANSACTION").unwrap(), Statement::Begin);
+        assert_eq!(parse_statement("COMMIT").unwrap(), Statement::Commit);
+        assert_eq!(parse_statement("ROLLBACK").unwrap(), Statement::Rollback);
+    }
+
+    #[test]
+    fn drops() {
+        let stmt = parse_statement("DROP TABLE IF EXISTS t").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::Drop(Drop { kind: DropKind::Table, name: Ident::new("t"), if_exists: true })
+        );
+        assert!(parse_statement("DROP VIEW v").is_ok());
+        assert!(parse_statement("DROP INDEX i").is_ok());
+        assert!(parse_statement("DROP SEQUENCE s").is_err());
+    }
+
+    #[test]
+    fn create_index() {
+        let stmt = parse_statement("CREATE UNIQUE INDEX idx ON v (k1, k2)").unwrap();
+        match stmt {
+            Statement::CreateIndex(ci) => {
+                assert!(ci.unique);
+                assert_eq!(ci.columns.len(), 2);
+                assert_eq!(ci.table, Ident::new("v"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_table_if_not_exists() {
+        let stmt = parse_statement("CREATE TABLE IF NOT EXISTS t (a INTEGER)").unwrap();
+        match stmt {
+            Statement::CreateTable(ct) => assert!(ct.if_not_exists),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plain_view() {
+        let stmt = parse_statement("CREATE VIEW v AS SELECT 1").unwrap();
+        match stmt {
+            Statement::CreateView(cv) => assert!(!cv.materialized),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

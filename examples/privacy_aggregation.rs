@@ -1,0 +1,93 @@
+//! Decentralized privacy-preserving aggregation — the paper's RDDA
+//! motivation (§1): "information from personal data stores flows into
+//! centralized views, while preserving privacy constraints by guaranteeing
+//! coarse-grained aggregation of sensitive attributes."
+//!
+//! Several personal OLTP stores hold raw activity records. Only deltas
+//! flow to the central analytical store, where OpenIVM maintains a
+//! materialized aggregate; the publisher then releases only groups with
+//! enough contributors (k-anonymity-style coarsening). Raw rows never
+//! leave the spokes except as the delta stream feeding the aggregate.
+//!
+//! Run with `cargo run --example privacy_aggregation`.
+
+use openivm::ivm_core::{IvmFlags, IvmSession};
+use openivm::ivm_oltp::OltpEngine;
+
+const K_ANONYMITY: i64 = 3;
+
+fn main() {
+    // --- Spokes: one personal data store per user.
+    let mut spokes: Vec<(String, OltpEngine)> = Vec::new();
+    for user in ["ada", "bob", "cara", "dan", "eve"] {
+        let mut store = OltpEngine::new();
+        store
+            .execute("CREATE TABLE activity (category VARCHAR, minutes INTEGER)")
+            .unwrap();
+        store.create_capture_trigger("activity").unwrap();
+        spokes.push((user.to_string(), store));
+    }
+
+    // --- Hub: the central analytical store with the aggregate view.
+    let mut hub = IvmSession::new(IvmFlags::paper_defaults());
+    hub.execute("CREATE TABLE activity (category VARCHAR, minutes INTEGER)").unwrap();
+    hub.execute(
+        "CREATE MATERIALIZED VIEW category_stats AS \
+         SELECT category, SUM(minutes) AS total_minutes, COUNT(*) AS contributions \
+         FROM activity GROUP BY category",
+    )
+    .unwrap();
+
+    // --- Users record activity locally; one user revokes some data.
+    let workload: &[(&str, &str)] = &[
+        ("ada", "INSERT INTO activity VALUES ('running', 30), ('reading', 60)"),
+        ("bob", "INSERT INTO activity VALUES ('running', 45)"),
+        ("cara", "INSERT INTO activity VALUES ('running', 20), ('chess', 90)"),
+        ("dan", "INSERT INTO activity VALUES ('running', 25), ('reading', 15)"),
+        ("eve", "INSERT INTO activity VALUES ('reading', 40), ('chess', 10)"),
+        // Right to erasure: bob deletes his record afterwards.
+        ("bob", "DELETE FROM activity WHERE category = 'running'"),
+    ];
+    for (user, stmt) in workload {
+        let store = &mut spokes.iter_mut().find(|(u, _)| u == user).unwrap().1;
+        store.execute(stmt).unwrap();
+    }
+
+    // --- Ship deltas from every spoke into the hub (the cross-system hop).
+    let mut shipped = 0usize;
+    for (_, store) in &mut spokes {
+        let changes = store.drain_changes("activity");
+        let pairs: Vec<(Vec<openivm::ivm_engine::Value>, bool)> =
+            changes.into_iter().map(|c| (c.row, c.insertion)).collect();
+        shipped += pairs.len();
+        if !pairs.is_empty() {
+            hub.ingest_deltas("activity", &pairs).unwrap();
+        }
+    }
+    println!("shipped {shipped} delta rows from {} personal stores", spokes.len());
+
+    // --- Publish only coarse groups (k-anonymity threshold on the
+    // maintained contribution count).
+    let published = hub
+        .execute(&format!(
+            "SELECT category, total_minutes, contributions FROM category_stats \
+             WHERE contributions >= {K_ANONYMITY} ORDER BY category"
+        ))
+        .unwrap();
+    println!("published aggregates (groups with >= {K_ANONYMITY} contributions):");
+    for row in &published.rows {
+        println!("   {}: {} minutes over {} contributions", row[0], row[1], row[2]);
+    }
+    let suppressed = hub
+        .execute(&format!(
+            "SELECT COUNT(*) FROM category_stats WHERE contributions < {K_ANONYMITY}"
+        ))
+        .unwrap();
+    println!(
+        "suppressed {} under-threshold groups (raw rows never left the spokes)",
+        suppressed.scalar().unwrap()
+    );
+
+    assert!(hub.check_consistency("category_stats").unwrap());
+    println!("hub view consistency: OK");
+}

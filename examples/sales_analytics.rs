@@ -1,0 +1,120 @@
+//! A realistic multi-view analytics scenario: several materialized views
+//! over a sales schema, maintained eagerly while a random workload runs.
+//!
+//! Exercises every supported view class at once — SUM/COUNT dashboards,
+//! AVG, MIN/MAX price trackers, and a join view — all sharing delta
+//! tables, with a final consistency audit.
+//!
+//! Run with `cargo run --example sales_analytics`.
+
+use openivm::ivm_core::{IvmFlags, IvmSession, PropagationMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut ivm = IvmSession::new(IvmFlags {
+        propagation: PropagationMode::Batch(16),
+        ..IvmFlags::paper_defaults()
+    });
+
+    ivm.execute(
+        "CREATE TABLE products (id INTEGER PRIMARY KEY, category VARCHAR, price INTEGER)",
+    )
+    .unwrap();
+    ivm.execute("CREATE TABLE sales (product INTEGER, quantity INTEGER, region VARCHAR)")
+        .unwrap();
+
+    for (id, cat, price) in [
+        (1, "coffee", 12),
+        (2, "coffee", 15),
+        (3, "tea", 8),
+        (4, "tea", 9),
+        (5, "cocoa", 20),
+    ] {
+        ivm.execute(&format!("INSERT INTO products VALUES ({id}, '{cat}', {price})"))
+            .unwrap();
+    }
+
+    // Four dashboards over the same base tables.
+    let views = [
+        ("qty_by_region",
+         "CREATE MATERIALIZED VIEW qty_by_region AS \
+          SELECT region, SUM(quantity) AS units, COUNT(*) AS rows_in \
+          FROM sales GROUP BY region"),
+        ("avg_price",
+         "CREATE MATERIALIZED VIEW avg_price AS \
+          SELECT category, AVG(price) AS mean_price FROM products GROUP BY category"),
+        ("price_extrema",
+         "CREATE MATERIALIZED VIEW price_extrema AS \
+          SELECT category, MIN(price) AS cheapest, MAX(price) AS priciest \
+          FROM products GROUP BY category"),
+        ("revenue_by_category",
+         "CREATE MATERIALIZED VIEW revenue_by_category AS \
+          SELECT products.category, SUM(sales.quantity) AS units \
+          FROM sales JOIN products ON sales.product = products.id \
+          GROUP BY products.category"),
+    ];
+    for (_, sql) in &views {
+        ivm.execute(sql).unwrap();
+    }
+
+    // Random workload: sales stream + occasional price changes.
+    let mut rng = StdRng::seed_from_u64(2024);
+    let regions = ["emea", "apac", "amer"];
+    for step in 0..300 {
+        match rng.gen_range(0..10) {
+            0 => {
+                // Reprice a product (update on the dimension table).
+                let id = rng.gen_range(1..=5);
+                let delta = rng.gen_range(-2..=3);
+                ivm.execute(&format!(
+                    "UPDATE products SET price = price + {delta} WHERE id = {id}"
+                ))
+                .unwrap();
+            }
+            1 => {
+                // Void a sale.
+                let region = regions[rng.gen_range(0..regions.len())];
+                ivm.execute(&format!(
+                    "DELETE FROM sales WHERE region = '{region}' AND quantity = 1"
+                ))
+                .unwrap();
+            }
+            _ => {
+                let product = rng.gen_range(1..=5);
+                let qty = rng.gen_range(1..=4);
+                let region = regions[rng.gen_range(0..regions.len())];
+                ivm.execute(&format!(
+                    "INSERT INTO sales VALUES ({product}, {qty}, '{region}')"
+                ))
+                .unwrap();
+            }
+        }
+        if step % 100 == 99 {
+            let r = ivm.query_view("qty_by_region").unwrap();
+            println!("after {} events, qty_by_region has {} regions", step + 1, r.rows.len());
+        }
+    }
+
+    println!("\nfinal dashboards:");
+    for (name, _) in &views {
+        let r = ivm.query_view(name).unwrap();
+        println!("  {name}:");
+        for row in &r.rows {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            println!("    {}", cells.join(" | "));
+        }
+    }
+
+    println!("\nconsistency audit:");
+    for (name, _) in &views {
+        let ok = ivm.check_consistency(name).unwrap();
+        println!("  {name}: {}", if ok { "OK" } else { "MISMATCH" });
+        assert!(ok);
+    }
+    let stats = ivm.stats();
+    println!(
+        "\nsession stats: {} intercepted DML, {} maintenance runs ({} statements)",
+        stats.intercepted_dml, stats.maintenance_runs, stats.maintenance_statements
+    );
+}

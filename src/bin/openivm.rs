@@ -1,0 +1,104 @@
+//! The standalone OpenIVM command-line compiler.
+//!
+//! §2: "the OpenIVM SQL-to-SQL compiler can be used as a standalone
+//! command-line tool". Give it a schema and a view definition; it prints
+//! the compiled DDL + propagation script without touching any database.
+//!
+//! ```text
+//! openivm --schema schema.sql --view view.sql [--dialect duckdb|postgres]
+//!         [--strategy left_join_upsert|union_regroup|full_outer_join]
+//!         [--index inline|after_populate|none] [--no-comments]
+//! ```
+//!
+//! `--schema`/`--view` also accept inline SQL instead of a file path.
+
+use std::process::ExitCode;
+
+use openivm::ivm_core::{
+    Dialect, IndexCreation, IvmCompiler, IvmFlags, UpsertStrategy,
+};
+use openivm::ivm_engine::Database;
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(script) => {
+            println!("{script}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("openivm: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: openivm --schema <file|sql> --view <file|sql>
+       [--dialect duckdb|postgres]
+       [--strategy left_join_upsert|union_regroup|full_outer_join]
+       [--index inline|after_populate|none]
+       [--no-comments]";
+
+fn run(args: Vec<String>) -> Result<String, String> {
+    let mut schema: Option<String> = None;
+    let mut view: Option<String> = None;
+    let mut flags = IvmFlags::paper_defaults();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} expects a value"))
+        };
+        match arg.as_str() {
+            "--schema" => schema = Some(value("--schema")?),
+            "--view" => view = Some(value("--view")?),
+            "--dialect" => {
+                let v = value("--dialect")?;
+                flags.dialect = Dialect::parse(&v)
+                    .ok_or_else(|| format!("unknown dialect {v}"))?;
+            }
+            "--strategy" => {
+                let v = value("--strategy")?;
+                flags.upsert_strategy = UpsertStrategy::parse(&v)
+                    .ok_or_else(|| format!("unknown strategy {v}"))?;
+                if !flags.upsert_strategy.needs_index() {
+                    flags.index_creation = IndexCreation::None;
+                }
+            }
+            "--index" => {
+                flags.index_creation = match value("--index")?.as_str() {
+                    "inline" => IndexCreation::Inline,
+                    "after_populate" | "after" => IndexCreation::AfterPopulate,
+                    "none" => IndexCreation::None,
+                    other => return Err(format!("unknown index mode {other}")),
+                };
+            }
+            "--no-comments" => flags.comments = false,
+            "--help" | "-h" => return Err("help requested".to_string()),
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    let schema = schema.ok_or("missing --schema")?;
+    let view = view.ok_or("missing --view")?;
+    let schema_sql = read_arg(&schema)?;
+    let view_sql = read_arg(&view)?;
+
+    // Load the schema into a scratch engine to obtain the catalog.
+    let mut db = Database::new();
+    db.execute_script(&schema_sql)
+        .map_err(|e| format!("schema error: {e}"))?;
+    let artifacts = IvmCompiler::new()
+        .compile_sql(view_sql.trim().trim_end_matches(';'), db.catalog(), &flags)
+        .map_err(|e| format!("compile error: {e}"))?;
+    Ok(artifacts.to_script())
+}
+
+/// Interpret an argument as a file path when one exists, else inline SQL.
+fn read_arg(arg: &str) -> Result<String, String> {
+    if std::path::Path::new(arg).exists() {
+        std::fs::read_to_string(arg).map_err(|e| format!("cannot read {arg}: {e}"))
+    } else if arg.to_ascii_uppercase().contains("CREATE") {
+        Ok(arg.to_string())
+    } else {
+        Err(format!("{arg} is neither a file nor SQL"))
+    }
+}

@@ -1,0 +1,36 @@
+//! # OpenIVM — a SQL-to-SQL compiler for incremental computations
+//!
+//! Rust reproduction of *"OpenIVM: a SQL-to-SQL Compiler for Incremental
+//! Computations"* (Battiston, Kathuria, Boncz — SIGMOD-Companion 2024).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! - [`ivm_sql`] — SQL frontend (lexer, parser, AST, dialect printer)
+//! - [`ivm_engine`] — embedded analytical engine (the DuckDB stand-in),
+//!   including the ART index
+//! - [`ivm_core`] — the OpenIVM compiler and extension session
+//! - [`ivm_oltp`] — simulated OLTP row store with triggers (the
+//!   PostgreSQL stand-in)
+//! - [`ivm_htap`] — the cross-system HTAP pipeline of Figure 3
+//!
+//! ```
+//! use openivm::ivm_core::IvmSession;
+//!
+//! let mut ivm = IvmSession::with_defaults();
+//! ivm.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)").unwrap();
+//! ivm.execute(
+//!     "CREATE MATERIALIZED VIEW query_groups AS \
+//!      SELECT group_index, SUM(group_value) AS total_value \
+//!      FROM groups GROUP BY group_index",
+//! ).unwrap();
+//! ivm.execute("INSERT INTO groups VALUES ('apple', 5)").unwrap();
+//! assert!(ivm.check_consistency("query_groups").unwrap());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use ivm_core;
+pub use ivm_engine;
+pub use ivm_htap;
+pub use ivm_oltp;
+pub use ivm_sql;

@@ -1,0 +1,124 @@
+//! Cross-crate integration: the full OpenIVM stack through the facade.
+
+use openivm::ivm_core::{Dialect, IvmCompiler, IvmFlags, IvmSession};
+use openivm::ivm_engine::{Database, Value};
+use openivm::ivm_htap::HtapPipeline;
+use openivm::ivm_oltp::OltpEngine;
+use openivm::ivm_sql::{parse_statement, print_statement};
+
+#[test]
+fn facade_reexports_work_together() {
+    // Parse → print through ivm_sql.
+    let ast = parse_statement("SELECT 1 AS one").unwrap();
+    assert_eq!(print_statement(&ast, Dialect::DuckDb), "SELECT 1 AS one");
+
+    // Engine query.
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+    db.execute("INSERT INTO t VALUES (41)").unwrap();
+    let r = db.query("SELECT a + 1 FROM t").unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Integer(42)));
+
+    // OLTP engine.
+    let mut pg = OltpEngine::new();
+    pg.execute("CREATE TABLE t (a INTEGER)").unwrap();
+    pg.execute("INSERT INTO t VALUES (1)").unwrap();
+    assert_eq!(pg.row_count("t"), 1);
+}
+
+#[test]
+fn compiler_output_runs_on_both_engines_shapes() {
+    // The PostgreSQL-dialect script must avoid INSERT OR REPLACE; the
+    // DuckDB-dialect script must use it. Both must re-parse.
+    let mut db = Database::new();
+    db.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)").unwrap();
+    let compiler = IvmCompiler::new();
+    let view = "CREATE MATERIALIZED VIEW qg AS \
+                SELECT group_index, SUM(group_value) AS total \
+                FROM groups GROUP BY group_index";
+    for dialect in [Dialect::DuckDb, Dialect::Postgres] {
+        let flags = IvmFlags { dialect, ..IvmFlags::paper_defaults() };
+        let artifacts = compiler.compile_sql(view, db.catalog(), &flags).unwrap();
+        for stmt in artifacts
+            .setup_statements()
+            .iter()
+            .chain(artifacts.maintenance_statements().iter())
+        {
+            parse_statement(stmt)
+                .unwrap_or_else(|e| panic!("{dialect:?} output does not re-parse: {e}\n{stmt}"));
+        }
+        let joined = artifacts.maintenance_statements().join(";");
+        match dialect {
+            Dialect::DuckDb => assert!(joined.contains("INSERT OR REPLACE")),
+            Dialect::Postgres => {
+                assert!(!joined.contains("INSERT OR REPLACE"));
+                assert!(joined.contains("ON CONFLICT"));
+            }
+        }
+    }
+}
+
+#[test]
+fn end_to_end_htap_through_facade() {
+    let mut htap = HtapPipeline::with_defaults();
+    htap.mirror_table("CREATE TABLE events (kind VARCHAR, weight INTEGER)").unwrap();
+    htap.create_materialized_view(
+        "CREATE MATERIALIZED VIEW totals AS \
+         SELECT kind, SUM(weight) AS w, COUNT(*) AS n FROM events GROUP BY kind",
+    )
+    .unwrap();
+    for i in 0..50 {
+        let kind = if i % 3 == 0 { "alpha" } else { "beta" };
+        htap.execute_oltp(&format!("INSERT INTO events VALUES ('{kind}', {i})")).unwrap();
+    }
+    htap.execute_oltp("DELETE FROM events WHERE weight < 10").unwrap();
+    htap.execute_oltp("UPDATE events SET weight = weight + 1 WHERE kind = 'alpha'").unwrap();
+    let report = htap.check_consistency().unwrap();
+    assert!(report.is_consistent(), "{report:?}");
+    let r = htap.query_view("totals").unwrap();
+    assert_eq!(r.rows.len(), 2);
+}
+
+#[test]
+fn session_survives_hundreds_of_mixed_statements() {
+    let mut ivm = IvmSession::with_defaults();
+    ivm.execute("CREATE TABLE m (k VARCHAR, v INTEGER)").unwrap();
+    ivm.execute(
+        "CREATE MATERIALIZED VIEW mv AS SELECT k, SUM(v) AS s, COUNT(*) AS c \
+         FROM m GROUP BY k",
+    )
+    .unwrap();
+    for i in 0..200i64 {
+        let k = format!("k{}", i % 7);
+        match i % 5 {
+            0..=2 => {
+                ivm.execute(&format!("INSERT INTO m VALUES ('{k}', {i})")).unwrap();
+            }
+            3 => {
+                ivm.execute(&format!("UPDATE m SET v = v + 1 WHERE k = '{k}'")).unwrap();
+            }
+            _ => {
+                ivm.execute(&format!("DELETE FROM m WHERE k = '{k}' AND v < {}", i / 2))
+                    .unwrap();
+            }
+        }
+        if i % 40 == 39 {
+            assert!(ivm.check_consistency("mv").unwrap(), "step {i}");
+        }
+    }
+    assert!(ivm.check_consistency("mv").unwrap());
+}
+
+#[test]
+fn mixed_dialect_sessions_coexist() {
+    for flags in [IvmFlags::paper_defaults(), IvmFlags::for_postgres()] {
+        let mut ivm = IvmSession::new(flags);
+        ivm.execute("CREATE TABLE g (a VARCHAR, b INTEGER)").unwrap();
+        ivm.execute(
+            "CREATE MATERIALIZED VIEW v AS SELECT a, SUM(b) AS s FROM g GROUP BY a",
+        )
+        .unwrap();
+        ivm.execute("INSERT INTO g VALUES ('x', 1), ('y', 2)").unwrap();
+        assert!(ivm.check_consistency("v").unwrap());
+    }
+}

@@ -1,0 +1,205 @@
+//! Property test: `parse(print(ast)) == ast` for generated expression and
+//! statement trees, in both dialects.
+
+use openivm::ivm_sql::ast::{
+    BinaryOp, ColumnRef, Expr, Literal, Query, Select, SelectItem, SetExpr, Statement, TableRef,
+    TypeName, UnaryOp,
+};
+use openivm::ivm_sql::{parse_statement, print_statement, Dialect, Ident};
+use proptest::prelude::*;
+
+fn ident_strategy() -> impl Strategy<Value = Ident> {
+    // Arbitrary lowercase words, including ones that collide with keywords
+    // (the printer must quote those).
+    "[a-z][a-z0-9_]{0,8}".prop_map(Ident::new)
+}
+
+fn literal_strategy() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        Just(Literal::Null),
+        any::<bool>().prop_map(Literal::Boolean),
+        any::<u32>().prop_map(|n| Literal::Number(n.to_string())),
+        (any::<u16>(), 1u8..99).prop_map(|(a, b)| Literal::Number(format!("{a}.{b:02}"))),
+        "[ -~]{0,12}".prop_map(Literal::String),
+    ]
+}
+
+fn binary_op_strategy() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![
+        Just(BinaryOp::Or),
+        Just(BinaryOp::And),
+        Just(BinaryOp::Eq),
+        Just(BinaryOp::NotEq),
+        Just(BinaryOp::Lt),
+        Just(BinaryOp::LtEq),
+        Just(BinaryOp::Gt),
+        Just(BinaryOp::GtEq),
+        Just(BinaryOp::Concat),
+        Just(BinaryOp::Plus),
+        Just(BinaryOp::Minus),
+        Just(BinaryOp::Multiply),
+        Just(BinaryOp::Divide),
+        Just(BinaryOp::Modulo),
+    ]
+}
+
+fn type_strategy() -> impl Strategy<Value = TypeName> {
+    prop_oneof![
+        Just(TypeName::Boolean),
+        Just(TypeName::Integer),
+        Just(TypeName::Double),
+        Just(TypeName::Varchar),
+        Just(TypeName::Date),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        literal_strategy().prop_map(Expr::Literal),
+        ident_strategy().prop_map(|c| Expr::Column(ColumnRef { table: None, column: c })),
+        (ident_strategy(), ident_strategy()).prop_map(|(t, c)| {
+            Expr::Column(ColumnRef { table: Some(t), column: c })
+        }),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), binary_op_strategy(), inner.clone()).prop_map(|(l, op, r)| {
+                Expr::Binary { left: Box::new(l), op, right: Box::new(r) }
+            }),
+            (
+                prop_oneof![Just(UnaryOp::Not), Just(UnaryOp::Minus), Just(UnaryOp::Plus)],
+                inner.clone()
+            )
+                .prop_map(|(op, e)| Expr::Unary { op, expr: Box::new(e) }),
+            (ident_strategy(), prop::collection::vec(inner.clone(), 0..3), any::<bool>())
+                .prop_map(|(name, args, star)| {
+                    // `f(*)` only without args; DISTINCT needs one arg.
+                    let star = star && args.is_empty();
+                    Expr::Function { name, args, distinct: false, star }
+                }),
+            (
+                prop::option::of(inner.clone()),
+                prop::collection::vec((inner.clone(), inner.clone()), 1..3),
+                prop::option::of(inner.clone())
+            )
+                .prop_map(|(operand, branches, else_result)| Expr::Case {
+                    operand: operand.map(Box::new),
+                    branches,
+                    else_result: else_result.map(Box::new),
+                }),
+            (inner.clone(), type_strategy())
+                .prop_map(|(e, ty)| Expr::Cast { expr: Box::new(e), ty }),
+            (inner.clone(), any::<bool>())
+                .prop_map(|(e, negated)| Expr::IsNull { expr: Box::new(e), negated }),
+            (inner.clone(), prop::collection::vec(inner.clone(), 1..4), any::<bool>())
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated,
+                }),
+            (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
+                |(e, lo, hi, negated)| Expr::Between {
+                    expr: Box::new(e),
+                    low: Box::new(lo),
+                    high: Box::new(hi),
+                    negated,
+                }
+            ),
+            (inner.clone(), inner, any::<bool>()).prop_map(|(e, p, negated)| Expr::Like {
+                expr: Box::new(e),
+                pattern: Box::new(p),
+                negated,
+            }),
+        ]
+    })
+}
+
+fn select_statement_strategy() -> impl Strategy<Value = Statement> {
+    (
+        prop::collection::vec(
+            (expr_strategy(), prop::option::of(ident_strategy())),
+            1..4,
+        ),
+        prop::option::of(ident_strategy()),
+        prop::option::of(expr_strategy()),
+        prop::collection::vec(expr_strategy(), 0..2),
+    )
+        .prop_map(|(items, from, selection, group_by)| {
+            let select = Select {
+                distinct: false,
+                projection: items
+                    .into_iter()
+                    .map(|(expr, alias)| SelectItem::Expr { expr, alias })
+                    .collect(),
+                from: from.map(|t| vec![TableRef::Table { name: t, alias: None }]).unwrap_or_default(),
+                selection,
+                group_by,
+                having: None,
+            };
+            Statement::Query(Box::new(Query {
+                ctes: vec![],
+                body: SetExpr::Select(Box::new(select)),
+                order_by: vec![],
+                limit: None,
+                offset: None,
+            }))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn expressions_round_trip(e in expr_strategy()) {
+        let stmt = Statement::Query(Box::new(Query {
+            ctes: vec![],
+            body: SetExpr::Select(Box::new(Select::new(vec![SelectItem::expr(e)]))),
+            order_by: vec![],
+            limit: None,
+            offset: None,
+        }));
+        for dialect in [Dialect::DuckDb, Dialect::Postgres] {
+            let sql = print_statement(&stmt, dialect);
+            let reparsed = parse_statement(&sql)
+                .unwrap_or_else(|err| panic!("printed SQL failed to parse: {err}\n{sql}"));
+            prop_assert_eq!(&reparsed, &stmt, "round trip failed for {}", sql);
+        }
+    }
+
+    #[test]
+    fn select_statements_round_trip(stmt in select_statement_strategy()) {
+        let sql = print_statement(&stmt, Dialect::DuckDb);
+        let reparsed = parse_statement(&sql)
+            .unwrap_or_else(|err| panic!("printed SQL failed to parse: {err}\n{sql}"));
+        prop_assert_eq!(&reparsed, &stmt, "round trip failed for {}", sql);
+    }
+}
+
+proptest! {
+    /// The lexer and parser must never panic, whatever bytes arrive — they
+    /// either produce a statement or a structured error.
+    #[test]
+    fn lexer_and_parser_total_on_arbitrary_input(input in "\\PC{0,80}") {
+        let _ = openivm::ivm_sql::tokenize(&input);
+        let _ = openivm::ivm_sql::parse_statement(&input);
+    }
+
+    /// SQL-looking fragments exercise deeper parser paths without panics.
+    #[test]
+    fn parser_total_on_sql_shaped_noise(
+        words in prop::collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("FROM"), Just("WHERE"), Just("GROUP"),
+                Just("BY"), Just("("), Just(")"), Just(","), Just("*"),
+                Just("JOIN"), Just("ON"), Just("AND"), Just("NOT"),
+                Just("BETWEEN"), Just("CASE"), Just("WHEN"), Just("END"),
+                Just("x"), Just("1"), Just("'s'"), Just("="), Just("INSERT"),
+                Just("INTO"), Just("VALUES"), Just("UNION"), Just("ALL"),
+            ],
+            0..25,
+        )
+    ) {
+        let sql = words.join(" ");
+        let _ = openivm::ivm_sql::parse_statement(&sql);
+    }
+}
