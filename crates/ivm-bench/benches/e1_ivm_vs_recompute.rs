@@ -10,31 +10,23 @@ fn bench(c: &mut Criterion) {
     for base in [1_000usize, 10_000, 50_000] {
         let delta = 100usize;
         // Incremental path.
-        group.bench_with_input(
-            BenchmarkId::new("incremental", base),
-            &base,
-            |b, &base| {
-                let (mut ivm, mut existing, mut w) =
-                    groups_session(IvmFlags::paper_defaults(), base / 10, base, 0xB1);
-                b.iter(|| {
-                    let batch = w.delta_batch(delta, 0.7, &mut existing);
-                    apply_batch(&mut ivm, &batch);
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("incremental", base), &base, |b, &base| {
+            let (mut ivm, mut existing, mut w) =
+                groups_session(IvmFlags::paper_defaults(), base / 10, base, 0xB1);
+            b.iter(|| {
+                let batch = w.delta_batch(delta, 0.7, &mut existing);
+                apply_batch(&mut ivm, &batch);
+            });
+        });
         // Full recompute path.
-        group.bench_with_input(
-            BenchmarkId::new("recompute", base),
-            &base,
-            |b, &base| {
-                let (ivm, _existing, _w) =
-                    groups_session(IvmFlags::paper_defaults(), base / 10, base, 0xB1);
-                let sql = ivm.view("query_groups").unwrap().artifacts.view_sql.clone();
-                b.iter(|| {
-                    std::hint::black_box(ivm.database().query(&sql).unwrap().rows.len());
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("recompute", base), &base, |b, &base| {
+            let (ivm, _existing, _w) =
+                groups_session(IvmFlags::paper_defaults(), base / 10, base, 0xB1);
+            let sql = ivm.view("query_groups").unwrap().artifacts.view_sql.clone();
+            b.iter(|| {
+                std::hint::black_box(ivm.database().query(&sql).unwrap().rows.len());
+            });
+        });
     }
     group.finish();
 }

@@ -20,8 +20,16 @@ fn bench(c: &mut Criterion) {
     }
     // Refresh with index (LEFT JOIN upsert) vs without (UNION regroup).
     for (label, strategy, index) in [
-        ("refresh_indexed", UpsertStrategy::LeftJoinUpsert, IndexCreation::AfterPopulate),
-        ("refresh_regroup", UpsertStrategy::UnionRegroup, IndexCreation::None),
+        (
+            "refresh_indexed",
+            UpsertStrategy::LeftJoinUpsert,
+            IndexCreation::AfterPopulate,
+        ),
+        (
+            "refresh_regroup",
+            UpsertStrategy::UnionRegroup,
+            IndexCreation::None,
+        ),
     ] {
         group.bench_function(BenchmarkId::new(label, 10_000), |b| {
             let flags = IvmFlags {

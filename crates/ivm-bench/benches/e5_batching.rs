@@ -7,10 +7,18 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_batching");
     group.sample_size(10);
     for batch in [1usize, 10, 100, 0] {
-        let label = if batch == 0 { "lazy".to_string() } else { batch.to_string() };
-        group.bench_with_input(BenchmarkId::new("apply_100_changes", label), &batch, |b, &batch| {
-            b.iter(|| std::hint::black_box(e5_batching(2_000, 100, &[batch])));
-        });
+        let label = if batch == 0 {
+            "lazy".to_string()
+        } else {
+            batch.to_string()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("apply_100_changes", label),
+            &batch,
+            |b, &batch| {
+                b.iter(|| std::hint::black_box(e5_batching(2_000, 100, &[batch])));
+            },
+        );
     }
     group.finish();
 }

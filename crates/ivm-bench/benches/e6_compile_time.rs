@@ -6,29 +6,42 @@ use ivm_engine::Database;
 
 fn bench(c: &mut Criterion) {
     let mut db = Database::new();
-    db.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)").unwrap();
-    db.execute("CREATE TABLE orders (id INTEGER, cust INTEGER, amount INTEGER)").unwrap();
-    db.execute("CREATE TABLE customers (id INTEGER, name VARCHAR)").unwrap();
+    db.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)")
+        .unwrap();
+    db.execute("CREATE TABLE orders (id INTEGER, cust INTEGER, amount INTEGER)")
+        .unwrap();
+    db.execute("CREATE TABLE customers (id INTEGER, name VARCHAR)")
+        .unwrap();
     let compiler = IvmCompiler::new();
     let flags = IvmFlags::paper_defaults();
     let cases = [
-        ("listing_1", "CREATE MATERIALIZED VIEW v AS SELECT group_index, \
-          SUM(group_value) AS total_value FROM groups GROUP BY group_index"),
-        ("projection", "CREATE MATERIALIZED VIEW v AS SELECT group_index \
-          FROM groups WHERE group_value > 10"),
-        ("join_aggregate", "CREATE MATERIALIZED VIEW v AS SELECT customers.name, \
+        (
+            "listing_1",
+            "CREATE MATERIALIZED VIEW v AS SELECT group_index, \
+          SUM(group_value) AS total_value FROM groups GROUP BY group_index",
+        ),
+        (
+            "projection",
+            "CREATE MATERIALIZED VIEW v AS SELECT group_index \
+          FROM groups WHERE group_value > 10",
+        ),
+        (
+            "join_aggregate",
+            "CREATE MATERIALIZED VIEW v AS SELECT customers.name, \
           SUM(orders.amount) AS t FROM orders JOIN customers \
-          ON orders.cust = customers.id GROUP BY customers.name"),
-        ("min_max", "CREATE MATERIALIZED VIEW v AS SELECT group_index, \
-          MIN(group_value) AS lo, MAX(group_value) AS hi FROM groups GROUP BY group_index"),
+          ON orders.cust = customers.id GROUP BY customers.name",
+        ),
+        (
+            "min_max",
+            "CREATE MATERIALIZED VIEW v AS SELECT group_index, \
+          MIN(group_value) AS lo, MAX(group_value) AS hi FROM groups GROUP BY group_index",
+        ),
     ];
     let mut group = c.benchmark_group("e6_compile_time");
     for (label, sql) in cases {
         group.bench_function(BenchmarkId::new("compile", label), |b| {
             b.iter(|| {
-                std::hint::black_box(
-                    compiler.compile_sql(sql, db.catalog(), &flags).unwrap(),
-                )
+                std::hint::black_box(compiler.compile_sql(sql, db.catalog(), &flags).unwrap())
             });
         });
     }

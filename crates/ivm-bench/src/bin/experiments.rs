@@ -2,22 +2,73 @@
 //! as a printed table (recorded in EXPERIMENTS.md).
 //!
 //! Run with `cargo run --release -p ivm-bench --bin experiments`.
-//! Pass `--quick` for smaller sizes (used in CI).
+//! Pass `--quick` for smaller sizes (used in CI), or `--e1-json <path>`
+//! to run only the E1 scenario (up to 1M base rows) and write the
+//! measurements as JSON — the perf-baseline artifact committed as
+//! `BENCH_e1.json`.
 
 use ivm_bench::harness::{fmt_duration, Report};
 use ivm_bench::scenarios::{
     e1_ivm_vs_recompute, e2_art_overhead, e3_cross_system, e4_upsert_strategies, e5_batching,
-    e6_compile_time,
+    e6_compile_time, E1Row,
 };
 
+/// Serialize E1 rows as JSON by hand (the workspace has no serde).
+fn e1_json(rows: &[E1Row]) -> String {
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"base_rows\": {}, \"delta_rows\": {}, \"incremental_ns\": {}, \
+                 \"recompute_ns\": {}, \"speedup\": {:.2}}}",
+                r.base_rows,
+                r.delta_rows,
+                r.incremental.as_nanos(),
+                r.recompute.as_nanos(),
+                r.speedup()
+            )
+        })
+        .collect();
+    format!(
+        "{{\n\"experiment\": \"e1_ivm_vs_recompute\",\n\"rows\": [\n{}\n]\n}}\n",
+        entries.join(",\n")
+    )
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--e1-json") {
+        let Some(path) = args.get(pos + 1) else {
+            eprintln!("experiments: --e1-json requires an output path");
+            std::process::exit(2);
+        };
+        let rows = e1_ivm_vs_recompute(&[10_000, 100_000, 1_000_000], &[100, 1_000]);
+        for r in &rows {
+            println!(
+                "base={} delta={} incremental={} recompute={} speedup={:.1}x",
+                r.base_rows,
+                r.delta_rows,
+                fmt_duration(r.incremental),
+                fmt_duration(r.recompute),
+                r.speedup()
+            );
+        }
+        std::fs::write(path, e1_json(&rows)).expect("write E1 JSON");
+        println!("wrote {path}");
+        return;
+    }
     let quick = std::env::args().any(|a| a == "--quick");
-    println!("OpenIVM experiment harness ({} mode)\n", if quick { "quick" } else { "full" });
+    println!(
+        "OpenIVM experiment harness ({} mode)\n",
+        if quick { "quick" } else { "full" }
+    );
 
     // ---------------- E1
     println!("== E1: incremental maintenance vs full recomputation ==");
     println!("   (paper §2/§3: \"clear improvements in resource consumption by executing");
-    println!("    incremental computations rather than running the query against the whole dataset\")\n");
+    println!(
+        "    incremental computations rather than running the query against the whole dataset\")\n"
+    );
     let (bases, deltas): (&[usize], &[usize]) = if quick {
         (&[1_000, 10_000], &[10, 100])
     } else {
@@ -44,7 +95,11 @@ fn main() {
     // ---------------- E2
     println!("== E2: ART index overhead ==");
     println!("   (paper §2: \"its creation only adds significant overhead the first time\")\n");
-    let bases: &[usize] = if quick { &[1_000, 10_000] } else { &[1_000, 10_000, 100_000] };
+    let bases: &[usize] = if quick {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
     let mut report = Report::new(&[
         "base rows",
         "setup+ART",
@@ -70,8 +125,11 @@ fn main() {
     // ---------------- E3
     println!("== E3: cross-system comparison ==");
     println!("   (paper §3: \"pure DuckDB, pure PostgreSQL, cross-system, and without IVM\")\n");
-    let (base_orders, burst, rounds) =
-        if quick { (2_000, 50, 3) } else { (50_000, 200, 5) };
+    let (base_orders, burst, rounds) = if quick {
+        (2_000, 50, 3)
+    } else {
+        (50_000, 200, 5)
+    };
     let mut report = Report::new(&["configuration", "write burst", "analytical query"]);
     for r in e3_cross_system(100, base_orders, burst, rounds) {
         report.row(&[
@@ -104,14 +162,13 @@ fn main() {
     println!("== E5: batching granularity ==");
     println!("   (paper §1: \"batching changes together can amortize part of this cost\")\n");
     let (base, changes): (usize, usize) = if quick { (2_000, 100) } else { (20_000, 1_000) };
-    let mut report = Report::new(&[
-        "batch size",
-        "total",
-        "per change",
-        "maintenance runs",
-    ]);
+    let mut report = Report::new(&["batch size", "total", "per change", "maintenance runs"]);
     for r in e5_batching(base, changes, &[1, 10, 100, 0]) {
-        let label = if r.batch_size == 0 { "lazy".to_string() } else { r.batch_size.to_string() };
+        let label = if r.batch_size == 0 {
+            "lazy".to_string()
+        } else {
+            r.batch_size.to_string()
+        };
         report.row(&[
             label,
             fmt_duration(r.total),
@@ -124,12 +181,7 @@ fn main() {
     // ---------------- E6
     println!("== E6: SQL-to-SQL compilation cost per view class ==\n");
     let iters = if quick { 20 } else { 200 };
-    let mut report = Report::new(&[
-        "view class",
-        "compile",
-        "setup stmts",
-        "maintenance stmts",
-    ]);
+    let mut report = Report::new(&["view class", "compile", "setup stmts", "maintenance stmts"]);
     for r in e6_compile_time(iters) {
         report.row(&[
             r.class.to_string(),

@@ -45,7 +45,10 @@ pub struct Report {
 impl Report {
     /// Start a report with column headers.
     pub fn new(header: &[&str]) -> Report {
-        Report { header: header.iter().map(|s| s.to_string()).collect(), rows: vec![] }
+        Report {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: vec![],
+        }
     }
 
     /// Append one row (stringified cells).
@@ -74,7 +77,11 @@ impl Report {
         out.push_str(&fmt_row(&self.header, &widths));
         out.push('\n');
         out.push_str(
-            &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "),
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  "),
         );
         out.push('\n');
         for row in &self.rows {

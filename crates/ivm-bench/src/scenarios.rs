@@ -28,13 +28,20 @@ pub fn groups_session(
     let mut w = GroupsWorkload::new(num_groups, seed);
     let rows = w.base_rows(base_rows);
     let mut ivm = IvmSession::new(flags);
-    ivm.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)").unwrap();
+    ivm.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)")
+        .unwrap();
     {
         // Bulk load through the storage layer (the paper loads datasets
         // before the demo starts).
-        let table = ivm.database_mut().catalog_mut().table_mut("groups").unwrap();
+        let table = ivm
+            .database_mut()
+            .catalog_mut()
+            .table_mut("groups")
+            .unwrap();
         for (g, v) in &rows {
-            table.insert(vec![Value::from(g.clone()), Value::Integer(*v)]).unwrap();
+            table
+                .insert(vec![Value::from(g.clone()), Value::Integer(*v)])
+                .unwrap();
         }
     }
     ivm.execute(LISTING_1_VIEW).unwrap();
@@ -47,7 +54,10 @@ pub fn apply_batch(ivm: &mut IvmSession, batch: &[GroupChange]) {
         .iter()
         .map(|c| {
             (
-                vec![Value::from(c.group_index.clone()), Value::Integer(c.group_value)],
+                vec![
+                    Value::from(c.group_index.clone()),
+                    Value::Integer(c.group_value),
+                ],
                 c.insertion,
             )
         })
@@ -110,12 +120,19 @@ pub fn e1_ivm_vs_recompute(base_sizes: &[usize], delta_sizes: &[usize]) -> Vec<E
             let batch = w.delta_batch(delta, 0.7, &mut existing);
             let ((), incremental) = time_once(|| apply_batch(&mut ivm, &batch));
             let view_sql = ivm.view("query_groups").unwrap().artifacts.view_sql.clone();
-            let (result, recompute) =
-                time_once(|| ivm.database().query(&view_sql).unwrap());
+            let (result, recompute) = time_once(|| ivm.database().query(&view_sql).unwrap());
             std::hint::black_box(result.rows.len());
-            out.push(E1Row { base_rows: base, delta_rows: delta, incremental, recompute });
+            out.push(E1Row {
+                base_rows: base,
+                delta_rows: delta,
+                incremental,
+                recompute,
+            });
         }
-        assert!(ivm.check_consistency("query_groups").unwrap(), "E1 must stay consistent");
+        assert!(
+            ivm.check_consistency("query_groups").unwrap(),
+            "E1 must stay consistent"
+        );
     }
     out
 }
@@ -149,9 +166,8 @@ pub fn e2_art_overhead(base_sizes: &[usize], delta: usize) -> Vec<E2Row> {
         let num_groups = (base / 10).max(4);
 
         // Indexed path (paper defaults: ART built after population).
-        let ((mut ivm_idx, mut existing, mut w), setup_with_index) = time_once(|| {
-            groups_session(IvmFlags::paper_defaults(), num_groups, base, 0xE2)
-        });
+        let ((mut ivm_idx, mut existing, mut w), setup_with_index) =
+            time_once(|| groups_session(IvmFlags::paper_defaults(), num_groups, base, 0xE2));
         // Isolate the index-build share by timing the same statement on a
         // fresh copy of the view table.
         let index_build = {
@@ -159,7 +175,10 @@ pub fn e2_art_overhead(base_sizes: &[usize], delta: usize) -> Vec<E2Row> {
             let stmt = artifacts.ddl.post_population_indexes[0]
                 .replace("_ivm_idx_query_groups", "_ivm_idx_probe");
             let (_, d) = time_once(|| ivm_idx.database_mut().execute(&stmt).unwrap());
-            ivm_idx.database_mut().execute("DROP INDEX _ivm_idx_probe").unwrap();
+            ivm_idx
+                .database_mut()
+                .execute("DROP INDEX _ivm_idx_probe")
+                .unwrap();
             d
         };
         let art_bytes = ivm_idx
@@ -168,8 +187,7 @@ pub fn e2_art_overhead(base_sizes: &[usize], delta: usize) -> Vec<E2Row> {
             .table("query_groups")
             .unwrap()
             .index_memory_bytes();
-        let refresh_indexed =
-            mean_refresh(&mut ivm_idx, &mut w, &mut existing, delta, 5);
+        let refresh_indexed = mean_refresh(&mut ivm_idx, &mut w, &mut existing, delta, 5);
 
         // Unindexed path (UNION regroup).
         let flags = IvmFlags {
@@ -179,8 +197,7 @@ pub fn e2_art_overhead(base_sizes: &[usize], delta: usize) -> Vec<E2Row> {
         };
         let ((mut ivm_no, mut existing2, mut w2), setup_without_index) =
             time_once(|| groups_session(flags, num_groups, base, 0xE2));
-        let refresh_unindexed =
-            mean_refresh(&mut ivm_no, &mut w2, &mut existing2, delta, 5);
+        let refresh_unindexed = mean_refresh(&mut ivm_no, &mut w2, &mut existing2, delta, 5);
 
         out.push(E2Row {
             base_rows: base,
@@ -408,11 +425,7 @@ pub struct E4Row {
 
 /// E4: the Step-2 upsert-strategy ablation (LEFT JOIN vs UNION-regroup vs
 /// FULL OUTER JOIN) across view sizes.
-pub fn e4_upsert_strategies(
-    base_rows: usize,
-    group_counts: &[usize],
-    delta: usize,
-) -> Vec<E4Row> {
+pub fn e4_upsert_strategies(base_rows: usize, group_counts: &[usize], delta: usize) -> Vec<E4Row> {
     let mut out = Vec::new();
     for &num_groups in group_counts {
         for strategy in [
@@ -430,11 +443,14 @@ pub fn e4_upsert_strategies(
                 },
                 ..IvmFlags::paper_defaults()
             };
-            let (mut ivm, mut existing, mut w) =
-                groups_session(flags, num_groups, base_rows, 0xE4);
+            let (mut ivm, mut existing, mut w) = groups_session(flags, num_groups, base_rows, 0xE4);
             let refresh = mean_refresh(&mut ivm, &mut w, &mut existing, delta, 5);
             assert!(ivm.check_consistency("query_groups").unwrap());
-            out.push(E4Row { num_groups, strategy, refresh });
+            out.push(E4Row {
+                num_groups,
+                strategy,
+                refresh,
+            });
         }
     }
     out
@@ -465,10 +481,12 @@ pub fn e5_batching(base_rows: usize, changes: usize, batch_sizes: &[usize]) -> V
         } else {
             PropagationMode::Batch(batch)
         };
-        let flags = IvmFlags { propagation: mode, ..IvmFlags::paper_defaults() };
+        let flags = IvmFlags {
+            propagation: mode,
+            ..IvmFlags::paper_defaults()
+        };
         let num_groups = (base_rows / 10).max(4);
-        let (mut ivm, mut existing, mut w) =
-            groups_session(flags, num_groups, base_rows, 0xE5);
+        let (mut ivm, mut existing, mut w) = groups_session(flags, num_groups, base_rows, 0xE5);
         let deltas: Vec<GroupChange> = w.delta_batch(changes, 0.7, &mut existing);
         let ((), total) = time_once(|| {
             for c in &deltas {
@@ -511,9 +529,12 @@ pub struct E6Row {
 /// E6: SQL-to-SQL compilation cost per supported view class.
 pub fn e6_compile_time(iters: usize) -> Vec<E6Row> {
     let mut db = ivm_engine::Database::new();
-    db.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)").unwrap();
-    db.execute("CREATE TABLE orders (id INTEGER, cust INTEGER, amount INTEGER)").unwrap();
-    db.execute("CREATE TABLE customers (id INTEGER, name VARCHAR)").unwrap();
+    db.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)")
+        .unwrap();
+    db.execute("CREATE TABLE orders (id INTEGER, cust INTEGER, amount INTEGER)")
+        .unwrap();
+    db.execute("CREATE TABLE customers (id INTEGER, name VARCHAR)")
+        .unwrap();
     let cases: [(&'static str, &'static str); 6] = [
         (
             "simple_projection",
@@ -552,9 +573,7 @@ pub fn e6_compile_time(iters: usize) -> Vec<E6Row> {
     for (class, sql) in cases {
         let artifacts = compiler.compile_sql(sql, db.catalog(), &flags).unwrap();
         let compile = time_mean(iters, || {
-            std::hint::black_box(
-                compiler.compile_sql(sql, db.catalog(), &flags).unwrap(),
-            );
+            std::hint::black_box(compiler.compile_sql(sql, db.catalog(), &flags).unwrap());
         });
         out.push(E6Row {
             class,

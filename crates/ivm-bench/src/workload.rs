@@ -27,7 +27,10 @@ pub struct GroupChange {
 impl GroupsWorkload {
     /// Deterministic workload (fixed seed per experiment).
     pub fn new(num_groups: usize, seed: u64) -> GroupsWorkload {
-        GroupsWorkload { num_groups, rng: StdRng::seed_from_u64(seed) }
+        GroupsWorkload {
+            num_groups,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Group key for an index.
@@ -82,8 +85,7 @@ impl GroupsWorkload {
 
     /// Rows as a multi-row `INSERT INTO groups VALUES …` statement.
     pub fn insert_statement(rows: &[(String, i64)]) -> String {
-        let values: Vec<String> =
-            rows.iter().map(|(g, v)| format!("('{g}', {v})")).collect();
+        let values: Vec<String> = rows.iter().map(|(g, v)| format!("('{g}', {v})")).collect();
         format!("INSERT INTO groups VALUES {}", values.join(", "))
     }
 
@@ -106,7 +108,11 @@ pub struct SalesWorkload {
 impl SalesWorkload {
     /// Deterministic workload.
     pub fn new(num_customers: usize, seed: u64) -> SalesWorkload {
-        SalesWorkload { num_customers, rng: StdRng::seed_from_u64(seed), next_order_id: 1 }
+        SalesWorkload {
+            num_customers,
+            rng: StdRng::seed_from_u64(seed),
+            next_order_id: 1,
+        }
     }
 
     /// DDL for both tables.
@@ -166,14 +172,13 @@ mod tests {
         let mut existing = w.base_rows(50);
         // Deletions must target rows that existed at that point in the
         // batch: base rows or insertions earlier in the same batch.
-        let mut live: std::collections::HashMap<(String, i64), i64> =
-            existing.iter().map(|r| (r.clone(), 0i64)).fold(
-                std::collections::HashMap::new(),
-                |mut m, (k, _)| {
-                    *m.entry(k).or_insert(0) += 1;
-                    m
-                },
-            );
+        let mut live: std::collections::HashMap<(String, i64), i64> = existing
+            .iter()
+            .map(|r| (r.clone(), 0i64))
+            .fold(std::collections::HashMap::new(), |mut m, (k, _)| {
+                *m.entry(k).or_insert(0) += 1;
+                m
+            });
         let batch = w.delta_batch(30, 0.5, &mut existing);
         for c in &batch {
             let key = (c.group_index.clone(), c.group_value);
@@ -192,15 +197,18 @@ mod tests {
     fn insert_statement_shape() {
         let stmt = GroupsWorkload::insert_statement(&[("g1".into(), 5)]);
         assert_eq!(stmt, "INSERT INTO groups VALUES ('g1', 5)");
-        let chunks =
-            GroupsWorkload::insert_statements(&[("a".into(), 1), ("b".into(), 2)], 1);
+        let chunks = GroupsWorkload::insert_statements(&[("a".into(), 1), ("b".into(), 2)], 1);
         assert_eq!(chunks.len(), 2);
     }
 
     #[test]
     fn sales_statements_parse() {
         let mut w = SalesWorkload::new(4, 1);
-        for stmt in w.customer_statements().iter().chain(w.order_statements(5).iter()) {
+        for stmt in w
+            .customer_statements()
+            .iter()
+            .chain(w.order_statements(5).iter())
+        {
             ivm_sql::parse_statement(stmt).unwrap();
         }
     }

@@ -96,7 +96,9 @@ pub struct ViewAnalysis {
 impl ViewAnalysis {
     /// Whether the view contains MIN or MAX (needs the recompute path).
     pub fn has_min_max(&self) -> bool {
-        self.aggs.iter().any(|a| matches!(a.func, AggFunc::Min | AggFunc::Max))
+        self.aggs
+            .iter()
+            .any(|a| matches!(a.func, AggFunc::Min | AggFunc::Max))
     }
 
     /// Whether the view contains AVG (needs hidden sum/count columns).
@@ -144,7 +146,9 @@ pub fn analyze_view(
         return Err(IvmError::unsupported("WITH clauses in view definitions"));
     }
     if !query.order_by.is_empty() || query.limit.is_some() || query.offset.is_some() {
-        return Err(IvmError::unsupported("ORDER BY / LIMIT in view definitions"));
+        return Err(IvmError::unsupported(
+            "ORDER BY / LIMIT in view definitions",
+        ));
     }
     let SetExpr::Select(select) = &query.body else {
         return Err(IvmError::unsupported("set operations in view definitions"));
@@ -156,12 +160,15 @@ pub fn analyze_view(
         return Err(IvmError::unsupported("HAVING in view definitions"));
     }
 
-    let plan = optimize(
-        plan_query(query, catalog).map_err(|e| IvmError::Engine(e.to_string()))?,
-    );
+    let plan = optimize(plan_query(query, catalog).map_err(|e| IvmError::Engine(e.to_string()))?);
 
     // Peel the top projection.
-    let LogicalPlan::Project { input, exprs, schema } = &plan else {
+    let LogicalPlan::Project {
+        input,
+        exprs,
+        schema,
+    } = &plan
+    else {
         return Err(IvmError::unsupported("view must be a SELECT projection"));
     };
 
@@ -178,9 +185,12 @@ pub fn analyze_view(
     }
 
     let (agg_node, source) = match input.as_ref() {
-        LogicalPlan::Aggregate { input: agg_input, group, aggs, .. } => {
-            (Some((group, aggs)), agg_input.as_ref())
-        }
+        LogicalPlan::Aggregate {
+            input: agg_input,
+            group,
+            aggs,
+            ..
+        } => (Some((group, aggs)), agg_input.as_ref()),
         other => (None, other),
     };
 
@@ -241,14 +251,15 @@ pub fn analyze_view(
                     });
                     OutputSource::Agg(agg_idx)
                 };
-                output.push(OutputCol { name: col.name.clone(), ty: col.ty, source });
+                output.push(OutputCol {
+                    name: col.name.clone(),
+                    ty: col.ty,
+                    source,
+                });
             }
             // Every group key must be projected (it forms the upsert key).
             for gi in 0..group.len() {
-                if !output
-                    .iter()
-                    .any(|c| c.source == OutputSource::Group(gi))
-                {
+                if !output.iter().any(|c| c.source == OutputSource::Group(gi)) {
                     return Err(IvmError::unsupported(
                         "every GROUP BY key must appear in the SELECT list",
                     ));
@@ -257,9 +268,7 @@ pub fn analyze_view(
             let mut infos = Vec::with_capacity(aggs.len());
             for (i, (info, agg)) in agg_infos.into_iter().zip(aggs).enumerate() {
                 let info = info.ok_or_else(|| {
-                    IvmError::unsupported(format!(
-                        "aggregate #{i} is computed but not projected"
-                    ))
+                    IvmError::unsupported(format!("aggregate #{i} is computed but not projected"))
                 })?;
                 if agg.distinct {
                     return Err(IvmError::unsupported(
@@ -303,9 +312,11 @@ pub fn analyze_view(
 /// Validate the source subplan: scans, filters, and at most one INNER
 /// equi-join between two distinct tables.
 fn validate_source(plan: &LogicalPlan) -> Result<Vec<String>, IvmError> {
-    fn walk(plan: &LogicalPlan, tables: &mut Vec<String>, joins: &mut usize)
-        -> Result<(), IvmError>
-    {
+    fn walk(
+        plan: &LogicalPlan,
+        tables: &mut Vec<String>,
+        joins: &mut usize,
+    ) -> Result<(), IvmError> {
         match plan {
             LogicalPlan::Scan { table, .. } => {
                 if tables.contains(table) {
@@ -315,7 +326,13 @@ fn validate_source(plan: &LogicalPlan) -> Result<Vec<String>, IvmError> {
                 Ok(())
             }
             LogicalPlan::Filter { input, .. } => walk(input, tables, joins),
-            LogicalPlan::Join { left, right, kind, on, .. } => {
+            LogicalPlan::Join {
+                left,
+                right,
+                kind,
+                on,
+                ..
+            } => {
                 if *kind != JoinKind::Inner {
                     return Err(IvmError::unsupported(format!(
                         "{} joins in view definitions (INNER only)",
@@ -323,15 +340,15 @@ fn validate_source(plan: &LogicalPlan) -> Result<Vec<String>, IvmError> {
                     )));
                 }
                 if on.is_none() {
-                    return Err(IvmError::unsupported("joins without ON in view definitions"));
+                    return Err(IvmError::unsupported(
+                        "joins without ON in view definitions",
+                    ));
                 }
                 *joins += 1;
                 walk(left, tables, joins)?;
                 walk(right, tables, joins)
             }
-            LogicalPlan::Dual { .. } => {
-                Err(IvmError::unsupported("views without a FROM clause"))
-            }
+            LogicalPlan::Dual { .. } => Err(IvmError::unsupported("views without a FROM clause")),
             other => Err(IvmError::unsupported(format!(
                 "operator {:?} in view definitions",
                 std::mem::discriminant(other)
@@ -360,9 +377,12 @@ mod tests {
 
     fn catalog() -> Database {
         let mut db = Database::new();
-        db.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)").unwrap();
-        db.execute("CREATE TABLE orders (id INTEGER, cust INTEGER, amount INTEGER)").unwrap();
-        db.execute("CREATE TABLE customers (id INTEGER, name VARCHAR)").unwrap();
+        db.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)")
+            .unwrap();
+        db.execute("CREATE TABLE orders (id INTEGER, cust INTEGER, amount INTEGER)")
+            .unwrap();
+        db.execute("CREATE TABLE customers (id INTEGER, name VARCHAR)")
+            .unwrap();
         db
     }
 
@@ -392,9 +412,11 @@ mod tests {
 
     #[test]
     fn simple_projection() {
-        let a = analyze("SELECT group_index, group_value * 2 AS doubled FROM groups \
-                         WHERE group_value > 0")
-            .unwrap();
+        let a = analyze(
+            "SELECT group_index, group_value * 2 AS doubled FROM groups \
+                         WHERE group_value > 0",
+        )
+        .unwrap();
         assert_eq!(a.class, ViewClass::SimpleProjection);
         assert_eq!(a.key_columns(), vec!["group_index", "doubled"]);
         assert!(a.aggs.is_empty());
@@ -420,10 +442,9 @@ mod tests {
 
     #[test]
     fn min_max_restrictions() {
-        let a = analyze(
-            "SELECT group_index, MIN(group_value) AS lo FROM groups GROUP BY group_index",
-        )
-        .unwrap();
+        let a =
+            analyze("SELECT group_index, MIN(group_value) AS lo FROM groups GROUP BY group_index")
+                .unwrap();
         assert!(a.has_min_max());
         // Two group keys: rejected.
         assert!(analyze(
@@ -444,34 +465,45 @@ mod tests {
         assert!(analyze("SELECT DISTINCT group_index FROM groups").is_err());
         assert!(analyze("SELECT group_index FROM groups ORDER BY group_index").is_err());
         assert!(analyze("SELECT group_index FROM groups LIMIT 1").is_err());
-        assert!(analyze(
-            "SELECT group_index FROM groups UNION SELECT group_index FROM groups"
-        )
-        .is_err());
+        assert!(
+            analyze("SELECT group_index FROM groups UNION SELECT group_index FROM groups").is_err()
+        );
         assert!(analyze(
             "SELECT group_index, SUM(group_value) AS t FROM groups \
              GROUP BY group_index HAVING SUM(group_value) > 1"
         )
         .is_err());
-        assert!(analyze("SELECT SUM(group_value) AS t FROM groups").is_err(), "global agg");
+        assert!(
+            analyze("SELECT SUM(group_value) AS t FROM groups").is_err(),
+            "global agg"
+        );
         assert!(analyze(
             "SELECT group_index, SUM(DISTINCT group_value) AS t FROM groups GROUP BY group_index"
         )
         .is_err());
         assert!(analyze("SELECT 1 AS one").is_err(), "no FROM");
-        assert!(analyze(
-            "SELECT a.group_index FROM groups a JOIN groups b ON a.group_index = b.group_index"
-        )
-        .is_err(), "self join");
-        assert!(analyze(
-            "SELECT group_index, SUM(group_value) + 1 AS t FROM groups GROUP BY group_index"
-        )
-        .is_err(), "expression over aggregate");
-        assert!(analyze(
-            "SELECT customers.name FROM orders LEFT JOIN customers \
+        assert!(
+            analyze(
+                "SELECT a.group_index FROM groups a JOIN groups b ON a.group_index = b.group_index"
+            )
+            .is_err(),
+            "self join"
+        );
+        assert!(
+            analyze(
+                "SELECT group_index, SUM(group_value) + 1 AS t FROM groups GROUP BY group_index"
+            )
+            .is_err(),
+            "expression over aggregate"
+        );
+        assert!(
+            analyze(
+                "SELECT customers.name FROM orders LEFT JOIN customers \
              ON orders.cust = customers.id"
-        )
-        .is_err(), "outer join");
+            )
+            .is_err(),
+            "outer join"
+        );
     }
 
     #[test]

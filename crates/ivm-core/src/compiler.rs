@@ -146,16 +146,8 @@ impl IvmCompiler {
             }
             _ => None,
         };
-        let view_sql = print_statement(
-            &Statement::Query(cv.query.clone()),
-            flags.dialect,
-        );
-        let metadata = metadata::metadata_statements(
-            &analysis,
-            &view_sql,
-            &propagation,
-            flags,
-        );
+        let view_sql = print_statement(&Statement::Query(cv.query.clone()), flags.dialect);
+        let metadata = metadata::metadata_statements(&analysis, &view_sql, &propagation, flags);
         Ok(IvmArtifacts {
             analysis,
             ddl,
@@ -176,7 +168,8 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)").unwrap();
+        db.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)")
+            .unwrap();
         db
     }
 
@@ -192,7 +185,9 @@ mod tests {
             .unwrap();
         let setup = artifacts.setup_statements();
         assert!(setup[0].contains("delta_groups"));
-        assert!(setup.iter().any(|s| s.starts_with("INSERT INTO query_groups SELECT")));
+        assert!(setup
+            .iter()
+            .any(|s| s.starts_with("INSERT INTO query_groups SELECT")));
         assert!(setup.iter().any(|s| s.contains("CREATE UNIQUE INDEX")));
         assert!(setup.iter().any(|s| s.contains("_openivm_views")));
         assert_eq!(artifacts.maintenance_statements().len(), 4 + 1); // 4 steps + extra drain
@@ -205,7 +200,11 @@ mod tests {
         let db = db();
         let c = IvmCompiler::new();
         assert!(c
-            .compile_sql("CREATE VIEW x AS SELECT 1", db.catalog(), &IvmFlags::default())
+            .compile_sql(
+                "CREATE VIEW x AS SELECT 1",
+                db.catalog(),
+                &IvmFlags::default()
+            )
             .is_err());
         assert!(c
             .compile_sql("SELECT 1", db.catalog(), &IvmFlags::default())
@@ -226,12 +225,14 @@ mod tests {
     #[test]
     fn all_setup_statements_execute() {
         let mut db = db();
-        db.execute("INSERT INTO groups VALUES ('a', 1), ('a', 2), ('b', 5)").unwrap();
+        db.execute("INSERT INTO groups VALUES ('a', 1), ('a', 2), ('b', 5)")
+            .unwrap();
         let artifacts = IvmCompiler::new()
             .compile_sql(LISTING_1, db.catalog(), &IvmFlags::paper_defaults())
             .unwrap();
         for stmt in artifacts.setup_statements() {
-            db.execute(&stmt).unwrap_or_else(|e| panic!("setup failed: {e}\n{stmt}"));
+            db.execute(&stmt)
+                .unwrap_or_else(|e| panic!("setup failed: {e}\n{stmt}"));
         }
         let r = db
             .query("SELECT group_index, total_value FROM query_groups ORDER BY group_index")

@@ -39,7 +39,11 @@ impl GeneratedDdl {
 }
 
 fn column_def(name: &str, ty: DataType) -> ColumnDef {
-    ColumnDef { name: Ident::new(name), ty: TypeName::from(ty), not_null: false }
+    ColumnDef {
+        name: Ident::new(name),
+        ty: TypeName::from(ty),
+        not_null: false,
+    }
 }
 
 fn create_table(
@@ -67,7 +71,9 @@ pub fn generate_ddl(
     // ΔT per base table: base columns plus the multiplicity flag.
     let mut delta_tables = Vec::with_capacity(analysis.base_tables.len());
     for t in &analysis.base_tables {
-        let table = catalog.table(t).map_err(|e| IvmError::Engine(e.to_string()))?;
+        let table = catalog
+            .table(t)
+            .map_err(|e| IvmError::Engine(e.to_string()))?;
         let mut cols: Vec<(String, DataType)> = table
             .schema
             .columns
@@ -128,7 +134,11 @@ pub fn generate_ddl(
         post_population_indexes.push(print_statement(&stmt, dialect));
     }
 
-    Ok(GeneratedDdl { delta_tables, view_tables, post_population_indexes })
+    Ok(GeneratedDdl {
+        delta_tables,
+        view_tables,
+        post_population_indexes,
+    })
 }
 
 #[cfg(test)]
@@ -140,7 +150,8 @@ mod tests {
 
     fn analysis(sql: &str) -> (Database, ViewAnalysis) {
         let mut db = Database::new();
-        db.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)").unwrap();
+        db.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)")
+            .unwrap();
         let q = match ivm_sql::parse_statement(sql).unwrap() {
             Stmt::Query(q) => q,
             _ => unreachable!(),
@@ -215,6 +226,9 @@ mod tests {
             ..IvmFlags::paper_defaults()
         };
         let ddl = generate_ddl(&a, db.catalog(), &flags).unwrap();
-        assert!(ddl.view_tables.iter().any(|s| s.contains("_ivm_stage_query_groups")));
+        assert!(ddl
+            .view_tables
+            .iter()
+            .any(|s| s.contains("_ivm_stage_query_groups")));
     }
 }

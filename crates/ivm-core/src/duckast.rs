@@ -10,9 +10,7 @@
 //! filters, a projection, and optional grouping. A [`DuckAst`] is a bag
 //! union of frames (the DBSP join rewrite produces three frames).
 
-use ivm_sql::ast::{
-    Expr, Query, Select, SelectItem, SetExpr, SetOp, TableRef,
-};
+use ivm_sql::ast::{Expr, Query, Select, SelectItem, SetExpr, SetOp, TableRef};
 use ivm_sql::Ident;
 
 /// One SELECT-shaped relational frame.
@@ -67,7 +65,9 @@ pub struct DuckAst {
 impl DuckAst {
     /// A single-frame tree.
     pub fn single(frame: SelectFrame) -> DuckAst {
-        DuckAst { frames: vec![frame] }
+        DuckAst {
+            frames: vec![frame],
+        }
     }
 
     /// Output column names (taken from the first frame).
@@ -94,7 +94,13 @@ impl DuckAst {
                 right: Box::new(rhs),
             };
         }
-        Query { ctes: Vec::new(), body, order_by: Vec::new(), limit: None, offset: None }
+        Query {
+            ctes: Vec::new(),
+            body,
+            order_by: Vec::new(),
+            limit: None,
+            offset: None,
+        }
     }
 
     /// Wrap this tree as a derived table `(query) AS alias`, exposing its
@@ -147,7 +153,9 @@ mod tests {
 
     #[test]
     fn union_of_frames() {
-        let ast = DuckAst { frames: vec![frame(), frame(), frame()] };
+        let ast = DuckAst {
+            frames: vec![frame(), frame(), frame()],
+        };
         let sql = print_query(&ast.to_query(), Dialect::DuckDb);
         assert_eq!(sql.matches("UNION ALL").count(), 2);
     }

@@ -128,7 +128,10 @@ impl IvmSession {
     /// Execute a `;`-separated script.
     pub fn execute_script(&mut self, sql: &str) -> Result<Vec<QueryResult>, IvmError> {
         let stmts = ivm_sql::parse_statements(sql)?;
-        stmts.into_iter().map(|s| self.execute_statement(s)).collect()
+        stmts
+            .into_iter()
+            .map(|s| self.execute_statement(s))
+            .collect()
     }
 
     fn execute_statement(&mut self, stmt: Statement) -> Result<QueryResult, IvmError> {
@@ -243,7 +246,9 @@ impl IvmSession {
     /// tables survive while other views still read them.
     pub fn drop_materialized_view(&mut self, name: &str) -> Result<(), IvmError> {
         let Some(pos) = self.views.iter().position(|v| v.name == name) else {
-            return Err(IvmError::catalog(format!("{name} is not a materialized view")));
+            return Err(IvmError::catalog(format!(
+                "{name} is not a materialized view"
+            )));
         };
         let view = self.views.remove(pos);
         self.pending.remove(name);
@@ -253,10 +258,7 @@ impl IvmSession {
             format!("DROP TABLE IF EXISTS {}", names::stage(&view.name)),
         ];
         for t in &view.base_tables {
-            let still_used = self
-                .views
-                .iter()
-                .any(|v| v.base_tables.contains(t));
+            let still_used = self.views.iter().any(|v| v.base_tables.contains(t));
             if !still_used {
                 drops.push(format!("DROP TABLE IF EXISTS {}", names::delta(t)));
             }
@@ -271,7 +273,9 @@ impl IvmSession {
     }
 
     fn is_tracked(&self, table: &str) -> bool {
-        self.views.iter().any(|v| v.base_tables.iter().any(|t| t == table))
+        self.views
+            .iter()
+            .any(|v| v.base_tables.iter().any(|t| t == table))
     }
 
     fn dependents(&self, table: &str) -> Vec<String> {
@@ -328,7 +332,10 @@ impl IvmSession {
         let delta = names::delta(&table);
         // Delta column list: the insert's columns (or all) plus multiplicity.
         let mut delta_cols: Vec<Ident> = if ins.columns.is_empty() {
-            self.base_table_columns(&table)?.into_iter().map(Ident::new).collect()
+            self.base_table_columns(&table)?
+                .into_iter()
+                .map(Ident::new)
+                .collect()
         } else {
             ins.columns.clone()
         };
@@ -349,7 +356,10 @@ impl IvmSession {
                     SelectItem::QualifiedWildcard(Ident::new("q")),
                     SelectItem::aliased(Expr::boolean(true), MULTIPLICITY_COL),
                 ]);
-                s.from = vec![TableRef::Subquery { query: q.clone(), alias: Ident::new("q") }];
+                s.from = vec![TableRef::Subquery {
+                    query: q.clone(),
+                    alias: Ident::new("q"),
+                }];
                 InsertSource::Query(Box::new(Query {
                     ctes: vec![],
                     body: SetExpr::Select(Box::new(s)),
@@ -426,12 +436,31 @@ impl IvmSession {
         {
             let catalog = self.db.catalog_mut();
             // Apply to the mirror first (deletions locate a matching row).
+            // On keyless tables, per-deletion `find_row` would re-scan the
+            // whole table each time; locate all victims in one scan instead.
+            let mut victims = {
+                let base = catalog.table(table).map_err(IvmError::from)?;
+                batch_deletion_victims(base, changes)
+            };
             for (row, insertion) in changes {
                 let base = catalog.table_mut(table).map_err(IvmError::from)?;
                 if *insertion {
-                    base.insert(row.clone()).map_err(IvmError::from)?;
+                    let id = base.insert(row.clone()).map_err(IvmError::from)?;
+                    // A row inserted earlier in the batch is fair game for a
+                    // later deletion of the same value.
+                    if let Some(v) = &mut victims {
+                        if let Some(queue) = v.get_mut(row) {
+                            queue.push_back(id);
+                        }
+                    }
                 } else {
-                    let victim = base.find_row(row).ok_or_else(|| {
+                    let victim = match &mut victims {
+                        Some(v) => v
+                            .get_mut(row)
+                            .and_then(std::collections::VecDeque::pop_front),
+                        None => base.find_row(row),
+                    };
+                    let victim = victim.ok_or_else(|| {
                         IvmError::catalog(format!(
                             "deletion delta does not match any row of {table}"
                         ))
@@ -550,7 +579,9 @@ impl IvmSession {
     /// back into duplicate rows, restoring bag semantics.
     pub fn query_view(&mut self, name: &str) -> Result<QueryResult, IvmError> {
         let Some(view) = self.view(name) else {
-            return Err(IvmError::catalog(format!("{name} is not a materialized view")));
+            return Err(IvmError::catalog(format!(
+                "{name} is not a materialized view"
+            )));
         };
         let visible = view.visible_columns.clone();
         let weighted = view.weighted_rows;
@@ -585,7 +616,9 @@ impl IvmSession {
     /// Verify `V == Q(T)` as multisets — used by tests and experiments.
     pub fn check_consistency(&mut self, name: &str) -> Result<bool, IvmError> {
         let Some(view) = self.view(name) else {
-            return Err(IvmError::catalog(format!("{name} is not a materialized view")));
+            return Err(IvmError::catalog(format!(
+                "{name} is not a materialized view"
+            )));
         };
         let view_sql = view.artifacts.view_sql.clone();
         let maintained = self.query_view(name)?;
@@ -595,6 +628,84 @@ impl IvmSession {
             .map_err(|e| IvmError::Engine(e.to_string()))?;
         Ok(as_multiset(&maintained.rows) == as_multiset(&recomputed.rows))
     }
+}
+
+/// A non-cryptographic FNV-1a hasher for the deletion pre-filter: the
+/// batch scan hashes every live row once, so SipHash (the std default)
+/// would dominate the pass.
+#[derive(Debug)]
+struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Per-deletion `find_row` beats one whole-table hashing pass below this
+/// many deletions (each early-exiting equality scan touches roughly half
+/// the rows, but comparing is much cheaper than hashing).
+const BATCH_DELETION_THRESHOLD: usize = 64;
+
+/// Locate deletion victims for a whole delta batch in a single pass over
+/// the mirror's columns.
+///
+/// Returns `None` when the table has a primary key (per-row `find_row` is
+/// an O(1) index probe there) or the batch carries too few deletions to
+/// amortize a full pass. For keyless tables the scan compares row *hashes*
+/// computed straight off the column vectors, so non-matching rows (the
+/// vast majority) are never materialized; only hash hits are cloned and
+/// verified. Each deletion later pops one victim id, matching
+/// `find_row`'s any-equal-row choice.
+fn batch_deletion_victims(
+    base: &ivm_engine::Table,
+    changes: &[(Vec<Value>, bool)],
+) -> Option<HashMap<Vec<Value>, std::collections::VecDeque<u64>>> {
+    use std::collections::{HashSet, VecDeque};
+    use std::hash::{Hash, Hasher};
+
+    if base.has_pk_index() {
+        return None;
+    }
+    let deletions = changes.iter().filter(|(_, insertion)| !insertion).count();
+    if deletions < BATCH_DELETION_THRESHOLD {
+        return None;
+    }
+    let mut victims: HashMap<Vec<Value>, VecDeque<u64>> = HashMap::new();
+    let mut hashes: HashSet<u64> = HashSet::new();
+    let row_hash = |row: &mut dyn Iterator<Item = &Value>| {
+        let mut h = FnvHasher(0xCBF2_9CE4_8422_2325);
+        for v in row {
+            v.hash(&mut h);
+        }
+        h.finish()
+    };
+    for (row, insertion) in changes {
+        if !insertion && row.len() == base.schema.len() {
+            hashes.insert(row_hash(&mut row.iter()));
+            victims.entry(row.clone()).or_default();
+        }
+    }
+    if victims.is_empty() {
+        return None;
+    }
+    let columns: Vec<&[Value]> = (0..base.schema.len()).map(|i| base.column(i)).collect();
+    for id in base.live_row_ids() {
+        let idx = id as usize;
+        if !hashes.contains(&row_hash(&mut columns.iter().map(|c| &c[idx]))) {
+            continue;
+        }
+        let row: Vec<Value> = columns.iter().map(|c| c[idx].clone()).collect();
+        if let Some(queue) = victims.get_mut(&row) {
+            queue.push_back(id);
+        }
+    }
+    Some(victims)
 }
 
 fn as_multiset(rows: &[Vec<Value>]) -> HashMap<Vec<Value>, usize> {
@@ -638,7 +749,13 @@ fn delta_capture_select(
     let mut s = Select::new(proj);
     s.from = vec![TableRef::table(table)];
     s.selection = selection;
-    Query { ctes: vec![], body: SetExpr::Select(Box::new(s)), order_by: vec![], limit: None, offset: None }
+    Query {
+        ctes: vec![],
+        body: SetExpr::Select(Box::new(s)),
+        order_by: vec![],
+        limit: None,
+        offset: None,
+    }
 }
 
 fn insert_into(table: &str, source: Query) -> Statement {

@@ -51,7 +51,10 @@ impl UpsertStrategy {
     /// Whether the strategy relies on a unique index over the view key.
     /// Adaptive may take the upsert path, so it needs the index too.
     pub fn needs_index(&self) -> bool {
-        matches!(self, UpsertStrategy::LeftJoinUpsert | UpsertStrategy::Adaptive)
+        matches!(
+            self,
+            UpsertStrategy::LeftJoinUpsert | UpsertStrategy::Adaptive
+        )
     }
 }
 
@@ -120,12 +123,18 @@ impl IvmFlags {
     /// Paper defaults: DuckDB dialect, Listing-2 upsert, lazy refresh,
     /// ART built after population.
     pub fn paper_defaults() -> IvmFlags {
-        IvmFlags { comments: true, ..Default::default() }
+        IvmFlags {
+            comments: true,
+            ..Default::default()
+        }
     }
 
     /// Target PostgreSQL output.
     pub fn for_postgres() -> IvmFlags {
-        IvmFlags { dialect: Dialect::Postgres, ..IvmFlags::paper_defaults() }
+        IvmFlags {
+            dialect: Dialect::Postgres,
+            ..IvmFlags::paper_defaults()
+        }
     }
 }
 

@@ -11,8 +11,8 @@
 
 use ivm_engine::expr::AggFunc;
 use ivm_sql::ast::{
-    Assignment, ConflictAction, Cte, Delete, Expr, Insert, InsertSource, OnConflict, Query,
-    Select, SelectItem, SetExpr, Statement, TableRef,
+    Assignment, ConflictAction, Cte, Delete, Expr, Insert, InsertSource, OnConflict, Query, Select,
+    SelectItem, SetExpr, Statement, TableRef,
 };
 use ivm_sql::{print_statement, Dialect, Ident};
 
@@ -63,7 +63,12 @@ impl PropagationScript {
 }
 
 fn fcall(name: &str, args: Vec<Expr>) -> Expr {
-    Expr::Function { name: Ident::new(name), args, distinct: false, star: false }
+    Expr::Function {
+        name: Ident::new(name),
+        args,
+        distinct: false,
+        star: false,
+    }
 }
 
 fn coalesce0(e: Expr) -> Expr {
@@ -77,7 +82,10 @@ fn signed(mult: Expr, value: Expr) -> Expr {
         operand: None,
         branches: vec![(
             mult.eq(Expr::boolean(false)),
-            Expr::Unary { op: ivm_sql::ast::UnaryOp::Minus, expr: Box::new(value.clone()) },
+            Expr::Unary {
+                op: ivm_sql::ast::UnaryOp::Minus,
+                expr: Box::new(value.clone()),
+            },
         )],
         else_result: Some(Box::new(value)),
     }
@@ -167,7 +175,10 @@ fn upsert_stmt(
 }
 
 fn delete_stmt(table: &str, selection: Option<Expr>) -> Statement {
-    Statement::Delete(Delete { table: Ident::new(table), selection })
+    Statement::Delete(Delete {
+        table: Ident::new(table),
+        selection,
+    })
 }
 
 /// Generate the full propagation script for a view, using the strategy in
@@ -215,9 +226,7 @@ pub fn generate_propagation_with(
             let (source, key_cols, all_cols) = left_join_merge_query(analysis, false)?;
             steps.push(PropagationStep {
                 step: 2,
-                description: format!(
-                    "upsert merged groups into {view} (LEFT JOIN strategy)"
-                ),
+                description: format!("upsert merged groups into {view} (LEFT JOIN strategy)"),
                 sql: print_statement(
                     &upsert_stmt(&view, source, &key_cols, &all_cols, dialect),
                     dialect,
@@ -252,10 +261,14 @@ pub fn generate_propagation_with(
                 description: format!("swap {view} contents from the staging table"),
                 sql: print_statement(&delete_stmt(&view, None), dialect),
             });
-            let cols: Vec<String> =
-                view_table_layout(analysis).into_iter().map(|(n, _)| n).collect();
+            let cols: Vec<String> = view_table_layout(analysis)
+                .into_iter()
+                .map(|(n, _)| n)
+                .collect();
             let select = Select::new(
-                cols.iter().map(|c| SelectItem::expr(Expr::col(c.clone()))).collect(),
+                cols.iter()
+                    .map(|c| SelectItem::expr(Expr::col(c.clone())))
+                    .collect(),
             );
             let mut select = select;
             select.from = vec![TableRef::table(stage.clone())];
@@ -401,10 +414,7 @@ fn left_join_merge_query(
                 "sum",
                 vec![Expr::Case {
                     operand: None,
-                    branches: vec![(
-                        mult().eq(Expr::boolean(false)),
-                        Expr::int(-1),
-                    )],
+                    branches: vec![(mult().eq(Expr::boolean(false)), Expr::int(-1))],
                     else_result: Some(Box::new(Expr::int(1))),
                 }],
             ),
@@ -414,7 +424,10 @@ fn left_join_merge_query(
     let mut cte_select = Select::new(cte_proj);
     cte_select.from = vec![TableRef::table(delta_view.clone())];
     cte_select.group_by = key_cols.iter().map(|k| Expr::col(k.clone())).collect();
-    let cte = Cte { name: Ident::new("ivm_cte"), query: Box::new(select_query(cte_select, vec![])) };
+    let cte = Cte {
+        name: Ident::new("ivm_cte"),
+        query: Box::new(select_query(cte_select, vec![])),
+    };
 
     // --- Outer merge select. Like Listing 2, the CTE is aliased with the
     // delta view's name; the view table keeps its own name.
@@ -446,15 +459,9 @@ fn left_join_merge_query(
             continue;
         }
         // Aggregate / hidden columns.
-        let agg = analysis
-            .aggs
-            .iter()
-            .enumerate()
-            .find(|(i, a)| {
-                a.name == *name
-                    || names::hidden_sum(*i) == *name
-                    || names::hidden_cnt(*i) == *name
-            });
+        let agg = analysis.aggs.iter().enumerate().find(|(i, a)| {
+            a.name == *name || names::hidden_sum(*i) == *name || names::hidden_cnt(*i) == *name
+        });
         let expr = match agg {
             Some((i, info)) => match info.func {
                 AggFunc::Sum | AggFunc::Count => Expr::Binary {
@@ -532,9 +539,7 @@ fn left_join_merge_query(
 /// Step-2 statements for the UNION-and-regroup strategy (aggregate views
 /// only): fold the live view into ΔV with positive multiplicity, truncate,
 /// and re-aggregate everything.
-fn union_regroup_statements(
-    analysis: &ViewAnalysis,
-) -> Result<Vec<(String, Statement)>, IvmError> {
+fn union_regroup_statements(analysis: &ViewAnalysis) -> Result<Vec<(String, Statement)>, IvmError> {
     let is_aggregate = matches!(
         analysis.class,
         ViewClass::GroupAggregate | ViewClass::JoinAggregate
@@ -584,9 +589,7 @@ fn union_regroup_statements(
         });
         let expr = match agg {
             Some((i, info)) => match info.func {
-                AggFunc::Sum | AggFunc::Count => {
-                    signed_sum(mult(), Expr::col(name.clone()))
-                }
+                AggFunc::Sum | AggFunc::Count => signed_sum(mult(), Expr::col(name.clone())),
                 AggFunc::Avg if info.name == name => {
                     let s = signed_sum(mult(), Expr::col(names::hidden_sum(i)));
                     let c = signed_sum(mult(), Expr::col(names::hidden_cnt(i)));
@@ -622,7 +625,10 @@ fn union_regroup_statements(
             fold_stmt,
         ),
         (format!("truncate {view}"), delete_stmt(&view, None)),
-        (format!("re-aggregate {delta_view} into {view}"), regroup_stmt),
+        (
+            format!("re-aggregate {delta_view} into {view}"),
+            regroup_stmt,
+        ),
     ])
 }
 
@@ -635,7 +641,8 @@ mod tests {
 
     fn analysis(view_sql: &str) -> ViewAnalysis {
         let mut db = Database::new();
-        db.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)").unwrap();
+        db.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)")
+            .unwrap();
         let q = match ivm_sql::parse_statement(view_sql).unwrap() {
             Stmt::Query(q) => q,
             _ => unreachable!(),
@@ -674,8 +681,7 @@ mod tests {
 
     #[test]
     fn postgres_dialect_uses_on_conflict() {
-        let script =
-            generate_propagation(&analysis(LISTING_1), &IvmFlags::for_postgres()).unwrap();
+        let script = generate_propagation(&analysis(LISTING_1), &IvmFlags::for_postgres()).unwrap();
         let sql = script.to_sql(false);
         assert!(!sql.contains("INSERT OR REPLACE"), "{sql}");
         assert!(
@@ -692,9 +698,17 @@ mod tests {
         };
         let script = generate_propagation(&analysis(LISTING_1), &flags).unwrap();
         let sql = script.to_sql(false);
-        assert!(sql.contains("INSERT INTO delta_query_groups SELECT group_index, total_value, _ivm_count, TRUE"), "{sql}");
+        assert!(
+            sql.contains(
+                "INSERT INTO delta_query_groups SELECT group_index, total_value, _ivm_count, TRUE"
+            ),
+            "{sql}"
+        );
         assert!(sql.contains("DELETE FROM query_groups;"), "{sql}");
-        assert!(sql.contains("INSERT INTO query_groups SELECT group_index, sum(CASE"), "{sql}");
+        assert!(
+            sql.contains("INSERT INTO query_groups SELECT group_index, sum(CASE"),
+            "{sql}"
+        );
     }
 
     #[test]
@@ -707,15 +721,17 @@ mod tests {
         let sql = script.to_sql(false);
         assert!(sql.contains("DELETE FROM _ivm_stage_query_groups"), "{sql}");
         assert!(sql.contains("FULL JOIN query_groups"), "{sql}");
-        assert!(sql.contains("coalesce(delta_query_groups.group_index, query_groups.group_index)"), "{sql}");
+        assert!(
+            sql.contains("coalesce(delta_query_groups.group_index, query_groups.group_index)"),
+            "{sql}"
+        );
         assert!(sql.contains("WHERE _ivm_count <> 0"), "{sql}");
     }
 
     #[test]
     fn min_max_adds_recompute_steps() {
-        let a = analysis(
-            "SELECT group_index, MIN(group_value) AS lo FROM groups GROUP BY group_index",
-        );
+        let a =
+            analysis("SELECT group_index, MIN(group_value) AS lo FROM groups GROUP BY group_index");
         let script = generate_propagation(&a, &IvmFlags::paper_defaults()).unwrap();
         let sql = script.to_sql(false);
         assert!(
@@ -731,7 +747,9 @@ mod tests {
         let script = generate_propagation(&a, &IvmFlags::paper_defaults()).unwrap();
         let sql = script.to_sql(false);
         assert!(
-            sql.contains("sum(CASE WHEN _duckdb_ivm_multiplicity = FALSE THEN -1 ELSE 1 END) AS _ivm_count"),
+            sql.contains(
+                "sum(CASE WHEN _duckdb_ivm_multiplicity = FALSE THEN -1 ELSE 1 END) AS _ivm_count"
+            ),
             "{sql}"
         );
     }

@@ -77,15 +77,20 @@ fn rewrite_source(plan: &LogicalPlan) -> Result<Rewritten, IvmError> {
             for frame in &mut inner.delta {
                 frame.filters.push(unbind(predicate, &frame.cols)?);
             }
-            inner.full.filters.push(unbind(predicate, &inner.full.cols)?);
+            inner
+                .full
+                .filters
+                .push(unbind(predicate, &inner.full.cols)?);
             Ok(inner)
         }
-        LogicalPlan::Join { left, right, on, .. } => {
+        LogicalPlan::Join {
+            left, right, on, ..
+        } => {
             let l = rewrite_source(left)?;
             let r = rewrite_source(right)?;
-            let on = on.as_ref().ok_or_else(|| {
-                IvmError::unsupported("joins without ON in view definitions")
-            })?;
+            let on = on
+                .as_ref()
+                .ok_or_else(|| IvmError::unsupported("joins without ON in view definitions"))?;
             let mut delta = Vec::new();
             // ΔA ⋈ B  (sign of the ΔA row)
             for dl in &l.delta {
@@ -130,22 +135,33 @@ fn join_frames(
     filters.push(unbind(on, &cols)?);
     let mut from = a.from.clone();
     from.extend(b.from.iter().cloned());
-    Ok(TermFrame { from, filters, cols, mult })
+    Ok(TermFrame {
+        from,
+        filters,
+        cols,
+        mult,
+    })
 }
 
 /// The decomposed top of an analyzed view plan: projection expressions,
 /// optional (group keys, aggregates), and the source subplan.
-type PeeledPlan<'a> =
-    (&'a [BoundExpr], Option<(&'a [BoundExpr], &'a [AggExpr])>, &'a LogicalPlan);
+type PeeledPlan<'a> = (
+    &'a [BoundExpr],
+    Option<(&'a [BoundExpr], &'a [AggExpr])>,
+    &'a LogicalPlan,
+);
 
 fn peel(analysis: &ViewAnalysis) -> Result<PeeledPlan<'_>, IvmError> {
     let LogicalPlan::Project { input, exprs, .. } = &analysis.plan else {
         return Err(IvmError::unsupported("view plan lacks a projection"));
     };
     match input.as_ref() {
-        LogicalPlan::Aggregate { input: agg_in, group, aggs, .. } => {
-            Ok((exprs, Some((group, aggs)), agg_in))
-        }
+        LogicalPlan::Aggregate {
+            input: agg_in,
+            group,
+            aggs,
+            ..
+        } => Ok((exprs, Some((group, aggs)), agg_in)),
         other => Ok((exprs, None, other)),
     }
 }
@@ -185,8 +201,11 @@ pub fn delta_view_layout(analysis: &ViewAnalysis) -> Vec<(String, DataType)> {
 /// The materialized view table layout: visible columns in projection order,
 /// hidden AVG helpers, then the Z-set weight column.
 pub fn view_table_layout(analysis: &ViewAnalysis) -> Vec<(String, DataType)> {
-    let mut cols: Vec<(String, DataType)> =
-        analysis.output.iter().map(|c| (c.name.clone(), c.ty)).collect();
+    let mut cols: Vec<(String, DataType)> = analysis
+        .output
+        .iter()
+        .map(|c| (c.name.clone(), c.ty))
+        .collect();
     for (i, agg) in analysis.aggs.iter().enumerate() {
         if agg.func == AggFunc::Avg {
             cols.push((names::hidden_sum(i), DataType::Double));
@@ -226,8 +245,11 @@ pub fn build_delta_query(analysis: &ViewAnalysis) -> Result<Query, IvmError> {
         Some((group, aggs)) => {
             // Aggregate* groups by (keys, multiplicity) and emits partial
             // aggregates plus the per-group row count.
-            let group_names: Vec<String> =
-                analysis.group_columns().iter().map(|c| c.name.clone()).collect();
+            let group_names: Vec<String> = analysis
+                .group_columns()
+                .iter()
+                .map(|c| c.name.clone())
+                .collect();
             if rewritten.delta.len() == 1 {
                 let term = &rewritten.delta[0];
                 let frame = aggregate_frame(term, group, aggs, &group_names, analysis)?;
@@ -254,7 +276,9 @@ pub fn build_delta_query(analysis: &ViewAnalysis) -> Result<Query, IvmError> {
                         group_by: vec![],
                     });
                 }
-                let inner = DuckAst { frames: inner_frames };
+                let inner = DuckAst {
+                    frames: inner_frames,
+                };
                 let (tref, _) = inner.as_derived_table("ivm_join_delta");
                 // Build a pseudo-term over the derived table.
                 let mut cols: Vec<Expr> = Vec::new();
@@ -362,7 +386,12 @@ fn aggregate_frame_prelowered(
     projection.push((mult.clone(), MULTIPLICITY_COL.to_string()));
     let mut group_by = group_exprs;
     group_by.push(mult);
-    SelectFrame { from, filters, projection, group_by }
+    SelectFrame {
+        from,
+        filters,
+        projection,
+        group_by,
+    }
 }
 
 fn call(name: &str, arg: Option<Expr>) -> Expr {
@@ -506,9 +535,12 @@ mod tests {
 
     fn setup() -> Database {
         let mut db = Database::new();
-        db.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)").unwrap();
-        db.execute("CREATE TABLE orders (id INTEGER, cust INTEGER, amount INTEGER)").unwrap();
-        db.execute("CREATE TABLE customers (id INTEGER, name VARCHAR)").unwrap();
+        db.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)")
+            .unwrap();
+        db.execute("CREATE TABLE orders (id INTEGER, cust INTEGER, amount INTEGER)")
+            .unwrap();
+        db.execute("CREATE TABLE customers (id INTEGER, name VARCHAR)")
+            .unwrap();
         db
     }
 
@@ -532,9 +564,14 @@ mod tests {
         // Listing 2 lines 1–4: select from delta_groups, grouped by key and
         // multiplicity, emitting the partial SUM.
         assert!(sql.contains("FROM delta_groups"), "{sql}");
-        assert!(sql.contains("sum(delta_groups.group_value) AS total_value"), "{sql}");
         assert!(
-            sql.contains("GROUP BY delta_groups.group_index, delta_groups._duckdb_ivm_multiplicity"),
+            sql.contains("sum(delta_groups.group_value) AS total_value"),
+            "{sql}"
+        );
+        assert!(
+            sql.contains(
+                "GROUP BY delta_groups.group_index, delta_groups._duckdb_ivm_multiplicity"
+            ),
             "{sql}"
         );
         assert!(sql.contains("count(*) AS _ivm_count"), "{sql}");
@@ -547,7 +584,10 @@ mod tests {
         let sql = print_query(&q, Dialect::DuckDb);
         assert!(sql.contains("WHERE delta_groups.group_value > 10"), "{sql}");
         assert!(sql.contains("_duckdb_ivm_multiplicity"), "{sql}");
-        assert!(!sql.contains("GROUP BY"), "projection views do not group: {sql}");
+        assert!(
+            !sql.contains("GROUP BY"),
+            "projection views do not group: {sql}"
+        );
     }
 
     #[test]
@@ -563,7 +603,9 @@ mod tests {
         assert!(sql.contains("delta_customers"), "{sql}");
         // The ΔA⋈ΔB term carries the sign-flip multiplicity.
         assert!(
-            sql.contains("delta_orders._duckdb_ivm_multiplicity <> delta_customers._duckdb_ivm_multiplicity"),
+            sql.contains(
+                "delta_orders._duckdb_ivm_multiplicity <> delta_customers._duckdb_ivm_multiplicity"
+            ),
             "{sql}"
         );
     }
@@ -622,9 +664,8 @@ mod tests {
 
     #[test]
     fn dirty_group_recompute_emits_in_subquery() {
-        let a = analysis(
-            "SELECT group_index, MIN(group_value) AS lo FROM groups GROUP BY group_index",
-        );
+        let a =
+            analysis("SELECT group_index, MIN(group_value) AS lo FROM groups GROUP BY group_index");
         let dirty = match ivm_sql::parse_statement(
             "SELECT DISTINCT group_index FROM delta_v WHERE _duckdb_ivm_multiplicity = FALSE",
         )
@@ -635,7 +676,10 @@ mod tests {
         };
         let q = build_full_query(&a, Some(dirty)).unwrap();
         let sql = print_query(&q, Dialect::DuckDb);
-        assert!(sql.contains("groups.group_index IN (SELECT DISTINCT group_index"), "{sql}");
+        assert!(
+            sql.contains("groups.group_index IN (SELECT DISTINCT group_index"),
+            "{sql}"
+        );
         assert!(sql.contains("min(groups.group_value) AS lo"), "{sql}");
     }
 }

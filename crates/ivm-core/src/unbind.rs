@@ -30,7 +30,10 @@ pub fn unbind(expr: &BoundExpr, cols: &[Expr]) -> Result<Expr, IvmError> {
             op: *op,
             expr: Box::new(unbind(expr, cols)?),
         },
-        BoundExpr::Case { branches, else_result } => Expr::Case {
+        BoundExpr::Case {
+            branches,
+            else_result,
+        } => Expr::Case {
             operand: None,
             branches: branches
                 .iter()
@@ -49,19 +52,33 @@ pub fn unbind(expr: &BoundExpr, cols: &[Expr]) -> Result<Expr, IvmError> {
             expr: Box::new(unbind(expr, cols)?),
             negated: *negated,
         },
-        BoundExpr::InList { expr, list, negated } => Expr::InList {
+        BoundExpr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
             expr: Box::new(unbind(expr, cols)?),
-            list: list.iter().map(|e| unbind(e, cols)).collect::<Result<_, _>>()?,
+            list: list
+                .iter()
+                .map(|e| unbind(e, cols))
+                .collect::<Result<_, _>>()?,
             negated: *negated,
         },
-        BoundExpr::Like { expr, pattern, negated } => Expr::Like {
+        BoundExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
             expr: Box::new(unbind(expr, cols)?),
             pattern: Box::new(unbind(pattern, cols)?),
             negated: *negated,
         },
         BoundExpr::ScalarFn { func, args } => Expr::Function {
             name: Ident::new(scalar_name(*func)),
-            args: args.iter().map(|e| unbind(e, cols)).collect::<Result<_, _>>()?,
+            args: args
+                .iter()
+                .map(|e| unbind(e, cols))
+                .collect::<Result<_, _>>()?,
             distinct: false,
             star: false,
         },
@@ -111,7 +128,11 @@ mod tests {
             op: BinaryOp::And,
             left: Box::new(BoundExpr::Binary {
                 op: BinaryOp::Gt,
-                left: Box::new(BoundExpr::Column { index: 0, ty: None, name: "a".into() }),
+                left: Box::new(BoundExpr::Column {
+                    index: 0,
+                    ty: None,
+                    name: "a".into(),
+                }),
                 right: Box::new(BoundExpr::Literal(Value::Integer(5))),
             }),
             right: Box::new(BoundExpr::Binary {
@@ -119,7 +140,11 @@ mod tests {
                 left: Box::new(BoundExpr::ScalarFn {
                     func: ScalarFunc::Coalesce,
                     args: vec![
-                        BoundExpr::Column { index: 1, ty: None, name: "b".into() },
+                        BoundExpr::Column {
+                            index: 1,
+                            ty: None,
+                            name: "b".into(),
+                        },
                         BoundExpr::Literal(Value::Integer(0)),
                     ],
                 }),
@@ -143,7 +168,11 @@ mod tests {
 
     #[test]
     fn out_of_range_column_errors() {
-        let b = BoundExpr::Column { index: 3, ty: None, name: "x".into() };
+        let b = BoundExpr::Column {
+            index: 3,
+            ty: None,
+            name: "x".into(),
+        };
         assert!(unbind(&b, &[]).is_err());
     }
 }

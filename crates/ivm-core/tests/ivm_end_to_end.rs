@@ -13,7 +13,8 @@ fn session(strategy: UpsertStrategy, propagation: PropagationMode) -> IvmSession
 }
 
 fn setup_groups(ivm: &mut IvmSession) {
-    ivm.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)").unwrap();
+    ivm.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)")
+        .unwrap();
     ivm.execute(
         "INSERT INTO groups VALUES ('apple', 2), ('apple', 3), ('banana', 2), ('cherry', 7)",
     )
@@ -32,7 +33,8 @@ const DML: &[&str] = &[
 
 fn drive(ivm: &mut IvmSession, view: &str) {
     for (i, dml) in DML.iter().enumerate() {
-        ivm.execute(dml).unwrap_or_else(|e| panic!("{dml} failed: {e}"));
+        ivm.execute(dml)
+            .unwrap_or_else(|e| panic!("{dml} failed: {e}"));
         assert!(
             ivm.check_consistency(view).unwrap(),
             "inconsistent after statement {i}: {dml}"
@@ -55,7 +57,10 @@ fn listing_1_sum_view_all_strategies() {
              FROM groups GROUP BY group_index",
         )
         .unwrap();
-        assert!(ivm.check_consistency("query_groups").unwrap(), "initial {strategy:?}");
+        assert!(
+            ivm.check_consistency("query_groups").unwrap(),
+            "initial {strategy:?}"
+        );
         drive(&mut ivm, "query_groups");
     }
 }
@@ -98,8 +103,12 @@ fn min_max_views_with_deletions() {
     .unwrap();
     assert!(ivm.check_consistency("extrema").unwrap());
     // Deleting the current minimum forces the dirty-group recompute path.
-    ivm.execute("DELETE FROM groups WHERE group_index = 'apple' AND group_value = 2").unwrap();
-    assert!(ivm.check_consistency("extrema").unwrap(), "after min deletion");
+    ivm.execute("DELETE FROM groups WHERE group_index = 'apple' AND group_value = 2")
+        .unwrap();
+    assert!(
+        ivm.check_consistency("extrema").unwrap(),
+        "after min deletion"
+    );
     drive(&mut ivm, "extrema");
 }
 
@@ -118,9 +127,12 @@ fn filtered_projection_view() {
 #[test]
 fn projection_with_expressions_and_duplicates() {
     let mut ivm = IvmSession::with_defaults();
-    ivm.execute("CREATE TABLE t (a INTEGER, b INTEGER)").unwrap();
-    ivm.execute("INSERT INTO t VALUES (1, 1), (1, 1), (2, 5)").unwrap();
-    ivm.execute("CREATE MATERIALIZED VIEW doubled AS SELECT a * 2 AS d FROM t").unwrap();
+    ivm.execute("CREATE TABLE t (a INTEGER, b INTEGER)")
+        .unwrap();
+    ivm.execute("INSERT INTO t VALUES (1, 1), (1, 1), (2, 5)")
+        .unwrap();
+    ivm.execute("CREATE MATERIALIZED VIEW doubled AS SELECT a * 2 AS d FROM t")
+        .unwrap();
     // Bag semantics: duplicates must round-trip through the Z-set weight.
     let rows = ivm.query_view("doubled").unwrap().rows;
     assert_eq!(rows.len(), 3);
@@ -135,10 +147,14 @@ fn projection_with_expressions_and_duplicates() {
 #[test]
 fn join_projection_view() {
     let mut ivm = IvmSession::with_defaults();
-    ivm.execute("CREATE TABLE orders (id INTEGER, cust INTEGER, amount INTEGER)").unwrap();
-    ivm.execute("CREATE TABLE customers (id INTEGER, name VARCHAR)").unwrap();
-    ivm.execute("INSERT INTO customers VALUES (1, 'ada'), (2, 'bob')").unwrap();
-    ivm.execute("INSERT INTO orders VALUES (10, 1, 100), (11, 2, 50), (12, 1, 70)").unwrap();
+    ivm.execute("CREATE TABLE orders (id INTEGER, cust INTEGER, amount INTEGER)")
+        .unwrap();
+    ivm.execute("CREATE TABLE customers (id INTEGER, name VARCHAR)")
+        .unwrap();
+    ivm.execute("INSERT INTO customers VALUES (1, 'ada'), (2, 'bob')")
+        .unwrap();
+    ivm.execute("INSERT INTO orders VALUES (10, 1, 100), (11, 2, 50), (12, 1, 70)")
+        .unwrap();
     ivm.execute(
         "CREATE MATERIALIZED VIEW order_names AS \
          SELECT customers.name, orders.amount FROM orders \
@@ -147,26 +163,48 @@ fn join_projection_view() {
     .unwrap();
     assert!(ivm.check_consistency("order_names").unwrap());
     // Deltas on both sides of the join, including the ΔA⋈ΔB term.
-    ivm.execute("INSERT INTO orders VALUES (13, 2, 10)").unwrap();
-    assert!(ivm.check_consistency("order_names").unwrap(), "right-side delta");
-    ivm.execute("INSERT INTO customers VALUES (3, 'eve')").unwrap();
+    ivm.execute("INSERT INTO orders VALUES (13, 2, 10)")
+        .unwrap();
+    assert!(
+        ivm.check_consistency("order_names").unwrap(),
+        "right-side delta"
+    );
+    ivm.execute("INSERT INTO customers VALUES (3, 'eve')")
+        .unwrap();
     ivm.execute("INSERT INTO orders VALUES (14, 3, 5)").unwrap();
-    assert!(ivm.check_consistency("order_names").unwrap(), "both-sides delta");
+    assert!(
+        ivm.check_consistency("order_names").unwrap(),
+        "both-sides delta"
+    );
     ivm.execute("DELETE FROM orders WHERE cust = 1").unwrap();
-    assert!(ivm.check_consistency("order_names").unwrap(), "left deletions");
-    ivm.execute("UPDATE customers SET name = 'robert' WHERE id = 2").unwrap();
-    assert!(ivm.check_consistency("order_names").unwrap(), "dimension update");
+    assert!(
+        ivm.check_consistency("order_names").unwrap(),
+        "left deletions"
+    );
+    ivm.execute("UPDATE customers SET name = 'robert' WHERE id = 2")
+        .unwrap();
+    assert!(
+        ivm.check_consistency("order_names").unwrap(),
+        "dimension update"
+    );
     ivm.execute("DELETE FROM customers WHERE id = 3").unwrap();
-    assert!(ivm.check_consistency("order_names").unwrap(), "customer deletion");
+    assert!(
+        ivm.check_consistency("order_names").unwrap(),
+        "customer deletion"
+    );
 }
 
 #[test]
 fn join_aggregate_view() {
     let mut ivm = IvmSession::with_defaults();
-    ivm.execute("CREATE TABLE orders (id INTEGER, cust INTEGER, amount INTEGER)").unwrap();
-    ivm.execute("CREATE TABLE customers (id INTEGER, name VARCHAR)").unwrap();
-    ivm.execute("INSERT INTO customers VALUES (1, 'ada'), (2, 'bob')").unwrap();
-    ivm.execute("INSERT INTO orders VALUES (10, 1, 100), (11, 2, 50), (12, 1, 70)").unwrap();
+    ivm.execute("CREATE TABLE orders (id INTEGER, cust INTEGER, amount INTEGER)")
+        .unwrap();
+    ivm.execute("CREATE TABLE customers (id INTEGER, name VARCHAR)")
+        .unwrap();
+    ivm.execute("INSERT INTO customers VALUES (1, 'ada'), (2, 'bob')")
+        .unwrap();
+    ivm.execute("INSERT INTO orders VALUES (10, 1, 100), (11, 2, 50), (12, 1, 70)")
+        .unwrap();
     ivm.execute(
         "CREATE MATERIALIZED VIEW revenue AS \
          SELECT customers.name, SUM(orders.amount) AS total, COUNT(*) AS n \
@@ -175,11 +213,13 @@ fn join_aggregate_view() {
     )
     .unwrap();
     assert!(ivm.check_consistency("revenue").unwrap());
-    ivm.execute("INSERT INTO orders VALUES (13, 1, 30)").unwrap();
+    ivm.execute("INSERT INTO orders VALUES (13, 1, 30)")
+        .unwrap();
     assert!(ivm.check_consistency("revenue").unwrap());
     ivm.execute("DELETE FROM orders WHERE id = 11").unwrap();
     assert!(ivm.check_consistency("revenue").unwrap(), "group vanishes");
-    ivm.execute("UPDATE orders SET amount = amount * 2 WHERE cust = 1").unwrap();
+    ivm.execute("UPDATE orders SET amount = amount * 2 WHERE cust = 1")
+        .unwrap();
     assert!(ivm.check_consistency("revenue").unwrap());
 }
 
@@ -219,10 +259,13 @@ fn lazy_refresh_triggers_on_view_query_through_sql() {
          SELECT group_index, SUM(group_value) AS total FROM groups GROUP BY group_index",
     )
     .unwrap();
-    ivm.execute("INSERT INTO groups VALUES ('zebra', 9)").unwrap();
+    ivm.execute("INSERT INTO groups VALUES ('zebra', 9)")
+        .unwrap();
     assert_eq!(ivm.stats().maintenance_runs, 0, "lazy: nothing ran yet");
     // Plain SQL SELECT against the view name triggers the refresh.
-    let r = ivm.execute("SELECT total FROM qg WHERE group_index = 'zebra'").unwrap();
+    let r = ivm
+        .execute("SELECT total FROM qg WHERE group_index = 'zebra'")
+        .unwrap();
     assert_eq!(r.rows.len(), 1);
     assert_eq!(ivm.stats().maintenance_runs, 1);
 }
@@ -241,11 +284,13 @@ fn multiple_views_share_delta_tables() {
          SELECT group_index, COUNT(*) AS n FROM groups GROUP BY group_index",
     )
     .unwrap();
-    ivm.execute("INSERT INTO groups VALUES ('kiwi', 6)").unwrap();
+    ivm.execute("INSERT INTO groups VALUES ('kiwi', 6)")
+        .unwrap();
     // Refreshing one view must not starve the other (shared ΔT drain).
     assert!(ivm.check_consistency("sums").unwrap());
     assert!(ivm.check_consistency("counts").unwrap());
-    ivm.execute("DELETE FROM groups WHERE group_index = 'kiwi'").unwrap();
+    ivm.execute("DELETE FROM groups WHERE group_index = 'kiwi'")
+        .unwrap();
     assert!(ivm.check_consistency("counts").unwrap());
     assert!(ivm.check_consistency("sums").unwrap());
 }
@@ -263,7 +308,10 @@ fn drop_materialized_view_cleans_up() {
     assert!(ivm.view("qg").is_none());
     assert!(!ivm.database().catalog().has_table("qg"));
     assert!(!ivm.database().catalog().has_table("delta_qg"));
-    assert!(!ivm.database().catalog().has_table("delta_groups"), "last user dropped");
+    assert!(
+        !ivm.database().catalog().has_table("delta_groups"),
+        "last user dropped"
+    );
     // Recreating works.
     ivm.execute(
         "CREATE MATERIALIZED VIEW qg AS \
@@ -302,22 +350,30 @@ fn metadata_tables_populated() {
     assert_eq!(r.rows.len(), 1);
     assert_eq!(r.rows[0][1].to_string(), "group_aggregate");
     assert_eq!(r.rows[0][2].to_string(), "left_join_upsert");
-    let r = ivm.execute("SELECT COUNT(*) FROM _openivm_scripts").unwrap();
-    assert!(r.scalar().unwrap().as_integer().unwrap() >= 4, "4 steps stored");
+    let r = ivm
+        .execute("SELECT COUNT(*) FROM _openivm_scripts")
+        .unwrap();
+    assert!(
+        r.scalar().unwrap().as_integer().unwrap() >= 4,
+        "4 steps stored"
+    );
 }
 
 #[test]
 fn insert_from_select_is_captured() {
     let mut ivm = IvmSession::with_defaults();
     setup_groups(&mut ivm);
-    ivm.execute("CREATE TABLE staging (g VARCHAR, v INTEGER)").unwrap();
-    ivm.execute("INSERT INTO staging VALUES ('bulk', 1), ('bulk', 2)").unwrap();
+    ivm.execute("CREATE TABLE staging (g VARCHAR, v INTEGER)")
+        .unwrap();
+    ivm.execute("INSERT INTO staging VALUES ('bulk', 1), ('bulk', 2)")
+        .unwrap();
     ivm.execute(
         "CREATE MATERIALIZED VIEW qg AS \
          SELECT group_index, SUM(group_value) AS total FROM groups GROUP BY group_index",
     )
     .unwrap();
-    ivm.execute("INSERT INTO groups SELECT g, v FROM staging").unwrap();
+    ivm.execute("INSERT INTO groups SELECT g, v FROM staging")
+        .unwrap();
     assert!(ivm.check_consistency("qg").unwrap());
     let r = ivm.query_view("qg").unwrap();
     assert!(r.rows.iter().any(|row| row[0].to_string() == "bulk"));
@@ -326,12 +382,13 @@ fn insert_from_select_is_captured() {
 #[test]
 fn upsert_on_tracked_base_table_rejected() {
     let mut ivm = IvmSession::with_defaults();
-    ivm.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)").unwrap();
-    ivm.execute(
-        "CREATE MATERIALIZED VIEW s AS SELECT k, v FROM t WHERE v > 0",
-    )
-    .unwrap();
-    assert!(ivm.execute("INSERT OR REPLACE INTO t VALUES (1, 2)").is_err());
+    ivm.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
+    ivm.execute("CREATE MATERIALIZED VIEW s AS SELECT k, v FROM t WHERE v > 0")
+        .unwrap();
+    assert!(ivm
+        .execute("INSERT OR REPLACE INTO t VALUES (1, 2)")
+        .is_err());
 }
 
 #[test]
@@ -371,29 +428,34 @@ fn adaptive_strategy_switches_paths_and_stays_consistent() {
         adaptive_threshold: 8,
         ..IvmFlags::paper_defaults()
     });
-    ivm.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)").unwrap();
+    ivm.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)")
+        .unwrap();
     ivm.execute(
         "CREATE MATERIALIZED VIEW qg AS \
          SELECT group_index, SUM(group_value) AS total FROM groups GROUP BY group_index",
     )
     .unwrap();
     // Phase 1: tiny view → regroup path.
-    ivm.execute("INSERT INTO groups VALUES ('a', 1), ('b', 2)").unwrap();
+    ivm.execute("INSERT INTO groups VALUES ('a', 1), ('b', 2)")
+        .unwrap();
     assert!(ivm.check_consistency("qg").unwrap());
     assert_eq!(ivm.stats().adaptive_regroups, 1);
     assert_eq!(ivm.stats().adaptive_upserts, 0);
     // Phase 2: grow past the threshold (the choice keys on the live view
     // size *before* the refresh, so this refresh may still regroup)…
     for i in 0..20 {
-        ivm.execute(&format!("INSERT INTO groups VALUES ('g{i}', {i})")).unwrap();
+        ivm.execute(&format!("INSERT INTO groups VALUES ('g{i}', {i})"))
+            .unwrap();
     }
     assert!(ivm.check_consistency("qg").unwrap());
     // …phase 3: now the view is large; the next refresh must upsert.
-    ivm.execute("INSERT INTO groups VALUES ('late', 99)").unwrap();
+    ivm.execute("INSERT INTO groups VALUES ('late', 99)")
+        .unwrap();
     assert!(ivm.check_consistency("qg").unwrap());
     assert!(ivm.stats().adaptive_upserts >= 1, "{:?}", ivm.stats());
     // Deletions still reconcile on both paths.
-    ivm.execute("DELETE FROM groups WHERE group_value > 10").unwrap();
+    ivm.execute("DELETE FROM groups WHERE group_value > 10")
+        .unwrap();
     assert!(ivm.check_consistency("qg").unwrap());
 }
 
@@ -405,9 +467,12 @@ fn adaptive_projection_views_fall_back_to_upsert() {
         upsert_strategy: UpsertStrategy::Adaptive,
         ..IvmFlags::paper_defaults()
     });
-    ivm.execute("CREATE TABLE t (a VARCHAR, b INTEGER)").unwrap();
-    ivm.execute("CREATE MATERIALIZED VIEW p AS SELECT a, b FROM t WHERE b > 0").unwrap();
-    ivm.execute("INSERT INTO t VALUES ('x', 1), ('y', -1)").unwrap();
+    ivm.execute("CREATE TABLE t (a VARCHAR, b INTEGER)")
+        .unwrap();
+    ivm.execute("CREATE MATERIALIZED VIEW p AS SELECT a, b FROM t WHERE b > 0")
+        .unwrap();
+    ivm.execute("INSERT INTO t VALUES ('x', 1), ('y', -1)")
+        .unwrap();
     assert!(ivm.check_consistency("p").unwrap());
     assert_eq!(ivm.stats().adaptive_regroups, 0);
     assert_eq!(ivm.stats().adaptive_upserts, 0);
@@ -419,7 +484,8 @@ fn adaptive_artifacts_carry_both_scripts() {
         upsert_strategy: UpsertStrategy::Adaptive,
         ..IvmFlags::paper_defaults()
     });
-    ivm.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)").unwrap();
+    ivm.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)")
+        .unwrap();
     ivm.execute(
         "CREATE MATERIALIZED VIEW qg AS \
          SELECT group_index, SUM(group_value) AS total FROM groups GROUP BY group_index",

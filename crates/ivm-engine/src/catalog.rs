@@ -31,7 +31,11 @@ impl Catalog {
     }
 
     /// Register a logical (non-materialized) view.
-    pub fn create_view(&mut self, name: impl Into<String>, query: Query) -> Result<(), EngineError> {
+    pub fn create_view(
+        &mut self,
+        name: impl Into<String>,
+        query: Query,
+    ) -> Result<(), EngineError> {
         let name = name.into();
         if self.tables.contains_key(&name) || self.views.contains_key(&name) {
             return Err(EngineError::catalog(format!("{name} already exists")));
@@ -113,7 +117,11 @@ mod tests {
     use crate::types::DataType;
 
     fn t(name: &str) -> Table {
-        Table::new(name, Schema::new(vec![Column::new("a", DataType::Integer)]), vec![])
+        Table::new(
+            name,
+            Schema::new(vec![Column::new("a", DataType::Integer)]),
+            vec![],
+        )
     }
 
     #[test]

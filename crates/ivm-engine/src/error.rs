@@ -31,7 +31,10 @@ pub enum ErrorKind {
 
 impl EngineError {
     pub(crate) fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
-        EngineError { kind, message: message.into() }
+        EngineError {
+            kind,
+            message: message.into(),
+        }
     }
 
     /// Parse-phase error (wraps [`ivm_sql::SqlError`]).

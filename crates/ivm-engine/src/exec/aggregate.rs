@@ -1,19 +1,34 @@
-//! Hash aggregation.
+//! Hash aggregation over batched input.
+//!
+//! The operator consumes its child on first pull, folding rows into
+//! per-group accumulators keyed by the evaluated group expressions, then
+//! re-emits one output batch per `batch_size` groups in first-seen order.
+//! [`AggMode::Ungrouped`] runs a single accumulator set and always emits
+//! exactly one row, even for empty input.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 
-use crate::catalog::Catalog;
 use crate::error::EngineError;
-use crate::exec::{prepare_expr, Row};
+use crate::exec::batch::RowBatch;
+use crate::exec::{BatchBuilder, BoxedOperator, Operator};
 use crate::expr::{AggExpr, AggFunc, BoundExpr};
+use crate::planner::physical::AggMode;
 use crate::value::Value;
 
 /// One accumulator per aggregate per group.
 #[derive(Debug, Clone)]
 enum Acc {
-    Sum { total_i: i64, total_f: f64, is_float: bool, seen: bool },
+    Sum {
+        total_i: i64,
+        total_f: f64,
+        is_float: bool,
+        seen: bool,
+    },
     Count(i64),
-    Avg { total: f64, count: i64 },
+    Avg {
+        total: f64,
+        count: i64,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
 }
@@ -21,9 +36,17 @@ enum Acc {
 impl Acc {
     fn new(func: AggFunc) -> Acc {
         match func {
-            AggFunc::Sum => Acc::Sum { total_i: 0, total_f: 0.0, is_float: false, seen: false },
+            AggFunc::Sum => Acc::Sum {
+                total_i: 0,
+                total_f: 0.0,
+                is_float: false,
+                seen: false,
+            },
             AggFunc::Count => Acc::Count(0),
-            AggFunc::Avg => Acc::Avg { total: 0.0, count: 0 },
+            AggFunc::Avg => Acc::Avg {
+                total: 0.0,
+                count: 0,
+            },
             AggFunc::Min => Acc::Min(None),
             AggFunc::Max => Acc::Max(None),
         }
@@ -33,16 +56,21 @@ impl Acc {
         // NULLs never reach here (skipped by the caller), except COUNT(*)
         // which feeds a non-null marker.
         match self {
-            Acc::Sum { total_i, total_f, is_float, seen } => {
+            Acc::Sum {
+                total_i,
+                total_f,
+                is_float,
+                seen,
+            } => {
                 *seen = true;
                 match v {
                     Value::Integer(i) => {
                         if *is_float {
                             *total_f += *i as f64;
                         } else {
-                            *total_i = total_i.checked_add(*i).ok_or_else(|| {
-                                EngineError::execution("integer overflow in SUM")
-                            })?;
+                            *total_i = total_i
+                                .checked_add(*i)
+                                .ok_or_else(|| EngineError::execution("integer overflow in SUM"))?;
                         }
                     }
                     Value::Double(d) => {
@@ -81,7 +109,12 @@ impl Acc {
 
     fn finish(self) -> Value {
         match self {
-            Acc::Sum { total_i, total_f, is_float, seen } => {
+            Acc::Sum {
+                total_i,
+                total_f,
+                is_float,
+                seen,
+            } => {
                 if !seen {
                     Value::Null
                 } else if is_float {
@@ -103,51 +136,59 @@ impl Acc {
     }
 }
 
-/// Execute hash aggregation over materialized input rows.
-pub(crate) fn execute_aggregate(
-    rows: Vec<Row>,
-    group: &[BoundExpr],
-    aggs: &[AggExpr],
-    catalog: &Catalog,
-) -> Result<Vec<Row>, EngineError> {
-    let group_exprs: Vec<BoundExpr> = group
-        .iter()
-        .map(|e| prepare_expr(e, catalog))
-        .collect::<Result<_, _>>()?;
-    let agg_args: Vec<Option<BoundExpr>> = aggs
-        .iter()
-        .map(|a| a.arg.as_ref().map(|e| prepare_expr(e, catalog)).transpose())
-        .collect::<Result<_, _>>()?;
+struct GroupState {
+    accs: Vec<Acc>,
+    distinct_seen: Vec<Option<HashSet<Value>>>,
+}
 
-    struct GroupState {
-        accs: Vec<Acc>,
-        distinct_seen: Vec<Option<HashSet<Value>>>,
+/// Hash (or single-group) aggregation operator.
+pub struct HashAggregateOp<'a> {
+    input: BoxedOperator<'a>,
+    group: Vec<BoundExpr>,
+    aggs: Vec<AggExpr>,
+    mode: AggMode,
+    batch_size: usize,
+    output: Option<VecDeque<RowBatch<'a>>>,
+}
+
+impl<'a> HashAggregateOp<'a> {
+    /// Aggregate `input`; `group` and agg arguments must be prepared.
+    pub fn new(
+        input: BoxedOperator<'a>,
+        group: Vec<BoundExpr>,
+        aggs: Vec<AggExpr>,
+        mode: AggMode,
+        batch_size: usize,
+    ) -> HashAggregateOp<'a> {
+        debug_assert_eq!(mode == AggMode::Ungrouped, group.is_empty());
+        HashAggregateOp {
+            input,
+            group,
+            aggs,
+            mode,
+            batch_size,
+            output: None,
+        }
     }
 
-    let mut groups: HashMap<Vec<Value>, GroupState> = HashMap::new();
-    // Preserve first-seen group order for deterministic output.
-    let mut order: Vec<Vec<Value>> = Vec::new();
-
-    for row in &rows {
-        let mut key = Vec::with_capacity(group_exprs.len());
-        for g in &group_exprs {
-            key.push(g.eval(row)?);
+    fn new_group_state(&self) -> GroupState {
+        GroupState {
+            accs: self.aggs.iter().map(|a| Acc::new(a.func)).collect(),
+            distinct_seen: self
+                .aggs
+                .iter()
+                .map(|a| a.distinct.then(HashSet::new))
+                .collect(),
         }
-        let state = match groups.get_mut(&key) {
-            Some(s) => s,
-            None => {
-                order.push(key.clone());
-                groups.entry(key.clone()).or_insert_with(|| GroupState {
-                    accs: aggs.iter().map(|a| Acc::new(a.func)).collect(),
-                    distinct_seen: aggs
-                        .iter()
-                        .map(|a| a.distinct.then(HashSet::new))
-                        .collect(),
-                })
-            }
-        };
-        for (i, _agg) in aggs.iter().enumerate() {
-            let value = match &agg_args[i] {
+    }
+
+    fn fold_row(
+        aggs: &[AggExpr],
+        state: &mut GroupState,
+        row: &crate::exec::batch::BatchRow<'_, 'a>,
+    ) -> Result<(), EngineError> {
+        for (i, agg) in aggs.iter().enumerate() {
+            let value = match &agg.arg {
                 Some(e) => e.eval(row)?,
                 // COUNT(*) counts rows; feed a constant marker.
                 None => Value::Boolean(true),
@@ -162,56 +203,146 @@ pub(crate) fn execute_aggregate(
             }
             state.accs[i].update(&value)?;
         }
+        Ok(())
     }
 
-    // Global aggregates over empty input still produce one row.
-    if group_exprs.is_empty() && groups.is_empty() {
-        let out: Vec<Value> =
-            aggs.iter().map(|a| Acc::new(a.func).finish()).collect();
-        return Ok(vec![out]);
-    }
+    fn drain_and_aggregate(&mut self) -> Result<VecDeque<RowBatch<'a>>, EngineError> {
+        let width = self.group.len() + self.aggs.len();
+        let mut groups: HashMap<Vec<Value>, GroupState> = HashMap::new();
+        // Preserve first-seen group order for deterministic output.
+        let mut order: Vec<Vec<Value>> = Vec::new();
+        let mut global = (self.mode == AggMode::Ungrouped).then(|| self.new_group_state());
 
-    let mut out = Vec::with_capacity(order.len());
-    for key in order {
-        let state = groups.remove(&key).expect("group recorded");
-        let mut row = key;
-        for acc in state.accs {
-            row.push(acc.finish());
+        while let Some(batch) = self.input.next_batch()? {
+            for r in 0..batch.num_rows() {
+                let row = batch.row_view(r);
+                let state = match &mut global {
+                    Some(s) => s,
+                    None => {
+                        let mut key = Vec::with_capacity(self.group.len());
+                        for g in &self.group {
+                            key.push(g.eval(&row)?);
+                        }
+                        match groups.get_mut(&key) {
+                            Some(s) => s,
+                            None => {
+                                order.push(key.clone());
+                                let fresh = self.new_group_state();
+                                groups.entry(key).or_insert(fresh)
+                            }
+                        }
+                    }
+                };
+                Self::fold_row(&self.aggs, state, &row)?;
+            }
         }
-        out.push(row);
+
+        let mut out = VecDeque::new();
+        let mut builder = BatchBuilder::new(width);
+        let flush = |builder: &mut BatchBuilder, out: &mut VecDeque<RowBatch<'a>>| {
+            if !builder.is_empty() {
+                out.push_back(std::mem::replace(builder, BatchBuilder::new(width)).finish());
+            }
+        };
+        match global {
+            Some(state) => {
+                // Global aggregates produce one row even for empty input.
+                builder.push_row(state.accs.into_iter().map(Acc::finish));
+                flush(&mut builder, &mut out);
+            }
+            None => {
+                for key in order {
+                    let state = groups.remove(&key).expect("group recorded");
+                    builder.push_row(
+                        key.into_iter()
+                            .chain(state.accs.into_iter().map(Acc::finish)),
+                    );
+                    if builder.len() == self.batch_size {
+                        flush(&mut builder, &mut out);
+                    }
+                }
+                flush(&mut builder, &mut out);
+            }
+        }
+        Ok(out)
     }
-    Ok(out)
+}
+
+impl<'a> Operator<'a> for HashAggregateOp<'a> {
+    fn next_batch(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
+        if self.output.is_none() {
+            let aggregated = self.drain_and_aggregate()?;
+            self.output = Some(aggregated);
+        }
+        Ok(self.output.as_mut().and_then(VecDeque::pop_front))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::test_support::{drain, StaticOp};
+    use crate::exec::Row;
     use crate::types::DataType;
 
     fn col(i: usize) -> BoundExpr {
-        BoundExpr::Column { index: i, ty: Some(DataType::Integer), name: format!("c{i}") }
+        BoundExpr::Column {
+            index: i,
+            ty: Some(DataType::Integer),
+            name: format!("c{i}"),
+        }
     }
 
     fn agg(func: AggFunc, arg: Option<BoundExpr>) -> AggExpr {
-        AggExpr { func, arg, distinct: false, name: func.name().to_string() }
+        AggExpr {
+            func,
+            arg,
+            distinct: false,
+            name: func.name().to_string(),
+        }
     }
 
-    fn run(rows: Vec<Row>, group: &[BoundExpr], aggs: &[AggExpr]) -> Vec<Row> {
-        execute_aggregate(rows, group, aggs, &Catalog::new()).unwrap()
+    fn run(
+        width: usize,
+        rows: Vec<Row>,
+        group: Vec<BoundExpr>,
+        aggs: Vec<AggExpr>,
+        batch_size: usize,
+    ) -> Vec<Row> {
+        let mode = if group.is_empty() {
+            AggMode::Ungrouped
+        } else {
+            AggMode::HashGrouped
+        };
+        let op = HashAggregateOp::new(
+            Box::new(StaticOp::from_rows(width, rows, batch_size)),
+            group,
+            aggs,
+            mode,
+            batch_size,
+        );
+        drain(Box::new(op)).unwrap()
     }
 
     #[test]
-    fn grouped_sum_count() {
+    fn grouped_sum_count_across_batches() {
         let rows = vec![
             vec![Value::from("a"), Value::Integer(1)],
             vec![Value::from("b"), Value::Integer(2)],
             vec![Value::from("a"), Value::Integer(3)],
         ];
-        let group = [BoundExpr::Column { index: 0, ty: Some(DataType::Varchar), name: "g".into() }];
+        let group = vec![BoundExpr::Column {
+            index: 0,
+            ty: Some(DataType::Varchar),
+            name: "g".into(),
+        }];
+        // Batch size 1 forces group state to span batches.
         let out = run(
+            2,
             rows,
-            &group,
-            &[agg(AggFunc::Sum, Some(col(1))), agg(AggFunc::Count, None)],
+            group,
+            vec![agg(AggFunc::Sum, Some(col(1))), agg(AggFunc::Count, None)],
+            1,
         );
         assert_eq!(
             out,
@@ -223,20 +354,27 @@ mod tests {
     }
 
     #[test]
-    fn global_aggregate_on_empty_input() {
+    fn global_aggregate_on_empty_input_emits_one_row() {
         let out = run(
+            1,
             vec![],
-            &[],
-            &[
+            vec![],
+            vec![
                 agg(AggFunc::Sum, Some(col(0))),
                 agg(AggFunc::Count, None),
                 agg(AggFunc::Min, Some(col(0))),
                 agg(AggFunc::Avg, Some(col(0))),
             ],
+            16,
         );
         assert_eq!(
             out,
-            vec![vec![Value::Null, Value::Integer(0), Value::Null, Value::Null]]
+            vec![vec![
+                Value::Null,
+                Value::Integer(0),
+                Value::Null,
+                Value::Null
+            ]]
         );
     }
 
@@ -248,14 +386,16 @@ mod tests {
             vec![Value::Integer(3)],
         ];
         let out = run(
+            1,
             rows,
-            &[],
-            &[
+            vec![],
+            vec![
                 agg(AggFunc::Sum, Some(col(0))),
                 agg(AggFunc::Count, Some(col(0))),
                 agg(AggFunc::Count, None),
                 agg(AggFunc::Avg, Some(col(0))),
             ],
+            2,
         );
         assert_eq!(
             out,
@@ -275,7 +415,7 @@ mod tests {
             vec![Value::Double(2.5)],
             vec![Value::Integer(2)],
         ];
-        let out = run(rows, &[], &[agg(AggFunc::Sum, Some(col(0)))]);
+        let out = run(1, rows, vec![], vec![agg(AggFunc::Sum, Some(col(0)))], 2);
         assert_eq!(out, vec![vec![Value::Double(5.5)]]);
     }
 
@@ -287,15 +427,20 @@ mod tests {
             vec![Value::from("fig")],
         ];
         let out = run(
+            1,
             rows,
-            &[],
-            &[agg(AggFunc::Min, Some(col(0))), agg(AggFunc::Max, Some(col(0)))],
+            vec![],
+            vec![
+                agg(AggFunc::Min, Some(col(0))),
+                agg(AggFunc::Max, Some(col(0))),
+            ],
+            2,
         );
         assert_eq!(out, vec![vec![Value::from("apple"), Value::from("pear")]]);
     }
 
     #[test]
-    fn distinct_aggregation() {
+    fn distinct_aggregation_spans_batches() {
         let rows = vec![
             vec![Value::Integer(1)],
             vec![Value::Integer(1)],
@@ -305,7 +450,7 @@ mod tests {
         sum_distinct.distinct = true;
         let mut count_distinct = agg(AggFunc::Count, Some(col(0)));
         count_distinct.distinct = true;
-        let out = run(rows, &[], &[sum_distinct, count_distinct]);
+        let out = run(1, rows, vec![], vec![sum_distinct, count_distinct], 1);
         assert_eq!(out, vec![vec![Value::Integer(3), Value::Integer(2)]]);
     }
 
@@ -315,20 +460,41 @@ mod tests {
             vec![Value::Null, Value::Integer(1)],
             vec![Value::Null, Value::Integer(2)],
         ];
-        let group = [BoundExpr::Column { index: 0, ty: Some(DataType::Varchar), name: "g".into() }];
-        let out = run(rows, &group, &[agg(AggFunc::Sum, Some(col(1)))]);
+        let group = vec![BoundExpr::Column {
+            index: 0,
+            ty: Some(DataType::Varchar),
+            name: "g".into(),
+        }];
+        let out = run(2, rows, group, vec![agg(AggFunc::Sum, Some(col(1)))], 4);
         assert_eq!(out, vec![vec![Value::Null, Value::Integer(3)]]);
     }
 
     #[test]
     fn sum_overflow_errors() {
         let rows = vec![vec![Value::Integer(i64::MAX)], vec![Value::Integer(1)]];
-        let res = execute_aggregate(
-            rows,
-            &[],
-            &[agg(AggFunc::Sum, Some(col(0)))],
-            &Catalog::new(),
+        let op = HashAggregateOp::new(
+            Box::new(StaticOp::from_rows(1, rows, 4)),
+            vec![],
+            vec![agg(AggFunc::Sum, Some(col(0)))],
+            AggMode::Ungrouped,
+            4,
         );
-        assert!(res.is_err());
+        assert!(drain(Box::new(op)).is_err());
+    }
+
+    #[test]
+    fn many_groups_chunk_into_batches() {
+        let rows: Vec<Row> = (0..10)
+            .map(|v| vec![Value::Integer(v), Value::Integer(1)])
+            .collect();
+        let out = run(
+            2,
+            rows,
+            vec![col(0)],
+            vec![agg(AggFunc::Count, None)],
+            3, // 10 groups → 4 output batches
+        );
+        assert_eq!(out.len(), 10);
+        assert!(out.iter().all(|r| r[1] == Value::Integer(1)));
     }
 }

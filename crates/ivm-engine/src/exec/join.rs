@@ -1,257 +1,428 @@
-//! Join execution: hash join for equi-joins, nested loops otherwise.
+//! Join operators: build-probe hash join for equi-joins, nested loops
+//! otherwise.
+//!
+//! Both operators materialize the build side once, then stream probe
+//! batches. Output batches reuse the probe batch's columns through a
+//! selection vector (zero-copy, possibly with repeats for multi-matches)
+//! and gather only the build side. The probe side is the preserved side:
+//! `LeftOuter` pads unmatched probe rows, `FullOuter` additionally emits
+//! unmatched build rows after the probe is exhausted. SQL semantics: NULL
+//! keys never match.
 
 use std::collections::HashMap;
 
-use ivm_sql::ast::{BinaryOp, JoinKind};
-
-use crate::catalog::Catalog;
 use crate::error::EngineError;
-use crate::exec::{prepare_expr, Row};
+use crate::exec::batch::{ColumnData, JoinedRow, RowBatch};
+use crate::exec::{BoxedOperator, Operator, Row};
 use crate::expr::BoundExpr;
+use crate::planner::physical::PhysJoinKind;
 use crate::value::Value;
 
-/// Execute a join between two materialized inputs.
-///
-/// Equality conjuncts of the form `left_col = right_col` are extracted and
-/// drive a hash join; any residual predicate is applied to candidate pairs.
-/// Joins with no equi-conjunct fall back to a nested loop.
-pub(crate) fn execute_join(
-    lrows: Vec<Row>,
-    rrows: Vec<Row>,
-    lwidth: usize,
-    rwidth: usize,
-    kind: JoinKind,
-    on: Option<&BoundExpr>,
-    catalog: &Catalog,
-) -> Result<Vec<Row>, EngineError> {
-    // RIGHT JOIN = mirrored LEFT JOIN with columns swapped back.
-    if kind == JoinKind::Right {
-        let on_swapped = on.map(|e| {
-            let mut e = e.clone();
-            // Columns [0..l) ↔ [l..l+r): right side becomes the build side.
-            e.remap_columns(&|i| if i < lwidth { i + rwidth } else { i - lwidth });
-            e
-        });
-        let mirrored = execute_join(
-            rrows,
-            lrows,
-            rwidth,
-            lwidth,
-            JoinKind::Left,
-            on_swapped.as_ref(),
-            catalog,
-        )?;
-        return Ok(mirrored
-            .into_iter()
-            .map(|mut row| {
-                let tail = row.split_off(rwidth);
-                let mut out = tail;
-                out.extend(row);
-                out
-            })
-            .collect());
-    }
-
-    let on = match on {
-        Some(e) => Some(prepare_expr(e, catalog)?),
-        None => None,
-    };
-    let (equi, residual) = match &on {
-        Some(pred) => split_equi_conjuncts(pred, lwidth),
-        None => (Vec::new(), None),
-    };
-
-    let pairs: Vec<(usize, usize)> = if equi.is_empty() {
-        nested_loop_pairs(&lrows, &rrows, lwidth, on.as_ref())?
-    } else {
-        hash_join_pairs(&lrows, &rrows, lwidth, &equi, residual.as_ref())?
-    };
-
-    let mut matched_left = vec![false; lrows.len()];
-    let mut matched_right = vec![false; rrows.len()];
-    let mut out = Vec::with_capacity(pairs.len());
-    for (li, ri) in pairs {
-        matched_left[li] = true;
-        matched_right[ri] = true;
-        let mut row = lrows[li].clone();
-        row.extend(rrows[ri].iter().cloned());
-        out.push(row);
-    }
-
-    // Outer padding.
-    if matches!(kind, JoinKind::Left | JoinKind::Full) {
-        for (li, l) in lrows.iter().enumerate() {
-            if !matched_left[li] {
-                let mut row = l.clone();
-                row.extend(std::iter::repeat_n(Value::Null, rwidth));
-                out.push(row);
-            }
-        }
-    }
-    if kind == JoinKind::Full {
-        for (ri, r) in rrows.iter().enumerate() {
-            if !matched_right[ri] {
-                let mut row: Row = std::iter::repeat_n(Value::Null, lwidth).collect();
-                row.extend(r.iter().cloned());
-                out.push(row);
-            }
-        }
-    }
-    Ok(out)
+/// The materialized build side shared by both join flavors.
+struct BuildSide {
+    rows: Vec<Row>,
+    matched: Vec<bool>,
 }
 
-/// Split a predicate into `(left_col, right_col)` equality pairs plus a
-/// residual predicate (None when fully consumed). Only top-level AND
-/// conjuncts are considered.
-fn split_equi_conjuncts(
-    pred: &BoundExpr,
-    lwidth: usize,
-) -> (Vec<(usize, usize)>, Option<BoundExpr>) {
-    let mut conjuncts = Vec::new();
-    flatten_and(pred, &mut conjuncts);
-    let mut equi = Vec::new();
-    let mut residual: Vec<BoundExpr> = Vec::new();
-    for c in conjuncts {
-        if let BoundExpr::Binary { op: BinaryOp::Eq, left, right } = &c {
-            if let (BoundExpr::Column { index: a, .. }, BoundExpr::Column { index: b, .. }) =
-                (left.as_ref(), right.as_ref())
-            {
-                if *a < lwidth && *b >= lwidth {
-                    equi.push((*a, *b - lwidth));
-                    continue;
+impl BuildSide {
+    fn consume<'a>(op: &mut BoxedOperator<'a>) -> Result<BuildSide, EngineError> {
+        let mut rows = Vec::new();
+        while let Some(batch) = op.next_batch()? {
+            rows.extend(batch.to_rows());
+        }
+        let matched = vec![false; rows.len()];
+        Ok(BuildSide { rows, matched })
+    }
+}
+
+/// Gather `indices` out of the build rows into owned columns;
+/// `u32::MAX` marks a NULL-padded (unmatched probe) slot.
+fn gather_build_columns<'a>(
+    build: &[Row],
+    build_width: usize,
+    indices: &[u32],
+) -> Vec<ColumnData<'a>> {
+    let mut columns: Vec<Vec<Value>> = (0..build_width)
+        .map(|_| Vec::with_capacity(indices.len()))
+        .collect();
+    for &i in indices {
+        if i == u32::MAX {
+            for col in &mut columns {
+                col.push(Value::Null);
+            }
+        } else {
+            for (col, v) in columns.iter_mut().zip(&build[i as usize]) {
+                col.push(v.clone());
+            }
+        }
+    }
+    columns.into_iter().map(ColumnData::owned).collect()
+}
+
+/// Splice a probe-side selection with gathered build columns into one
+/// output batch of `probe ++ build` layout.
+fn splice_output<'a>(
+    probe_batch: &RowBatch<'a>,
+    probe_sel: Vec<u32>,
+    build: &[Row],
+    build_width: usize,
+    build_idx: &[u32],
+) -> RowBatch<'a> {
+    let rows = probe_sel.len();
+    let mut columns = probe_batch.select(probe_sel).into_columns();
+    columns.extend(gather_build_columns(build, build_width, build_idx));
+    RowBatch::new(columns, rows)
+}
+
+/// Emit build rows never matched during probing, padded with NULLs on the
+/// probe side (the FULL OUTER tail).
+fn unmatched_build_batch<'a>(
+    state: &BuildSide,
+    probe_width: usize,
+    build_width: usize,
+) -> Option<RowBatch<'a>> {
+    let unmatched: Vec<u32> = state
+        .matched
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| !**m)
+        .map(|(i, _)| i as u32)
+        .collect();
+    if unmatched.is_empty() {
+        return None;
+    }
+    let mut columns: Vec<ColumnData<'a>> = (0..probe_width)
+        .map(|_| ColumnData::owned(vec![Value::Null; unmatched.len()]))
+        .collect();
+    columns.extend(gather_build_columns(&state.rows, build_width, &unmatched));
+    Some(RowBatch::new(columns, unmatched.len()))
+}
+
+/// Hash table over the build side: key values → build row indices.
+type JoinTable = HashMap<Vec<Value>, Vec<u32>>;
+
+/// Build-probe hash join on plan-time-extracted equi-keys.
+pub struct HashJoinOp<'a> {
+    probe: BoxedOperator<'a>,
+    build: BoxedOperator<'a>,
+    probe_width: usize,
+    build_width: usize,
+    probe_keys: Vec<usize>,
+    build_keys: Vec<usize>,
+    residual: Option<BoundExpr>,
+    join: PhysJoinKind,
+    state: Option<(BuildSide, JoinTable)>,
+    probe_done: bool,
+    tail_emitted: bool,
+}
+
+impl<'a> HashJoinOp<'a> {
+    /// Create the operator; the hash table is built on first pull.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        probe: BoxedOperator<'a>,
+        build: BoxedOperator<'a>,
+        probe_width: usize,
+        build_width: usize,
+        probe_keys: Vec<usize>,
+        build_keys: Vec<usize>,
+        residual: Option<BoundExpr>,
+        join: PhysJoinKind,
+    ) -> HashJoinOp<'a> {
+        debug_assert_eq!(probe_keys.len(), build_keys.len());
+        HashJoinOp {
+            probe,
+            build,
+            probe_width,
+            build_width,
+            probe_keys,
+            build_keys,
+            residual,
+            join,
+            state: None,
+            probe_done: false,
+            tail_emitted: false,
+        }
+    }
+
+    fn ensure_built(&mut self) -> Result<(), EngineError> {
+        if self.state.is_some() {
+            return Ok(());
+        }
+        let side = BuildSide::consume(&mut self.build)?;
+        let mut table: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+        'rows: for (i, row) in side.rows.iter().enumerate() {
+            let mut key = Vec::with_capacity(self.build_keys.len());
+            for &k in &self.build_keys {
+                let v = &row[k];
+                if v.is_null() {
+                    continue 'rows;
                 }
-                if *b < lwidth && *a >= lwidth {
-                    equi.push((*b, *a - lwidth));
-                    continue;
+                key.push(v.clone());
+            }
+            table.entry(key).or_default().push(i as u32);
+        }
+        self.state = Some((side, table));
+        Ok(())
+    }
+}
+
+impl<'a> Operator<'a> for HashJoinOp<'a> {
+    fn next_batch(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
+        self.ensure_built()?;
+        let preserve_probe = matches!(self.join, PhysJoinKind::LeftOuter | PhysJoinKind::FullOuter);
+        while !self.probe_done {
+            let Some(batch) = self.probe.next_batch()? else {
+                self.probe_done = true;
+                break;
+            };
+            let (side, table) = self.state.as_mut().expect("built above");
+            let mut probe_sel: Vec<u32> = Vec::new();
+            let mut build_idx: Vec<u32> = Vec::new();
+            let mut key = Vec::with_capacity(self.probe_keys.len());
+            'rows: for row in 0..batch.num_rows() {
+                key.clear();
+                for &k in &self.probe_keys {
+                    let v = batch.value(k, row);
+                    if v.is_null() {
+                        if preserve_probe {
+                            probe_sel.push(row as u32);
+                            build_idx.push(u32::MAX);
+                        }
+                        continue 'rows;
+                    }
+                    key.push(v.clone());
                 }
-            }
-        }
-        residual.push(c);
-    }
-    let residual = residual.into_iter().reduce(|l, r| BoundExpr::Binary {
-        op: BinaryOp::And,
-        left: Box::new(l),
-        right: Box::new(r),
-    });
-    (equi, residual)
-}
-
-fn flatten_and(e: &BoundExpr, out: &mut Vec<BoundExpr>) {
-    if let BoundExpr::Binary { op: BinaryOp::And, left, right } = e {
-        flatten_and(left, out);
-        flatten_and(right, out);
-    } else {
-        out.push(e.clone());
-    }
-}
-
-fn hash_join_pairs(
-    lrows: &[Row],
-    rrows: &[Row],
-    lwidth: usize,
-    equi: &[(usize, usize)],
-    residual: Option<&BoundExpr>,
-) -> Result<Vec<(usize, usize)>, EngineError> {
-    // Build on the right side.
-    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-    'right: for (ri, r) in rrows.iter().enumerate() {
-        let mut key = Vec::with_capacity(equi.len());
-        for (_, rc) in equi {
-            let v = r[*rc].clone();
-            if v.is_null() {
-                // SQL equality never matches NULL keys.
-                continue 'right;
-            }
-            key.push(v);
-        }
-        table.entry(key).or_default().push(ri);
-    }
-    let mut pairs = Vec::new();
-    'left: for (li, l) in lrows.iter().enumerate() {
-        let mut key = Vec::with_capacity(equi.len());
-        for (lc, _) in equi {
-            let v = l[*lc].clone();
-            if v.is_null() {
-                continue 'left;
-            }
-            key.push(v);
-        }
-        if let Some(candidates) = table.get(&key) {
-            for &ri in candidates {
-                if let Some(resid) = residual {
-                    let mut row = l.clone();
-                    row.extend(rrows[ri].iter().cloned());
-                    if resid.eval(&row)?.as_bool() != Some(true) {
-                        continue;
+                let mut matched = false;
+                if let Some(candidates) = table.get(key.as_slice()) {
+                    for &bi in candidates {
+                        if let Some(resid) = &self.residual {
+                            let joined = JoinedRow::new(
+                                batch.row_view(row),
+                                self.probe_width,
+                                &side.rows[bi as usize],
+                            );
+                            if resid.eval(&joined)?.as_bool() != Some(true) {
+                                continue;
+                            }
+                        }
+                        matched = true;
+                        side.matched[bi as usize] = true;
+                        probe_sel.push(row as u32);
+                        build_idx.push(bi);
                     }
                 }
-                pairs.push((li, ri));
+                if !matched && preserve_probe {
+                    probe_sel.push(row as u32);
+                    build_idx.push(u32::MAX);
+                }
+            }
+            if !probe_sel.is_empty() {
+                return Ok(Some(splice_output(
+                    &batch,
+                    probe_sel,
+                    &self.state.as_ref().expect("built").0.rows,
+                    self.build_width,
+                    &build_idx,
+                )));
             }
         }
+        if self.join == PhysJoinKind::FullOuter && !self.tail_emitted {
+            self.tail_emitted = true;
+            let (side, _) = self.state.as_ref().expect("built above");
+            return Ok(unmatched_build_batch(
+                side,
+                self.probe_width,
+                self.build_width,
+            ));
+        }
+        Ok(None)
     }
-    let _ = lwidth;
-    Ok(pairs)
 }
 
-fn nested_loop_pairs(
-    lrows: &[Row],
-    rrows: &[Row],
-    _lwidth: usize,
-    on: Option<&BoundExpr>,
-) -> Result<Vec<(usize, usize)>, EngineError> {
-    let mut pairs = Vec::new();
-    for (li, l) in lrows.iter().enumerate() {
-        for (ri, r) in rrows.iter().enumerate() {
-            let ok = match on {
-                None => true,
-                Some(pred) => {
-                    let mut row = l.clone();
-                    row.extend(r.iter().cloned());
-                    pred.eval(&row)?.as_bool() == Some(true)
-                }
-            };
-            if ok {
-                pairs.push((li, ri));
-            }
+/// Nested-loop join for CROSS joins and non-equi ON conditions.
+pub struct NestedLoopJoinOp<'a> {
+    probe: BoxedOperator<'a>,
+    build: BoxedOperator<'a>,
+    probe_width: usize,
+    build_width: usize,
+    on: Option<BoundExpr>,
+    join: PhysJoinKind,
+    state: Option<BuildSide>,
+    probe_done: bool,
+    tail_emitted: bool,
+}
+
+impl<'a> NestedLoopJoinOp<'a> {
+    /// Create the operator; the build side materializes on first pull.
+    pub fn new(
+        probe: BoxedOperator<'a>,
+        build: BoxedOperator<'a>,
+        probe_width: usize,
+        build_width: usize,
+        on: Option<BoundExpr>,
+        join: PhysJoinKind,
+    ) -> NestedLoopJoinOp<'a> {
+        NestedLoopJoinOp {
+            probe,
+            build,
+            probe_width,
+            build_width,
+            on,
+            join,
+            state: None,
+            probe_done: false,
+            tail_emitted: false,
         }
     }
-    Ok(pairs)
+}
+
+impl<'a> Operator<'a> for NestedLoopJoinOp<'a> {
+    fn next_batch(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
+        if self.state.is_none() {
+            self.state = Some(BuildSide::consume(&mut self.build)?);
+        }
+        let preserve_probe = matches!(self.join, PhysJoinKind::LeftOuter | PhysJoinKind::FullOuter);
+        while !self.probe_done {
+            let Some(batch) = self.probe.next_batch()? else {
+                self.probe_done = true;
+                break;
+            };
+            let side = self.state.as_mut().expect("built above");
+            let mut probe_sel: Vec<u32> = Vec::new();
+            let mut build_idx: Vec<u32> = Vec::new();
+            for row in 0..batch.num_rows() {
+                let mut matched = false;
+                for (bi, build_row) in side.rows.iter().enumerate() {
+                    let ok = match &self.on {
+                        None => true,
+                        Some(pred) => {
+                            let joined =
+                                JoinedRow::new(batch.row_view(row), self.probe_width, build_row);
+                            pred.eval(&joined)?.as_bool() == Some(true)
+                        }
+                    };
+                    if ok {
+                        matched = true;
+                        side.matched[bi] = true;
+                        probe_sel.push(row as u32);
+                        build_idx.push(bi as u32);
+                    }
+                }
+                if !matched && preserve_probe {
+                    probe_sel.push(row as u32);
+                    build_idx.push(u32::MAX);
+                }
+            }
+            if !probe_sel.is_empty() {
+                return Ok(Some(splice_output(
+                    &batch,
+                    probe_sel,
+                    &self.state.as_ref().expect("built").rows,
+                    self.build_width,
+                    &build_idx,
+                )));
+            }
+        }
+        if self.join == PhysJoinKind::FullOuter && !self.tail_emitted {
+            self.tail_emitted = true;
+            let side = self.state.as_ref().expect("built above");
+            return Ok(unmatched_build_batch(
+                side,
+                self.probe_width,
+                self.build_width,
+            ));
+        }
+        Ok(None)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::test_support::{drain, StaticOp};
     use crate::types::DataType;
-
-    fn col(i: usize) -> BoundExpr {
-        BoundExpr::Column { index: i, ty: Some(DataType::Integer), name: format!("c{i}") }
-    }
-
-    fn eq(l: BoundExpr, r: BoundExpr) -> BoundExpr {
-        BoundExpr::Binary { op: BinaryOp::Eq, left: Box::new(l), right: Box::new(r) }
-    }
-
-    fn run(
-        l: Vec<Row>,
-        r: Vec<Row>,
-        lw: usize,
-        rw: usize,
-        kind: JoinKind,
-        on: Option<BoundExpr>,
-    ) -> Vec<Row> {
-        execute_join(l, r, lw, rw, kind, on.as_ref(), &Catalog::new()).unwrap()
-    }
+    use ivm_sql::ast::BinaryOp;
 
     fn i(v: i64) -> Value {
         Value::Integer(v)
     }
 
+    fn col(idx: usize) -> BoundExpr {
+        BoundExpr::Column {
+            index: idx,
+            ty: Some(DataType::Integer),
+            name: format!("c{idx}"),
+        }
+    }
+
+    fn gt(l: BoundExpr, r: i64) -> BoundExpr {
+        BoundExpr::Binary {
+            op: BinaryOp::Gt,
+            left: Box::new(l),
+            right: Box::new(BoundExpr::Literal(i(r))),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_hash(
+        probe: Vec<Row>,
+        build: Vec<Row>,
+        pw: usize,
+        bw: usize,
+        probe_keys: Vec<usize>,
+        build_keys: Vec<usize>,
+        residual: Option<BoundExpr>,
+        join: PhysJoinKind,
+        batch_size: usize,
+    ) -> Vec<Row> {
+        let op = HashJoinOp::new(
+            Box::new(StaticOp::from_rows(pw, probe, batch_size)),
+            Box::new(StaticOp::from_rows(bw, build, batch_size)),
+            pw,
+            bw,
+            probe_keys,
+            build_keys,
+            residual,
+            join,
+        );
+        drain(Box::new(op)).unwrap()
+    }
+
+    fn run_nl(
+        probe: Vec<Row>,
+        build: Vec<Row>,
+        pw: usize,
+        bw: usize,
+        on: Option<BoundExpr>,
+        join: PhysJoinKind,
+    ) -> Vec<Row> {
+        let op = NestedLoopJoinOp::new(
+            Box::new(StaticOp::from_rows(pw, probe, 2)),
+            Box::new(StaticOp::from_rows(bw, build, 2)),
+            pw,
+            bw,
+            on,
+            join,
+        );
+        drain(Box::new(op)).unwrap()
+    }
+
     #[test]
-    fn inner_hash_join() {
-        let l = vec![vec![i(1), i(10)], vec![i(2), i(20)], vec![i(3), i(30)]];
-        let r = vec![vec![i(2), i(200)], vec![i(3), i(300)], vec![i(3), i(301)]];
-        let on = eq(col(0), col(2));
-        let mut out = run(l, r, 2, 2, JoinKind::Inner, Some(on));
+    fn inner_hash_join_matches_pairs() {
+        let probe = vec![vec![i(1), i(10)], vec![i(2), i(20)], vec![i(3), i(30)]];
+        let build = vec![vec![i(2), i(200)], vec![i(3), i(300)], vec![i(3), i(301)]];
+        let mut out = run_hash(
+            probe,
+            build,
+            2,
+            2,
+            vec![0],
+            vec![0],
+            None,
+            PhysJoinKind::Inner,
+            2,
+        );
         out.sort();
         assert_eq!(
             out,
@@ -264,11 +435,20 @@ mod tests {
     }
 
     #[test]
-    fn left_join_pads_nulls() {
-        let l = vec![vec![i(1)], vec![i(2)]];
-        let r = vec![vec![i(2), i(200)]];
-        let on = eq(col(0), col(1));
-        let mut out = run(l, r, 1, 2, JoinKind::Left, Some(on));
+    fn left_outer_pads_unmatched_probe_rows() {
+        let probe = vec![vec![i(1)], vec![i(2)]];
+        let build = vec![vec![i(2), i(200)]];
+        let mut out = run_hash(
+            probe,
+            build,
+            1,
+            2,
+            vec![0],
+            vec![0],
+            None,
+            PhysJoinKind::LeftOuter,
+            8,
+        );
         out.sort();
         assert_eq!(
             out,
@@ -280,27 +460,20 @@ mod tests {
     }
 
     #[test]
-    fn right_join_mirrors() {
-        let l = vec![vec![i(2), i(20)]];
-        let r = vec![vec![i(1)], vec![i(2)]];
-        let on = eq(col(0), col(2));
-        let mut out = run(l, r, 2, 1, JoinKind::Right, Some(on));
-        out.sort();
-        assert_eq!(
-            out,
-            vec![
-                vec![Value::Null, Value::Null, i(1)],
-                vec![i(2), i(20), i(2)],
-            ]
+    fn full_outer_emits_both_unmatched_sides() {
+        let probe = vec![vec![i(1)], vec![i(2)]];
+        let build = vec![vec![i(2)], vec![i(3)]];
+        let mut out = run_hash(
+            probe,
+            build,
+            1,
+            1,
+            vec![0],
+            vec![0],
+            None,
+            PhysJoinKind::FullOuter,
+            1,
         );
-    }
-
-    #[test]
-    fn full_join() {
-        let l = vec![vec![i(1)], vec![i(2)]];
-        let r = vec![vec![i(2)], vec![i(3)]];
-        let on = eq(col(0), col(1));
-        let mut out = run(l, r, 1, 1, JoinKind::Full, Some(on));
         out.sort();
         assert_eq!(
             out,
@@ -313,50 +486,158 @@ mod tests {
     }
 
     #[test]
-    fn null_keys_never_match() {
-        let l = vec![vec![Value::Null]];
-        let r = vec![vec![Value::Null]];
-        let on = eq(col(0), col(1));
-        let out = run(l, r, 1, 1, JoinKind::Inner, Some(on));
-        assert!(out.is_empty());
+    fn null_keys_never_match_but_outer_rows_survive() {
+        let probe = vec![vec![Value::Null], vec![i(1)]];
+        let build = vec![vec![Value::Null], vec![i(1)]];
+        let inner = run_hash(
+            probe.clone(),
+            build.clone(),
+            1,
+            1,
+            vec![0],
+            vec![0],
+            None,
+            PhysJoinKind::Inner,
+            4,
+        );
+        assert_eq!(inner, vec![vec![i(1), i(1)]]);
+        let mut full = run_hash(
+            probe,
+            build,
+            1,
+            1,
+            vec![0],
+            vec![0],
+            None,
+            PhysJoinKind::FullOuter,
+            4,
+        );
+        full.sort();
+        assert_eq!(
+            full,
+            vec![
+                vec![Value::Null, Value::Null], // unmatched NULL-key build row
+                vec![Value::Null, Value::Null], // unmatched NULL-key probe row
+                vec![i(1), i(1)],
+            ]
+        );
     }
 
     #[test]
-    fn cross_join() {
-        let l = vec![vec![i(1)], vec![i(2)]];
-        let r = vec![vec![i(10)], vec![i(20)]];
-        let out = run(l, r, 1, 1, JoinKind::Cross, None);
-        assert_eq!(out.len(), 4);
-    }
-
-    #[test]
-    fn residual_predicate_applies() {
-        // ON a = b AND c > 15
-        let l = vec![vec![i(1), i(10)], vec![i(1), i(20)]];
-        let r = vec![vec![i(1)]];
-        let on = BoundExpr::Binary {
-            op: BinaryOp::And,
-            left: Box::new(eq(col(0), col(2))),
-            right: Box::new(BoundExpr::Binary {
-                op: BinaryOp::Gt,
-                left: Box::new(col(1)),
-                right: Box::new(BoundExpr::Literal(i(15))),
-            }),
-        };
-        let out = run(l, r, 2, 1, JoinKind::Inner, Some(on));
+    fn residual_filters_candidate_pairs() {
+        // probe(k, v) ⋈ build(k) ON k = k AND v > 15
+        let probe = vec![vec![i(1), i(10)], vec![i(1), i(20)]];
+        let build = vec![vec![i(1)]];
+        let out = run_hash(
+            probe,
+            build,
+            2,
+            1,
+            vec![0],
+            vec![0],
+            Some(gt(col(1), 15)),
+            PhysJoinKind::Inner,
+            4,
+        );
         assert_eq!(out, vec![vec![i(1), i(20), i(1)]]);
     }
 
     #[test]
-    fn non_equi_falls_back_to_nested_loop() {
-        let l = vec![vec![i(1)], vec![i(5)]];
-        let r = vec![vec![i(3)]];
-        let on = BoundExpr::Binary {
+    fn empty_sides_behave() {
+        let rows = vec![vec![i(1)], vec![i(2)]];
+        // Empty build: inner yields nothing, left outer pads everything.
+        assert!(run_hash(
+            rows.clone(),
+            vec![],
+            1,
+            1,
+            vec![0],
+            vec![0],
+            None,
+            PhysJoinKind::Inner,
+            4,
+        )
+        .is_empty());
+        let padded = run_hash(
+            rows.clone(),
+            vec![],
+            1,
+            1,
+            vec![0],
+            vec![0],
+            None,
+            PhysJoinKind::LeftOuter,
+            4,
+        );
+        assert_eq!(
+            padded,
+            vec![vec![i(1), Value::Null], vec![i(2), Value::Null]]
+        );
+        // Empty probe: full outer still surfaces the build side.
+        let mut tail = run_hash(
+            vec![],
+            rows,
+            1,
+            1,
+            vec![0],
+            vec![0],
+            None,
+            PhysJoinKind::FullOuter,
+            4,
+        );
+        tail.sort();
+        assert_eq!(tail, vec![vec![Value::Null, i(1)], vec![Value::Null, i(2)]]);
+    }
+
+    #[test]
+    fn multi_batch_probe_streams() {
+        // 10 probe rows in batches of 2 against a 3-row build side.
+        let probe: Vec<Row> = (0..10).map(|v| vec![i(v % 3)]).collect();
+        let build: Vec<Row> = (0..3).map(|v| vec![i(v), i(v * 100)]).collect();
+        let out = run_hash(
+            probe,
+            build,
+            1,
+            2,
+            vec![0],
+            vec![0],
+            None,
+            PhysJoinKind::Inner,
+            2,
+        );
+        assert_eq!(out.len(), 10);
+        assert!(out.iter().all(|r| r[0] == r[1]));
+    }
+
+    #[test]
+    fn cross_join_via_nested_loop() {
+        let probe = vec![vec![i(1)], vec![i(2)]];
+        let build = vec![vec![i(10)], vec![i(20)]];
+        let out = run_nl(probe, build, 1, 1, None, PhysJoinKind::Inner);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn non_equi_nested_loop_with_outer_padding() {
+        // probe.v < build.v
+        let lt = BoundExpr::Binary {
             op: BinaryOp::Lt,
             left: Box::new(col(0)),
             right: Box::new(col(1)),
         };
-        let out = run(l, r, 1, 1, JoinKind::Inner, Some(on));
-        assert_eq!(out, vec![vec![i(1), i(3)]]);
+        let probe = vec![vec![i(1)], vec![i(5)]];
+        let build = vec![vec![i(3)]];
+        let inner = run_nl(
+            probe.clone(),
+            build.clone(),
+            1,
+            1,
+            Some(lt.clone()),
+            PhysJoinKind::Inner,
+        );
+        assert_eq!(inner, vec![vec![i(1), i(3)]]);
+        let mut left = run_nl(probe, build, 1, 1, Some(lt), PhysJoinKind::LeftOuter);
+        left.sort();
+        assert_eq!(left, vec![vec![i(1), i(3)], vec![i(5), Value::Null]]);
     }
 }

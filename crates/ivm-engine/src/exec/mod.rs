@@ -1,111 +1,248 @@
-//! Plan interpreter: executes a [`LogicalPlan`] against the catalog.
+//! Batched, pull-based physical-operator executor.
+//!
+//! A [`crate::planner::LogicalPlan`] is lowered to a
+//! [`PhysicalPlan`](crate::planner::physical::PhysicalPlan) (join sides,
+//! equi-keys, and aggregate mode decided at plan time), then compiled into
+//! a tree of [`Operator`]s. Each operator yields columnar [`RowBatch`]es on
+//! demand: scans borrow storage columns zero-copy, filters and projections
+//! push selection vectors instead of cloning rows, and only pipeline
+//! breakers (hash tables, sorts) materialize values. `LIMIT` stops pulling
+//! as soon as it is satisfied.
+
+pub mod batch;
 
 mod aggregate;
 mod join;
+mod operators;
 
-use std::collections::HashMap;
 use std::collections::HashSet;
 use std::sync::Arc;
+
+pub use batch::{BatchBuilder, BatchRow, ColumnData, JoinedRow, RowBatch, DEFAULT_BATCH_SIZE};
 
 use crate::catalog::Catalog;
 use crate::error::EngineError;
 use crate::expr::BoundExpr;
-use crate::planner::{LogicalPlan, SetOpKind, SortKey};
+use crate::planner::physical::{lower, PhysicalPlan};
+use crate::planner::LogicalPlan;
 use crate::value::Value;
 
 /// A materialized result row.
 pub type Row = Vec<Value>;
 
-/// Execute a plan, materializing all rows.
+/// One node of a running pipeline: a pull-based source of row batches.
+///
+/// `next_batch` returns `Ok(None)` when exhausted; batches borrow storage
+/// columns for the catalog lifetime `'a`.
+pub trait Operator<'a> {
+    /// Pull the next non-empty batch, or `None` when exhausted.
+    fn next_batch(&mut self) -> Result<Option<RowBatch<'a>>, EngineError>;
+}
+
+/// A boxed operator tied to the catalog borrow.
+pub type BoxedOperator<'a> = Box<dyn Operator<'a> + 'a>;
+
+/// Execute a logical plan with the default batch size, materializing all
+/// result rows at the pipeline boundary.
 pub fn execute(plan: &LogicalPlan, catalog: &Catalog) -> Result<Vec<Row>, EngineError> {
-    match plan {
-        LogicalPlan::Scan { table, .. } => {
+    execute_with_batch_size(plan, catalog, DEFAULT_BATCH_SIZE)
+}
+
+/// Execute a logical plan with an explicit batch size (clamped to ≥ 1).
+pub fn execute_with_batch_size(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    batch_size: usize,
+) -> Result<Vec<Row>, EngineError> {
+    let physical = lower(plan, catalog)?;
+    execute_physical(&physical, catalog, batch_size)
+}
+
+/// Run an already-lowered physical plan to completion.
+pub fn execute_physical(
+    physical: &PhysicalPlan,
+    catalog: &Catalog,
+    batch_size: usize,
+) -> Result<Vec<Row>, EngineError> {
+    let mut root = build_operator(physical, catalog, batch_size.max(1))?;
+    let mut rows = Vec::new();
+    while let Some(batch) = root.next_batch()? {
+        rows.extend(batch.to_rows());
+    }
+    Ok(rows)
+}
+
+/// Compile a physical plan into a runnable operator tree. Expressions are
+/// prepared here (`IN (subquery)` materialization), once per operator.
+pub fn build_operator<'a>(
+    plan: &PhysicalPlan,
+    catalog: &'a Catalog,
+    batch_size: usize,
+) -> Result<BoxedOperator<'a>, EngineError> {
+    Ok(match plan {
+        PhysicalPlan::TableScan { table, .. } => {
             let t = catalog.table(table)?;
-            Ok(t.scan().map(|(_, row)| row).collect())
+            Box::new(operators::ScanOp::new(t, batch_size))
         }
-        LogicalPlan::Dual { .. } => Ok(vec![vec![]]),
-        LogicalPlan::Filter { input, predicate } => {
-            let rows = execute(input, catalog)?;
-            let predicate = prepare_expr(predicate, catalog)?;
-            let mut out = Vec::new();
-            for row in rows {
-                if predicate.eval(&row)?.as_bool() == Some(true) {
-                    out.push(row);
-                }
-            }
-            Ok(out)
+        PhysicalPlan::Dual => Box::new(operators::DualOp::new()),
+        PhysicalPlan::Filter { input, predicate } => {
+            let input = build_operator(input, catalog, batch_size)?;
+            let predicate = prepare_expr_with_batch_size(predicate, catalog, batch_size)?;
+            Box::new(operators::FilterOp::new(input, predicate))
         }
-        LogicalPlan::Project { input, exprs, .. } => {
-            let rows = execute(input, catalog)?;
+        PhysicalPlan::Project { input, exprs, .. } => {
+            let input = build_operator(input, catalog, batch_size)?;
             let exprs: Vec<BoundExpr> = exprs
                 .iter()
-                .map(|e| prepare_expr(e, catalog))
+                .map(|e| prepare_expr_with_batch_size(e, catalog, batch_size))
                 .collect::<Result<_, _>>()?;
-            let mut out = Vec::with_capacity(rows.len());
-            for row in rows {
-                let mut projected = Vec::with_capacity(exprs.len());
-                for e in &exprs {
-                    projected.push(e.eval(&row)?);
+            Box::new(operators::ProjectOp::new(input, exprs))
+        }
+        PhysicalPlan::HashAggregate {
+            input,
+            group,
+            aggs,
+            mode,
+            ..
+        } => {
+            let child = build_operator(input, catalog, batch_size)?;
+            let group: Vec<BoundExpr> = group
+                .iter()
+                .map(|e| prepare_expr_with_batch_size(e, catalog, batch_size))
+                .collect::<Result<_, _>>()?;
+            let mut prepared_aggs = aggs.clone();
+            for a in &mut prepared_aggs {
+                if let Some(arg) = &a.arg {
+                    a.arg = Some(prepare_expr_with_batch_size(arg, catalog, batch_size)?);
                 }
-                out.push(projected);
             }
-            Ok(out)
+            Box::new(aggregate::HashAggregateOp::new(
+                child,
+                group,
+                prepared_aggs,
+                *mode,
+                batch_size,
+            ))
         }
-        LogicalPlan::Aggregate { input, group, aggs, .. } => {
-            let rows = execute(input, catalog)?;
-            aggregate::execute_aggregate(rows, group, aggs, catalog)
+        PhysicalPlan::HashJoin {
+            probe,
+            build,
+            probe_keys,
+            build_keys,
+            residual,
+            join,
+            ..
+        } => {
+            let probe_width = probe.schema().len();
+            let build_width = build.schema().len();
+            let probe = build_operator(probe, catalog, batch_size)?;
+            let build = build_operator(build, catalog, batch_size)?;
+            let residual = residual
+                .as_ref()
+                .map(|e| prepare_expr_with_batch_size(e, catalog, batch_size))
+                .transpose()?;
+            Box::new(join::HashJoinOp::new(
+                probe,
+                build,
+                probe_width,
+                build_width,
+                probe_keys.clone(),
+                build_keys.clone(),
+                residual,
+                *join,
+            ))
         }
-        LogicalPlan::Join { left, right, kind, on, .. } => {
-            let lrows = execute(left, catalog)?;
-            let rrows = execute(right, catalog)?;
-            join::execute_join(
-                lrows,
-                rrows,
-                left.schema().len(),
-                right.schema().len(),
-                *kind,
-                on.as_ref(),
-                catalog,
-            )
+        PhysicalPlan::NestedLoopJoin {
+            probe,
+            build,
+            on,
+            join,
+            ..
+        } => {
+            let probe_width = probe.schema().len();
+            let build_width = build.schema().len();
+            let probe = build_operator(probe, catalog, batch_size)?;
+            let build = build_operator(build, catalog, batch_size)?;
+            let on = on
+                .as_ref()
+                .map(|e| prepare_expr_with_batch_size(e, catalog, batch_size))
+                .transpose()?;
+            Box::new(join::NestedLoopJoinOp::new(
+                probe,
+                build,
+                probe_width,
+                build_width,
+                on,
+                *join,
+            ))
         }
-        LogicalPlan::SetOp { op, all, left, right, .. } => {
-            let lrows = execute(left, catalog)?;
-            let rrows = execute(right, catalog)?;
-            Ok(execute_set_op(*op, *all, lrows, rrows))
+        PhysicalPlan::SetOp {
+            op,
+            all,
+            left,
+            right,
+            ..
+        } => {
+            let left = build_operator(left, catalog, batch_size)?;
+            let right = build_operator(right, catalog, batch_size)?;
+            Box::new(operators::SetOpOp::new(*op, *all, left, right))
         }
-        LogicalPlan::Distinct { input } => {
-            let rows = execute(input, catalog)?;
-            let mut seen = HashSet::new();
-            Ok(rows.into_iter().filter(|r| seen.insert(r.clone())).collect())
+        PhysicalPlan::Distinct { input } => {
+            let input = build_operator(input, catalog, batch_size)?;
+            Box::new(operators::DistinctOp::new(input))
         }
-        LogicalPlan::Sort { input, keys } => {
-            let rows = execute(input, catalog)?;
-            sort_rows(rows, keys, catalog)
+        PhysicalPlan::Sort { input, keys } => {
+            let child = build_operator(input, catalog, batch_size)?;
+            let prepared: Vec<(BoundExpr, bool)> = keys
+                .iter()
+                .map(|k| {
+                    Ok((
+                        prepare_expr_with_batch_size(&k.expr, catalog, batch_size)?,
+                        k.desc,
+                    ))
+                })
+                .collect::<Result<_, EngineError>>()?;
+            Box::new(operators::SortOp::new(child, prepared, batch_size))
         }
-        LogicalPlan::Limit { input, limit, offset } => {
-            let rows = execute(input, catalog)?;
-            let end = match limit {
-                Some(l) => (*offset + *l).min(rows.len()),
-                None => rows.len(),
-            };
-            let start = (*offset).min(rows.len());
-            Ok(rows[start..end.max(start)].to_vec())
+        PhysicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            let input = build_operator(input, catalog, batch_size)?;
+            Box::new(operators::LimitOp::new(input, *limit, *offset))
         }
-    }
+    })
 }
 
 /// Replace [`BoundExpr::InSubquery`] with materialized [`BoundExpr::InSet`]
-/// by executing the subquery once. Uncorrelated by construction.
+/// by executing the subquery once (through the batched pipeline, at the
+/// default batch size). Uncorrelated by construction.
 pub fn prepare_expr(expr: &BoundExpr, catalog: &Catalog) -> Result<BoundExpr, EngineError> {
+    prepare_expr_with_batch_size(expr, catalog, DEFAULT_BATCH_SIZE)
+}
+
+/// [`prepare_expr`] with an explicit batch size for the subquery
+/// pipeline.
+pub fn prepare_expr_with_batch_size(
+    expr: &BoundExpr,
+    catalog: &Catalog,
+    batch_size: usize,
+) -> Result<BoundExpr, EngineError> {
     Ok(match expr {
-        BoundExpr::InSubquery { expr: probe, plan, negated } => {
-            let rows = execute(plan, catalog)?;
+        BoundExpr::InSubquery {
+            expr: probe,
+            plan,
+            negated,
+        } => {
+            let rows = execute_with_batch_size(plan, catalog, batch_size)?;
             let mut set = HashSet::with_capacity(rows.len());
             let mut has_null = false;
             for row in rows {
-                let v = row.into_iter().next().ok_or_else(|| {
-                    EngineError::execution("IN subquery produced zero columns")
-                })?;
+                let v = row
+                    .into_iter()
+                    .next()
+                    .ok_or_else(|| EngineError::execution("IN subquery produced zero columns"))?;
                 if v.is_null() {
                     has_null = true;
                 } else {
@@ -113,151 +250,118 @@ pub fn prepare_expr(expr: &BoundExpr, catalog: &Catalog) -> Result<BoundExpr, En
                 }
             }
             BoundExpr::InSet {
-                expr: Box::new(prepare_expr(probe, catalog)?),
+                expr: Box::new(prepare_expr_with_batch_size(probe, catalog, batch_size)?),
                 set: Arc::new(set),
                 has_null,
                 negated: *negated,
             }
         }
-        BoundExpr::Literal(_) | BoundExpr::Column { .. } | BoundExpr::InSet { .. } => {
-            expr.clone()
-        }
+        BoundExpr::Literal(_) | BoundExpr::Column { .. } | BoundExpr::InSet { .. } => expr.clone(),
         BoundExpr::Binary { op, left, right } => BoundExpr::Binary {
             op: *op,
-            left: Box::new(prepare_expr(left, catalog)?),
-            right: Box::new(prepare_expr(right, catalog)?),
+            left: Box::new(prepare_expr_with_batch_size(left, catalog, batch_size)?),
+            right: Box::new(prepare_expr_with_batch_size(right, catalog, batch_size)?),
         },
         BoundExpr::Unary { op, expr } => BoundExpr::Unary {
             op: *op,
-            expr: Box::new(prepare_expr(expr, catalog)?),
+            expr: Box::new(prepare_expr_with_batch_size(expr, catalog, batch_size)?),
         },
-        BoundExpr::Case { branches, else_result } => BoundExpr::Case {
+        BoundExpr::Case {
+            branches,
+            else_result,
+        } => BoundExpr::Case {
             branches: branches
                 .iter()
-                .map(|(w, t)| Ok((prepare_expr(w, catalog)?, prepare_expr(t, catalog)?)))
+                .map(|(w, t)| {
+                    Ok((
+                        prepare_expr_with_batch_size(w, catalog, batch_size)?,
+                        prepare_expr_with_batch_size(t, catalog, batch_size)?,
+                    ))
+                })
                 .collect::<Result<_, EngineError>>()?,
             else_result: match else_result {
-                Some(e) => Some(Box::new(prepare_expr(e, catalog)?)),
+                Some(e) => Some(Box::new(prepare_expr_with_batch_size(
+                    e, catalog, batch_size,
+                )?)),
                 None => None,
             },
         },
         BoundExpr::Cast { expr, ty } => BoundExpr::Cast {
-            expr: Box::new(prepare_expr(expr, catalog)?),
+            expr: Box::new(prepare_expr_with_batch_size(expr, catalog, batch_size)?),
             ty: *ty,
         },
         BoundExpr::IsNull { expr, negated } => BoundExpr::IsNull {
-            expr: Box::new(prepare_expr(expr, catalog)?),
+            expr: Box::new(prepare_expr_with_batch_size(expr, catalog, batch_size)?),
             negated: *negated,
         },
-        BoundExpr::InList { expr, list, negated } => BoundExpr::InList {
-            expr: Box::new(prepare_expr(expr, catalog)?),
-            list: list.iter().map(|e| prepare_expr(e, catalog)).collect::<Result<_, _>>()?,
+        BoundExpr::InList {
+            expr,
+            list,
+            negated,
+        } => BoundExpr::InList {
+            expr: Box::new(prepare_expr_with_batch_size(expr, catalog, batch_size)?),
+            list: list
+                .iter()
+                .map(|e| prepare_expr_with_batch_size(e, catalog, batch_size))
+                .collect::<Result<_, _>>()?,
             negated: *negated,
         },
-        BoundExpr::Like { expr, pattern, negated } => BoundExpr::Like {
-            expr: Box::new(prepare_expr(expr, catalog)?),
-            pattern: Box::new(prepare_expr(pattern, catalog)?),
+        BoundExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => BoundExpr::Like {
+            expr: Box::new(prepare_expr_with_batch_size(expr, catalog, batch_size)?),
+            pattern: Box::new(prepare_expr_with_batch_size(pattern, catalog, batch_size)?),
             negated: *negated,
         },
         BoundExpr::ScalarFn { func, args } => BoundExpr::ScalarFn {
             func: *func,
-            args: args.iter().map(|e| prepare_expr(e, catalog)).collect::<Result<_, _>>()?,
+            args: args
+                .iter()
+                .map(|e| prepare_expr_with_batch_size(e, catalog, batch_size))
+                .collect::<Result<_, _>>()?,
         },
     })
 }
 
-fn execute_set_op(op: SetOpKind, all: bool, lrows: Vec<Row>, rrows: Vec<Row>) -> Vec<Row> {
-    match (op, all) {
-        (SetOpKind::Union, true) => {
-            let mut out = lrows;
-            out.extend(rrows);
-            out
-        }
-        (SetOpKind::Union, false) => {
-            let mut seen = HashSet::new();
-            lrows
-                .into_iter()
-                .chain(rrows)
-                .filter(|r| seen.insert(r.clone()))
-                .collect()
-        }
-        (SetOpKind::Except, all) => {
-            // Bag difference for ALL; set difference otherwise.
-            let mut counts: HashMap<Row, usize> = HashMap::new();
-            for r in rrows {
-                *counts.entry(r).or_insert(0) += 1;
-            }
-            if all {
-                let mut out = Vec::new();
-                for r in lrows {
-                    match counts.get_mut(&r) {
-                        Some(c) if *c > 0 => *c -= 1,
-                        _ => out.push(r),
-                    }
-                }
-                out
-            } else {
-                let mut seen = HashSet::new();
-                lrows
-                    .into_iter()
-                    .filter(|r| !counts.contains_key(r) && seen.insert(r.clone()))
-                    .collect()
-            }
-        }
-        (SetOpKind::Intersect, all) => {
-            let mut counts: HashMap<Row, usize> = HashMap::new();
-            for r in rrows {
-                *counts.entry(r).or_insert(0) += 1;
-            }
-            if all {
-                let mut out = Vec::new();
-                for r in lrows {
-                    if let Some(c) = counts.get_mut(&r) {
-                        if *c > 0 {
-                            *c -= 1;
-                            out.push(r);
-                        }
-                    }
-                }
-                out
-            } else {
-                let mut seen = HashSet::new();
-                lrows
-                    .into_iter()
-                    .filter(|r| counts.contains_key(r) && seen.insert(r.clone()))
-                    .collect()
-            }
-        }
-    }
-}
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Helpers for operator-level unit tests.
 
-fn sort_rows(
-    mut rows: Vec<Row>,
-    keys: &[SortKey],
-    catalog: &Catalog,
-) -> Result<Vec<Row>, EngineError> {
-    let prepared: Vec<(BoundExpr, bool)> = keys
-        .iter()
-        .map(|k| Ok((prepare_expr(&k.expr, catalog)?, k.desc)))
-        .collect::<Result<_, EngineError>>()?;
-    // Pre-compute sort keys to keep evaluation errors out of the comparator.
-    let mut decorated: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
-    for row in rows.drain(..) {
-        let mut kv = Vec::with_capacity(prepared.len());
-        for (e, _) in &prepared {
-            kv.push(e.eval(&row)?);
-        }
-        decorated.push((kv, row));
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// An operator replaying prefabricated batches.
+    pub(crate) struct StaticOp<'a> {
+        batches: VecDeque<RowBatch<'a>>,
     }
-    decorated.sort_by(|(ka, _), (kb, _)| {
-        for (i, (_, desc)) in prepared.iter().enumerate() {
-            let ord = ka[i].total_cmp(&kb[i]);
-            let ord = if *desc { ord.reverse() } else { ord };
-            if !ord.is_eq() {
-                return ord;
+
+    impl<'a> StaticOp<'a> {
+        /// Chop `rows` into batches of `batch_size`.
+        pub(crate) fn from_rows(width: usize, rows: Vec<Row>, batch_size: usize) -> StaticOp<'a> {
+            let mut batches = VecDeque::new();
+            let mut it = rows.into_iter().peekable();
+            while it.peek().is_some() {
+                let chunk: Vec<Row> = it.by_ref().take(batch_size.max(1)).collect();
+                batches.push_back(RowBatch::from_rows(width, chunk));
             }
+            StaticOp { batches }
         }
-        std::cmp::Ordering::Equal
-    });
-    Ok(decorated.into_iter().map(|(_, row)| row).collect())
+    }
+
+    impl<'a> Operator<'a> for StaticOp<'a> {
+        fn next_batch(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
+            Ok(self.batches.pop_front())
+        }
+    }
+
+    /// Drain an operator into materialized rows.
+    pub(crate) fn drain<'a>(mut op: BoxedOperator<'a>) -> Result<Vec<Row>, EngineError> {
+        let mut rows = Vec::new();
+        while let Some(batch) = op.next_batch()? {
+            rows.extend(batch.to_rows());
+        }
+        Ok(rows)
+    }
 }

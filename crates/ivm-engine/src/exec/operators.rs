@@ -1,0 +1,544 @@
+//! Streaming operators: scan, filter, project, limit, sort, distinct, and
+//! set operations.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::error::EngineError;
+use crate::exec::batch::{ColumnData, RowBatch};
+use crate::exec::{BoxedOperator, Operator, Row};
+use crate::expr::BoundExpr;
+use crate::planner::SetOpKind;
+use crate::storage::Table;
+use crate::value::Value;
+
+/// Zero-copy batched scan over a base table.
+pub struct ScanOp<'a> {
+    batches: Box<dyn Iterator<Item = RowBatch<'a>> + 'a>,
+}
+
+impl<'a> ScanOp<'a> {
+    /// Scan `table` in batches of `batch_size` live rows.
+    pub fn new(table: &'a Table, batch_size: usize) -> ScanOp<'a> {
+        ScanOp {
+            batches: Box::new(table.scan_batches(batch_size)),
+        }
+    }
+}
+
+impl<'a> Operator<'a> for ScanOp<'a> {
+    fn next_batch(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
+        Ok(self.batches.next())
+    }
+}
+
+/// The one-row, zero-column relation (`SELECT 1` with no FROM).
+pub struct DualOp {
+    emitted: bool,
+}
+
+impl DualOp {
+    /// A fresh dual source.
+    pub fn new() -> DualOp {
+        DualOp { emitted: false }
+    }
+}
+
+impl<'a> Operator<'a> for DualOp {
+    fn next_batch(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
+        if self.emitted {
+            return Ok(None);
+        }
+        self.emitted = true;
+        Ok(Some(RowBatch::new(vec![], 1)))
+    }
+}
+
+/// Streaming filter: evaluates the predicate per row and forwards a
+/// selection vector; values are never copied.
+pub struct FilterOp<'a> {
+    input: BoxedOperator<'a>,
+    predicate: BoundExpr,
+}
+
+impl<'a> FilterOp<'a> {
+    /// Filter `input` by a prepared predicate.
+    pub fn new(input: BoxedOperator<'a>, predicate: BoundExpr) -> FilterOp<'a> {
+        FilterOp { input, predicate }
+    }
+}
+
+impl<'a> Operator<'a> for FilterOp<'a> {
+    fn next_batch(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
+        while let Some(batch) = self.input.next_batch()? {
+            let mut keep: Vec<u32> = Vec::new();
+            for row in 0..batch.num_rows() {
+                if self.predicate.eval(&batch.row_view(row))?.as_bool() == Some(true) {
+                    keep.push(row as u32);
+                }
+            }
+            if let Some(out) = batch.retain(keep) {
+                return Ok(Some(out));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Streaming projection. Plain column references pass their chunk through
+/// (zero-copy); computed expressions evaluate into owned columns.
+pub struct ProjectOp<'a> {
+    input: BoxedOperator<'a>,
+    exprs: Vec<BoundExpr>,
+}
+
+impl<'a> ProjectOp<'a> {
+    /// Project `input` through prepared expressions.
+    pub fn new(input: BoxedOperator<'a>, exprs: Vec<BoundExpr>) -> ProjectOp<'a> {
+        ProjectOp { input, exprs }
+    }
+}
+
+impl<'a> Operator<'a> for ProjectOp<'a> {
+    fn next_batch(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
+        let Some(batch) = self.input.next_batch()? else {
+            return Ok(None);
+        };
+        let rows = batch.num_rows();
+        let mut columns = Vec::with_capacity(self.exprs.len());
+        for expr in &self.exprs {
+            match expr {
+                BoundExpr::Column { index, .. } if *index < batch.width() => {
+                    columns.push(batch.column(*index).clone());
+                }
+                _ => {
+                    let mut values = Vec::with_capacity(rows);
+                    for row in 0..rows {
+                        values.push(expr.eval(&batch.row_view(row))?);
+                    }
+                    columns.push(ColumnData::owned(values));
+                }
+            }
+        }
+        Ok(Some(RowBatch::new(columns, rows)))
+    }
+}
+
+/// Streaming LIMIT/OFFSET with early termination: once the limit is
+/// reached the child is never pulled again.
+pub struct LimitOp<'a> {
+    input: BoxedOperator<'a>,
+    to_skip: usize,
+    remaining: Option<usize>,
+}
+
+impl<'a> LimitOp<'a> {
+    /// Skip `offset` rows, then emit up to `limit` rows.
+    pub fn new(input: BoxedOperator<'a>, limit: Option<usize>, offset: usize) -> LimitOp<'a> {
+        LimitOp {
+            input,
+            to_skip: offset,
+            remaining: limit,
+        }
+    }
+}
+
+impl<'a> Operator<'a> for LimitOp<'a> {
+    fn next_batch(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
+        loop {
+            if self.remaining == Some(0) {
+                return Ok(None);
+            }
+            let Some(batch) = self.input.next_batch()? else {
+                return Ok(None);
+            };
+            let n = batch.num_rows();
+            if self.to_skip >= n {
+                self.to_skip -= n;
+                continue;
+            }
+            let start = self.to_skip;
+            self.to_skip = 0;
+            let available = n - start;
+            let take = match self.remaining {
+                Some(r) => available.min(r),
+                None => available,
+            };
+            if let Some(r) = &mut self.remaining {
+                *r -= take;
+            }
+            let out = if start == 0 && take == n {
+                batch
+            } else {
+                batch.slice(start, take)
+            };
+            return Ok(Some(out));
+        }
+    }
+}
+
+/// Full sort: a pipeline breaker that materializes its input, sorts by
+/// pre-computed keys, and re-emits in batches.
+pub struct SortOp<'a> {
+    input: BoxedOperator<'a>,
+    keys: Vec<(BoundExpr, bool)>,
+    batch_size: usize,
+    output: Option<VecDeque<RowBatch<'a>>>,
+}
+
+impl<'a> SortOp<'a> {
+    /// Sort `input` by prepared `(expr, descending)` keys, major first.
+    pub fn new(
+        input: BoxedOperator<'a>,
+        keys: Vec<(BoundExpr, bool)>,
+        batch_size: usize,
+    ) -> SortOp<'a> {
+        SortOp {
+            input,
+            keys,
+            batch_size,
+            output: None,
+        }
+    }
+
+    fn drain_and_sort(&mut self) -> Result<VecDeque<RowBatch<'a>>, EngineError> {
+        // Decorate: evaluate the sort keys once per row, against the batch.
+        let mut decorated: Vec<(Vec<Value>, Row)> = Vec::new();
+        while let Some(batch) = self.input.next_batch()? {
+            for row in 0..batch.num_rows() {
+                let view = batch.row_view(row);
+                let mut kv = Vec::with_capacity(self.keys.len());
+                for (expr, _) in &self.keys {
+                    kv.push(expr.eval(&view)?);
+                }
+                decorated.push((kv, batch.materialize_row(row)));
+            }
+        }
+        let keys = &self.keys;
+        decorated.sort_by(|(ka, _), (kb, _)| {
+            for (i, (_, desc)) in keys.iter().enumerate() {
+                let ord = ka[i].total_cmp(&kb[i]);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if !ord.is_eq() {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        let width = decorated.first().map_or(0, |(_, r)| r.len());
+        let mut out = VecDeque::new();
+        let mut chunk: Vec<Row> = Vec::with_capacity(self.batch_size.min(decorated.len()));
+        for (_, row) in decorated {
+            chunk.push(row);
+            if chunk.len() == self.batch_size {
+                out.push_back(RowBatch::from_rows(width, std::mem::take(&mut chunk)));
+            }
+        }
+        if !chunk.is_empty() {
+            out.push_back(RowBatch::from_rows(width, chunk));
+        }
+        Ok(out)
+    }
+}
+
+impl<'a> Operator<'a> for SortOp<'a> {
+    fn next_batch(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
+        if self.output.is_none() {
+            let sorted = self.drain_and_sort()?;
+            self.output = Some(sorted);
+        }
+        Ok(self.output.as_mut().and_then(VecDeque::pop_front))
+    }
+}
+
+/// Streaming duplicate elimination over whole rows.
+pub struct DistinctOp<'a> {
+    input: BoxedOperator<'a>,
+    seen: HashSet<Row>,
+}
+
+impl<'a> DistinctOp<'a> {
+    /// Deduplicate `input`.
+    pub fn new(input: BoxedOperator<'a>) -> DistinctOp<'a> {
+        DistinctOp {
+            input,
+            seen: HashSet::new(),
+        }
+    }
+}
+
+impl<'a> Operator<'a> for DistinctOp<'a> {
+    fn next_batch(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
+        while let Some(batch) = self.input.next_batch()? {
+            let mut keep: Vec<u32> = Vec::new();
+            for row in 0..batch.num_rows() {
+                if self.seen.insert(batch.materialize_row(row)) {
+                    keep.push(row as u32);
+                }
+            }
+            if let Some(out) = batch.retain(keep) {
+                return Ok(Some(out));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// UNION / EXCEPT / INTERSECT with bag (`ALL`) or set semantics.
+///
+/// UNION streams both inputs; EXCEPT/INTERSECT materialize the right side
+/// into a multiplicity map, then stream the left side against it.
+pub struct SetOpOp<'a> {
+    op: SetOpKind,
+    all: bool,
+    left: BoxedOperator<'a>,
+    right: BoxedOperator<'a>,
+    left_done: bool,
+    right_counts: Option<HashMap<Row, usize>>,
+    seen: HashSet<Row>,
+}
+
+impl<'a> SetOpOp<'a> {
+    /// Combine `left` and `right` under the given set operation.
+    pub fn new(
+        op: SetOpKind,
+        all: bool,
+        left: BoxedOperator<'a>,
+        right: BoxedOperator<'a>,
+    ) -> SetOpOp<'a> {
+        SetOpOp {
+            op,
+            all,
+            left,
+            right,
+            left_done: false,
+            right_counts: None,
+            seen: HashSet::new(),
+        }
+    }
+
+    fn next_union(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
+        loop {
+            let batch = if self.left_done {
+                self.right.next_batch()?
+            } else {
+                match self.left.next_batch()? {
+                    Some(b) => Some(b),
+                    None => {
+                        self.left_done = true;
+                        continue;
+                    }
+                }
+            };
+            let Some(batch) = batch else {
+                return Ok(None);
+            };
+            if self.all {
+                return Ok(Some(batch));
+            }
+            let mut keep: Vec<u32> = Vec::new();
+            for row in 0..batch.num_rows() {
+                if self.seen.insert(batch.materialize_row(row)) {
+                    keep.push(row as u32);
+                }
+            }
+            if let Some(out) = batch.retain(keep) {
+                return Ok(Some(out));
+            }
+        }
+    }
+
+    fn next_against_counts(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
+        if self.right_counts.is_none() {
+            let mut counts: HashMap<Row, usize> = HashMap::new();
+            while let Some(batch) = self.right.next_batch()? {
+                for row in 0..batch.num_rows() {
+                    *counts.entry(batch.materialize_row(row)).or_insert(0) += 1;
+                }
+            }
+            self.right_counts = Some(counts);
+        }
+        let except = self.op == SetOpKind::Except;
+        while let Some(batch) = self.left.next_batch()? {
+            let counts = self.right_counts.as_mut().expect("built above");
+            let mut keep: Vec<u32> = Vec::new();
+            for row in 0..batch.num_rows() {
+                let r = batch.materialize_row(row);
+                let kept = if self.all {
+                    // Bag semantics: consume one multiplicity per match.
+                    match counts.get_mut(&r) {
+                        Some(c) if *c > 0 => {
+                            *c -= 1;
+                            !except
+                        }
+                        _ => except,
+                    }
+                } else {
+                    let in_right = counts.contains_key(&r);
+                    (in_right != except) && self.seen.insert(r)
+                };
+                if kept {
+                    keep.push(row as u32);
+                }
+            }
+            if let Some(out) = batch.retain(keep) {
+                return Ok(Some(out));
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl<'a> Operator<'a> for SetOpOp<'a> {
+    fn next_batch(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
+        match self.op {
+            SetOpKind::Union => self.next_union(),
+            SetOpKind::Except | SetOpKind::Intersect => self.next_against_counts(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::test_support::{drain, StaticOp};
+    use crate::types::DataType;
+    use ivm_sql::ast::BinaryOp;
+
+    fn i(v: i64) -> Value {
+        Value::Integer(v)
+    }
+
+    fn rows(vals: impl IntoIterator<Item = i64>) -> Vec<Row> {
+        vals.into_iter().map(|v| vec![i(v)]).collect()
+    }
+
+    fn static_op<'a>(vals: impl IntoIterator<Item = i64>, batch_size: usize) -> BoxedOperator<'a> {
+        Box::new(StaticOp::from_rows(1, rows(vals), batch_size))
+    }
+
+    #[test]
+    fn filter_composes_selections() {
+        // v > 2, over batches of 3
+        let pred = BoundExpr::Binary {
+            op: BinaryOp::Gt,
+            left: Box::new(BoundExpr::Column {
+                index: 0,
+                ty: Some(DataType::Integer),
+                name: "v".into(),
+            }),
+            right: Box::new(BoundExpr::Literal(i(2))),
+        };
+        let out = drain(Box::new(FilterOp::new(static_op(0..6, 3), pred))).unwrap();
+        assert_eq!(out, rows(3..6));
+    }
+
+    #[test]
+    fn limit_skips_and_stops_across_batch_boundaries() {
+        // offset 3, limit 4 over batches of 2: spans three batches.
+        let op = LimitOp::new(static_op(0..10, 2), Some(4), 3);
+        let out = drain(Box::new(op)).unwrap();
+        assert_eq!(out, rows(3..7));
+        // offset beyond input
+        let op = LimitOp::new(static_op(0..3, 2), Some(2), 5);
+        assert!(drain(Box::new(op)).unwrap().is_empty());
+        // limit zero never touches values
+        let op = LimitOp::new(static_op(0..3, 2), Some(0), 0);
+        assert!(drain(Box::new(op)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sort_orders_and_rebatches() {
+        let key = BoundExpr::Column {
+            index: 0,
+            ty: Some(DataType::Integer),
+            name: "v".into(),
+        };
+        let op = SortOp::new(
+            Box::new(StaticOp::from_rows(1, rows([3, 1, 2, 5, 4]), 2)),
+            vec![(key, true)],
+            2,
+        );
+        let out = drain(Box::new(op)).unwrap();
+        assert_eq!(out, rows([5, 4, 3, 2, 1]));
+    }
+
+    #[test]
+    fn distinct_streams_across_batches() {
+        let op = DistinctOp::new(static_op([1, 1, 2, 2, 3, 1], 2));
+        let out = drain(Box::new(op)).unwrap();
+        assert_eq!(out, rows([1, 2, 3]));
+    }
+
+    #[test]
+    fn set_ops_match_bag_and_set_semantics() {
+        let union_all = SetOpOp::new(
+            SetOpKind::Union,
+            true,
+            static_op([1, 2], 2),
+            static_op([2], 2),
+        );
+        assert_eq!(drain(Box::new(union_all)).unwrap(), rows([1, 2, 2]));
+
+        let union = SetOpOp::new(
+            SetOpKind::Union,
+            false,
+            static_op([1, 2], 2),
+            static_op([2, 3], 2),
+        );
+        assert_eq!(drain(Box::new(union)).unwrap(), rows([1, 2, 3]));
+
+        let except_all = SetOpOp::new(
+            SetOpKind::Except,
+            true,
+            static_op([1, 1, 2], 2),
+            static_op([1], 2),
+        );
+        assert_eq!(drain(Box::new(except_all)).unwrap(), rows([1, 2]));
+
+        let except = SetOpOp::new(
+            SetOpKind::Except,
+            false,
+            static_op([1, 1, 2], 2),
+            static_op([2], 2),
+        );
+        assert_eq!(drain(Box::new(except)).unwrap(), rows([1]));
+
+        let intersect_all = SetOpOp::new(
+            SetOpKind::Intersect,
+            true,
+            static_op([1, 1, 2], 2),
+            static_op([1, 1, 3], 2),
+        );
+        assert_eq!(drain(Box::new(intersect_all)).unwrap(), rows([1, 1]));
+
+        let intersect = SetOpOp::new(
+            SetOpKind::Intersect,
+            false,
+            static_op([1, 1, 2], 2),
+            static_op([1, 2], 2),
+        );
+        assert_eq!(drain(Box::new(intersect)).unwrap(), rows([1, 2]));
+    }
+
+    #[test]
+    fn empty_inputs_everywhere() {
+        let none: Vec<i64> = vec![];
+        assert!(drain(Box::new(DistinctOp::new(static_op(none.clone(), 2))))
+            .unwrap()
+            .is_empty());
+        let op = SetOpOp::new(
+            SetOpKind::Except,
+            false,
+            static_op(none.clone(), 2),
+            static_op([1], 2),
+        );
+        assert!(drain(Box::new(op)).unwrap().is_empty());
+        let op = SetOpOp::new(
+            SetOpKind::Union,
+            false,
+            static_op(none.clone(), 2),
+            static_op(none, 2),
+        );
+        assert!(drain(Box::new(op)).unwrap().is_empty());
+    }
+}

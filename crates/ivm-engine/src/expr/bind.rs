@@ -107,13 +107,22 @@ pub fn bind_expr_with(
             let l = bind_expr_with(left, scope, catalog)?;
             let r = bind_expr_with(right, scope, catalog)?;
             check_binary_types(*op, &l, &r)?;
-            Ok(BoundExpr::Binary { op: *op, left: Box::new(l), right: Box::new(r) })
+            Ok(BoundExpr::Binary {
+                op: *op,
+                left: Box::new(l),
+                right: Box::new(r),
+            })
         }
         Expr::Unary { op, expr } => Ok(BoundExpr::Unary {
             op: *op,
             expr: Box::new(bind_expr_with(expr, scope, catalog)?),
         }),
-        Expr::Function { name, args, distinct, star } => {
+        Expr::Function {
+            name,
+            args,
+            distinct,
+            star,
+        } => {
             let fname = name.normalized();
             if crate::expr::AggFunc::is_aggregate_name(fname) {
                 return Err(EngineError::bind(format!(
@@ -127,19 +136,29 @@ pub fn bind_expr_with(
             }
             let func = ScalarFunc::lookup(fname)
                 .ok_or_else(|| EngineError::bind(format!("unknown function {fname}")))?;
-            let bound: Vec<BoundExpr> =
-                args.iter().map(|a| bind_expr_with(a, scope, catalog)).collect::<Result<_, _>>()?;
+            let bound: Vec<BoundExpr> = args
+                .iter()
+                .map(|a| bind_expr_with(a, scope, catalog))
+                .collect::<Result<_, _>>()?;
             let (min, max) = func.arity();
             if bound.len() < min || bound.len() > max {
                 return Err(EngineError::bind(format!(
                     "function {fname} expects {min}..{} arguments, got {}",
-                    if max == usize::MAX { "N".to_string() } else { max.to_string() },
+                    if max == usize::MAX {
+                        "N".to_string()
+                    } else {
+                        max.to_string()
+                    },
                     bound.len()
                 )));
             }
             Ok(BoundExpr::ScalarFn { func, args: bound })
         }
-        Expr::Case { operand, branches, else_result } => {
+        Expr::Case {
+            operand,
+            branches,
+            else_result,
+        } => {
             // Desugar `CASE x WHEN v …` into `CASE WHEN x = v …`.
             let mut bound_branches = Vec::with_capacity(branches.len());
             for (when, then) in branches {
@@ -161,7 +180,10 @@ pub fn bind_expr_with(
                 Some(e) => Some(Box::new(bind_expr_with(e, scope, catalog)?)),
                 None => None,
             };
-            Ok(BoundExpr::Case { branches: bound_branches, else_result: else_bound })
+            Ok(BoundExpr::Case {
+                branches: bound_branches,
+                else_result: else_bound,
+            })
         }
         Expr::Cast { expr, ty } => Ok(BoundExpr::Cast {
             expr: Box::new(bind_expr_with(expr, scope, catalog)?),
@@ -171,12 +193,23 @@ pub fn bind_expr_with(
             expr: Box::new(bind_expr_with(expr, scope, catalog)?),
             negated: *negated,
         }),
-        Expr::InList { expr, list, negated } => Ok(BoundExpr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Ok(BoundExpr::InList {
             expr: Box::new(bind_expr_with(expr, scope, catalog)?),
-            list: list.iter().map(|e| bind_expr_with(e, scope, catalog)).collect::<Result<_, _>>()?,
+            list: list
+                .iter()
+                .map(|e| bind_expr_with(e, scope, catalog))
+                .collect::<Result<_, _>>()?,
             negated: *negated,
         }),
-        Expr::InSubquery { expr, query, negated } => {
+        Expr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => {
             let Some(catalog) = catalog else {
                 return Err(EngineError::unsupported(
                     "IN (subquery) is not allowed in this context",
@@ -195,7 +228,12 @@ pub fn bind_expr_with(
                 negated: *negated,
             })
         }
-        Expr::Between { expr, low, high, negated } => {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             // Desugar into conjunction of comparisons.
             let e = bind_expr_with(expr, scope, catalog)?;
             let lo = bind_expr_with(low, scope, catalog)?;
@@ -216,12 +254,19 @@ pub fn bind_expr_with(
                 right: Box::new(le),
             };
             Ok(if *negated {
-                BoundExpr::Unary { op: ivm_sql::ast::UnaryOp::Not, expr: Box::new(both) }
+                BoundExpr::Unary {
+                    op: ivm_sql::ast::UnaryOp::Not,
+                    expr: Box::new(both),
+                }
             } else {
                 both
             })
         }
-        Expr::Like { expr, pattern, negated } => Ok(BoundExpr::Like {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Ok(BoundExpr::Like {
             expr: Box::new(bind_expr_with(expr, scope, catalog)?),
             pattern: Box::new(bind_expr_with(pattern, scope, catalog)?),
             negated: *negated,
@@ -253,19 +298,26 @@ pub fn bind_literal(lit: &Literal) -> Result<Value, EngineError> {
 /// Bind-time sanity checks for binary operators (best effort: unknown types
 /// pass through and are re-checked at runtime).
 fn check_binary_types(op: BinaryOp, l: &BoundExpr, r: &BoundExpr) -> Result<(), EngineError> {
-    let (Some(lt), Some(rt)) = (l.ty(), r.ty()) else { return Ok(()) };
+    let (Some(lt), Some(rt)) = (l.ty(), r.ty()) else {
+        return Ok(());
+    };
     let ok = match op {
-        BinaryOp::And | BinaryOp::Or => {
-            lt == DataType::Boolean && rt == DataType::Boolean
-        }
-        BinaryOp::Plus | BinaryOp::Minus | BinaryOp::Multiply | BinaryOp::Divide
+        BinaryOp::And | BinaryOp::Or => lt == DataType::Boolean && rt == DataType::Boolean,
+        BinaryOp::Plus
+        | BinaryOp::Minus
+        | BinaryOp::Multiply
+        | BinaryOp::Divide
         | BinaryOp::Modulo => {
             (lt.is_numeric() && rt.is_numeric())
                 || (lt == DataType::Date && rt == DataType::Integer)
                 || (lt == DataType::Integer && rt == DataType::Date)
         }
         BinaryOp::Concat => true,
-        BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt
+        BinaryOp::Eq
+        | BinaryOp::NotEq
+        | BinaryOp::Lt
+        | BinaryOp::LtEq
+        | BinaryOp::Gt
         | BinaryOp::GtEq => lt == rt || (lt.is_numeric() && rt.is_numeric()),
     };
     if ok {
@@ -281,8 +333,8 @@ fn check_binary_types(op: BinaryOp, l: &BoundExpr, r: &BoundExpr) -> Result<(), 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ivm_sql::parse_statement;
     use ivm_sql::ast::{SelectItem, SetExpr, Statement};
+    use ivm_sql::parse_statement;
 
     fn parse_expr(sql: &str) -> Expr {
         match parse_statement(&format!("SELECT {sql}")).unwrap() {
@@ -341,7 +393,13 @@ mod tests {
     #[test]
     fn between_desugars() {
         let b = bind_expr(&parse_expr("t.a BETWEEN 1 AND 5"), &scope()).unwrap();
-        assert!(matches!(b, BoundExpr::Binary { op: BinaryOp::And, .. }));
+        assert!(matches!(
+            b,
+            BoundExpr::Binary {
+                op: BinaryOp::And,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -349,7 +407,13 @@ mod tests {
         let b = bind_expr(&parse_expr("CASE t.b WHEN 'x' THEN 1 ELSE 0 END"), &scope()).unwrap();
         match b {
             BoundExpr::Case { branches, .. } => {
-                assert!(matches!(branches[0].0, BoundExpr::Binary { op: BinaryOp::Eq, .. }));
+                assert!(matches!(
+                    branches[0].0,
+                    BoundExpr::Binary {
+                        op: BinaryOp::Eq,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -374,9 +438,18 @@ mod tests {
 
     #[test]
     fn literals() {
-        assert_eq!(bind_literal(&Literal::Number("42".into())).unwrap(), Value::Integer(42));
-        assert_eq!(bind_literal(&Literal::Number("2.5".into())).unwrap(), Value::Double(2.5));
-        assert_eq!(bind_literal(&Literal::Number("1e3".into())).unwrap(), Value::Double(1000.0));
+        assert_eq!(
+            bind_literal(&Literal::Number("42".into())).unwrap(),
+            Value::Integer(42)
+        );
+        assert_eq!(
+            bind_literal(&Literal::Number("2.5".into())).unwrap(),
+            Value::Double(2.5)
+        );
+        assert_eq!(
+            bind_literal(&Literal::Number("1e3".into())).unwrap(),
+            Value::Double(1000.0)
+        );
         // Over-large integers fall back to double.
         assert_eq!(
             bind_literal(&Literal::Number("99999999999999999999".into())).unwrap(),

@@ -5,17 +5,19 @@ use ivm_sql::ast::{BinaryOp, UnaryOp};
 use crate::error::EngineError;
 use crate::expr::{BoundExpr, ScalarFunc};
 use crate::types::DataType;
-use crate::value::Value;
+use crate::value::{Tuple, Value};
 
 impl BoundExpr {
     /// Evaluate against one input row.
-    pub fn eval(&self, row: &[Value]) -> Result<Value, EngineError> {
+    ///
+    /// Generic over [`Tuple`] so rows inside a columnar batch evaluate
+    /// in place, without being gathered into a `Vec<Value>` first.
+    pub fn eval<R: Tuple + ?Sized>(&self, row: &R) -> Result<Value, EngineError> {
         match self {
             BoundExpr::Literal(v) => Ok(v.clone()),
-            BoundExpr::Column { index, .. } => row
-                .get(*index)
-                .cloned()
-                .ok_or_else(|| EngineError::execution(format!("column index {index} out of range"))),
+            BoundExpr::Column { index, .. } => row.col(*index).cloned().ok_or_else(|| {
+                EngineError::execution(format!("column index {index} out of range"))
+            }),
             BoundExpr::Binary { op, left, right } => eval_binary(*op, left, right, row),
             BoundExpr::Unary { op, expr } => {
                 let v = expr.eval(row)?;
@@ -37,7 +39,10 @@ impl BoundExpr {
                     UnaryOp::Plus => Ok(v),
                 }
             }
-            BoundExpr::Case { branches, else_result } => {
+            BoundExpr::Case {
+                branches,
+                else_result,
+            } => {
                 for (when, then) in branches {
                     if when.eval(row)?.as_bool() == Some(true) {
                         return then.eval(row);
@@ -53,7 +58,11 @@ impl BoundExpr {
                 let isnull = expr.eval(row)?.is_null();
                 Ok(Value::Boolean(isnull != *negated))
             }
-            BoundExpr::InList { expr, list, negated } => {
+            BoundExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let probe = expr.eval(row)?;
                 if probe.is_null() {
                     return Ok(Value::Null);
@@ -74,7 +83,11 @@ impl BoundExpr {
                     Ok(Value::Boolean(*negated))
                 }
             }
-            BoundExpr::Like { expr, pattern, negated } => {
+            BoundExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
                 let s = expr.eval(row)?;
                 let p = pattern.eval(row)?;
                 match (s, p) {
@@ -91,7 +104,12 @@ impl BoundExpr {
             BoundExpr::InSubquery { .. } => Err(EngineError::execution(
                 "IN (subquery) must be prepared by the executor before evaluation",
             )),
-            BoundExpr::InSet { expr, set, has_null, negated } => {
+            BoundExpr::InSet {
+                expr,
+                set,
+                has_null,
+                negated,
+            } => {
                 let probe = expr.eval(row)?;
                 if probe.is_null() {
                     return Ok(Value::Null);
@@ -108,11 +126,11 @@ impl BoundExpr {
     }
 }
 
-fn eval_binary(
+fn eval_binary<R: Tuple + ?Sized>(
     op: BinaryOp,
     left: &BoundExpr,
     right: &BoundExpr,
-    row: &[Value],
+    row: &R,
 ) -> Result<Value, EngineError> {
     // AND/OR get Kleene logic (must not early-evaluate NULL as false).
     match op {
@@ -169,7 +187,10 @@ fn eval_binary(
                 rs.as_str().unwrap_or_default()
             )))
         }
-        BinaryOp::Plus | BinaryOp::Minus | BinaryOp::Multiply | BinaryOp::Divide
+        BinaryOp::Plus
+        | BinaryOp::Minus
+        | BinaryOp::Multiply
+        | BinaryOp::Divide
         | BinaryOp::Modulo => eval_arith(op, &l, &r),
         BinaryOp::And | BinaryOp::Or => unreachable!("handled above"),
     }
@@ -262,10 +283,10 @@ fn sql_compare(l: &Value, r: &Value) -> Result<std::cmp::Ordering, EngineError> 
     Ok(l.total_cmp(r))
 }
 
-fn eval_scalar_fn(
+fn eval_scalar_fn<R: Tuple + ?Sized>(
     func: ScalarFunc,
     args: &[BoundExpr],
-    row: &[Value],
+    row: &R,
 ) -> Result<Value, EngineError> {
     match func {
         ScalarFunc::Coalesce => {
@@ -302,7 +323,10 @@ fn eval_scalar_fn(
             } else {
                 s.to_uppercase()
             })),
-            other => Err(EngineError::execution(format!("{} applied to {other}", func.name()))),
+            other => Err(EngineError::execution(format!(
+                "{} applied to {other}",
+                func.name()
+            ))),
         },
         ScalarFunc::Length => match args[0].eval(row)? {
             Value::Null => Ok(Value::Null),
@@ -314,9 +338,9 @@ fn eval_scalar_fn(
             if v.is_null() {
                 return Ok(Value::Null);
             }
-            let d = v.as_f64().ok_or_else(|| {
-                EngineError::execution(format!("{} applied to {v}", func.name()))
-            })?;
+            let d = v
+                .as_f64()
+                .ok_or_else(|| EngineError::execution(format!("{} applied to {v}", func.name())))?;
             Ok(Value::Double(match func {
                 ScalarFunc::Round => d.round(),
                 ScalarFunc::Floor => d.floor(),
@@ -417,7 +441,11 @@ mod tests {
     }
 
     fn bin(op: BinaryOp, l: BoundExpr, r: BoundExpr) -> BoundExpr {
-        BoundExpr::Binary { op, left: Box::new(l), right: Box::new(r) }
+        BoundExpr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
     }
 
     fn ev(e: &BoundExpr) -> Value {
@@ -426,12 +454,28 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        assert_eq!(ev(&bin(BinaryOp::Plus, lit(2i64), lit(3i64))), Value::Integer(5));
-        assert_eq!(ev(&bin(BinaryOp::Multiply, lit(2.5), lit(2i64))), Value::Double(5.0));
-        assert_eq!(ev(&bin(BinaryOp::Divide, lit(7i64), lit(2i64))), Value::Integer(3));
-        assert_eq!(ev(&bin(BinaryOp::Modulo, lit(7i64), lit(2i64))), Value::Integer(1));
-        assert!(bin(BinaryOp::Divide, lit(1i64), lit(0i64)).eval(&[]).is_err());
-        assert!(bin(BinaryOp::Plus, lit(i64::MAX), lit(1i64)).eval(&[]).is_err());
+        assert_eq!(
+            ev(&bin(BinaryOp::Plus, lit(2i64), lit(3i64))),
+            Value::Integer(5)
+        );
+        assert_eq!(
+            ev(&bin(BinaryOp::Multiply, lit(2.5), lit(2i64))),
+            Value::Double(5.0)
+        );
+        assert_eq!(
+            ev(&bin(BinaryOp::Divide, lit(7i64), lit(2i64))),
+            Value::Integer(3)
+        );
+        assert_eq!(
+            ev(&bin(BinaryOp::Modulo, lit(7i64), lit(2i64))),
+            Value::Integer(1)
+        );
+        assert!(bin(BinaryOp::Divide, lit(1i64), lit(0i64))
+            .eval(&[])
+            .is_err());
+        assert!(bin(BinaryOp::Plus, lit(i64::MAX), lit(1i64))
+            .eval(&[])
+            .is_err());
     }
 
     #[test]
@@ -455,8 +499,14 @@ mod tests {
 
     #[test]
     fn comparisons_cross_numeric() {
-        assert_eq!(ev(&bin(BinaryOp::Eq, lit(2i64), lit(2.0))), Value::Boolean(true));
-        assert_eq!(ev(&bin(BinaryOp::Lt, lit(2i64), lit(2.5))), Value::Boolean(true));
+        assert_eq!(
+            ev(&bin(BinaryOp::Eq, lit(2i64), lit(2.0))),
+            Value::Boolean(true)
+        );
+        assert_eq!(
+            ev(&bin(BinaryOp::Lt, lit(2i64), lit(2.5))),
+            Value::Boolean(true)
+        );
         assert!(bin(BinaryOp::Eq, lit(1i64), lit("x")).eval(&[]).is_err());
     }
 
@@ -464,8 +514,16 @@ mod tests {
     fn case_evaluation() {
         // The paper's multiplicity pattern:
         // CASE WHEN m = FALSE THEN -v ELSE v END
-        let m = BoundExpr::Column { index: 0, ty: Some(DataType::Boolean), name: "m".into() };
-        let v = BoundExpr::Column { index: 1, ty: Some(DataType::Integer), name: "v".into() };
+        let m = BoundExpr::Column {
+            index: 0,
+            ty: Some(DataType::Boolean),
+            name: "m".into(),
+        };
+        let v = BoundExpr::Column {
+            index: 1,
+            ty: Some(DataType::Integer),
+            name: "v".into(),
+        };
         let e = BoundExpr::Case {
             branches: vec![(
                 bin(BinaryOp::Eq, m, lit(false)),
@@ -568,7 +626,10 @@ mod tests {
             args: vec![lit(1i64), null(), lit(3i64)],
         };
         assert_eq!(ev(&e), Value::Integer(3));
-        let e = BoundExpr::ScalarFn { func: ScalarFunc::Least, args: vec![null(), null()] };
+        let e = BoundExpr::ScalarFn {
+            func: ScalarFunc::Least,
+            args: vec![null(), null()],
+        };
         assert_eq!(ev(&e), Value::Null);
     }
 }

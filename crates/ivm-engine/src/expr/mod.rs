@@ -142,9 +142,7 @@ impl BoundExpr {
                     }
                 }
                 BinaryOp::Divide => match (left.ty(), right.ty()) {
-                    (Some(DataType::Integer), Some(DataType::Integer)) => {
-                        Some(DataType::Integer)
-                    }
+                    (Some(DataType::Integer), Some(DataType::Integer)) => Some(DataType::Integer),
                     (Some(a), Some(b)) => DataType::promote(a, b),
                     _ => None,
                 },
@@ -153,7 +151,10 @@ impl BoundExpr {
                 UnaryOp::Not => Some(DataType::Boolean),
                 UnaryOp::Minus | UnaryOp::Plus => expr.ty(),
             },
-            BoundExpr::Case { branches, else_result } => branches
+            BoundExpr::Case {
+                branches,
+                else_result,
+            } => branches
                 .iter()
                 .map(|(_, t)| t.ty())
                 .chain(else_result.iter().map(|e| e.ty()))
@@ -175,17 +176,20 @@ impl BoundExpr {
             BoundExpr::Column { .. } => false,
             BoundExpr::Binary { left, right, .. } => left.is_constant() && right.is_constant(),
             BoundExpr::Unary { expr, .. } => expr.is_constant(),
-            BoundExpr::Case { branches, else_result } => {
-                branches.iter().all(|(w, t)| w.is_constant() && t.is_constant())
+            BoundExpr::Case {
+                branches,
+                else_result,
+            } => {
+                branches
+                    .iter()
+                    .all(|(w, t)| w.is_constant() && t.is_constant())
                     && else_result.as_ref().is_none_or(|e| e.is_constant())
             }
             BoundExpr::Cast { expr, .. } | BoundExpr::IsNull { expr, .. } => expr.is_constant(),
             BoundExpr::InList { expr, list, .. } => {
                 expr.is_constant() && list.iter().all(BoundExpr::is_constant)
             }
-            BoundExpr::Like { expr, pattern, .. } => {
-                expr.is_constant() && pattern.is_constant()
-            }
+            BoundExpr::Like { expr, pattern, .. } => expr.is_constant() && pattern.is_constant(),
             BoundExpr::ScalarFn { args, .. } => args.iter().all(BoundExpr::is_constant),
             // Subqueries read tables, so they are never constant-folded.
             BoundExpr::InSubquery { .. } => false,
@@ -209,7 +213,10 @@ impl BoundExpr {
             BoundExpr::Unary { expr, .. }
             | BoundExpr::Cast { expr, .. }
             | BoundExpr::IsNull { expr, .. } => expr.referenced_columns(out),
-            BoundExpr::Case { branches, else_result } => {
+            BoundExpr::Case {
+                branches,
+                else_result,
+            } => {
                 for (w, t) in branches {
                     w.referenced_columns(out);
                     t.referenced_columns(out);
@@ -252,7 +259,10 @@ impl BoundExpr {
             BoundExpr::Unary { expr, .. }
             | BoundExpr::Cast { expr, .. }
             | BoundExpr::IsNull { expr, .. } => expr.remap_columns(map),
-            BoundExpr::Case { branches, else_result } => {
+            BoundExpr::Case {
+                branches,
+                else_result,
+            } => {
                 for (w, t) in branches {
                     w.remap_columns(map);
                     t.remap_columns(map);
@@ -283,6 +293,22 @@ impl BoundExpr {
     }
 }
 
+/// Flatten a predicate's top-level AND chain into its conjuncts (shared by
+/// the optimizer's filter pushdown and the physical join lowering).
+pub(crate) fn flatten_and(e: &BoundExpr, out: &mut Vec<BoundExpr>) {
+    if let BoundExpr::Binary {
+        op: BinaryOp::And,
+        left,
+        right,
+    } = e
+    {
+        flatten_and(left, out);
+        flatten_and(right, out);
+    } else {
+        out.push(e.clone());
+    }
+}
+
 /// One aggregate computed by an Aggregate operator.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AggExpr {
@@ -302,9 +328,7 @@ impl AggExpr {
         match self.func {
             AggFunc::Count => Some(DataType::Integer),
             AggFunc::Avg => Some(DataType::Double),
-            AggFunc::Sum | AggFunc::Min | AggFunc::Max => {
-                self.arg.as_ref().and_then(BoundExpr::ty)
-            }
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => self.arg.as_ref().and_then(BoundExpr::ty),
         }
     }
 }

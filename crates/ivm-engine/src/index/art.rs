@@ -35,20 +35,39 @@ struct Inner {
 #[derive(Debug)]
 enum Children {
     /// Up to 4 children; linear key array.
-    N4 { keys: [u8; 4], slots: [Option<Box<Node>>; 4], len: u8 },
+    N4 {
+        keys: [u8; 4],
+        slots: [Option<Box<Node>>; 4],
+        len: u8,
+    },
     /// Up to 16 children; sorted key array.
-    N16 { keys: [u8; 16], slots: [Option<Box<Node>>; 16], len: u8 },
+    N16 {
+        keys: [u8; 16],
+        slots: [Option<Box<Node>>; 16],
+        len: u8,
+    },
     /// Up to 48 children; 256-entry indirection into a slot array.
-    N48 { index: Box<[u8; 256]>, slots: Box<[Option<Box<Node>>; 48]>, len: u8 },
+    N48 {
+        index: Box<[u8; 256]>,
+        slots: Box<[Option<Box<Node>>; 48]>,
+        len: u8,
+    },
     /// Direct 256-entry array.
-    N256 { slots: Box<[Option<Box<Node>>; 256]>, len: u16 },
+    N256 {
+        slots: Box<[Option<Box<Node>>; 256]>,
+        len: u16,
+    },
 }
 
 const EMPTY48: u8 = 0xFF;
 
 impl Children {
     fn n4() -> Children {
-        Children::N4 { keys: [0; 4], slots: Default::default(), len: 0 }
+        Children::N4 {
+            keys: [0; 4],
+            slots: Default::default(),
+            len: 0,
+        }
     }
 
     fn find(&self, byte: u8) -> Option<&Node> {
@@ -136,7 +155,10 @@ impl Children {
                 *len += 1;
             }
             Children::N48 { index, slots, len } => {
-                let slot = slots.iter().position(Option::is_none).expect("node48 not full");
+                let slot = slots
+                    .iter()
+                    .position(Option::is_none)
+                    .expect("node48 not full");
                 index[byte as usize] = slot as u8;
                 slots[slot] = Some(node);
                 *len += 1;
@@ -163,28 +185,37 @@ impl Children {
                     nkeys[dst] = keys[src];
                     nslots[dst] = slots[src].take();
                 }
-                Children::N16 { keys: nkeys, slots: nslots, len: *len }
+                Children::N16 {
+                    keys: nkeys,
+                    slots: nslots,
+                    len: *len,
+                }
             }
             Children::N16 { keys, slots, len } => {
                 let mut index = Box::new([EMPTY48; 256]);
-                let mut nslots: Box<[Option<Box<Node>>; 48]> =
-                    Box::new([const { None }; 48]);
+                let mut nslots: Box<[Option<Box<Node>>; 48]> = Box::new([const { None }; 48]);
                 for i in 0..*len as usize {
                     index[keys[i] as usize] = i as u8;
                     nslots[i] = slots[i].take();
                 }
-                Children::N48 { index, slots: nslots, len: *len }
+                Children::N48 {
+                    index,
+                    slots: nslots,
+                    len: *len,
+                }
             }
             Children::N48 { index, slots, len } => {
-                let mut nslots: Box<[Option<Box<Node>>; 256]> =
-                    Box::new([const { None }; 256]);
+                let mut nslots: Box<[Option<Box<Node>>; 256]> = Box::new([const { None }; 256]);
                 for byte in 0..256usize {
                     let slot = index[byte];
                     if slot != EMPTY48 {
                         nslots[byte] = slots[slot as usize].take();
                     }
                 }
-                Children::N256 { slots: nslots, len: u16::from(*len) }
+                Children::N256 {
+                    slots: nslots,
+                    len: u16::from(*len),
+                }
             }
             Children::N256 { .. } => return,
         };
@@ -246,7 +277,11 @@ impl Children {
                     nkeys[i] = keys[i];
                     nslots[i] = slots[i].take();
                 }
-                Children::N4 { keys: nkeys, slots: nslots, len: *len }
+                Children::N4 {
+                    keys: nkeys,
+                    slots: nslots,
+                    len: *len,
+                }
             }
             Children::N48 { index, slots, len } if *len <= 12 => {
                 let mut nkeys = [0u8; 16];
@@ -260,12 +295,15 @@ impl Children {
                         n += 1;
                     }
                 }
-                Children::N16 { keys: nkeys, slots: nslots, len: *len }
+                Children::N16 {
+                    keys: nkeys,
+                    slots: nslots,
+                    len: *len,
+                }
             }
             Children::N256 { slots, len } if *len <= 36 => {
                 let mut index = Box::new([EMPTY48; 256]);
-                let mut nslots: Box<[Option<Box<Node>>; 48]> =
-                    Box::new([const { None }; 48]);
+                let mut nslots: Box<[Option<Box<Node>>; 48]> = Box::new([const { None }; 48]);
                 let mut n = 0usize;
                 for byte in 0..256usize {
                     if let Some(node) = slots[byte].take() {
@@ -274,7 +312,11 @@ impl Children {
                         n += 1;
                     }
                 }
-                Children::N48 { index, slots: nslots, len: *len as u8 }
+                Children::N48 {
+                    index,
+                    slots: nslots,
+                    len: *len as u8,
+                }
             }
             _ => return,
         };
@@ -406,7 +448,10 @@ impl Art {
     pub fn insert(&mut self, key: &[u8], value: u64) -> Option<u64> {
         match self.root.take() {
             None => {
-                self.root = Some(Box::new(Node::Leaf { key: key.into(), value }));
+                self.root = Some(Box::new(Node::Leaf {
+                    key: key.into(),
+                    value,
+                }));
                 self.len = 1;
                 None
             }
@@ -498,9 +543,17 @@ fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
     a.iter().zip(b).take_while(|(x, y)| x == y).count()
 }
 
-fn insert_rec(mut node: Box<Node>, key: &[u8], depth: usize, value: u64) -> (Box<Node>, Option<u64>) {
+fn insert_rec(
+    mut node: Box<Node>,
+    key: &[u8],
+    depth: usize,
+    value: u64,
+) -> (Box<Node>, Option<u64>) {
     match &mut *node {
-        Node::Leaf { key: lkey, value: lvalue } => {
+        Node::Leaf {
+            key: lkey,
+            value: lvalue,
+        } => {
             if &lkey[..] == key {
                 let old = *lvalue;
                 *lvalue = value;
@@ -515,8 +568,17 @@ fn insert_rec(mut node: Box<Node>, key: &[u8], depth: usize, value: u64) -> (Box
             let new_byte = key[split];
             let mut children = Children::n4();
             children.insert(old_byte, node);
-            children.insert(new_byte, Box::new(Node::Leaf { key: key.into(), value }));
-            (Box::new(Node::Inner(Box::new(Inner { prefix, children }))), None)
+            children.insert(
+                new_byte,
+                Box::new(Node::Leaf {
+                    key: key.into(),
+                    value,
+                }),
+            );
+            (
+                Box::new(Node::Inner(Box::new(Inner { prefix, children }))),
+                None,
+            )
         }
         Node::Inner(inner) => {
             let plen = inner.prefix.len();
@@ -530,9 +592,18 @@ fn insert_rec(mut node: Box<Node>, key: &[u8], depth: usize, value: u64) -> (Box
                 let new_byte = key[depth + common];
                 let mut children = Children::n4();
                 children.insert(promoted_byte, node);
-                children.insert(new_byte, Box::new(Node::Leaf { key: key.into(), value }));
+                children.insert(
+                    new_byte,
+                    Box::new(Node::Leaf {
+                        key: key.into(),
+                        value,
+                    }),
+                );
                 return (
-                    Box::new(Node::Inner(Box::new(Inner { prefix: shared, children }))),
+                    Box::new(Node::Inner(Box::new(Inner {
+                        prefix: shared,
+                        children,
+                    }))),
                     None,
                 );
             }
@@ -541,7 +612,10 @@ fn insert_rec(mut node: Box<Node>, key: &[u8], depth: usize, value: u64) -> (Box
             if let Some(child) = inner.children.find_mut(byte) {
                 let taken = std::mem::replace(
                     child,
-                    Box::new(Node::Leaf { key: Box::from(&[][..]), value: 0 }),
+                    Box::new(Node::Leaf {
+                        key: Box::from(&[][..]),
+                        value: 0,
+                    }),
                 );
                 let (new_child, old) = insert_rec(taken, key, next_depth + 1, value);
                 *child = new_child;
@@ -550,9 +624,13 @@ fn insert_rec(mut node: Box<Node>, key: &[u8], depth: usize, value: u64) -> (Box
                 if inner.children.is_full() {
                     inner.children.grow();
                 }
-                inner
-                    .children
-                    .insert(byte, Box::new(Node::Leaf { key: key.into(), value }));
+                inner.children.insert(
+                    byte,
+                    Box::new(Node::Leaf {
+                        key: key.into(),
+                        value,
+                    }),
+                );
                 (node, None)
             }
         }
@@ -582,7 +660,10 @@ fn remove_rec(mut node: Box<Node>, key: &[u8], depth: usize) -> (Option<Box<Node
             };
             let taken = std::mem::replace(
                 child,
-                Box::new(Node::Leaf { key: Box::from(&[][..]), value: 0 }),
+                Box::new(Node::Leaf {
+                    key: Box::from(&[][..]),
+                    value: 0,
+                }),
             );
             let (new_child, removed) = remove_rec(taken, key, next_depth + 1);
             match new_child {
@@ -722,8 +803,9 @@ mod tests {
         let mut art = Art::new();
         use crate::index::key::encode_key;
         use crate::value::Value;
-        for (i, (g, v)) in
-            [("a", 1i64), ("a", 2), ("b", 1), ("ab", 1)].iter().enumerate()
+        for (i, (g, v)) in [("a", 1i64), ("a", 2), ("b", 1), ("ab", 1)]
+            .iter()
+            .enumerate()
         {
             let k = encode_key(&[Value::from(*g), Value::Integer(*v)]);
             art.insert(&k, i as u64);
@@ -734,8 +816,9 @@ mod tests {
 
     #[test]
     fn bulk_build_matches_incremental() {
-        let pairs: Vec<(Vec<u8>, u64)> =
-            (0..1000).map(|i| (key(&format!("key{i:04}")), i as u64)).collect();
+        let pairs: Vec<(Vec<u8>, u64)> = (0..1000)
+            .map(|i| (key(&format!("key{i:04}")), i as u64))
+            .collect();
         let art = Art::bulk_build(pairs.clone());
         assert_eq!(art.len(), 1000);
         for (k, v) in &pairs {

@@ -103,7 +103,15 @@ mod tests {
 
     #[test]
     fn double_order_preserved() {
-        let vals = [f64::NEG_INFINITY, -2.5, -0.0, 0.0, 1e-10, 3.25, f64::INFINITY];
+        let vals = [
+            f64::NEG_INFINITY,
+            -2.5,
+            -0.0,
+            0.0,
+            1e-10,
+            3.25,
+            f64::INFINITY,
+        ];
         for w in vals.windows(2) {
             let (a, b) = (enc1(Value::Double(w[0])), enc1(Value::Double(w[1])));
             assert!(a <= b, "{} !<= {}", w[0], w[1]);

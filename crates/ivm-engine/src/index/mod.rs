@@ -26,7 +26,11 @@ pub struct TableIndex {
 impl TableIndex {
     /// Create an empty index over the given column positions.
     pub fn new(columns: Vec<usize>, unique: bool) -> TableIndex {
-        TableIndex { columns, unique, tree: Art::new() }
+        TableIndex {
+            columns,
+            unique,
+            tree: Art::new(),
+        }
     }
 
     /// Encode the key of `row` under this index.
@@ -98,6 +102,9 @@ mod tests {
     fn composite_index_key() {
         let idx = TableIndex::new(vec![2, 0], true);
         let row = [Value::Integer(1), Value::from("ignored"), Value::from("g")];
-        assert_eq!(idx.key_of(&row), encode_key(&[Value::from("g"), Value::Integer(1)]));
+        assert_eq!(
+            idx.key_of(&row),
+            encode_key(&[Value::from("g"), Value::Integer(1)])
+        );
     }
 }

@@ -6,13 +6,18 @@
 //! generated propagation scripts.
 //!
 //! Components:
-//! - columnar in-memory storage with tombstone deletes ([`storage`])
+//! - columnar in-memory storage with tombstone deletes and zero-copy batch
+//!   scans ([`storage`])
 //! - an Adaptive Radix Tree index with order-preserving key encoding
 //!   ([`index`]) — used for primary keys and `INSERT OR REPLACE`
 //! - expression binding and evaluation with SQL NULL semantics ([`expr`])
-//! - a logical planner ([`planner`]) and rule-based optimizer ([`optimizer`])
-//! - an interpreter executor: hash aggregate, hash join (INNER/LEFT/RIGHT/
-//!   FULL/CROSS), set operations, sorting ([`exec`])
+//! - a logical planner ([`planner`]), rule-based optimizer ([`optimizer`]),
+//!   and physical lowering ([`planner::physical`]: join-side selection,
+//!   equi-key extraction, aggregate mode)
+//! - a batched pull-based executor over columnar [`exec::RowBatch`]es:
+//!   streaming scan/filter/project/limit, build-probe hash join
+//!   (INNER/LEFT/RIGHT/FULL/CROSS), hash aggregate, set operations,
+//!   sorting ([`exec`])
 //! - the `Database` session API ([`session`])
 //!
 //! ## Quick example
@@ -46,7 +51,8 @@ pub mod value;
 
 pub use catalog::Catalog;
 pub use error::{EngineError, ErrorKind};
-pub use planner::{plan_query, LogicalPlan};
+pub use exec::RowBatch;
+pub use planner::{plan_query, LogicalPlan, PhysicalPlan};
 pub use schema::{Column, Schema};
 pub use session::{Database, QueryResult};
 pub use storage::Table;

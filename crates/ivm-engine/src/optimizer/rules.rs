@@ -2,7 +2,7 @@
 
 use ivm_sql::ast::BinaryOp;
 
-use crate::expr::BoundExpr;
+use crate::expr::{flatten_and, BoundExpr};
 use crate::planner::LogicalPlan;
 use crate::value::Value;
 
@@ -26,16 +26,22 @@ pub(crate) fn remove_trivial_filters(plan: LogicalPlan) -> LogicalPlan {
 /// referenced column comes from one side.
 pub(crate) fn push_down_filters(plan: LogicalPlan) -> LogicalPlan {
     transform_up(plan, &|node| {
-        let LogicalPlan::Filter { input, predicate } = node else { return node };
+        let LogicalPlan::Filter { input, predicate } = node else {
+            return node;
+        };
         match *input {
             // Filter(Project(x)) → Project(Filter'(x)) when the predicate
             // only references pass-through columns (plain column refs).
-            LogicalPlan::Project { input: pinput, exprs, schema } => {
+            LogicalPlan::Project {
+                input: pinput,
+                exprs,
+                schema,
+            } => {
                 let mut cols = Vec::new();
                 predicate.referenced_columns(&mut cols);
-                let all_passthrough = cols.iter().all(|&c| {
-                    matches!(exprs.get(c), Some(BoundExpr::Column { .. }))
-                });
+                let all_passthrough = cols
+                    .iter()
+                    .all(|&c| matches!(exprs.get(c), Some(BoundExpr::Column { .. })));
                 if all_passthrough {
                     let mut pushed = predicate.clone();
                     pushed.remap_columns(&|c| match &exprs[c] {
@@ -62,9 +68,13 @@ pub(crate) fn push_down_filters(plan: LogicalPlan) -> LogicalPlan {
                 }
             }
             // Filter(InnerJoin(l, r)) → push single-side conjuncts down.
-            LogicalPlan::Join { left, right, kind, on, schema }
-                if kind == ivm_sql::ast::JoinKind::Inner =>
-            {
+            LogicalPlan::Join {
+                left,
+                right,
+                kind,
+                on,
+                schema,
+            } if kind == ivm_sql::ast::JoinKind::Inner => {
                 let lwidth = left.schema().len();
                 let mut conjuncts = Vec::new();
                 flatten_and(&predicate, &mut conjuncts);
@@ -95,7 +105,10 @@ pub(crate) fn push_down_filters(plan: LogicalPlan) -> LogicalPlan {
                 };
                 wrap_filter(joined, keep)
             }
-            other => LogicalPlan::Filter { input: Box::new(other), predicate },
+            other => LogicalPlan::Filter {
+                input: Box::new(other),
+                predicate,
+            },
         }
     })
 }
@@ -106,17 +119,11 @@ fn wrap_filter(plan: LogicalPlan, preds: Vec<BoundExpr>) -> LogicalPlan {
         left: Box::new(l),
         right: Box::new(r),
     }) {
-        Some(predicate) => LogicalPlan::Filter { input: Box::new(plan), predicate },
+        Some(predicate) => LogicalPlan::Filter {
+            input: Box::new(plan),
+            predicate,
+        },
         None => plan,
-    }
-}
-
-fn flatten_and(e: &BoundExpr, out: &mut Vec<BoundExpr>) {
-    if let BoundExpr::Binary { op: BinaryOp::And, left, right } = e {
-        flatten_and(left, out);
-        flatten_and(right, out);
-    } else {
-        out.push(e.clone());
     }
 }
 
@@ -128,38 +135,64 @@ fn transform_up(plan: LogicalPlan, f: &impl Fn(LogicalPlan) -> LogicalPlan) -> L
             input: Box::new(transform_up(*input, f)),
             predicate,
         },
-        LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
             input: Box::new(transform_up(*input, f)),
             exprs,
             schema,
         },
-        LogicalPlan::Aggregate { input, group, aggs, schema } => LogicalPlan::Aggregate {
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
             input: Box::new(transform_up(*input, f)),
             group,
             aggs,
             schema,
         },
-        LogicalPlan::Join { left, right, kind, on, schema } => LogicalPlan::Join {
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            schema,
+        } => LogicalPlan::Join {
             left: Box::new(transform_up(*left, f)),
             right: Box::new(transform_up(*right, f)),
             kind,
             on,
             schema,
         },
-        LogicalPlan::SetOp { op, all, left, right, schema } => LogicalPlan::SetOp {
+        LogicalPlan::SetOp {
+            op,
+            all,
+            left,
+            right,
+            schema,
+        } => LogicalPlan::SetOp {
             op,
             all,
             left: Box::new(transform_up(*left, f)),
             right: Box::new(transform_up(*right, f)),
             schema,
         },
-        LogicalPlan::Distinct { input } => {
-            LogicalPlan::Distinct { input: Box::new(transform_up(*input, f)) }
-        }
-        LogicalPlan::Sort { input, keys } => {
-            LogicalPlan::Sort { input: Box::new(transform_up(*input, f)), keys }
-        }
-        LogicalPlan::Limit { input, limit, offset } => LogicalPlan::Limit {
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(transform_up(*input, f)),
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(transform_up(*input, f)),
+            keys,
+        },
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => LogicalPlan::Limit {
             input: Box::new(transform_up(*input, f)),
             limit,
             offset,
@@ -176,12 +209,21 @@ fn map_exprs(plan: LogicalPlan, f: &impl Fn(BoundExpr) -> BoundExpr) -> LogicalP
             input: Box::new(map_exprs(*input, f)),
             predicate: f(predicate),
         },
-        LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
             input: Box::new(map_exprs(*input, f)),
             exprs: exprs.into_iter().map(f).collect(),
             schema,
         },
-        LogicalPlan::Aggregate { input, group, aggs, schema } => LogicalPlan::Aggregate {
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
             input: Box::new(map_exprs(*input, f)),
             group: group.into_iter().map(f).collect(),
             aggs: aggs
@@ -193,23 +235,35 @@ fn map_exprs(plan: LogicalPlan, f: &impl Fn(BoundExpr) -> BoundExpr) -> LogicalP
                 .collect(),
             schema,
         },
-        LogicalPlan::Join { left, right, kind, on, schema } => LogicalPlan::Join {
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            schema,
+        } => LogicalPlan::Join {
             left: Box::new(map_exprs(*left, f)),
             right: Box::new(map_exprs(*right, f)),
             kind,
             on: on.map(f),
             schema,
         },
-        LogicalPlan::SetOp { op, all, left, right, schema } => LogicalPlan::SetOp {
+        LogicalPlan::SetOp {
+            op,
+            all,
+            left,
+            right,
+            schema,
+        } => LogicalPlan::SetOp {
             op,
             all,
             left: Box::new(map_exprs(*left, f)),
             right: Box::new(map_exprs(*right, f)),
             schema,
         },
-        LogicalPlan::Distinct { input } => {
-            LogicalPlan::Distinct { input: Box::new(map_exprs(*input, f)) }
-        }
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(map_exprs(*input, f)),
+        },
         LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
             input: Box::new(map_exprs(*input, f)),
             keys: keys
@@ -220,7 +274,11 @@ fn map_exprs(plan: LogicalPlan, f: &impl Fn(BoundExpr) -> BoundExpr) -> LogicalP
                 })
                 .collect(),
         },
-        LogicalPlan::Limit { input, limit, offset } => LogicalPlan::Limit {
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => LogicalPlan::Limit {
             input: Box::new(map_exprs(*input, f)),
             limit,
             offset,
@@ -239,28 +297,42 @@ fn fold_expr(e: BoundExpr) -> BoundExpr {
             left: Box::new(fold_expr(*left)),
             right: Box::new(fold_expr(*right)),
         },
-        BoundExpr::Unary { op, expr } => {
-            BoundExpr::Unary { op, expr: Box::new(fold_expr(*expr)) }
-        }
-        BoundExpr::Case { branches, else_result } => BoundExpr::Case {
+        BoundExpr::Unary { op, expr } => BoundExpr::Unary {
+            op,
+            expr: Box::new(fold_expr(*expr)),
+        },
+        BoundExpr::Case {
+            branches,
+            else_result,
+        } => BoundExpr::Case {
             branches: branches
                 .into_iter()
                 .map(|(w, t)| (fold_expr(w), fold_expr(t)))
                 .collect(),
             else_result: else_result.map(|b| Box::new(fold_expr(*b))),
         },
-        BoundExpr::Cast { expr, ty } => {
-            BoundExpr::Cast { expr: Box::new(fold_expr(*expr)), ty }
-        }
-        BoundExpr::IsNull { expr, negated } => {
-            BoundExpr::IsNull { expr: Box::new(fold_expr(*expr)), negated }
-        }
-        BoundExpr::InList { expr, list, negated } => BoundExpr::InList {
+        BoundExpr::Cast { expr, ty } => BoundExpr::Cast {
+            expr: Box::new(fold_expr(*expr)),
+            ty,
+        },
+        BoundExpr::IsNull { expr, negated } => BoundExpr::IsNull {
+            expr: Box::new(fold_expr(*expr)),
+            negated,
+        },
+        BoundExpr::InList {
+            expr,
+            list,
+            negated,
+        } => BoundExpr::InList {
             expr: Box::new(fold_expr(*expr)),
             list: list.into_iter().map(fold_expr).collect(),
             negated,
         },
-        BoundExpr::Like { expr, pattern, negated } => BoundExpr::Like {
+        BoundExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => BoundExpr::Like {
             expr: Box::new(fold_expr(*expr)),
             pattern: Box::new(fold_expr(*pattern)),
             negated,

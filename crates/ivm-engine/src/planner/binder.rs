@@ -1,8 +1,6 @@
 //! Query binder: turns an AST [`Query`] into a [`LogicalPlan`].
 
-use ivm_sql::ast::{
-    Expr, JoinKind, Literal, Query, Select, SelectItem, SetExpr, SetOp, TableRef,
-};
+use ivm_sql::ast::{Expr, JoinKind, Literal, Query, Select, SelectItem, SetExpr, SetOp, TableRef};
 use ivm_sql::{print_expr, Dialect};
 
 use crate::catalog::Catalog;
@@ -14,7 +12,10 @@ use crate::types::DataType;
 
 /// Plan a query against the catalog.
 pub fn plan_query(query: &Query, catalog: &Catalog) -> Result<LogicalPlan, EngineError> {
-    let mut binder = QueryBinder { catalog, ctes: Vec::new() };
+    let mut binder = QueryBinder {
+        catalog,
+        ctes: Vec::new(),
+    };
     let (plan, _) = binder.plan_query(query)?;
     Ok(plan)
 }
@@ -56,7 +57,11 @@ impl QueryBinder<'_> {
                 Some(e) => const_usize(e, "OFFSET")?,
                 None => 0,
             };
-            plan = LogicalPlan::Limit { input: Box::new(plan), limit, offset };
+            plan = LogicalPlan::Limit {
+                input: Box::new(plan),
+                limit,
+                offset,
+            };
         }
         Ok((plan, out_scope))
     }
@@ -67,7 +72,12 @@ impl QueryBinder<'_> {
     fn plan_set_expr(&mut self, body: &SetExpr) -> Result<PlannedSelect, EngineError> {
         match body {
             SetExpr::Select(s) => self.plan_select(s),
-            SetExpr::SetOp { op, all, left, right } => {
+            SetExpr::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => {
                 let (lp, lscope, _) = self.plan_set_expr(left)?;
                 let (rp, rscope, _) = self.plan_set_expr(right)?;
                 if lp.schema().len() != rp.schema().len() {
@@ -96,7 +106,10 @@ impl QueryBinder<'_> {
                         .columns
                         .into_iter()
                         .zip(rscope.columns)
-                        .map(|(l, _)| BindColumn { qualifier: None, ..l })
+                        .map(|(l, _)| BindColumn {
+                            qualifier: None,
+                            ..l
+                        })
                         .collect(),
                 };
                 let plan = LogicalPlan::SetOp {
@@ -114,7 +127,12 @@ impl QueryBinder<'_> {
     fn plan_select(&mut self, select: &Select) -> Result<PlannedSelect, EngineError> {
         // FROM clause: comma lists become cross joins.
         let (mut plan, scope) = if select.from.is_empty() {
-            (LogicalPlan::Dual { schema: Schema::default() }, Scope::empty())
+            (
+                LogicalPlan::Dual {
+                    schema: Schema::default(),
+                },
+                Scope::empty(),
+            )
         } else {
             let mut iter = select.from.iter();
             let (mut plan, mut scope) = self.plan_table_ref(iter.next().expect("non-empty"))?;
@@ -137,7 +155,10 @@ impl QueryBinder<'_> {
         if let Some(pred) = &select.selection {
             let predicate = bind_expr_with(pred, &scope, Some(self.catalog))?;
             check_boolean(&predicate, "WHERE")?;
-            plan = LogicalPlan::Filter { input: Box::new(plan), predicate };
+            plan = LogicalPlan::Filter {
+                input: Box::new(plan),
+                predicate,
+            };
         }
 
         let is_aggregate = !select.group_by.is_empty()
@@ -150,7 +171,9 @@ impl QueryBinder<'_> {
         if is_aggregate {
             let (plan, out_scope) = self.plan_aggregate_select(select, plan, &scope)?;
             let plan = if select.distinct {
-                LogicalPlan::Distinct { input: Box::new(plan) }
+                LogicalPlan::Distinct {
+                    input: Box::new(plan),
+                }
             } else {
                 plan
             };
@@ -165,8 +188,15 @@ impl QueryBinder<'_> {
         let mut out_cols = Vec::with_capacity(items.len());
         for (expr_ast, name) in items {
             let bound = bind_expr_with(&expr_ast, &scope, Some(self.catalog))?;
-            columns.push(Column::new(name.clone(), bound.ty().unwrap_or(DataType::Varchar)));
-            out_cols.push(BindColumn { qualifier: None, name, ty: bound.ty() });
+            columns.push(Column::new(
+                name.clone(),
+                bound.ty().unwrap_or(DataType::Varchar),
+            ));
+            out_cols.push(BindColumn {
+                qualifier: None,
+                name,
+                ty: bound.ty(),
+            });
             exprs.push(bound);
         }
         let mut plan = LogicalPlan::Project {
@@ -175,7 +205,9 @@ impl QueryBinder<'_> {
             schema: Schema::new(columns),
         };
         if select.distinct {
-            plan = LogicalPlan::Distinct { input: Box::new(plan) };
+            plan = LogicalPlan::Distinct {
+                input: Box::new(plan),
+            };
         }
         Ok((plan, Scope { columns: out_cols }, Some(pre)))
     }
@@ -205,7 +237,9 @@ impl QueryBinder<'_> {
                         .filter(|c| c.qualifier.as_deref() == Some(qn))
                         .collect();
                     if matched.is_empty() {
-                        return Err(EngineError::bind(format!("unknown relation {qn} in {qn}.*")));
+                        return Err(EngineError::bind(format!(
+                            "unknown relation {qn} in {qn}.*"
+                        )));
                     }
                     for col in matched {
                         out.push((column_expr(col), col.name.clone()));
@@ -232,9 +266,7 @@ impl QueryBinder<'_> {
                     .map(|a| a.normalized().to_string())
                     .unwrap_or_else(|| tname.clone());
                 // CTEs shadow catalog objects; later CTEs shadow earlier.
-                if let Some((_, plan)) =
-                    self.ctes.iter().rev().find(|(n, _)| *n == tname)
-                {
+                if let Some((_, plan)) = self.ctes.iter().rev().find(|(n, _)| *n == tname) {
                     let plan = plan.clone();
                     let scope = scope_from_schema(Some(&qualifier), plan.schema());
                     return Ok((plan, scope));
@@ -248,15 +280,25 @@ impl QueryBinder<'_> {
                 let table = self.catalog.table(&tname)?;
                 let schema = table.schema.clone();
                 let scope = scope_from_schema(Some(&qualifier), &schema);
-                Ok((LogicalPlan::Scan { table: tname, schema }, scope))
+                Ok((
+                    LogicalPlan::Scan {
+                        table: tname,
+                        schema,
+                    },
+                    scope,
+                ))
             }
             TableRef::Subquery { query, alias } => {
                 let (plan, _) = self.plan_query(query)?;
-                let scope =
-                    scope_from_schema(Some(alias.normalized()), plan.schema());
+                let scope = scope_from_schema(Some(alias.normalized()), plan.schema());
                 Ok((plan, scope))
             }
-            TableRef::Join { left, right, kind, constraint } => {
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                constraint,
+            } => {
                 let (lp, lscope) = self.plan_table_ref(left)?;
                 let (rp, rscope) = self.plan_table_ref(right)?;
                 let scope = lscope.join(rscope);
@@ -300,9 +342,9 @@ impl QueryBinder<'_> {
         for g in &select.group_by {
             let resolved = match g {
                 Expr::Literal(Literal::Number(n)) => {
-                    let idx: usize = n.parse().map_err(|_| {
-                        EngineError::bind(format!("invalid GROUP BY ordinal {n}"))
-                    })?;
+                    let idx: usize = n
+                        .parse()
+                        .map_err(|_| EngineError::bind(format!("invalid GROUP BY ordinal {n}")))?;
                     if idx == 0 || idx > items.len() {
                         return Err(EngineError::bind(format!(
                             "GROUP BY ordinal {idx} out of range"
@@ -326,7 +368,9 @@ impl QueryBinder<'_> {
                 other => other.clone(),
             };
             if contains_aggregate(&resolved) {
-                return Err(EngineError::bind("aggregate functions are not allowed in GROUP BY"));
+                return Err(EngineError::bind(
+                    "aggregate functions are not allowed in GROUP BY",
+                ));
             }
             group_asts.push(resolved);
         }
@@ -351,7 +395,13 @@ impl QueryBinder<'_> {
         }
         let mut aggs = Vec::with_capacity(agg_asts.len());
         for a in &agg_asts {
-            let Expr::Function { name, args, distinct, star } = a else {
+            let Expr::Function {
+                name,
+                args,
+                distinct,
+                star,
+            } = a
+            else {
                 unreachable!("collect_aggregates only gathers calls")
             };
             let func = AggFunc::lookup(name.normalized()).expect("checked aggregate");
@@ -377,7 +427,12 @@ impl QueryBinder<'_> {
                 }
                 Some(bound)
             };
-            let agg = AggExpr { func, arg, distinct: *distinct, name: default_name(a) };
+            let agg = AggExpr {
+                func,
+                arg,
+                distinct: *distinct,
+                name: default_name(a),
+            };
             columns.push(Column::new(
                 agg.name.clone(),
                 agg.ty().unwrap_or(DataType::Varchar),
@@ -406,9 +461,7 @@ impl QueryBinder<'_> {
                 })
                 .collect(),
         };
-        let rewrite = |e: &Expr| -> Expr {
-            replace_agg_subtrees(e, &group_asts, &agg_asts, scope)
-        };
+        let rewrite = |e: &Expr| -> Expr { replace_agg_subtrees(e, &group_asts, &agg_asts, scope) };
 
         // HAVING → Filter above the aggregate.
         let mut plan = agg_plan;
@@ -416,7 +469,10 @@ impl QueryBinder<'_> {
             let replaced = rewrite(h);
             let bound = bind_in_agg(&replaced, &placeholder_scope, self.catalog)?;
             check_boolean(&bound, "HAVING")?;
-            plan = LogicalPlan::Filter { input: Box::new(plan), predicate: bound };
+            plan = LogicalPlan::Filter {
+                input: Box::new(plan),
+                predicate: bound,
+            };
         }
 
         // Final projection over the aggregate output.
@@ -426,7 +482,10 @@ impl QueryBinder<'_> {
         for (e, name) in &items {
             let replaced = rewrite(e);
             let bound = bind_in_agg(&replaced, &placeholder_scope, self.catalog)?;
-            out_columns.push(Column::new(name.clone(), bound.ty().unwrap_or(DataType::Varchar)));
+            out_columns.push(Column::new(
+                name.clone(),
+                bound.ty().unwrap_or(DataType::Varchar),
+            ));
             out_scope_cols.push(BindColumn {
                 qualifier: None,
                 name: name.clone(),
@@ -439,7 +498,12 @@ impl QueryBinder<'_> {
             exprs,
             schema: Schema::new(out_columns),
         };
-        Ok((plan, Scope { columns: out_scope_cols }))
+        Ok((
+            plan,
+            Scope {
+                columns: out_scope_cols,
+            },
+        ))
     }
 
     fn plan_order_by(
@@ -472,7 +536,10 @@ impl QueryBinder<'_> {
                 e => bind_expr_with(e, out_scope, Some(self.catalog)),
             };
             match bound {
-                Ok(b) => keys.push(SortKey { expr: b, desc: ob.desc }),
+                Ok(b) => keys.push(SortKey {
+                    expr: b,
+                    desc: ob.desc,
+                }),
                 Err(_) => {
                     output_ok = false;
                     break;
@@ -480,7 +547,10 @@ impl QueryBinder<'_> {
             }
         }
         if output_ok {
-            return Ok(LogicalPlan::Sort { input: Box::new(plan), keys });
+            return Ok(LogicalPlan::Sort {
+                input: Box::new(plan),
+                keys,
+            });
         }
         // Second attempt (plain selects only): sort below the projection on
         // input columns; the order-preserving Project keeps the ordering.
@@ -492,7 +562,10 @@ impl QueryBinder<'_> {
         let mut keys = Vec::with_capacity(query.order_by.len());
         for ob in &query.order_by {
             let b = bind_expr_with(&ob.expr, pre_scope, Some(self.catalog))?;
-            keys.push(SortKey { expr: b, desc: ob.desc });
+            keys.push(SortKey {
+                expr: b,
+                desc: ob.desc,
+            });
         }
         // Rebuild: pre_plan → Sort → (original projection layers).
         // The outer plan was Project/Distinct over pre_plan; re-plan by
@@ -500,7 +573,11 @@ impl QueryBinder<'_> {
         // splice the sort underneath the projection chain.
         fn splice(plan: LogicalPlan, target: &LogicalPlan, keys: Vec<SortKey>) -> LogicalPlan {
             match plan {
-                LogicalPlan::Project { input, exprs, schema } => {
+                LogicalPlan::Project {
+                    input,
+                    exprs,
+                    schema,
+                } => {
                     if *input == *target {
                         LogicalPlan::Project {
                             input: Box::new(LogicalPlan::Sort { input, keys }),
@@ -553,7 +630,9 @@ fn promote_or(l: DataType, r: DataType) -> DataType {
 fn check_boolean(e: &BoundExpr, clause: &str) -> Result<(), EngineError> {
     if let Some(t) = e.ty() {
         if t != DataType::Boolean {
-            return Err(EngineError::bind(format!("{clause} predicate must be BOOLEAN, got {t}")));
+            return Err(EngineError::bind(format!(
+                "{clause} predicate must be BOOLEAN, got {t}"
+            )));
         }
     }
     Ok(())
@@ -565,7 +644,9 @@ fn const_usize(e: &Expr, clause: &str) -> Result<usize, EngineError> {
             return Ok(v);
         }
     }
-    Err(EngineError::bind(format!("{clause} must be a non-negative integer literal")))
+    Err(EngineError::bind(format!(
+        "{clause} must be a non-negative integer literal"
+    )))
 }
 
 fn column_expr(col: &BindColumn) -> Expr {
@@ -600,9 +681,7 @@ pub(crate) fn contains_aggregate(e: &Expr) -> bool {
 /// Collect top-level aggregate calls; rejects nested aggregates.
 fn collect_aggregates(e: &Expr, out: &mut Vec<Expr>) -> Result<(), EngineError> {
     match e {
-        Expr::Function { name, args, .. }
-            if AggFunc::is_aggregate_name(name.normalized()) =>
-        {
+        Expr::Function { name, args, .. } if AggFunc::is_aggregate_name(name.normalized()) => {
             for a in args {
                 if contains_aggregate(a) {
                     return Err(EngineError::bind("nested aggregate functions"));
@@ -620,15 +699,19 @@ fn collect_aggregates(e: &Expr, out: &mut Vec<Expr>) -> Result<(), EngineError> 
                     collect_aggregates(left, out)?;
                     collect_aggregates(right, out)?;
                 }
-                Expr::Unary { expr, .. }
-                | Expr::Cast { expr, .. }
-                | Expr::IsNull { expr, .. } => collect_aggregates(expr, out)?,
+                Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => {
+                    collect_aggregates(expr, out)?
+                }
                 Expr::Function { args, .. } => {
                     for a in args {
                         collect_aggregates(a, out)?;
                     }
                 }
-                Expr::Case { operand, branches, else_result } => {
+                Expr::Case {
+                    operand,
+                    branches,
+                    else_result,
+                } => {
                     if let Some(op) = operand {
                         collect_aggregates(op, out)?;
                     }
@@ -646,7 +729,9 @@ fn collect_aggregates(e: &Expr, out: &mut Vec<Expr>) -> Result<(), EngineError> 
                         collect_aggregates(i, out)?;
                     }
                 }
-                Expr::Between { expr, low, high, .. } => {
+                Expr::Between {
+                    expr, low, high, ..
+                } => {
                     collect_aggregates(expr, out)?;
                     collect_aggregates(low, out)?;
                     collect_aggregates(high, out)?;
@@ -692,39 +777,72 @@ fn replace_agg_subtrees(
             op: *op,
             right: Box::new(rec(right)),
         },
-        Expr::Unary { op, expr } => Expr::Unary { op: *op, expr: Box::new(rec(expr)) },
-        Expr::Function { name, args, distinct, star } => Expr::Function {
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(rec(expr)),
+        },
+        Expr::Function {
+            name,
+            args,
+            distinct,
+            star,
+        } => Expr::Function {
             name: name.clone(),
             args: args.iter().map(rec).collect(),
             distinct: *distinct,
             star: *star,
         },
-        Expr::Case { operand, branches, else_result } => Expr::Case {
+        Expr::Case {
+            operand,
+            branches,
+            else_result,
+        } => Expr::Case {
             operand: operand.as_ref().map(|o| Box::new(rec(o))),
             branches: branches.iter().map(|(w, t)| (rec(w), rec(t))).collect(),
             else_result: else_result.as_ref().map(|el| Box::new(rec(el))),
         },
-        Expr::Cast { expr, ty } => Expr::Cast { expr: Box::new(rec(expr)), ty: *ty },
-        Expr::IsNull { expr, negated } => {
-            Expr::IsNull { expr: Box::new(rec(expr)), negated: *negated }
-        }
-        Expr::InList { expr, list, negated } => Expr::InList {
+        Expr::Cast { expr, ty } => Expr::Cast {
+            expr: Box::new(rec(expr)),
+            ty: *ty,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(rec(expr)),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
             expr: Box::new(rec(expr)),
             list: list.iter().map(rec).collect(),
             negated: *negated,
         },
-        Expr::InSubquery { expr, query, negated } => Expr::InSubquery {
+        Expr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => Expr::InSubquery {
             expr: Box::new(rec(expr)),
             query: query.clone(),
             negated: *negated,
         },
-        Expr::Between { expr, low, high, negated } => Expr::Between {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
             expr: Box::new(rec(expr)),
             low: Box::new(rec(low)),
             high: Box::new(rec(high)),
             negated: *negated,
         },
-        Expr::Like { expr, pattern, negated } => Expr::Like {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
             expr: Box::new(rec(expr)),
             pattern: Box::new(rec(pattern)),
             negated: *negated,
@@ -735,7 +853,9 @@ fn replace_agg_subtrees(
 /// Two column references are equivalent when they resolve to the same input
 /// position (handles `t.a` in GROUP BY vs bare `a` in the projection).
 fn columns_equivalent(a: &Expr, b: &Expr, scope: &Scope) -> bool {
-    let (Expr::Column(ca), Expr::Column(cb)) = (a, b) else { return false };
+    let (Expr::Column(ca), Expr::Column(cb)) = (a, b) else {
+        return false;
+    };
     let ra = scope.resolve(
         ca.table.as_ref().map(|t| t.normalized()),
         ca.column.normalized(),
@@ -816,7 +936,9 @@ mod tests {
     #[test]
     fn aggregate_shape_and_output_names() {
         let p = plan("SELECT b, SUM(a) AS total FROM t GROUP BY b").unwrap();
-        let LogicalPlan::Project { input, schema, .. } = &p else { panic!() };
+        let LogicalPlan::Project { input, schema, .. } = &p else {
+            panic!()
+        };
         assert!(matches!(**input, LogicalPlan::Aggregate { .. }));
         assert_eq!(schema.names(), vec!["b", "total"]);
         assert_eq!(schema.types(), vec![DataType::Varchar, DataType::Integer]);
@@ -841,7 +963,10 @@ mod tests {
     #[test]
     fn group_by_violations_detected() {
         assert!(plan("SELECT a, SUM(a) FROM t GROUP BY b").is_err());
-        assert!(plan("SELECT SUM(SUM(a)) FROM t GROUP BY b").is_err(), "nested agg");
+        assert!(
+            plan("SELECT SUM(SUM(a)) FROM t GROUP BY b").is_err(),
+            "nested agg"
+        );
         assert!(plan("SELECT b FROM t GROUP BY 9").is_err(), "bad ordinal");
     }
 
@@ -849,7 +974,9 @@ mod tests {
     fn having_binds_aggregates() {
         let p = plan("SELECT b FROM t GROUP BY b HAVING SUM(a) > 3").unwrap();
         // Filter sits between Project and Aggregate.
-        let LogicalPlan::Project { input, .. } = &p else { panic!() };
+        let LogicalPlan::Project { input, .. } = &p else {
+            panic!()
+        };
         assert!(matches!(**input, LogicalPlan::Filter { .. }));
     }
 

@@ -1,8 +1,10 @@
-//! Logical plans and the AST → plan binder.
+//! Logical plans, the AST → plan binder, and physical lowering.
 
 mod binder;
+pub mod physical;
 
 pub use binder::plan_query;
+pub use physical::{lower, PhysicalPlan};
 
 use ivm_sql::ast::JoinKind;
 
@@ -164,8 +166,7 @@ impl LogicalPlan {
                 | LogicalPlan::Sort { input, .. }
                 | LogicalPlan::Limit { input, .. }
                 | LogicalPlan::Aggregate { input, .. } => walk(input, out),
-                LogicalPlan::Join { left, right, .. }
-                | LogicalPlan::SetOp { left, right, .. } => {
+                LogicalPlan::Join { left, right, .. } | LogicalPlan::SetOp { left, right, .. } => {
                     walk(left, out);
                     walk(right, out);
                 }
@@ -197,11 +198,9 @@ impl LogicalPlan {
                         .join(", ")
                 ),
                 LogicalPlan::Join { kind, .. } => format!("Join {}", kind.as_str()),
-                LogicalPlan::SetOp { op, all, .. } => format!(
-                    "SetOp {:?}{}",
-                    op,
-                    if *all { " ALL" } else { "" }
-                ),
+                LogicalPlan::SetOp { op, all, .. } => {
+                    format!("SetOp {:?}{}", op, if *all { " ALL" } else { "" })
+                }
                 LogicalPlan::Distinct { .. } => "Distinct".to_string(),
                 LogicalPlan::Sort { keys, .. } => format!("Sort keys={}", keys.len()),
                 LogicalPlan::Limit { limit, offset, .. } => {
@@ -219,8 +218,7 @@ impl LogicalPlan {
                 | LogicalPlan::Distinct { input }
                 | LogicalPlan::Sort { input, .. }
                 | LogicalPlan::Limit { input, .. } => fmt(input, depth + 1, out),
-                LogicalPlan::Join { left, right, .. }
-                | LogicalPlan::SetOp { left, right, .. } => {
+                LogicalPlan::Join { left, right, .. } | LogicalPlan::SetOp { left, right, .. } => {
                     fmt(left, depth + 1, out);
                     fmt(right, depth + 1, out);
                 }

@@ -1,0 +1,694 @@
+//! Physical plans: the executable form of a [`LogicalPlan`].
+//!
+//! Lowering decides *how* each operator runs, so the executor stays a dumb
+//! pipeline driver:
+//! - **join-side selection** — the estimated-smaller input becomes the hash
+//!   join's build side (RIGHT joins are mirrored; a restoring projection
+//!   keeps the output column order);
+//! - **equi-key extraction** — `a = b` conjuncts across the join split into
+//!   build/probe key columns plus a residual predicate;
+//! - **aggregate mode** — grouped hash aggregation vs. single-group
+//!   (scalar) aggregation is fixed here, not probed per row.
+
+use ivm_sql::ast::{BinaryOp, JoinKind};
+
+use crate::catalog::Catalog;
+use crate::error::EngineError;
+use crate::expr::{flatten_and, AggExpr, BoundExpr};
+use crate::planner::{LogicalPlan, SetOpKind, SortKey};
+use crate::schema::Schema;
+
+/// Join semantics after lowering. RIGHT joins no longer exist physically:
+/// they become a mirrored `LeftOuter` plus a column-restoring projection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhysJoinKind {
+    /// Emit matching pairs only.
+    Inner,
+    /// Also emit unmatched probe-side rows, padded with NULLs.
+    LeftOuter,
+    /// Also emit unmatched rows from both sides.
+    FullOuter,
+}
+
+/// Aggregation mode, decided at plan time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggMode {
+    /// No GROUP BY: one output row, even for empty input.
+    Ungrouped,
+    /// GROUP BY: hash-partitioned groups, first-seen output order.
+    HashGrouped,
+}
+
+/// An executable operator tree. Children are in pull order: the executor
+/// asks the root for batches and demand propagates down.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalPlan {
+    /// Batched scan over a base table's column vectors.
+    TableScan {
+        /// Catalog table name.
+        table: String,
+        /// Table schema.
+        schema: Schema,
+    },
+    /// A single zero-column row (`SELECT 1` with no FROM).
+    Dual,
+    /// Streaming row filter.
+    Filter {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Boolean predicate over input rows.
+        predicate: BoundExpr,
+    },
+    /// Streaming projection / computation.
+    Project {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// One expression per output column.
+        exprs: Vec<BoundExpr>,
+        /// Output columns.
+        schema: Schema,
+    },
+    /// Build-probe hash join on extracted equi-keys.
+    HashJoin {
+        /// Streamed side; its rows lead the output layout.
+        probe: Box<PhysicalPlan>,
+        /// Materialized side the hash table is built over.
+        build: Box<PhysicalPlan>,
+        /// Probe-side key column positions.
+        probe_keys: Vec<usize>,
+        /// Build-side key column positions (parallel to `probe_keys`).
+        build_keys: Vec<usize>,
+        /// Non-equi leftovers of the ON clause, evaluated over
+        /// `probe_row ++ build_row`.
+        residual: Option<BoundExpr>,
+        /// Join semantics (probe side is the preserved side).
+        join: PhysJoinKind,
+        /// Output columns: probe then build.
+        schema: Schema,
+    },
+    /// Fallback join without equi-keys (CROSS, non-equi ON).
+    NestedLoopJoin {
+        /// Streamed side.
+        probe: Box<PhysicalPlan>,
+        /// Materialized side.
+        build: Box<PhysicalPlan>,
+        /// ON condition over `probe_row ++ build_row`, absent for CROSS.
+        on: Option<BoundExpr>,
+        /// Join semantics (probe side is the preserved side).
+        join: PhysJoinKind,
+        /// Output columns: probe then build.
+        schema: Schema,
+    },
+    /// Hash aggregation.
+    HashAggregate {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Group-by expressions.
+        group: Vec<BoundExpr>,
+        /// Aggregates.
+        aggs: Vec<AggExpr>,
+        /// Grouped vs. single-group execution.
+        mode: AggMode,
+        /// Output columns: group keys then aggregate results.
+        schema: Schema,
+    },
+    /// UNION / EXCEPT / INTERSECT (right side materialized, left streamed).
+    SetOp {
+        /// Which set operation.
+        op: SetOpKind,
+        /// Bag semantics (ALL) when true.
+        all: bool,
+        /// Streamed input.
+        left: Box<PhysicalPlan>,
+        /// Materialized input.
+        right: Box<PhysicalPlan>,
+        /// Output columns.
+        schema: Schema,
+    },
+    /// Streaming duplicate elimination over whole rows.
+    Distinct {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+    },
+    /// Full sort (pipeline breaker).
+    Sort {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Sort keys, major first.
+        keys: Vec<SortKey>,
+    },
+    /// Streaming LIMIT/OFFSET with early termination.
+    Limit {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Maximum rows to emit.
+        limit: Option<usize>,
+        /// Rows to skip.
+        offset: usize,
+    },
+}
+
+static EMPTY_SCHEMA: Schema = Schema {
+    columns: Vec::new(),
+};
+
+impl PhysicalPlan {
+    /// Output schema of the operator.
+    pub fn schema(&self) -> &Schema {
+        match self {
+            PhysicalPlan::TableScan { schema, .. }
+            | PhysicalPlan::Project { schema, .. }
+            | PhysicalPlan::HashJoin { schema, .. }
+            | PhysicalPlan::NestedLoopJoin { schema, .. }
+            | PhysicalPlan::HashAggregate { schema, .. }
+            | PhysicalPlan::SetOp { schema, .. } => schema,
+            PhysicalPlan::Dual => &EMPTY_SCHEMA,
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Distinct { input }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. } => input.schema(),
+        }
+    }
+
+    /// Render an indented EXPLAIN-style tree of the physical operators.
+    pub fn explain(&self) -> String {
+        fn fmt(plan: &PhysicalPlan, depth: usize, out: &mut String) {
+            let pad = "  ".repeat(depth);
+            let line = match plan {
+                PhysicalPlan::TableScan { table, .. } => format!("TableScan {table}"),
+                PhysicalPlan::Dual => "Dual".to_string(),
+                PhysicalPlan::Filter { .. } => "Filter".to_string(),
+                PhysicalPlan::Project { schema, .. } => {
+                    format!("Project [{}]", schema.names().join(", "))
+                }
+                PhysicalPlan::HashJoin {
+                    probe_keys,
+                    build_keys,
+                    residual,
+                    join,
+                    ..
+                } => {
+                    format!(
+                        "HashJoin {join:?} probe_keys={probe_keys:?} build_keys={build_keys:?}{}",
+                        if residual.is_some() { " residual" } else { "" }
+                    )
+                }
+                PhysicalPlan::NestedLoopJoin { join, on, .. } => format!(
+                    "NestedLoopJoin {join:?}{}",
+                    if on.is_some() { " on" } else { "" }
+                ),
+                PhysicalPlan::HashAggregate {
+                    group, aggs, mode, ..
+                } => format!(
+                    "HashAggregate {mode:?} groups={} aggs=[{}]",
+                    group.len(),
+                    aggs.iter()
+                        .map(|a| a.func.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                PhysicalPlan::SetOp { op, all, .. } => {
+                    format!("SetOp {:?}{}", op, if *all { " ALL" } else { "" })
+                }
+                PhysicalPlan::Distinct { .. } => "Distinct".to_string(),
+                PhysicalPlan::Sort { keys, .. } => format!("Sort keys={}", keys.len()),
+                PhysicalPlan::Limit { limit, offset, .. } => {
+                    format!("Limit limit={limit:?} offset={offset}")
+                }
+            };
+            out.push_str(&pad);
+            out.push_str(&line);
+            out.push('\n');
+            match plan {
+                PhysicalPlan::TableScan { .. } | PhysicalPlan::Dual => {}
+                PhysicalPlan::Filter { input, .. }
+                | PhysicalPlan::Project { input, .. }
+                | PhysicalPlan::HashAggregate { input, .. }
+                | PhysicalPlan::Distinct { input }
+                | PhysicalPlan::Sort { input, .. }
+                | PhysicalPlan::Limit { input, .. } => fmt(input, depth + 1, out),
+                PhysicalPlan::HashJoin { probe, build, .. }
+                | PhysicalPlan::NestedLoopJoin { probe, build, .. } => {
+                    fmt(probe, depth + 1, out);
+                    fmt(build, depth + 1, out);
+                }
+                PhysicalPlan::SetOp { left, right, .. } => {
+                    fmt(left, depth + 1, out);
+                    fmt(right, depth + 1, out);
+                }
+            }
+        }
+        let mut out = String::new();
+        fmt(self, 0, &mut out);
+        out
+    }
+}
+
+/// Lower an optimized logical plan into a physical operator tree.
+pub fn lower(plan: &LogicalPlan, catalog: &Catalog) -> Result<PhysicalPlan, EngineError> {
+    Ok(match plan {
+        LogicalPlan::Scan { table, schema } => PhysicalPlan::TableScan {
+            table: table.clone(),
+            schema: schema.clone(),
+        },
+        LogicalPlan::Dual { .. } => PhysicalPlan::Dual,
+        LogicalPlan::Filter { input, predicate } => PhysicalPlan::Filter {
+            input: Box::new(lower(input, catalog)?),
+            predicate: predicate.clone(),
+        },
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => PhysicalPlan::Project {
+            input: Box::new(lower(input, catalog)?),
+            exprs: exprs.clone(),
+            schema: schema.clone(),
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => PhysicalPlan::HashAggregate {
+            input: Box::new(lower(input, catalog)?),
+            group: group.clone(),
+            aggs: aggs.clone(),
+            mode: if group.is_empty() {
+                AggMode::Ungrouped
+            } else {
+                AggMode::HashGrouped
+            },
+            schema: schema.clone(),
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            schema,
+        } => lower_join(left, right, *kind, on.as_ref(), schema, catalog)?,
+        LogicalPlan::SetOp {
+            op,
+            all,
+            left,
+            right,
+            schema,
+        } => PhysicalPlan::SetOp {
+            op: *op,
+            all: *all,
+            left: Box::new(lower(left, catalog)?),
+            right: Box::new(lower(right, catalog)?),
+            schema: schema.clone(),
+        },
+        LogicalPlan::Distinct { input } => PhysicalPlan::Distinct {
+            input: Box::new(lower(input, catalog)?),
+        },
+        LogicalPlan::Sort { input, keys } => PhysicalPlan::Sort {
+            input: Box::new(lower(input, catalog)?),
+            keys: keys.clone(),
+        },
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => PhysicalPlan::Limit {
+            input: Box::new(lower(input, catalog)?),
+            limit: *limit,
+            offset: *offset,
+        },
+    })
+}
+
+/// Cheap cardinality estimate used for join-side selection. Base tables
+/// report live row counts; everything else applies classic textbook
+/// selectivities. Only relative order matters.
+pub fn estimate_rows(plan: &LogicalPlan, catalog: &Catalog) -> f64 {
+    match plan {
+        LogicalPlan::Scan { table, .. } => catalog
+            .table(table)
+            .map(|t| t.live_rows() as f64)
+            .unwrap_or(1000.0),
+        LogicalPlan::Dual { .. } => 1.0,
+        LogicalPlan::Filter { input, .. } => estimate_rows(input, catalog) / 3.0,
+        LogicalPlan::Project { input, .. } | LogicalPlan::Sort { input, .. } => {
+            estimate_rows(input, catalog)
+        }
+        LogicalPlan::Distinct { input } => estimate_rows(input, catalog) / 2.0,
+        LogicalPlan::Aggregate { input, group, .. } => {
+            if group.is_empty() {
+                1.0
+            } else {
+                estimate_rows(input, catalog).sqrt().max(1.0)
+            }
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            ..
+        } => {
+            let l = estimate_rows(left, catalog);
+            let r = estimate_rows(right, catalog);
+            match (kind, on) {
+                (JoinKind::Cross, _) | (_, None) => l * r,
+                // Equi-joins: assume FK-ish fan-out bounded by the larger side.
+                _ => l.max(r),
+            }
+        }
+        LogicalPlan::SetOp { left, right, .. } => {
+            estimate_rows(left, catalog) + estimate_rows(right, catalog)
+        }
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            let bound = limit.map_or(f64::INFINITY, |l| (l + offset) as f64);
+            estimate_rows(input, catalog).min(bound)
+        }
+    }
+}
+
+fn lower_join(
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+    kind: JoinKind,
+    on: Option<&BoundExpr>,
+    schema: &Schema,
+    catalog: &Catalog,
+) -> Result<PhysicalPlan, EngineError> {
+    let lwidth = left.schema().len();
+    let rwidth = right.schema().len();
+
+    // Pick sides. The probe side is the preserved side of outer joins, so
+    // only INNER joins are free to swap for a smaller build table; RIGHT
+    // joins must mirror (probe = right).
+    let swap = match kind {
+        JoinKind::Right => true,
+        JoinKind::Inner => estimate_rows(left, catalog) < estimate_rows(right, catalog),
+        _ => false,
+    };
+    let join = match kind {
+        JoinKind::Inner | JoinKind::Cross => PhysJoinKind::Inner,
+        JoinKind::Left | JoinKind::Right => PhysJoinKind::LeftOuter,
+        JoinKind::Full => PhysJoinKind::FullOuter,
+    };
+
+    let (probe_lp, build_lp, probe_width, build_width) = if swap {
+        (right, left, rwidth, lwidth)
+    } else {
+        (left, right, lwidth, rwidth)
+    };
+
+    // The ON clause was bound over `left ++ right`; re-express it over the
+    // execution frame `probe ++ build`.
+    let on_in_frame = on.map(|e| {
+        let mut e = e.clone();
+        if swap {
+            e.remap_columns(&|i| if i < lwidth { i + rwidth } else { i - lwidth });
+        }
+        e
+    });
+
+    // Frame schema: probe columns then build columns.
+    let frame_schema = if swap {
+        let mut cols = right.schema().columns.clone();
+        cols.extend(left.schema().columns.iter().cloned());
+        Schema::new(cols)
+    } else {
+        schema.clone()
+    };
+
+    let probe = Box::new(lower(probe_lp, catalog)?);
+    let build = Box::new(lower(build_lp, catalog)?);
+
+    let (equi, residual) = match &on_in_frame {
+        Some(pred) => split_equi_conjuncts(pred, probe_width, probe_width + build_width),
+        None => (Vec::new(), None),
+    };
+
+    let joined = if equi.is_empty() {
+        PhysicalPlan::NestedLoopJoin {
+            probe,
+            build,
+            on: on_in_frame,
+            join,
+            schema: frame_schema,
+        }
+    } else {
+        let (probe_keys, build_keys) = equi.into_iter().unzip();
+        PhysicalPlan::HashJoin {
+            probe,
+            build,
+            probe_keys,
+            build_keys,
+            residual,
+            join,
+            schema: frame_schema,
+        }
+    };
+
+    if !swap {
+        return Ok(joined);
+    }
+    // Mirrored execution emitted `right ++ left`; restore `left ++ right`.
+    let restore: Vec<BoundExpr> = schema
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(i, col)| BoundExpr::Column {
+            index: if i < lwidth { rwidth + i } else { i - lwidth },
+            ty: Some(col.ty),
+            name: col.name.clone(),
+        })
+        .collect();
+    Ok(PhysicalPlan::Project {
+        input: Box::new(joined),
+        exprs: restore,
+        schema: schema.clone(),
+    })
+}
+
+/// Split a join predicate over `probe ++ build` into `(probe_col,
+/// build_col)` equality pairs plus a residual (None when fully consumed).
+/// Only top-level AND conjuncts are considered.
+fn split_equi_conjuncts(
+    pred: &BoundExpr,
+    probe_width: usize,
+    total_width: usize,
+) -> (Vec<(usize, usize)>, Option<BoundExpr>) {
+    let mut conjuncts = Vec::new();
+    flatten_and(pred, &mut conjuncts);
+    let mut equi = Vec::new();
+    let mut residual: Vec<BoundExpr> = Vec::new();
+    for c in conjuncts {
+        if let BoundExpr::Binary {
+            op: BinaryOp::Eq,
+            left,
+            right,
+        } = &c
+        {
+            if let (BoundExpr::Column { index: a, .. }, BoundExpr::Column { index: b, .. }) =
+                (left.as_ref(), right.as_ref())
+            {
+                if *a < probe_width && (probe_width..total_width).contains(b) {
+                    equi.push((*a, *b - probe_width));
+                    continue;
+                }
+                if *b < probe_width && (probe_width..total_width).contains(a) {
+                    equi.push((*b, *a - probe_width));
+                    continue;
+                }
+            }
+        }
+        residual.push(c);
+    }
+    let residual = residual.into_iter().reduce(|l, r| BoundExpr::Binary {
+        op: BinaryOp::And,
+        left: Box::new(l),
+        right: Box::new(r),
+    });
+    (equi, residual)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::storage::Table;
+    use crate::types::DataType;
+    use crate::value::Value;
+    use ivm_sql::ast::Statement;
+
+    fn catalog_with_sizes(small_rows: usize, big_rows: usize) -> Catalog {
+        let mut c = Catalog::new();
+        let mut small = Table::new(
+            "small",
+            Schema::new(vec![Column::new("id", DataType::Integer)]),
+            vec![],
+        );
+        for v in 0..small_rows {
+            small.insert(vec![Value::Integer(v as i64)]).unwrap();
+        }
+        let mut big = Table::new(
+            "big",
+            Schema::new(vec![
+                Column::new("id", DataType::Integer),
+                Column::new("v", DataType::Integer),
+            ]),
+            vec![],
+        );
+        for v in 0..big_rows {
+            big.insert(vec![Value::Integer(v as i64), Value::Integer(0)])
+                .unwrap();
+        }
+        c.create_table(small).unwrap();
+        c.create_table(big).unwrap();
+        c
+    }
+
+    fn lower_sql(sql: &str, catalog: &Catalog) -> PhysicalPlan {
+        let q = match ivm_sql::parse_statement(sql).unwrap() {
+            Statement::Query(q) => q,
+            _ => unreachable!(),
+        };
+        let plan = crate::optimizer::optimize(crate::planner::plan_query(&q, catalog).unwrap());
+        lower(&plan, catalog).unwrap()
+    }
+
+    fn find_hash_join(plan: &PhysicalPlan) -> &PhysicalPlan {
+        match plan {
+            PhysicalPlan::HashJoin { .. } => plan,
+            PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Distinct { input } => find_hash_join(input),
+            other => panic!("no hash join in {}", other.explain()),
+        }
+    }
+
+    #[test]
+    fn inner_join_builds_on_smaller_side() {
+        let catalog = catalog_with_sizes(5, 5000);
+        let p = lower_sql(
+            "SELECT * FROM big JOIN small ON big.id = small.id",
+            &catalog,
+        );
+        // big is left in SQL, but small must end up as the build side, with
+        // a restoring projection on top.
+        let PhysicalPlan::HashJoin {
+            probe,
+            build,
+            probe_keys,
+            build_keys,
+            join,
+            ..
+        } = find_hash_join(&p)
+        else {
+            unreachable!()
+        };
+        assert_eq!(*join, PhysJoinKind::Inner);
+        assert!(matches!(**build, PhysicalPlan::TableScan { ref table, .. } if table == "small"));
+        assert!(matches!(**probe, PhysicalPlan::TableScan { ref table, .. } if table == "big"));
+        assert_eq!(probe_keys, &vec![0]);
+        assert_eq!(build_keys, &vec![0]);
+    }
+
+    #[test]
+    fn right_join_mirrors_to_left_outer_with_restore() {
+        let catalog = catalog_with_sizes(5, 50);
+        let p = lower_sql(
+            "SELECT * FROM small RIGHT JOIN big ON small.id = big.id",
+            &catalog,
+        );
+        // A restoring projection must sit above the mirrored join.
+        let PhysicalPlan::Project { input, schema, .. } = &p else {
+            panic!("expected restoring projection:\n{}", p.explain());
+        };
+        assert_eq!(schema.names(), vec!["id", "id", "v"]);
+        let PhysicalPlan::HashJoin { probe, join, .. } = find_hash_join(input) else {
+            unreachable!()
+        };
+        assert_eq!(*join, PhysJoinKind::LeftOuter);
+        // The preserved (right) side streams as the probe.
+        assert!(matches!(**probe, PhysicalPlan::TableScan { ref table, .. } if table == "big"));
+    }
+
+    #[test]
+    fn outer_joins_never_swap() {
+        let catalog = catalog_with_sizes(5, 5000);
+        let p = lower_sql(
+            "SELECT * FROM big LEFT JOIN small ON big.id = small.id",
+            &catalog,
+        );
+        let PhysicalPlan::HashJoin { probe, join, .. } = find_hash_join(&p) else {
+            unreachable!()
+        };
+        assert_eq!(*join, PhysJoinKind::LeftOuter);
+        assert!(matches!(**probe, PhysicalPlan::TableScan { ref table, .. } if table == "big"));
+    }
+
+    #[test]
+    fn residual_splits_from_equi_keys() {
+        let catalog = catalog_with_sizes(10, 20);
+        let p = lower_sql(
+            "SELECT * FROM big JOIN small ON big.id = small.id AND big.v > 3",
+            &catalog,
+        );
+        let PhysicalPlan::HashJoin {
+            residual,
+            probe_keys,
+            ..
+        } = find_hash_join(&p)
+        else {
+            unreachable!()
+        };
+        assert!(residual.is_some());
+        assert_eq!(probe_keys.len(), 1);
+    }
+
+    #[test]
+    fn non_equi_join_lowers_to_nested_loop() {
+        let catalog = catalog_with_sizes(10, 20);
+        let p = lower_sql(
+            "SELECT * FROM big JOIN small ON big.id < small.id",
+            &catalog,
+        );
+        assert!(p.explain().contains("NestedLoopJoin"), "{}", p.explain());
+    }
+
+    #[test]
+    fn aggregate_mode_fixed_at_plan_time() {
+        let catalog = catalog_with_sizes(10, 20);
+        let grouped = lower_sql("SELECT id, COUNT(*) FROM big GROUP BY id", &catalog);
+        assert!(
+            grouped.explain().contains("HashGrouped"),
+            "{}",
+            grouped.explain()
+        );
+        let global = lower_sql("SELECT COUNT(*) FROM big", &catalog);
+        assert!(
+            global.explain().contains("Ungrouped"),
+            "{}",
+            global.explain()
+        );
+    }
+
+    #[test]
+    fn estimates_track_table_sizes() {
+        let catalog = catalog_with_sizes(5, 5000);
+        let small = LogicalPlan::Scan {
+            table: "small".into(),
+            schema: catalog.table("small").unwrap().schema.clone(),
+        };
+        let big = LogicalPlan::Scan {
+            table: "big".into(),
+            schema: catalog.table("big").unwrap().schema.clone(),
+        };
+        assert!(estimate_rows(&small, &catalog) < estimate_rows(&big, &catalog));
+    }
+}

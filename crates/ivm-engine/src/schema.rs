@@ -16,12 +16,20 @@ pub struct Column {
 impl Column {
     /// A nullable column.
     pub fn new(name: impl Into<String>, ty: DataType) -> Column {
-        Column { name: name.into(), ty, not_null: false }
+        Column {
+            name: name.into(),
+            ty,
+            not_null: false,
+        }
     }
 
     /// A NOT NULL column.
     pub fn not_null(name: impl Into<String>, ty: DataType) -> Column {
-        Column { name: name.into(), ty, not_null: true }
+        Column {
+            name: name.into(),
+            ty,
+            not_null: true,
+        }
     }
 }
 

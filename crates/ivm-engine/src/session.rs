@@ -8,7 +8,7 @@ use ivm_sql::{parse_statement, parse_statements};
 
 use crate::catalog::Catalog;
 use crate::error::EngineError;
-use crate::exec::{execute, prepare_expr, Row};
+use crate::exec::{execute_with_batch_size, prepare_expr_with_batch_size, Row, DEFAULT_BATCH_SIZE};
 use crate::expr::bind::{bind_expr_with, Scope};
 use crate::expr::BindColumn;
 use crate::optimizer::optimize;
@@ -31,7 +31,10 @@ pub struct QueryResult {
 
 impl QueryResult {
     fn dml(rows_affected: usize) -> QueryResult {
-        QueryResult { rows_affected, ..Default::default() }
+        QueryResult {
+            rows_affected,
+            ..Default::default()
+        }
     }
 
     /// First value of the first row, if any (convenience for scalar queries).
@@ -42,15 +45,54 @@ impl QueryResult {
 
 /// An embedded single-threaded database instance — the role DuckDB plays
 /// inside OpenIVM ("linking it as a library" per Figure 1).
-#[derive(Debug, Default)]
+///
+/// Queries run through the batched physical-operator pipeline: logical
+/// plans are lowered to [`crate::planner::PhysicalPlan`]s and executed
+/// batch-at-a-time (see [`crate::exec`]).
+#[derive(Debug)]
 pub struct Database {
     catalog: Catalog,
+    batch_size: usize,
+}
+
+impl Default for Database {
+    fn default() -> Database {
+        Database {
+            catalog: Catalog::new(),
+            batch_size: DEFAULT_BATCH_SIZE,
+        }
+    }
 }
 
 impl Database {
     /// An empty database.
     pub fn new() -> Database {
         Database::default()
+    }
+
+    /// An empty database with an explicit executor batch size (rows per
+    /// [`crate::exec::RowBatch`]; clamped to ≥ 1).
+    pub fn with_batch_size(batch_size: usize) -> Database {
+        Database {
+            catalog: Catalog::new(),
+            batch_size: batch_size.max(1),
+        }
+    }
+
+    /// The executor batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Change the executor batch size (rows per batch; clamped to ≥ 1).
+    pub fn set_batch_size(&mut self, batch_size: usize) {
+        self.batch_size = batch_size.max(1);
+    }
+
+    /// Run a plan through the batched pipeline with this session's batch
+    /// size.
+    fn run_plan(&self, plan: &crate::planner::LogicalPlan) -> Result<Vec<Row>, EngineError> {
+        execute_with_batch_size(plan, &self.catalog, self.batch_size)
     }
 
     /// Borrow the catalog.
@@ -86,14 +128,16 @@ impl Database {
         match &stmt {
             Statement::Query(q) => {
                 let plan = optimize(plan_query(q, &self.catalog)?);
-                let rows = execute(&plan, &self.catalog)?;
+                let rows = self.run_plan(&plan)?;
                 Ok(QueryResult {
                     columns: plan.schema().names(),
                     rows,
                     rows_affected: 0,
                 })
             }
-            _ => Err(EngineError::unsupported("query() accepts SELECT statements only")),
+            _ => Err(EngineError::unsupported(
+                "query() accepts SELECT statements only",
+            )),
         }
     }
 
@@ -102,7 +146,7 @@ impl Database {
         match stmt {
             Statement::Query(q) => {
                 let plan = optimize(plan_query(q, &self.catalog)?);
-                let rows = execute(&plan, &self.catalog)?;
+                let rows = self.run_plan(&plan)?;
                 Ok(QueryResult {
                     columns: plan.schema().names(),
                     rows,
@@ -121,7 +165,8 @@ impl Database {
                 }
                 // Validate the view body eagerly, as real engines do.
                 plan_query(&cv.query, &self.catalog)?;
-                self.catalog.create_view(cv.name.normalized(), (*cv.query).clone())?;
+                self.catalog
+                    .create_view(cv.name.normalized(), (*cv.query).clone())?;
                 Ok(QueryResult::default())
             }
             Statement::Drop(d) => self.drop(d),
@@ -138,7 +183,9 @@ impl Database {
                     return Err(EngineError::unsupported("EXPLAIN supports queries only"));
                 };
                 let plan = optimize(plan_query(q, &self.catalog)?);
-                let rows = plan
+                // Show what will actually run: the lowered physical tree.
+                let physical = crate::planner::physical::lower(&plan, &self.catalog)?;
+                let rows = physical
                     .explain()
                     .lines()
                     .map(|l| vec![Value::Varchar(l.to_string())])
@@ -239,10 +286,7 @@ impl Database {
                 let mut m = Vec::with_capacity(ins.columns.len());
                 for c in &ins.columns {
                     let pos = schema.position(c.normalized()).ok_or_else(|| {
-                        EngineError::bind(format!(
-                            "unknown column {} in INSERT",
-                            c.normalized()
-                        ))
+                        EngineError::bind(format!("unknown column {} in INSERT", c.normalized()))
                     })?;
                     m.push(pos);
                 }
@@ -267,7 +311,8 @@ impl Database {
                     let mut vals = Vec::with_capacity(row.len());
                     for e in row {
                         let bound = bind_expr_with(e, &scope, Some(&self.catalog))?;
-                        let prepared = prepare_expr(&bound, &self.catalog)?;
+                        let prepared =
+                            prepare_expr_with_batch_size(&bound, &self.catalog, self.batch_size)?;
                         vals.push(prepared.eval(&[])?);
                     }
                     out.push(vals);
@@ -283,7 +328,7 @@ impl Database {
                         plan.schema().len()
                     )));
                 }
-                execute(&plan, &self.catalog)?
+                self.run_plan(&plan)?
             }
         };
 
@@ -333,15 +378,18 @@ impl Database {
                         match &oc.action {
                             ConflictAction::DoNothing => {}
                             ConflictAction::DoUpdate(_) => {
-                                let assignments =
-                                    do_update.as_ref().expect("bound with DoUpdate");
+                                let assignments = do_update.as_ref().expect("bound with DoUpdate");
                                 let old = self.catalog.table(&tname)?.row(existing);
                                 // Scope row: existing row ++ excluded row.
                                 let mut env = old.clone();
                                 env.extend(row.iter().cloned());
                                 let mut updated = old;
                                 for (pos, expr) in assignments {
-                                    let prepared = prepare_expr(expr, &self.catalog)?;
+                                    let prepared = prepare_expr_with_batch_size(
+                                        expr,
+                                        &self.catalog,
+                                        self.batch_size,
+                                    )?;
                                     updated[*pos] =
                                         coerce(prepared.eval(&env)?, schema.columns[*pos].ty)?;
                                 }
@@ -381,11 +429,16 @@ impl Database {
             name: c.name.clone(),
             ty: Some(c.ty),
         }));
-        let scope = Scope { columns: scope_cols };
+        let scope = Scope {
+            columns: scope_cols,
+        };
         let mut out = Vec::with_capacity(assignments.len());
         for a in assignments {
             let pos = schema.position(a.column.normalized()).ok_or_else(|| {
-                EngineError::bind(format!("unknown column {} in DO UPDATE", a.column.normalized()))
+                EngineError::bind(format!(
+                    "unknown column {} in DO UPDATE",
+                    a.column.normalized()
+                ))
             })?;
             let bound = bind_expr_with(&a.value, &scope, Some(&self.catalog))?;
             out.push((pos, bound));
@@ -399,17 +452,27 @@ impl Database {
         let predicate = match &u.selection {
             Some(e) => {
                 let b = bind_expr_with(e, &scope, Some(&self.catalog))?;
-                Some(prepare_expr(&b, &self.catalog)?)
+                Some(prepare_expr_with_batch_size(
+                    &b,
+                    &self.catalog,
+                    self.batch_size,
+                )?)
             }
             None => None,
         };
         let mut bound_assignments = Vec::with_capacity(u.assignments.len());
         for a in &u.assignments {
             let pos = schema.position(a.column.normalized()).ok_or_else(|| {
-                EngineError::bind(format!("unknown column {} in UPDATE", a.column.normalized()))
+                EngineError::bind(format!(
+                    "unknown column {} in UPDATE",
+                    a.column.normalized()
+                ))
             })?;
             let b = bind_expr_with(&a.value, &scope, Some(&self.catalog))?;
-            bound_assignments.push((pos, prepare_expr(&b, &self.catalog)?));
+            bound_assignments.push((
+                pos,
+                prepare_expr_with_batch_size(&b, &self.catalog, self.batch_size)?,
+            ));
         }
         // Phase 1: compute new rows against a stable snapshot.
         let mut changes: Vec<(u64, Row)> = Vec::new();
@@ -445,7 +508,11 @@ impl Database {
         let predicate = match &d.selection {
             Some(e) => {
                 let b = bind_expr_with(e, &scope, Some(&self.catalog))?;
-                Some(prepare_expr(&b, &self.catalog)?)
+                Some(prepare_expr_with_batch_size(
+                    &b,
+                    &self.catalog,
+                    self.batch_size,
+                )?)
             }
             None => None,
         };

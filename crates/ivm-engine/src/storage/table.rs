@@ -1,6 +1,9 @@
 //! Columnar table with tombstone deletes and index maintenance.
 
+use std::sync::Arc;
+
 use crate::error::EngineError;
+use crate::exec::batch::{ColumnData, RowBatch};
 use crate::index::TableIndex;
 use crate::schema::Schema;
 use crate::value::Value;
@@ -73,7 +76,11 @@ impl Table {
     /// Total approximate index memory (primary + secondary), for E2.
     pub fn index_memory_bytes(&self) -> usize {
         self.pk_index.as_ref().map_or(0, TableIndex::memory_bytes)
-            + self.secondary.iter().map(|(_, i)| i.memory_bytes()).sum::<usize>()
+            + self
+                .secondary
+                .iter()
+                .map(|(_, i)| i.memory_bytes())
+                .sum::<usize>()
     }
 
     /// Validate a row against arity, types, and NOT NULL.
@@ -251,20 +258,74 @@ impl Table {
                 .all(|(col, t)| &col[idx] == t);
             return matches.then_some(id);
         }
-        (0..self.deleted.len()).find(|&i| {
-            !self.deleted[i]
-                && self.columns.iter().zip(target).all(|(col, t)| &col[i] == t)
-        }).map(|i| i as u64)
+        (0..self.deleted.len())
+            .find(|&i| {
+                !self.deleted[i] && self.columns.iter().zip(target).all(|(col, t)| &col[i] == t)
+            })
+            .map(|i| i as u64)
     }
 
     /// Iterate live rows as `(row_id, row)`.
     pub fn scan(&self) -> impl Iterator<Item = (u64, Vec<Value>)> + '_ {
-        (0..self.deleted.len()).filter(|&i| !self.deleted[i]).map(move |i| (i as u64, self.row(i as u64)))
+        (0..self.deleted.len())
+            .filter(|&i| !self.deleted[i])
+            .map(move |i| (i as u64, self.row(i as u64)))
+    }
+
+    /// Borrow one storage column.
+    pub fn column(&self, index: usize) -> &[Value] {
+        &self.columns[index]
+    }
+
+    /// Zero-copy batched scan: yields [`RowBatch`]es of up to `batch_size`
+    /// live rows that *borrow* the column vectors. Tombstone-free windows
+    /// come out as plain slices; windows with deletions share one
+    /// selection vector across all columns. No `Value` is cloned.
+    pub fn scan_batches(&self, batch_size: usize) -> impl Iterator<Item = RowBatch<'_>> + '_ {
+        let batch_size = batch_size.max(1);
+        let total = self.deleted.len();
+        let mut start = 0usize;
+        std::iter::from_fn(move || {
+            while start < total {
+                let end = (start + batch_size).min(total);
+                let window = start..end;
+                start = end;
+                if self.deleted[window.clone()].iter().all(|&d| !d) {
+                    // Clean window: contiguous slices, no selection vector.
+                    let columns = self
+                        .columns
+                        .iter()
+                        .map(|c| ColumnData::borrowed(&c[window.clone()]))
+                        .collect();
+                    return Some(RowBatch::new(columns, window.len()));
+                }
+                let live: Arc<Vec<u32>> = Arc::new(
+                    window
+                        .clone()
+                        .filter(|&i| !self.deleted[i])
+                        .map(|i| i as u32)
+                        .collect(),
+                );
+                if live.is_empty() {
+                    continue;
+                }
+                let rows = live.len();
+                let columns = self
+                    .columns
+                    .iter()
+                    .map(|c| ColumnData::borrowed_with_sel(&c[..], Arc::clone(&live)))
+                    .collect();
+                return Some(RowBatch::new(columns, rows));
+            }
+            None
+        })
     }
 
     /// Ids of all live rows.
     pub fn live_row_ids(&self) -> Vec<u64> {
-        (0..self.deleted.len() as u64).filter(|&i| !self.deleted[i as usize]).collect()
+        (0..self.deleted.len() as u64)
+            .filter(|&i| !self.deleted[i as usize])
+            .collect()
     }
 
     /// Delete every row (keeps schema and indexes, emptied).
@@ -287,8 +348,9 @@ impl Table {
         if self.live == self.deleted.len() {
             return;
         }
-        let keep: Vec<usize> =
-            (0..self.deleted.len()).filter(|&i| !self.deleted[i]).collect();
+        let keep: Vec<usize> = (0..self.deleted.len())
+            .filter(|&i| !self.deleted[i])
+            .collect();
         for col in &mut self.columns {
             let mut next = Vec::with_capacity(keep.len());
             for &i in &keep {
@@ -341,8 +403,7 @@ impl Table {
             pk.clear();
             for i in 0..self.deleted.len() {
                 if !self.deleted[i] {
-                    let row: Vec<Value> =
-                        self.columns.iter().map(|c| c[i].clone()).collect();
+                    let row: Vec<Value> = self.columns.iter().map(|c| c[i].clone()).collect();
                     let key = pk.key_of(&row);
                     pk.insert(&key, i as u64);
                 }
@@ -481,12 +542,15 @@ mod tests {
     fn update_maintains_pk() {
         let mut t = keyed_table();
         let id = t.insert(vec![Value::from("a"), Value::Integer(1)]).unwrap();
-        t.update(id, vec![Value::from("b"), Value::Integer(2)]).unwrap();
+        t.update(id, vec![Value::from("b"), Value::Integer(2)])
+            .unwrap();
         assert_eq!(t.lookup_pk(&[Value::from("a")]), None);
         assert_eq!(t.lookup_pk(&[Value::from("b")]), Some(id));
         // Updating into an existing key must fail.
         t.insert(vec![Value::from("c"), Value::Integer(3)]).unwrap();
-        assert!(t.update(id, vec![Value::from("c"), Value::Integer(9)]).is_err());
+        assert!(t
+            .update(id, vec![Value::from("c"), Value::Integer(9)])
+            .is_err());
     }
 
     #[test]
@@ -543,8 +607,10 @@ mod tests {
         assert_eq!(t.lookup_pk(&[Value::from("b")]), Some(1));
         // Duplicate data rejects the build.
         let mut t2 = groups_table();
-        t2.insert(vec![Value::from("a"), Value::Integer(1)]).unwrap();
-        t2.insert(vec![Value::from("a"), Value::Integer(2)]).unwrap();
+        t2.insert(vec![Value::from("a"), Value::Integer(1)])
+            .unwrap();
+        t2.insert(vec![Value::from("a"), Value::Integer(2)])
+            .unwrap();
         assert!(t2.add_pk_index(vec![0]).is_err());
     }
 }

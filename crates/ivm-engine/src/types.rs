@@ -104,7 +104,10 @@ mod tests {
             DataType::promote(DataType::Integer, DataType::Integer),
             Some(DataType::Integer)
         );
-        assert_eq!(DataType::promote(DataType::Integer, DataType::Varchar), None);
+        assert_eq!(
+            DataType::promote(DataType::Integer, DataType::Varchar),
+            None
+        );
     }
 
     #[test]

@@ -107,21 +107,20 @@ impl Value {
             (Value::Varchar(s), DataType::Double) => {
                 s.trim().parse::<f64>().ok().map(Value::Double)
             }
-            (Value::Varchar(s), DataType::Boolean) => match s.trim().to_ascii_lowercase().as_str()
-            {
-                "true" | "t" | "1" => Some(Value::Boolean(true)),
-                "false" | "f" | "0" => Some(Value::Boolean(false)),
-                _ => None,
-            },
+            (Value::Varchar(s), DataType::Boolean) => {
+                match s.trim().to_ascii_lowercase().as_str() {
+                    "true" | "t" | "1" => Some(Value::Boolean(true)),
+                    "false" | "f" | "0" => Some(Value::Boolean(false)),
+                    _ => None,
+                }
+            }
             (Value::Varchar(s), DataType::Date) => parse_date(s).map(Value::Date),
             (v, DataType::Varchar) => Some(Value::Varchar(v.to_string())),
             (Value::Date(d), DataType::Integer) => Some(Value::Integer(i64::from(*d))),
             (Value::Integer(i), DataType::Date) => i32::try_from(*i).ok().map(Value::Date),
             _ => None,
         };
-        out.ok_or_else(|| {
-            EngineError::invalid_cast(format!("cannot cast {self} to {target}"))
-        })
+        out.ok_or_else(|| EngineError::invalid_cast(format!("cannot cast {self} to {target}")))
     }
 
     /// Grouping comparison used by sorting and index keys: NULL first, then
@@ -143,6 +142,41 @@ impl Value {
             // back to a stable order by type tag for robustness.
             _ => type_rank(self).cmp(&type_rank(other)),
         }
+    }
+}
+
+/// Read-only access to one logical row, by column position.
+///
+/// Expression evaluation is generic over this trait so the same evaluator
+/// runs against materialized rows (`Vec<Value>`, slices) and against rows
+/// living inside a columnar [`crate::exec::RowBatch`] without gathering
+/// them first.
+pub trait Tuple {
+    /// The value at column `index`, or `None` when out of range.
+    fn col(&self, index: usize) -> Option<&Value>;
+}
+
+impl Tuple for [Value] {
+    fn col(&self, index: usize) -> Option<&Value> {
+        self.get(index)
+    }
+}
+
+impl<const N: usize> Tuple for [Value; N] {
+    fn col(&self, index: usize) -> Option<&Value> {
+        self.get(index)
+    }
+}
+
+impl Tuple for Vec<Value> {
+    fn col(&self, index: usize) -> Option<&Value> {
+        self.get(index)
+    }
+}
+
+impl<T: Tuple + ?Sized> Tuple for &T {
+    fn col(&self, index: usize) -> Option<&Value> {
+        (**self).col(index)
     }
 }
 
@@ -324,8 +358,14 @@ mod tests {
 
     #[test]
     fn casts() {
-        assert_eq!(Value::Integer(2).cast(DataType::Double).unwrap(), Value::Double(2.0));
-        assert_eq!(Value::Double(2.6).cast(DataType::Integer).unwrap(), Value::Integer(3));
+        assert_eq!(
+            Value::Integer(2).cast(DataType::Double).unwrap(),
+            Value::Double(2.0)
+        );
+        assert_eq!(
+            Value::Double(2.6).cast(DataType::Integer).unwrap(),
+            Value::Integer(3)
+        );
         assert_eq!(
             Value::Varchar("42".into()).cast(DataType::Integer).unwrap(),
             Value::Integer(42)
@@ -335,13 +375,21 @@ mod tests {
             Value::Varchar("7".into())
         );
         assert_eq!(Value::Null.cast(DataType::Integer).unwrap(), Value::Null);
-        assert!(Value::Varchar("xyz".into()).cast(DataType::Integer).is_err());
+        assert!(Value::Varchar("xyz".into())
+            .cast(DataType::Integer)
+            .is_err());
         assert!(Value::Double(f64::NAN).cast(DataType::Integer).is_err());
     }
 
     #[test]
     fn date_round_trip() {
-        for s in ["1970-01-01", "2024-06-09", "1969-12-31", "2000-02-29", "1582-10-15"] {
+        for s in [
+            "1970-01-01",
+            "2024-06-09",
+            "1969-12-31",
+            "2000-02-29",
+            "1582-10-15",
+        ] {
             let d = parse_date(s).unwrap();
             assert_eq!(format_date(d), s, "round trip of {s}");
         }
@@ -355,10 +403,15 @@ mod tests {
     #[test]
     fn boolean_casts() {
         assert_eq!(
-            Value::Varchar("true".into()).cast(DataType::Boolean).unwrap(),
+            Value::Varchar("true".into())
+                .cast(DataType::Boolean)
+                .unwrap(),
             Value::Boolean(true)
         );
-        assert_eq!(Value::Boolean(true).cast(DataType::Integer).unwrap(), Value::Integer(1));
+        assert_eq!(
+            Value::Boolean(true).cast(DataType::Integer).unwrap(),
+            Value::Integer(1)
+        );
     }
 
     #[test]

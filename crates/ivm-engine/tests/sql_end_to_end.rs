@@ -19,9 +19,13 @@ fn ints(result: &ivm_engine::QueryResult) -> Vec<Vec<i64>> {
 fn create_insert_select() {
     let mut db = db();
     db.execute("CREATE TABLE t (a INTEGER, b VARCHAR)").unwrap();
-    let r = db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'x')").unwrap();
+    let r = db
+        .execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'x')")
+        .unwrap();
     assert_eq!(r.rows_affected, 3);
-    let r = db.query("SELECT a FROM t WHERE b = 'x' ORDER BY a").unwrap();
+    let r = db
+        .query("SELECT a FROM t WHERE b = 'x' ORDER BY a")
+        .unwrap();
     assert_eq!(ints(&r), vec![vec![1], vec![3]]);
 }
 
@@ -41,12 +45,11 @@ fn paper_listing_2_runs_verbatim() {
     .unwrap();
 
     // Existing view state: apple→5, banana→2 (the paper's §2 example).
-    db.execute("INSERT INTO query_groups VALUES ('apple', 5), ('banana', 2)").unwrap();
+    db.execute("INSERT INTO query_groups VALUES ('apple', 5), ('banana', 2)")
+        .unwrap();
     // Deltas: remove 3 units of apple, add 1 banana.
-    db.execute(
-        "INSERT INTO delta_groups VALUES ('apple', 3, FALSE), ('banana', 1, TRUE)",
-    )
-    .unwrap();
+    db.execute("INSERT INTO delta_groups VALUES ('apple', 3, FALSE), ('banana', 1, TRUE)")
+        .unwrap();
 
     // Listing 2, statement 1: ΔT → ΔV.
     db.execute(
@@ -76,7 +79,8 @@ fn paper_listing_2_runs_verbatim() {
     .unwrap();
 
     // Listing 2, statements 3–4: cleanup.
-    db.execute("DELETE FROM query_groups WHERE total_value = 0").unwrap();
+    db.execute("DELETE FROM query_groups WHERE total_value = 0")
+        .unwrap();
     db.execute("DELETE FROM delta_query_groups").unwrap();
 
     // Expected V' from the paper: apple → 2, banana → 3.
@@ -96,7 +100,8 @@ fn paper_listing_2_runs_verbatim() {
 fn group_by_with_having_and_order() {
     let mut db = db();
     db.execute("CREATE TABLE s (g VARCHAR, v INTEGER)").unwrap();
-    db.execute("INSERT INTO s VALUES ('a',1),('a',2),('b',10),('c',1)").unwrap();
+    db.execute("INSERT INTO s VALUES ('a',1),('a',2),('b',10),('c',1)")
+        .unwrap();
     let r = db
         .query(
             "SELECT g, SUM(v) AS total, COUNT(*) AS n FROM s
@@ -121,8 +126,10 @@ fn joins_and_wildcards() {
          CREATE TABLE customers (id INTEGER, name VARCHAR);",
     )
     .unwrap();
-    db.execute("INSERT INTO orders VALUES (1, 10, 100), (2, 11, 50), (3, 99, 1)").unwrap();
-    db.execute("INSERT INTO customers VALUES (10, 'ada'), (11, 'bob')").unwrap();
+    db.execute("INSERT INTO orders VALUES (1, 10, 100), (2, 11, 50), (3, 99, 1)")
+        .unwrap();
+    db.execute("INSERT INTO customers VALUES (10, 'ada'), (11, 'bob')")
+        .unwrap();
     let r = db
         .query(
             "SELECT customers.name, orders.amount FROM orders
@@ -153,26 +160,39 @@ fn set_operations() {
     let mut db = db();
     db.execute("CREATE TABLE a (x INTEGER)").unwrap();
     db.execute("CREATE TABLE b (x INTEGER)").unwrap();
-    db.execute("INSERT INTO a VALUES (1), (2), (2), (3)").unwrap();
+    db.execute("INSERT INTO a VALUES (1), (2), (2), (3)")
+        .unwrap();
     db.execute("INSERT INTO b VALUES (2), (4)").unwrap();
-    let r = db.query("SELECT x FROM a UNION SELECT x FROM b ORDER BY x").unwrap();
+    let r = db
+        .query("SELECT x FROM a UNION SELECT x FROM b ORDER BY x")
+        .unwrap();
     assert_eq!(ints(&r), vec![vec![1], vec![2], vec![3], vec![4]]);
-    let r = db.query("SELECT x FROM a UNION ALL SELECT x FROM b").unwrap();
+    let r = db
+        .query("SELECT x FROM a UNION ALL SELECT x FROM b")
+        .unwrap();
     assert_eq!(r.rows.len(), 6);
-    let r = db.query("SELECT x FROM a EXCEPT SELECT x FROM b ORDER BY x").unwrap();
+    let r = db
+        .query("SELECT x FROM a EXCEPT SELECT x FROM b ORDER BY x")
+        .unwrap();
     assert_eq!(ints(&r), vec![vec![1], vec![3]]);
     // EXCEPT ALL is a bag difference: one 2 survives.
-    let r = db.query("SELECT x FROM a EXCEPT ALL SELECT x FROM b ORDER BY x").unwrap();
+    let r = db
+        .query("SELECT x FROM a EXCEPT ALL SELECT x FROM b ORDER BY x")
+        .unwrap();
     assert_eq!(ints(&r), vec![vec![1], vec![2], vec![3]]);
-    let r = db.query("SELECT x FROM a INTERSECT SELECT x FROM b").unwrap();
+    let r = db
+        .query("SELECT x FROM a INTERSECT SELECT x FROM b")
+        .unwrap();
     assert_eq!(ints(&r), vec![vec![2]]);
 }
 
 #[test]
 fn update_and_delete_with_predicates() {
     let mut db = db();
-    db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)").unwrap();
-    db.execute("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)").unwrap();
+    db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
+    db.execute("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)")
+        .unwrap();
     let r = db.execute("UPDATE t SET v = v + 1 WHERE k >= 2").unwrap();
     assert_eq!(r.rows_affected, 2);
     let r = db.execute("DELETE FROM t WHERE v = 21").unwrap();
@@ -186,7 +206,8 @@ fn in_subquery_predicates() {
     let mut db = db();
     db.execute("CREATE TABLE t (g VARCHAR, v INTEGER)").unwrap();
     db.execute("CREATE TABLE dirty (g VARCHAR)").unwrap();
-    db.execute("INSERT INTO t VALUES ('a',1),('b',2),('c',3)").unwrap();
+    db.execute("INSERT INTO t VALUES ('a',1),('b',2),('c',3)")
+        .unwrap();
     db.execute("INSERT INTO dirty VALUES ('a'),('c')").unwrap();
     let r = db
         .query("SELECT v FROM t WHERE g IN (SELECT g FROM dirty) ORDER BY v")
@@ -197,7 +218,8 @@ fn in_subquery_predicates() {
         .unwrap();
     assert_eq!(ints(&r), vec![vec![2]]);
     // DELETE driven by a subquery — the MIN/MAX dirty-group pattern.
-    db.execute("DELETE FROM t WHERE g IN (SELECT g FROM dirty)").unwrap();
+    db.execute("DELETE FROM t WHERE g IN (SELECT g FROM dirty)")
+        .unwrap();
     let r = db.query("SELECT COUNT(*) FROM t").unwrap();
     assert_eq!(r.scalar(), Some(&Value::Integer(1)));
 }
@@ -205,7 +227,8 @@ fn in_subquery_predicates() {
 #[test]
 fn on_conflict_do_update() {
     let mut db = db();
-    db.execute("CREATE TABLE v (k VARCHAR PRIMARY KEY, total INTEGER)").unwrap();
+    db.execute("CREATE TABLE v (k VARCHAR PRIMARY KEY, total INTEGER)")
+        .unwrap();
     db.execute("INSERT INTO v VALUES ('a', 5)").unwrap();
     db.execute(
         "INSERT INTO v VALUES ('a', 3), ('b', 1)
@@ -221,7 +244,8 @@ fn on_conflict_do_update() {
         ]
     );
     // DO NOTHING skips silently.
-    db.execute("INSERT INTO v VALUES ('a', 99) ON CONFLICT DO NOTHING").unwrap();
+    db.execute("INSERT INTO v VALUES ('a', 99) ON CONFLICT DO NOTHING")
+        .unwrap();
     let r = db.query("SELECT total FROM v WHERE k = 'a'").unwrap();
     assert_eq!(r.scalar(), Some(&Value::Integer(8)));
 }
@@ -230,8 +254,10 @@ fn on_conflict_do_update() {
 fn views_inline() {
     let mut db = db();
     db.execute("CREATE TABLE t (g VARCHAR, v INTEGER)").unwrap();
-    db.execute("INSERT INTO t VALUES ('a', 1), ('a', 2)").unwrap();
-    db.execute("CREATE VIEW sums AS SELECT g, SUM(v) AS total FROM t GROUP BY g").unwrap();
+    db.execute("INSERT INTO t VALUES ('a', 1), ('a', 2)")
+        .unwrap();
+    db.execute("CREATE VIEW sums AS SELECT g, SUM(v) AS total FROM t GROUP BY g")
+        .unwrap();
     let r = db.query("SELECT total FROM sums WHERE g = 'a'").unwrap();
     assert_eq!(r.scalar(), Some(&Value::Integer(3)));
     // Views track the base table.
@@ -244,7 +270,9 @@ fn views_inline() {
 fn materialized_view_requires_extension() {
     let mut db = db();
     db.execute("CREATE TABLE t (a INTEGER)").unwrap();
-    let err = db.execute("CREATE MATERIALIZED VIEW mv AS SELECT a FROM t").unwrap_err();
+    let err = db
+        .execute("CREATE MATERIALIZED VIEW mv AS SELECT a FROM t")
+        .unwrap_err();
     assert_eq!(err.kind(), ivm_engine::ErrorKind::Unsupported);
 }
 
@@ -252,7 +280,8 @@ fn materialized_view_requires_extension() {
 fn avg_min_max_distinct() {
     let mut db = db();
     db.execute("CREATE TABLE t (g VARCHAR, v INTEGER)").unwrap();
-    db.execute("INSERT INTO t VALUES ('a',1),('a',1),('a',4),('b',7)").unwrap();
+    db.execute("INSERT INTO t VALUES ('a',1),('a',1),('a',4),('b',7)")
+        .unwrap();
     let r = db
         .query(
             "SELECT g, AVG(v), MIN(v), MAX(v), COUNT(DISTINCT v) FROM t
@@ -278,7 +307,9 @@ fn scalar_queries_without_from() {
     let r = db.query("SELECT 1 + 2 AS three").unwrap();
     assert_eq!(r.columns, vec!["three"]);
     assert_eq!(r.scalar(), Some(&Value::Integer(3)));
-    let r = db.query("SELECT CASE WHEN TRUE THEN 'yes' ELSE 'no' END").unwrap();
+    let r = db
+        .query("SELECT CASE WHEN TRUE THEN 'yes' ELSE 'no' END")
+        .unwrap();
     assert_eq!(r.scalar(), Some(&Value::from("yes")));
 }
 
@@ -286,8 +317,11 @@ fn scalar_queries_without_from() {
 fn limit_offset() {
     let mut db = db();
     db.execute("CREATE TABLE t (v INTEGER)").unwrap();
-    db.execute("INSERT INTO t VALUES (1),(2),(3),(4),(5)").unwrap();
-    let r = db.query("SELECT v FROM t ORDER BY v LIMIT 2 OFFSET 1").unwrap();
+    db.execute("INSERT INTO t VALUES (1),(2),(3),(4),(5)")
+        .unwrap();
+    let r = db
+        .query("SELECT v FROM t ORDER BY v LIMIT 2 OFFSET 1")
+        .unwrap();
     assert_eq!(ints(&r), vec![vec![2], vec![3]]);
     let r = db.query("SELECT v FROM t ORDER BY v LIMIT 0").unwrap();
     assert!(r.rows.is_empty());
@@ -296,12 +330,18 @@ fn limit_offset() {
 #[test]
 fn insert_from_query_with_columns() {
     let mut db = db();
-    db.execute("CREATE TABLE src (a INTEGER, b INTEGER)").unwrap();
-    db.execute("CREATE TABLE dst (x INTEGER, y INTEGER, z VARCHAR)").unwrap();
+    db.execute("CREATE TABLE src (a INTEGER, b INTEGER)")
+        .unwrap();
+    db.execute("CREATE TABLE dst (x INTEGER, y INTEGER, z VARCHAR)")
+        .unwrap();
     db.execute("INSERT INTO src VALUES (1, 2)").unwrap();
-    db.execute("INSERT INTO dst (y, x) SELECT a, b FROM src").unwrap();
+    db.execute("INSERT INTO dst (y, x) SELECT a, b FROM src")
+        .unwrap();
     let r = db.query("SELECT x, y, z FROM dst").unwrap();
-    assert_eq!(r.rows, vec![vec![Value::Integer(2), Value::Integer(1), Value::Null]]);
+    assert_eq!(
+        r.rows,
+        vec![vec![Value::Integer(2), Value::Integer(1), Value::Null]]
+    );
 }
 
 #[test]
@@ -312,8 +352,14 @@ fn error_paths() {
     db.execute("CREATE TABLE t (a INTEGER)").unwrap();
     assert!(db.query("SELECT b FROM t").is_err(), "binder error");
     assert!(db.execute("INSERT INTO t VALUES (1, 2)").is_err(), "arity");
-    assert!(db.query("SELECT a, SUM(a) FROM t").is_err(), "a not grouped");
-    assert!(db.execute("CREATE TABLE t (a INTEGER)").is_err(), "duplicate table");
+    assert!(
+        db.query("SELECT a, SUM(a) FROM t").is_err(),
+        "a not grouped"
+    );
+    assert!(
+        db.execute("CREATE TABLE t (a INTEGER)").is_err(),
+        "duplicate table"
+    );
     // Division by zero at runtime.
     db.execute("INSERT INTO t VALUES (0)").unwrap();
     assert!(db.query("SELECT 1 / a FROM t").is_err());
@@ -323,7 +369,8 @@ fn error_paths() {
 fn group_by_alias_and_ordinal() {
     let mut db = db();
     db.execute("CREATE TABLE t (a INTEGER, b INTEGER)").unwrap();
-    db.execute("INSERT INTO t VALUES (1, 10), (1, 20), (2, 5)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 10), (1, 20), (2, 5)")
+        .unwrap();
     let r = db
         .query("SELECT a * 2 AS dbl, SUM(b) FROM t GROUP BY dbl ORDER BY dbl")
         .unwrap();
@@ -338,7 +385,8 @@ fn group_by_alias_and_ordinal() {
 fn distinct_rows() {
     let mut db = db();
     db.execute("CREATE TABLE t (a INTEGER, b INTEGER)").unwrap();
-    db.execute("INSERT INTO t VALUES (1,1),(1,1),(1,2)").unwrap();
+    db.execute("INSERT INTO t VALUES (1,1),(1,1),(1,2)")
+        .unwrap();
     let r = db.query("SELECT DISTINCT a, b FROM t ORDER BY b").unwrap();
     assert_eq!(ints(&r), vec![vec![1, 1], vec![1, 2]]);
 }
@@ -346,12 +394,15 @@ fn distinct_rows() {
 #[test]
 fn create_index_statements() {
     let mut db = db();
-    db.execute("CREATE TABLE v (k VARCHAR, total INTEGER)").unwrap();
-    db.execute("INSERT INTO v VALUES ('a', 1), ('b', 2)").unwrap();
+    db.execute("CREATE TABLE v (k VARCHAR, total INTEGER)")
+        .unwrap();
+    db.execute("INSERT INTO v VALUES ('a', 1), ('b', 2)")
+        .unwrap();
     // UNIQUE index on a keyless table becomes the PK (paper's
     // build-after-populate ART path) and enables INSERT OR REPLACE.
     db.execute("CREATE UNIQUE INDEX v_pk ON v (k)").unwrap();
-    db.execute("INSERT OR REPLACE INTO v VALUES ('a', 42)").unwrap();
+    db.execute("INSERT OR REPLACE INTO v VALUES ('a', 42)")
+        .unwrap();
     let r = db.query("SELECT total FROM v WHERE k = 'a'").unwrap();
     assert_eq!(r.scalar(), Some(&Value::Integer(42)));
     db.execute("CREATE INDEX v_sec ON v (total)").unwrap();

@@ -50,7 +50,10 @@ mod tests {
         let b = vec![vec![Value::Integer(1)]];
         assert!(!rows_equal_as_multisets(&a, &b), "counts matter");
         let c = vec![vec![Value::Double(1.0)], vec![Value::Integer(1)]];
-        assert!(rows_equal_as_multisets(&a, &c), "numeric widening normalized");
+        assert!(
+            rows_equal_as_multisets(&a, &c),
+            "numeric widening normalized"
+        );
         let d = vec![vec![Value::Integer(1)], vec![Value::Integer(2)]];
         assert!(!rows_equal_as_multisets(&a, &d));
     }

@@ -11,7 +11,9 @@ pub struct HtapError {
 impl HtapError {
     /// Construct an error.
     pub fn new(message: impl Into<String>) -> HtapError {
-        HtapError { message: message.into() }
+        HtapError {
+            message: message.into(),
+        }
     }
 
     /// The message.

@@ -135,8 +135,7 @@ impl HtapPipeline {
                 report.mismatched_tables.push(table);
             }
         }
-        let views: Vec<String> =
-            self.olap.views().iter().map(|v| v.name.clone()).collect();
+        let views: Vec<String> = self.olap.views().iter().map(|v| v.name.clone()).collect();
         for v in views {
             if !self.olap.check_consistency(&v)? {
                 report.mismatched_views.push(v);
@@ -152,10 +151,8 @@ mod tests {
 
     fn pipeline_with_view() -> HtapPipeline {
         let mut htap = HtapPipeline::with_defaults();
-        htap.mirror_table(
-            "CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)",
-        )
-        .unwrap();
+        htap.mirror_table("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)")
+            .unwrap();
         htap.create_materialized_view(
             "CREATE MATERIALIZED VIEW qg AS \
              SELECT group_index, SUM(group_value) AS total \
@@ -168,7 +165,8 @@ mod tests {
     #[test]
     fn basic_flow() {
         let mut htap = pipeline_with_view();
-        htap.execute_oltp("INSERT INTO groups VALUES ('a', 1), ('a', 2), ('b', 5)").unwrap();
+        htap.execute_oltp("INSERT INTO groups VALUES ('a', 1), ('a', 2), ('b', 5)")
+            .unwrap();
         let shipped = htap.sync().unwrap();
         assert_eq!(shipped, 3);
         let r = htap.query_view("qg").unwrap();
@@ -181,7 +179,8 @@ mod tests {
     fn transactional_visibility() {
         let mut htap = pipeline_with_view();
         htap.execute_oltp("BEGIN").unwrap();
-        htap.execute_oltp("INSERT INTO groups VALUES ('a', 1)").unwrap();
+        htap.execute_oltp("INSERT INTO groups VALUES ('a', 1)")
+            .unwrap();
         assert_eq!(htap.sync().unwrap(), 0, "uncommitted rows never ship");
         htap.execute_oltp("COMMIT").unwrap();
         assert_eq!(htap.sync().unwrap(), 1);
@@ -192,7 +191,8 @@ mod tests {
     fn rollback_ships_nothing() {
         let mut htap = pipeline_with_view();
         htap.execute_oltp("BEGIN").unwrap();
-        htap.execute_oltp("INSERT INTO groups VALUES ('x', 9)").unwrap();
+        htap.execute_oltp("INSERT INTO groups VALUES ('x', 9)")
+            .unwrap();
         htap.execute_oltp("ROLLBACK").unwrap();
         assert_eq!(htap.sync().unwrap(), 0);
         let r = htap.query_view("qg").unwrap();
@@ -202,9 +202,12 @@ mod tests {
     #[test]
     fn updates_and_deletes_flow_through() {
         let mut htap = pipeline_with_view();
-        htap.execute_oltp("INSERT INTO groups VALUES ('a', 1), ('b', 2)").unwrap();
-        htap.execute_oltp("UPDATE groups SET group_value = 10 WHERE group_index = 'a'").unwrap();
-        htap.execute_oltp("DELETE FROM groups WHERE group_index = 'b'").unwrap();
+        htap.execute_oltp("INSERT INTO groups VALUES ('a', 1), ('b', 2)")
+            .unwrap();
+        htap.execute_oltp("UPDATE groups SET group_value = 10 WHERE group_index = 'a'")
+            .unwrap();
+        htap.execute_oltp("DELETE FROM groups WHERE group_index = 'b'")
+            .unwrap();
         let report = htap.check_consistency().unwrap();
         assert!(report.is_consistent(), "{report:?}");
         let r = htap.query_view("qg").unwrap();
@@ -215,9 +218,11 @@ mod tests {
     #[test]
     fn ship_stats_accumulate() {
         let mut htap = pipeline_with_view();
-        htap.execute_oltp("INSERT INTO groups VALUES ('a', 1)").unwrap();
+        htap.execute_oltp("INSERT INTO groups VALUES ('a', 1)")
+            .unwrap();
         htap.sync().unwrap();
-        htap.execute_oltp("INSERT INTO groups VALUES ('b', 2)").unwrap();
+        htap.execute_oltp("INSERT INTO groups VALUES ('b', 2)")
+            .unwrap();
         htap.sync().unwrap();
         let stats = htap.ship_stats();
         assert_eq!(stats.batches, 2);

@@ -11,9 +11,7 @@ use std::collections::{BTreeMap, HashMap};
 use ivm_engine::expr::bind::{bind_expr, BindColumn, Scope};
 use ivm_engine::expr::BoundExpr;
 use ivm_engine::{Column, DataType, Schema, Value};
-use ivm_sql::ast::{
-    Expr, InsertSource, OrderByExpr, SelectItem, SetExpr, Statement, TableRef,
-};
+use ivm_sql::ast::{Expr, InsertSource, OrderByExpr, SelectItem, SetExpr, Statement, TableRef};
 use ivm_sql::parse_statement;
 
 use crate::error::OltpError;
@@ -54,9 +52,20 @@ impl OltpTable {
 /// Undo-log entry for rollback.
 #[derive(Debug)]
 enum Undo {
-    Insert { table: String, id: u64 },
-    Delete { table: String, id: u64, row: Vec<Value> },
-    Update { table: String, id: u64, old: Vec<Value> },
+    Insert {
+        table: String,
+        id: u64,
+    },
+    Delete {
+        table: String,
+        id: u64,
+        row: Vec<Value>,
+    },
+    Update {
+        table: String,
+        id: u64,
+        old: Vec<Value>,
+    },
 }
 
 /// The OLTP engine.
@@ -92,7 +101,10 @@ impl OltpEngine {
 
     /// Drain the committed changes captured for a table.
     pub fn drain_changes(&mut self, table: &str) -> Vec<ChangeRecord> {
-        self.triggers.get_mut(table).map(ChangeLog::drain).unwrap_or_default()
+        self.triggers
+            .get_mut(table)
+            .map(ChangeLog::drain)
+            .unwrap_or_default()
     }
 
     /// Committed-but-unshipped change count for a table.
@@ -245,7 +257,13 @@ impl OltpEngine {
         }
         self.tables.insert(
             name,
-            OltpTable { schema, pk, rows: BTreeMap::new(), pk_index: BTreeMap::new(), next_id: 0 },
+            OltpTable {
+                schema,
+                pk,
+                rows: BTreeMap::new(),
+                pk_index: BTreeMap::new(),
+                next_id: 0,
+            },
         );
         Ok(OltpResult::default())
     }
@@ -272,7 +290,9 @@ impl OltpEngine {
 
     fn insert(&mut self, ins: ivm_sql::ast::Insert) -> Result<OltpResult, OltpError> {
         if ins.or_replace || ins.on_conflict.is_some() {
-            return Err(OltpError::new("upserts are not supported by the OLTP engine"));
+            return Err(OltpError::new(
+                "upserts are not supported by the OLTP engine",
+            ));
         }
         let name = ins.table.normalized().to_string();
         let (schema, pk, column_map) = {
@@ -291,7 +311,9 @@ impl OltpEngine {
             (t.schema.clone(), t.pk.clone(), map)
         };
         let InsertSource::Values(rows) = &ins.source else {
-            return Err(OltpError::new("INSERT … SELECT is not supported by the OLTP engine"));
+            return Err(OltpError::new(
+                "INSERT … SELECT is not supported by the OLTP engine",
+            ));
         };
         let empty = Scope::empty();
         let mut affected = 0usize;
@@ -322,14 +344,20 @@ impl OltpEngine {
             t.next_id += 1;
             t.rows.insert(id, row.clone());
             if self.in_txn {
-                self.undo.push(Undo::Insert { table: name.clone(), id });
+                self.undo.push(Undo::Insert {
+                    table: name.clone(),
+                    id,
+                });
             }
             if let Some(log) = self.triggers.get_mut(&name) {
                 log.record(ChangeRecord::insert(row), self.in_txn);
             }
             affected += 1;
         }
-        Ok(OltpResult { rows_affected: affected, ..Default::default() })
+        Ok(OltpResult {
+            rows_affected: affected,
+            ..Default::default()
+        })
     }
 
     fn matching_rows(
@@ -390,7 +418,11 @@ impl OltpEngine {
             }
             t.rows.insert(id, new_row.clone());
             if self.in_txn {
-                self.undo.push(Undo::Update { table: name.clone(), id, old: old_row.clone() });
+                self.undo.push(Undo::Update {
+                    table: name.clone(),
+                    id,
+                    old: old_row.clone(),
+                });
             }
             if let Some(log) = self.triggers.get_mut(&name) {
                 // DBSP update = deletion of the pre-image + insertion of
@@ -399,7 +431,10 @@ impl OltpEngine {
                 log.record(ChangeRecord::insert(new_row), self.in_txn);
             }
         }
-        Ok(OltpResult { rows_affected: affected, ..Default::default() })
+        Ok(OltpResult {
+            rows_affected: affected,
+            ..Default::default()
+        })
     }
 
     fn delete(&mut self, d: ivm_sql::ast::Delete) -> Result<OltpResult, OltpError> {
@@ -413,13 +448,20 @@ impl OltpEngine {
             }
             t.rows.remove(&id);
             if self.in_txn {
-                self.undo.push(Undo::Delete { table: name.clone(), id, row: row.clone() });
+                self.undo.push(Undo::Delete {
+                    table: name.clone(),
+                    id,
+                    row: row.clone(),
+                });
             }
             if let Some(log) = self.triggers.get_mut(&name) {
                 log.record(ChangeRecord::delete(row), self.in_txn);
             }
         }
-        Ok(OltpResult { rows_affected: affected, ..Default::default() })
+        Ok(OltpResult {
+            rows_affected: affected,
+            ..Default::default()
+        })
     }
 
     /// Minimal single-table SELECT: projection, WHERE, GROUP BY with
@@ -431,13 +473,17 @@ impl OltpEngine {
             return Err(OltpError::new("CTEs are not supported by the OLTP engine"));
         }
         let SetExpr::Select(select) = &q.body else {
-            return Err(OltpError::new("set operations are not supported by the OLTP engine"));
+            return Err(OltpError::new(
+                "set operations are not supported by the OLTP engine",
+            ));
         };
         if select.from.len() != 1 {
             return Err(OltpError::new("OLTP SELECT reads exactly one table"));
         }
         let TableRef::Table { name, alias } = &select.from[0] else {
-            return Err(OltpError::new("joins/subqueries are not supported by the OLTP engine"));
+            return Err(OltpError::new(
+                "joins/subqueries are not supported by the OLTP engine",
+            ));
         };
         let tname = name.normalized().to_string();
         let qualifier = alias
@@ -481,8 +527,8 @@ impl OltpEngine {
             }
         }
 
-        let is_aggregate = !select.group_by.is_empty()
-            || items.iter().any(|(e, _)| contains_aggregate(e));
+        let is_aggregate =
+            !select.group_by.is_empty() || items.iter().any(|(e, _)| contains_aggregate(e));
         let columns: Vec<String> = items.iter().map(|(_, n)| n.clone()).collect();
         let mut out_rows = if is_aggregate {
             self.aggregate_select(&items, &select.group_by, rows, &scope)?
@@ -531,7 +577,11 @@ impl OltpEngine {
                 out_rows.truncate(limit);
             }
         }
-        Ok(OltpResult { columns, rows: out_rows, rows_affected: 0 })
+        Ok(OltpResult {
+            columns,
+            rows: out_rows,
+            rows_affected: 0,
+        })
     }
 
     fn aggregate_select(
@@ -550,13 +600,19 @@ impl OltpEngine {
         // Each item must be either a group expression or an aggregate call.
         enum Item {
             Group(usize),
-            Agg { func: String, arg: Option<BoundExpr> },
+            Agg {
+                func: String,
+                arg: Option<BoundExpr>,
+            },
         }
         let mut plan_items = Vec::new();
         for (e, _) in items {
             if let Some(i) = group_by.iter().position(|g| g == e) {
                 plan_items.push(Item::Group(i));
-            } else if let Expr::Function { name, args, star, .. } = e {
+            } else if let Expr::Function {
+                name, args, star, ..
+            } = e
+            {
                 let func = name.normalized().to_string();
                 if !matches!(func.as_str(), "sum" | "count" | "avg" | "min" | "max") {
                     return Err(OltpError::new(format!("unknown aggregate {func}")));
@@ -678,10 +734,7 @@ fn contains_aggregate(e: &Expr) -> bool {
     let mut found = false;
     e.visit(&mut |node| {
         if let Expr::Function { name, .. } = node {
-            if matches!(
-                name.normalized(),
-                "sum" | "count" | "avg" | "min" | "max"
-            ) {
+            if matches!(name.normalized(), "sum" | "count" | "avg" | "min" | "max") {
                 found = true;
             }
         }
@@ -697,17 +750,23 @@ mod tests {
         let mut e = OltpEngine::new();
         e.execute("CREATE TABLE accounts (id INTEGER PRIMARY KEY, owner VARCHAR, balance INTEGER)")
             .unwrap();
-        e.execute("INSERT INTO accounts VALUES (1, 'ada', 100), (2, 'bob', 50)").unwrap();
+        e.execute("INSERT INTO accounts VALUES (1, 'ada', 100), (2, 'bob', 50)")
+            .unwrap();
         e
     }
 
     #[test]
     fn crud_round_trip() {
         let mut e = engine();
-        let r = e.execute("SELECT id, balance FROM accounts ORDER BY id").unwrap();
+        let r = e
+            .execute("SELECT id, balance FROM accounts ORDER BY id")
+            .unwrap();
         assert_eq!(r.rows.len(), 2);
-        e.execute("UPDATE accounts SET balance = balance - 10 WHERE id = 1").unwrap();
-        let r = e.execute("SELECT balance FROM accounts WHERE id = 1").unwrap();
+        e.execute("UPDATE accounts SET balance = balance - 10 WHERE id = 1")
+            .unwrap();
+        let r = e
+            .execute("SELECT balance FROM accounts WHERE id = 1")
+            .unwrap();
         assert_eq!(r.rows[0][0], Value::Integer(90));
         e.execute("DELETE FROM accounts WHERE id = 2").unwrap();
         assert_eq!(e.row_count("accounts"), 1);
@@ -716,12 +775,19 @@ mod tests {
     #[test]
     fn primary_key_enforced() {
         let mut e = engine();
-        assert!(e.execute("INSERT INTO accounts VALUES (1, 'eve', 1)").is_err());
+        assert!(e
+            .execute("INSERT INTO accounts VALUES (1, 'eve', 1)")
+            .is_err());
         // PK change collisions rejected.
-        assert!(e.execute("UPDATE accounts SET id = 2 WHERE id = 1").is_err());
+        assert!(e
+            .execute("UPDATE accounts SET id = 2 WHERE id = 1")
+            .is_err());
         // Legal PK change maintains the index.
-        e.execute("UPDATE accounts SET id = 9 WHERE id = 1").unwrap();
-        let r = e.execute("SELECT owner FROM accounts WHERE id = 9").unwrap();
+        e.execute("UPDATE accounts SET id = 9 WHERE id = 1")
+            .unwrap();
+        let r = e
+            .execute("SELECT owner FROM accounts WHERE id = 9")
+            .unwrap();
         assert_eq!(r.rows[0][0], Value::from("ada"));
     }
 
@@ -729,11 +795,15 @@ mod tests {
     fn transactions_commit_and_rollback() {
         let mut e = engine();
         e.execute("BEGIN").unwrap();
-        e.execute("UPDATE accounts SET balance = 0 WHERE id = 1").unwrap();
+        e.execute("UPDATE accounts SET balance = 0 WHERE id = 1")
+            .unwrap();
         e.execute("DELETE FROM accounts WHERE id = 2").unwrap();
-        e.execute("INSERT INTO accounts VALUES (3, 'eve', 7)").unwrap();
+        e.execute("INSERT INTO accounts VALUES (3, 'eve', 7)")
+            .unwrap();
         e.execute("ROLLBACK").unwrap();
-        let r = e.execute("SELECT id, balance FROM accounts ORDER BY id").unwrap();
+        let r = e
+            .execute("SELECT id, balance FROM accounts ORDER BY id")
+            .unwrap();
         assert_eq!(
             r.rows,
             vec![
@@ -742,7 +812,8 @@ mod tests {
             ]
         );
         e.execute("BEGIN").unwrap();
-        e.execute("INSERT INTO accounts VALUES (3, 'eve', 7)").unwrap();
+        e.execute("INSERT INTO accounts VALUES (3, 'eve', 7)")
+            .unwrap();
         e.execute("COMMIT").unwrap();
         assert_eq!(e.row_count("accounts"), 3);
         assert!(e.execute("COMMIT").is_err(), "no open txn");
@@ -753,15 +824,18 @@ mod tests {
         let mut e = engine();
         e.create_capture_trigger("accounts").unwrap();
         e.execute("BEGIN").unwrap();
-        e.execute("INSERT INTO accounts VALUES (3, 'eve', 7)").unwrap();
+        e.execute("INSERT INTO accounts VALUES (3, 'eve', 7)")
+            .unwrap();
         assert_eq!(e.pending_changes("accounts"), 0, "uncommitted invisible");
         e.execute("ROLLBACK").unwrap();
         assert_eq!(e.pending_changes("accounts"), 0);
         assert_eq!(e.row_count("accounts"), 2);
 
-        e.execute("INSERT INTO accounts VALUES (4, 'dan', 9)").unwrap();
+        e.execute("INSERT INTO accounts VALUES (4, 'dan', 9)")
+            .unwrap();
         assert_eq!(e.pending_changes("accounts"), 1, "autocommit captures");
-        e.execute("UPDATE accounts SET balance = 10 WHERE id = 4").unwrap();
+        e.execute("UPDATE accounts SET balance = 10 WHERE id = 4")
+            .unwrap();
         let changes = e.drain_changes("accounts");
         // insert + (delete + insert) from the update.
         assert_eq!(changes.len(), 3);
@@ -774,7 +848,8 @@ mod tests {
     #[test]
     fn naive_aggregates_work() {
         let mut e = engine();
-        e.execute("INSERT INTO accounts VALUES (3, 'ada', 10)").unwrap();
+        e.execute("INSERT INTO accounts VALUES (3, 'ada', 10)")
+            .unwrap();
         let r = e
             .execute(
                 "SELECT owner, SUM(balance) AS total, COUNT(*) AS n FROM accounts \
@@ -788,7 +863,9 @@ mod tests {
                 vec![Value::from("bob"), Value::Integer(50), Value::Integer(1)],
             ]
         );
-        let r = e.execute("SELECT MIN(balance), MAX(balance), AVG(balance) FROM accounts").unwrap();
+        let r = e
+            .execute("SELECT MIN(balance), MAX(balance), AVG(balance) FROM accounts")
+            .unwrap();
         assert_eq!(r.rows[0][0], Value::Integer(10));
         assert_eq!(r.rows[0][1], Value::Integer(100));
     }
@@ -796,15 +873,20 @@ mod tests {
     #[test]
     fn unsupported_features_error() {
         let mut e = engine();
-        assert!(e.execute("SELECT * FROM accounts a JOIN accounts b ON a.id = b.id").is_err());
-        assert!(e.execute("INSERT OR REPLACE INTO accounts VALUES (1, 'x', 1)").is_err());
+        assert!(e
+            .execute("SELECT * FROM accounts a JOIN accounts b ON a.id = b.id")
+            .is_err());
+        assert!(e
+            .execute("INSERT OR REPLACE INTO accounts VALUES (1, 'x', 1)")
+            .is_err());
         assert!(e.execute("SELECT 1 UNION SELECT 2").is_err());
     }
 
     #[test]
     fn not_null_and_arity() {
         let mut e = OltpEngine::new();
-        e.execute("CREATE TABLE t (a INTEGER NOT NULL, b VARCHAR)").unwrap();
+        e.execute("CREATE TABLE t (a INTEGER NOT NULL, b VARCHAR)")
+            .unwrap();
         assert!(e.execute("INSERT INTO t VALUES (NULL, 'x')").is_err());
         assert!(e.execute("INSERT INTO t VALUES (1)").is_err());
         e.execute("INSERT INTO t (a) VALUES (1)").unwrap();

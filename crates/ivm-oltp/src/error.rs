@@ -11,7 +11,9 @@ pub struct OltpError {
 impl OltpError {
     /// Construct an error.
     pub fn new(message: impl Into<String>) -> OltpError {
-        OltpError { message: message.into() }
+        OltpError {
+            message: message.into(),
+        }
     }
 
     /// The message.

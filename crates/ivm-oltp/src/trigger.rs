@@ -21,12 +21,18 @@ pub struct ChangeRecord {
 impl ChangeRecord {
     /// Insertion record.
     pub fn insert(row: Vec<Value>) -> ChangeRecord {
-        ChangeRecord { row, insertion: true }
+        ChangeRecord {
+            row,
+            insertion: true,
+        }
     }
 
     /// Deletion record.
     pub fn delete(row: Vec<Value>) -> ChangeRecord {
-        ChangeRecord { row, insertion: false }
+        ChangeRecord {
+            row,
+            insertion: false,
+        }
     }
 }
 

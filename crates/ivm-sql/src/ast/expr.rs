@@ -13,12 +13,21 @@ pub enum Expr {
     /// A (possibly qualified) column reference, e.g. `t.total_value`.
     Column(ColumnRef),
     /// Binary operation, e.g. `a + b`, `x AND y`.
-    Binary { left: Box<Expr>, op: BinaryOp, right: Box<Expr> },
+    Binary {
+        left: Box<Expr>,
+        op: BinaryOp,
+        right: Box<Expr>,
+    },
     /// Unary operation, e.g. `-x`, `NOT p`.
     Unary { op: UnaryOp, expr: Box<Expr> },
     /// Function call: scalar (`COALESCE`, `ABS`, …) or aggregate
     /// (`SUM`, `COUNT`, …). `COUNT(*)` is a call with `star == true`.
-    Function { name: Ident, args: Vec<Expr>, distinct: bool, star: bool },
+    Function {
+        name: Ident,
+        args: Vec<Expr>,
+        distinct: bool,
+        star: bool,
+    },
     /// `CASE [operand] WHEN … THEN … [ELSE …] END`.
     Case {
         operand: Option<Box<Expr>>,
@@ -30,29 +39,52 @@ pub enum Expr {
     /// `expr IS [NOT] NULL`.
     IsNull { expr: Box<Expr>, negated: bool },
     /// `expr [NOT] IN (e1, e2, …)`.
-    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
     /// `expr [NOT] IN (SELECT …)` — uncorrelated subquery membership.
     /// OpenIVM's MIN/MAX maintenance emits this to recompute dirty groups.
-    InSubquery { expr: Box<Expr>, query: Box<crate::ast::Query>, negated: bool },
+    InSubquery {
+        expr: Box<Expr>,
+        query: Box<crate::ast::Query>,
+        negated: bool,
+    },
     /// `expr [NOT] BETWEEN low AND high`.
-    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
     /// `expr [NOT] LIKE pattern`.
     ///
     /// Parentheses are not represented: the parser encodes grouping in the
     /// tree shape and the printer re-derives parentheses from operator
     /// precedence, so `parse(print(ast)) == ast` for every tree.
-    Like { expr: Box<Expr>, pattern: Box<Expr>, negated: bool },
+    Like {
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+    },
 }
 
 impl Expr {
     /// Convenience constructor for an unqualified column reference.
     pub fn col(name: impl Into<String>) -> Expr {
-        Expr::Column(ColumnRef { table: None, column: Ident::new(name) })
+        Expr::Column(ColumnRef {
+            table: None,
+            column: Ident::new(name),
+        })
     }
 
     /// Convenience constructor for a qualified column reference.
     pub fn qcol(table: impl Into<String>, name: impl Into<String>) -> Expr {
-        Expr::Column(ColumnRef { table: Some(Ident::new(table)), column: Ident::new(name) })
+        Expr::Column(ColumnRef {
+            table: Some(Ident::new(table)),
+            column: Ident::new(name),
+        })
     }
 
     /// Convenience constructor for an integer literal.
@@ -72,12 +104,20 @@ impl Expr {
 
     /// Build `self = other`.
     pub fn eq(self, other: Expr) -> Expr {
-        Expr::Binary { left: Box::new(self), op: BinaryOp::Eq, right: Box::new(other) }
+        Expr::Binary {
+            left: Box::new(self),
+            op: BinaryOp::Eq,
+            right: Box::new(other),
+        }
     }
 
     /// Build `self AND other`.
     pub fn and(self, other: Expr) -> Expr {
-        Expr::Binary { left: Box::new(self), op: BinaryOp::And, right: Box::new(other) }
+        Expr::Binary {
+            left: Box::new(self),
+            op: BinaryOp::And,
+            right: Box::new(other),
+        }
     }
 
     /// Walk the expression tree, invoking `f` on every node (pre-order).
@@ -95,7 +135,11 @@ impl Expr {
                     a.visit(f);
                 }
             }
-            Expr::Case { operand, branches, else_result } => {
+            Expr::Case {
+                operand,
+                branches,
+                else_result,
+            } => {
                 if let Some(op) = operand {
                     op.visit(f);
                 }
@@ -115,7 +159,9 @@ impl Expr {
                 }
             }
             Expr::InSubquery { expr, .. } => expr.visit(f),
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 expr.visit(f);
                 low.visit(f);
                 high.visit(f);
@@ -308,9 +354,13 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let e = Expr::col("a").eq(Expr::int(1)).and(Expr::qcol("t", "b").eq(Expr::string("x")));
+        let e = Expr::col("a")
+            .eq(Expr::int(1))
+            .and(Expr::qcol("t", "b").eq(Expr::string("x")));
         match &e {
-            Expr::Binary { op: BinaryOp::And, .. } => {}
+            Expr::Binary {
+                op: BinaryOp::And, ..
+            } => {}
             other => panic!("unexpected: {other:?}"),
         }
     }

@@ -9,7 +9,7 @@ mod stmt;
 
 pub use expr::{BinaryOp, ColumnRef, Expr, Literal, TypeName, UnaryOp};
 pub use stmt::{
-    Assignment, ColumnDef, ConflictAction, CreateIndex, CreateTable, CreateView, Cte, Delete,
-    Drop, DropKind, Insert, InsertSource, JoinKind, OnConflict, OrderByExpr, Query, Select,
-    SelectItem, SetExpr, SetOp, Statement, TableRef, Update,
+    Assignment, ColumnDef, ConflictAction, CreateIndex, CreateTable, CreateView, Cte, Delete, Drop,
+    DropKind, Insert, InsertSource, JoinKind, OnConflict, OrderByExpr, Query, Select, SelectItem,
+    SetExpr, SetOp, Statement, TableRef, Update,
 };

@@ -264,7 +264,12 @@ pub enum SetExpr {
     /// A plain SELECT block.
     Select(Box<Select>),
     /// A set operation over two bodies.
-    SetOp { op: SetOp, all: bool, left: Box<SetExpr>, right: Box<SetExpr> },
+    SetOp {
+        op: SetOp,
+        all: bool,
+        left: Box<SetExpr>,
+        right: Box<SetExpr>,
+    },
 }
 
 /// Set operations between selects.
@@ -340,7 +345,10 @@ impl SelectItem {
 
     /// `expr AS alias`.
     pub fn aliased(expr: Expr, alias: impl Into<Ident>) -> SelectItem {
-        SelectItem::Expr { expr, alias: Some(alias.into()) }
+        SelectItem::Expr {
+            expr,
+            alias: Some(alias.into()),
+        }
     }
 }
 
@@ -364,12 +372,18 @@ pub enum TableRef {
 impl TableRef {
     /// Plain table reference without alias.
     pub fn table(name: impl Into<Ident>) -> TableRef {
-        TableRef::Table { name: name.into(), alias: None }
+        TableRef::Table {
+            name: name.into(),
+            alias: None,
+        }
     }
 
     /// Table reference with alias.
     pub fn aliased(name: impl Into<Ident>, alias: impl Into<Ident>) -> TableRef {
-        TableRef::Table { name: name.into(), alias: Some(alias.into()) }
+        TableRef::Table {
+            name: name.into(),
+            alias: Some(alias.into()),
+        }
     }
 }
 
@@ -425,7 +439,10 @@ mod tests {
             having: None,
         });
         let outer = Query {
-            ctes: vec![Cte { name: Ident::new("c"), query: Box::new(inner) }],
+            ctes: vec![Cte {
+                name: Ident::new("c"),
+                query: Box::new(inner),
+            }],
             body: SetExpr::Select(Box::new(Select {
                 distinct: false,
                 projection: vec![SelectItem::Wildcard],

@@ -19,11 +19,19 @@ enum SqlErrorKind {
 
 impl SqlError {
     pub(crate) fn lex(message: impl Into<String>, offset: usize) -> Self {
-        SqlError { kind: SqlErrorKind::Lex, message: message.into(), offset: Some(offset) }
+        SqlError {
+            kind: SqlErrorKind::Lex,
+            message: message.into(),
+            offset: Some(offset),
+        }
     }
 
     pub(crate) fn parse(message: impl Into<String>, offset: usize) -> Self {
-        SqlError { kind: SqlErrorKind::Parse, message: message.into(), offset: Some(offset) }
+        SqlError {
+            kind: SqlErrorKind::Parse,
+            message: message.into(),
+            offset: Some(offset),
+        }
     }
 
     /// Byte offset of the error in the input, when known.

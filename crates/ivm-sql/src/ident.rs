@@ -18,12 +18,18 @@ impl Ident {
     /// An unquoted identifier; normalized to lower case.
     pub fn new(value: impl Into<String>) -> Self {
         let v: String = value.into();
-        Ident { value: v.to_lowercase(), quoted: false }
+        Ident {
+            value: v.to_lowercase(),
+            quoted: false,
+        }
     }
 
     /// A quoted identifier; spelling preserved verbatim.
     pub fn quoted(value: impl Into<String>) -> Self {
-        Ident { value: value.into(), quoted: true }
+        Ident {
+            value: value.into(),
+            quoted: true,
+        }
     }
 
     /// The normalized name used for catalog lookups.

@@ -21,7 +21,12 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src, bytes: src.as_bytes(), pos: 0, out: Vec::new() }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            out: Vec::new(),
+        }
     }
 
     fn run(mut self) -> Result<Vec<Token>, SqlError> {
@@ -37,14 +42,15 @@ impl<'a> Lexer<'a> {
                 b'\'' => self.lex_string(start)?,
                 b'"' => self.lex_quoted_ident(start)?,
                 b'0'..=b'9' => self.lex_number(start),
-                b'.' if self.peek(1).is_some_and(|c| c.is_ascii_digit()) => {
-                    self.lex_number(start)
-                }
+                b'.' if self.peek(1).is_some_and(|c| c.is_ascii_digit()) => self.lex_number(start),
                 _ if b == b'_' || (b as char).is_ascii_alphabetic() => self.lex_word(start),
                 _ => self.lex_operator(start)?,
             }
         }
-        self.out.push(Token { kind: TokenKind::Eof, offset: self.src.len() });
+        self.out.push(Token {
+            kind: TokenKind::Eof,
+            offset: self.src.len(),
+        });
         Ok(self.out)
     }
 
@@ -212,7 +218,10 @@ impl<'a> Lexer<'a> {
             b';' => (TokenKind::Semicolon, 1),
             _ => {
                 return Err(SqlError::lex(
-                    format!("unexpected character {:?}", self.src[start..].chars().next().unwrap()),
+                    format!(
+                        "unexpected character {:?}",
+                        self.src[start..].chars().next().unwrap()
+                    ),
                     start,
                 ))
             }
@@ -268,7 +277,11 @@ mod tests {
         // `1e` is not an exponent; it lexes as number then identifier.
         assert_eq!(
             kinds("1e"),
-            vec![TokenKind::Number("1".into()), TokenKind::Ident("e".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Number("1".into()),
+                TokenKind::Ident("e".into()),
+                TokenKind::Eof
+            ]
         );
     }
 
@@ -285,7 +298,10 @@ mod tests {
     fn lex_quoted_identifiers() {
         assert_eq!(
             kinds(r#""My ""Table""""#),
-            vec![TokenKind::QuotedIdent("My \"Table\"".into()), TokenKind::Eof]
+            vec![
+                TokenKind::QuotedIdent("My \"Table\"".into()),
+                TokenKind::Eof
+            ]
         );
     }
 

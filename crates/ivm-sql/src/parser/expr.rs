@@ -47,8 +47,12 @@ impl Parser {
             {
                 Some(4)
             }
-            TokenKind::Eq | TokenKind::NotEq | TokenKind::Lt | TokenKind::LtEq
-            | TokenKind::Gt | TokenKind::GtEq => Some(4),
+            TokenKind::Eq
+            | TokenKind::NotEq
+            | TokenKind::Lt
+            | TokenKind::LtEq
+            | TokenKind::Gt
+            | TokenKind::GtEq => Some(4),
             TokenKind::StringConcat => Some(BinaryOp::Concat.precedence()),
             TokenKind::Plus | TokenKind::Minus => Some(BinaryOp::Plus.precedence()),
             TokenKind::Star | TokenKind::Slash | TokenKind::Percent => {
@@ -63,7 +67,10 @@ impl Parser {
         if self.eat_kw(Keyword::Is) {
             let negated = self.eat_kw(Keyword::Not);
             self.expect_kw(Keyword::Null)?;
-            return Ok(Expr::IsNull { expr: Box::new(lhs), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            });
         }
         let negated = if self.check_kw(Keyword::Not)
             && matches!(
@@ -90,7 +97,11 @@ impl Parser {
             }
             let list = self.parse_comma_separated(|p| p.parse_expr())?;
             self.expect_token(&TokenKind::RParen)?;
-            return Ok(Expr::InList { expr: Box::new(lhs), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(lhs),
+                list,
+                negated,
+            });
         }
         if self.eat_kw(Keyword::Between) {
             // BETWEEN bounds bind tighter than comparisons (and AND): a
@@ -107,7 +118,11 @@ impl Parser {
         }
         if self.eat_kw(Keyword::Like) {
             let pattern = self.parse_subexpr(4)?;
-            return Ok(Expr::Like { expr: Box::new(lhs), pattern: Box::new(pattern), negated });
+            return Ok(Expr::Like {
+                expr: Box::new(lhs),
+                pattern: Box::new(pattern),
+                negated,
+            });
         }
 
         let op = match self.advance() {
@@ -133,7 +148,11 @@ impl Parser {
             }
         };
         let rhs = self.parse_subexpr(prec)?;
-        Ok(Expr::Binary { left: Box::new(lhs), op, right: Box::new(rhs) })
+        Ok(Expr::Binary {
+            left: Box::new(lhs),
+            op,
+            right: Box::new(rhs),
+        })
     }
 
     fn parse_prefix(&mut self) -> Result<Expr, SqlError> {
@@ -141,17 +160,26 @@ impl Parser {
             TokenKind::Keyword(Keyword::Not) => {
                 self.advance();
                 let expr = self.parse_subexpr(NOT_PREC)?;
-                Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(expr) })
+                Ok(Expr::Unary {
+                    op: UnaryOp::Not,
+                    expr: Box::new(expr),
+                })
             }
             TokenKind::Minus => {
                 self.advance();
                 let expr = self.parse_subexpr(8)?;
-                Ok(Expr::Unary { op: UnaryOp::Minus, expr: Box::new(expr) })
+                Ok(Expr::Unary {
+                    op: UnaryOp::Minus,
+                    expr: Box::new(expr),
+                })
             }
             TokenKind::Plus => {
                 self.advance();
                 let expr = self.parse_subexpr(8)?;
-                Ok(Expr::Unary { op: UnaryOp::Plus, expr: Box::new(expr) })
+                Ok(Expr::Unary {
+                    op: UnaryOp::Plus,
+                    expr: Box::new(expr),
+                })
             }
             TokenKind::Number(n) => {
                 self.advance();
@@ -218,7 +246,12 @@ impl Parser {
             let distinct = self.eat_kw(Keyword::Distinct);
             if self.eat_token(&TokenKind::Star) {
                 self.expect_token(&TokenKind::RParen)?;
-                return Ok(Expr::Function { name: first, args: vec![], distinct, star: true });
+                return Ok(Expr::Function {
+                    name: first,
+                    args: vec![],
+                    distinct,
+                    star: true,
+                });
             }
             let args = if self.check_token(&TokenKind::RParen) {
                 vec![]
@@ -226,14 +259,25 @@ impl Parser {
                 self.parse_comma_separated(|p| p.parse_expr())?
             };
             self.expect_token(&TokenKind::RParen)?;
-            return Ok(Expr::Function { name: first, args, distinct, star: false });
+            return Ok(Expr::Function {
+                name: first,
+                args,
+                distinct,
+                star: false,
+            });
         }
         if self.check_token(&TokenKind::Dot) && !matches!(self.peek_ahead(1), TokenKind::Star) {
             self.advance();
             let column = self.parse_ident()?;
-            return Ok(Expr::Column(ColumnRef { table: Some(first), column }));
+            return Ok(Expr::Column(ColumnRef {
+                table: Some(first),
+                column,
+            }));
         }
-        Ok(Expr::Column(ColumnRef { table: None, column: first }))
+        Ok(Expr::Column(ColumnRef {
+            table: None,
+            column: first,
+        }))
     }
 
     fn parse_case(&mut self) -> Result<Expr, SqlError> {
@@ -259,7 +303,11 @@ impl Parser {
             None
         };
         self.expect_kw(Keyword::End)?;
-        Ok(Expr::Case { operand, branches, else_result })
+        Ok(Expr::Case {
+            operand,
+            branches,
+            else_result,
+        })
     }
 
     fn parse_cast(&mut self) -> Result<Expr, SqlError> {
@@ -269,7 +317,10 @@ impl Parser {
         self.expect_kw(Keyword::As)?;
         let ty = self.parse_type_name()?;
         self.expect_token(&TokenKind::RParen)?;
-        Ok(Expr::Cast { expr: Box::new(expr), ty })
+        Ok(Expr::Cast {
+            expr: Box::new(expr),
+            ty,
+        })
     }
 
     /// Parse a type name in DDL or CAST position.
@@ -311,8 +362,8 @@ impl Parser {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::parse_statement;
     use crate::ast::Statement;
+    use crate::parser::parse_statement;
 
     fn expr(sql: &str) -> Expr {
         let stmt = parse_statement(&format!("SELECT {sql}")).unwrap();
@@ -349,8 +400,18 @@ mod tests {
         // a OR b AND c  ==  a OR (b AND c)
         let e = expr("a OR b AND c");
         match e {
-            Expr::Binary { op: BinaryOp::Or, right, .. } => {
-                assert!(matches!(*right, Expr::Binary { op: BinaryOp::And, .. }));
+            Expr::Binary {
+                op: BinaryOp::Or,
+                right,
+                ..
+            } => {
+                assert!(matches!(
+                    *right,
+                    Expr::Binary {
+                        op: BinaryOp::And,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -361,8 +422,17 @@ mod tests {
         // NOT a = b  ==  NOT (a = b)
         let e = expr("NOT a = b");
         match e {
-            Expr::Unary { op: UnaryOp::Not, expr } => {
-                assert!(matches!(*expr, Expr::Binary { op: BinaryOp::Eq, .. }));
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr,
+            } => {
+                assert!(matches!(
+                    *expr,
+                    Expr::Binary {
+                        op: BinaryOp::Eq,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -372,7 +442,11 @@ mod tests {
     fn case_with_operand_and_else() {
         let e = expr("CASE x WHEN 1 THEN 'a' WHEN 2 THEN 'b' ELSE 'c' END");
         match e {
-            Expr::Case { operand: Some(_), branches, else_result: Some(_) } => {
+            Expr::Case {
+                operand: Some(_),
+                branches,
+                else_result: Some(_),
+            } => {
                 assert_eq!(branches.len(), 2);
             }
             other => panic!("unexpected {other:?}"),
@@ -383,7 +457,11 @@ mod tests {
     fn searched_case_without_else() {
         let e = expr("CASE WHEN m = FALSE THEN -v ELSE v END");
         match e {
-            Expr::Case { operand: None, branches, else_result: Some(_) } => {
+            Expr::Case {
+                operand: None,
+                branches,
+                else_result: Some(_),
+            } => {
                 assert_eq!(branches.len(), 1);
             }
             other => panic!("unexpected {other:?}"),
@@ -403,7 +481,12 @@ mod tests {
         );
         assert_eq!(
             expr("COUNT(*)"),
-            Expr::Function { name: Ident::new("count"), args: vec![], distinct: false, star: true }
+            Expr::Function {
+                name: Ident::new("count"),
+                args: vec![],
+                distinct: false,
+                star: true
+            }
         );
         assert_eq!(
             expr("COUNT(DISTINCT x)"),
@@ -428,40 +511,79 @@ mod tests {
     #[test]
     fn qualified_columns() {
         assert_eq!(expr("t.c"), Expr::qcol("t", "c"));
-        assert_eq!(expr("\"T\".\"C\""), Expr::Column(ColumnRef {
-            table: Some(Ident::quoted("T")),
-            column: Ident::quoted("C"),
-        }));
+        assert_eq!(
+            expr("\"T\".\"C\""),
+            Expr::Column(ColumnRef {
+                table: Some(Ident::quoted("T")),
+                column: Ident::quoted("C"),
+            })
+        );
     }
 
     #[test]
     fn is_null_and_in_and_between_and_like() {
-        assert!(matches!(expr("x IS NULL"), Expr::IsNull { negated: false, .. }));
-        assert!(matches!(expr("x IS NOT NULL"), Expr::IsNull { negated: true, .. }));
-        assert!(matches!(expr("x IN (1, 2)"), Expr::InList { negated: false, .. }));
-        assert!(matches!(expr("x NOT IN (1)"), Expr::InList { negated: true, .. }));
-        assert!(matches!(expr("x BETWEEN 1 AND 2"), Expr::Between { negated: false, .. }));
-        assert!(matches!(expr("x NOT BETWEEN 1 AND 2"), Expr::Between { negated: true, .. }));
-        assert!(matches!(expr("x LIKE 'a%'"), Expr::Like { negated: false, .. }));
-        assert!(matches!(expr("x NOT LIKE 'a%'"), Expr::Like { negated: true, .. }));
+        assert!(matches!(
+            expr("x IS NULL"),
+            Expr::IsNull { negated: false, .. }
+        ));
+        assert!(matches!(
+            expr("x IS NOT NULL"),
+            Expr::IsNull { negated: true, .. }
+        ));
+        assert!(matches!(
+            expr("x IN (1, 2)"),
+            Expr::InList { negated: false, .. }
+        ));
+        assert!(matches!(
+            expr("x NOT IN (1)"),
+            Expr::InList { negated: true, .. }
+        ));
+        assert!(matches!(
+            expr("x BETWEEN 1 AND 2"),
+            Expr::Between { negated: false, .. }
+        ));
+        assert!(matches!(
+            expr("x NOT BETWEEN 1 AND 2"),
+            Expr::Between { negated: true, .. }
+        ));
+        assert!(matches!(
+            expr("x LIKE 'a%'"),
+            Expr::Like { negated: false, .. }
+        ));
+        assert!(matches!(
+            expr("x NOT LIKE 'a%'"),
+            Expr::Like { negated: true, .. }
+        ));
     }
 
     #[test]
     fn between_and_binds_to_between() {
         // The AND after BETWEEN belongs to BETWEEN, outer AND still works.
         let e = expr("x BETWEEN 1 AND 2 AND y");
-        assert!(matches!(e, Expr::Binary { op: BinaryOp::And, .. }));
+        assert!(matches!(
+            e,
+            Expr::Binary {
+                op: BinaryOp::And,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn cast_parses() {
         assert_eq!(
             expr("CAST(x AS DOUBLE PRECISION)"),
-            Expr::Cast { expr: Box::new(Expr::col("x")), ty: TypeName::Double }
+            Expr::Cast {
+                expr: Box::new(Expr::col("x")),
+                ty: TypeName::Double
+            }
         );
         assert_eq!(
             expr("CAST(x AS VARCHAR(10))"),
-            Expr::Cast { expr: Box::new(Expr::col("x")), ty: TypeName::Varchar }
+            Expr::Cast {
+                expr: Box::new(Expr::col("x")),
+                ty: TypeName::Varchar
+            }
         );
     }
 
@@ -485,7 +607,13 @@ mod tests {
     fn unary_minus_tighter_than_mul() {
         // -x * y parses as (-x) * y
         let e = expr("-x * y");
-        assert!(matches!(e, Expr::Binary { op: BinaryOp::Multiply, .. }));
+        assert!(matches!(
+            e,
+            Expr::Binary {
+                op: BinaryOp::Multiply,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -493,8 +621,18 @@ mod tests {
         let e = expr("a || b || c");
         // Left-associative chain.
         match e {
-            Expr::Binary { op: BinaryOp::Concat, left, .. } => {
-                assert!(matches!(*left, Expr::Binary { op: BinaryOp::Concat, .. }));
+            Expr::Binary {
+                op: BinaryOp::Concat,
+                left,
+                ..
+            } => {
+                assert!(matches!(
+                    *left,
+                    Expr::Binary {
+                        op: BinaryOp::Concat,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }

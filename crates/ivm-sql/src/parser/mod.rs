@@ -17,7 +17,10 @@ pub fn parse_statement(sql: &str) -> Result<Statement, SqlError> {
     match stmts.len() {
         1 => Ok(stmts.pop().expect("checked length")),
         0 => Err(SqlError::parse("empty statement", 0)),
-        n => Err(SqlError::parse(format!("expected one statement, found {n}"), 0)),
+        n => Err(SqlError::parse(
+            format!("expected one statement, found {n}"),
+            0,
+        )),
     }
 }
 

@@ -1,8 +1,6 @@
 //! Query / SELECT parsing.
 
-use crate::ast::{
-    Cte, JoinKind, OrderByExpr, Query, Select, SelectItem, SetExpr, SetOp, TableRef,
-};
+use crate::ast::{Cte, JoinKind, OrderByExpr, Query, Select, SelectItem, SetExpr, SetOp, TableRef};
 use crate::error::SqlError;
 use crate::parser::Parser;
 use crate::token::{Keyword, TokenKind};
@@ -18,7 +16,10 @@ impl Parser {
                 p.expect_token(&TokenKind::LParen)?;
                 let query = p.parse_query()?;
                 p.expect_token(&TokenKind::RParen)?;
-                Ok(Cte { name, query: Box::new(query) })
+                Ok(Cte {
+                    name,
+                    query: Box::new(query),
+                })
             })?;
         }
         let body = self.parse_set_expr()?;
@@ -44,7 +45,13 @@ impl Parser {
         if self.eat_kw(Keyword::Offset) {
             offset = Some(self.parse_expr()?);
         }
-        Ok(Query { ctes, body, order_by, limit, offset })
+        Ok(Query {
+            ctes,
+            body,
+            order_by,
+            limit,
+            offset,
+        })
     }
 
     /// Parse a set expression with left-associative UNION/EXCEPT/INTERSECT.
@@ -62,7 +69,12 @@ impl Parser {
             self.advance();
             let all = self.eat_kw(Keyword::All);
             let right = self.parse_intersect_operand()?;
-            left = SetExpr::SetOp { op, all, left: Box::new(left), right: Box::new(right) };
+            left = SetExpr::SetOp {
+                op,
+                all,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -103,14 +115,29 @@ impl Parser {
         if self.eat_kw(Keyword::From) {
             from = self.parse_comma_separated(|p| p.parse_table_ref())?;
         }
-        let selection = if self.eat_kw(Keyword::Where) { Some(self.parse_expr()?) } else { None };
+        let selection = if self.eat_kw(Keyword::Where) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.eat_kw(Keyword::Group) {
             self.expect_kw(Keyword::By)?;
             group_by = self.parse_comma_separated(|p| p.parse_expr())?;
         }
-        let having = if self.eat_kw(Keyword::Having) { Some(self.parse_expr()?) } else { None };
-        Ok(Select { distinct, projection, from, selection, group_by, having })
+        let having = if self.eat_kw(Keyword::Having) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            projection,
+            from,
+            selection,
+            group_by,
+            having,
+        })
     }
 
     fn parse_select_item(&mut self) -> Result<SelectItem, SqlError> {
@@ -131,7 +158,11 @@ impl Parser {
         // `AS alias` or a bare alias: `SELECT x total FROM t`.
         let has_alias = self.eat_kw(Keyword::As)
             || matches!(self.peek(), TokenKind::Ident(_) | TokenKind::QuotedIdent(_));
-        let alias = if has_alias { Some(self.parse_ident()?) } else { None };
+        let alias = if has_alias {
+            Some(self.parse_ident()?)
+        } else {
+            None
+        };
         Ok(SelectItem::Expr { expr, alias })
     }
 
@@ -202,7 +233,10 @@ impl Parser {
                 self.expect_token(&TokenKind::RParen)?;
                 self.eat_kw(Keyword::As);
                 let alias = self.parse_ident()?;
-                return Ok(TableRef::Subquery { query: Box::new(query), alias });
+                return Ok(TableRef::Subquery {
+                    query: Box::new(query),
+                    alias,
+                });
             }
             if is_query {
                 // Deeper nesting: a parenthesised set expression, e.g.
@@ -212,7 +246,10 @@ impl Parser {
                 let query = self.parse_query()?;
                 self.eat_kw(Keyword::As);
                 let alias = self.parse_ident()?;
-                return Ok(TableRef::Subquery { query: Box::new(query), alias });
+                return Ok(TableRef::Subquery {
+                    query: Box::new(query),
+                    alias,
+                });
             }
             self.advance();
             let inner = self.parse_table_ref()?;
@@ -223,7 +260,11 @@ impl Parser {
         // `AS alias` or a bare alias.
         let has_alias = self.eat_kw(Keyword::As)
             || matches!(self.peek(), TokenKind::Ident(_) | TokenKind::QuotedIdent(_));
-        let alias = if has_alias { Some(self.parse_ident()?) } else { None };
+        let alias = if has_alias {
+            Some(self.parse_ident()?)
+        } else {
+            None
+        };
         Ok(TableRef::Table { name, alias })
     }
 }
@@ -291,8 +332,20 @@ mod tests {
         let q = query("SELECT a FROM t UNION ALL SELECT a FROM u EXCEPT SELECT a FROM v");
         // Left-associative: (t UNION ALL u) EXCEPT v
         match q.body {
-            SetExpr::SetOp { op: SetOp::Except, all: false, left, .. } => {
-                assert!(matches!(*left, SetExpr::SetOp { op: SetOp::Union, all: true, .. }));
+            SetExpr::SetOp {
+                op: SetOp::Except,
+                all: false,
+                left,
+                ..
+            } => {
+                assert!(matches!(
+                    *left,
+                    SetExpr::SetOp {
+                        op: SetOp::Union,
+                        all: true,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -302,8 +355,18 @@ mod tests {
     fn intersect_binds_tighter() {
         let q = query("SELECT 1 UNION SELECT 2 INTERSECT SELECT 3");
         match q.body {
-            SetExpr::SetOp { op: SetOp::Union, right, .. } => {
-                assert!(matches!(*right, SetExpr::SetOp { op: SetOp::Intersect, .. }));
+            SetExpr::SetOp {
+                op: SetOp::Union,
+                right,
+                ..
+            } => {
+                assert!(matches!(
+                    *right,
+                    SetExpr::SetOp {
+                        op: SetOp::Intersect,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -339,7 +402,10 @@ mod tests {
         let q = query("SELECT t.*, u.a FROM t, u");
         match q.body {
             SetExpr::Select(s) => {
-                assert_eq!(s.projection[0], SelectItem::QualifiedWildcard(Ident::new("t")));
+                assert_eq!(
+                    s.projection[0],
+                    SelectItem::QualifiedWildcard(Ident::new("t"))
+                );
                 assert_eq!(s.from.len(), 2);
             }
             other => panic!("unexpected {other:?}"),
@@ -351,7 +417,9 @@ mod tests {
         let q = query("SELECT * FROM (SELECT a FROM t) AS sub WHERE sub.a > 1");
         match q.body {
             SetExpr::Select(s) => {
-                assert!(matches!(&s.from[0], TableRef::Subquery { alias, .. } if *alias == Ident::new("sub")));
+                assert!(
+                    matches!(&s.from[0], TableRef::Subquery { alias, .. } if *alias == Ident::new("sub"))
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -369,8 +437,19 @@ mod tests {
             SetExpr::Select(s) => {
                 // Outermost join is the CROSS JOIN.
                 match &s.from[0] {
-                    TableRef::Join { kind: JoinKind::Cross, constraint: None, left, .. } => {
-                        assert!(matches!(**left, TableRef::Join { kind: JoinKind::Full, .. }));
+                    TableRef::Join {
+                        kind: JoinKind::Cross,
+                        constraint: None,
+                        left,
+                        ..
+                    } => {
+                        assert!(matches!(
+                            **left,
+                            TableRef::Join {
+                                kind: JoinKind::Full,
+                                ..
+                            }
+                        ));
                     }
                     other => panic!("unexpected {other:?}"),
                 }

@@ -105,21 +105,34 @@ impl Parser {
                         break;
                     }
                 }
-                columns.push(ColumnDef { name: col_name, ty, not_null });
+                columns.push(ColumnDef {
+                    name: col_name,
+                    ty,
+                    not_null,
+                });
             }
             if !self.eat_token(&TokenKind::Comma) {
                 break;
             }
         }
         self.expect_token(&TokenKind::RParen)?;
-        Ok(Statement::CreateTable(CreateTable { name, if_not_exists, columns, primary_key }))
+        Ok(Statement::CreateTable(CreateTable {
+            name,
+            if_not_exists,
+            columns,
+            primary_key,
+        }))
     }
 
     fn parse_create_view(&mut self, materialized: bool) -> Result<Statement, SqlError> {
         let name = self.parse_ident()?;
         self.expect_kw(Keyword::As)?;
         let query = self.parse_query()?;
-        Ok(Statement::CreateView(CreateView { name, materialized, query: Box::new(query) }))
+        Ok(Statement::CreateView(CreateView {
+            name,
+            materialized,
+            query: Box::new(query),
+        }))
     }
 
     fn parse_create_index(&mut self, unique: bool) -> Result<Statement, SqlError> {
@@ -129,7 +142,12 @@ impl Parser {
         self.expect_token(&TokenKind::LParen)?;
         let columns = self.parse_comma_separated(|p| p.parse_ident())?;
         self.expect_token(&TokenKind::RParen)?;
-        Ok(Statement::CreateIndex(CreateIndex { name, table, columns, unique }))
+        Ok(Statement::CreateIndex(CreateIndex {
+            name,
+            table,
+            columns,
+            unique,
+        }))
     }
 
     fn parse_drop(&mut self) -> Result<Statement, SqlError> {
@@ -150,7 +168,11 @@ impl Parser {
             false
         };
         let name = self.parse_ident()?;
-        Ok(Statement::Drop(Drop { kind, name, if_exists }))
+        Ok(Statement::Drop(Drop {
+            kind,
+            name,
+            if_exists,
+        }))
     }
 
     fn parse_insert(&mut self) -> Result<Statement, SqlError> {
@@ -206,7 +228,13 @@ impl Parser {
         } else {
             None
         };
-        Ok(Statement::Insert(Insert { table, columns, source, or_replace, on_conflict }))
+        Ok(Statement::Insert(Insert {
+            table,
+            columns,
+            source,
+            or_replace,
+            on_conflict,
+        }))
     }
 
     fn parse_assignment(&mut self) -> Result<Assignment, SqlError> {
@@ -221,15 +249,27 @@ impl Parser {
         let table = self.parse_ident()?;
         self.expect_kw(Keyword::Set)?;
         let assignments = self.parse_comma_separated(|p| p.parse_assignment())?;
-        let selection = if self.eat_kw(Keyword::Where) { Some(self.parse_expr()?) } else { None };
-        Ok(Statement::Update(Update { table, assignments, selection }))
+        let selection = if self.eat_kw(Keyword::Where) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update(Update {
+            table,
+            assignments,
+            selection,
+        }))
     }
 
     fn parse_delete(&mut self) -> Result<Statement, SqlError> {
         self.expect_kw(Keyword::Delete)?;
         self.expect_kw(Keyword::From)?;
         let table = self.parse_ident()?;
-        let selection = if self.eat_kw(Keyword::Where) { Some(self.parse_expr()?) } else { None };
+        let selection = if self.eat_kw(Keyword::Where) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
         Ok(Statement::Delete(Delete { table, selection }))
     }
 }
@@ -242,10 +282,9 @@ mod tests {
 
     #[test]
     fn paper_listing_1_ddl() {
-        let stmt = parse_statement(
-            "CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)",
-        )
-        .unwrap();
+        let stmt =
+            parse_statement("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)")
+                .unwrap();
         match stmt {
             Statement::CreateTable(ct) => {
                 assert_eq!(ct.name, Ident::new("groups"));
@@ -290,10 +329,8 @@ mod tests {
 
     #[test]
     fn table_level_primary_key() {
-        let stmt = parse_statement(
-            "CREATE TABLE t (a INTEGER, b VARCHAR, PRIMARY KEY (a, b))",
-        )
-        .unwrap();
+        let stmt =
+            parse_statement("CREATE TABLE t (a INTEGER, b VARCHAR, PRIMARY KEY (a, b))").unwrap();
         match stmt {
             Statement::CreateTable(ct) => {
                 assert_eq!(ct.primary_key, vec![Ident::new("a"), Ident::new("b")]);
@@ -305,18 +342,16 @@ mod tests {
 
     #[test]
     fn duplicate_primary_key_rejected() {
-        assert!(parse_statement(
-            "CREATE TABLE t (a INTEGER PRIMARY KEY, b INTEGER PRIMARY KEY)"
-        )
-        .is_err());
+        assert!(
+            parse_statement("CREATE TABLE t (a INTEGER PRIMARY KEY, b INTEGER PRIMARY KEY)")
+                .is_err()
+        );
     }
 
     #[test]
     fn insert_or_replace_with_query() {
-        let stmt = parse_statement(
-            "INSERT OR REPLACE INTO v SELECT a, SUM(b) FROM d GROUP BY a",
-        )
-        .unwrap();
+        let stmt =
+            parse_statement("INSERT OR REPLACE INTO v SELECT a, SUM(b) FROM d GROUP BY a").unwrap();
         match stmt {
             Statement::Insert(ins) => {
                 assert!(ins.or_replace);
@@ -329,8 +364,7 @@ mod tests {
 
     #[test]
     fn insert_values_with_columns() {
-        let stmt =
-            parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
+        let stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
         match stmt {
             Statement::Insert(ins) => {
                 assert_eq!(ins.columns.len(), 2);
@@ -368,13 +402,15 @@ mod tests {
 
     #[test]
     fn insert_on_conflict_do_nothing() {
-        let stmt =
-            parse_statement("INSERT INTO t VALUES (1) ON CONFLICT DO NOTHING").unwrap();
+        let stmt = parse_statement("INSERT INTO t VALUES (1) ON CONFLICT DO NOTHING").unwrap();
         match stmt {
             Statement::Insert(ins) => {
                 assert_eq!(
                     ins.on_conflict,
-                    Some(OnConflict { target: vec![], action: ConflictAction::DoNothing })
+                    Some(OnConflict {
+                        target: vec![],
+                        action: ConflictAction::DoNothing
+                    })
                 );
             }
             other => panic!("unexpected {other:?}"),
@@ -400,13 +436,22 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         let stmt = parse_statement("DELETE FROM delta_query_groups").unwrap();
-        assert!(matches!(stmt, Statement::Delete(Delete { selection: None, .. })));
+        assert!(matches!(
+            stmt,
+            Statement::Delete(Delete {
+                selection: None,
+                ..
+            })
+        ));
     }
 
     #[test]
     fn transactions() {
         assert_eq!(parse_statement("BEGIN").unwrap(), Statement::Begin);
-        assert_eq!(parse_statement("BEGIN TRANSACTION").unwrap(), Statement::Begin);
+        assert_eq!(
+            parse_statement("BEGIN TRANSACTION").unwrap(),
+            Statement::Begin
+        );
         assert_eq!(parse_statement("COMMIT").unwrap(), Statement::Commit);
         assert_eq!(parse_statement("ROLLBACK").unwrap(), Statement::Rollback);
     }
@@ -416,7 +461,11 @@ mod tests {
         let stmt = parse_statement("DROP TABLE IF EXISTS t").unwrap();
         assert_eq!(
             stmt,
-            Statement::Drop(Drop { kind: DropKind::Table, name: Ident::new("t"), if_exists: true })
+            Statement::Drop(Drop {
+                kind: DropKind::Table,
+                name: Ident::new("t"),
+                if_exists: true
+            })
         );
         assert!(parse_statement("DROP VIEW v").is_ok());
         assert!(parse_statement("DROP INDEX i").is_ok());

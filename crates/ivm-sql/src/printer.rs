@@ -9,28 +9,37 @@
 use std::fmt::Write as _;
 
 use crate::ast::{
-    Assignment, ConflictAction, Expr, InsertSource, Literal, OrderByExpr, Query,
-    Select, SelectItem, SetExpr, Statement, TableRef, UnaryOp,
+    Assignment, ConflictAction, Expr, InsertSource, Literal, OrderByExpr, Query, Select,
+    SelectItem, SetExpr, Statement, TableRef, UnaryOp,
 };
 use crate::dialect::Dialect;
 
 /// Print a statement in the given dialect. The output has no trailing `;`.
 pub fn print_statement(stmt: &Statement, dialect: Dialect) -> String {
-    let mut p = Printer { out: String::new(), _dialect: dialect };
+    let mut p = Printer {
+        out: String::new(),
+        _dialect: dialect,
+    };
     p.statement(stmt);
     p.out
 }
 
 /// Print an expression in the given dialect.
 pub fn print_expr(expr: &Expr, dialect: Dialect) -> String {
-    let mut p = Printer { out: String::new(), _dialect: dialect };
+    let mut p = Printer {
+        out: String::new(),
+        _dialect: dialect,
+    };
     p.expr(expr, 0);
     p.out
 }
 
 /// Print a query in the given dialect.
 pub fn print_query(query: &Query, dialect: Dialect) -> String {
-    let mut p = Printer { out: String::new(), _dialect: dialect };
+    let mut p = Printer {
+        out: String::new(),
+        _dialect: dialect,
+    };
     p.query(query);
     p.out
 }
@@ -204,7 +213,12 @@ impl Printer {
     fn set_expr(&mut self, body: &SetExpr) {
         match body {
             SetExpr::Select(s) => self.select(s),
-            SetExpr::SetOp { op, all, left, right } => {
+            SetExpr::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => {
                 // Parenthesise operands that are themselves set ops, so the
                 // association survives the round trip.
                 self.set_operand(left, *op);
@@ -290,7 +304,12 @@ impl Printer {
                 self.query(query);
                 let _ = write!(self.out, ") AS {alias}");
             }
-            TableRef::Join { left, right, kind, constraint } => {
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                constraint,
+            } => {
                 self.table_ref(left);
                 let _ = write!(self.out, " {} JOIN ", kind.as_str());
                 // Right side of a join must not itself be a bare join chain
@@ -360,7 +379,12 @@ impl Printer {
                     self.expr(expr, 9);
                 }
             },
-            Expr::Function { name, args, distinct, star } => {
+            Expr::Function {
+                name,
+                args,
+                distinct,
+                star,
+            } => {
                 let _ = write!(self.out, "{name}(");
                 if *star {
                     self.push("*");
@@ -372,7 +396,11 @@ impl Printer {
                 }
                 self.push(")");
             }
-            Expr::Case { operand, branches, else_result } => {
+            Expr::Case {
+                operand,
+                branches,
+                else_result,
+            } => {
                 self.push("CASE");
                 if let Some(op) = operand {
                     self.push(" ");
@@ -399,28 +427,49 @@ impl Printer {
                 self.expr(expr, 5);
                 self.push(if *negated { " IS NOT NULL" } else { " IS NULL" });
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 self.expr(expr, 5);
                 self.push(if *negated { " NOT IN (" } else { " IN (" });
                 self.expr_list(list);
                 self.push(")");
             }
-            Expr::InSubquery { expr, query, negated } => {
+            Expr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
                 self.expr(expr, 5);
                 self.push(if *negated { " NOT IN (" } else { " IN (" });
                 self.query(query);
                 self.push(")");
             }
-            Expr::Between { expr, low, high, negated } => {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 self.expr(expr, 5);
-                self.push(if *negated { " NOT BETWEEN " } else { " BETWEEN " });
+                self.push(if *negated {
+                    " NOT BETWEEN "
+                } else {
+                    " BETWEEN "
+                });
                 // Bounds parse at comparison precedence: anything at or
                 // below it needs parens to survive the round trip.
                 self.expr(low, 5);
                 self.push(" AND ");
                 self.expr(high, 5);
             }
-            Expr::Like { expr, pattern, negated } => {
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
                 self.expr(expr, 5);
                 self.push(if *negated { " NOT LIKE " } else { " LIKE " });
                 self.expr(pattern, 5);
@@ -469,7 +518,9 @@ impl Printer {
 fn expr_precedence(e: &Expr) -> u8 {
     match e {
         Expr::Binary { op, .. } => op.precedence(),
-        Expr::Unary { op: UnaryOp::Not, .. } => 3,
+        Expr::Unary {
+            op: UnaryOp::Not, ..
+        } => 3,
         Expr::Unary { .. } => 8,
         Expr::IsNull { .. } | Expr::InList { .. } | Expr::Between { .. } | Expr::Like { .. } => 4,
         _ => u8::MAX,
@@ -513,7 +564,10 @@ mod tests {
     #[test]
     fn double_negation_does_not_make_comments() {
         let printed = roundtrip("SELECT -(-x)");
-        assert!(!printed.contains("--"), "printed {printed:?} contains a comment");
+        assert!(
+            !printed.contains("--"),
+            "printed {printed:?} contains a comment"
+        );
     }
 
     #[test]
@@ -601,7 +655,10 @@ mod tests {
     #[test]
     fn print_transactions_and_drop() {
         assert_eq!(roundtrip("begin transaction"), "BEGIN");
-        assert_eq!(roundtrip("drop table if exists t"), "DROP TABLE IF EXISTS t");
+        assert_eq!(
+            roundtrip("drop table if exists t"),
+            "DROP TABLE IF EXISTS t"
+        );
     }
 
     #[test]
@@ -626,6 +683,9 @@ mod tests {
             roundtrip("select distinct t.* from t"),
             "SELECT DISTINCT t.* FROM t"
         );
-        assert_eq!(roundtrip("select count(distinct x) from t"), "SELECT count(DISTINCT x) FROM t");
+        assert_eq!(
+            roundtrip("select count(distinct x) from t"),
+            "SELECT count(DISTINCT x) FROM t"
+        );
     }
 }

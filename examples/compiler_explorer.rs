@@ -9,9 +9,12 @@ use openivm::ivm_engine::Database;
 
 fn main() {
     let mut db = Database::new();
-    db.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)").unwrap();
-    db.execute("CREATE TABLE orders (id INTEGER, cust INTEGER, amount INTEGER)").unwrap();
-    db.execute("CREATE TABLE customers (id INTEGER, name VARCHAR)").unwrap();
+    db.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)")
+        .unwrap();
+    db.execute("CREATE TABLE orders (id INTEGER, cust INTEGER, amount INTEGER)")
+        .unwrap();
+    db.execute("CREATE TABLE customers (id INTEGER, name VARCHAR)")
+        .unwrap();
     let compiler = IvmCompiler::new();
 
     let views = [
@@ -42,8 +45,14 @@ fn main() {
 
     // Dialect fork: the same view compiled for DuckDB and for PostgreSQL.
     for dialect in [Dialect::DuckDb, Dialect::Postgres] {
-        let flags = IvmFlags { dialect, ..IvmFlags::paper_defaults() };
-        println!("================ dialect: {} ================\n", dialect.name());
+        let flags = IvmFlags {
+            dialect,
+            ..IvmFlags::paper_defaults()
+        };
+        println!(
+            "================ dialect: {} ================\n",
+            dialect.name()
+        );
         for (label, sql) in &views {
             let artifacts = compiler.compile_sql(sql, db.catalog(), &flags).unwrap();
             println!("---- {label} ({}) ----", artifacts.analysis.class.name());
@@ -67,7 +76,9 @@ fn main() {
             },
             ..IvmFlags::paper_defaults()
         };
-        let artifacts = compiler.compile_sql(views[0].1, db.catalog(), &flags).unwrap();
+        let artifacts = compiler
+            .compile_sql(views[0].1, db.catalog(), &flags)
+            .unwrap();
         println!("---- strategy: {} ----", strategy.name());
         for step in &artifacts.propagation.steps {
             if step.step == 2 {

@@ -13,10 +13,8 @@ fn main() {
     let mut htap = HtapPipeline::with_defaults();
 
     // Base tables mirrored across both systems, triggers installed.
-    htap.mirror_table(
-        "CREATE TABLE orders (id INTEGER PRIMARY KEY, cust INTEGER, amount INTEGER)",
-    )
-    .unwrap();
+    htap.mirror_table("CREATE TABLE orders (id INTEGER PRIMARY KEY, cust INTEGER, amount INTEGER)")
+        .unwrap();
     htap.mirror_table("CREATE TABLE customers (id INTEGER PRIMARY KEY, name VARCHAR)")
         .unwrap();
 
@@ -29,18 +27,24 @@ fn main() {
     .unwrap();
 
     // --- OLTP workload: committed transactions, one rollback.
-    htap.execute_oltp("INSERT INTO customers VALUES (1, 'ada'), (2, 'bob')").unwrap();
+    htap.execute_oltp("INSERT INTO customers VALUES (1, 'ada'), (2, 'bob')")
+        .unwrap();
     htap.execute_oltp("BEGIN").unwrap();
-    htap.execute_oltp("INSERT INTO orders VALUES (100, 1, 250)").unwrap();
-    htap.execute_oltp("INSERT INTO orders VALUES (101, 2, 40)").unwrap();
+    htap.execute_oltp("INSERT INTO orders VALUES (100, 1, 250)")
+        .unwrap();
+    htap.execute_oltp("INSERT INTO orders VALUES (101, 2, 40)")
+        .unwrap();
     htap.execute_oltp("COMMIT").unwrap();
 
     htap.execute_oltp("BEGIN").unwrap();
-    htap.execute_oltp("INSERT INTO orders VALUES (102, 2, 9999)").unwrap();
+    htap.execute_oltp("INSERT INTO orders VALUES (102, 2, 9999)")
+        .unwrap();
     htap.execute_oltp("ROLLBACK").unwrap(); // never reaches the OLAP side
 
-    htap.execute_oltp("INSERT INTO orders VALUES (103, 1, 70)").unwrap();
-    htap.execute_oltp("UPDATE orders SET amount = 60 WHERE id = 101").unwrap();
+    htap.execute_oltp("INSERT INTO orders VALUES (103, 1, 70)")
+        .unwrap();
+    htap.execute_oltp("UPDATE orders SET amount = 60 WHERE id = 101")
+        .unwrap();
 
     // --- Ship deltas and query analytics on the OLAP side.
     let shipped = htap.sync().unwrap();
@@ -49,14 +53,24 @@ fn main() {
     let result = htap.query_view("revenue").unwrap();
     println!("revenue per customer (maintained by the generated SQL):");
     for row in &result.rows {
-        println!("   cust {} -> total {} over {} orders", row[0], row[1], row[2]);
+        println!(
+            "   cust {} -> total {} over {} orders",
+            row[0], row[1], row[2]
+        );
     }
 
     let report = htap.check_consistency().unwrap();
     println!(
         "pipeline consistency: {}",
-        if report.is_consistent() { "OK" } else { "MISMATCH" }
+        if report.is_consistent() {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
     );
     let stats = htap.ship_stats();
-    println!("bridge stats: {} batches, {} rows", stats.batches, stats.rows);
+    println!(
+        "bridge stats: {} batches, {} rows",
+        stats.batches, stats.rows
+    );
 }

@@ -30,7 +30,8 @@ fn main() {
 
     // --- Hub: the central analytical store with the aggregate view.
     let mut hub = IvmSession::new(IvmFlags::paper_defaults());
-    hub.execute("CREATE TABLE activity (category VARCHAR, minutes INTEGER)").unwrap();
+    hub.execute("CREATE TABLE activity (category VARCHAR, minutes INTEGER)")
+        .unwrap();
     hub.execute(
         "CREATE MATERIALIZED VIEW category_stats AS \
          SELECT category, SUM(minutes) AS total_minutes, COUNT(*) AS contributions \
@@ -40,11 +41,23 @@ fn main() {
 
     // --- Users record activity locally; one user revokes some data.
     let workload: &[(&str, &str)] = &[
-        ("ada", "INSERT INTO activity VALUES ('running', 30), ('reading', 60)"),
+        (
+            "ada",
+            "INSERT INTO activity VALUES ('running', 30), ('reading', 60)",
+        ),
         ("bob", "INSERT INTO activity VALUES ('running', 45)"),
-        ("cara", "INSERT INTO activity VALUES ('running', 20), ('chess', 90)"),
-        ("dan", "INSERT INTO activity VALUES ('running', 25), ('reading', 15)"),
-        ("eve", "INSERT INTO activity VALUES ('reading', 40), ('chess', 10)"),
+        (
+            "cara",
+            "INSERT INTO activity VALUES ('running', 20), ('chess', 90)",
+        ),
+        (
+            "dan",
+            "INSERT INTO activity VALUES ('running', 25), ('reading', 15)",
+        ),
+        (
+            "eve",
+            "INSERT INTO activity VALUES ('reading', 40), ('chess', 10)",
+        ),
         // Right to erasure: bob deletes his record afterwards.
         ("bob", "DELETE FROM activity WHERE category = 'running'"),
     ];
@@ -64,7 +77,10 @@ fn main() {
             hub.ingest_deltas("activity", &pairs).unwrap();
         }
     }
-    println!("shipped {shipped} delta rows from {} personal stores", spokes.len());
+    println!(
+        "shipped {shipped} delta rows from {} personal stores",
+        spokes.len()
+    );
 
     // --- Publish only coarse groups (k-anonymity threshold on the
     // maintained contribution count).
@@ -76,7 +92,10 @@ fn main() {
         .unwrap();
     println!("published aggregates (groups with >= {K_ANONYMITY} contributions):");
     for row in &published.rows {
-        println!("   {}: {} minutes over {} contributions", row[0], row[1], row[2]);
+        println!(
+            "   {}: {} minutes over {} contributions",
+            row[0], row[1], row[2]
+        );
     }
     let suppressed = hub
         .execute(&format!(

@@ -26,21 +26,30 @@ fn main() {
     let artifacts = compiler
         .compile_sql(view, session.database().catalog(), session.flags())
         .unwrap();
-    println!("-- Compiled output ({} dialect):", artifacts.flags.dialect.name());
+    println!(
+        "-- Compiled output ({} dialect):",
+        artifacts.flags.dialect.name()
+    );
     println!("{}", artifacts.to_script());
 
     // --- Install the view through the extension path (fall-back parser).
     session.execute(view).unwrap();
 
     // --- §2's worked example: V = {apple → 5, banana → 2}.
-    session.execute("INSERT INTO groups VALUES ('apple', 2), ('apple', 3), ('banana', 2)").unwrap();
+    session
+        .execute("INSERT INTO groups VALUES ('apple', 2), ('apple', 3), ('banana', 2)")
+        .unwrap();
     println!("-- Initial view:");
     print_view(&mut session);
 
     // ΔV = {apple → (false, 3), banana → (true, 1)}: remove 3 units of
     // apple, add 1 banana.
-    session.execute("DELETE FROM groups WHERE group_index = 'apple' AND group_value = 3").unwrap();
-    session.execute("INSERT INTO groups VALUES ('banana', 1)").unwrap();
+    session
+        .execute("DELETE FROM groups WHERE group_index = 'apple' AND group_value = 3")
+        .unwrap();
+    session
+        .execute("INSERT INTO groups VALUES ('banana', 1)")
+        .unwrap();
 
     println!("-- After removing 3 units of apple and adding 1 banana:");
     print_view(&mut session);

@@ -17,10 +17,8 @@ fn main() {
         ..IvmFlags::paper_defaults()
     });
 
-    ivm.execute(
-        "CREATE TABLE products (id INTEGER PRIMARY KEY, category VARCHAR, price INTEGER)",
-    )
-    .unwrap();
+    ivm.execute("CREATE TABLE products (id INTEGER PRIMARY KEY, category VARCHAR, price INTEGER)")
+        .unwrap();
     ivm.execute("CREATE TABLE sales (product INTEGER, quantity INTEGER, region VARCHAR)")
         .unwrap();
 
@@ -31,28 +29,38 @@ fn main() {
         (4, "tea", 9),
         (5, "cocoa", 20),
     ] {
-        ivm.execute(&format!("INSERT INTO products VALUES ({id}, '{cat}', {price})"))
-            .unwrap();
+        ivm.execute(&format!(
+            "INSERT INTO products VALUES ({id}, '{cat}', {price})"
+        ))
+        .unwrap();
     }
 
     // Four dashboards over the same base tables.
     let views = [
-        ("qty_by_region",
-         "CREATE MATERIALIZED VIEW qty_by_region AS \
+        (
+            "qty_by_region",
+            "CREATE MATERIALIZED VIEW qty_by_region AS \
           SELECT region, SUM(quantity) AS units, COUNT(*) AS rows_in \
-          FROM sales GROUP BY region"),
-        ("avg_price",
-         "CREATE MATERIALIZED VIEW avg_price AS \
-          SELECT category, AVG(price) AS mean_price FROM products GROUP BY category"),
-        ("price_extrema",
-         "CREATE MATERIALIZED VIEW price_extrema AS \
+          FROM sales GROUP BY region",
+        ),
+        (
+            "avg_price",
+            "CREATE MATERIALIZED VIEW avg_price AS \
+          SELECT category, AVG(price) AS mean_price FROM products GROUP BY category",
+        ),
+        (
+            "price_extrema",
+            "CREATE MATERIALIZED VIEW price_extrema AS \
           SELECT category, MIN(price) AS cheapest, MAX(price) AS priciest \
-          FROM products GROUP BY category"),
-        ("revenue_by_category",
-         "CREATE MATERIALIZED VIEW revenue_by_category AS \
+          FROM products GROUP BY category",
+        ),
+        (
+            "revenue_by_category",
+            "CREATE MATERIALIZED VIEW revenue_by_category AS \
           SELECT products.category, SUM(sales.quantity) AS units \
           FROM sales JOIN products ON sales.product = products.id \
-          GROUP BY products.category"),
+          GROUP BY products.category",
+        ),
     ];
     for (_, sql) in &views {
         ivm.execute(sql).unwrap();
@@ -92,7 +100,11 @@ fn main() {
         }
         if step % 100 == 99 {
             let r = ivm.query_view("qty_by_region").unwrap();
-            println!("after {} events, qty_by_region has {} regions", step + 1, r.rows.len());
+            println!(
+                "after {} events, qty_by_region has {} regions",
+                step + 1,
+                r.rows.len()
+            );
         }
     }
 

@@ -14,9 +14,7 @@
 
 use std::process::ExitCode;
 
-use openivm::ivm_core::{
-    Dialect, IndexCreation, IvmCompiler, IvmFlags, UpsertStrategy,
-};
+use openivm::ivm_core::{Dialect, IndexCreation, IvmCompiler, IvmFlags, UpsertStrategy};
 use openivm::ivm_engine::Database;
 
 fn main() -> ExitCode {
@@ -45,21 +43,18 @@ fn run(args: Vec<String>) -> Result<String, String> {
     let mut flags = IvmFlags::paper_defaults();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} expects a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
         match arg.as_str() {
             "--schema" => schema = Some(value("--schema")?),
             "--view" => view = Some(value("--view")?),
             "--dialect" => {
                 let v = value("--dialect")?;
-                flags.dialect = Dialect::parse(&v)
-                    .ok_or_else(|| format!("unknown dialect {v}"))?;
+                flags.dialect = Dialect::parse(&v).ok_or_else(|| format!("unknown dialect {v}"))?;
             }
             "--strategy" => {
                 let v = value("--strategy")?;
-                flags.upsert_strategy = UpsertStrategy::parse(&v)
-                    .ok_or_else(|| format!("unknown strategy {v}"))?;
+                flags.upsert_strategy =
+                    UpsertStrategy::parse(&v).ok_or_else(|| format!("unknown strategy {v}"))?;
                 if !flags.upsert_strategy.needs_index() {
                     flags.index_creation = IndexCreation::None;
                 }

@@ -31,13 +31,17 @@ fn compiler_output_runs_on_both_engines_shapes() {
     // The PostgreSQL-dialect script must avoid INSERT OR REPLACE; the
     // DuckDB-dialect script must use it. Both must re-parse.
     let mut db = Database::new();
-    db.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)").unwrap();
+    db.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)")
+        .unwrap();
     let compiler = IvmCompiler::new();
     let view = "CREATE MATERIALIZED VIEW qg AS \
                 SELECT group_index, SUM(group_value) AS total \
                 FROM groups GROUP BY group_index";
     for dialect in [Dialect::DuckDb, Dialect::Postgres] {
-        let flags = IvmFlags { dialect, ..IvmFlags::paper_defaults() };
+        let flags = IvmFlags {
+            dialect,
+            ..IvmFlags::paper_defaults()
+        };
         let artifacts = compiler.compile_sql(view, db.catalog(), &flags).unwrap();
         for stmt in artifacts
             .setup_statements()
@@ -61,7 +65,8 @@ fn compiler_output_runs_on_both_engines_shapes() {
 #[test]
 fn end_to_end_htap_through_facade() {
     let mut htap = HtapPipeline::with_defaults();
-    htap.mirror_table("CREATE TABLE events (kind VARCHAR, weight INTEGER)").unwrap();
+    htap.mirror_table("CREATE TABLE events (kind VARCHAR, weight INTEGER)")
+        .unwrap();
     htap.create_materialized_view(
         "CREATE MATERIALIZED VIEW totals AS \
          SELECT kind, SUM(weight) AS w, COUNT(*) AS n FROM events GROUP BY kind",
@@ -69,10 +74,13 @@ fn end_to_end_htap_through_facade() {
     .unwrap();
     for i in 0..50 {
         let kind = if i % 3 == 0 { "alpha" } else { "beta" };
-        htap.execute_oltp(&format!("INSERT INTO events VALUES ('{kind}', {i})")).unwrap();
+        htap.execute_oltp(&format!("INSERT INTO events VALUES ('{kind}', {i})"))
+            .unwrap();
     }
-    htap.execute_oltp("DELETE FROM events WHERE weight < 10").unwrap();
-    htap.execute_oltp("UPDATE events SET weight = weight + 1 WHERE kind = 'alpha'").unwrap();
+    htap.execute_oltp("DELETE FROM events WHERE weight < 10")
+        .unwrap();
+    htap.execute_oltp("UPDATE events SET weight = weight + 1 WHERE kind = 'alpha'")
+        .unwrap();
     let report = htap.check_consistency().unwrap();
     assert!(report.is_consistent(), "{report:?}");
     let r = htap.query_view("totals").unwrap();
@@ -82,7 +90,8 @@ fn end_to_end_htap_through_facade() {
 #[test]
 fn session_survives_hundreds_of_mixed_statements() {
     let mut ivm = IvmSession::with_defaults();
-    ivm.execute("CREATE TABLE m (k VARCHAR, v INTEGER)").unwrap();
+    ivm.execute("CREATE TABLE m (k VARCHAR, v INTEGER)")
+        .unwrap();
     ivm.execute(
         "CREATE MATERIALIZED VIEW mv AS SELECT k, SUM(v) AS s, COUNT(*) AS c \
          FROM m GROUP BY k",
@@ -92,10 +101,12 @@ fn session_survives_hundreds_of_mixed_statements() {
         let k = format!("k{}", i % 7);
         match i % 5 {
             0..=2 => {
-                ivm.execute(&format!("INSERT INTO m VALUES ('{k}', {i})")).unwrap();
+                ivm.execute(&format!("INSERT INTO m VALUES ('{k}', {i})"))
+                    .unwrap();
             }
             3 => {
-                ivm.execute(&format!("UPDATE m SET v = v + 1 WHERE k = '{k}'")).unwrap();
+                ivm.execute(&format!("UPDATE m SET v = v + 1 WHERE k = '{k}'"))
+                    .unwrap();
             }
             _ => {
                 ivm.execute(&format!("DELETE FROM m WHERE k = '{k}' AND v < {}", i / 2))
@@ -113,12 +124,12 @@ fn session_survives_hundreds_of_mixed_statements() {
 fn mixed_dialect_sessions_coexist() {
     for flags in [IvmFlags::paper_defaults(), IvmFlags::for_postgres()] {
         let mut ivm = IvmSession::new(flags);
-        ivm.execute("CREATE TABLE g (a VARCHAR, b INTEGER)").unwrap();
-        ivm.execute(
-            "CREATE MATERIALIZED VIEW v AS SELECT a, SUM(b) AS s FROM g GROUP BY a",
-        )
-        .unwrap();
-        ivm.execute("INSERT INTO g VALUES ('x', 1), ('y', 2)").unwrap();
+        ivm.execute("CREATE TABLE g (a VARCHAR, b INTEGER)")
+            .unwrap();
+        ivm.execute("CREATE MATERIALIZED VIEW v AS SELECT a, SUM(b) AS s FROM g GROUP BY a")
+            .unwrap();
+        ivm.execute("INSERT INTO g VALUES ('x', 1), ('y', 2)")
+            .unwrap();
         assert!(ivm.check_consistency("v").unwrap());
     }
 }

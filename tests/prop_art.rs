@@ -17,14 +17,17 @@ enum ArtOp {
 /// Keys drawn from a small alphabet with shared prefixes to force node
 /// splits, path compression, and every node-size transition.
 fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
-    prop::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(0u8), any::<u8>()], 0..12)
-        .prop_map(|mut k| {
-            // Terminate like the engine's encoding so no key is a proper
-            // prefix of another.
-            k.push(0xFE);
-            k.push(0xFF);
-            k
-        })
+    prop::collection::vec(
+        prop_oneof![Just(b'a'), Just(b'b'), Just(0u8), any::<u8>()],
+        0..12,
+    )
+    .prop_map(|mut k| {
+        // Terminate like the engine's encoding so no key is a proper
+        // prefix of another.
+        k.push(0xFE);
+        k.push(0xFF);
+        k
+    })
 }
 
 fn op_strategy() -> impl Strategy<Value = ArtOp> {

@@ -26,16 +26,23 @@ enum Pred {
     GEq(u8),
     TagIs(bool),
     VBetween(i32, i32),
+    VCmpAndG(&'static str, i32, u8),
+    VCmpOrTag(i32, bool),
+}
+
+fn cmp_op_strategy() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just(">"), Just("<"), Just(">="), Just("<="), Just("<>")]
 }
 
 fn pred_strategy() -> impl Strategy<Value = Pred> {
     prop_oneof![
         Just(Pred::None),
-        (prop_oneof![Just(">"), Just("<"), Just(">="), Just("<="), Just("<>")], -50i32..50)
-            .prop_map(|(op, k)| Pred::VCmp(op, k)),
+        (cmp_op_strategy(), -50i32..50).prop_map(|(op, k)| Pred::VCmp(op, k)),
         (0u8..5).prop_map(Pred::GEq),
         any::<bool>().prop_map(Pred::TagIs),
         (-50i32..0, 0i32..50).prop_map(|(a, b)| Pred::VBetween(a, b)),
+        (cmp_op_strategy(), -50i32..50, 0u8..5).prop_map(|(op, k, g)| Pred::VCmpAndG(op, k, g)),
+        (-50i32..50, any::<bool>()).prop_map(|(k, b)| Pred::VCmpOrTag(k, b)),
     ]
 }
 
@@ -47,19 +54,62 @@ impl Pred {
             Pred::GEq(g) => format!(" WHERE g = 'g{g}'"),
             Pred::TagIs(b) => format!(" WHERE tag = {}", if *b { "TRUE" } else { "FALSE" }),
             Pred::VBetween(a, b) => format!(" WHERE v BETWEEN {a} AND {b}"),
+            Pred::VCmpAndG(op, k, g) => format!(" WHERE v {op} {k} AND g = 'g{g}'"),
+            Pred::VCmpOrTag(k, b) => {
+                format!(
+                    " WHERE v < {k} OR tag = {}",
+                    if *b { "TRUE" } else { "FALSE" }
+                )
+            }
         }
     }
 }
 
-/// Queries in the overlap: plain projections and grouped aggregates.
-fn queries(pred: &Pred) -> Vec<String> {
+/// Queries in the overlap of both engines: projections (plain and
+/// computed), CASE, grouped aggregates (plain and computed arguments),
+/// and — where marked `Ordered` — fully-ordered ORDER BY/LIMIT results
+/// that must agree *as lists*, not just as multisets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Cmp {
+    Multiset,
+    Ordered,
+}
+
+fn queries(pred: &Pred) -> Vec<(String, Cmp)> {
     let w = pred.to_sql();
     vec![
-        format!("SELECT g, v FROM t{w}"),
-        format!("SELECT v FROM t{w}"),
-        format!("SELECT g, SUM(v) AS s, COUNT(*) AS c FROM t{w} GROUP BY g"),
-        format!("SELECT g, MIN(v) AS lo, MAX(v) AS hi FROM t{w} GROUP BY g"),
-        format!("SELECT g, AVG(v) AS m FROM t{w} GROUP BY g"),
+        (format!("SELECT g, v FROM t{w}"), Cmp::Multiset),
+        (format!("SELECT v FROM t{w}"), Cmp::Multiset),
+        (format!("SELECT v * 2 + 1 AS d, g FROM t{w}"), Cmp::Multiset),
+        (
+            format!("SELECT CASE WHEN v > 0 THEN 'pos' ELSE 'nonpos' END AS sign, v FROM t{w}"),
+            Cmp::Multiset,
+        ),
+        (
+            format!("SELECT g, SUM(v) AS s, COUNT(*) AS c FROM t{w} GROUP BY g"),
+            Cmp::Multiset,
+        ),
+        (
+            format!("SELECT g, MIN(v) AS lo, MAX(v) AS hi FROM t{w} GROUP BY g"),
+            Cmp::Multiset,
+        ),
+        (
+            format!("SELECT g, AVG(v) AS m FROM t{w} GROUP BY g"),
+            Cmp::Multiset,
+        ),
+        (
+            format!("SELECT g, SUM(v + 1) AS s, COUNT(v) AS cv FROM t{w} GROUP BY g"),
+            Cmp::Multiset,
+        ),
+        // Total order over every output column → comparable as lists.
+        (
+            format!("SELECT g, v, tag FROM t{w} ORDER BY v, g, tag"),
+            Cmp::Ordered,
+        ),
+        (
+            format!("SELECT g, v FROM t{w} ORDER BY v DESC, g DESC LIMIT 7"),
+            Cmp::Ordered,
+        ),
     ]
 }
 
@@ -86,13 +136,14 @@ proptest! {
             olap.execute(&stmt).unwrap();
             oltp.execute(&stmt).unwrap();
         }
-        for q in queries(&pred) {
+        for (q, cmp) in queries(&pred) {
             let a = olap.query(&q).unwrap().rows;
             let b = oltp.execute(&q).unwrap().rows;
-            prop_assert!(
-                rows_equal_as_multisets(&a, &b),
-                "engines disagree on {q}:\n olap={a:?}\n oltp={b:?}"
-            );
+            let agree = match cmp {
+                Cmp::Multiset => rows_equal_as_multisets(&a, &b),
+                Cmp::Ordered => a == b,
+            };
+            prop_assert!(agree, "engines disagree on {q}:\n olap={a:?}\n oltp={b:?}");
         }
     }
 
@@ -126,6 +177,40 @@ proptest! {
         let a = olap.query(q).unwrap().rows;
         let b = oltp.execute(q).unwrap().rows;
         prop_assert!(rows_equal_as_multisets(&a, &b));
+    }
+}
+
+/// Deterministic pin at the executor's batch boundary: 1025 rows straddle
+/// the default 1024-row batch, so every streamed operator crosses a batch
+/// edge while the row-at-a-time OLTP engine is oblivious to batching.
+#[test]
+fn engines_agree_across_batch_boundary() {
+    let mut olap = Database::new();
+    let mut oltp = OltpEngine::new();
+    let ddl = "CREATE TABLE t (g VARCHAR, v INTEGER, tag BOOLEAN)";
+    olap.execute(ddl).unwrap();
+    oltp.execute(ddl).unwrap();
+    let values: Vec<String> = (0..1025)
+        .map(|v| {
+            format!(
+                "('g{}', {}, {})",
+                v % 7,
+                v,
+                if v % 3 == 0 { "TRUE" } else { "FALSE" }
+            )
+        })
+        .collect();
+    let insert = format!("INSERT INTO t VALUES {}", values.join(", "));
+    olap.execute(&insert).unwrap();
+    oltp.execute(&insert).unwrap();
+    for (q, cmp) in queries(&Pred::VCmp(">", 40)) {
+        let a = olap.query(&q).unwrap().rows;
+        let b = oltp.execute(&q).unwrap().rows;
+        let agree = match cmp {
+            Cmp::Multiset => rows_equal_as_multisets(&a, &b),
+            Cmp::Ordered => a == b,
+        };
+        assert!(agree, "engines disagree on {q}:\n olap={a:?}\n oltp={b:?}");
     }
 }
 

@@ -24,13 +24,16 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 fn apply(ivm: &mut IvmSession, op: &Op) {
     match op {
         Op::Insert { g, v } => {
-            ivm.execute(&format!("INSERT INTO t VALUES ('g{g}', {v})")).unwrap();
+            ivm.execute(&format!("INSERT INTO t VALUES ('g{g}', {v})"))
+                .unwrap();
         }
         Op::DeleteWhere { g, below } => {
-            ivm.execute(&format!("DELETE FROM t WHERE k = 'g{g}' AND v < {below}")).unwrap();
+            ivm.execute(&format!("DELETE FROM t WHERE k = 'g{g}' AND v < {below}"))
+                .unwrap();
         }
         Op::UpdateAdd { g, add } => {
-            ivm.execute(&format!("UPDATE t SET v = v + {add} WHERE k = 'g{g}'")).unwrap();
+            ivm.execute(&format!("UPDATE t SET v = v + {add} WHERE k = 'g{g}'"))
+                .unwrap();
         }
     }
 }
@@ -47,9 +50,11 @@ fn run_view(view_sql: &str, strategy: UpsertStrategy, ops: &[Op]) {
         ..IvmFlags::paper_defaults()
     };
     let mut ivm = IvmSession::new(flags);
-    ivm.execute("CREATE TABLE t (k VARCHAR, v INTEGER)").unwrap();
+    ivm.execute("CREATE TABLE t (k VARCHAR, v INTEGER)")
+        .unwrap();
     // A little seed data so the initial population is non-trivial.
-    ivm.execute("INSERT INTO t VALUES ('g0', 1), ('g1', -2), ('g1', 5)").unwrap();
+    ivm.execute("INSERT INTO t VALUES ('g0', 1), ('g1', -2), ('g1', 5)")
+        .unwrap();
     ivm.execute(view_sql).unwrap();
     for (i, op) in ops.iter().enumerate() {
         apply(&mut ivm, op);

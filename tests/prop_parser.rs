@@ -56,26 +56,52 @@ fn type_strategy() -> impl Strategy<Value = TypeName> {
 fn expr_strategy() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
         literal_strategy().prop_map(Expr::Literal),
-        ident_strategy().prop_map(|c| Expr::Column(ColumnRef { table: None, column: c })),
+        ident_strategy().prop_map(|c| Expr::Column(ColumnRef {
+            table: None,
+            column: c
+        })),
         (ident_strategy(), ident_strategy()).prop_map(|(t, c)| {
-            Expr::Column(ColumnRef { table: Some(t), column: c })
+            Expr::Column(ColumnRef {
+                table: Some(t),
+                column: c,
+            })
         }),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
             (inner.clone(), binary_op_strategy(), inner.clone()).prop_map(|(l, op, r)| {
-                Expr::Binary { left: Box::new(l), op, right: Box::new(r) }
+                Expr::Binary {
+                    left: Box::new(l),
+                    op,
+                    right: Box::new(r),
+                }
             }),
             (
-                prop_oneof![Just(UnaryOp::Not), Just(UnaryOp::Minus), Just(UnaryOp::Plus)],
+                prop_oneof![
+                    Just(UnaryOp::Not),
+                    Just(UnaryOp::Minus),
+                    Just(UnaryOp::Plus)
+                ],
                 inner.clone()
             )
-                .prop_map(|(op, e)| Expr::Unary { op, expr: Box::new(e) }),
-            (ident_strategy(), prop::collection::vec(inner.clone(), 0..3), any::<bool>())
+                .prop_map(|(op, e)| Expr::Unary {
+                    op,
+                    expr: Box::new(e)
+                }),
+            (
+                ident_strategy(),
+                prop::collection::vec(inner.clone(), 0..3),
+                any::<bool>()
+            )
                 .prop_map(|(name, args, star)| {
                     // `f(*)` only without args; DISTINCT needs one arg.
                     let star = star && args.is_empty();
-                    Expr::Function { name, args, distinct: false, star }
+                    Expr::Function {
+                        name,
+                        args,
+                        distinct: false,
+                        star,
+                    }
                 }),
             (
                 prop::option::of(inner.clone()),
@@ -87,11 +113,19 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
                     branches,
                     else_result: else_result.map(Box::new),
                 }),
-            (inner.clone(), type_strategy())
-                .prop_map(|(e, ty)| Expr::Cast { expr: Box::new(e), ty }),
-            (inner.clone(), any::<bool>())
-                .prop_map(|(e, negated)| Expr::IsNull { expr: Box::new(e), negated }),
-            (inner.clone(), prop::collection::vec(inner.clone(), 1..4), any::<bool>())
+            (inner.clone(), type_strategy()).prop_map(|(e, ty)| Expr::Cast {
+                expr: Box::new(e),
+                ty
+            }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated
+            }),
+            (
+                inner.clone(),
+                prop::collection::vec(inner.clone(), 1..4),
+                any::<bool>()
+            )
                 .prop_map(|(e, list, negated)| Expr::InList {
                     expr: Box::new(e),
                     list,
@@ -116,10 +150,7 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
 
 fn select_statement_strategy() -> impl Strategy<Value = Statement> {
     (
-        prop::collection::vec(
-            (expr_strategy(), prop::option::of(ident_strategy())),
-            1..4,
-        ),
+        prop::collection::vec((expr_strategy(), prop::option::of(ident_strategy())), 1..4),
         prop::option::of(ident_strategy()),
         prop::option::of(expr_strategy()),
         prop::collection::vec(expr_strategy(), 0..2),
@@ -131,7 +162,14 @@ fn select_statement_strategy() -> impl Strategy<Value = Statement> {
                     .into_iter()
                     .map(|(expr, alias)| SelectItem::Expr { expr, alias })
                     .collect(),
-                from: from.map(|t| vec![TableRef::Table { name: t, alias: None }]).unwrap_or_default(),
+                from: from
+                    .map(|t| {
+                        vec![TableRef::Table {
+                            name: t,
+                            alias: None,
+                        }]
+                    })
+                    .unwrap_or_default(),
                 selection,
                 group_by,
                 having: None,

@@ -1,0 +1,207 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the `ivm-bench` benches use — benchmark
+//! groups, [`BenchmarkId`], `bench_function` / `bench_with_input`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a plain
+//! mean/min/max timing loop instead of criterion's statistical machinery.
+//! Output is one line per benchmark on stdout.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group: a function name plus an
+/// optional parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a parameter, rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// The timing loop handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run `f` once per sample, timing each run.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        self.samples.clear();
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark (min 3).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.render(), |b| f(b));
+        self
+    }
+
+    /// Benchmark a closure parameterized by an input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.render(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, label: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            iters: self.sample_size as u64,
+            samples: Vec::new(),
+        };
+        // One untimed warm-up pass, as criterion does.
+        let mut warmup = Bencher {
+            iters: 1,
+            samples: Vec::new(),
+        };
+        f(&mut warmup);
+        f(&mut bencher);
+        let full = format!("{}/{}", self.name, label);
+        self.criterion.report(&full, &bencher.samples);
+    }
+
+    /// Finish the group (report flushing is immediate; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<(String, Duration)>,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    fn report(&mut self, label: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "{label:<55} mean {mean:>12?}  min {min:>12?}  max {max:>12?}  (n={})",
+            samples.len()
+        );
+        self.results.push((label.to_string(), mean));
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running one or more [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("f", |b| b.iter(|| 2 + 2));
+            g.bench_with_input(BenchmarkId::new("with_input", 7), &7usize, |b, &n| {
+                b.iter(|| n * 2)
+            });
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 2);
+        assert!(c.results[0].0.starts_with("g/f"));
+        assert!(c.results[1].0.contains("with_input/7"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the API subset this workspace's property tests use: the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_oneof!`]
+//! macros, a [`Strategy`] trait with `prop_map` and `prop_recursive`,
+//! integer/float range strategies, [`any`], regex-lite string strategies,
+//! [`collection::vec`], and [`option::of`].
+//!
+//! Differences from the real crate, by design:
+//! - **No shrinking.** A failing case reports the generated input verbatim.
+//! - **Deterministic seeding.** Each test derives its RNG stream from the
+//!   test name, so runs are reproducible; set `PROPTEST_SEED` to explore a
+//!   different stream.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+pub use strategy::{any, BoxedStrategy, Just, Strategy};
+
+use std::fmt::Debug;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration. Only `cases` is honored; the struct keeps the
+/// functional-update construction pattern of the real crate.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+    /// Accepted for API parity; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Failure raised by `prop_assert*` macros inside a property body.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+/// Result type of a property body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Collection strategies (`vec`).
+pub mod collection {
+    use std::ops::Range;
+
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Sizes accepted by [`vec`]: a fixed size or a half-open range.
+    pub trait SizeRange {
+        /// Draw one length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.below(self.end.max(self.start + 1) - self.start) + self.start
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// Vectors of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`of`).
+pub mod option {
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Strategy producing `Option`s of an inner strategy's values.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// `None` about a quarter of the time, `Some` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.new_value(rng))
+            }
+        }
+    }
+}
+
+/// Module alias mirroring `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::{collection, option};
+}
+
+/// The usual imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig, TestCaseError,
+        TestCaseResult,
+    };
+}
+
+/// Drive one property: `cases` random inputs through `test`.
+///
+/// Used by the [`proptest!`] macro expansion; not part of the mirrored API.
+pub fn run_property<S>(
+    config: &ProptestConfig,
+    name: &str,
+    strategy: &S,
+    mut test: impl FnMut(S::Value) -> TestCaseResult,
+) where
+    S: Strategy,
+    S::Value: Debug,
+{
+    let base = match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s.parse::<u64>().unwrap_or(0xC0FFEE),
+        Err(_) => 0xC0FFEE,
+    };
+    // Per-test stream so sibling properties explore different inputs.
+    let seed = name
+        .bytes()
+        .fold(base, |h, b| h.wrapping_mul(0x100000001B3) ^ u64::from(b));
+    let mut rng = strategy::TestRng::new(StdRng::seed_from_u64(seed));
+    for case in 0..config.cases {
+        let value = strategy.new_value(&mut rng);
+        let rendered = format!("{value:?}");
+        match catch_unwind(AssertUnwindSafe(|| test(value))) {
+            Ok(Ok(())) => {}
+            Ok(Err(TestCaseError(msg))) => {
+                panic!(
+                    "property {name} failed at case {case}/{}: {msg}\n\
+                     input: {rendered}\n(seed {seed}; set PROPTEST_SEED to vary)",
+                    config.cases
+                );
+            }
+            Err(payload) => {
+                eprintln!(
+                    "property {name} panicked at case {case}/{} on input: {rendered}\n\
+                     (seed {seed}; set PROPTEST_SEED to vary)",
+                    config.cases
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` running the body over random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::core::default::Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr);) => {};
+    (($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let strategy = ($($strat,)+);
+            $crate::run_property(&config, stringify!($name), &strategy, |($($arg,)+)| {
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+}
+
+/// Assert inside a property body; failure reports the generated input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Choose between strategies, optionally weighted (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}

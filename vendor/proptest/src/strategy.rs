@@ -1,0 +1,478 @@
+//! The [`Strategy`] trait and the built-in strategies.
+
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+
+/// The RNG handed to strategies during generation.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Wrap a seeded generator.
+    pub fn new(rng: StdRng) -> TestRng {
+        TestRng(rng)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be > 0.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.0.gen_range(0..n)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.0.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Borrow the underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// A generator of random values. Object-safe core (`new_value`) plus
+/// `Sized`-only combinators, mirroring the real crate's surface.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build recursive values: `recurse` receives a strategy for smaller
+    /// instances and returns the strategy for one more level. `depth`
+    /// bounds the recursion; the size hints are accepted for API parity.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        Recursive {
+            base: self.boxed(),
+            recurse: Arc::new(move |inner| recurse(inner).boxed()),
+            depth,
+        }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.0.new_value(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Weighted choice between strategies (the [`crate::prop_oneof!`] output).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` arms. Weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! requires a positive total weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total as usize) as u32;
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.new_value(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+/// Output of [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    base: BoxedStrategy<T>,
+    recurse: Arc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    depth: u32,
+}
+
+impl<T: 'static> Recursive<T> {
+    fn level(&self, depth: u32) -> BoxedStrategy<T> {
+        if depth == 0 {
+            return self.base.clone();
+        }
+        let deeper = self.level(depth - 1);
+        // Leaves outweigh recursion so expected sizes stay bounded even
+        // when a level draws several children.
+        let inner = Union::new(vec![(2, self.base.clone()), (1, deeper)]).boxed();
+        (self.recurse)(inner)
+    }
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        if rng.below(4) == 0 {
+            self.base.new_value(rng)
+        } else {
+            self.level(self.depth).new_value(rng)
+        }
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        rng.rng().gen_range(self.clone())
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        rng.rng().gen_range(self.clone())
+    }
+}
+
+/// Primitive types with a canonical full-domain strategy.
+pub trait ArbitraryPrim: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryPrim for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.rng().next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryPrim for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.rng().next_u64() & 1 == 1
+    }
+}
+
+impl ArbitraryPrim for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite doubles over a wide but well-behaved span.
+        (rng.unit() - 0.5) * 2e12
+    }
+}
+
+/// Strategy over a primitive type's full domain (see [`any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The canonical strategy for a primitive type: `any::<bool>()` etc.
+pub fn any<T: ArbitraryPrim>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: ArbitraryPrim> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_strategy_for_tuple! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+// ---------------------------------------------------------------- regex-lite
+
+/// One pattern atom: a set of character ranges plus a repetition count.
+#[derive(Debug, Clone)]
+struct Atom {
+    ranges: Vec<(char, char)>,
+    min: usize,
+    max: usize,
+}
+
+/// Parse the regex subset the workspace's patterns use: literal characters,
+/// character classes `[a-z0-9_]` (with ranges), `\PC` (printable ASCII),
+/// and `{m}` / `{m,n}` repetition suffixes.
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let ranges = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed character class in pattern {pattern}"))
+                    + i;
+                let mut ranges = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        ranges.push((chars[j], chars[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((chars[j], chars[j]));
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                ranges
+            }
+            '\\' => {
+                // Only `\PC` ("not a control character") is supported;
+                // generate printable ASCII for it.
+                assert!(
+                    chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C'),
+                    "unsupported escape in pattern {pattern}"
+                );
+                i += 3;
+                vec![(' ', '~')]
+            }
+            c => {
+                i += 1;
+                vec![(c, c)]
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed repetition in pattern {pattern}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (lo, hi) = match body.split_once(',') {
+                Some((lo, hi)) => (lo.parse().unwrap(), hi.parse().unwrap()),
+                None => {
+                    let n = body.parse().unwrap();
+                    (n, n)
+                }
+            };
+            i = close + 1;
+            (lo, hi)
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { ranges, min, max });
+    }
+    atoms
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+    let n = atom.min + rng.below(atom.max - atom.min + 1);
+    let total: usize = atom
+        .ranges
+        .iter()
+        .map(|(lo, hi)| (*hi as usize) - (*lo as usize) + 1)
+        .sum();
+    for _ in 0..n {
+        let mut pick = rng.below(total);
+        for (lo, hi) in &atom.ranges {
+            let span = (*hi as usize) - (*lo as usize) + 1;
+            if pick < span {
+                out.push(char::from_u32(*lo as u32 + pick as u32).expect("valid char range"));
+                break;
+            }
+            pick -= span;
+        }
+    }
+}
+
+/// String patterns: a `&str` is a regex-lite strategy producing matching
+/// strings, mirroring proptest's regex string strategies.
+impl Strategy for &str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            sample_atom(atom, rng, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::new(StdRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn ranges_and_any() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = (0u8..5).new_value(&mut r);
+            assert!(v < 5);
+            let w = (-50i32..50).new_value(&mut r);
+            assert!((-50..50).contains(&w));
+            let f = (-1e6f64..1e6).new_value(&mut r);
+            assert!((-1e6..1e6).contains(&f));
+            let _: u64 = any::<u64>().new_value(&mut r);
+        }
+    }
+
+    #[test]
+    fn pattern_strategies_match_shape() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = "[a-z][a-z0-9_]{0,8}".new_value(&mut r);
+            assert!(!s.is_empty() && s.len() <= 9, "bad length: {s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+
+            let p = "\\PC{0,80}".new_value(&mut r);
+            assert!(p.len() <= 80);
+            assert!(p.chars().all(|c| (' '..='~').contains(&c)));
+
+            let ab = "[ab]{1,3}".new_value(&mut r);
+            assert!((1..=3).contains(&ab.len()));
+            assert!(ab.chars().all(|c| c == 'a' || c == 'b'));
+        }
+    }
+
+    #[test]
+    fn map_union_recursive_compose() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        let strat = (0u8..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 8, 3, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut r = rng();
+        let mut saw_node = false;
+        let mut saw_leaf = false;
+        for _ in 0..200 {
+            match strat.new_value(&mut r) {
+                Tree::Leaf(v) => {
+                    assert!(v < 10);
+                    saw_leaf = true;
+                }
+                Tree::Node(_) => saw_node = true,
+            }
+        }
+        assert!(saw_leaf && saw_node, "recursion should produce both shapes");
+    }
+
+    #[test]
+    fn union_respects_weights() {
+        let u = Union::new(vec![(9, Just(0u8).boxed()), (1, Just(1u8).boxed())]);
+        let mut r = rng();
+        let ones = (0..1000).filter(|_| u.new_value(&mut r) == 1).count();
+        assert!((20..350).contains(&ones), "weight-1 arm hit {ones}/1000");
+    }
+}
