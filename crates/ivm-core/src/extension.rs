@@ -68,6 +68,9 @@ pub struct IvmSession {
     views: Vec<RegisteredView>,
     /// Views with unpropagated deltas → number of pending DML statements.
     pending: HashMap<String, usize>,
+    /// Parsed-statement cache for the maintenance scripts: the same fixed
+    /// SQL strings run on every refresh, so each is parsed exactly once.
+    stmt_cache: HashMap<String, Statement>,
     stats: SessionStats,
 }
 
@@ -80,6 +83,7 @@ impl IvmSession {
             compiler: IvmCompiler::new(),
             views: Vec::new(),
             pending: HashMap::new(),
+            stmt_cache: HashMap::new(),
             stats: SessionStats::default(),
         }
     }
@@ -553,8 +557,13 @@ impl IvmSession {
             statements.extend(chosen);
         }
         for sql in &statements {
+            if !self.stmt_cache.contains_key(sql) {
+                self.stmt_cache
+                    .insert(sql.clone(), parse_statement(sql).map_err(IvmError::from)?);
+            }
+            let stmt = &self.stmt_cache[sql];
             self.db
-                .execute(sql)
+                .execute_statement(stmt)
                 .map_err(|e| IvmError::Engine(format!("{e} while running: {sql}")))?;
         }
         self.stats.maintenance_runs += 1;
@@ -647,26 +656,44 @@ impl std::hash::Hasher for FnvHasher {
     }
 }
 
-/// Per-deletion `find_row` beats one whole-table hashing pass below this
-/// many deletions (each early-exiting equality scan touches roughly half
-/// the rows, but comparing is much cheaper than hashing).
-const BATCH_DELETION_THRESHOLD: usize = 64;
+/// A whole-table victim pass only pays off when there are at least this
+/// many deletions or the table is small; below it, per-deletion
+/// `find_row` (early-exiting equality scans, which exploit duplicate rows
+/// in multiset tables) wins on huge tables.
+const BATCH_DELETION_THRESHOLD: usize = 2;
+
+/// Above this many live rows a batch pass must also clear the deletion
+/// threshold below; tiny deletion batches on huge keyless tables are
+/// cheaper through `find_row`'s early-exit scans.
+const BATCH_DELETION_LARGE_TABLE: usize = 131_072;
+
+/// On large tables a batch pass needs this many deletions to amortize
+/// touching every row.
+const BATCH_DELETION_LARGE_THRESHOLD: usize = 64;
+
+/// Rows sampled to pick the most selective prefilter column.
+const PREFILTER_SAMPLE: usize = 512;
+
+/// Prefilter columns whose sampled hit rate exceeds this are useless.
+const PREFILTER_MAX_HIT_RATE: f64 = 0.6;
 
 /// Locate deletion victims for a whole delta batch in a single pass over
 /// the mirror's columns.
 ///
 /// Returns `None` when the table has a primary key (per-row `find_row` is
-/// an O(1) index probe there) or the batch carries too few deletions to
-/// amortize a full pass. For keyless tables the scan compares row *hashes*
-/// computed straight off the column vectors, so non-matching rows (the
-/// vast majority) are never materialized; only hash hits are cloned and
-/// verified. Each deletion later pops one victim id, matching
-/// `find_row`'s any-equal-row choice.
+/// an O(1) index probe there) or the batch is cheaper through per-row
+/// scans (see the thresholds above). For keyless tables the pass is
+/// column-at-a-time and layered: a *sampled* single-column prefilter (the
+/// column whose deletion-target value set rejects the most sampled rows)
+/// eliminates most rows with one cheap set probe, survivors are checked
+/// against the full-row hash set computed straight off the column
+/// vectors, and only hash hits are cloned and verified. Each deletion
+/// later pops one victim id, matching `find_row`'s any-equal-row choice.
 fn batch_deletion_victims(
     base: &ivm_engine::Table,
     changes: &[(Vec<Value>, bool)],
 ) -> Option<HashMap<Vec<Value>, std::collections::VecDeque<u64>>> {
-    use std::collections::{HashSet, VecDeque};
+    use std::collections::VecDeque;
     use std::hash::{Hash, Hasher};
 
     if base.has_pk_index() {
@@ -676,8 +703,9 @@ fn batch_deletion_victims(
     if deletions < BATCH_DELETION_THRESHOLD {
         return None;
     }
-    let mut victims: HashMap<Vec<Value>, VecDeque<u64>> = HashMap::new();
-    let mut hashes: HashSet<u64> = HashSet::new();
+    if base.live_rows() > BATCH_DELETION_LARGE_TABLE && deletions < BATCH_DELETION_LARGE_THRESHOLD {
+        return None;
+    }
     let row_hash = |row: &mut dyn Iterator<Item = &Value>| {
         let mut h = FnvHasher(0xCBF2_9CE4_8422_2325);
         for v in row {
@@ -685,27 +713,165 @@ fn batch_deletion_victims(
         }
         h.finish()
     };
+    let mut victims: HashMap<Vec<Value>, VecDeque<u64>> = HashMap::new();
+    // How many victims each distinct target row actually needs (its
+    // deletion multiplicity in the batch) — the scan can stop as soon as
+    // every target is satisfied.
+    let mut needed: HashMap<Vec<Value>, usize> = HashMap::new();
+    // Full-row FNV digests of the deletion targets, probed by binary
+    // search (no second hash of the 64-bit digest).
+    let mut hashes: Vec<u64> = Vec::new();
     for (row, insertion) in changes {
         if !insertion && row.len() == base.schema.len() {
-            hashes.insert(row_hash(&mut row.iter()));
+            hashes.push(row_hash(&mut row.iter()));
             victims.entry(row.clone()).or_default();
+            *needed.entry(row.clone()).or_insert(0) += 1;
         }
     }
     if victims.is_empty() {
         return None;
     }
+    let mut outstanding = victims.len();
+    hashes.sort_unstable();
+    hashes.dedup();
     let columns: Vec<&[Value]> = (0..base.schema.len()).map(|i| base.column(i)).collect();
-    for id in base.live_row_ids() {
+    let live_ids = base.live_row_ids();
+
+    // One candidate prefilter per column: the set of values the deletion
+    // targets carry there. Integer-family columns compare raw i64s —
+    // no hashing at all; everything else probes by value digest.
+    let prefilters: Vec<Prefilter> = (0..base.schema.len())
+        .map(|c| Prefilter::build(victims.keys().map(|row| &row[c])))
+        .collect();
+    // Sample evenly-spaced live rows and keep the column whose target set
+    // rejects the most rows; a column that passes most rows anyway (heavy
+    // value overlap) is skipped entirely.
+    let prefilter: Option<usize> = {
+        let step = (live_ids.len() / PREFILTER_SAMPLE).max(1);
+        let sample: Vec<usize> = live_ids
+            .iter()
+            .step_by(step)
+            .map(|&id| id as usize)
+            .collect();
+        (0..base.schema.len())
+            .map(|c| {
+                let hits = sample
+                    .iter()
+                    .filter(|&&idx| prefilters[c].hit(&columns[c][idx]))
+                    .count();
+                // Typed filters probe cheaper: half-a-hit tiebreak.
+                (2 * hits + usize::from(!prefilters[c].is_typed()), c)
+            })
+            .min()
+            .filter(|&(scaled_hits, _)| {
+                !sample.is_empty()
+                    && (scaled_hits / 2) as f64 / (sample.len() as f64) <= PREFILTER_MAX_HIT_RATE
+            })
+            .map(|(_, c)| c)
+    };
+
+    for id in live_ids {
         let idx = id as usize;
-        if !hashes.contains(&row_hash(&mut columns.iter().map(|c| &c[idx]))) {
+        if let Some(c) = prefilter {
+            if !prefilters[c].hit(&columns[c][idx]) {
+                continue;
+            }
+        }
+        if hashes
+            .binary_search(&row_hash(&mut columns.iter().map(|c| &c[idx])))
+            .is_err()
+        {
             continue;
         }
         let row: Vec<Value> = columns.iter().map(|c| c[idx].clone()).collect();
         if let Some(queue) = victims.get_mut(&row) {
-            queue.push_back(id);
+            let cap = needed[&row];
+            if queue.len() < cap {
+                queue.push_back(id);
+                if queue.len() == cap {
+                    outstanding -= 1;
+                    if outstanding == 0 {
+                        break;
+                    }
+                }
+            }
         }
     }
     Some(victims)
+}
+
+/// A single-column membership prefilter over deletion-target values.
+enum Prefilter {
+    /// All targets are integer-family scalars: raw i64 binary search.
+    Typed { sorted: Vec<i64>, has_null: bool },
+    /// Arbitrary values: FNV digest binary search.
+    Hashed { sorted: Vec<u64>, has_null: bool },
+}
+
+impl Prefilter {
+    fn build<'v>(targets: impl Iterator<Item = &'v Value> + Clone) -> Prefilter {
+        use std::hash::{Hash, Hasher};
+        let has_null = targets.clone().any(Value::is_null);
+        let typed: Option<Vec<i64>> = targets
+            .clone()
+            .filter(|v| !v.is_null())
+            .map(|v| match v {
+                Value::Integer(i) => Some(*i),
+                Value::Date(d) => Some(i64::from(*d)),
+                Value::Boolean(b) => Some(i64::from(*b)),
+                _ => None,
+            })
+            .collect();
+        match typed {
+            Some(mut sorted) => {
+                sorted.sort_unstable();
+                sorted.dedup();
+                Prefilter::Typed { sorted, has_null }
+            }
+            None => {
+                let mut sorted: Vec<u64> = targets
+                    .filter(|v| !v.is_null())
+                    .map(|v| {
+                        let mut h = FnvHasher(0xCBF2_9CE4_8422_2325);
+                        v.hash(&mut h);
+                        h.finish()
+                    })
+                    .collect();
+                sorted.sort_unstable();
+                sorted.dedup();
+                Prefilter::Hashed { sorted, has_null }
+            }
+        }
+    }
+
+    fn is_typed(&self) -> bool {
+        matches!(self, Prefilter::Typed { .. })
+    }
+
+    /// Could this row value equal one of the targets? (False positives are
+    /// fine — the full-row digest check runs behind it.)
+    fn hit(&self, v: &Value) -> bool {
+        use std::hash::{Hash, Hasher};
+        match self {
+            Prefilter::Typed { sorted, has_null } => match v {
+                Value::Null => *has_null,
+                Value::Integer(i) => sorted.binary_search(i).is_ok(),
+                Value::Date(d) => sorted.binary_search(&i64::from(*d)).is_ok(),
+                Value::Boolean(b) => sorted.binary_search(&i64::from(*b)).is_ok(),
+                // A differently-typed value can still group-compare equal
+                // (e.g. DOUBLE 3.0 = INTEGER 3): let it through.
+                _ => true,
+            },
+            Prefilter::Hashed { sorted, has_null } => {
+                if v.is_null() {
+                    return *has_null;
+                }
+                let mut h = FnvHasher(0xCBF2_9CE4_8422_2325);
+                v.hash(&mut h);
+                sorted.binary_search(&h.finish()).is_ok()
+            }
+        }
+    }
 }
 
 fn as_multiset(rows: &[Vec<Value>]) -> HashMap<Vec<Value>, usize> {

@@ -4,17 +4,22 @@
 //! Both operators materialize the build side once, then stream probe
 //! batches. Output batches reuse the probe batch's columns through a
 //! selection vector (zero-copy, possibly with repeats for multi-matches)
-//! and gather only the build side. The probe side is the preserved side:
-//! `LeftOuter` pads unmatched probe rows, `FullOuter` additionally emits
-//! unmatched build rows after the probe is exhausted. SQL semantics: NULL
-//! keys never match.
+//! and gather only the build side. The hash join's residual predicate is
+//! evaluated *vectorized*: candidate pairs are collected per probe batch,
+//! spliced into one `probe ++ build` frame, and filtered by a compiled
+//! kernel in a single pass. Output is chunked at the executor batch size
+//! with carry-over state, so high-fan-out probes (skew, CROSS joins, the
+//! FULL OUTER tail) can no longer emit oversized batches. The probe side
+//! is the preserved side: `LeftOuter` pads unmatched probe rows,
+//! `FullOuter` additionally emits unmatched build rows after the probe is
+//! exhausted. SQL semantics: NULL keys never match.
 
 use std::collections::HashMap;
 
 use crate::error::EngineError;
 use crate::exec::batch::{ColumnData, JoinedRow, RowBatch};
 use crate::exec::{BoxedOperator, Operator, Row};
-use crate::expr::BoundExpr;
+use crate::expr::{BoundExpr, VectorKernel};
 use crate::planner::physical::PhysJoinKind;
 use crate::value::Value;
 
@@ -32,6 +37,40 @@ impl BuildSide {
         }
         let matched = vec![false; rows.len()];
         Ok(BuildSide { rows, matched })
+    }
+}
+
+/// Join output for one probe batch, emitted in `batch_size` chunks.
+struct PendingOutput<'a> {
+    batch: RowBatch<'a>,
+    probe_sel: Vec<u32>,
+    build_idx: Vec<u32>,
+    offset: usize,
+}
+
+impl<'a> PendingOutput<'a> {
+    /// Emit the next chunk of at most `batch_size` output rows, or `None`
+    /// when exhausted.
+    fn next_chunk(
+        &mut self,
+        build_rows: &[Row],
+        build_width: usize,
+        batch_size: usize,
+    ) -> Option<RowBatch<'a>> {
+        if self.offset >= self.probe_sel.len() {
+            return None;
+        }
+        let end = (self.offset + batch_size.max(1)).min(self.probe_sel.len());
+        let probe_sel = self.probe_sel[self.offset..end].to_vec();
+        let build_idx = &self.build_idx[self.offset..end];
+        self.offset = end;
+        Some(splice_output(
+            &self.batch,
+            probe_sel,
+            build_rows,
+            build_width,
+            build_idx,
+        ))
     }
 }
 
@@ -74,28 +113,30 @@ fn splice_output<'a>(
     RowBatch::new(columns, rows)
 }
 
-/// Emit build rows never matched during probing, padded with NULLs on the
-/// probe side (the FULL OUTER tail).
-fn unmatched_build_batch<'a>(
-    state: &BuildSide,
-    probe_width: usize,
-    build_width: usize,
-) -> Option<RowBatch<'a>> {
-    let unmatched: Vec<u32> = state
+/// Build rows never matched during probing (the FULL OUTER tail).
+fn unmatched_build_ids(state: &BuildSide) -> Vec<u32> {
+    state
         .matched
         .iter()
         .enumerate()
         .filter(|(_, m)| !**m)
         .map(|(i, _)| i as u32)
-        .collect();
-    if unmatched.is_empty() {
-        return None;
-    }
+        .collect()
+}
+
+/// One chunk of the FULL OUTER tail: the given unmatched build rows,
+/// padded with NULLs on the probe side.
+fn unmatched_build_batch<'a>(
+    build_rows: &[Row],
+    ids: &[u32],
+    probe_width: usize,
+    build_width: usize,
+) -> RowBatch<'a> {
     let mut columns: Vec<ColumnData<'a>> = (0..probe_width)
-        .map(|_| ColumnData::owned(vec![Value::Null; unmatched.len()]))
+        .map(|_| ColumnData::owned(vec![Value::Null; ids.len()]))
         .collect();
-    columns.extend(gather_build_columns(&state.rows, build_width, &unmatched));
-    Some(RowBatch::new(columns, unmatched.len()))
+    columns.extend(gather_build_columns(build_rows, build_width, ids));
+    RowBatch::new(columns, ids.len())
 }
 
 /// Hash table over the build side: key values → build row indices.
@@ -109,11 +150,13 @@ pub struct HashJoinOp<'a> {
     build_width: usize,
     probe_keys: Vec<usize>,
     build_keys: Vec<usize>,
-    residual: Option<BoundExpr>,
+    residual: Option<VectorKernel>,
     join: PhysJoinKind,
+    batch_size: usize,
     state: Option<(BuildSide, JoinTable)>,
+    pending: Option<PendingOutput<'a>>,
     probe_done: bool,
-    tail_emitted: bool,
+    tail: Option<(Vec<u32>, usize)>,
 }
 
 impl<'a> HashJoinOp<'a> {
@@ -128,6 +171,7 @@ impl<'a> HashJoinOp<'a> {
         build_keys: Vec<usize>,
         residual: Option<BoundExpr>,
         join: PhysJoinKind,
+        batch_size: usize,
     ) -> HashJoinOp<'a> {
         debug_assert_eq!(probe_keys.len(), build_keys.len());
         HashJoinOp {
@@ -137,11 +181,13 @@ impl<'a> HashJoinOp<'a> {
             build_width,
             probe_keys,
             build_keys,
-            residual,
+            residual: residual.as_ref().map(VectorKernel::compile),
             join,
+            batch_size: batch_size.max(1),
             state: None,
+            pending: None,
             probe_done: false,
-            tail_emitted: false,
+            tail: None,
         }
     }
 
@@ -165,82 +211,134 @@ impl<'a> HashJoinOp<'a> {
         self.state = Some((side, table));
         Ok(())
     }
+
+    /// Join one probe batch: collect candidate pairs through the hash
+    /// table, run the residual kernel over all of them at once, then lay
+    /// out the output pair list (with outer padding) in probe-row order.
+    fn join_batch(&mut self, batch: &RowBatch<'a>) -> Result<(Vec<u32>, Vec<u32>), EngineError> {
+        let preserve_probe = matches!(self.join, PhysJoinKind::LeftOuter | PhysJoinKind::FullOuter);
+        let (side, table) = self.state.as_mut().expect("built before probing");
+        let rows = batch.num_rows();
+        let mut cand_rows: Vec<u32> = Vec::new();
+        let mut cand_bis: Vec<u32> = Vec::new();
+        let mut key = Vec::with_capacity(self.probe_keys.len());
+        'rows: for row in 0..rows {
+            key.clear();
+            for &k in &self.probe_keys {
+                let v = batch.value(k, row);
+                if v.is_null() {
+                    continue 'rows;
+                }
+                key.push(v.clone());
+            }
+            if let Some(candidates) = table.get(key.as_slice()) {
+                for &bi in candidates {
+                    cand_rows.push(row as u32);
+                    cand_bis.push(bi);
+                }
+            }
+        }
+        // Vectorized residual: one `probe ++ build` frame over every
+        // candidate pair, filtered in a single kernel pass.
+        let pass: Option<Vec<bool>> = match &self.residual {
+            Some(kernel) if !cand_rows.is_empty() => {
+                let frame = splice_output(
+                    batch,
+                    cand_rows.clone(),
+                    &side.rows,
+                    self.build_width,
+                    &cand_bis,
+                );
+                let sel = kernel.select(&frame)?;
+                let mut mask = vec![false; cand_rows.len()];
+                for i in sel {
+                    mask[i as usize] = true;
+                }
+                Some(mask)
+            }
+            _ => None,
+        };
+        let mut probe_sel: Vec<u32> = Vec::new();
+        let mut build_idx: Vec<u32> = Vec::new();
+        let mut cur = 0usize;
+        for row in 0..rows as u32 {
+            let mut any = false;
+            while cur < cand_rows.len() && cand_rows[cur] == row {
+                if pass.as_ref().is_none_or(|m| m[cur]) {
+                    any = true;
+                    side.matched[cand_bis[cur] as usize] = true;
+                    probe_sel.push(row);
+                    build_idx.push(cand_bis[cur]);
+                }
+                cur += 1;
+            }
+            if !any && preserve_probe {
+                probe_sel.push(row);
+                build_idx.push(u32::MAX);
+            }
+        }
+        Ok((probe_sel, build_idx))
+    }
+
+    fn emit_pending(&mut self) -> Option<RowBatch<'a>> {
+        let pending = self.pending.as_mut()?;
+        let (side, _) = self.state.as_ref().expect("built before emitting");
+        let out = pending.next_chunk(&side.rows, self.build_width, self.batch_size);
+        if out.is_none() {
+            self.pending = None;
+        }
+        out
+    }
 }
 
 impl<'a> Operator<'a> for HashJoinOp<'a> {
     fn next_batch(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
         self.ensure_built()?;
-        let preserve_probe = matches!(self.join, PhysJoinKind::LeftOuter | PhysJoinKind::FullOuter);
-        while !self.probe_done {
+        loop {
+            if let Some(out) = self.emit_pending() {
+                return Ok(Some(out));
+            }
+            if self.probe_done {
+                break;
+            }
             let Some(batch) = self.probe.next_batch()? else {
                 self.probe_done = true;
                 break;
             };
-            let (side, table) = self.state.as_mut().expect("built above");
-            let mut probe_sel: Vec<u32> = Vec::new();
-            let mut build_idx: Vec<u32> = Vec::new();
-            let mut key = Vec::with_capacity(self.probe_keys.len());
-            'rows: for row in 0..batch.num_rows() {
-                key.clear();
-                for &k in &self.probe_keys {
-                    let v = batch.value(k, row);
-                    if v.is_null() {
-                        if preserve_probe {
-                            probe_sel.push(row as u32);
-                            build_idx.push(u32::MAX);
-                        }
-                        continue 'rows;
-                    }
-                    key.push(v.clone());
-                }
-                let mut matched = false;
-                if let Some(candidates) = table.get(key.as_slice()) {
-                    for &bi in candidates {
-                        if let Some(resid) = &self.residual {
-                            let joined = JoinedRow::new(
-                                batch.row_view(row),
-                                self.probe_width,
-                                &side.rows[bi as usize],
-                            );
-                            if resid.eval(&joined)?.as_bool() != Some(true) {
-                                continue;
-                            }
-                        }
-                        matched = true;
-                        side.matched[bi as usize] = true;
-                        probe_sel.push(row as u32);
-                        build_idx.push(bi);
-                    }
-                }
-                if !matched && preserve_probe {
-                    probe_sel.push(row as u32);
-                    build_idx.push(u32::MAX);
-                }
-            }
+            let (probe_sel, build_idx) = self.join_batch(&batch)?;
             if !probe_sel.is_empty() {
-                return Ok(Some(splice_output(
-                    &batch,
+                self.pending = Some(PendingOutput {
+                    batch,
                     probe_sel,
-                    &self.state.as_ref().expect("built").0.rows,
-                    self.build_width,
-                    &build_idx,
-                )));
+                    build_idx,
+                    offset: 0,
+                });
             }
         }
-        if self.join == PhysJoinKind::FullOuter && !self.tail_emitted {
-            self.tail_emitted = true;
+        if self.join == PhysJoinKind::FullOuter {
             let (side, _) = self.state.as_ref().expect("built above");
-            return Ok(unmatched_build_batch(
-                side,
-                self.probe_width,
-                self.build_width,
-            ));
+            let (ids, offset) = self
+                .tail
+                .get_or_insert_with(|| (unmatched_build_ids(side), 0));
+            if *offset < ids.len() {
+                let end = (*offset + self.batch_size).min(ids.len());
+                let chunk = &ids[*offset..end];
+                *offset = end;
+                return Ok(Some(unmatched_build_batch(
+                    &side.rows,
+                    chunk,
+                    self.probe_width,
+                    self.build_width,
+                )));
+            }
         }
         Ok(None)
     }
 }
 
-/// Nested-loop join for CROSS joins and non-equi ON conditions.
+/// Nested-loop join for CROSS joins and non-equi ON conditions. Output is
+/// chunked at the executor batch size: a CROSS join of two 1k-row inputs
+/// streams out in bounded batches instead of one million-row batch.
 pub struct NestedLoopJoinOp<'a> {
     probe: BoxedOperator<'a>,
     build: BoxedOperator<'a>,
@@ -248,9 +346,11 @@ pub struct NestedLoopJoinOp<'a> {
     build_width: usize,
     on: Option<BoundExpr>,
     join: PhysJoinKind,
+    batch_size: usize,
     state: Option<BuildSide>,
+    pending: Option<PendingOutput<'a>>,
     probe_done: bool,
-    tail_emitted: bool,
+    tail: Option<(Vec<u32>, usize)>,
 }
 
 impl<'a> NestedLoopJoinOp<'a> {
@@ -262,6 +362,7 @@ impl<'a> NestedLoopJoinOp<'a> {
         build_width: usize,
         on: Option<BoundExpr>,
         join: PhysJoinKind,
+        batch_size: usize,
     ) -> NestedLoopJoinOp<'a> {
         NestedLoopJoinOp {
             probe,
@@ -270,10 +371,22 @@ impl<'a> NestedLoopJoinOp<'a> {
             build_width,
             on,
             join,
+            batch_size: batch_size.max(1),
             state: None,
+            pending: None,
             probe_done: false,
-            tail_emitted: false,
+            tail: None,
         }
+    }
+
+    fn emit_pending(&mut self) -> Option<RowBatch<'a>> {
+        let pending = self.pending.as_mut()?;
+        let side = self.state.as_ref().expect("built before emitting");
+        let out = pending.next_chunk(&side.rows, self.build_width, self.batch_size);
+        if out.is_none() {
+            self.pending = None;
+        }
+        out
     }
 }
 
@@ -283,7 +396,13 @@ impl<'a> Operator<'a> for NestedLoopJoinOp<'a> {
             self.state = Some(BuildSide::consume(&mut self.build)?);
         }
         let preserve_probe = matches!(self.join, PhysJoinKind::LeftOuter | PhysJoinKind::FullOuter);
-        while !self.probe_done {
+        loop {
+            if let Some(out) = self.emit_pending() {
+                return Ok(Some(out));
+            }
+            if self.probe_done {
+                break;
+            }
             let Some(batch) = self.probe.next_batch()? else {
                 self.probe_done = true;
                 break;
@@ -315,23 +434,30 @@ impl<'a> Operator<'a> for NestedLoopJoinOp<'a> {
                 }
             }
             if !probe_sel.is_empty() {
-                return Ok(Some(splice_output(
-                    &batch,
+                self.pending = Some(PendingOutput {
+                    batch,
                     probe_sel,
-                    &self.state.as_ref().expect("built").rows,
-                    self.build_width,
-                    &build_idx,
-                )));
+                    build_idx,
+                    offset: 0,
+                });
             }
         }
-        if self.join == PhysJoinKind::FullOuter && !self.tail_emitted {
-            self.tail_emitted = true;
+        if self.join == PhysJoinKind::FullOuter {
             let side = self.state.as_ref().expect("built above");
-            return Ok(unmatched_build_batch(
-                side,
-                self.probe_width,
-                self.build_width,
-            ));
+            let (ids, offset) = self
+                .tail
+                .get_or_insert_with(|| (unmatched_build_ids(side), 0));
+            if *offset < ids.len() {
+                let end = (*offset + self.batch_size).min(ids.len());
+                let chunk = &ids[*offset..end];
+                *offset = end;
+                return Ok(Some(unmatched_build_batch(
+                    &side.rows,
+                    chunk,
+                    self.probe_width,
+                    self.build_width,
+                )));
+            }
         }
         Ok(None)
     }
@@ -385,6 +511,7 @@ mod tests {
             build_keys,
             residual,
             join,
+            batch_size,
         );
         drain(Box::new(op)).unwrap()
     }
@@ -404,8 +531,77 @@ mod tests {
             bw,
             on,
             join,
+            2,
         );
         drain(Box::new(op)).unwrap()
+    }
+
+    #[test]
+    fn join_output_batches_are_bounded() {
+        // CROSS 10 × 10 at batch_size 4: 100 output rows, every batch ≤ 4.
+        let probe: Vec<Row> = (0..10).map(|v| vec![i(v)]).collect();
+        let build: Vec<Row> = (0..10).map(|v| vec![i(v * 100)]).collect();
+        let mut op = NestedLoopJoinOp::new(
+            Box::new(StaticOp::from_rows(1, probe, 4)),
+            Box::new(StaticOp::from_rows(1, build, 4)),
+            1,
+            1,
+            None,
+            PhysJoinKind::Inner,
+            4,
+        );
+        let mut total = 0;
+        while let Some(b) = op.next_batch().unwrap() {
+            assert!(b.num_rows() <= 4, "oversized batch: {}", b.num_rows());
+            total += b.num_rows();
+        }
+        assert_eq!(total, 100);
+
+        // Skewed hash join: one probe row matches 50 build rows.
+        let probe: Vec<Row> = vec![vec![i(7)]];
+        let build: Vec<Row> = (0..50).map(|v| vec![i(7), i(v)]).collect();
+        let mut op = HashJoinOp::new(
+            Box::new(StaticOp::from_rows(1, probe, 8)),
+            Box::new(StaticOp::from_rows(2, build, 8)),
+            1,
+            2,
+            vec![0],
+            vec![0],
+            None,
+            PhysJoinKind::Inner,
+            8,
+        );
+        let mut total = 0;
+        while let Some(b) = op.next_batch().unwrap() {
+            assert!(b.num_rows() <= 8, "oversized batch: {}", b.num_rows());
+            total += b.num_rows();
+        }
+        assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn full_outer_tail_is_chunked() {
+        // Empty probe, 10 unmatched build rows, batch_size 3 → tail chunks.
+        let build: Vec<Row> = (0..10).map(|v| vec![i(v)]).collect();
+        let mut op = HashJoinOp::new(
+            Box::new(StaticOp::from_rows(1, vec![], 3)),
+            Box::new(StaticOp::from_rows(1, build, 3)),
+            1,
+            1,
+            vec![0],
+            vec![0],
+            None,
+            PhysJoinKind::FullOuter,
+            3,
+        );
+        let mut sizes = Vec::new();
+        let mut total = 0;
+        while let Some(b) = op.next_batch().unwrap() {
+            sizes.push(b.num_rows());
+            total += b.num_rows();
+        }
+        assert_eq!(total, 10);
+        assert!(sizes.iter().all(|&s| s <= 3), "{sizes:?}");
     }
 
     #[test]

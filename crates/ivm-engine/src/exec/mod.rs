@@ -80,9 +80,30 @@ pub fn build_operator<'a>(
     batch_size: usize,
 ) -> Result<BoxedOperator<'a>, EngineError> {
     Ok(match plan {
-        PhysicalPlan::TableScan { table, .. } => {
+        PhysicalPlan::TableScan {
+            table,
+            predicate,
+            index_eq,
+            ..
+        } => {
             let t = catalog.table(table)?;
-            Box::new(operators::ScanOp::new(t, batch_size))
+            match predicate {
+                None => Box::new(operators::ScanOp::new(t, batch_size)),
+                Some(p) => {
+                    let prepared = prepare_expr_with_batch_size(p, catalog, batch_size)?;
+                    let kernel = Arc::new(crate::expr::VectorKernel::compile(&prepared));
+                    // Equality conjuncts covered by an ART index answer the
+                    // scan with a point read; the full predicate is still
+                    // re-checked on the looked-up rows.
+                    match (!index_eq.is_empty())
+                        .then(|| t.equality_lookup(index_eq))
+                        .flatten()
+                    {
+                        Some(ids) => Box::new(operators::ScanOp::index_point(t, ids, kernel)),
+                        None => Box::new(operators::ScanOp::filtered(t, batch_size, kernel)),
+                    }
+                }
+            }
         }
         PhysicalPlan::Dual => Box::new(operators::DualOp::new()),
         PhysicalPlan::Filter { input, predicate } => {
@@ -150,6 +171,7 @@ pub fn build_operator<'a>(
                 build_keys.clone(),
                 residual,
                 *join,
+                batch_size,
             ))
         }
         PhysicalPlan::NestedLoopJoin {
@@ -174,6 +196,7 @@ pub fn build_operator<'a>(
                 build_width,
                 on,
                 *join,
+                batch_size,
             ))
         }
         PhysicalPlan::SetOp {
@@ -203,6 +226,26 @@ pub fn build_operator<'a>(
                 })
                 .collect::<Result<_, EngineError>>()?;
             Box::new(operators::SortOp::new(child, prepared, batch_size))
+        }
+        PhysicalPlan::TopK {
+            input,
+            keys,
+            limit,
+            offset,
+        } => {
+            let child = build_operator(input, catalog, batch_size)?;
+            let prepared: Vec<(BoundExpr, bool)> = keys
+                .iter()
+                .map(|k| {
+                    Ok((
+                        prepare_expr_with_batch_size(&k.expr, catalog, batch_size)?,
+                        k.desc,
+                    ))
+                })
+                .collect::<Result<_, EngineError>>()?;
+            Box::new(operators::TopKOp::new(
+                child, prepared, *limit, *offset, batch_size,
+            ))
         }
         PhysicalPlan::Limit {
             input,

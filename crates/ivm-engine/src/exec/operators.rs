@@ -1,33 +1,65 @@
-//! Streaming operators: scan, filter, project, limit, sort, distinct, and
-//! set operations.
+//! Streaming operators: scan, filter, project, limit, sort, top-k,
+//! distinct, and set operations.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 use crate::error::EngineError;
-use crate::exec::batch::{ColumnData, RowBatch};
+use crate::exec::batch::{ColumnData, RowBatch, DEFAULT_BATCH_SIZE};
 use crate::exec::{BoxedOperator, Operator, Row};
-use crate::expr::BoundExpr;
+use crate::expr::{BoundExpr, VectorKernel};
 use crate::planner::SetOpKind;
 use crate::storage::Table;
 use crate::value::Value;
 
-/// Zero-copy batched scan over a base table.
+/// Zero-copy batched scan over a base table, optionally with a pushed-down
+/// predicate evaluated per storage chunk (and answered through an ART
+/// index for covered equality keys).
 pub struct ScanOp<'a> {
-    batches: Box<dyn Iterator<Item = RowBatch<'a>> + 'a>,
+    batches: Box<dyn Iterator<Item = Result<RowBatch<'a>, EngineError>> + 'a>,
 }
 
 impl<'a> ScanOp<'a> {
     /// Scan `table` in batches of `batch_size` live rows.
     pub fn new(table: &'a Table, batch_size: usize) -> ScanOp<'a> {
         ScanOp {
-            batches: Box::new(table.scan_batches(batch_size)),
+            batches: Box::new(table.scan_batches(batch_size).map(Ok)),
+        }
+    }
+
+    /// Scan with a pushed-down predicate: the kernel runs once per storage
+    /// chunk and only selected rows flow downstream.
+    pub fn filtered(table: &'a Table, batch_size: usize, kernel: Arc<VectorKernel>) -> ScanOp<'a> {
+        ScanOp {
+            batches: Box::new(table.scan_batches_filtered(batch_size, kernel)),
+        }
+    }
+
+    /// Index point read: emit the rows with the given ids (already proven
+    /// live by the index), re-checked against the full pushed predicate.
+    pub fn index_point(
+        table: &'a Table,
+        row_ids: Vec<u64>,
+        kernel: Arc<VectorKernel>,
+    ) -> ScanOp<'a> {
+        let batches = std::iter::once_with(move || {
+            if row_ids.is_empty() {
+                return Ok(None);
+            }
+            let batch = table.batch_from_row_ids(&row_ids);
+            let keep = kernel.select(&batch)?;
+            Ok(batch.retain(keep))
+        })
+        .filter_map(|r: Result<Option<RowBatch<'a>>, EngineError>| r.transpose());
+        ScanOp {
+            batches: Box::new(batches),
         }
     }
 }
 
 impl<'a> Operator<'a> for ScanOp<'a> {
     fn next_batch(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
-        Ok(self.batches.next())
+        self.batches.next().transpose()
     }
 }
 
@@ -53,29 +85,27 @@ impl<'a> Operator<'a> for DualOp {
     }
 }
 
-/// Streaming filter: evaluates the predicate per row and forwards a
-/// selection vector; values are never copied.
+/// Streaming filter: runs the compiled predicate kernel once per batch and
+/// forwards a selection vector; values are never copied.
 pub struct FilterOp<'a> {
     input: BoxedOperator<'a>,
-    predicate: BoundExpr,
+    kernel: VectorKernel,
 }
 
 impl<'a> FilterOp<'a> {
-    /// Filter `input` by a prepared predicate.
+    /// Filter `input` by a prepared predicate (compiled to a kernel here).
     pub fn new(input: BoxedOperator<'a>, predicate: BoundExpr) -> FilterOp<'a> {
-        FilterOp { input, predicate }
+        FilterOp {
+            input,
+            kernel: VectorKernel::compile(&predicate),
+        }
     }
 }
 
 impl<'a> Operator<'a> for FilterOp<'a> {
     fn next_batch(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
         while let Some(batch) = self.input.next_batch()? {
-            let mut keep: Vec<u32> = Vec::new();
-            for row in 0..batch.num_rows() {
-                if self.predicate.eval(&batch.row_view(row))?.as_bool() == Some(true) {
-                    keep.push(row as u32);
-                }
-            }
+            let keep = self.kernel.select(&batch)?;
             if let Some(out) = batch.retain(keep) {
                 return Ok(Some(out));
             }
@@ -84,17 +114,32 @@ impl<'a> Operator<'a> for FilterOp<'a> {
     }
 }
 
+/// One projection output column: either a zero-copy column passthrough or
+/// a compiled expression kernel.
+enum ProjColumn {
+    Passthrough(usize),
+    Computed(VectorKernel),
+}
+
 /// Streaming projection. Plain column references pass their chunk through
-/// (zero-copy); computed expressions evaluate into owned columns.
+/// (zero-copy); computed expressions run as vectorized kernels into owned
+/// columns.
 pub struct ProjectOp<'a> {
     input: BoxedOperator<'a>,
-    exprs: Vec<BoundExpr>,
+    columns: Vec<ProjColumn>,
 }
 
 impl<'a> ProjectOp<'a> {
     /// Project `input` through prepared expressions.
     pub fn new(input: BoxedOperator<'a>, exprs: Vec<BoundExpr>) -> ProjectOp<'a> {
-        ProjectOp { input, exprs }
+        let columns = exprs
+            .iter()
+            .map(|expr| match expr {
+                BoundExpr::Column { index, .. } => ProjColumn::Passthrough(*index),
+                _ => ProjColumn::Computed(VectorKernel::compile(expr)),
+            })
+            .collect();
+        ProjectOp { input, columns }
     }
 }
 
@@ -104,18 +149,19 @@ impl<'a> Operator<'a> for ProjectOp<'a> {
             return Ok(None);
         };
         let rows = batch.num_rows();
-        let mut columns = Vec::with_capacity(self.exprs.len());
-        for expr in &self.exprs {
-            match expr {
-                BoundExpr::Column { index, .. } if *index < batch.width() => {
+        let mut columns = Vec::with_capacity(self.columns.len());
+        for proj in &self.columns {
+            match proj {
+                ProjColumn::Passthrough(index) if *index < batch.width() => {
                     columns.push(batch.column(*index).clone());
                 }
-                _ => {
-                    let mut values = Vec::with_capacity(rows);
-                    for row in 0..rows {
-                        values.push(expr.eval(&batch.row_view(row))?);
-                    }
-                    columns.push(ColumnData::owned(values));
+                ProjColumn::Passthrough(index) => {
+                    return Err(EngineError::execution(format!(
+                        "column index {index} out of range"
+                    )));
+                }
+                ProjColumn::Computed(kernel) => {
+                    columns.push(ColumnData::owned(kernel.eval_column(&batch)?));
                 }
             }
         }
@@ -245,6 +291,140 @@ impl<'a> Operator<'a> for SortOp<'a> {
         if self.output.is_none() {
             let sorted = self.drain_and_sort()?;
             self.output = Some(sorted);
+        }
+        Ok(self.output.as_mut().and_then(VecDeque::pop_front))
+    }
+}
+
+/// Compare two decorated key vectors under `(expr, descending)` specs.
+fn cmp_keys(a: &[Value], b: &[Value], keys: &[(BoundExpr, bool)]) -> std::cmp::Ordering {
+    for (i, (_, desc)) in keys.iter().enumerate() {
+        let ord = a[i].total_cmp(&b[i]);
+        let ord = if *desc { ord.reverse() } else { ord };
+        if !ord.is_eq() {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// `ORDER BY … LIMIT k [OFFSET o]` through a bounded binary max-heap of
+/// `k + o` rows: O(n log k) instead of a full sort, and memory bounded by
+/// `min(k + o, input rows)`. The *retained set* is tie-stable (on equal
+/// keys the earlier input row survives eviction), but tied rows may be
+/// emitted in a different relative order than the stable full sort — SQL
+/// leaves tie order unspecified.
+pub struct TopKOp<'a> {
+    input: BoxedOperator<'a>,
+    keys: Vec<(BoundExpr, bool)>,
+    limit: usize,
+    offset: usize,
+    batch_size: usize,
+    output: Option<VecDeque<RowBatch<'a>>>,
+}
+
+impl<'a> TopKOp<'a> {
+    /// Keep the first `limit` rows after `offset` under the sort order.
+    pub fn new(
+        input: BoxedOperator<'a>,
+        keys: Vec<(BoundExpr, bool)>,
+        limit: usize,
+        offset: usize,
+        batch_size: usize,
+    ) -> TopKOp<'a> {
+        TopKOp {
+            input,
+            keys,
+            limit,
+            offset,
+            batch_size,
+            output: None,
+        }
+    }
+
+    /// Sift the root down (`heap[0]` is the *worst* retained row).
+    fn sift_down(heap: &mut [(Vec<Value>, Row)], keys: &[(BoundExpr, bool)]) {
+        let len = heap.len();
+        let mut i = 0;
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < len && cmp_keys(&heap[l].0, &heap[largest].0, keys).is_gt() {
+                largest = l;
+            }
+            if r < len && cmp_keys(&heap[r].0, &heap[largest].0, keys).is_gt() {
+                largest = r;
+            }
+            if largest == i {
+                return;
+            }
+            heap.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    fn sift_up(heap: &mut [(Vec<Value>, Row)], keys: &[(BoundExpr, bool)]) {
+        let mut i = heap.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if cmp_keys(&heap[i].0, &heap[parent].0, keys).is_gt() {
+                heap.swap(i, parent);
+                i = parent;
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn drain_and_collect(&mut self) -> Result<VecDeque<RowBatch<'a>>, EngineError> {
+        let k = self.limit.saturating_add(self.offset);
+        if k == 0 {
+            return Ok(VecDeque::new());
+        }
+        // Never preallocate from the user-supplied LIMIT (a huge k would
+        // abort on allocation); the heap grows only with rows seen.
+        let mut heap: Vec<(Vec<Value>, Row)> = Vec::with_capacity(k.min(DEFAULT_BATCH_SIZE));
+        while let Some(batch) = self.input.next_batch()? {
+            for row in 0..batch.num_rows() {
+                let view = batch.row_view(row);
+                let mut kv = Vec::with_capacity(self.keys.len());
+                for (expr, _) in &self.keys {
+                    kv.push(expr.eval(&view)?);
+                }
+                if heap.len() < k {
+                    heap.push((kv, batch.materialize_row(row)));
+                    Self::sift_up(&mut heap, &self.keys);
+                } else if cmp_keys(&kv, &heap[0].0, &self.keys).is_lt() {
+                    // Strictly better than the worst retained row; on ties
+                    // the earlier row stays, matching the stable sort.
+                    heap[0] = (kv, batch.materialize_row(row));
+                    Self::sift_down(&mut heap, &self.keys);
+                }
+            }
+        }
+        let keys = &self.keys;
+        heap.sort_by(|(ka, _), (kb, _)| cmp_keys(ka, kb, keys));
+        let width = heap.first().map_or(0, |(_, r)| r.len());
+        let mut out = VecDeque::new();
+        let mut chunk: Vec<Row> = Vec::new();
+        for (_, row) in heap.into_iter().skip(self.offset) {
+            chunk.push(row);
+            if chunk.len() == self.batch_size {
+                out.push_back(RowBatch::from_rows(width, std::mem::take(&mut chunk)));
+            }
+        }
+        if !chunk.is_empty() {
+            out.push_back(RowBatch::from_rows(width, chunk));
+        }
+        Ok(out)
+    }
+}
+
+impl<'a> Operator<'a> for TopKOp<'a> {
+    fn next_batch(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
+        if self.output.is_none() {
+            let collected = self.drain_and_collect()?;
+            self.output = Some(collected);
         }
         Ok(self.output.as_mut().and_then(VecDeque::pop_front))
     }

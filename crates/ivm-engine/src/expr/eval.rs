@@ -196,7 +196,7 @@ fn eval_binary<R: Tuple + ?Sized>(
     }
 }
 
-fn eval_arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value, EngineError> {
+pub(crate) fn eval_arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value, EngineError> {
     // DATE ± INTEGER arithmetic.
     if let (Value::Date(d), Value::Integer(i)) = (l, r) {
         return match op {
@@ -270,7 +270,7 @@ pub(crate) fn sql_equal(l: &Value, r: &Value) -> Result<bool, EngineError> {
 }
 
 /// SQL ordering for non-NULL operands of compatible types.
-fn sql_compare(l: &Value, r: &Value) -> Result<std::cmp::Ordering, EngineError> {
+pub(crate) fn sql_compare(l: &Value, r: &Value) -> Result<std::cmp::Ordering, EngineError> {
     let compatible = match (l.data_type(), r.data_type()) {
         (Some(a), Some(b)) => a == b || (a.is_numeric() && b.is_numeric()),
         _ => true,

@@ -3,10 +3,12 @@
 pub mod bind;
 pub mod eval;
 mod funcs;
+pub mod vector;
 
 pub use bind::{BindColumn, Scope};
 pub use eval::like_match;
 pub use funcs::{AggFunc, ScalarFunc};
+pub use vector::VectorKernel;
 
 use ivm_sql::ast::{BinaryOp, UnaryOp};
 

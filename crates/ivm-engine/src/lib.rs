@@ -6,18 +6,20 @@
 //! generated propagation scripts.
 //!
 //! Components:
-//! - columnar in-memory storage with tombstone deletes and zero-copy batch
-//!   scans ([`storage`])
+//! - columnar in-memory storage with tombstone deletes, zero-copy batch
+//!   scans, and predicate-pushdown filtered scans ([`storage`])
 //! - an Adaptive Radix Tree index with order-preserving key encoding
-//!   ([`index`]) — used for primary keys and `INSERT OR REPLACE`
-//! - expression binding and evaluation with SQL NULL semantics ([`expr`])
+//!   ([`index`]) — used for primary keys, `INSERT OR REPLACE`, and scan
+//!   point reads on pushed-down equality predicates
+//! - expression binding and evaluation with SQL NULL semantics ([`expr`]),
+//!   plus vectorized chunk-at-a-time kernels ([`expr::vector`])
 //! - a logical planner ([`planner`]), rule-based optimizer ([`optimizer`]),
 //!   and physical lowering ([`planner::physical`]: join-side selection,
-//!   equi-key extraction, aggregate mode)
+//!   equi-key extraction, aggregate mode, top-k, scan pushdown)
 //! - a batched pull-based executor over columnar [`exec::RowBatch`]es:
 //!   streaming scan/filter/project/limit, build-probe hash join
-//!   (INNER/LEFT/RIGHT/FULL/CROSS), hash aggregate, set operations,
-//!   sorting ([`exec`])
+//!   (INNER/LEFT/RIGHT/FULL/CROSS) with bounded output batches, hash
+//!   aggregate, set operations, sorting, bounded-heap top-k ([`exec`])
 //! - the `Database` session API ([`session`])
 //!
 //! ## Quick example

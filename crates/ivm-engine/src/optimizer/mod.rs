@@ -6,6 +6,8 @@
 
 mod rules;
 
+pub(crate) use rules::push_scan_predicates;
+
 use crate::planner::LogicalPlan;
 
 /// Optimize a logical plan (fixpoint over the rule set, bounded).

@@ -3,7 +3,10 @@
 use ivm_sql::ast::BinaryOp;
 
 use crate::expr::{flatten_and, BoundExpr};
+use crate::planner::physical::PhysicalPlan;
 use crate::planner::LogicalPlan;
+use crate::schema::Schema;
+use crate::types::DataType;
 use crate::value::Value;
 
 /// Fold constant sub-expressions throughout the plan.
@@ -111,6 +114,186 @@ pub(crate) fn push_down_filters(plan: LogicalPlan) -> LogicalPlan {
             },
         }
     })
+}
+
+/// Physical rule: fold `Filter` nodes sitting directly on a `TableScan`
+/// into the scan itself, so storage evaluates the predicate per chunk
+/// (and can answer `column = literal` conjuncts through an ART index).
+/// Runs after lowering, over the whole physical tree.
+pub(crate) fn push_scan_predicates(plan: PhysicalPlan) -> PhysicalPlan {
+    transform_physical_up(plan, &|node| {
+        let PhysicalPlan::Filter { input, predicate } = node else {
+            return node;
+        };
+        match *input {
+            PhysicalPlan::TableScan {
+                table,
+                schema,
+                predicate: existing,
+                ..
+            } => {
+                let merged = match existing {
+                    Some(e) => BoundExpr::Binary {
+                        op: BinaryOp::And,
+                        left: Box::new(e),
+                        right: Box::new(predicate),
+                    },
+                    None => predicate,
+                };
+                let index_eq = index_equality_keys(&merged, &schema);
+                PhysicalPlan::TableScan {
+                    table,
+                    schema,
+                    predicate: Some(merged),
+                    index_eq,
+                }
+            }
+            other => PhysicalPlan::Filter {
+                input: Box::new(other),
+                predicate,
+            },
+        }
+    })
+}
+
+/// Extract `column = literal` conjuncts usable as ART lookup keys. The
+/// literal must match the column's declared type exactly; DOUBLE columns
+/// are excluded because they may physically store INTEGER values whose
+/// index encoding differs from an equal DOUBLE literal.
+fn index_equality_keys(predicate: &BoundExpr, schema: &Schema) -> Vec<(usize, Value)> {
+    let mut conjuncts = Vec::new();
+    flatten_and(predicate, &mut conjuncts);
+    let mut keys = Vec::new();
+    for c in &conjuncts {
+        let BoundExpr::Binary {
+            op: BinaryOp::Eq,
+            left,
+            right,
+        } = c
+        else {
+            continue;
+        };
+        let (index, lit) = match (left.as_ref(), right.as_ref()) {
+            (BoundExpr::Column { index, .. }, BoundExpr::Literal(v))
+            | (BoundExpr::Literal(v), BoundExpr::Column { index, .. }) => (*index, v),
+            _ => continue,
+        };
+        let Some(col) = schema.columns.get(index) else {
+            continue;
+        };
+        if col.ty == DataType::Double || lit.data_type() != Some(col.ty) {
+            continue;
+        }
+        keys.push((index, lit.clone()));
+    }
+    keys
+}
+
+/// Bottom-up transformation over a physical plan.
+fn transform_physical_up(
+    plan: PhysicalPlan,
+    f: &impl Fn(PhysicalPlan) -> PhysicalPlan,
+) -> PhysicalPlan {
+    let with_children = match plan {
+        PhysicalPlan::TableScan { .. } | PhysicalPlan::Dual => plan,
+        PhysicalPlan::Filter { input, predicate } => PhysicalPlan::Filter {
+            input: Box::new(transform_physical_up(*input, f)),
+            predicate,
+        },
+        PhysicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => PhysicalPlan::Project {
+            input: Box::new(transform_physical_up(*input, f)),
+            exprs,
+            schema,
+        },
+        PhysicalPlan::HashJoin {
+            probe,
+            build,
+            probe_keys,
+            build_keys,
+            residual,
+            join,
+            schema,
+        } => PhysicalPlan::HashJoin {
+            probe: Box::new(transform_physical_up(*probe, f)),
+            build: Box::new(transform_physical_up(*build, f)),
+            probe_keys,
+            build_keys,
+            residual,
+            join,
+            schema,
+        },
+        PhysicalPlan::NestedLoopJoin {
+            probe,
+            build,
+            on,
+            join,
+            schema,
+        } => PhysicalPlan::NestedLoopJoin {
+            probe: Box::new(transform_physical_up(*probe, f)),
+            build: Box::new(transform_physical_up(*build, f)),
+            on,
+            join,
+            schema,
+        },
+        PhysicalPlan::HashAggregate {
+            input,
+            group,
+            aggs,
+            mode,
+            schema,
+        } => PhysicalPlan::HashAggregate {
+            input: Box::new(transform_physical_up(*input, f)),
+            group,
+            aggs,
+            mode,
+            schema,
+        },
+        PhysicalPlan::SetOp {
+            op,
+            all,
+            left,
+            right,
+            schema,
+        } => PhysicalPlan::SetOp {
+            op,
+            all,
+            left: Box::new(transform_physical_up(*left, f)),
+            right: Box::new(transform_physical_up(*right, f)),
+            schema,
+        },
+        PhysicalPlan::Distinct { input } => PhysicalPlan::Distinct {
+            input: Box::new(transform_physical_up(*input, f)),
+        },
+        PhysicalPlan::Sort { input, keys } => PhysicalPlan::Sort {
+            input: Box::new(transform_physical_up(*input, f)),
+            keys,
+        },
+        PhysicalPlan::TopK {
+            input,
+            keys,
+            limit,
+            offset,
+        } => PhysicalPlan::TopK {
+            input: Box::new(transform_physical_up(*input, f)),
+            keys,
+            limit,
+            offset,
+        },
+        PhysicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => PhysicalPlan::Limit {
+            input: Box::new(transform_physical_up(*input, f)),
+            limit,
+            offset,
+        },
+    };
+    f(with_children)
 }
 
 fn wrap_filter(plan: LogicalPlan, preds: Vec<BoundExpr>) -> LogicalPlan {

@@ -17,6 +17,7 @@ use crate::error::EngineError;
 use crate::expr::{flatten_and, AggExpr, BoundExpr};
 use crate::planner::{LogicalPlan, SetOpKind, SortKey};
 use crate::schema::Schema;
+use crate::value::Value;
 
 /// Join semantics after lowering. RIGHT joins no longer exist physically:
 /// they become a mirrored `LeftOuter` plus a column-restoring projection.
@@ -43,12 +44,18 @@ pub enum AggMode {
 /// asks the root for batches and demand propagates down.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PhysicalPlan {
-    /// Batched scan over a base table's column vectors.
+    /// Batched scan over a base table's column vectors, optionally with a
+    /// pushed-down predicate evaluated per storage chunk.
     TableScan {
         /// Catalog table name.
         table: String,
         /// Table schema.
         schema: Schema,
+        /// Pushed-down filter over the table's columns (`None` = full scan).
+        predicate: Option<BoundExpr>,
+        /// `column = literal` conjuncts of `predicate` eligible for an ART
+        /// point lookup (column position, literal value).
+        index_eq: Vec<(usize, Value)>,
     },
     /// A single zero-column row (`SELECT 1` with no FROM).
     Dual,
@@ -137,6 +144,17 @@ pub enum PhysicalPlan {
         /// Sort keys, major first.
         keys: Vec<SortKey>,
     },
+    /// Bounded-heap `ORDER BY … LIMIT k` (keeps `limit + offset` rows).
+    TopK {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Sort keys, major first.
+        keys: Vec<SortKey>,
+        /// Maximum rows to emit after the offset.
+        limit: usize,
+        /// Rows to skip.
+        offset: usize,
+    },
     /// Streaming LIMIT/OFFSET with early termination.
     Limit {
         /// Input operator.
@@ -166,6 +184,7 @@ impl PhysicalPlan {
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Distinct { input }
             | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::TopK { input, .. }
             | PhysicalPlan::Limit { input, .. } => input.schema(),
         }
     }
@@ -175,7 +194,24 @@ impl PhysicalPlan {
         fn fmt(plan: &PhysicalPlan, depth: usize, out: &mut String) {
             let pad = "  ".repeat(depth);
             let line = match plan {
-                PhysicalPlan::TableScan { table, .. } => format!("TableScan {table}"),
+                PhysicalPlan::TableScan {
+                    table,
+                    predicate,
+                    index_eq,
+                    ..
+                } => format!(
+                    "TableScan {table}{}{}",
+                    if predicate.is_some() {
+                        " [filtered]"
+                    } else {
+                        ""
+                    },
+                    if index_eq.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" [index_eq={}]", index_eq.len())
+                    }
+                ),
                 PhysicalPlan::Dual => "Dual".to_string(),
                 PhysicalPlan::Filter { .. } => "Filter".to_string(),
                 PhysicalPlan::Project { schema, .. } => {
@@ -212,6 +248,12 @@ impl PhysicalPlan {
                 }
                 PhysicalPlan::Distinct { .. } => "Distinct".to_string(),
                 PhysicalPlan::Sort { keys, .. } => format!("Sort keys={}", keys.len()),
+                PhysicalPlan::TopK {
+                    keys,
+                    limit,
+                    offset,
+                    ..
+                } => format!("TopK keys={} limit={limit} offset={offset}", keys.len()),
                 PhysicalPlan::Limit { limit, offset, .. } => {
                     format!("Limit limit={limit:?} offset={offset}")
                 }
@@ -226,6 +268,7 @@ impl PhysicalPlan {
                 | PhysicalPlan::HashAggregate { input, .. }
                 | PhysicalPlan::Distinct { input }
                 | PhysicalPlan::Sort { input, .. }
+                | PhysicalPlan::TopK { input, .. }
                 | PhysicalPlan::Limit { input, .. } => fmt(input, depth + 1, out),
                 PhysicalPlan::HashJoin { probe, build, .. }
                 | PhysicalPlan::NestedLoopJoin { probe, build, .. } => {
@@ -244,16 +287,26 @@ impl PhysicalPlan {
     }
 }
 
-/// Lower an optimized logical plan into a physical operator tree.
+/// Lower an optimized logical plan into a physical operator tree, then
+/// fold eligible `Filter` nodes into their `TableScan` inputs (predicate
+/// pushdown into storage — see [`crate::optimizer`]'s physical rule).
 pub fn lower(plan: &LogicalPlan, catalog: &Catalog) -> Result<PhysicalPlan, EngineError> {
+    Ok(crate::optimizer::push_scan_predicates(lower_node(
+        plan, catalog,
+    )?))
+}
+
+fn lower_node(plan: &LogicalPlan, catalog: &Catalog) -> Result<PhysicalPlan, EngineError> {
     Ok(match plan {
         LogicalPlan::Scan { table, schema } => PhysicalPlan::TableScan {
             table: table.clone(),
             schema: schema.clone(),
+            predicate: None,
+            index_eq: Vec::new(),
         },
         LogicalPlan::Dual { .. } => PhysicalPlan::Dual,
         LogicalPlan::Filter { input, predicate } => PhysicalPlan::Filter {
-            input: Box::new(lower(input, catalog)?),
+            input: Box::new(lower_node(input, catalog)?),
             predicate: predicate.clone(),
         },
         LogicalPlan::Project {
@@ -261,7 +314,7 @@ pub fn lower(plan: &LogicalPlan, catalog: &Catalog) -> Result<PhysicalPlan, Engi
             exprs,
             schema,
         } => PhysicalPlan::Project {
-            input: Box::new(lower(input, catalog)?),
+            input: Box::new(lower_node(input, catalog)?),
             exprs: exprs.clone(),
             schema: schema.clone(),
         },
@@ -271,7 +324,7 @@ pub fn lower(plan: &LogicalPlan, catalog: &Catalog) -> Result<PhysicalPlan, Engi
             aggs,
             schema,
         } => PhysicalPlan::HashAggregate {
-            input: Box::new(lower(input, catalog)?),
+            input: Box::new(lower_node(input, catalog)?),
             group: group.clone(),
             aggs: aggs.clone(),
             mode: if group.is_empty() {
@@ -297,23 +350,49 @@ pub fn lower(plan: &LogicalPlan, catalog: &Catalog) -> Result<PhysicalPlan, Engi
         } => PhysicalPlan::SetOp {
             op: *op,
             all: *all,
-            left: Box::new(lower(left, catalog)?),
-            right: Box::new(lower(right, catalog)?),
+            left: Box::new(lower_node(left, catalog)?),
+            right: Box::new(lower_node(right, catalog)?),
             schema: schema.clone(),
         },
         LogicalPlan::Distinct { input } => PhysicalPlan::Distinct {
-            input: Box::new(lower(input, catalog)?),
+            input: Box::new(lower_node(input, catalog)?),
         },
         LogicalPlan::Sort { input, keys } => PhysicalPlan::Sort {
-            input: Box::new(lower(input, catalog)?),
+            input: Box::new(lower_node(input, catalog)?),
             keys: keys.clone(),
         },
+        // ORDER BY … LIMIT k lowers to a bounded-heap top-k instead of a
+        // full sort followed by a limit.
+        LogicalPlan::Limit {
+            input,
+            limit: Some(limit),
+            offset,
+        } => {
+            if let LogicalPlan::Sort {
+                input: sorted,
+                keys,
+            } = input.as_ref()
+            {
+                PhysicalPlan::TopK {
+                    input: Box::new(lower_node(sorted, catalog)?),
+                    keys: keys.clone(),
+                    limit: *limit,
+                    offset: *offset,
+                }
+            } else {
+                PhysicalPlan::Limit {
+                    input: Box::new(lower_node(input, catalog)?),
+                    limit: Some(*limit),
+                    offset: *offset,
+                }
+            }
+        }
         LogicalPlan::Limit {
             input,
             limit,
             offset,
         } => PhysicalPlan::Limit {
-            input: Box::new(lower(input, catalog)?),
+            input: Box::new(lower_node(input, catalog)?),
             limit: *limit,
             offset: *offset,
         },
@@ -421,8 +500,8 @@ fn lower_join(
         schema.clone()
     };
 
-    let probe = Box::new(lower(probe_lp, catalog)?);
-    let build = Box::new(lower(build_lp, catalog)?);
+    let probe = Box::new(lower_node(probe_lp, catalog)?);
+    let build = Box::new(lower_node(build_lp, catalog)?);
 
     let (equi, residual) = match &on_in_frame {
         Some(pred) => split_equi_conjuncts(pred, probe_width, probe_width + build_width),
@@ -676,6 +755,69 @@ mod tests {
             "{}",
             global.explain()
         );
+    }
+
+    #[test]
+    fn filters_fold_into_scans() {
+        let catalog = catalog_with_sizes(10, 20);
+        let p = lower_sql("SELECT v FROM big WHERE v > 3 AND id = 7", &catalog);
+        fn find_scan(plan: &PhysicalPlan) -> &PhysicalPlan {
+            match plan {
+                PhysicalPlan::TableScan { .. } => plan,
+                PhysicalPlan::Project { input, .. }
+                | PhysicalPlan::Filter { input, .. }
+                | PhysicalPlan::Limit { input, .. } => find_scan(input),
+                other => panic!("unexpected node in {}", other.explain()),
+            }
+        }
+        let PhysicalPlan::TableScan {
+            predicate,
+            index_eq,
+            ..
+        } = find_scan(&p)
+        else {
+            unreachable!()
+        };
+        assert!(predicate.is_some(), "{}", p.explain());
+        assert_eq!(index_eq.len(), 1, "{}", p.explain());
+        assert_eq!(index_eq[0].0, 0, "id is column 0");
+        assert!(
+            !p.explain().contains("Filter"),
+            "no standalone filter left:\n{}",
+            p.explain()
+        );
+    }
+
+    #[test]
+    fn filters_above_joins_stay_filters_only_on_scans() {
+        // HAVING filters sit above aggregates and must not be folded.
+        let catalog = catalog_with_sizes(10, 20);
+        let p = lower_sql(
+            "SELECT id, COUNT(*) AS c FROM big GROUP BY id HAVING COUNT(*) > 1",
+            &catalog,
+        );
+        assert!(p.explain().contains("Filter"), "{}", p.explain());
+    }
+
+    #[test]
+    fn order_by_limit_lowers_to_top_k() {
+        let catalog = catalog_with_sizes(10, 20);
+        let p = lower_sql(
+            "SELECT v FROM big ORDER BY v DESC LIMIT 5 OFFSET 2",
+            &catalog,
+        );
+        let explain = p.explain();
+        assert!(
+            explain.contains("TopK keys=1 limit=5 offset=2"),
+            "{explain}"
+        );
+        assert!(!explain.contains("Sort"), "{explain}");
+        // LIMIT without ORDER BY stays a streaming limit.
+        let p = lower_sql("SELECT v FROM big LIMIT 5", &catalog);
+        assert!(p.explain().contains("Limit"), "{}", p.explain());
+        // ORDER BY without LIMIT stays a full sort.
+        let p = lower_sql("SELECT v FROM big ORDER BY v", &catalog);
+        assert!(p.explain().contains("Sort"), "{}", p.explain());
     }
 
     #[test]

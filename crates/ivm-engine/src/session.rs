@@ -474,18 +474,20 @@ impl Database {
                 prepare_expr_with_batch_size(&b, &self.catalog, self.batch_size)?,
             ));
         }
-        // Phase 1: compute new rows against a stable snapshot.
+        // Phase 1: compute new rows against a stable snapshot. Victims are
+        // found by a chunked vectorized scan; only they are materialized.
         let mut changes: Vec<(u64, Row)> = Vec::new();
         {
             let table = self.catalog.table(&tname)?;
-            for (row_id, row) in table.scan() {
-                let selected = match &predicate {
-                    Some(p) => p.eval(&row)?.as_bool() == Some(true),
-                    None => true,
-                };
-                if !selected {
-                    continue;
+            let victims = match &predicate {
+                Some(p) => {
+                    let kernel = crate::expr::VectorKernel::compile(p);
+                    table.filter_row_ids(self.batch_size, &kernel)?
                 }
+                None => table.live_row_ids(),
+            };
+            for row_id in victims {
+                let row = table.row(row_id);
                 let mut updated = row.clone();
                 for (pos, expr) in &bound_assignments {
                     updated[*pos] = coerce(expr.eval(&row)?, schema.columns[*pos].ty)?;
@@ -516,19 +518,19 @@ impl Database {
             }
             None => None,
         };
-        let mut victims: Vec<u64> = Vec::new();
-        {
+        let Some(predicate) = predicate else {
+            // Unconditional DELETE clears the table wholesale — the shape
+            // every propagation script ends with (`DELETE FROM Δ…`).
+            let table = self.catalog.table_mut(&tname)?;
+            let affected = table.live_rows();
+            table.truncate();
+            return Ok(QueryResult::dml(affected));
+        };
+        let victims: Vec<u64> = {
             let table = self.catalog.table(&tname)?;
-            for (row_id, row) in table.scan() {
-                let selected = match &predicate {
-                    Some(p) => p.eval(&row)?.as_bool() == Some(true),
-                    None => true,
-                };
-                if selected {
-                    victims.push(row_id);
-                }
-            }
-        }
+            let kernel = crate::expr::VectorKernel::compile(&predicate);
+            table.filter_row_ids(self.batch_size, &kernel)?
+        };
         let affected = victims.len();
         let table = self.catalog.table_mut(&tname)?;
         for row_id in victims {

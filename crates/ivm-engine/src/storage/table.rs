@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use crate::error::EngineError;
 use crate::exec::batch::{ColumnData, RowBatch};
+use crate::expr::VectorKernel;
 use crate::index::TableIndex;
 use crate::schema::Schema;
 use crate::value::Value;
@@ -258,10 +259,13 @@ impl Table {
                 .all(|(col, t)| &col[idx] == t);
             return matches.then_some(id);
         }
+        // Probe cheap-to-compare columns first: an integer mismatch is one
+        // tag-and-word compare, a text mismatch walks bytes. Column order
+        // doesn't change which rows match.
+        let mut order: Vec<usize> = (0..target.len()).collect();
+        order.sort_by_key(|&c| matches!(target[c], Value::Varchar(_)));
         (0..self.deleted.len())
-            .find(|&i| {
-                !self.deleted[i] && self.columns.iter().zip(target).all(|(col, t)| &col[i] == t)
-            })
+            .find(|&i| !self.deleted[i] && order.iter().all(|&c| self.columns[c][i] == target[c]))
             .map(|i| i as u64)
     }
 
@@ -277,6 +281,53 @@ impl Table {
         &self.columns[index]
     }
 
+    /// True when the table holds no tombstones (a clean append-only window
+    /// end to end — the common shape of delta tables). Scans then skip all
+    /// per-window tombstone bookkeeping.
+    pub fn is_clean(&self) -> bool {
+        self.live == self.deleted.len()
+    }
+
+    /// Build the zero-copy batch for the window starting at `start`
+    /// (physical slots). Returns the batch (possibly empty of live rows →
+    /// `None`) and the next window start. `clean` skips the tombstone
+    /// check, for tables known to be append-only.
+    fn window_batch(
+        &self,
+        start: usize,
+        batch_size: usize,
+        clean: bool,
+    ) -> (Option<RowBatch<'_>>, usize) {
+        let end = (start + batch_size).min(self.deleted.len());
+        let window = start..end;
+        if clean || self.deleted[window.clone()].iter().all(|&d| !d) {
+            // Clean window: contiguous slices, no selection vector.
+            let columns = self
+                .columns
+                .iter()
+                .map(|c| ColumnData::borrowed(&c[window.clone()]))
+                .collect();
+            return (Some(RowBatch::new(columns, window.len())), end);
+        }
+        let live: Arc<Vec<u32>> = Arc::new(
+            window
+                .clone()
+                .filter(|&i| !self.deleted[i])
+                .map(|i| i as u32)
+                .collect(),
+        );
+        if live.is_empty() {
+            return (None, end);
+        }
+        let rows = live.len();
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| ColumnData::borrowed_with_sel(&c[..], Arc::clone(&live)))
+            .collect();
+        (Some(RowBatch::new(columns, rows)), end)
+    }
+
     /// Zero-copy batched scan: yields [`RowBatch`]es of up to `batch_size`
     /// live rows that *borrow* the column vectors. Tombstone-free windows
     /// come out as plain slices; windows with deletions share one
@@ -284,41 +335,131 @@ impl Table {
     pub fn scan_batches(&self, batch_size: usize) -> impl Iterator<Item = RowBatch<'_>> + '_ {
         let batch_size = batch_size.max(1);
         let total = self.deleted.len();
+        let clean = self.is_clean();
         let mut start = 0usize;
         std::iter::from_fn(move || {
             while start < total {
-                let end = (start + batch_size).min(total);
-                let window = start..end;
-                start = end;
-                if self.deleted[window.clone()].iter().all(|&d| !d) {
-                    // Clean window: contiguous slices, no selection vector.
-                    let columns = self
-                        .columns
-                        .iter()
-                        .map(|c| ColumnData::borrowed(&c[window.clone()]))
-                        .collect();
-                    return Some(RowBatch::new(columns, window.len()));
+                let (batch, next) = self.window_batch(start, batch_size, clean);
+                start = next;
+                if batch.is_some() {
+                    return batch;
                 }
-                let live: Arc<Vec<u32>> = Arc::new(
-                    window
-                        .clone()
-                        .filter(|&i| !self.deleted[i])
-                        .map(|i| i as u32)
-                        .collect(),
-                );
-                if live.is_empty() {
-                    continue;
-                }
-                let rows = live.len();
-                let columns = self
-                    .columns
-                    .iter()
-                    .map(|c| ColumnData::borrowed_with_sel(&c[..], Arc::clone(&live)))
-                    .collect();
-                return Some(RowBatch::new(columns, rows));
             }
             None
         })
+    }
+
+    /// Batched scan with a pushed-down predicate: the compiled kernel is
+    /// evaluated once per storage chunk and only the selected rows are
+    /// forwarded (as a composed selection vector — values are never
+    /// cloned). Batches that select nothing are skipped entirely.
+    pub fn scan_batches_filtered(
+        &self,
+        batch_size: usize,
+        kernel: Arc<VectorKernel>,
+    ) -> impl Iterator<Item = Result<RowBatch<'_>, EngineError>> + '_ {
+        let batch_size = batch_size.max(1);
+        let total = self.deleted.len();
+        let clean = self.is_clean();
+        let mut start = 0usize;
+        std::iter::from_fn(move || {
+            while start < total {
+                let (batch, next) = self.window_batch(start, batch_size, clean);
+                start = next;
+                let Some(batch) = batch else { continue };
+                let keep = match kernel.select(&batch) {
+                    Ok(keep) => keep,
+                    Err(e) => return Some(Err(e)),
+                };
+                if let Some(out) = batch.retain(keep) {
+                    return Some(Ok(out));
+                }
+            }
+            None
+        })
+    }
+
+    /// A zero-copy batch over explicit live row ids (the index point-read
+    /// path).
+    pub fn batch_from_row_ids(&self, ids: &[u64]) -> RowBatch<'_> {
+        let sel: Arc<Vec<u32>> = Arc::new(ids.iter().map(|&id| id as u32).collect());
+        let rows = sel.len();
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| ColumnData::borrowed_with_sel(&c[..], Arc::clone(&sel)))
+            .collect();
+        RowBatch::new(columns, rows)
+    }
+
+    /// Answer a conjunction of `column = value` predicates through an ART
+    /// index, if one covers the equality columns: the primary key first,
+    /// then unique secondary indexes. Returns the matching live row ids
+    /// (zero or one — unique indexes only), or `None` when no index
+    /// applies and the caller must scan.
+    pub fn equality_lookup(&self, eq: &[(usize, Value)]) -> Option<Vec<u64>> {
+        if eq.is_empty() {
+            return None;
+        }
+        let try_index = |idx: &TableIndex| -> Option<Vec<u64>> {
+            let key: Option<Vec<Value>> = idx
+                .columns
+                .iter()
+                .map(|c| eq.iter().find(|(i, _)| i == c).map(|(_, v)| v.clone()))
+                .collect();
+            let key = key?;
+            Some(idx.get(&key).into_iter().collect())
+        };
+        if let Some(pk) = &self.pk_index {
+            if let Some(ids) = try_index(pk) {
+                return Some(ids);
+            }
+        }
+        for (_, idx) in &self.secondary {
+            if !idx.unique {
+                continue;
+            }
+            if let Some(ids) = try_index(idx) {
+                return Some(ids);
+            }
+        }
+        None
+    }
+
+    /// Ids of the live rows matching a compiled predicate, found through
+    /// chunked vectorized evaluation instead of per-row materialization.
+    /// Powers `UPDATE`/`DELETE` victim selection.
+    pub fn filter_row_ids(
+        &self,
+        batch_size: usize,
+        kernel: &VectorKernel,
+    ) -> Result<Vec<u64>, EngineError> {
+        let batch_size = batch_size.max(1);
+        let total = self.deleted.len();
+        let clean = self.is_clean();
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        while start < total {
+            let window_start = start;
+            let (batch, next) = self.window_batch(start, batch_size, clean);
+            start = next;
+            let Some(batch) = batch else { continue };
+            let keep = kernel.select(&batch)?;
+            if keep.is_empty() {
+                continue;
+            }
+            if batch.num_rows() == next - window_start {
+                // Clean window: logical row i is physical window_start + i.
+                out.extend(keep.iter().map(|&i| (window_start + i as usize) as u64));
+            } else {
+                let live: Vec<u64> = (window_start..next)
+                    .filter(|&i| !self.deleted[i])
+                    .map(|i| i as u64)
+                    .collect();
+                out.extend(keep.iter().map(|&i| live[i as usize]));
+            }
+        }
+        Ok(out)
     }
 
     /// Ids of all live rows.
@@ -594,6 +735,77 @@ mod tests {
         assert_eq!(t.lookup_pk(&[Value::from("a")]), None);
         // Re-insert after truncate works.
         t.insert(vec![Value::from("a"), Value::Integer(2)]).unwrap();
+    }
+
+    fn value_gt(col: usize, k: i64) -> VectorKernel {
+        use crate::expr::BoundExpr;
+        VectorKernel::compile(&BoundExpr::Binary {
+            op: ivm_sql::ast::BinaryOp::Gt,
+            left: Box::new(BoundExpr::Column {
+                index: col,
+                ty: Some(DataType::Integer),
+                name: "v".into(),
+            }),
+            right: Box::new(BoundExpr::Literal(Value::Integer(k))),
+        })
+    }
+
+    #[test]
+    fn filtered_scan_skips_tombstones_and_chunks() {
+        let mut t = groups_table();
+        for v in 0..100i64 {
+            t.insert(vec![Value::from("g"), Value::Integer(v)]).unwrap();
+        }
+        for v in (0..100).step_by(3) {
+            t.delete(v as u64).unwrap();
+        }
+        let kernel = Arc::new(value_gt(1, 50));
+        let mut got = Vec::new();
+        for batch in t.scan_batches_filtered(16, Arc::clone(&kernel)) {
+            let batch = batch.unwrap();
+            for row in 0..batch.num_rows() {
+                got.push(batch.value(1, row).as_integer().unwrap());
+            }
+        }
+        let expected: Vec<i64> = (51..100).filter(|v| v % 3 != 0).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn filter_row_ids_maps_logical_to_physical() {
+        let mut t = groups_table();
+        for v in 0..20i64 {
+            t.insert(vec![Value::from("g"), Value::Integer(v)]).unwrap();
+        }
+        t.delete(4).unwrap();
+        t.delete(7).unwrap();
+        let kernel = value_gt(1, 2);
+        let ids = t.filter_row_ids(8, &kernel).unwrap();
+        let expected: Vec<u64> = (3..20).filter(|&v| v != 4 && v != 7).collect();
+        assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn equality_lookup_uses_pk() {
+        let mut t = keyed_table();
+        t.insert(vec![Value::from("a"), Value::Integer(1)]).unwrap();
+        t.insert(vec![Value::from("b"), Value::Integer(2)]).unwrap();
+        assert_eq!(
+            t.equality_lookup(&[(0, Value::from("b"))]),
+            Some(vec![1]),
+            "PK hit"
+        );
+        assert_eq!(
+            t.equality_lookup(&[(0, Value::from("zz"))]),
+            Some(vec![]),
+            "PK miss proves absence"
+        );
+        // Equality on a non-indexed column → no index applies.
+        assert_eq!(t.equality_lookup(&[(1, Value::Integer(1))]), None);
+        assert_eq!(t.equality_lookup(&[]), None);
+        // Deleted keys vanish from the index.
+        t.delete(1).unwrap();
+        assert_eq!(t.equality_lookup(&[(0, Value::from("b"))]), Some(vec![]));
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! Differential testing of the vectorized expression kernels: for random
+//! expression trees over random columns (NULLs included, mixed types,
+//! error-capable arithmetic), `VectorKernel::select` / `eval_column` must
+//! agree with row-at-a-time `BoundExpr::eval` — same selected rows, same
+//! output values, and errors on exactly the same inputs (short-circuit
+//! `AND`/`OR` semantics must be preserved, so a row that `eval` never
+//! divides on can't raise a division error vectorized).
+
+use openivm::ivm_engine::exec::RowBatch;
+use openivm::ivm_engine::expr::{BoundExpr, ScalarFunc, VectorKernel};
+use openivm::ivm_engine::types::DataType;
+use openivm::ivm_engine::value::Value;
+use openivm::ivm_sql::ast::{BinaryOp, UnaryOp};
+use proptest::prelude::*;
+
+/// Column layout shared by every case:
+/// 0: INTEGER (nullable), 1: INTEGER, 2: VARCHAR (nullable),
+/// 3: BOOLEAN (nullable), 4: DOUBLE.
+const WIDTH: usize = 5;
+
+fn value_strategy(col: usize) -> BoxedStrategy<Value> {
+    match col {
+        0 => prop_oneof![
+            3 => (-50i64..50).prop_map(Value::Integer),
+            1 => Just(Value::Null),
+        ]
+        .boxed(),
+        1 => (-50i64..50).prop_map(Value::Integer).boxed(),
+        2 => prop_oneof![
+            3 => "[a-c]{0,2}".prop_map(Value::from),
+            1 => Just(Value::Null),
+        ]
+        .boxed(),
+        3 => prop_oneof![
+            2 => any::<bool>().prop_map(Value::Boolean),
+            1 => Just(Value::Null),
+        ]
+        .boxed(),
+        _ => (-5.0f64..5.0).prop_map(Value::Double).boxed(),
+    }
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<Vec<Value>>> {
+    let row = (
+        value_strategy(0),
+        value_strategy(1),
+        value_strategy(2),
+        value_strategy(3),
+        value_strategy(4),
+    );
+    proptest::collection::vec(row, 0..40).prop_map(|rows| {
+        let mut columns: Vec<Vec<Value>> =
+            (0..WIDTH).map(|_| Vec::with_capacity(rows.len())).collect();
+        for (a, b, c, d, e) in rows {
+            columns[0].push(a);
+            columns[1].push(b);
+            columns[2].push(c);
+            columns[3].push(d);
+            columns[4].push(e);
+        }
+        columns
+    })
+}
+
+fn col(index: usize, ty: DataType) -> BoundExpr {
+    BoundExpr::Column {
+        index,
+        ty: Some(ty),
+        name: format!("c{index}"),
+    }
+}
+
+fn leaf_strategy() -> BoxedStrategy<BoundExpr> {
+    prop_oneof![
+        Just(col(0, DataType::Integer)),
+        Just(col(1, DataType::Integer)),
+        Just(col(2, DataType::Varchar)),
+        Just(col(3, DataType::Boolean)),
+        Just(col(4, DataType::Double)),
+        (-10i64..10).prop_map(|v| BoundExpr::Literal(Value::Integer(v))),
+        (-3.0f64..3.0).prop_map(|v| BoundExpr::Literal(Value::Double(v))),
+        "[a-c]{0,2}".prop_map(|s| BoundExpr::Literal(Value::from(s))),
+        any::<bool>().prop_map(|b| BoundExpr::Literal(Value::Boolean(b))),
+        Just(BoundExpr::Literal(Value::Null)),
+    ]
+    .boxed()
+}
+
+fn cmp_ops() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![
+        Just(BinaryOp::Eq),
+        Just(BinaryOp::NotEq),
+        Just(BinaryOp::Lt),
+        Just(BinaryOp::LtEq),
+        Just(BinaryOp::Gt),
+        Just(BinaryOp::GtEq),
+    ]
+}
+
+fn arith_ops() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![
+        Just(BinaryOp::Plus),
+        Just(BinaryOp::Minus),
+        Just(BinaryOp::Multiply),
+        Just(BinaryOp::Divide),
+        Just(BinaryOp::Modulo),
+    ]
+}
+
+fn bool_ops() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![Just(BinaryOp::And), Just(BinaryOp::Or)]
+}
+
+fn expr_strategy() -> impl Strategy<Value = BoundExpr> {
+    leaf_strategy().prop_recursive(3, 48, 3, move |inner| {
+        prop_oneof![
+            // Comparisons and arithmetic over arbitrary (possibly
+            // ill-typed, possibly zero-divisor) operands.
+            (cmp_ops(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| {
+                BoundExpr::Binary {
+                    op,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }
+            }),
+            (arith_ops(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| {
+                BoundExpr::Binary {
+                    op,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }
+            }),
+            (bool_ops(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| {
+                BoundExpr::Binary {
+                    op,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }
+            }),
+            inner.clone().prop_map(|e| BoundExpr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e),
+            }),
+            inner.clone().prop_map(|e| BoundExpr::Unary {
+                op: UnaryOp::Minus,
+                expr: Box::new(e),
+            }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| BoundExpr::IsNull {
+                expr: Box::new(e),
+                negated,
+            }),
+            // CASE exercises the row-at-a-time fallback inside kernels.
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(w, t, e)| {
+                BoundExpr::Case {
+                    branches: vec![(w, t)],
+                    else_result: Some(Box::new(e)),
+                }
+            }),
+            (
+                inner.clone(),
+                proptest::collection::vec(inner.clone(), 1..3),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, negated)| BoundExpr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated,
+                }),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(|args| BoundExpr::ScalarFn {
+                func: ScalarFunc::Coalesce,
+                args,
+            }),
+        ]
+    })
+}
+
+/// Row-at-a-time reference: exactly what `FilterOp` used to do.
+fn eval_select(expr: &BoundExpr, batch: &RowBatch<'_>) -> Result<Vec<u32>, String> {
+    let mut keep = Vec::new();
+    for row in 0..batch.num_rows() {
+        match expr.eval(&batch.row_view(row)) {
+            Ok(v) => {
+                if v.as_bool() == Some(true) {
+                    keep.push(row as u32);
+                }
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    Ok(keep)
+}
+
+fn eval_project(expr: &BoundExpr, batch: &RowBatch<'_>) -> Result<Vec<Value>, String> {
+    (0..batch.num_rows())
+        .map(|row| expr.eval(&batch.row_view(row)).map_err(|e| e.to_string()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn kernels_agree_with_row_at_a_time_eval(
+        columns in rows_strategy(),
+        expr in expr_strategy(),
+    ) {
+        let batch = RowBatch::from_columns(columns);
+        let kernel = VectorKernel::compile(&expr);
+
+        // Predicate semantics: the selected row sets must be identical,
+        // and an error must occur on both sides or neither.
+        let expected = eval_select(&expr, &batch);
+        let got = kernel.select(&batch).map_err(|e| e.to_string());
+        match (&expected, &got) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "selection mismatch for {:?}", expr),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(
+                false,
+                "error divergence for {:?}: eval={:?} kernel={:?}",
+                expr, a, b
+            ),
+        }
+
+        // Projection semantics: same values (SQL equality — 5 and 5.0 are
+        // the same value), same error behavior.
+        let expected = eval_project(&expr, &batch);
+        let got = kernel.eval_column(&batch).map_err(|e| e.to_string());
+        match (&expected, &got) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "projection mismatch for {:?}", expr),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(
+                false,
+                "error divergence for {:?}: eval={:?} kernel={:?}",
+                expr, a, b
+            ),
+        }
+    }
+}
