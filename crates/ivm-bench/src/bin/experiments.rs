@@ -10,7 +10,7 @@
 use ivm_bench::harness::{fmt_duration, Report};
 use ivm_bench::scenarios::{
     e1_ivm_vs_recompute, e2_art_overhead, e3_cross_system, e4_upsert_strategies, e5_batching,
-    e6_compile_time, E1Row,
+    e6_compile_time, eparallel_scaling, E1Row, EParallelRow,
 };
 
 /// Serialize E1 rows as JSON by hand (the workspace has no serde).
@@ -35,8 +35,63 @@ fn e1_json(rows: &[E1Row]) -> String {
     )
 }
 
+/// Serialize E-parallel rows as JSON by hand (no serde in the workspace).
+/// Records the machine's available parallelism alongside the
+/// measurements: scaling numbers are meaningless without it.
+fn eparallel_json(rows: &[EParallelRow]) -> String {
+    let base = rows.first().map(|r| r.recompute.as_nanos()).unwrap_or(0);
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"workers\": {}, \"base_rows\": {}, \"delta_rows\": {}, \
+                 \"recompute_ns\": {}, \"propagate_ns\": {}, \"recompute_speedup_vs_1\": {:.2}}}",
+                r.workers,
+                r.base_rows,
+                r.delta_rows,
+                r.recompute.as_nanos(),
+                r.propagate.as_nanos(),
+                base as f64 / r.recompute.as_nanos().max(1) as f64
+            )
+        })
+        .collect();
+    let cores = std::thread::available_parallelism().map_or(0, std::num::NonZero::get);
+    format!(
+        "{{\n\"experiment\": \"eparallel_scaling\",\n\"machine_cores\": {cores},\n\"rows\": [\n{}\n]\n}}\n",
+        entries.join(",\n")
+    )
+}
+
+fn print_eparallel(rows: &[EParallelRow]) {
+    let base = rows.first().map(|r| r.recompute).unwrap_or_default();
+    let mut report = Report::new(&["workers", "recompute", "speedup", "propagate (delta)"]);
+    for r in rows {
+        report.row(&[
+            r.workers.to_string(),
+            fmt_duration(r.recompute),
+            format!(
+                "{:.2}x",
+                base.as_secs_f64() / r.recompute.as_secs_f64().max(1e-9)
+            ),
+            format!("{} ({})", fmt_duration(r.propagate), r.delta_rows),
+        ]);
+    }
+    println!("{}", report.render());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--eparallel-json") {
+        let Some(path) = args.get(pos + 1) else {
+            eprintln!("experiments: --eparallel-json requires an output path");
+            std::process::exit(2);
+        };
+        let rows = eparallel_scaling(1_000_000, 1_000, &[1, 2, 4]);
+        print_eparallel(&rows);
+        std::fs::write(path, eparallel_json(&rows)).expect("write E-parallel JSON");
+        println!("wrote {path}");
+        return;
+    }
     if let Some(pos) = args.iter().position(|a| a == "--e1-json") {
         let Some(path) = args.get(pos + 1) else {
             eprintln!("experiments: --e1-json requires an output path");
@@ -177,6 +232,19 @@ fn main() {
         ]);
     }
     println!("{}", report.render());
+
+    // ---------------- E-parallel
+    println!("== E-parallel: morsel-driven multi-core scaling ==");
+    println!(
+        "   (recompute + large-delta propagation at 1/2/4 workers; this machine reports {} core(s))\n",
+        std::thread::available_parallelism().map_or(0, std::num::NonZero::get)
+    );
+    let (base, delta, workers): (usize, usize, &[usize]) = if quick {
+        (50_000, 200, &[1, 4])
+    } else {
+        (1_000_000, 1_000, &[1, 2, 4])
+    };
+    print_eparallel(&eparallel_scaling(base, delta, workers));
 
     // ---------------- E6
     println!("== E6: SQL-to-SQL compilation cost per view class ==\n");

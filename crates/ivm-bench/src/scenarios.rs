@@ -522,6 +522,63 @@ pub fn e5_batching(base_rows: usize, changes: usize, batch_sizes: &[usize]) -> V
     out
 }
 
+// ---------------------------------------------------------------- E-parallel
+
+/// One E-parallel measurement.
+#[derive(Debug, Clone)]
+pub struct EParallelRow {
+    /// Executor worker threads.
+    pub workers: usize,
+    /// Base-table size.
+    pub base_rows: usize,
+    /// Delta batch size for the propagation measurement.
+    pub delta_rows: usize,
+    /// Full view recomputation (scan + aggregate over the whole base
+    /// table) — the scan-heavy pipeline the morsel scheduler targets.
+    pub recompute: Duration,
+    /// Large-delta propagation (ingest + refresh scripts).
+    pub propagate: Duration,
+}
+
+/// E-parallel: morsel-driven multi-core scaling. Measures full view
+/// recomputation and large-delta propagation on the Listing-1 workload at
+/// each worker count (best of 3 per cell). Worker count 1 is the serial
+/// operator tree — the same code path as before the parallel subsystem.
+pub fn eparallel_scaling(base_rows: usize, delta: usize, workers: &[usize]) -> Vec<EParallelRow> {
+    let mut out = Vec::new();
+    for &w in workers {
+        let num_groups = (base_rows as f64).sqrt().ceil() as usize;
+        let (mut ivm, mut existing, mut wl) =
+            groups_session(IvmFlags::paper_defaults(), num_groups, base_rows, 0xEAA);
+        ivm.set_parallelism(w);
+        let view_sql = ivm.view("query_groups").unwrap().artifacts.view_sql.clone();
+        let mut recompute = Duration::MAX;
+        for _ in 0..3 {
+            let (r, d) = time_once(|| ivm.database().query(&view_sql).unwrap());
+            std::hint::black_box(r.rows.len());
+            recompute = recompute.min(d);
+        }
+        let mut propagate = Duration::MAX;
+        for _ in 0..3 {
+            let batch = wl.delta_batch(delta, 0.7, &mut existing);
+            let ((), d) = time_once(|| apply_batch(&mut ivm, &batch));
+            propagate = propagate.min(d);
+        }
+        assert!(
+            ivm.check_consistency("query_groups").unwrap(),
+            "E-parallel must stay consistent at {w} workers"
+        );
+        out.push(EParallelRow {
+            workers: w,
+            base_rows,
+            delta_rows: delta,
+            recompute,
+            propagate,
+        });
+    }
+    out
+}
+
 // ---------------------------------------------------------------- E6
 
 /// One E6 measurement.
@@ -639,5 +696,13 @@ mod tests {
     fn e6_smoke() {
         let rows = e6_compile_time(3);
         assert_eq!(rows.len(), 6);
+    }
+
+    #[test]
+    fn eparallel_smoke() {
+        let rows = eparallel_scaling(2_000, 20, &[1, 2]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.recompute.as_nanos() > 0));
+        assert!(rows.iter().all(|r| r.propagate.as_nanos() > 0));
     }
 }

@@ -103,6 +103,18 @@ impl IvmSession {
         &mut self.db
     }
 
+    /// Set the engine's executor parallelism (worker threads; clamped to
+    /// ≥ 1). Affects full recomputation and propagation-script execution
+    /// alike; 1 is the serial operator tree.
+    pub fn set_parallelism(&mut self, workers: usize) {
+        self.db.set_parallelism(workers);
+    }
+
+    /// The engine's executor parallelism.
+    pub fn parallelism(&self) -> usize {
+        self.db.parallelism()
+    }
+
     /// The active flags.
     pub fn flags(&self) -> &IvmFlags {
         &self.flags
@@ -562,8 +574,12 @@ impl IvmSession {
                     .insert(sql.clone(), parse_statement(sql).map_err(IvmError::from)?);
             }
             let stmt = &self.stmt_cache[sql];
+            // The SQL text keys the engine's bound-plan cache too: each
+            // maintenance statement is planned/optimized/lowered once and
+            // re-executed from the cached physical plan until DDL changes
+            // the catalog shape.
             self.db
-                .execute_statement(stmt)
+                .execute_statement_cached(sql, stmt)
                 .map_err(|e| IvmError::Engine(format!("{e} while running: {sql}")))?;
         }
         self.stats.maintenance_runs += 1;

@@ -5,19 +5,27 @@
 //! re-emits one output batch per `batch_size` groups in first-seen order.
 //! [`AggMode::Ungrouped`] runs a single accumulator set and always emits
 //! exactly one row, even for empty input.
+//!
+//! Group keys and aggregate arguments are evaluated **vectorized**: each
+//! expression is compiled once into a [`VectorKernel`] and evaluated
+//! chunk-at-a-time against the input batch, so the per-row work inside
+//! the fold loop is reduced to cloning the pre-computed values into the
+//! group hash table. The same [`AggSpec`] fold path is reused by the
+//! morsel-driven parallel executor ([`crate::exec::parallel`]), which
+//! folds per-morsel partial states and merges them with [`Acc::merge`].
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use crate::error::EngineError;
 use crate::exec::batch::RowBatch;
 use crate::exec::{BatchBuilder, BoxedOperator, Operator};
-use crate::expr::{AggExpr, AggFunc, BoundExpr};
+use crate::expr::{AggExpr, AggFunc, BoundExpr, VectorKernel};
 use crate::planner::physical::AggMode;
 use crate::value::Value;
 
 /// One accumulator per aggregate per group.
 #[derive(Debug, Clone)]
-enum Acc {
+pub(crate) enum Acc {
     Sum {
         total_i: i64,
         total_f: f64,
@@ -107,7 +115,70 @@ impl Acc {
         Ok(())
     }
 
-    fn finish(self) -> Value {
+    /// Fold `later` (a partial accumulator over rows that come *after*
+    /// every row `self` has seen) into `self`. Used by the parallel
+    /// executor to merge per-morsel partial states in morsel order, which
+    /// keeps first-seen semantics (MIN/MAX ties, SUM type promotion)
+    /// aligned with the serial fold.
+    pub(crate) fn merge(&mut self, later: Acc) -> Result<(), EngineError> {
+        match (self, later) {
+            (
+                Acc::Sum {
+                    total_i,
+                    total_f,
+                    is_float,
+                    seen,
+                },
+                Acc::Sum {
+                    total_i: bi,
+                    total_f: bf,
+                    is_float: bfl,
+                    seen: bs,
+                },
+            ) => {
+                *seen |= bs;
+                if *is_float || bfl {
+                    let a = if *is_float { *total_f } else { *total_i as f64 };
+                    let b = if bfl { bf } else { bi as f64 };
+                    *total_f = a + b;
+                    *is_float = true;
+                } else {
+                    *total_i = total_i
+                        .checked_add(bi)
+                        .ok_or_else(|| EngineError::execution("integer overflow in SUM"))?;
+                }
+            }
+            (Acc::Count(a), Acc::Count(b)) => *a += b,
+            (
+                Acc::Avg { total, count },
+                Acc::Avg {
+                    total: bt,
+                    count: bc,
+                },
+            ) => {
+                *total += bt;
+                *count += bc;
+            }
+            (Acc::Min(cur), Acc::Min(other)) => {
+                if let Some(v) = other {
+                    if cur.as_ref().is_none_or(|c| v.total_cmp(c).is_lt()) {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            (Acc::Max(cur), Acc::Max(other)) => {
+                if let Some(v) = other {
+                    if cur.as_ref().is_none_or(|c| v.total_cmp(c).is_gt()) {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            _ => unreachable!("mismatched accumulator kinds"),
+        }
+        Ok(())
+    }
+
+    pub(crate) fn finish(self) -> Value {
         match self {
             Acc::Sum {
                 total_i,
@@ -136,16 +207,185 @@ impl Acc {
     }
 }
 
-struct GroupState {
-    accs: Vec<Acc>,
-    distinct_seen: Vec<Option<HashSet<Value>>>,
+/// Per-group accumulator state: one [`Acc`] per aggregate, plus the seen
+/// sets of DISTINCT aggregates.
+#[derive(Debug)]
+pub(crate) struct GroupState {
+    pub(crate) accs: Vec<Acc>,
+    pub(crate) distinct_seen: Vec<Option<HashSet<Value>>>,
+}
+
+impl GroupState {
+    /// Merge a partial state over *later* rows into this one (same
+    /// ordering contract as [`Acc::merge`]). DISTINCT seen-sets are
+    /// unioned; with [`AggSpec::deferred_distinct`] the accumulators of
+    /// distinct aggregates are untouched until
+    /// [`AggSpec::finalize_distinct`] folds the merged sets.
+    pub(crate) fn merge(&mut self, later: GroupState) -> Result<(), EngineError> {
+        for (acc, b) in self.accs.iter_mut().zip(later.accs) {
+            acc.merge(b)?;
+        }
+        for (set, b) in self.distinct_seen.iter_mut().zip(later.distinct_seen) {
+            if let (Some(set), Some(b)) = (set, b) {
+                set.extend(b);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The compiled form of one aggregation: vectorized kernels for the group
+/// keys and aggregate arguments plus the fold/merge/finish logic, shared
+/// by the serial [`HashAggregateOp`] and the parallel partitioned
+/// aggregation.
+pub(crate) struct AggSpec {
+    aggs: Vec<AggExpr>,
+    group_kernels: Vec<VectorKernel>,
+    arg_kernels: Vec<Option<VectorKernel>>,
+    /// When set (parallel mode), DISTINCT aggregates only collect their
+    /// seen-sets during folding; the accumulators are fed once from the
+    /// merged set in [`AggSpec::finalize_distinct`]. The serial path
+    /// folds distinct values immediately (first-occurrence order).
+    deferred_distinct: bool,
+}
+
+impl AggSpec {
+    /// Compile kernels for prepared group expressions and aggregates.
+    pub(crate) fn new(group: &[BoundExpr], aggs: Vec<AggExpr>, deferred_distinct: bool) -> AggSpec {
+        let group_kernels = group.iter().map(VectorKernel::compile).collect();
+        let arg_kernels = aggs
+            .iter()
+            .map(|a| a.arg.as_ref().map(VectorKernel::compile))
+            .collect();
+        AggSpec {
+            aggs,
+            group_kernels,
+            arg_kernels,
+            deferred_distinct,
+        }
+    }
+
+    /// Number of aggregate output columns.
+    pub(crate) fn agg_width(&self) -> usize {
+        self.aggs.len()
+    }
+
+    /// A fresh per-group state.
+    pub(crate) fn new_state(&self) -> GroupState {
+        GroupState {
+            accs: self.aggs.iter().map(|a| Acc::new(a.func)).collect(),
+            distinct_seen: self
+                .aggs
+                .iter()
+                .map(|a| a.distinct.then(HashSet::new))
+                .collect(),
+        }
+    }
+
+    /// Evaluate the aggregate-argument kernels for one batch
+    /// (chunk-at-a-time; `None` slots are `COUNT(*)`).
+    fn arg_columns(&self, batch: &RowBatch<'_>) -> Result<Vec<Option<Vec<Value>>>, EngineError> {
+        self.arg_kernels
+            .iter()
+            .map(|k| k.as_ref().map(|k| k.eval_column(batch)).transpose())
+            .collect()
+    }
+
+    fn fold_row(
+        &self,
+        state: &mut GroupState,
+        row: usize,
+        arg_cols: &[Option<Vec<Value>>],
+    ) -> Result<(), EngineError> {
+        for (i, _agg) in self.aggs.iter().enumerate() {
+            let value = match &arg_cols[i] {
+                Some(col) => col[row].clone(),
+                // COUNT(*) counts rows; feed a constant marker.
+                None => Value::Boolean(true),
+            };
+            if value.is_null() {
+                continue;
+            }
+            if let Some(seen) = &mut state.distinct_seen[i] {
+                if !seen.insert(value.clone()) {
+                    continue;
+                }
+                if self.deferred_distinct {
+                    // Parallel mode: the accumulator is fed from the
+                    // merged set at finalization, never during folding.
+                    continue;
+                }
+            }
+            state.accs[i].update(&value)?;
+        }
+        Ok(())
+    }
+
+    /// Fold one batch into the grouped hash table, evaluating group keys
+    /// and aggregate arguments vectorized. New groups are appended to
+    /// `order` (first-seen order).
+    pub(crate) fn fold_batch_grouped(
+        &self,
+        batch: &RowBatch<'_>,
+        groups: &mut HashMap<Vec<Value>, GroupState>,
+        order: &mut Vec<Vec<Value>>,
+    ) -> Result<(), EngineError> {
+        let key_cols: Vec<Vec<Value>> = self
+            .group_kernels
+            .iter()
+            .map(|k| k.eval_column(batch))
+            .collect::<Result<_, _>>()?;
+        let arg_cols = self.arg_columns(batch)?;
+        for r in 0..batch.num_rows() {
+            let key: Vec<Value> = key_cols.iter().map(|c| c[r].clone()).collect();
+            let state = match groups.get_mut(&key) {
+                Some(s) => s,
+                None => {
+                    order.push(key.clone());
+                    let fresh = self.new_state();
+                    groups.entry(key).or_insert(fresh)
+                }
+            };
+            self.fold_row(state, r, &arg_cols)?;
+        }
+        Ok(())
+    }
+
+    /// Fold one batch into a single (ungrouped) accumulator state.
+    pub(crate) fn fold_batch_global(
+        &self,
+        batch: &RowBatch<'_>,
+        state: &mut GroupState,
+    ) -> Result<(), EngineError> {
+        let arg_cols = self.arg_columns(batch)?;
+        for r in 0..batch.num_rows() {
+            self.fold_row(state, r, &arg_cols)?;
+        }
+        Ok(())
+    }
+
+    /// Feed the merged DISTINCT sets into their accumulators (deferred
+    /// mode only). Values are folded in total order, which is
+    /// deterministic regardless of how morsels were scheduled.
+    pub(crate) fn finalize_distinct(&self, state: &mut GroupState) -> Result<(), EngineError> {
+        debug_assert!(self.deferred_distinct);
+        for (i, seen) in state.distinct_seen.iter_mut().enumerate() {
+            let Some(seen) = seen else { continue };
+            let mut values: Vec<Value> = seen.drain().collect();
+            values.sort_by(|a, b| a.total_cmp(b));
+            for v in &values {
+                state.accs[i].update(v)?;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Hash (or single-group) aggregation operator.
 pub struct HashAggregateOp<'a> {
     input: BoxedOperator<'a>,
-    group: Vec<BoundExpr>,
-    aggs: Vec<AggExpr>,
+    spec: AggSpec,
+    group_width: usize,
     mode: AggMode,
     batch_size: usize,
     output: Option<VecDeque<RowBatch<'a>>>,
@@ -162,78 +402,28 @@ impl<'a> HashAggregateOp<'a> {
     ) -> HashAggregateOp<'a> {
         debug_assert_eq!(mode == AggMode::Ungrouped, group.is_empty());
         HashAggregateOp {
+            spec: AggSpec::new(&group, aggs, false),
+            group_width: group.len(),
             input,
-            group,
-            aggs,
             mode,
             batch_size,
             output: None,
         }
     }
 
-    fn new_group_state(&self) -> GroupState {
-        GroupState {
-            accs: self.aggs.iter().map(|a| Acc::new(a.func)).collect(),
-            distinct_seen: self
-                .aggs
-                .iter()
-                .map(|a| a.distinct.then(HashSet::new))
-                .collect(),
-        }
-    }
-
-    fn fold_row(
-        aggs: &[AggExpr],
-        state: &mut GroupState,
-        row: &crate::exec::batch::BatchRow<'_, 'a>,
-    ) -> Result<(), EngineError> {
-        for (i, agg) in aggs.iter().enumerate() {
-            let value = match &agg.arg {
-                Some(e) => e.eval(row)?,
-                // COUNT(*) counts rows; feed a constant marker.
-                None => Value::Boolean(true),
-            };
-            if value.is_null() {
-                continue;
-            }
-            if let Some(seen) = &mut state.distinct_seen[i] {
-                if !seen.insert(value.clone()) {
-                    continue;
-                }
-            }
-            state.accs[i].update(&value)?;
-        }
-        Ok(())
-    }
-
     fn drain_and_aggregate(&mut self) -> Result<VecDeque<RowBatch<'a>>, EngineError> {
-        let width = self.group.len() + self.aggs.len();
+        let width = self.group_width + self.spec.agg_width();
         let mut groups: HashMap<Vec<Value>, GroupState> = HashMap::new();
         // Preserve first-seen group order for deterministic output.
         let mut order: Vec<Vec<Value>> = Vec::new();
-        let mut global = (self.mode == AggMode::Ungrouped).then(|| self.new_group_state());
+        let mut global = (self.mode == AggMode::Ungrouped).then(|| self.spec.new_state());
 
         while let Some(batch) = self.input.next_batch()? {
-            for r in 0..batch.num_rows() {
-                let row = batch.row_view(r);
-                let state = match &mut global {
-                    Some(s) => s,
-                    None => {
-                        let mut key = Vec::with_capacity(self.group.len());
-                        for g in &self.group {
-                            key.push(g.eval(&row)?);
-                        }
-                        match groups.get_mut(&key) {
-                            Some(s) => s,
-                            None => {
-                                order.push(key.clone());
-                                let fresh = self.new_group_state();
-                                groups.entry(key).or_insert(fresh)
-                            }
-                        }
-                    }
-                };
-                Self::fold_row(&self.aggs, state, &row)?;
+            match &mut global {
+                Some(state) => self.spec.fold_batch_global(&batch, state)?,
+                None => self
+                    .spec
+                    .fold_batch_grouped(&batch, &mut groups, &mut order)?,
             }
         }
 
@@ -496,5 +686,40 @@ mod tests {
         );
         assert_eq!(out.len(), 10);
         assert!(out.iter().all(|r| r[1] == Value::Integer(1)));
+    }
+
+    #[test]
+    fn acc_merge_matches_sequential_fold() {
+        // SUM: int + promoted-double partials merge exactly.
+        let mut a = Acc::new(AggFunc::Sum);
+        a.update(&Value::Integer(3)).unwrap();
+        let mut b = Acc::new(AggFunc::Sum);
+        b.update(&Value::Double(2.5)).unwrap();
+        a.merge(b).unwrap();
+        assert_eq!(a.finish(), Value::Double(5.5));
+        // Overflow surfaces through merge too.
+        let mut a = Acc::new(AggFunc::Sum);
+        a.update(&Value::Integer(i64::MAX)).unwrap();
+        let mut b = Acc::new(AggFunc::Sum);
+        b.update(&Value::Integer(1)).unwrap();
+        assert!(a.merge(b).is_err());
+        // MIN/MAX keep the earlier partial's value on equal keys.
+        let mut a = Acc::new(AggFunc::Min);
+        a.update(&Value::Integer(7)).unwrap();
+        let mut b = Acc::new(AggFunc::Min);
+        b.update(&Value::Integer(7)).unwrap();
+        a.merge(b).unwrap();
+        assert_eq!(a.finish(), Value::Integer(7));
+        // AVG partials combine totals and counts.
+        let mut a = Acc::new(AggFunc::Avg);
+        a.update(&Value::Integer(1)).unwrap();
+        let mut b = Acc::new(AggFunc::Avg);
+        b.update(&Value::Integer(3)).unwrap();
+        a.merge(b).unwrap();
+        assert_eq!(a.finish(), Value::Double(2.0));
+        // Empty partials merge to the empty result.
+        let mut a = Acc::new(AggFunc::Sum);
+        a.merge(Acc::new(AggFunc::Sum)).unwrap();
+        assert_eq!(a.finish(), Value::Null);
     }
 }

@@ -76,7 +76,7 @@ impl<'a> PendingOutput<'a> {
 
 /// Gather `indices` out of the build rows into owned columns;
 /// `u32::MAX` marks a NULL-padded (unmatched probe) slot.
-fn gather_build_columns<'a>(
+pub(crate) fn gather_build_columns<'a>(
     build: &[Row],
     build_width: usize,
     indices: &[u32],
@@ -100,7 +100,7 @@ fn gather_build_columns<'a>(
 
 /// Splice a probe-side selection with gathered build columns into one
 /// output batch of `probe ++ build` layout.
-fn splice_output<'a>(
+pub(crate) fn splice_output<'a>(
     probe_batch: &RowBatch<'a>,
     probe_sel: Vec<u32>,
     build: &[Row],
@@ -126,7 +126,7 @@ fn unmatched_build_ids(state: &BuildSide) -> Vec<u32> {
 
 /// One chunk of the FULL OUTER tail: the given unmatched build rows,
 /// padded with NULLs on the probe side.
-fn unmatched_build_batch<'a>(
+pub(crate) fn unmatched_build_batch<'a>(
     build_rows: &[Row],
     ids: &[u32],
     probe_width: usize,

@@ -8,8 +8,13 @@
 //! push selection vectors instead of cloning rows, and only pipeline
 //! breakers (hash tables, sorts) materialize values. `LIMIT` stops pulling
 //! as soon as it is satisfied.
+//!
+//! At session parallelism above 1, plans instead run through the
+//! morsel-driven parallel executor ([`parallel`]), which reuses these
+//! operators and kernels inside each worker.
 
 pub mod batch;
+pub mod parallel;
 
 mod aggregate;
 mod join;
@@ -19,6 +24,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 pub use batch::{BatchBuilder, BatchRow, ColumnData, JoinedRow, RowBatch, DEFAULT_BATCH_SIZE};
+pub use parallel::{execute_parallel, ParallelOptions, DEFAULT_MORSEL_SIZE};
 
 use crate::catalog::Catalog;
 use crate::error::EngineError;

@@ -1,0 +1,115 @@
+//! Parallel partitioned hash aggregation.
+//!
+//! Phase 1 is morsel-driven: each worker folds its morsels' batches into
+//! per-morsel partial states ([`GroupState`] maps with first-seen order)
+//! using the same vectorized [`AggSpec`] fold the serial operator runs.
+//! Phase 2 merges the per-morsel summaries **in morsel order** — so
+//! first-seen group order, MIN/MAX tie resolution, and SUM type
+//! promotion all match the serial executor regardless of how morsels
+//! were scheduled across workers. DISTINCT aggregates defer accumulator
+//! updates to a post-merge fold over the unioned value sets (in value
+//! order), which is likewise schedule-independent.
+//!
+//! Results are deterministic across parallelism levels for exact types;
+//! floating-point SUM/AVG may differ from the serial fold by rounding,
+//! and integer-SUM overflow detection applies to the re-associated
+//! partial sums, since both folds associate at morsel boundaries.
+
+use std::collections::HashMap;
+
+use crate::error::EngineError;
+use crate::exec::aggregate::{Acc, AggSpec, GroupState};
+use crate::exec::{prepare_expr_with_batch_size, Row};
+use crate::expr::{AggExpr, BoundExpr};
+use crate::planner::physical::AggMode;
+use crate::value::Value;
+
+use super::pipeline::{pipeline_tails, run_morsels, MorselOut, MorselWork, PipelineSpec};
+use super::Ctx;
+
+/// Aggregate a parallel pipeline: morsel-local fold, ordered merge,
+/// deferred-DISTINCT finalization. Emits rows in the serial first-seen
+/// group order (one row always, for ungrouped mode).
+pub(super) fn parallel_aggregate(
+    spec: &PipelineSpec<'_>,
+    group: &[BoundExpr],
+    aggs: &[AggExpr],
+    mode: AggMode,
+    ctx: &Ctx<'_>,
+) -> Result<Vec<Row>, EngineError> {
+    // Prepare expressions once (IN-subquery materialization), as the
+    // serial operator build does.
+    let group: Vec<BoundExpr> = group
+        .iter()
+        .map(|e| prepare_expr_with_batch_size(e, ctx.catalog, ctx.batch_size))
+        .collect::<Result<_, _>>()?;
+    let mut aggs = aggs.to_vec();
+    for a in &mut aggs {
+        if let Some(arg) = &a.arg {
+            a.arg = Some(prepare_expr_with_batch_size(
+                arg,
+                ctx.catalog,
+                ctx.batch_size,
+            )?);
+        }
+    }
+    let agg = AggSpec::new(&group, aggs, true);
+
+    match mode {
+        AggMode::Ungrouped => {
+            let partials = run_morsels(spec, ctx, MorselWork::AggGlobal(&agg))?;
+            let mut state = agg.new_state();
+            for (_, out) in partials {
+                let MorselOut::Global(s) = out else {
+                    unreachable!("global work yields global partials")
+                };
+                state.merge(s)?;
+            }
+            // FULL OUTER tails come after every probed morsel, as in the
+            // serial operator; fold them last.
+            for batch in pipeline_tails(spec, ctx)? {
+                agg.fold_batch_global(&batch, &mut state)?;
+            }
+            agg.finalize_distinct(&mut state)?;
+            // One output row even for empty input.
+            Ok(vec![state.accs.into_iter().map(Acc::finish).collect()])
+        }
+        AggMode::HashGrouped => {
+            let partials = run_morsels(spec, ctx, MorselWork::AggGrouped(&agg))?;
+            let mut groups: HashMap<Vec<Value>, GroupState> = HashMap::new();
+            let mut order: Vec<Vec<Value>> = Vec::new();
+            // Partials arrive sorted by morsel sequence; merging each
+            // morsel's groups in its local first-seen order reconstructs
+            // the global (serial) first-seen order.
+            for (_, out) in partials {
+                let MorselOut::Grouped(mut map, morsel_order) = out else {
+                    unreachable!("grouped work yields grouped partials")
+                };
+                for key in morsel_order {
+                    let state = map.remove(&key).expect("group recorded in its morsel");
+                    match groups.get_mut(&key) {
+                        Some(g) => g.merge(state)?,
+                        None => {
+                            order.push(key.clone());
+                            groups.insert(key, state);
+                        }
+                    }
+                }
+            }
+            for batch in pipeline_tails(spec, ctx)? {
+                agg.fold_batch_grouped(&batch, &mut groups, &mut order)?;
+            }
+            let mut rows = Vec::with_capacity(order.len());
+            for key in order {
+                let mut state = groups.remove(&key).expect("group recorded");
+                agg.finalize_distinct(&mut state)?;
+                rows.push(
+                    key.into_iter()
+                        .chain(state.accs.into_iter().map(Acc::finish))
+                        .collect(),
+                );
+            }
+            Ok(rows)
+        }
+    }
+}

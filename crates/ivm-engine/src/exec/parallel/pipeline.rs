@@ -1,0 +1,587 @@
+//! Pipeline decomposition and the morsel worker loop.
+//!
+//! A [`PipelineSpec`] is the parallel-executable form of one *pipeline*:
+//! a [`Table`] scan leaf (with an optional pushed-down predicate kernel)
+//! followed by a stack of morsel-local [`Stage`]s — filters, projections,
+//! and hash-join probes against pre-built, hash-partitioned build sides.
+//! Worker threads claim morsels from a [`MorselCursor`] and run the whole
+//! stage stack over each morsel's batches; per-morsel results carry the
+//! morsel sequence number so the coordinator can restore the serial row
+//! order when concatenating or merging.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::error::EngineError;
+use crate::exec::aggregate::{AggSpec, GroupState};
+use crate::exec::batch::{ColumnData, RowBatch};
+use crate::exec::join::{splice_output, unmatched_build_batch};
+use crate::exec::{prepare_expr_with_batch_size, Row};
+use crate::expr::VectorKernel;
+use crate::planner::physical::{PhysJoinKind, PhysicalPlan};
+use crate::storage::{MorselCursor, Table};
+use crate::value::Value;
+
+use super::Ctx;
+
+/// Build sides smaller than this are partitioned single-threaded; the
+/// scan-and-insert pass only pays off on larger inputs.
+const PARALLEL_BUILD_THRESHOLD: usize = 4096;
+
+/// One parallel pipeline: scan leaf plus morsel-local stages.
+pub(super) struct PipelineSpec<'a> {
+    pub(super) table: &'a Table,
+    scan_kernel: Option<VectorKernel>,
+    pub(super) stages: Vec<Stage>,
+}
+
+/// A morsel-local operator applied to each batch in turn.
+pub(super) enum Stage {
+    /// Vectorized predicate; forwards a composed selection.
+    Filter(VectorKernel),
+    /// Projection: column passthrough or computed kernel per output.
+    Project(Vec<Proj>),
+    /// Hash-join probe against a shared partitioned build side.
+    Join(JoinStage),
+}
+
+/// One projection output column.
+pub(super) enum Proj {
+    Pass(usize),
+    Compute(VectorKernel),
+}
+
+/// FNV-1a over the grouped-equality `Hash` of the key values: cheap,
+/// deterministic (unlike the std `RandomState`), and shared by every
+/// worker for radix partitioning.
+struct Fnv(u64);
+
+impl Hasher for Fnv {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn key_hash(key: &[Value]) -> u64 {
+    let mut h = Fnv(0xCBF2_9CE4_8422_2325);
+    for v in key {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+fn partition_count(workers: usize) -> usize {
+    (workers.max(1) * 4).next_power_of_two().min(64)
+}
+
+/// A hash-partitioned, read-only build side shared by all probe workers.
+///
+/// Rows are radix-partitioned on the equi-key hash into `parts.len()`
+/// (power of two) hash tables, so probes touch exactly one partition and
+/// no lock; per-key candidate lists preserve build-row order, matching
+/// the serial join's output order. `matched` flags are atomic because
+/// multiple workers probe concurrently.
+pub(super) struct JoinStage {
+    build_rows: Vec<Row>,
+    parts: Vec<HashMap<Vec<Value>, Vec<u32>>>,
+    mask: u64,
+    matched: Vec<AtomicBool>,
+    probe_keys: Vec<usize>,
+    residual: Option<VectorKernel>,
+    join: PhysJoinKind,
+    probe_width: usize,
+    build_width: usize,
+}
+
+impl JoinStage {
+    /// Partition `build_rows` on `build_keys`. Large build sides are
+    /// partitioned in parallel: contiguous row chunks build local
+    /// partition maps, merged per partition in chunk order so per-key
+    /// candidate lists stay in global row order.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn build(
+        build_rows: Vec<Row>,
+        probe_width: usize,
+        build_width: usize,
+        probe_keys: Vec<usize>,
+        build_keys: &[usize],
+        residual: Option<VectorKernel>,
+        join: PhysJoinKind,
+        workers: usize,
+    ) -> JoinStage {
+        let nparts = partition_count(workers);
+        let mask = (nparts - 1) as u64;
+        let key_of = |row: &Row| -> Option<(usize, Vec<Value>)> {
+            let mut key = Vec::with_capacity(build_keys.len());
+            for &k in build_keys {
+                let v = &row[k];
+                if v.is_null() {
+                    // SQL semantics: NULL keys never match.
+                    return None;
+                }
+                key.push(v.clone());
+            }
+            Some(((key_hash(&key) & mask) as usize, key))
+        };
+        let mut parts: Vec<HashMap<Vec<Value>, Vec<u32>>> = vec![HashMap::new(); nparts];
+        if workers > 1 && build_rows.len() >= PARALLEL_BUILD_THRESHOLD {
+            let chunk = build_rows.len().div_ceil(workers);
+            let chunk_maps: Vec<Vec<HashMap<Vec<Value>, Vec<u32>>>> = std::thread::scope(|s| {
+                let handles: Vec<_> = build_rows
+                    .chunks(chunk)
+                    .enumerate()
+                    .map(|(ci, slice)| {
+                        let key_of = &key_of;
+                        s.spawn(move || {
+                            let base = (ci * chunk) as u32;
+                            let mut local: Vec<HashMap<Vec<Value>, Vec<u32>>> =
+                                vec![HashMap::new(); nparts];
+                            for (off, row) in slice.iter().enumerate() {
+                                if let Some((p, key)) = key_of(row) {
+                                    local[p].entry(key).or_default().push(base + off as u32);
+                                }
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for chunk_map in chunk_maps {
+                for (p, map) in chunk_map.into_iter().enumerate() {
+                    for (key, ids) in map {
+                        parts[p].entry(key).or_default().extend(ids);
+                    }
+                }
+            }
+        } else {
+            for (i, row) in build_rows.iter().enumerate() {
+                if let Some((p, key)) = key_of(row) {
+                    parts[p].entry(key).or_default().push(i as u32);
+                }
+            }
+        }
+        // Matched flags exist only to compute the FULL OUTER tail; for
+        // other join kinds the per-match atomic store (and the contended
+        // cache lines it touches) would be pure overhead.
+        let matched = if join == PhysJoinKind::FullOuter {
+            (0..build_rows.len())
+                .map(|_| AtomicBool::new(false))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        JoinStage {
+            build_rows,
+            parts,
+            mask,
+            matched,
+            probe_keys,
+            residual,
+            join,
+            probe_width,
+            build_width,
+        }
+    }
+
+    /// Probe one batch: candidate pairs via the key partition, residual
+    /// filtered vectorized, output laid out in probe-row order with outer
+    /// padding — exactly the serial `HashJoinOp::join_batch` discipline.
+    fn apply<'b>(&self, batch: RowBatch<'b>) -> Result<Option<RowBatch<'b>>, EngineError> {
+        let preserve_probe = matches!(self.join, PhysJoinKind::LeftOuter | PhysJoinKind::FullOuter);
+        let rows = batch.num_rows();
+        let mut cand_rows: Vec<u32> = Vec::new();
+        let mut cand_bis: Vec<u32> = Vec::new();
+        let mut key = Vec::with_capacity(self.probe_keys.len());
+        'rows: for row in 0..rows {
+            key.clear();
+            for &k in &self.probe_keys {
+                let v = batch.value(k, row);
+                if v.is_null() {
+                    continue 'rows;
+                }
+                key.push(v.clone());
+            }
+            let part = (key_hash(&key) & self.mask) as usize;
+            if let Some(candidates) = self.parts[part].get(key.as_slice()) {
+                for &bi in candidates {
+                    cand_rows.push(row as u32);
+                    cand_bis.push(bi);
+                }
+            }
+        }
+        let pass: Option<Vec<bool>> = match &self.residual {
+            Some(kernel) if !cand_rows.is_empty() => {
+                let frame = splice_output(
+                    &batch,
+                    cand_rows.clone(),
+                    &self.build_rows,
+                    self.build_width,
+                    &cand_bis,
+                );
+                let sel = kernel.select(&frame)?;
+                let mut mask = vec![false; cand_rows.len()];
+                for i in sel {
+                    mask[i as usize] = true;
+                }
+                Some(mask)
+            }
+            _ => None,
+        };
+        let mut probe_sel: Vec<u32> = Vec::new();
+        let mut build_idx: Vec<u32> = Vec::new();
+        let mut cur = 0usize;
+        for row in 0..rows as u32 {
+            let mut any = false;
+            while cur < cand_rows.len() && cand_rows[cur] == row {
+                if pass.as_ref().is_none_or(|m| m[cur]) {
+                    any = true;
+                    if !self.matched.is_empty() {
+                        self.matched[cand_bis[cur] as usize].store(true, Ordering::Relaxed);
+                    }
+                    probe_sel.push(row);
+                    build_idx.push(cand_bis[cur]);
+                }
+                cur += 1;
+            }
+            if !any && preserve_probe {
+                probe_sel.push(row);
+                build_idx.push(u32::MAX);
+            }
+        }
+        if probe_sel.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(splice_output(
+            &batch,
+            probe_sel,
+            &self.build_rows,
+            self.build_width,
+            &build_idx,
+        )))
+    }
+
+    /// The FULL OUTER tail: unmatched build rows, NULL-padded on the
+    /// probe side, chunked at the executor batch size. Only meaningful
+    /// after every morsel has been probed.
+    fn tail_batches(&self, batch_size: usize) -> Vec<RowBatch<'static>> {
+        if self.join != PhysJoinKind::FullOuter {
+            return Vec::new();
+        }
+        let ids: Vec<u32> = self
+            .matched
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| !m.load(Ordering::Relaxed))
+            .map(|(i, _)| i as u32)
+            .collect();
+        ids.chunks(batch_size.max(1))
+            .map(|chunk| {
+                unmatched_build_batch(&self.build_rows, chunk, self.probe_width, self.build_width)
+            })
+            .collect()
+    }
+}
+
+impl Stage {
+    fn apply<'b>(&self, batch: RowBatch<'b>) -> Result<Option<RowBatch<'b>>, EngineError> {
+        match self {
+            Stage::Filter(kernel) => {
+                let keep = kernel.select(&batch)?;
+                Ok(batch.retain(keep))
+            }
+            Stage::Project(cols) => {
+                let rows = batch.num_rows();
+                let mut columns = Vec::with_capacity(cols.len());
+                for proj in cols {
+                    match proj {
+                        Proj::Pass(index) if *index < batch.width() => {
+                            columns.push(batch.column(*index).clone());
+                        }
+                        Proj::Pass(index) => {
+                            return Err(EngineError::execution(format!(
+                                "column index {index} out of range"
+                            )));
+                        }
+                        Proj::Compute(kernel) => {
+                            columns.push(ColumnData::owned(kernel.eval_column(&batch)?));
+                        }
+                    }
+                }
+                Ok(Some(RowBatch::new(columns, rows)))
+            }
+            Stage::Join(join) => join.apply(batch),
+        }
+    }
+}
+
+/// Run `batch` through `stages` in order; `None` when a stage drops every
+/// row.
+fn apply_stages<'b>(
+    stages: &[Stage],
+    mut batch: RowBatch<'b>,
+) -> Result<Option<RowBatch<'b>>, EngineError> {
+    for stage in stages {
+        match stage.apply(batch)? {
+            Some(b) => batch = b,
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(batch))
+}
+
+/// Whether `plan` roots a pipeline worth running in parallel: its scan
+/// leaf spans more than one morsel and is not answered by an index point
+/// read.
+pub(super) fn worth_parallel(plan: &PhysicalPlan, ctx: &Ctx<'_>) -> bool {
+    fn source(plan: &PhysicalPlan) -> Option<&PhysicalPlan> {
+        match plan {
+            PhysicalPlan::TableScan { .. } => Some(plan),
+            PhysicalPlan::Filter { input, .. } | PhysicalPlan::Project { input, .. } => {
+                source(input)
+            }
+            PhysicalPlan::HashJoin { probe, .. } => source(probe),
+            _ => None,
+        }
+    }
+    let Some(PhysicalPlan::TableScan {
+        table, index_eq, ..
+    }) = source(plan)
+    else {
+        return false;
+    };
+    let Ok(t) = ctx.catalog.table(table) else {
+        return false;
+    };
+    if t.total_slots() <= ctx.morsel_size {
+        return false;
+    }
+    index_eq.is_empty() || t.equality_lookup(index_eq).is_none()
+}
+
+/// Decompose `plan` into a [`PipelineSpec`]: walk Filter/Project/HashJoin
+/// nodes down to a `TableScan` leaf, compiling stage kernels and
+/// materializing + partitioning every join build side (recursively
+/// through the parallel executor). `None` when the shape is not a
+/// pipeline (the caller falls back to breaker-level parallelism or serial
+/// execution).
+pub(super) fn build_pipeline<'a>(
+    plan: &PhysicalPlan,
+    ctx: &Ctx<'a>,
+) -> Result<Option<PipelineSpec<'a>>, EngineError> {
+    Ok(match plan {
+        PhysicalPlan::TableScan {
+            table, predicate, ..
+        } => {
+            // Callers gate on `worth_parallel`, which already rejected
+            // index point reads (they take the serial path); no second
+            // `equality_lookup` probe here. A pipeline built without that
+            // gate would still be correct — `predicate` carries the full
+            // conjunction including any index-eligible equalities — just
+            // slower than the point read.
+            let t = ctx.catalog.table(table)?;
+            let scan_kernel = match predicate {
+                None => None,
+                Some(p) => {
+                    let prepared = prepare_expr_with_batch_size(p, ctx.catalog, ctx.batch_size)?;
+                    Some(VectorKernel::compile(&prepared))
+                }
+            };
+            Some(PipelineSpec {
+                table: t,
+                scan_kernel,
+                stages: Vec::new(),
+            })
+        }
+        PhysicalPlan::Filter { input, predicate } => match build_pipeline(input, ctx)? {
+            None => None,
+            Some(mut spec) => {
+                let prepared =
+                    prepare_expr_with_batch_size(predicate, ctx.catalog, ctx.batch_size)?;
+                spec.stages
+                    .push(Stage::Filter(VectorKernel::compile(&prepared)));
+                Some(spec)
+            }
+        },
+        PhysicalPlan::Project { input, exprs, .. } => match build_pipeline(input, ctx)? {
+            None => None,
+            Some(mut spec) => {
+                let mut cols = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    cols.push(match e {
+                        crate::expr::BoundExpr::Column { index, .. } => Proj::Pass(*index),
+                        _ => {
+                            let prepared =
+                                prepare_expr_with_batch_size(e, ctx.catalog, ctx.batch_size)?;
+                            Proj::Compute(VectorKernel::compile(&prepared))
+                        }
+                    });
+                }
+                spec.stages.push(Stage::Project(cols));
+                Some(spec)
+            }
+        },
+        PhysicalPlan::HashJoin {
+            probe,
+            build,
+            probe_keys,
+            build_keys,
+            residual,
+            join,
+            ..
+        } => match build_pipeline(probe, ctx)? {
+            None => None,
+            Some(mut spec) => {
+                // The build side materializes once, through the parallel
+                // executor itself (it may contain its own pipelines).
+                let build_rows = super::collect_rows(build, ctx)?;
+                let residual = residual
+                    .as_ref()
+                    .map(|e| prepare_expr_with_batch_size(e, ctx.catalog, ctx.batch_size))
+                    .transpose()?
+                    .map(|e| VectorKernel::compile(&e));
+                spec.stages.push(Stage::Join(JoinStage::build(
+                    build_rows,
+                    probe.schema().len(),
+                    build.schema().len(),
+                    probe_keys.clone(),
+                    build_keys,
+                    residual,
+                    *join,
+                    ctx.workers,
+                )));
+                Some(spec)
+            }
+        },
+        _ => None,
+    })
+}
+
+/// What each worker computes per morsel.
+pub(super) enum MorselWork<'s> {
+    /// Materialize the pipeline's output rows.
+    Collect,
+    /// Fold into a per-morsel grouped aggregation state.
+    AggGrouped(&'s AggSpec),
+    /// Fold into a per-morsel single accumulator set.
+    AggGlobal(&'s AggSpec),
+}
+
+/// The per-morsel result, tagged with the morsel sequence number by
+/// [`run_morsels`].
+pub(super) enum MorselOut {
+    Rows(Vec<Row>),
+    Grouped(HashMap<Vec<Value>, GroupState>, Vec<Vec<Value>>),
+    Global(GroupState),
+}
+
+fn process_morsel(
+    spec: &PipelineSpec<'_>,
+    ctx: &Ctx<'_>,
+    slots: Range<usize>,
+    work: &MorselWork<'_>,
+) -> Result<MorselOut, EngineError> {
+    let batches = spec
+        .table
+        .scan_morsel(slots, ctx.batch_size, spec.scan_kernel.as_ref())?;
+    match work {
+        MorselWork::Collect => {
+            let mut rows = Vec::new();
+            for batch in batches {
+                if let Some(b) = apply_stages(&spec.stages, batch)? {
+                    rows.extend(b.to_rows());
+                }
+            }
+            Ok(MorselOut::Rows(rows))
+        }
+        MorselWork::AggGrouped(agg) => {
+            let mut groups = HashMap::new();
+            let mut order = Vec::new();
+            for batch in batches {
+                if let Some(b) = apply_stages(&spec.stages, batch)? {
+                    agg.fold_batch_grouped(&b, &mut groups, &mut order)?;
+                }
+            }
+            Ok(MorselOut::Grouped(groups, order))
+        }
+        MorselWork::AggGlobal(agg) => {
+            let mut state = agg.new_state();
+            for batch in batches {
+                if let Some(b) = apply_stages(&spec.stages, batch)? {
+                    agg.fold_batch_global(&b, &mut state)?;
+                }
+            }
+            Ok(MorselOut::Global(state))
+        }
+    }
+}
+
+/// The morsel-driven worker loop: `ctx.workers` scoped threads claim
+/// morsels from a shared [`MorselCursor`] until the table is exhausted,
+/// producing one [`MorselOut`] per morsel. Results come back sorted by
+/// morsel sequence so callers reconstruct the serial order. On error the
+/// cursor is poisoned (other workers wind down) and the error from the
+/// earliest morsel is returned — the same error the serial executor
+/// would hit first.
+pub(super) fn run_morsels(
+    spec: &PipelineSpec<'_>,
+    ctx: &Ctx<'_>,
+    work: MorselWork<'_>,
+) -> Result<Vec<(usize, MorselOut)>, EngineError> {
+    let cursor = MorselCursor::new(spec.table.total_slots(), ctx.morsel_size);
+    let results: Mutex<Vec<(usize, MorselOut)>> = Mutex::new(Vec::new());
+    let errors: Mutex<Vec<(usize, EngineError)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for _ in 0..ctx.workers {
+            s.spawn(|| {
+                while let Some((seq, slots)) = cursor.claim() {
+                    match process_morsel(spec, ctx, slots, &work) {
+                        Ok(out) => results.lock().unwrap().push((seq, out)),
+                        Err(e) => {
+                            cursor.stop();
+                            errors.lock().unwrap().push((seq, e));
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let errors = errors.into_inner().unwrap();
+    if let Some((_, e)) = errors.into_iter().min_by_key(|(seq, _)| *seq) {
+        return Err(e);
+    }
+    let mut out = results.into_inner().unwrap();
+    out.sort_by_key(|(seq, _)| *seq);
+    Ok(out)
+}
+
+/// The pipeline's tail batches: for every FULL OUTER join stage
+/// (bottom-up), its unmatched build rows pushed through the *remaining*
+/// stages — which may probe (and mark matches in) outer join stages
+/// above, exactly as the serial executor's end-of-probe tail does. Must
+/// run after [`run_morsels`] completes.
+pub(super) fn pipeline_tails(
+    spec: &PipelineSpec<'_>,
+    ctx: &Ctx<'_>,
+) -> Result<Vec<RowBatch<'static>>, EngineError> {
+    let mut out = Vec::new();
+    for j in 0..spec.stages.len() {
+        if let Stage::Join(join) = &spec.stages[j] {
+            for batch in join.tail_batches(ctx.batch_size) {
+                if let Some(b) = apply_stages(&spec.stages[j + 1..], batch)? {
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Ok(out)
+}

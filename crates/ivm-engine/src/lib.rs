@@ -20,7 +20,12 @@
 //!   streaming scan/filter/project/limit, build-probe hash join
 //!   (INNER/LEFT/RIGHT/FULL/CROSS) with bounded output batches, hash
 //!   aggregate, set operations, sorting, bounded-heap top-k ([`exec`])
-//! - the `Database` session API ([`session`])
+//! - a morsel-driven parallel executor ([`exec::parallel`]): scoped
+//!   `std::thread` workers claim table morsels from a lock-free cursor,
+//!   hash joins and aggregates run hash-partitioned, and per-morsel
+//!   results merge in morsel order (serial-identical output)
+//! - the `Database` session API ([`session`]), with a parallelism knob
+//!   and a DDL-invalidated bound-plan cache for repeated scripts
 //!
 //! ## Quick example
 //!

@@ -1,22 +1,50 @@
 //! The embedded database session: `Database::execute(sql)`.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use ivm_sql::ast::{
     Assignment, ConflictAction, CreateIndex, CreateTable, Delete, Drop, DropKind, Insert,
-    InsertSource, Statement, Update,
+    InsertSource, Query, Statement, Update,
 };
 use ivm_sql::{parse_statement, parse_statements};
 
 use crate::catalog::Catalog;
 use crate::error::EngineError;
-use crate::exec::{execute_with_batch_size, prepare_expr_with_batch_size, Row, DEFAULT_BATCH_SIZE};
+use crate::exec::{
+    execute_parallel, execute_physical, prepare_expr_with_batch_size, ParallelOptions, Row,
+    DEFAULT_BATCH_SIZE, DEFAULT_MORSEL_SIZE,
+};
 use crate::expr::bind::{bind_expr_with, Scope};
 use crate::expr::BindColumn;
 use crate::optimizer::optimize;
+use crate::planner::physical::{lower, PhysicalPlan};
 use crate::planner::plan_query;
 use crate::schema::{Column, Schema};
 use crate::storage::Table;
 use crate::types::DataType;
 use crate::value::Value;
+
+/// Environment variable read by [`Database::new`] for the default number
+/// of executor worker threads (CI runs the test suite at 1 and 4).
+pub const PARALLELISM_ENV: &str = "OPENIVM_PARALLELISM";
+
+fn env_parallelism() -> usize {
+    std::env::var(PARALLELISM_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// A cached optimized physical plan, valid while the catalog shape
+/// (tables, views, indexes) is unchanged.
+#[derive(Debug, Clone)]
+struct CachedPlan {
+    generation: u64,
+    physical: Arc<PhysicalPlan>,
+    columns: Vec<String>,
+}
 
 /// Result of executing one statement.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -43,16 +71,26 @@ impl QueryResult {
     }
 }
 
-/// An embedded single-threaded database instance — the role DuckDB plays
-/// inside OpenIVM ("linking it as a library" per Figure 1).
+/// An embedded database instance — the role DuckDB plays inside OpenIVM
+/// ("linking it as a library" per Figure 1).
 ///
 /// Queries run through the batched physical-operator pipeline: logical
 /// plans are lowered to [`crate::planner::PhysicalPlan`]s and executed
-/// batch-at-a-time (see [`crate::exec`]).
+/// batch-at-a-time (see [`crate::exec`]). With
+/// [`set_parallelism`](Database::set_parallelism) above 1, plans run on
+/// the morsel-driven parallel executor ([`crate::exec::parallel`]);
+/// at 1 (the default) execution is the unchanged serial operator tree.
 #[derive(Debug)]
 pub struct Database {
     catalog: Catalog,
     batch_size: usize,
+    parallelism: usize,
+    morsel_size: usize,
+    /// Physical-plan cache for repeated statements (maintenance scripts),
+    /// invalidated by bumping `ddl_generation`.
+    plan_cache: HashMap<String, CachedPlan>,
+    ddl_generation: u64,
+    plan_cache_hits: usize,
 }
 
 impl Default for Database {
@@ -60,12 +98,18 @@ impl Default for Database {
         Database {
             catalog: Catalog::new(),
             batch_size: DEFAULT_BATCH_SIZE,
+            parallelism: env_parallelism(),
+            morsel_size: DEFAULT_MORSEL_SIZE,
+            plan_cache: HashMap::new(),
+            ddl_generation: 0,
+            plan_cache_hits: 0,
         }
     }
 }
 
 impl Database {
-    /// An empty database.
+    /// An empty database. Executor parallelism defaults to
+    /// `$OPENIVM_PARALLELISM` (or 1).
     pub fn new() -> Database {
         Database::default()
     }
@@ -74,8 +118,8 @@ impl Database {
     /// [`crate::exec::RowBatch`]; clamped to ≥ 1).
     pub fn with_batch_size(batch_size: usize) -> Database {
         Database {
-            catalog: Catalog::new(),
             batch_size: batch_size.max(1),
+            ..Database::default()
         }
     }
 
@@ -89,10 +133,97 @@ impl Database {
         self.batch_size = batch_size.max(1);
     }
 
-    /// Run a plan through the batched pipeline with this session's batch
-    /// size.
+    /// The number of executor worker threads.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Set the number of executor worker threads (clamped to ≥ 1). At 1,
+    /// queries run the serial operator tree; above 1, the morsel-driven
+    /// parallel executor.
+    pub fn set_parallelism(&mut self, workers: usize) {
+        self.parallelism = workers.max(1);
+    }
+
+    /// The morsel size (physical slots per scheduling unit) used by the
+    /// parallel executor.
+    pub fn morsel_size(&self) -> usize {
+        self.morsel_size
+    }
+
+    /// Set the parallel executor's morsel size (clamped to ≥ 1). Tables
+    /// spanning at most one morsel run serially; tests shrink this to
+    /// exercise multi-morsel scheduling on small tables.
+    pub fn set_morsel_size(&mut self, slots: usize) {
+        self.morsel_size = slots.max(1);
+    }
+
+    /// `(entries, hits)` of the bound-plan cache (see
+    /// [`execute_statement_cached`](Database::execute_statement_cached)).
+    pub fn plan_cache_stats(&self) -> (usize, usize) {
+        (self.plan_cache.len(), self.plan_cache_hits)
+    }
+
+    /// Run an already-lowered physical plan with this session's batch
+    /// size and parallelism.
+    fn run_physical(&self, physical: &PhysicalPlan) -> Result<Vec<Row>, EngineError> {
+        if self.parallelism > 1 {
+            execute_parallel(
+                physical,
+                &self.catalog,
+                self.batch_size,
+                ParallelOptions {
+                    workers: self.parallelism,
+                    morsel_size: self.morsel_size,
+                },
+            )
+        } else {
+            execute_physical(physical, &self.catalog, self.batch_size)
+        }
+    }
+
+    /// Plan, lower, and run a logical plan.
     fn run_plan(&self, plan: &crate::planner::LogicalPlan) -> Result<Vec<Row>, EngineError> {
-        execute_with_batch_size(plan, &self.catalog, self.batch_size)
+        let physical = lower(plan, &self.catalog)?;
+        self.run_physical(&physical)
+    }
+
+    /// The optimized physical plan for `q`, from the plan cache when the
+    /// catalog shape is unchanged since it was stored.
+    fn cached_physical(
+        &mut self,
+        key: &str,
+        q: &Query,
+    ) -> Result<(Arc<PhysicalPlan>, Vec<String>), EngineError> {
+        if let Some(hit) = self.plan_cache.get(key) {
+            if hit.generation == self.ddl_generation {
+                self.plan_cache_hits += 1;
+                return Ok((Arc::clone(&hit.physical), hit.columns.clone()));
+            }
+        }
+        let plan = optimize(plan_query(q, &self.catalog)?);
+        let columns = plan.schema().names();
+        let physical = Arc::new(lower(&plan, &self.catalog)?);
+        // Keep the cache bounded: evict stale-generation entries first,
+        // and wholesale if distinct keys alone exceed the cap (a fixed
+        // maintenance-script set never comes close).
+        const PLAN_CACHE_CAP: usize = 1024;
+        if self.plan_cache.len() >= PLAN_CACHE_CAP {
+            let generation = self.ddl_generation;
+            self.plan_cache.retain(|_, e| e.generation == generation);
+            if self.plan_cache.len() >= PLAN_CACHE_CAP {
+                self.plan_cache.clear();
+            }
+        }
+        self.plan_cache.insert(
+            key.to_string(),
+            CachedPlan {
+                generation: self.ddl_generation,
+                physical: Arc::clone(&physical),
+                columns: columns.clone(),
+            },
+        );
+        Ok((physical, columns))
     }
 
     /// Borrow the catalog.
@@ -100,9 +231,19 @@ impl Database {
         &self.catalog
     }
 
-    /// Mutably borrow the catalog (bulk loads, index rebuilds).
+    /// Mutably borrow the catalog (bulk loads, index rebuilds). Data
+    /// mutations never stale the plan cache; if you *drop or re-create
+    /// tables* through this handle (instead of SQL DDL, which invalidates
+    /// automatically), call [`invalidate_plans`](Database::invalidate_plans).
     pub fn catalog_mut(&mut self) -> &mut Catalog {
         &mut self.catalog
+    }
+
+    /// Drop every cached physical plan (catalog shape changed outside the
+    /// SQL DDL path).
+    pub fn invalidate_plans(&mut self) {
+        self.ddl_generation += 1;
+        self.plan_cache.clear();
     }
 
     /// Execute a single SQL statement.
@@ -165,6 +306,7 @@ impl Database {
                 }
                 // Validate the view body eagerly, as real engines do.
                 plan_query(&cv.query, &self.catalog)?;
+                self.ddl_generation += 1;
                 self.catalog
                     .create_view(cv.name.normalized(), (*cv.query).clone())?;
                 Ok(QueryResult::default())
@@ -199,7 +341,39 @@ impl Database {
         }
     }
 
+    /// Execute one parsed statement, caching the optimized physical plan
+    /// of queries and `INSERT … SELECT` sources under `cache_key`. The
+    /// cache is invalidated by any SQL DDL; catalog-shape changes made
+    /// through [`catalog_mut`](Database::catalog_mut) require an explicit
+    /// [`invalidate_plans`](Database::invalidate_plans). Repeated
+    /// executions of the same maintenance script skip planning,
+    /// optimization, and physical lowering entirely. Non-plan-bearing
+    /// statements behave exactly like
+    /// [`execute_statement`](Database::execute_statement).
+    pub fn execute_statement_cached(
+        &mut self,
+        cache_key: &str,
+        stmt: &Statement,
+    ) -> Result<QueryResult, EngineError> {
+        match stmt {
+            Statement::Query(q) => {
+                let (physical, columns) = self.cached_physical(cache_key, q)?;
+                let rows = self.run_physical(&physical)?;
+                Ok(QueryResult {
+                    columns,
+                    rows,
+                    rows_affected: 0,
+                })
+            }
+            Statement::Insert(ins) if matches!(ins.source, InsertSource::Query(_)) => {
+                self.insert_impl(ins, Some(cache_key))
+            }
+            _ => self.execute_statement(stmt),
+        }
+    }
+
     fn create_table(&mut self, ct: &CreateTable) -> Result<QueryResult, EngineError> {
+        self.ddl_generation += 1;
         let name = ct.name.normalized().to_string();
         if self.catalog.has_table(&name) {
             if ct.if_not_exists {
@@ -229,6 +403,7 @@ impl Database {
     }
 
     fn create_index(&mut self, ci: &CreateIndex) -> Result<QueryResult, EngineError> {
+        self.ddl_generation += 1;
         let tname = ci.table.normalized();
         let table = self.catalog.table_mut(tname)?;
         let mut cols = Vec::with_capacity(ci.columns.len());
@@ -249,6 +424,7 @@ impl Database {
     }
 
     fn drop(&mut self, d: &Drop) -> Result<QueryResult, EngineError> {
+        self.ddl_generation += 1;
         let name = d.name.normalized();
         match d.kind {
             DropKind::Table => {
@@ -276,6 +452,14 @@ impl Database {
     }
 
     fn insert(&mut self, ins: &Insert) -> Result<QueryResult, EngineError> {
+        self.insert_impl(ins, None)
+    }
+
+    fn insert_impl(
+        &mut self,
+        ins: &Insert,
+        cache_key: Option<&str>,
+    ) -> Result<QueryResult, EngineError> {
         let tname = ins.table.normalized().to_string();
         let (schema, column_map) = {
             let table = self.catalog.table(&tname)?;
@@ -320,15 +504,22 @@ impl Database {
                 out
             }
             InsertSource::Query(q) => {
-                let plan = optimize(plan_query(q, &self.catalog)?);
-                if plan.schema().len() != column_map.len() {
+                let (physical, columns) = match cache_key {
+                    Some(key) => self.cached_physical(key, q)?,
+                    None => {
+                        let plan = optimize(plan_query(q, &self.catalog)?);
+                        let columns = plan.schema().names();
+                        (Arc::new(lower(&plan, &self.catalog)?), columns)
+                    }
+                };
+                if columns.len() != column_map.len() {
                     return Err(EngineError::bind(format!(
                         "INSERT expects {} columns, query returns {}",
                         column_map.len(),
-                        plan.schema().len()
+                        columns.len()
                     )));
                 }
-                self.run_plan(&plan)?
+                self.run_physical(&physical)?
             }
         };
 
@@ -570,5 +761,93 @@ fn coerce(v: Value, target: DataType) -> Result<Value, EngineError> {
             }
         }
         Some(_) => v.cast(target),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_sql::parse_statement;
+
+    fn seeded() -> Database {
+        let mut db = Database::new();
+        db.set_parallelism(1);
+        db.execute("CREATE TABLE s (g VARCHAR, v INTEGER)").unwrap();
+        db.execute("INSERT INTO s VALUES ('a', 1), ('b', 2), ('a', 3)")
+            .unwrap();
+        db.execute("CREATE TABLE sink (g VARCHAR, t INTEGER)")
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeated_statements() {
+        let mut db = seeded();
+        let sql = "SELECT g, SUM(v) AS t FROM s GROUP BY g";
+        let stmt = parse_statement(sql).unwrap();
+        let first = db.execute_statement_cached(sql, &stmt).unwrap();
+        assert_eq!(db.plan_cache_stats(), (1, 0), "first run plans");
+        let second = db.execute_statement_cached(sql, &stmt).unwrap();
+        assert_eq!(db.plan_cache_stats(), (1, 1), "second run hits");
+        assert_eq!(first.rows, second.rows);
+        assert_eq!(first.columns, second.columns);
+
+        // INSERT … SELECT caches its source plan under the same key space.
+        let ins = "INSERT INTO sink SELECT g, SUM(v) FROM s GROUP BY g";
+        let ins_stmt = parse_statement(ins).unwrap();
+        db.execute_statement_cached(ins, &ins_stmt).unwrap();
+        db.execute_statement_cached(ins, &ins_stmt).unwrap();
+        assert_eq!(db.plan_cache_stats(), (2, 2));
+        assert_eq!(
+            db.query("SELECT COUNT(*) FROM sink").unwrap().scalar(),
+            Some(&Value::Integer(4))
+        );
+    }
+
+    #[test]
+    fn plan_cache_invalidated_by_ddl() {
+        let mut db = seeded();
+        let sql = "SELECT g, SUM(v) AS t FROM s GROUP BY g";
+        let stmt = parse_statement(sql).unwrap();
+        db.execute_statement_cached(sql, &stmt).unwrap();
+        db.execute_statement_cached(sql, &stmt).unwrap();
+        assert_eq!(db.plan_cache_stats().1, 1);
+        // DDL bumps the generation: the next run re-plans (no new hit).
+        db.execute("CREATE TABLE other (x INTEGER)").unwrap();
+        db.execute_statement_cached(sql, &stmt).unwrap();
+        assert_eq!(db.plan_cache_stats().1, 1, "stale entry re-planned");
+        db.execute_statement_cached(sql, &stmt).unwrap();
+        assert_eq!(db.plan_cache_stats().1, 2, "fresh entry hits again");
+        // Explicit invalidation clears everything.
+        db.invalidate_plans();
+        assert_eq!(db.plan_cache_stats().0, 0);
+    }
+
+    #[test]
+    fn cached_plans_see_new_data() {
+        let mut db = seeded();
+        let sql = "SELECT SUM(v) FROM s";
+        let stmt = parse_statement(sql).unwrap();
+        assert_eq!(
+            db.execute_statement_cached(sql, &stmt).unwrap().scalar(),
+            Some(&Value::Integer(6))
+        );
+        db.execute("INSERT INTO s VALUES ('c', 10)").unwrap();
+        assert_eq!(
+            db.execute_statement_cached(sql, &stmt).unwrap().scalar(),
+            Some(&Value::Integer(16)),
+            "plan cache must never cache data"
+        );
+    }
+
+    #[test]
+    fn parallelism_knob_clamps_and_reports() {
+        let mut db = Database::new();
+        db.set_parallelism(0);
+        assert_eq!(db.parallelism(), 1);
+        db.set_parallelism(4);
+        assert_eq!(db.parallelism(), 4);
+        db.set_morsel_size(0);
+        assert_eq!(db.morsel_size(), 1);
     }
 }

@@ -2,4 +2,4 @@
 
 mod table;
 
-pub use table::Table;
+pub use table::{MorselCursor, Table};

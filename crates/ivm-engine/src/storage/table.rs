@@ -1,5 +1,7 @@
 //! Columnar table with tombstone deletes and index maintenance.
 
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::error::EngineError;
@@ -288,18 +290,10 @@ impl Table {
         self.live == self.deleted.len()
     }
 
-    /// Build the zero-copy batch for the window starting at `start`
-    /// (physical slots). Returns the batch (possibly empty of live rows →
-    /// `None`) and the next window start. `clean` skips the tombstone
-    /// check, for tables known to be append-only.
-    fn window_batch(
-        &self,
-        start: usize,
-        batch_size: usize,
-        clean: bool,
-    ) -> (Option<RowBatch<'_>>, usize) {
-        let end = (start + batch_size).min(self.deleted.len());
-        let window = start..end;
+    /// Build the zero-copy batch for the physical slot `window`. Returns
+    /// `None` when the window holds no live rows. `clean` skips the
+    /// tombstone check, for tables known to be append-only.
+    fn window_batch(&self, window: Range<usize>, clean: bool) -> Option<RowBatch<'_>> {
         if clean || self.deleted[window.clone()].iter().all(|&d| !d) {
             // Clean window: contiguous slices, no selection vector.
             let columns = self
@@ -307,17 +301,16 @@ impl Table {
                 .iter()
                 .map(|c| ColumnData::borrowed(&c[window.clone()]))
                 .collect();
-            return (Some(RowBatch::new(columns, window.len())), end);
+            return Some(RowBatch::new(columns, window.len()));
         }
         let live: Arc<Vec<u32>> = Arc::new(
             window
-                .clone()
                 .filter(|&i| !self.deleted[i])
                 .map(|i| i as u32)
                 .collect(),
         );
         if live.is_empty() {
-            return (None, end);
+            return None;
         }
         let rows = live.len();
         let columns = self
@@ -325,7 +318,7 @@ impl Table {
             .iter()
             .map(|c| ColumnData::borrowed_with_sel(&c[..], Arc::clone(&live)))
             .collect();
-        (Some(RowBatch::new(columns, rows)), end)
+        Some(RowBatch::new(columns, rows))
     }
 
     /// Zero-copy batched scan: yields [`RowBatch`]es of up to `batch_size`
@@ -339,8 +332,9 @@ impl Table {
         let mut start = 0usize;
         std::iter::from_fn(move || {
             while start < total {
-                let (batch, next) = self.window_batch(start, batch_size, clean);
-                start = next;
+                let end = (start + batch_size).min(total);
+                let batch = self.window_batch(start..end, clean);
+                start = end;
                 if batch.is_some() {
                     return batch;
                 }
@@ -364,8 +358,9 @@ impl Table {
         let mut start = 0usize;
         std::iter::from_fn(move || {
             while start < total {
-                let (batch, next) = self.window_batch(start, batch_size, clean);
-                start = next;
+                let end = (start + batch_size).min(total);
+                let batch = self.window_batch(start..end, clean);
+                start = end;
                 let Some(batch) = batch else { continue };
                 let keep = match kernel.select(&batch) {
                     Ok(keep) => keep,
@@ -377,6 +372,43 @@ impl Table {
             }
             None
         })
+    }
+
+    /// The batches of one *morsel*: the live rows of the physical slot
+    /// range `slots`, in batches of up to `batch_size` rows, optionally
+    /// filtered by a pushed-down predicate kernel. Morsel boundaries are
+    /// arbitrary — windows stay contiguous, so concatenating the batches
+    /// of consecutive morsels reproduces the serial scan order exactly.
+    /// This is the storage half of the morsel-driven parallel scan
+    /// ([`crate::exec::parallel`]); morsels are claimed by worker threads
+    /// through a [`MorselCursor`].
+    pub fn scan_morsel(
+        &self,
+        slots: Range<usize>,
+        batch_size: usize,
+        kernel: Option<&VectorKernel>,
+    ) -> Result<Vec<RowBatch<'_>>, EngineError> {
+        let batch_size = batch_size.max(1);
+        let clean = self.is_clean();
+        let end = slots.end.min(self.deleted.len());
+        let mut out = Vec::new();
+        let mut start = slots.start;
+        while start < end {
+            let wend = (start + batch_size).min(end);
+            let batch = self.window_batch(start..wend, clean);
+            start = wend;
+            let Some(batch) = batch else { continue };
+            match kernel {
+                None => out.push(batch),
+                Some(k) => {
+                    let keep = k.select(&batch)?;
+                    if let Some(b) = batch.retain(keep) {
+                        out.push(b);
+                    }
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// A zero-copy batch over explicit live row ids (the index point-read
@@ -441,7 +473,8 @@ impl Table {
         let mut start = 0usize;
         while start < total {
             let window_start = start;
-            let (batch, next) = self.window_batch(start, batch_size, clean);
+            let next = (start + batch_size).min(total);
+            let batch = self.window_batch(start..next, clean);
             start = next;
             let Some(batch) = batch else { continue };
             let keep = kernel.select(&batch)?;
@@ -581,6 +614,63 @@ impl Table {
         self.primary_key = columns;
         self.pk_index = Some(idx);
         Ok(())
+    }
+}
+
+/// A lock-free work-sharing cursor over a table's physical slot space.
+///
+/// The slot range `[0, total_slots)` is cut into fixed-size *morsels*;
+/// worker threads [`claim`](MorselCursor::claim) morsels dynamically (a
+/// single atomic `fetch_add`), so fast workers naturally steal more work
+/// — the HyPer morsel-driven scheduling discipline. Each claim returns a
+/// sequence number (`start / morsel_size`) that callers use to restore
+/// the serial scan order when merging per-morsel results.
+#[derive(Debug)]
+pub struct MorselCursor {
+    next: AtomicUsize,
+    total: usize,
+    morsel: usize,
+    stopped: AtomicBool,
+}
+
+impl MorselCursor {
+    /// A cursor over `total_slots` physical slots in morsels of
+    /// `morsel_size` (clamped to ≥ 1) slots.
+    pub fn new(total_slots: usize, morsel_size: usize) -> MorselCursor {
+        MorselCursor {
+            next: AtomicUsize::new(0),
+            total: total_slots,
+            morsel: morsel_size.max(1),
+            stopped: AtomicBool::new(false),
+        }
+    }
+
+    /// Claim the next unclaimed morsel: `(sequence number, slot range)`.
+    /// Returns `None` when the table is exhausted or the cursor has been
+    /// [`stop`](MorselCursor::stop)ped.
+    pub fn claim(&self) -> Option<(usize, Range<usize>)> {
+        if self.stopped.load(Ordering::Relaxed) {
+            return None;
+        }
+        let start = self.next.fetch_add(self.morsel, Ordering::Relaxed);
+        if start >= self.total {
+            return None;
+        }
+        Some((
+            start / self.morsel,
+            start..(start + self.morsel).min(self.total),
+        ))
+    }
+
+    /// Poison the cursor so no further morsels are handed out (a worker
+    /// hit an error; the others should wind down).
+    pub fn stop(&self) {
+        self.stopped.store(true, Ordering::Relaxed);
+    }
+
+    /// Number of morsels the slot space divides into.
+    pub fn num_morsels(&self) -> usize {
+        self.total.div_ceil(self.morsel)
     }
 }
 
@@ -806,6 +896,66 @@ mod tests {
         // Deleted keys vanish from the index.
         t.delete(1).unwrap();
         assert_eq!(t.equality_lookup(&[(0, Value::from("b"))]), Some(vec![]));
+    }
+
+    #[test]
+    fn morsel_scan_concat_matches_serial() {
+        let mut t = groups_table();
+        for v in 0..137i64 {
+            t.insert(vec![Value::from("g"), Value::Integer(v)]).unwrap();
+        }
+        for v in (0..137).step_by(5) {
+            t.delete(v as u64).unwrap();
+        }
+        // Concatenating morsels (any morsel size) reproduces the serial
+        // scan order, with and without a pushed predicate.
+        for morsel in [1usize, 7, 16, 64, 200] {
+            let cursor = MorselCursor::new(t.total_slots(), morsel);
+            let mut claims = Vec::new();
+            while let Some(c) = cursor.claim() {
+                claims.push(c);
+            }
+            claims.sort_by_key(|(seq, _)| *seq);
+            let mut plain = Vec::new();
+            let mut filtered = Vec::new();
+            let kernel = value_gt(1, 50);
+            for (_, range) in claims {
+                for b in t.scan_morsel(range.clone(), 4, None).unwrap() {
+                    plain.extend(b.to_rows());
+                }
+                for b in t.scan_morsel(range, 4, Some(&kernel)).unwrap() {
+                    filtered.extend(b.to_rows());
+                }
+            }
+            let serial: Vec<Vec<Value>> = t.scan_batches(4).flat_map(|b| b.to_rows()).collect();
+            assert_eq!(plain, serial, "morsel={morsel}");
+            let serial_filtered: Vec<Vec<Value>> = t
+                .scan_batches_filtered(4, Arc::new(value_gt(1, 50)))
+                .map(|b| b.unwrap().to_rows())
+                .collect::<Vec<_>>()
+                .concat();
+            assert_eq!(filtered, serial_filtered, "morsel={morsel}");
+        }
+    }
+
+    #[test]
+    fn morsel_cursor_claims_cover_slots_once() {
+        let cursor = MorselCursor::new(10, 4);
+        assert_eq!(cursor.num_morsels(), 3);
+        let mut got = Vec::new();
+        while let Some((seq, r)) = cursor.claim() {
+            got.push((seq, r));
+        }
+        assert_eq!(got, vec![(0, 0..4), (1, 4..8), (2, 8..10)]);
+        // Empty table: no morsels at all.
+        let empty = MorselCursor::new(0, 4);
+        assert_eq!(empty.num_morsels(), 0);
+        assert!(empty.claim().is_none());
+        // A stopped cursor hands out nothing further.
+        let stopped = MorselCursor::new(10, 4);
+        stopped.claim().unwrap();
+        stopped.stop();
+        assert!(stopped.claim().is_none());
     }
 
     #[test]

@@ -53,6 +53,15 @@ impl HtapPipeline {
         &mut self.olap
     }
 
+    /// Set the OLAP engine's executor parallelism (worker threads). The
+    /// analytical side — view recomputation, ad-hoc OLAP queries, and
+    /// propagation-script execution — runs on the morsel-driven parallel
+    /// executor when above 1. The OLTP row store stays single-threaded by
+    /// design (it is the row-at-a-time foil).
+    pub fn set_parallelism(&mut self, workers: usize) {
+        self.olap.set_parallelism(workers);
+    }
+
     /// Shipping counters.
     pub fn ship_stats(&self) -> ShipStats {
         self.bridge.stats()
@@ -213,6 +222,22 @@ mod tests {
         let r = htap.query_view("qg").unwrap();
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0][1], ivm_engine::Value::Integer(10));
+    }
+
+    #[test]
+    fn parallel_olap_stays_consistent() {
+        let mut htap = pipeline_with_view();
+        htap.set_parallelism(4);
+        htap.olap_mut().database_mut().set_morsel_size(64);
+        let values: Vec<String> = (0..600)
+            .map(|i| format!("('g{}', {})", i % 9, i % 50))
+            .collect();
+        htap.execute_oltp(&format!("INSERT INTO groups VALUES {}", values.join(", ")))
+            .unwrap();
+        let report = htap.check_consistency().unwrap();
+        assert!(report.is_consistent(), "{report:?}");
+        let r = htap.query_view("qg").unwrap();
+        assert_eq!(r.rows.len(), 9);
     }
 
     #[test]
