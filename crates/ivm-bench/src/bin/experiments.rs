@@ -10,8 +10,15 @@
 use ivm_bench::harness::{fmt_duration, Report};
 use ivm_bench::scenarios::{
     e1_ivm_vs_recompute, e2_art_overhead, e3_cross_system, e4_upsert_strategies, e5_batching,
-    e6_compile_time, eparallel_scaling, E1Row, EParallelRow,
+    e6_compile_time, ehash_hash_operators, eparallel_scaling, E1Row, EHashRow, EParallelRow,
 };
+
+/// The session default worker-pool size: `$OPENIVM_PARALLELISM` when
+/// set, else `available_parallelism()` — recorded in bench JSON so the
+/// numbers carry the pool they ran with.
+fn resolved_parallelism() -> usize {
+    ivm_engine::Database::new().parallelism()
+}
 
 /// Serialize E1 rows as JSON by hand (the workspace has no serde).
 fn e1_json(rows: &[E1Row]) -> String {
@@ -57,9 +64,50 @@ fn eparallel_json(rows: &[EParallelRow]) -> String {
         .collect();
     let cores = std::thread::available_parallelism().map_or(0, std::num::NonZero::get);
     format!(
-        "{{\n\"experiment\": \"eparallel_scaling\",\n\"machine_cores\": {cores},\n\"rows\": [\n{}\n]\n}}\n",
+        "{{\n\"experiment\": \"eparallel_scaling\",\n\"machine_cores\": {cores},\n\
+         \"resolved_parallelism\": {},\n\"rows\": [\n{}\n]\n}}\n",
+        resolved_parallelism(),
         entries.join(",\n")
     )
+}
+
+/// Serialize E-hash rows as JSON by hand (no serde in the workspace).
+fn ehash_json(rows: &[EHashRow]) -> String {
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"variant\": \"{}\", \"fact_rows\": {}, \"out_rows\": {}, \
+                 \"join_group_ns\": {}, \"distinct_ns\": {}}}",
+                r.variant,
+                r.fact_rows,
+                r.out_rows,
+                r.join_group.as_nanos(),
+                r.distinct.as_nanos()
+            )
+        })
+        .collect();
+    let cores = std::thread::available_parallelism().map_or(0, std::num::NonZero::get);
+    format!(
+        "{{\n\"experiment\": \"ehash_hash_operators\",\n\"machine_cores\": {cores},\n\
+         \"resolved_parallelism\": {},\n\"rows\": [\n{}\n]\n}}\n",
+        resolved_parallelism(),
+        entries.join(",\n")
+    )
+}
+
+fn print_ehash(rows: &[EHashRow]) {
+    let mut report = Report::new(&["variant", "fact rows", "out rows", "join+group", "distinct"]);
+    for r in rows {
+        report.row(&[
+            r.variant.to_string(),
+            r.fact_rows.to_string(),
+            r.out_rows.to_string(),
+            fmt_duration(r.join_group),
+            fmt_duration(r.distinct),
+        ]);
+    }
+    println!("{}", report.render());
 }
 
 fn print_eparallel(rows: &[EParallelRow]) {
@@ -81,6 +129,22 @@ fn print_eparallel(rows: &[EParallelRow]) {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--ehash-json") {
+        let Some(path) = args.get(pos + 1) else {
+            eprintln!("experiments: --ehash-json requires an output path");
+            std::process::exit(2);
+        };
+        let sizes: &[usize] = if args.iter().any(|a| a == "--quick") {
+            &[10_000]
+        } else {
+            &[100_000]
+        };
+        let rows = ehash_hash_operators(sizes);
+        print_ehash(&rows);
+        std::fs::write(path, ehash_json(&rows)).expect("write E-hash JSON");
+        println!("wrote {path}");
+        return;
+    }
     if let Some(pos) = args.iter().position(|a| a == "--eparallel-json") {
         let Some(path) = args.get(pos + 1) else {
             eprintln!("experiments: --eparallel-json requires an output path");
@@ -232,6 +296,14 @@ fn main() {
         ]);
     }
     println!("{}", report.render());
+
+    // ---------------- E-hash
+    println!("== E-hash: hash-operator stress (multi-join + high-cardinality GROUP BY) ==");
+    println!(
+        "   (vectorized hash kernels + flat open-addressing tables across join/agg/distinct)\n"
+    );
+    let sizes: &[usize] = if quick { &[10_000] } else { &[100_000] };
+    print_ehash(&ehash_hash_operators(sizes));
 
     // ---------------- E-parallel
     println!("== E-parallel: morsel-driven multi-core scaling ==");

@@ -579,6 +579,111 @@ pub fn eparallel_scaling(base_rows: usize, delta: usize, workers: &[usize]) -> V
     out
 }
 
+// ---------------------------------------------------------------- E-hash
+
+/// One E-hash measurement.
+#[derive(Debug, Clone)]
+pub struct EHashRow {
+    /// Key-distribution variant under test.
+    pub variant: &'static str,
+    /// Fact-table size.
+    pub fact_rows: usize,
+    /// Result rows (≈ distinct GROUP BY keys).
+    pub out_rows: usize,
+    /// Wide two-dimension join + GROUP BY latency.
+    pub join_group: Duration,
+    /// `SELECT DISTINCT` over the fact join keys.
+    pub distinct: Duration,
+}
+
+/// The E-hash query: a wide multi-join (two dimension tables) feeding a
+/// GROUP BY — every hash structure in the engine on one path (join
+/// builds, probes, and the aggregation group table).
+pub const EHASH_QUERY: &str = "SELECT fact.k, SUM(fact.v + d1.w) AS s, COUNT(*) AS n \
+     FROM fact JOIN d1 ON fact.a = d1.id JOIN d2 ON fact.b = d2.id \
+     GROUP BY fact.k";
+
+/// E-hash: the hash-operator stress scenario behind the vectorized hash
+/// kernels + flat open-addressing tables. Two variants: `unique` (every
+/// group key distinct — high-cardinality GROUP BY, chain-free joins) and
+/// `duplicate` (few group keys, duplicate dimension keys — long candidate
+/// chains, duplicate-heavy group folds). Best of 3 per cell.
+pub fn ehash_hash_operators(fact_sizes: &[usize]) -> Vec<EHashRow> {
+    let mut out = Vec::new();
+    for &n in fact_sizes {
+        for variant in ["unique", "duplicate"] {
+            let mut db = ivm_engine::Database::new();
+            db.execute("CREATE TABLE fact (k INTEGER, a INTEGER, b INTEGER, v INTEGER)")
+                .unwrap();
+            db.execute("CREATE TABLE d1 (id INTEGER, w INTEGER)")
+                .unwrap();
+            db.execute("CREATE TABLE d2 (id INTEGER, w INTEGER)")
+                .unwrap();
+            // `duplicate` repeats every dimension id 4× → candidate
+            // chains on the build side (4-way probe fan-out per join).
+            let (dim_ids, reps) = if variant == "unique" {
+                ((n / 8).max(16), 1)
+            } else {
+                ((n / 32).max(16), 4)
+            };
+            // Deterministic multiplicative-hash spread; no RNG needed.
+            let spread =
+                |i: usize, m: usize| ((i as u64).wrapping_mul(2654435761) % m as u64) as i64;
+            {
+                let t = db.catalog_mut().table_mut("fact").unwrap();
+                for i in 0..n {
+                    let k = if variant == "unique" {
+                        i as i64
+                    } else {
+                        spread(i, (n / 64).max(4))
+                    };
+                    t.insert(vec![
+                        Value::Integer(k),
+                        Value::Integer(spread(i, dim_ids)),
+                        Value::Integer(spread(i + 1, dim_ids)),
+                        Value::Integer((i % 1000) as i64),
+                    ])
+                    .unwrap();
+                }
+            }
+            for name in ["d1", "d2"] {
+                let t = db.catalog_mut().table_mut(name).unwrap();
+                for id in 0..dim_ids {
+                    for r in 0..reps {
+                        t.insert(vec![
+                            Value::Integer(id as i64),
+                            Value::Integer((id * 7 + r) as i64),
+                        ])
+                        .unwrap();
+                    }
+                }
+            }
+            let mut join_group = Duration::MAX;
+            let mut out_rows = 0;
+            for _ in 0..3 {
+                let (r, d) = time_once(|| db.query(EHASH_QUERY).unwrap());
+                out_rows = r.rows.len();
+                std::hint::black_box(r.rows.len());
+                join_group = join_group.min(d);
+            }
+            let mut distinct = Duration::MAX;
+            for _ in 0..3 {
+                let (r, d) = time_once(|| db.query("SELECT DISTINCT a, b FROM fact").unwrap());
+                std::hint::black_box(r.rows.len());
+                distinct = distinct.min(d);
+            }
+            out.push(EHashRow {
+                variant,
+                fact_rows: n,
+                out_rows,
+                join_group,
+                distinct,
+            });
+        }
+    }
+    out
+}
+
 // ---------------------------------------------------------------- E6
 
 /// One E6 measurement.
@@ -696,6 +801,19 @@ mod tests {
     fn e6_smoke() {
         let rows = e6_compile_time(3);
         assert_eq!(rows.len(), 6);
+    }
+
+    #[test]
+    fn ehash_smoke() {
+        let rows = ehash_hash_operators(&[2_000]);
+        assert_eq!(rows.len(), 2);
+        let unique = rows.iter().find(|r| r.variant == "unique").unwrap();
+        let dup = rows.iter().find(|r| r.variant == "duplicate").unwrap();
+        // Unique keys: one group per fact row; duplicate variant collapses.
+        assert_eq!(unique.out_rows, 2_000);
+        assert!(dup.out_rows < unique.out_rows);
+        assert!(rows.iter().all(|r| r.join_group.as_nanos() > 0));
+        assert!(rows.iter().all(|r| r.distinct.as_nanos() > 0));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use ivm_engine::exec::hash::{chain_prepend, hash_row, hash_value_iter, FlatTable};
 use ivm_engine::{Database, ErrorKind, QueryResult, Value};
 use ivm_sql::ast::{
     Delete, Expr, Insert, InsertSource, Query, Select, SelectItem, SetExpr, Statement, TableRef,
@@ -71,6 +72,10 @@ pub struct IvmSession {
     /// Parsed-statement cache for the maintenance scripts: the same fixed
     /// SQL strings run on every refresh, so each is parsed exactly once.
     stmt_cache: HashMap<String, Statement>,
+    /// Per-mirror deletion-victim indexes (row digest → live slot ids),
+    /// maintained incrementally across [`IvmSession::ingest_deltas`]
+    /// batches and validated against the table's mutation generation.
+    victim_index: HashMap<String, MirrorIndex>,
     stats: SessionStats,
 }
 
@@ -84,6 +89,7 @@ impl IvmSession {
             views: Vec::new(),
             pending: HashMap::new(),
             stmt_cache: HashMap::new(),
+            victim_index: HashMap::new(),
             stats: SessionStats::default(),
         }
     }
@@ -453,10 +459,30 @@ impl IvmSession {
             let catalog = self.db.catalog_mut();
             // Apply to the mirror first (deletions locate a matching row).
             // On keyless tables, per-deletion `find_row` would re-scan the
-            // whole table each time; locate all victims in one scan instead.
-            let mut victims = {
+            // whole table each time; a [`MirrorIndex`] (row digest → live
+            // slot ids) answers every deletion with one probe. The index
+            // persists across batches — built once, maintained through
+            // this loop's own inserts/deletes, and validated against the
+            // table's mutation generation (foreign DML invalidates it).
+            let deletions = changes.iter().filter(|(_, insertion)| !insertion).count();
+            let mut index: Option<MirrorIndex> = {
                 let base = catalog.table(table).map_err(IvmError::from)?;
-                batch_deletion_victims(base, changes)
+                if base.has_pk_index() {
+                    // PK tables answer find_row through the ART in O(1).
+                    self.victim_index.remove(table);
+                    None
+                } else {
+                    match self.victim_index.remove(table) {
+                        // A warm index is kept current through *every*
+                        // batch — insert-only ones included, so it stays
+                        // warm for the next deleting batch.
+                        Some(ix) if !ix.poisoned && ix.generation == base.generation() => Some(ix),
+                        _ if deletions > 0 && MirrorIndex::worth_building(base, deletions) => {
+                            Some(MirrorIndex::build(base))
+                        }
+                        _ => None,
+                    }
+                }
             };
             for (row, insertion) in changes {
                 let base = catalog.table_mut(table).map_err(IvmError::from)?;
@@ -464,17 +490,15 @@ impl IvmSession {
                     let id = base.insert(row.clone()).map_err(IvmError::from)?;
                     // A row inserted earlier in the batch is fair game for a
                     // later deletion of the same value.
-                    if let Some(v) = &mut victims {
-                        if let Some(queue) = v.get_mut(row) {
-                            queue.push_back(id);
-                        }
+                    if let Some(ix) = &mut index {
+                        ix.add(row, id);
                     }
                 } else {
-                    let victim = match &mut victims {
-                        Some(v) => v
-                            .get_mut(row)
-                            .and_then(std::collections::VecDeque::pop_front),
-                        None => base.find_row(row),
+                    let victim = match &mut index {
+                        Some(ix) if !ix.poisoned && row.len() == base.schema.len() => {
+                            ix.take(row, base)
+                        }
+                        _ => base.find_row(row),
                     };
                     let victim = victim.ok_or_else(|| {
                         IvmError::catalog(format!(
@@ -483,6 +507,11 @@ impl IvmSession {
                     })?;
                     base.delete(victim).map_err(IvmError::from)?;
                 }
+            }
+            if let Some(mut ix) = index {
+                let base = catalog.table(table).map_err(IvmError::from)?;
+                ix.generation = base.generation();
+                self.victim_index.insert(table.to_string(), ix);
             }
             // Then append to ΔT with the multiplicity flag — only when some
             // view actually consumes this table's deltas.
@@ -655,238 +684,148 @@ impl IvmSession {
     }
 }
 
-/// A non-cryptographic FNV-1a hasher for the deletion pre-filter: the
-/// batch scan hashes every live row once, so SipHash (the std default)
-/// would dominate the pass.
-#[derive(Debug)]
-struct FnvHasher(u64);
-
-impl std::hash::Hasher for FnvHasher {
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
-        }
-    }
-    fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-/// A whole-table victim pass only pays off when there are at least this
-/// many deletions or the table is small; below it, per-deletion
+/// A cold [`MirrorIndex`] build only pays off when there are at least
+/// this many deletions or the table is small; below it, per-deletion
 /// `find_row` (early-exiting equality scans, which exploit duplicate rows
-/// in multiset tables) wins on huge tables.
-const BATCH_DELETION_THRESHOLD: usize = 2;
+/// in multiset tables) wins on huge tables. Once built, the index
+/// persists across batches, so warm reuse has no threshold at all.
+const COLD_BUILD_THRESHOLD: usize = 2;
 
-/// Above this many live rows a batch pass must also clear the deletion
+/// Above this many live rows a cold build must also clear the deletion
 /// threshold below; tiny deletion batches on huge keyless tables are
 /// cheaper through `find_row`'s early-exit scans.
-const BATCH_DELETION_LARGE_TABLE: usize = 131_072;
+const COLD_BUILD_LARGE_TABLE: usize = 131_072;
 
-/// On large tables a batch pass needs this many deletions to amortize
-/// touching every row.
-const BATCH_DELETION_LARGE_THRESHOLD: usize = 64;
+/// On large tables a cold build needs this many deletions in the first
+/// batch to amortize the one full-table pass.
+const COLD_BUILD_LARGE_THRESHOLD: usize = 24;
 
-/// Rows sampled to pick the most selective prefilter column.
-const PREFILTER_SAMPLE: usize = 512;
+/// The chain terminator of [`MirrorIndex::next`].
+const NO_SLOT: u32 = u32::MAX;
 
-/// Prefilter columns whose sampled hit rate exceeds this are useless.
-const PREFILTER_MAX_HIT_RATE: f64 = 0.6;
-
-/// Locate deletion victims for a whole delta batch in a single pass over
-/// the mirror's columns.
+/// A persistent deletion-victim index over a keyless mirror table: row
+/// digest ([`ivm_engine::exec::hash::hash_row`]) → a chain of live slot
+/// ids, on the engine's flat hash infrastructure. Equal-digest slots are
+/// threaded through one flat `next` array (the same idiom as the join
+/// build chains) — no per-digest allocation anywhere.
 ///
-/// Returns `None` when the table has a primary key (per-row `find_row` is
-/// an O(1) index probe there) or the batch is cheaper through per-row
-/// scans (see the thresholds above). For keyless tables the pass is
-/// column-at-a-time and layered: a *sampled* single-column prefilter (the
-/// column whose deletion-target value set rejects the most sampled rows)
-/// eliminates most rows with one cheap set probe, survivors are checked
-/// against the full-row hash set computed straight off the column
-/// vectors, and only hash hits are cloned and verified. Each deletion
-/// later pops one victim id, matching `find_row`'s any-equal-row choice.
-fn batch_deletion_victims(
-    base: &ivm_engine::Table,
-    changes: &[(Vec<Value>, bool)],
-) -> Option<HashMap<Vec<Value>, std::collections::VecDeque<u64>>> {
-    use std::collections::VecDeque;
-    use std::hash::{Hash, Hasher};
-
-    if base.has_pk_index() {
-        return None;
-    }
-    let deletions = changes.iter().filter(|(_, insertion)| !insertion).count();
-    if deletions < BATCH_DELETION_THRESHOLD {
-        return None;
-    }
-    if base.live_rows() > BATCH_DELETION_LARGE_TABLE && deletions < BATCH_DELETION_LARGE_THRESHOLD {
-        return None;
-    }
-    let row_hash = |row: &mut dyn Iterator<Item = &Value>| {
-        let mut h = FnvHasher(0xCBF2_9CE4_8422_2325);
-        for v in row {
-            v.hash(&mut h);
-        }
-        h.finish()
-    };
-    let mut victims: HashMap<Vec<Value>, VecDeque<u64>> = HashMap::new();
-    // How many victims each distinct target row actually needs (its
-    // deletion multiplicity in the batch) — the scan can stop as soon as
-    // every target is satisfied.
-    let mut needed: HashMap<Vec<Value>, usize> = HashMap::new();
-    // Full-row FNV digests of the deletion targets, probed by binary
-    // search (no second hash of the 64-bit digest).
-    let mut hashes: Vec<u64> = Vec::new();
-    for (row, insertion) in changes {
-        if !insertion && row.len() == base.schema.len() {
-            hashes.push(row_hash(&mut row.iter()));
-            victims.entry(row.clone()).or_default();
-            *needed.entry(row.clone()).or_insert(0) += 1;
-        }
-    }
-    if victims.is_empty() {
-        return None;
-    }
-    let mut outstanding = victims.len();
-    hashes.sort_unstable();
-    hashes.dedup();
-    let columns: Vec<&[Value]> = (0..base.schema.len()).map(|i| base.column(i)).collect();
-    let live_ids = base.live_row_ids();
-
-    // One candidate prefilter per column: the set of values the deletion
-    // targets carry there. Integer-family columns compare raw i64s —
-    // no hashing at all; everything else probes by value digest.
-    let prefilters: Vec<Prefilter> = (0..base.schema.len())
-        .map(|c| Prefilter::build(victims.keys().map(|row| &row[c])))
-        .collect();
-    // Sample evenly-spaced live rows and keep the column whose target set
-    // rejects the most rows; a column that passes most rows anyway (heavy
-    // value overlap) is skipped entirely.
-    let prefilter: Option<usize> = {
-        let step = (live_ids.len() / PREFILTER_SAMPLE).max(1);
-        let sample: Vec<usize> = live_ids
-            .iter()
-            .step_by(step)
-            .map(|&id| id as usize)
-            .collect();
-        (0..base.schema.len())
-            .map(|c| {
-                let hits = sample
-                    .iter()
-                    .filter(|&&idx| prefilters[c].hit(&columns[c][idx]))
-                    .count();
-                // Typed filters probe cheaper: half-a-hit tiebreak.
-                (2 * hits + usize::from(!prefilters[c].is_typed()), c)
-            })
-            .min()
-            .filter(|&(scaled_hits, _)| {
-                !sample.is_empty()
-                    && (scaled_hits / 2) as f64 / (sample.len() as f64) <= PREFILTER_MAX_HIT_RATE
-            })
-            .map(|(_, c)| c)
-    };
-
-    for id in live_ids {
-        let idx = id as usize;
-        if let Some(c) = prefilter {
-            if !prefilters[c].hit(&columns[c][idx]) {
-                continue;
-            }
-        }
-        if hashes
-            .binary_search(&row_hash(&mut columns.iter().map(|c| &c[idx])))
-            .is_err()
-        {
-            continue;
-        }
-        let row: Vec<Value> = columns.iter().map(|c| c[idx].clone()).collect();
-        if let Some(queue) = victims.get_mut(&row) {
-            let cap = needed[&row];
-            if queue.len() < cap {
-                queue.push_back(id);
-                if queue.len() == cap {
-                    outstanding -= 1;
-                    if outstanding == 0 {
-                        break;
-                    }
-                }
-            }
-        }
-    }
-    Some(victims)
+/// Built with one column-at-a-time pass, then maintained *incrementally*
+/// through [`IvmSession::ingest_deltas`]'s own inserts and deletes — the
+/// IVM idea applied to the mirror itself, so repeated delta batches stop
+/// re-scanning the base table per batch. `generation` pins the index to
+/// the table's mutation counter (unique per table *instance*): any
+/// foreign DML — intercepted SQL writes, truncates, compaction, even a
+/// drop-and-recreate under the same name — mismatches and the index
+/// rebuilds on the next ingest. Digest collisions are harmless:
+/// colliding rows share a chain and [`MirrorIndex::take`] verifies the
+/// actual column values before surrendering an id. Tables beyond
+/// `u32::MAX` physical slots are never indexed (slot ids are stored as
+/// u32).
+#[derive(Debug)]
+struct MirrorIndex {
+    /// Table mutation generation this index is valid at.
+    generation: u64,
+    /// digest → chain-head slot id.
+    table: FlatTable,
+    /// Per physical slot: the next slot in its equal-digest chain
+    /// ([`NO_SLOT`] ends; indexed by slot id, grown by
+    /// [`MirrorIndex::add`]).
+    next: Vec<u32>,
+    /// Set when a slot id outgrew the u32 chain space; a poisoned index
+    /// is discarded instead of being reused.
+    poisoned: bool,
 }
 
-/// A single-column membership prefilter over deletion-target values.
-enum Prefilter {
-    /// All targets are integer-family scalars: raw i64 binary search.
-    Typed { sorted: Vec<i64>, has_null: bool },
-    /// Arbitrary values: FNV digest binary search.
-    Hashed { sorted: Vec<u64>, has_null: bool },
-}
-
-impl Prefilter {
-    fn build<'v>(targets: impl Iterator<Item = &'v Value> + Clone) -> Prefilter {
-        use std::hash::{Hash, Hasher};
-        let has_null = targets.clone().any(Value::is_null);
-        let typed: Option<Vec<i64>> = targets
-            .clone()
-            .filter(|v| !v.is_null())
-            .map(|v| match v {
-                Value::Integer(i) => Some(*i),
-                Value::Date(d) => Some(i64::from(*d)),
-                Value::Boolean(b) => Some(i64::from(*b)),
-                _ => None,
-            })
-            .collect();
-        match typed {
-            Some(mut sorted) => {
-                sorted.sort_unstable();
-                sorted.dedup();
-                Prefilter::Typed { sorted, has_null }
-            }
-            None => {
-                let mut sorted: Vec<u64> = targets
-                    .filter(|v| !v.is_null())
-                    .map(|v| {
-                        let mut h = FnvHasher(0xCBF2_9CE4_8422_2325);
-                        v.hash(&mut h);
-                        h.finish()
-                    })
-                    .collect();
-                sorted.sort_unstable();
-                sorted.dedup();
-                Prefilter::Hashed { sorted, has_null }
-            }
-        }
+impl MirrorIndex {
+    /// Whether a cold build amortizes for this batch (see the thresholds
+    /// above).
+    fn worth_building(base: &ivm_engine::Table, deletions: usize) -> bool {
+        deletions >= COLD_BUILD_THRESHOLD
+            && (base.live_rows() <= COLD_BUILD_LARGE_TABLE
+                || deletions >= COLD_BUILD_LARGE_THRESHOLD)
+            && base.total_slots() < NO_SLOT as usize
     }
 
-    fn is_typed(&self) -> bool {
-        matches!(self, Prefilter::Typed { .. })
+    /// One pass over the live rows: digest straight off the column
+    /// vectors. Slots are visited in *reverse* and prepended, so chains
+    /// iterate in ascending slot order (matching `find_row`'s
+    /// first-equal-row victim choice).
+    fn build(base: &ivm_engine::Table) -> MirrorIndex {
+        let columns: Vec<&[Value]> = (0..base.schema.len()).map(|i| base.column(i)).collect();
+        let total = base.total_slots();
+        let mut index = MirrorIndex {
+            generation: base.generation(),
+            table: FlatTable::with_capacity(base.live_rows().min(1 << 20)),
+            next: vec![NO_SLOT; total],
+            poisoned: false,
+        };
+        for id in base.live_slot_ids().rev() {
+            let idx = id as usize;
+            let digest = hash_value_iter(columns.iter().map(|c| &c[idx]));
+            index.prepend(digest, id as u32);
+        }
+        index
     }
 
-    /// Could this row value equal one of the targets? (False positives are
-    /// fine — the full-row digest check runs behind it.)
-    fn hit(&self, v: &Value) -> bool {
-        use std::hash::{Hash, Hasher};
-        match self {
-            Prefilter::Typed { sorted, has_null } => match v {
-                Value::Null => *has_null,
-                Value::Integer(i) => sorted.binary_search(i).is_ok(),
-                Value::Date(d) => sorted.binary_search(&i64::from(*d)).is_ok(),
-                Value::Boolean(b) => sorted.binary_search(&i64::from(*b)).is_ok(),
-                // A differently-typed value can still group-compare equal
-                // (e.g. DOUBLE 3.0 = INTEGER 3): let it through.
-                _ => true,
-            },
-            Prefilter::Hashed { sorted, has_null } => {
-                if v.is_null() {
-                    return *has_null;
-                }
-                let mut h = FnvHasher(0xCBF2_9CE4_8422_2325);
-                v.hash(&mut h);
-                sorted.binary_search(&h.finish()).is_ok()
-            }
+    fn prepend(&mut self, digest: u64, id: u32) {
+        let next = &mut self.next;
+        chain_prepend(
+            &mut self.table,
+            digest,
+            id,
+            |_| true,
+            |head| next[id as usize] = head,
+        );
+    }
+
+    /// Record a row this session just inserted. Prepending is fine: any
+    /// equal row is a valid deletion victim on a multiset table.
+    fn add(&mut self, row: &[Value], id: u64) {
+        if self.poisoned {
+            return;
         }
+        let Ok(id32) = u32::try_from(id) else {
+            self.poisoned = true;
+            return;
+        };
+        if id32 == NO_SLOT {
+            self.poisoned = true;
+            return;
+        }
+        let id = id as usize;
+        if self.next.len() <= id {
+            self.next.resize(id + 1, NO_SLOT);
+        }
+        self.prepend(hash_row(row), id32);
+    }
+
+    /// Unlink and return the first chained slot whose row equals
+    /// `target`, verifying column values (digest collisions share
+    /// chains).
+    fn take(&mut self, target: &[Value], base: &ivm_engine::Table) -> Option<u64> {
+        let digest = hash_row(target);
+        let head = self.table.find_mut(digest, |_| true)?;
+        let row_eq = |id: u32| {
+            let idx = id as usize;
+            target
+                .iter()
+                .enumerate()
+                .all(|(c, t)| &base.column(c)[idx] == t)
+        };
+        let mut cur = *head;
+        if cur != NO_SLOT && row_eq(cur) {
+            *head = self.next[cur as usize];
+            return Some(u64::from(cur));
+        }
+        while cur != NO_SLOT {
+            let nxt = self.next[cur as usize];
+            if nxt != NO_SLOT && row_eq(nxt) {
+                self.next[cur as usize] = self.next[nxt as usize];
+                return Some(u64::from(nxt));
+            }
+            cur = nxt;
+        }
+        None
     }
 }
 

@@ -14,10 +14,11 @@
 //! morsel-driven parallel executor ([`crate::exec::parallel`]), which
 //! folds per-morsel partial states and merges them with [`Acc::merge`].
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 
 use crate::error::EngineError;
 use crate::exec::batch::RowBatch;
+use crate::exec::hash::{hash_key_columns, FlatTable};
 use crate::exec::{BatchBuilder, BoxedOperator, Operator};
 use crate::expr::{AggExpr, AggFunc, BoundExpr, VectorKernel};
 use crate::planner::physical::AggMode;
@@ -234,6 +235,108 @@ impl GroupState {
     }
 }
 
+/// The grouped accumulator store: a flat open-addressing index
+/// ([`FlatTable`]) over arena-stored group keys, states, and hashes.
+/// Arena order *is* first-seen order, so draining the arenas reproduces
+/// the serial output order with no separate `order` vector; stored
+/// per-group hashes make morsel merges reuse the fold-time hash (a group
+/// key is hashed once per operator, never re-hashed at merge).
+#[derive(Debug, Default)]
+pub(crate) struct GroupTable {
+    table: FlatTable,
+    keys: Vec<Vec<Value>>,
+    hashes: Vec<u64>,
+    states: Vec<GroupState>,
+}
+
+impl GroupTable {
+    /// An empty table.
+    pub(crate) fn new() -> GroupTable {
+        GroupTable::default()
+    }
+
+    /// An empty table pre-sized for about `hint` groups (planner sizing
+    /// hint; 0 = unknown).
+    pub(crate) fn with_capacity(hint: usize) -> GroupTable {
+        GroupTable {
+            table: FlatTable::with_capacity(hint),
+            keys: Vec::with_capacity(hint),
+            hashes: Vec::with_capacity(hint),
+            states: Vec::with_capacity(hint),
+        }
+    }
+
+    /// Number of groups.
+    pub(crate) fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The group index for the key at row `r` of the evaluated key
+    /// columns, creating a fresh state (first-seen append) when new.
+    fn group_index(
+        &mut self,
+        hash: u64,
+        key_cols: &[Vec<Value>],
+        r: usize,
+        spec: &AggSpec,
+    ) -> usize {
+        let keys = &self.keys;
+        match self.table.find(hash, |g| {
+            let key = &keys[g as usize];
+            key_cols.iter().zip(key).all(|(c, kv)| &c[r] == kv)
+        }) {
+            Some(g) => g as usize,
+            None => {
+                let g = self.keys.len();
+                self.keys
+                    .push(key_cols.iter().map(|c| c[r].clone()).collect());
+                self.hashes.push(hash);
+                self.states.push(spec.new_state());
+                self.table.insert(hash, g as u32);
+                g
+            }
+        }
+    }
+
+    /// The state for an already-materialized key (morsel merges),
+    /// creating a fresh state when new. Uses the key's stored fold-time
+    /// hash.
+    fn merge_index(&mut self, hash: u64, key: &[Value], spec: &AggSpec) -> usize {
+        let keys = &self.keys;
+        match self.table.find(hash, |g| keys[g as usize] == key) {
+            Some(g) => g as usize,
+            None => {
+                let g = self.keys.len();
+                self.keys.push(key.to_vec());
+                self.hashes.push(hash);
+                self.states.push(spec.new_state());
+                self.table.insert(hash, g as u32);
+                g
+            }
+        }
+    }
+
+    /// Merge `later` (per-morsel partial groups over rows *after* every
+    /// row this table has seen) in its first-seen order — reconstructing
+    /// the global serial first-seen order across morsels.
+    pub(crate) fn merge_from(
+        &mut self,
+        later: GroupTable,
+        spec: &AggSpec,
+    ) -> Result<(), EngineError> {
+        for ((key, hash), state) in later.keys.into_iter().zip(later.hashes).zip(later.states) {
+            let g = self.merge_index(hash, &key, spec);
+            self.states[g].merge(state)?;
+        }
+        Ok(())
+    }
+
+    /// Drain into `(key, state)` pairs in first-seen group order.
+    pub(crate) fn into_ordered(self) -> impl Iterator<Item = (Vec<Value>, GroupState)> {
+        self.keys.into_iter().zip(self.states)
+    }
+}
+
 /// The compiled form of one aggregation: vectorized kernels for the group
 /// keys and aggregate arguments plus the fold/merge/finish logic, shared
 /// by the serial [`HashAggregateOp`] and the parallel partitioned
@@ -321,14 +424,14 @@ impl AggSpec {
         Ok(())
     }
 
-    /// Fold one batch into the grouped hash table, evaluating group keys
-    /// and aggregate arguments vectorized. New groups are appended to
-    /// `order` (first-seen order).
+    /// Fold one batch into the grouped flat table, evaluating group keys,
+    /// aggregate arguments, *and key hashes* vectorized — each key is
+    /// hashed exactly once, chunk-at-a-time, and only materialized on
+    /// first sight.
     pub(crate) fn fold_batch_grouped(
         &self,
         batch: &RowBatch<'_>,
-        groups: &mut HashMap<Vec<Value>, GroupState>,
-        order: &mut Vec<Vec<Value>>,
+        groups: &mut GroupTable,
     ) -> Result<(), EngineError> {
         let key_cols: Vec<Vec<Value>> = self
             .group_kernels
@@ -336,17 +439,10 @@ impl AggSpec {
             .map(|k| k.eval_column(batch))
             .collect::<Result<_, _>>()?;
         let arg_cols = self.arg_columns(batch)?;
-        for r in 0..batch.num_rows() {
-            let key: Vec<Value> = key_cols.iter().map(|c| c[r].clone()).collect();
-            let state = match groups.get_mut(&key) {
-                Some(s) => s,
-                None => {
-                    order.push(key.clone());
-                    let fresh = self.new_state();
-                    groups.entry(key).or_insert(fresh)
-                }
-            };
-            self.fold_row(state, r, &arg_cols)?;
+        let hashes = hash_key_columns(&key_cols, batch.num_rows());
+        for (r, &hash) in hashes.iter().enumerate() {
+            let g = groups.group_index(hash, &key_cols, r, self);
+            self.fold_row(&mut groups.states[g], r, &arg_cols)?;
         }
         Ok(())
     }
@@ -388,17 +484,21 @@ pub struct HashAggregateOp<'a> {
     group_width: usize,
     mode: AggMode,
     batch_size: usize,
+    /// Planner sizing hint for the group table (0 = unknown).
+    groups_hint: usize,
     output: Option<VecDeque<RowBatch<'a>>>,
 }
 
 impl<'a> HashAggregateOp<'a> {
     /// Aggregate `input`; `group` and agg arguments must be prepared.
+    /// `groups_hint` pre-sizes the flat group table (0 = unknown).
     pub fn new(
         input: BoxedOperator<'a>,
         group: Vec<BoundExpr>,
         aggs: Vec<AggExpr>,
         mode: AggMode,
         batch_size: usize,
+        groups_hint: usize,
     ) -> HashAggregateOp<'a> {
         debug_assert_eq!(mode == AggMode::Ungrouped, group.is_empty());
         HashAggregateOp {
@@ -407,23 +507,21 @@ impl<'a> HashAggregateOp<'a> {
             input,
             mode,
             batch_size,
+            groups_hint,
             output: None,
         }
     }
 
     fn drain_and_aggregate(&mut self) -> Result<VecDeque<RowBatch<'a>>, EngineError> {
         let width = self.group_width + self.spec.agg_width();
-        let mut groups: HashMap<Vec<Value>, GroupState> = HashMap::new();
-        // Preserve first-seen group order for deterministic output.
-        let mut order: Vec<Vec<Value>> = Vec::new();
+        // Arena order doubles as first-seen group order.
+        let mut groups = GroupTable::with_capacity(self.groups_hint);
         let mut global = (self.mode == AggMode::Ungrouped).then(|| self.spec.new_state());
 
         while let Some(batch) = self.input.next_batch()? {
             match &mut global {
                 Some(state) => self.spec.fold_batch_global(&batch, state)?,
-                None => self
-                    .spec
-                    .fold_batch_grouped(&batch, &mut groups, &mut order)?,
+                None => self.spec.fold_batch_grouped(&batch, &mut groups)?,
             }
         }
 
@@ -441,8 +539,7 @@ impl<'a> HashAggregateOp<'a> {
                 flush(&mut builder, &mut out);
             }
             None => {
-                for key in order {
-                    let state = groups.remove(&key).expect("group recorded");
+                for (key, state) in groups.into_ordered() {
                     builder.push_row(
                         key.into_iter()
                             .chain(state.accs.into_iter().map(Acc::finish)),
@@ -510,6 +607,7 @@ mod tests {
             aggs,
             mode,
             batch_size,
+            0,
         );
         drain(Box::new(op)).unwrap()
     }
@@ -668,6 +766,7 @@ mod tests {
             vec![agg(AggFunc::Sum, Some(col(0)))],
             AggMode::Ungrouped,
             4,
+            0,
         );
         assert!(drain(Box::new(op)).is_err());
     }

@@ -75,6 +75,31 @@ impl<'a> ColumnData<'a> {
         self.values.get(physical)
     }
 
+    /// Visit the first `rows` logical values in order. The selection
+    /// dispatch happens once per chunk instead of once per value, so
+    /// chunk-at-a-time kernels (e.g. the hash kernels in
+    /// [`crate::exec::hash`]) run a tight slice loop in the common
+    /// unselected case.
+    pub fn for_each_value(&self, rows: usize, mut f: impl FnMut(usize, &Value)) {
+        match (&self.values, &self.sel) {
+            (Values::Owned(v), None) => {
+                for (i, val) in v[..rows].iter().enumerate() {
+                    f(i, val);
+                }
+            }
+            (Values::Borrowed(s), None) => {
+                for (i, val) in s[..rows].iter().enumerate() {
+                    f(i, val);
+                }
+            }
+            (values, Some(sel)) => {
+                for (i, &p) in sel[..rows].iter().enumerate() {
+                    f(i, values.get(p as usize));
+                }
+            }
+        }
+    }
+
     /// Restrict/reorder to the logical rows in `keep`, without copying
     /// values: selections compose. `composed` memoizes compositions per
     /// distinct source selection, since a batch's columns usually share

@@ -1,0 +1,640 @@
+//! Vectorized hash kernels and the flat open-addressing hash table
+//! shared by every hash operator (join build/probe, aggregation group
+//! tables, DISTINCT, set operations, the parallel radix partitioner, and
+//! the delta-ingest victim map in `ivm-core`).
+//!
+//! The old hot paths keyed heap-allocated `Vec<Value>` rows into
+//! `std::collections::HashMap` — SipHash, one streaming `Hash` call per
+//! row, and a `Vec` allocation per key. Here the work is split the way
+//! DuckDB/HyPer split it:
+//!
+//! 1. **Hash kernels** ([`hash_batch_keys`], [`hash_batch_rows`],
+//!    [`hash_key_columns`], [`hash_rows_keys`]) hash a whole key-column
+//!    set chunk-at-a-time into a `Vec<u64>`: a typed loop per column
+//!    (i64/f64/bool/date take one multiply-mix on the scalar bits, text
+//!    hashes its bytes, NULL takes a sentinel), combined across columns
+//!    with a mixer. A key is hashed exactly once per operator.
+//! 2. **[`FlatTable`]**: a `RawTable`-style flat open-addressing table —
+//!    power-of-two capacity, linear probing, an 8-bit tag array for early
+//!    rejection, and `u32` payloads indexing arena-stored keys/rows. The
+//!    table never stores keys; callers compare candidates through a
+//!    closure over their own arena (typed column compares, no per-key
+//!    allocation). Stored hashes make growth a pure reinsertion pass.
+//!
+//! Hashes are consistent with the *grouping* equality of
+//! [`Value`](crate::value::Value): `NULL` hashes to a constant (groups
+//! with `NULL`), and numerically-equal `INTEGER`/`DOUBLE` values hash the
+//! same (both hash their `f64` bits), mirroring `Value::hash`. The bit
+//! layout is partitioned so the parallel radix partitioner can reuse one
+//! hash column: **partition bits are the high bits** (`hash >>
+//! part_shift`), the **table index is the low bits** (`hash & mask`), and
+//! the tag byte comes from the middle bits — no second hash anywhere.
+
+use crate::exec::batch::RowBatch;
+use crate::exec::Row;
+use crate::value::Value;
+
+/// Seed every row hash starts from (also the hash of a zero-column row).
+const HASH_SEED: u64 = 0x243F_6A88_85A3_08D3;
+
+/// Sentinel mixed in for SQL NULL (NULL groups with NULL).
+const NULL_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Per-type salts keeping differently-typed values apart (numerics share
+/// one salt so `INTEGER 3` and `DOUBLE 3.0` hash identically, matching
+/// grouping equality).
+const BOOL_SALT: u64 = 0xBF58_476D_1CE4_E5B9;
+const NUM_SALT: u64 = 0x94D0_49BB_1331_11EB;
+const TEXT_SALT: u64 = 0xD6E8_FEB8_6659_FD93;
+const DATE_SALT: u64 = 0xA076_1D64_78BD_642F;
+
+/// Finalizer (Murmur3/SplitMix-style): full-avalanche so the low bits
+/// (table index), middle bits (tag), and high bits (radix partition) are
+/// all usable independently.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^= x >> 33;
+    x
+}
+
+/// Combine a per-column value hash into a row hash (order-sensitive).
+#[inline]
+fn combine(acc: u64, h: u64) -> u64 {
+    mix(acc.rotate_left(23) ^ h)
+}
+
+/// FNV-1a over bytes, mixed — the text path of the hash kernels.
+#[inline]
+fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+    }
+    mix(h ^ TEXT_SALT)
+}
+
+/// Hash one value, consistent with grouping equality: equal values (under
+/// `Value::total_cmp`) always hash equal.
+#[inline]
+pub fn hash_value(v: &Value) -> u64 {
+    match v {
+        Value::Null => NULL_SALT,
+        Value::Boolean(b) => mix(BOOL_SALT ^ u64::from(*b)),
+        // Numerics hash their f64 bits so INTEGER 3 == DOUBLE 3.0 holds.
+        Value::Integer(i) => mix(NUM_SALT ^ (*i as f64).to_bits()),
+        Value::Double(d) => mix(NUM_SALT ^ d.to_bits()),
+        Value::Varchar(s) => hash_bytes(s.as_bytes()),
+        Value::Date(d) => mix(DATE_SALT ^ (*d as u32 as u64)),
+    }
+}
+
+/// Hash a materialized row (all columns, NULLs as values).
+pub fn hash_row(row: &[Value]) -> u64 {
+    hash_value_iter(row.iter())
+}
+
+/// Hash an iterator of values as one row key (all values, NULLs as
+/// values).
+pub fn hash_value_iter<'v>(values: impl Iterator<Item = &'v Value>) -> u64 {
+    let mut h = HASH_SEED;
+    for v in values {
+        h = combine(h, hash_value(v));
+    }
+    h
+}
+
+/// Key hashes for one batch or row set, with NULL-key tracking for join
+/// semantics (SQL: a NULL in any key column means the row never matches).
+/// The null mask is only allocated when a NULL key actually occurs.
+#[derive(Debug)]
+pub struct KeyHashes {
+    /// One combined hash per row.
+    pub hashes: Vec<u64>,
+    nulls: Option<Vec<bool>>,
+}
+
+impl KeyHashes {
+    /// Whether row `r` had a NULL in any key column.
+    #[inline]
+    pub fn is_null(&self, r: usize) -> bool {
+        self.nulls.as_ref().is_some_and(|n| n[r])
+    }
+
+    fn mark_null(&mut self, r: usize) {
+        self.nulls
+            .get_or_insert_with(|| vec![false; self.hashes.len()])[r] = true;
+    }
+
+    /// A zeroed hash set for `n` rows, to be filled by
+    /// [`splice_from`](KeyHashes::splice_from) (parallel chunked
+    /// hashing).
+    pub fn with_len(n: usize) -> KeyHashes {
+        KeyHashes {
+            hashes: vec![0; n],
+            nulls: None,
+        }
+    }
+
+    /// Copy a chunk's hashes (and null marks) in at row `offset`.
+    pub fn splice_from(&mut self, offset: usize, chunk: KeyHashes) {
+        let len = chunk.hashes.len();
+        self.hashes[offset..offset + len].copy_from_slice(&chunk.hashes);
+        if let Some(chunk_nulls) = chunk.nulls {
+            let total = self.hashes.len();
+            let nulls = self.nulls.get_or_insert_with(|| vec![false; total]);
+            nulls[offset..offset + len].copy_from_slice(&chunk_nulls);
+        }
+    }
+}
+
+/// Hash the key columns `cols` of a batch chunk-at-a-time: one typed
+/// column loop per key column, combined into a single `Vec<u64>`, with
+/// NULL keys marked for join semantics.
+pub fn hash_batch_keys(batch: &RowBatch<'_>, cols: &[usize]) -> KeyHashes {
+    let rows = batch.num_rows();
+    let mut out = KeyHashes {
+        hashes: vec![HASH_SEED; rows],
+        nulls: None,
+    };
+    for &c in cols {
+        let col = batch.column(c);
+        let hashes = &mut out.hashes;
+        let mut nulls: Vec<usize> = Vec::new();
+        col.for_each_value(rows, |r, v| {
+            if v.is_null() {
+                nulls.push(r);
+            }
+            hashes[r] = combine(hashes[r], hash_value(v));
+        });
+        for r in nulls {
+            out.mark_null(r);
+        }
+    }
+    out
+}
+
+/// Hash every column of a batch into whole-row hashes (NULLs as values) —
+/// the DISTINCT/set-operation kernel.
+pub fn hash_batch_rows(batch: &RowBatch<'_>) -> Vec<u64> {
+    let rows = batch.num_rows();
+    let mut hashes = vec![HASH_SEED; rows];
+    for c in 0..batch.width() {
+        let col = batch.column(c);
+        let out = &mut hashes;
+        col.for_each_value(rows, |r, v| {
+            out[r] = combine(out[r], hash_value(v));
+        });
+    }
+    hashes
+}
+
+/// Hash pre-evaluated key columns (e.g. group-key kernels' output) into
+/// per-row hashes. NULL group keys are values here (they group together).
+pub fn hash_key_columns(cols: &[Vec<Value>], rows: usize) -> Vec<u64> {
+    let mut hashes = vec![HASH_SEED; rows];
+    for col in cols {
+        debug_assert_eq!(col.len(), rows);
+        for (h, v) in hashes.iter_mut().zip(col) {
+            *h = combine(*h, hash_value(v));
+        }
+    }
+    hashes
+}
+
+/// Hash the key columns of materialized rows (join build sides), marking
+/// NULL keys.
+pub fn hash_rows_keys(rows: &[Row], keys: &[usize]) -> KeyHashes {
+    let mut out = KeyHashes {
+        hashes: vec![HASH_SEED; rows.len()],
+        nulls: None,
+    };
+    for (r, row) in rows.iter().enumerate() {
+        let mut h = HASH_SEED;
+        let mut null = false;
+        for &k in keys {
+            let v = &row[k];
+            null |= v.is_null();
+            h = combine(h, hash_value(v));
+        }
+        out.hashes[r] = h;
+        if null {
+            out.mark_null(r);
+        }
+    }
+    out
+}
+
+/// Tag byte for a hash: middle bits (32..39), so it stays discriminating
+/// inside a radix partition (whose rows share the *high* bits) and across
+/// a probe run (which walks the *low* bits). `0x80` marks occupancy —
+/// zero always means empty.
+#[inline]
+fn tag_of(hash: u64) -> u8 {
+    0x80 | ((hash >> 32) as u8 & 0x7F)
+}
+
+const EMPTY_TAG: u8 = 0;
+
+/// A flat open-addressing hash table: power-of-two capacity, linear
+/// probing, an 8-bit tag array for early rejection, and `u32` payloads
+/// pointing into caller-owned arenas.
+///
+/// The table stores `(tag, hash, payload)` per slot and never the keys
+/// themselves: lookups pass an equality closure over the payload, so key
+/// storage, comparison, and chaining stay in the operator's arena (build
+/// rows, group-key vectors, …) with no per-key allocation. There is no
+/// deletion (none of the engine's hash operators delete), which keeps
+/// probing tombstone-free.
+#[derive(Debug, Default, Clone)]
+pub struct FlatTable {
+    tags: Vec<u8>,
+    hashes: Vec<u64>,
+    payloads: Vec<u32>,
+    /// capacity - 1; capacity is a power of two (0 before first insert).
+    mask: usize,
+    len: usize,
+    /// Inserts left before the next doubling (7/8 load factor).
+    growth_left: usize,
+}
+
+impl FlatTable {
+    /// An empty table; allocates on first insert.
+    pub fn new() -> FlatTable {
+        FlatTable::default()
+    }
+
+    /// A table pre-sized so `n` inserts never rehash — size from exact
+    /// input counts wherever they are known.
+    pub fn with_capacity(n: usize) -> FlatTable {
+        let mut t = FlatTable::default();
+        if n > 0 {
+            t.resize_to(capacity_for(n));
+        }
+        t
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Slot capacity (0 before the first insert).
+    pub fn capacity(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Find the payload of the entry with this hash whose arena key
+    /// satisfies `eq`. The tag byte rejects most non-matching slots
+    /// before the full hash (let alone the key) is compared.
+    #[inline]
+    pub fn find(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
+        if self.len == 0 {
+            return None;
+        }
+        let tag = tag_of(hash);
+        let mut i = (hash as usize) & self.mask;
+        loop {
+            let t = self.tags[i];
+            if t == EMPTY_TAG {
+                return None;
+            }
+            if t == tag && self.hashes[i] == hash && eq(self.payloads[i]) {
+                return Some(self.payloads[i]);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Like [`find`](FlatTable::find), but yields a mutable payload slot —
+    /// join builds use this to prepend chain heads in place.
+    #[inline]
+    pub fn find_mut(&mut self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<&mut u32> {
+        if self.len == 0 {
+            return None;
+        }
+        let tag = tag_of(hash);
+        let mut i = (hash as usize) & self.mask;
+        loop {
+            let t = self.tags[i];
+            if t == EMPTY_TAG {
+                return None;
+            }
+            if t == tag && self.hashes[i] == hash && eq(self.payloads[i]) {
+                return Some(&mut self.payloads[i]);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Insert an entry known to be absent (callers always
+    /// [`find`](FlatTable::find) first). Grows by doubling when the 7/8
+    /// load factor is hit; growth reinserts stored hashes — keys are
+    /// never re-hashed or touched.
+    pub fn insert(&mut self, hash: u64, payload: u32) {
+        if self.growth_left == 0 {
+            let cap = if self.tags.is_empty() {
+                8
+            } else {
+                self.tags.len() * 2
+            };
+            self.resize_to(cap);
+        }
+        self.insert_slot(hash, payload);
+        self.len += 1;
+        self.growth_left -= 1;
+    }
+
+    #[inline]
+    fn insert_slot(&mut self, hash: u64, payload: u32) {
+        let mut i = (hash as usize) & self.mask;
+        while self.tags[i] != EMPTY_TAG {
+            i = (i + 1) & self.mask;
+        }
+        self.tags[i] = tag_of(hash);
+        self.hashes[i] = hash;
+        self.payloads[i] = payload;
+    }
+
+    fn resize_to(&mut self, cap: usize) {
+        debug_assert!(cap.is_power_of_two());
+        let old_tags = std::mem::replace(&mut self.tags, vec![EMPTY_TAG; cap]);
+        let old_hashes = std::mem::replace(&mut self.hashes, vec![0; cap]);
+        let old_payloads = std::mem::replace(&mut self.payloads, vec![0; cap]);
+        self.mask = cap - 1;
+        self.growth_left = cap - cap / 8 - self.len;
+        for ((t, h), p) in old_tags.iter().zip(old_hashes).zip(old_payloads) {
+            if *t != EMPTY_TAG {
+                self.insert_slot(h, p);
+            }
+        }
+    }
+}
+
+/// Capacity (power of two) at which `n` entries stay under the 7/8 load
+/// factor.
+fn capacity_for(n: usize) -> usize {
+    let needed = n + n.div_ceil(7); // ceil(n * 8/7)
+    needed.next_power_of_two().max(8)
+}
+
+/// Prepend entry `i` onto its equal-key chain in `table`: the chain head
+/// is found by `hash` + `eq`; when one exists, `set_next(old_head)` links
+/// `i` in front of it (the caller owns the chain array), otherwise `i`
+/// starts a new chain. This is the one chain-building step shared by the
+/// serial join build, the partitioned parallel build, and the
+/// delta-ingest victim index — prepending over a reverse scan yields
+/// chains that iterate in ascending entry order.
+pub fn chain_prepend(
+    table: &mut FlatTable,
+    hash: u64,
+    i: u32,
+    eq: impl FnMut(u32) -> bool,
+    set_next: impl FnOnce(u32),
+) {
+    match table.find_mut(hash, eq) {
+        Some(head) => {
+            set_next(*head);
+            *head = i;
+        }
+        None => table.insert(hash, i),
+    }
+}
+
+/// A set of materialized rows over a [`FlatTable`] — the DISTINCT /
+/// set-operation "seen" structure (rows arena + flat index, no per-row
+/// `HashMap` key allocation).
+#[derive(Debug, Default)]
+pub struct RowSet {
+    table: FlatTable,
+    rows: Vec<Row>,
+}
+
+impl RowSet {
+    /// An empty set.
+    pub fn new() -> RowSet {
+        RowSet::default()
+    }
+
+    /// Insert batch row `r` (pre-hashed as `hash`); `true` when it was
+    /// not yet present. The row is only materialized on first sight.
+    pub fn insert_batch_row(&mut self, hash: u64, batch: &RowBatch<'_>, r: usize) -> bool {
+        let rows = &self.rows;
+        let width = batch.width();
+        let present = self
+            .table
+            .find(hash, |p| {
+                let seen = &rows[p as usize];
+                (0..width).all(|c| batch.value(c, r) == &seen[c])
+            })
+            .is_some();
+        if present {
+            return false;
+        }
+        let idx = self.rows.len() as u32;
+        self.rows.push(batch.materialize_row(r));
+        self.table.insert(hash, idx);
+        true
+    }
+
+    /// Insert a materialized row; `true` when it was not yet present.
+    pub fn insert_row(&mut self, hash: u64, row: Row) -> bool {
+        let rows = &self.rows;
+        if self.table.find(hash, |p| rows[p as usize] == row).is_some() {
+            return false;
+        }
+        let idx = self.rows.len() as u32;
+        self.rows.push(row);
+        self.table.insert(hash, idx);
+        true
+    }
+}
+
+/// A multiplicity map over whole rows (arena + flat index) — the
+/// EXCEPT/INTERSECT right-side counter.
+#[derive(Debug, Default)]
+pub struct RowCounter {
+    table: FlatTable,
+    rows: Vec<Row>,
+    counts: Vec<usize>,
+}
+
+impl RowCounter {
+    /// An empty counter.
+    pub fn new() -> RowCounter {
+        RowCounter::default()
+    }
+
+    fn index_of(&self, hash: u64, batch: &RowBatch<'_>, r: usize) -> Option<usize> {
+        let rows = &self.rows;
+        let width = batch.width();
+        self.table
+            .find(hash, |p| {
+                let seen = &rows[p as usize];
+                (0..width).all(|c| batch.value(c, r) == &seen[c])
+            })
+            .map(|p| p as usize)
+    }
+
+    /// Bump the multiplicity of batch row `r` (pre-hashed as `hash`).
+    pub fn add_batch_row(&mut self, hash: u64, batch: &RowBatch<'_>, r: usize) {
+        match self.index_of(hash, batch, r) {
+            Some(i) => self.counts[i] += 1,
+            None => {
+                let idx = self.rows.len() as u32;
+                self.rows.push(batch.materialize_row(r));
+                self.counts.push(1);
+                self.table.insert(hash, idx);
+            }
+        }
+    }
+
+    /// Whether the row occurs at all (set semantics; multiplicities of 0
+    /// still count as present, matching the consumed-map contract of
+    /// EXCEPT ALL).
+    pub fn contains_batch_row(&self, hash: u64, batch: &RowBatch<'_>, r: usize) -> bool {
+        self.index_of(hash, batch, r).is_some()
+    }
+
+    /// Mutable multiplicity of the row, when present (bag semantics
+    /// consume one per match).
+    pub fn count_mut(&mut self, hash: u64, batch: &RowBatch<'_>, r: usize) -> Option<&mut usize> {
+        self.index_of(hash, batch, r).map(|i| &mut self.counts[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(v: i64) -> Value {
+        Value::Integer(v)
+    }
+
+    #[test]
+    fn grouping_equal_values_hash_equal() {
+        assert_eq!(hash_value(&i(3)), hash_value(&Value::Double(3.0)));
+        assert_ne!(hash_value(&i(3)), hash_value(&Value::Double(3.5)));
+        assert_eq!(hash_value(&Value::Null), hash_value(&Value::Null));
+        // Date and Integer never group-compare equal; keep them apart.
+        assert_ne!(hash_value(&Value::Date(3)), hash_value(&i(3)));
+    }
+
+    #[test]
+    fn batch_key_hashes_match_row_hashes() {
+        let rows = vec![
+            vec![i(1), Value::from("a")],
+            vec![Value::Null, Value::from("b")],
+            vec![i(3), Value::Null],
+        ];
+        let batch = RowBatch::from_rows(2, rows.clone());
+        let by_batch = hash_batch_keys(&batch, &[0, 1]);
+        let by_rows = hash_rows_keys(&rows, &[0, 1]);
+        assert_eq!(by_batch.hashes, by_rows.hashes);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(by_batch.is_null(r), by_rows.is_null(r));
+            assert_eq!(by_batch.hashes[r], hash_row(row));
+        }
+        assert!(by_batch.is_null(1) && by_batch.is_null(2) && !by_batch.is_null(0));
+        // Whole-row hashing agrees with the key kernels on full keys.
+        assert_eq!(hash_batch_rows(&batch), by_batch.hashes);
+    }
+
+    #[test]
+    fn column_order_matters() {
+        assert_ne!(
+            hash_row(&[i(1), i(2)]),
+            hash_row(&[i(2), i(1)]),
+            "row hashes must be order-sensitive"
+        );
+    }
+
+    #[test]
+    fn flat_table_find_and_grow() {
+        // Keys are the payloads themselves (arena = identity).
+        let mut t = FlatTable::new();
+        assert_eq!(t.find(42, |_| true), None);
+        for k in 0u32..5000 {
+            let h = hash_value(&i(i64::from(k)));
+            assert_eq!(t.find(h, |p| p == k), None);
+            t.insert(h, k);
+        }
+        assert_eq!(t.len(), 5000);
+        for k in 0u32..5000 {
+            let h = hash_value(&i(i64::from(k)));
+            assert_eq!(t.find(h, |p| p == k), Some(k));
+        }
+        assert_eq!(t.find(hash_value(&i(999_999)), |_| true), None);
+    }
+
+    #[test]
+    fn with_capacity_never_rehashes() {
+        for n in [0usize, 1, 7, 8, 1023, 1024, 1025] {
+            let mut t = FlatTable::with_capacity(n);
+            let cap = t.capacity();
+            for k in 0..n as u32 {
+                t.insert(hash_value(&i(i64::from(k))), k);
+            }
+            if n > 0 {
+                assert_eq!(
+                    t.capacity(),
+                    cap,
+                    "with_capacity({n}) rehashed during {n} inserts"
+                );
+            } else {
+                assert_eq!(cap, 0, "with_capacity(0) must not allocate");
+            }
+        }
+    }
+
+    #[test]
+    fn colliding_hashes_resolve_by_eq() {
+        // Force every entry onto one hash: probing + eq must disambiguate.
+        let mut t = FlatTable::new();
+        for k in 0u32..100 {
+            t.insert(0xDEAD_BEEF, k);
+        }
+        // find returns the entry whose payload the closure accepts.
+        for k in 0u32..100 {
+            assert_eq!(t.find(0xDEAD_BEEF, |p| p == k), Some(k));
+        }
+        assert_eq!(t.find(0xDEAD_BEEF, |p| p == 100), None);
+        // A different hash that maps to the same slot region still misses.
+        assert_eq!(t.find(!0xDEAD_BEEF, |_| true), None);
+    }
+
+    #[test]
+    fn find_mut_updates_payload_in_place() {
+        let mut t = FlatTable::new();
+        t.insert(7, 1);
+        *t.find_mut(7, |_| true).unwrap() = 9;
+        assert_eq!(t.find(7, |_| true), Some(9));
+        assert!(t.find_mut(8, |_| true).is_none());
+    }
+
+    #[test]
+    fn row_set_and_counter() {
+        let batch = RowBatch::from_rows(1, vec![vec![i(1)], vec![i(2)], vec![i(1)]]);
+        let hashes = hash_batch_rows(&batch);
+        let mut set = RowSet::new();
+        assert!(set.insert_batch_row(hashes[0], &batch, 0));
+        assert!(set.insert_batch_row(hashes[1], &batch, 1));
+        assert!(!set.insert_batch_row(hashes[2], &batch, 2));
+
+        let mut counts = RowCounter::new();
+        for (r, &hash) in hashes.iter().enumerate() {
+            counts.add_batch_row(hash, &batch, r);
+        }
+        assert_eq!(counts.count_mut(hashes[0], &batch, 0), Some(&mut 2));
+        assert_eq!(counts.count_mut(hashes[1], &batch, 1), Some(&mut 1));
+        assert!(counts.contains_batch_row(hashes[0], &batch, 2));
+    }
+}

@@ -14,10 +14,9 @@
 //! `FullOuter` additionally emits unmatched build rows after the probe is
 //! exhausted. SQL semantics: NULL keys never match.
 
-use std::collections::HashMap;
-
 use crate::error::EngineError;
 use crate::exec::batch::{ColumnData, JoinedRow, RowBatch};
+use crate::exec::hash::{chain_prepend, hash_batch_keys, hash_rows_keys, FlatTable};
 use crate::exec::{BoxedOperator, Operator, Row};
 use crate::expr::{BoundExpr, VectorKernel};
 use crate::planner::physical::PhysJoinKind;
@@ -139,8 +138,79 @@ pub(crate) fn unmatched_build_batch<'a>(
     RowBatch::new(columns, ids.len())
 }
 
-/// Hash table over the build side: key values → build row indices.
-type JoinTable = HashMap<Vec<Value>, Vec<u32>>;
+/// Hash index over the build side: a [`FlatTable`] keyed by precomputed
+/// key hashes whose payload is the *head* build-row index of a chain
+/// threaded through `next` (rows with equal keys, in build-row order).
+/// Keys live in the build rows themselves — no per-key `Vec<Value>`
+/// allocation — and every build row is hashed exactly once, by the
+/// vectorized key kernel.
+pub(crate) struct JoinTable {
+    table: FlatTable,
+    /// Per build row: the next row with an equal key, `u32::MAX` at the
+    /// chain end.
+    next: Vec<u32>,
+}
+
+impl JoinTable {
+    /// Index `rows` on `keys`. Rows with a NULL key never enter the table
+    /// (SQL: NULL keys never match). Chains are built by *prepending*
+    /// over a reverse scan, so candidate iteration yields build rows in
+    /// increasing order — the serial output order contract.
+    pub(crate) fn build(rows: &[Row], keys: &[usize]) -> JoinTable {
+        let hashes = hash_rows_keys(rows, keys);
+        let mut table = FlatTable::with_capacity(rows.len());
+        let mut next = vec![u32::MAX; rows.len()];
+        for i in (0..rows.len()).rev() {
+            if hashes.is_null(i) {
+                continue;
+            }
+            let row = &rows[i];
+            chain_prepend(
+                &mut table,
+                hashes.hashes[i],
+                i as u32,
+                |p| {
+                    let head = &rows[p as usize];
+                    keys.iter().all(|&k| head[k] == row[k])
+                },
+                |head| next[i] = head,
+            );
+        }
+        JoinTable { table, next }
+    }
+
+    /// Push every build row matching the probe key onto `out`, in
+    /// build-row order. The probe key is taken from `batch` columns
+    /// `probe_keys` at row `r`, pre-hashed as `hash`.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn probe_into(
+        &self,
+        hash: u64,
+        batch: &RowBatch<'_>,
+        r: usize,
+        probe_keys: &[usize],
+        build_rows: &[Row],
+        build_keys: &[usize],
+        out: &mut Vec<u32>,
+    ) {
+        let head = self.table.find(hash, |p| {
+            let build = &build_rows[p as usize];
+            probe_keys
+                .iter()
+                .zip(build_keys)
+                .all(|(&pk, &bk)| batch.value(pk, r) == &build[bk])
+        });
+        let mut cur = match head {
+            Some(h) => h,
+            None => return,
+        };
+        while cur != u32::MAX {
+            out.push(cur);
+            cur = self.next[cur as usize];
+        }
+    }
+}
 
 /// Build-probe hash join on plan-time-extracted equi-keys.
 pub struct HashJoinOp<'a> {
@@ -196,47 +266,37 @@ impl<'a> HashJoinOp<'a> {
             return Ok(());
         }
         let side = BuildSide::consume(&mut self.build)?;
-        let mut table: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
-        'rows: for (i, row) in side.rows.iter().enumerate() {
-            let mut key = Vec::with_capacity(self.build_keys.len());
-            for &k in &self.build_keys {
-                let v = &row[k];
-                if v.is_null() {
-                    continue 'rows;
-                }
-                key.push(v.clone());
-            }
-            table.entry(key).or_default().push(i as u32);
-        }
+        // Sized from the exact build-row count: no rehash during build.
+        let table = JoinTable::build(&side.rows, &self.build_keys);
         self.state = Some((side, table));
         Ok(())
     }
 
-    /// Join one probe batch: collect candidate pairs through the hash
-    /// table, run the residual kernel over all of them at once, then lay
-    /// out the output pair list (with outer padding) in probe-row order.
+    /// Join one probe batch: hash the probe keys chunk-at-a-time, collect
+    /// candidate pairs through the flat table, run the residual kernel
+    /// over all of them at once, then lay out the output pair list (with
+    /// outer padding) in probe-row order.
     fn join_batch(&mut self, batch: &RowBatch<'a>) -> Result<(Vec<u32>, Vec<u32>), EngineError> {
         let preserve_probe = matches!(self.join, PhysJoinKind::LeftOuter | PhysJoinKind::FullOuter);
         let (side, table) = self.state.as_mut().expect("built before probing");
         let rows = batch.num_rows();
         let mut cand_rows: Vec<u32> = Vec::new();
         let mut cand_bis: Vec<u32> = Vec::new();
-        let mut key = Vec::with_capacity(self.probe_keys.len());
-        'rows: for row in 0..rows {
-            key.clear();
-            for &k in &self.probe_keys {
-                let v = batch.value(k, row);
-                if v.is_null() {
-                    continue 'rows;
-                }
-                key.push(v.clone());
+        let hashes = hash_batch_keys(batch, &self.probe_keys);
+        for row in 0..rows {
+            if hashes.is_null(row) {
+                continue;
             }
-            if let Some(candidates) = table.get(key.as_slice()) {
-                for &bi in candidates {
-                    cand_rows.push(row as u32);
-                    cand_bis.push(bi);
-                }
-            }
+            table.probe_into(
+                hashes.hashes[row],
+                batch,
+                row,
+                &self.probe_keys,
+                &side.rows,
+                &self.build_keys,
+                &mut cand_bis,
+            );
+            cand_rows.resize(cand_bis.len(), row as u32);
         }
         // Vectorized residual: one `probe ++ build` frame over every
         // candidate pair, filtered in a single kernel pass.

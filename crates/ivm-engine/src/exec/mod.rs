@@ -14,6 +14,7 @@
 //! operators and kernels inside each worker.
 
 pub mod batch;
+pub mod hash;
 pub mod parallel;
 
 mod aggregate;
@@ -143,12 +144,18 @@ pub fn build_operator<'a>(
                     a.arg = Some(prepare_expr_with_batch_size(arg, catalog, batch_size)?);
                 }
             }
+            // Planner sizing hint: pre-size the flat group table so
+            // typical aggregations never rehash mid-fold.
+            let hint = crate::planner::physical::table_size_hint(
+                crate::planner::physical::estimate_physical_rows(plan, catalog),
+            );
             Box::new(aggregate::HashAggregateOp::new(
                 child,
                 group,
                 prepared_aggs,
                 *mode,
                 batch_size,
+                hint,
             ))
         }
         PhysicalPlan::HashJoin {

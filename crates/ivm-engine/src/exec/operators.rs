@@ -1,11 +1,12 @@
 //! Streaming operators: scan, filter, project, limit, sort, top-k,
 //! distinct, and set operations.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crate::error::EngineError;
 use crate::exec::batch::{ColumnData, RowBatch, DEFAULT_BATCH_SIZE};
+use crate::exec::hash::{hash_batch_rows, RowCounter, RowSet};
 use crate::exec::{BoxedOperator, Operator, Row};
 use crate::expr::{BoundExpr, VectorKernel};
 use crate::planner::SetOpKind;
@@ -430,10 +431,12 @@ impl<'a> Operator<'a> for TopKOp<'a> {
     }
 }
 
-/// Streaming duplicate elimination over whole rows.
+/// Streaming duplicate elimination over whole rows: each batch is hashed
+/// chunk-at-a-time and deduplicated against a flat row set (rows only
+/// materialize on first sight).
 pub struct DistinctOp<'a> {
     input: BoxedOperator<'a>,
-    seen: HashSet<Row>,
+    seen: RowSet,
 }
 
 impl<'a> DistinctOp<'a> {
@@ -441,7 +444,7 @@ impl<'a> DistinctOp<'a> {
     pub fn new(input: BoxedOperator<'a>) -> DistinctOp<'a> {
         DistinctOp {
             input,
-            seen: HashSet::new(),
+            seen: RowSet::new(),
         }
     }
 }
@@ -449,9 +452,10 @@ impl<'a> DistinctOp<'a> {
 impl<'a> Operator<'a> for DistinctOp<'a> {
     fn next_batch(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
         while let Some(batch) = self.input.next_batch()? {
+            let hashes = hash_batch_rows(&batch);
             let mut keep: Vec<u32> = Vec::new();
-            for row in 0..batch.num_rows() {
-                if self.seen.insert(batch.materialize_row(row)) {
+            for (row, &hash) in hashes.iter().enumerate() {
+                if self.seen.insert_batch_row(hash, &batch, row) {
                     keep.push(row as u32);
                 }
             }
@@ -466,15 +470,16 @@ impl<'a> Operator<'a> for DistinctOp<'a> {
 /// UNION / EXCEPT / INTERSECT with bag (`ALL`) or set semantics.
 ///
 /// UNION streams both inputs; EXCEPT/INTERSECT materialize the right side
-/// into a multiplicity map, then stream the left side against it.
+/// into a flat multiplicity map, then stream the left side against it.
+/// Rows hash once per batch through the chunk-at-a-time kernel.
 pub struct SetOpOp<'a> {
     op: SetOpKind,
     all: bool,
     left: BoxedOperator<'a>,
     right: BoxedOperator<'a>,
     left_done: bool,
-    right_counts: Option<HashMap<Row, usize>>,
-    seen: HashSet<Row>,
+    right_counts: Option<RowCounter>,
+    seen: RowSet,
 }
 
 impl<'a> SetOpOp<'a> {
@@ -492,7 +497,7 @@ impl<'a> SetOpOp<'a> {
             right,
             left_done: false,
             right_counts: None,
-            seen: HashSet::new(),
+            seen: RowSet::new(),
         }
     }
 
@@ -515,9 +520,10 @@ impl<'a> SetOpOp<'a> {
             if self.all {
                 return Ok(Some(batch));
             }
+            let hashes = hash_batch_rows(&batch);
             let mut keep: Vec<u32> = Vec::new();
-            for row in 0..batch.num_rows() {
-                if self.seen.insert(batch.materialize_row(row)) {
+            for (row, &hash) in hashes.iter().enumerate() {
+                if self.seen.insert_batch_row(hash, &batch, row) {
                     keep.push(row as u32);
                 }
             }
@@ -529,10 +535,11 @@ impl<'a> SetOpOp<'a> {
 
     fn next_against_counts(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
         if self.right_counts.is_none() {
-            let mut counts: HashMap<Row, usize> = HashMap::new();
+            let mut counts = RowCounter::new();
             while let Some(batch) = self.right.next_batch()? {
-                for row in 0..batch.num_rows() {
-                    *counts.entry(batch.materialize_row(row)).or_insert(0) += 1;
+                let hashes = hash_batch_rows(&batch);
+                for (row, &hash) in hashes.iter().enumerate() {
+                    counts.add_batch_row(hash, &batch, row);
                 }
             }
             self.right_counts = Some(counts);
@@ -540,12 +547,12 @@ impl<'a> SetOpOp<'a> {
         let except = self.op == SetOpKind::Except;
         while let Some(batch) = self.left.next_batch()? {
             let counts = self.right_counts.as_mut().expect("built above");
+            let hashes = hash_batch_rows(&batch);
             let mut keep: Vec<u32> = Vec::new();
-            for row in 0..batch.num_rows() {
-                let r = batch.materialize_row(row);
+            for (row, &hash) in hashes.iter().enumerate() {
                 let kept = if self.all {
                     // Bag semantics: consume one multiplicity per match.
-                    match counts.get_mut(&r) {
+                    match counts.count_mut(hash, &batch, row) {
                         Some(c) if *c > 0 => {
                             *c -= 1;
                             !except
@@ -553,8 +560,8 @@ impl<'a> SetOpOp<'a> {
                         _ => except,
                     }
                 } else {
-                    let in_right = counts.contains_key(&r);
-                    (in_right != except) && self.seen.insert(r)
+                    let in_right = counts.contains_batch_row(hash, &batch, row);
+                    (in_right != except) && self.seen.insert_batch_row(hash, &batch, row)
                 };
                 if kept {
                     keep.push(row as u32);

@@ -15,14 +15,11 @@
 //! and integer-SUM overflow detection applies to the re-associated
 //! partial sums, since both folds associate at morsel boundaries.
 
-use std::collections::HashMap;
-
 use crate::error::EngineError;
-use crate::exec::aggregate::{Acc, AggSpec, GroupState};
+use crate::exec::aggregate::{Acc, AggSpec, GroupTable};
 use crate::exec::{prepare_expr_with_batch_size, Row};
 use crate::expr::{AggExpr, BoundExpr};
 use crate::planner::physical::AggMode;
-use crate::value::Value;
 
 use super::pipeline::{pipeline_tails, run_morsels, MorselOut, MorselWork, PipelineSpec};
 use super::Ctx;
@@ -76,32 +73,23 @@ pub(super) fn parallel_aggregate(
         }
         AggMode::HashGrouped => {
             let partials = run_morsels(spec, ctx, MorselWork::AggGrouped(&agg))?;
-            let mut groups: HashMap<Vec<Value>, GroupState> = HashMap::new();
-            let mut order: Vec<Vec<Value>> = Vec::new();
+            let mut groups = GroupTable::new();
             // Partials arrive sorted by morsel sequence; merging each
-            // morsel's groups in its local first-seen order reconstructs
-            // the global (serial) first-seen order.
+            // morsel's flat table in its local first-seen order
+            // reconstructs the global (serial) first-seen order. The
+            // merge reuses each group's fold-time hash — keys are never
+            // re-hashed here.
             for (_, out) in partials {
-                let MorselOut::Grouped(mut map, morsel_order) = out else {
+                let MorselOut::Grouped(partial) = out else {
                     unreachable!("grouped work yields grouped partials")
                 };
-                for key in morsel_order {
-                    let state = map.remove(&key).expect("group recorded in its morsel");
-                    match groups.get_mut(&key) {
-                        Some(g) => g.merge(state)?,
-                        None => {
-                            order.push(key.clone());
-                            groups.insert(key, state);
-                        }
-                    }
-                }
+                groups.merge_from(partial, &agg)?;
             }
             for batch in pipeline_tails(spec, ctx)? {
-                agg.fold_batch_grouped(&batch, &mut groups, &mut order)?;
+                agg.fold_batch_grouped(&batch, &mut groups)?;
             }
-            let mut rows = Vec::with_capacity(order.len());
-            for key in order {
-                let mut state = groups.remove(&key).expect("group recorded");
+            let mut rows = Vec::with_capacity(groups.len());
+            for (key, mut state) in groups.into_ordered() {
                 agg.finalize_distinct(&mut state)?;
                 rows.push(
                     key.into_iter()

@@ -158,12 +158,16 @@ pub(crate) fn collect_rows(plan: &PhysicalPlan, ctx: &Ctx<'_>) -> Result<Vec<Row
                     )?);
                 }
             }
+            // Exact input count as an upper-bound sizing hint, clamped so
+            // a huge duplicate-heavy input doesn't pre-zero a giant table.
+            let hint = rows.len().min(1 << 16);
             drain_operator(Box::new(crate::exec::aggregate::HashAggregateOp::new(
                 replay(width, rows, ctx.batch_size),
                 group,
                 prepared_aggs,
                 *mode,
                 ctx.batch_size,
+                hint,
             )))
         }
         PhysicalPlan::Filter { input, predicate } => {

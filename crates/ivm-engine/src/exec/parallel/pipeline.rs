@@ -9,26 +9,25 @@
 //! morsel sequence number so the coordinator can restore the serial row
 //! order when concatenating or merging.
 
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 use crate::error::EngineError;
-use crate::exec::aggregate::{AggSpec, GroupState};
+use crate::exec::aggregate::{AggSpec, GroupTable};
 use crate::exec::batch::{ColumnData, RowBatch};
+use crate::exec::hash::{chain_prepend, hash_batch_keys, hash_rows_keys, FlatTable, KeyHashes};
 use crate::exec::join::{splice_output, unmatched_build_batch};
 use crate::exec::{prepare_expr_with_batch_size, Row};
 use crate::expr::VectorKernel;
 use crate::planner::physical::{PhysJoinKind, PhysicalPlan};
 use crate::storage::{MorselCursor, Table};
-use crate::value::Value;
 
 use super::Ctx;
 
-/// Build sides smaller than this are partitioned single-threaded; the
-/// scan-and-insert pass only pays off on larger inputs.
+/// Build sides smaller than this skip radix partitioning entirely (one
+/// flat table, built single-threaded): below it the partition pass and
+/// per-partition tables cost more than they save.
 const PARALLEL_BUILD_THRESHOLD: usize = 4096;
 
 /// One parallel pipeline: scan leaf plus morsel-local stages.
@@ -54,58 +53,59 @@ pub(super) enum Proj {
     Compute(VectorKernel),
 }
 
-/// FNV-1a over the grouped-equality `Hash` of the key values: cheap,
-/// deterministic (unlike the std `RandomState`), and shared by every
-/// worker for radix partitioning.
-struct Fnv(u64);
-
-impl Hasher for Fnv {
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
-        }
-    }
-    fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-fn key_hash(key: &[Value]) -> u64 {
-    let mut h = Fnv(0xCBF2_9CE4_8422_2325);
-    for v in key {
-        v.hash(&mut h);
-    }
-    h.finish()
-}
-
 fn partition_count(workers: usize) -> usize {
     (workers.max(1) * 4).next_power_of_two().min(64)
 }
 
+/// One built radix partition: its flat table plus the `(row, next)` chain
+/// updates to apply to the shared chain array.
+type BuiltPartition = (FlatTable, Vec<(u32, u32)>);
+
 /// A hash-partitioned, read-only build side shared by all probe workers.
 ///
-/// Rows are radix-partitioned on the equi-key hash into `parts.len()`
-/// (power of two) hash tables, so probes touch exactly one partition and
-/// no lock; per-key candidate lists preserve build-row order, matching
-/// the serial join's output order. `matched` flags are atomic because
-/// multiple workers probe concurrently.
+/// The equi-key hash column is computed once (vectorized, in parallel
+/// chunks for large builds) and reused everywhere: the **high bits**
+/// pick the radix partition, the **low bits** index the partition's
+/// [`FlatTable`] — no row is ever hashed twice. Per-key candidates are a
+/// chain threaded through `next` in build-row order, matching the serial
+/// join's output order. Build sides under the partitioning threshold use
+/// a single table. `matched` flags are atomic because multiple workers
+/// probe concurrently.
 pub(super) struct JoinStage {
     build_rows: Vec<Row>,
-    parts: Vec<HashMap<Vec<Value>, Vec<u32>>>,
-    mask: u64,
+    /// One flat table per radix partition (len 1 = unpartitioned);
+    /// payloads are chain-head build-row indices.
+    parts: Vec<FlatTable>,
+    /// Per build row: next row in its equal-key chain (`u32::MAX` ends).
+    next: Vec<u32>,
+    /// Right-shift mapping a key hash to its partition (64 when
+    /// unpartitioned, i.e. everything lands in partition 0).
+    part_shift: u32,
     matched: Vec<AtomicBool>,
     probe_keys: Vec<usize>,
+    build_keys: Vec<usize>,
     residual: Option<VectorKernel>,
     join: PhysJoinKind,
     probe_width: usize,
     build_width: usize,
 }
 
+/// Partition index of a hash under `part_shift` (high bits).
+#[inline]
+fn partition_of(hash: u64, part_shift: u32) -> usize {
+    if part_shift >= 64 {
+        0
+    } else {
+        (hash >> part_shift) as usize
+    }
+}
+
 impl JoinStage {
-    /// Partition `build_rows` on `build_keys`. Large build sides are
-    /// partitioned in parallel: contiguous row chunks build local
-    /// partition maps, merged per partition in chunk order so per-key
-    /// candidate lists stay in global row order.
+    /// Index `build_rows` on `build_keys`. Large build sides hash and
+    /// bucketize in parallel over contiguous row chunks (per-partition
+    /// row lists concatenate in chunk order, keeping global row order);
+    /// the per-partition flat tables are then built by reverse-scan
+    /// chain-prepending, so candidate chains iterate in build-row order.
     #[allow(clippy::too_many_arguments)]
     pub(super) fn build(
         build_rows: Vec<Row>,
@@ -117,74 +117,147 @@ impl JoinStage {
         join: PhysJoinKind,
         workers: usize,
     ) -> JoinStage {
-        let nparts = partition_count(workers);
-        let mask = (nparts - 1) as u64;
-        let key_of = |row: &Row| -> Option<(usize, Vec<Value>)> {
-            let mut key = Vec::with_capacity(build_keys.len());
-            for &k in build_keys {
-                let v = &row[k];
-                if v.is_null() {
-                    // SQL semantics: NULL keys never match.
-                    return None;
-                }
-                key.push(v.clone());
-            }
-            Some(((key_hash(&key) & mask) as usize, key))
+        let n = build_rows.len();
+        // Small-input fast path: below the threshold the radix pass costs
+        // more than it saves — one flat table, built directly.
+        let partitioned = n >= PARALLEL_BUILD_THRESHOLD;
+        let nparts = if partitioned {
+            partition_count(workers)
+        } else {
+            1
         };
-        let mut parts: Vec<HashMap<Vec<Value>, Vec<u32>>> = vec![HashMap::new(); nparts];
-        if workers > 1 && build_rows.len() >= PARALLEL_BUILD_THRESHOLD {
-            let chunk = build_rows.len().div_ceil(workers);
-            let chunk_maps: Vec<Vec<HashMap<Vec<Value>, Vec<u32>>>> = std::thread::scope(|s| {
+        let part_shift = 64 - nparts.trailing_zeros();
+
+        // Phase 1: the hash column, computed once. Parallel chunks for
+        // large builds; each chunk also bucketizes its row ids per
+        // partition.
+        let (hashes, part_rows): (KeyHashes, Vec<Vec<u32>>) = if workers > 1 && partitioned {
+            let chunk = n.div_ceil(workers);
+            let chunk_out: Vec<(KeyHashes, Vec<Vec<u32>>)> = std::thread::scope(|s| {
                 let handles: Vec<_> = build_rows
                     .chunks(chunk)
                     .enumerate()
                     .map(|(ci, slice)| {
-                        let key_of = &key_of;
+                        let build_keys = &build_keys;
                         s.spawn(move || {
                             let base = (ci * chunk) as u32;
-                            let mut local: Vec<HashMap<Vec<Value>, Vec<u32>>> =
-                                vec![HashMap::new(); nparts];
-                            for (off, row) in slice.iter().enumerate() {
-                                if let Some((p, key)) = key_of(row) {
-                                    local[p].entry(key).or_default().push(base + off as u32);
+                            let hashes = hash_rows_keys(slice, build_keys);
+                            let mut lists: Vec<Vec<u32>> = vec![Vec::new(); nparts];
+                            for (off, h) in hashes.hashes.iter().enumerate() {
+                                if !hashes.is_null(off) {
+                                    lists[partition_of(*h, part_shift)].push(base + off as u32);
                                 }
                             }
-                            local
+                            (hashes, lists)
                         })
                     })
                     .collect();
                 handles.into_iter().map(|h| h.join().unwrap()).collect()
             });
-            for chunk_map in chunk_maps {
-                for (p, map) in chunk_map.into_iter().enumerate() {
-                    for (key, ids) in map {
-                        parts[p].entry(key).or_default().extend(ids);
-                    }
+            let mut hashes = KeyHashes::with_len(n);
+            let mut part_rows: Vec<Vec<u32>> = vec![Vec::new(); nparts];
+            let mut base = 0usize;
+            for (chunk_hashes, lists) in chunk_out {
+                hashes.splice_from(base, chunk_hashes);
+                base += chunk;
+                for (p, list) in lists.into_iter().enumerate() {
+                    part_rows[p].extend(list);
                 }
             }
+            (hashes, part_rows)
         } else {
-            for (i, row) in build_rows.iter().enumerate() {
-                if let Some((p, key)) = key_of(row) {
-                    parts[p].entry(key).or_default().push(i as u32);
+            let hashes = hash_rows_keys(&build_rows, build_keys);
+            let mut part_rows: Vec<Vec<u32>> = vec![Vec::new(); nparts];
+            for (i, h) in hashes.hashes.iter().enumerate() {
+                if !hashes.is_null(i) {
+                    part_rows[partition_of(*h, part_shift)].push(i as u32);
                 }
             }
-        }
+            (hashes, part_rows)
+        };
+
+        // Phase 2: per-partition flat tables, chains prepended over a
+        // reverse scan of each partition's (globally ordered) row list.
+        // One build loop serves both arms; only the chain sink differs
+        // (direct write vs. recorded updates applied by the coordinator).
+        let mut next = vec![u32::MAX; n];
+        let build_part = |list: &[u32], set_next: &mut dyn FnMut(u32, u32)| -> FlatTable {
+            let mut table = FlatTable::with_capacity(list.len());
+            for &i in list.iter().rev() {
+                let row = &build_rows[i as usize];
+                chain_prepend(
+                    &mut table,
+                    hashes.hashes[i as usize],
+                    i,
+                    |p| {
+                        let head = &build_rows[p as usize];
+                        build_keys.iter().all(|&k| head[k] == row[k])
+                    },
+                    |head| set_next(i, head),
+                );
+            }
+            table
+        };
+        let parts: Vec<FlatTable> = if workers > 1 && partitioned {
+            // Partitions hold disjoint row sets, so their chain writes
+            // are disjoint; each builder returns its (row, next) updates
+            // and the coordinator applies them. Partitions are chunked
+            // across at most `workers` threads — the parallelism knob is
+            // a resource bound, not a partition count.
+            let per_thread = nparts.div_ceil(workers.max(1));
+            let built: Vec<Vec<BuiltPartition>> = std::thread::scope(|s| {
+                let handles: Vec<_> = part_rows
+                    .chunks(per_thread)
+                    .map(|lists| {
+                        let build_part = &build_part;
+                        s.spawn(move || {
+                            lists
+                                .iter()
+                                .map(|list| {
+                                    let mut updates: Vec<(u32, u32)> = Vec::new();
+                                    let table =
+                                        build_part(list, &mut |i, head| updates.push((i, head)));
+                                    (table, updates)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            built
+                .into_iter()
+                .flatten()
+                .map(|(table, updates)| {
+                    for (i, nxt) in updates {
+                        next[i as usize] = nxt;
+                    }
+                    table
+                })
+                .collect()
+        } else {
+            part_rows
+                .iter()
+                .map(|list| build_part(list, &mut |i, head| next[i as usize] = head))
+                .collect()
+        };
+
         // Matched flags exist only to compute the FULL OUTER tail; for
         // other join kinds the per-match atomic store (and the contended
         // cache lines it touches) would be pure overhead.
         let matched = if join == PhysJoinKind::FullOuter {
-            (0..build_rows.len())
-                .map(|_| AtomicBool::new(false))
-                .collect()
+            (0..n).map(|_| AtomicBool::new(false)).collect()
         } else {
             Vec::new()
         };
         JoinStage {
             build_rows,
             parts,
-            mask,
+            next,
+            part_shift,
             matched,
             probe_keys,
+            build_keys: build_keys.to_vec(),
             residual,
             join,
             probe_width,
@@ -192,31 +265,39 @@ impl JoinStage {
         }
     }
 
-    /// Probe one batch: candidate pairs via the key partition, residual
-    /// filtered vectorized, output laid out in probe-row order with outer
-    /// padding — exactly the serial `HashJoinOp::join_batch` discipline.
+    /// Probe one batch: the probe keys hash chunk-at-a-time (once),
+    /// candidate pairs come from the key's radix partition, the residual
+    /// filters vectorized, and output lays out in probe-row order with
+    /// outer padding — exactly the serial `HashJoinOp::join_batch`
+    /// discipline.
     fn apply<'b>(&self, batch: RowBatch<'b>) -> Result<Option<RowBatch<'b>>, EngineError> {
         let preserve_probe = matches!(self.join, PhysJoinKind::LeftOuter | PhysJoinKind::FullOuter);
         let rows = batch.num_rows();
         let mut cand_rows: Vec<u32> = Vec::new();
         let mut cand_bis: Vec<u32> = Vec::new();
-        let mut key = Vec::with_capacity(self.probe_keys.len());
-        'rows: for row in 0..rows {
-            key.clear();
-            for &k in &self.probe_keys {
-                let v = batch.value(k, row);
-                if v.is_null() {
-                    continue 'rows;
-                }
-                key.push(v.clone());
+        let hashes = hash_batch_keys(&batch, &self.probe_keys);
+        for row in 0..rows {
+            if hashes.is_null(row) {
+                continue;
             }
-            let part = (key_hash(&key) & self.mask) as usize;
-            if let Some(candidates) = self.parts[part].get(key.as_slice()) {
-                for &bi in candidates {
-                    cand_rows.push(row as u32);
-                    cand_bis.push(bi);
-                }
+            let h = hashes.hashes[row];
+            let part = &self.parts[partition_of(h, self.part_shift)];
+            let head = part.find(h, |p| {
+                let build = &self.build_rows[p as usize];
+                self.probe_keys
+                    .iter()
+                    .zip(&self.build_keys)
+                    .all(|(&pk, &bk)| batch.value(pk, row) == &build[bk])
+            });
+            let mut cur = match head {
+                Some(head) => head,
+                None => continue,
+            };
+            while cur != u32::MAX {
+                cand_bis.push(cur);
+                cur = self.next[cur as usize];
             }
+            cand_rows.resize(cand_bis.len(), row as u32);
         }
         let pass: Option<Vec<bool>> = match &self.residual {
             Some(kernel) if !cand_rows.is_empty() => {
@@ -479,8 +560,8 @@ pub(super) enum MorselWork<'s> {
 /// [`run_morsels`].
 pub(super) enum MorselOut {
     Rows(Vec<Row>),
-    Grouped(HashMap<Vec<Value>, GroupState>, Vec<Vec<Value>>),
-    Global(GroupState),
+    Grouped(GroupTable),
+    Global(crate::exec::aggregate::GroupState),
 }
 
 fn process_morsel(
@@ -503,14 +584,13 @@ fn process_morsel(
             Ok(MorselOut::Rows(rows))
         }
         MorselWork::AggGrouped(agg) => {
-            let mut groups = HashMap::new();
-            let mut order = Vec::new();
+            let mut groups = GroupTable::new();
             for batch in batches {
                 if let Some(b) = apply_stages(&spec.stages, batch)? {
-                    agg.fold_batch_grouped(&b, &mut groups, &mut order)?;
+                    agg.fold_batch_grouped(&b, &mut groups)?;
                 }
             }
-            Ok(MorselOut::Grouped(groups, order))
+            Ok(MorselOut::Grouped(groups))
         }
         MorselWork::AggGlobal(agg) => {
             let mut state = agg.new_state();

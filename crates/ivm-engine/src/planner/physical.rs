@@ -450,6 +450,77 @@ pub fn estimate_rows(plan: &LogicalPlan, catalog: &Catalog) -> f64 {
     }
 }
 
+/// Cardinality estimate over *physical* plans, used as a sizing hint for
+/// the flat hash tables of aggregation and distinct-style operators
+/// (pre-sizing avoids rehash churn; see [`crate::exec::hash`]). Same
+/// textbook selectivities as [`estimate_rows`], so hints stay cheap and
+/// only roughly right — flat tables grow gracefully past them.
+pub fn estimate_physical_rows(plan: &PhysicalPlan, catalog: &Catalog) -> f64 {
+    match plan {
+        PhysicalPlan::TableScan {
+            table, predicate, ..
+        } => {
+            let base = catalog
+                .table(table)
+                .map(|t| t.live_rows() as f64)
+                .unwrap_or(1000.0);
+            if predicate.is_some() {
+                base / 3.0
+            } else {
+                base
+            }
+        }
+        PhysicalPlan::Dual => 1.0,
+        PhysicalPlan::Filter { input, .. } => estimate_physical_rows(input, catalog) / 3.0,
+        PhysicalPlan::Project { input, .. } | PhysicalPlan::Sort { input, .. } => {
+            estimate_physical_rows(input, catalog)
+        }
+        PhysicalPlan::Distinct { input } => estimate_physical_rows(input, catalog) / 2.0,
+        PhysicalPlan::HashAggregate { input, mode, .. } => match mode {
+            AggMode::Ungrouped => 1.0,
+            AggMode::HashGrouped => estimate_physical_rows(input, catalog).sqrt().max(1.0),
+        },
+        PhysicalPlan::HashJoin { probe, build, .. } => {
+            estimate_physical_rows(probe, catalog).max(estimate_physical_rows(build, catalog))
+        }
+        PhysicalPlan::NestedLoopJoin {
+            probe, build, on, ..
+        } => {
+            let p = estimate_physical_rows(probe, catalog);
+            let b = estimate_physical_rows(build, catalog);
+            if on.is_some() {
+                p.max(b)
+            } else {
+                p * b
+            }
+        }
+        PhysicalPlan::SetOp { left, right, .. } => {
+            estimate_physical_rows(left, catalog) + estimate_physical_rows(right, catalog)
+        }
+        PhysicalPlan::TopK { limit, offset, .. } => (limit + offset) as f64,
+        PhysicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            let bound = limit.map_or(f64::INFINITY, |l| (l + offset) as f64);
+            estimate_physical_rows(input, catalog).min(bound)
+        }
+    }
+}
+
+/// Clamp a [`estimate_physical_rows`] result into a hash-table
+/// pre-sizing hint: bounded so a wild over-estimate can never balloon an
+/// allocation (the table grows past the hint on demand anyway).
+pub fn table_size_hint(estimate: f64) -> usize {
+    const MAX_HINT: usize = 1 << 20;
+    if estimate.is_finite() && estimate > 0.0 {
+        (estimate as usize).min(MAX_HINT)
+    } else {
+        0
+    }
+}
+
 fn lower_join(
     left: &LogicalPlan,
     right: &LogicalPlan,

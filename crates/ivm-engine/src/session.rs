@@ -26,15 +26,19 @@ use crate::types::DataType;
 use crate::value::Value;
 
 /// Environment variable read by [`Database::new`] for the default number
-/// of executor worker threads (CI runs the test suite at 1 and 4).
+/// of executor worker threads (CI runs the test suite at 1 and 4). When
+/// unset, the pool defaults to `std::thread::available_parallelism()`;
+/// setting it to `1` is the explicit serial bypass.
 pub const PARALLELISM_ENV: &str = "OPENIVM_PARALLELISM";
 
 fn env_parallelism() -> usize {
-    std::env::var(PARALLELISM_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .unwrap_or(1)
-        .max(1)
+    match std::env::var(PARALLELISM_ENV) {
+        // An explicit setting wins; `1` is the explicit serial bypass
+        // (unparseable values fall back to serial, not to the core count).
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+        // Unset: size the worker pool from the machine.
+        Err(_) => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+    }
 }
 
 /// A cached optimized physical plan, valid while the catalog shape
@@ -109,7 +113,8 @@ impl Default for Database {
 
 impl Database {
     /// An empty database. Executor parallelism defaults to
-    /// `$OPENIVM_PARALLELISM` (or 1).
+    /// `$OPENIVM_PARALLELISM` when set (1 = explicit serial bypass), else
+    /// to `std::thread::available_parallelism()`.
     pub fn new() -> Database {
         Database::default()
     }

@@ -11,6 +11,16 @@ use crate::index::TableIndex;
 use crate::schema::Schema;
 use crate::value::Value;
 
+/// Process-wide generation counter; see [`Table::generation`]. Every
+/// draw — table creation or row mutation, on any table — yields a fresh
+/// value, so a generation observed on one table instance can never be
+/// re-issued to another (or to the same table later).
+static NEXT_GENERATION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn next_generation() -> u64 {
+    NEXT_GENERATION.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
 /// An in-memory, column-major table.
 ///
 /// Rows are append-only with tombstone deletion (like an analytical engine's
@@ -30,6 +40,10 @@ pub struct Table {
     live: usize,
     pk_index: Option<TableIndex>,
     secondary: Vec<(String, TableIndex)>,
+    /// Bumped on every row mutation (insert/delete/update/truncate/
+    /// compact); external caches keyed on row content (e.g. the
+    /// delta-ingest victim index in `ivm-core`) validate against it.
+    generation: u64,
 }
 
 impl Table {
@@ -48,6 +62,7 @@ impl Table {
             live: 0,
             pk_index,
             secondary: Vec::new(),
+            generation: next_generation(),
         }
     }
 
@@ -154,7 +169,19 @@ impl Table {
         }
     }
 
+    /// Mutation counter: changes whenever any row is inserted, deleted,
+    /// updated, truncated, or renumbered by compaction. Values are drawn
+    /// from one process-wide counter, so they are unique across table
+    /// instances *and* across time — a cached structure stamped with a
+    /// generation can detect staleness even through a drop-and-recreate
+    /// under the same name. Lets callers cache row-content-derived
+    /// structures safely.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     fn append_unchecked(&mut self, row: Vec<Value>) -> u64 {
+        self.generation = next_generation();
         let id = self.deleted.len() as u64;
         if let Some(pk) = &mut self.pk_index {
             let key = pk.key_of(&row);
@@ -192,6 +219,7 @@ impl Table {
         }
         self.deleted[idx] = true;
         self.live -= 1;
+        self.generation = next_generation();
         Ok(())
     }
 
@@ -229,6 +257,7 @@ impl Table {
         for (col, value) in self.columns.iter_mut().zip(new_row) {
             col[idx] = value;
         }
+        self.generation = next_generation();
         Ok(())
     }
 
@@ -502,6 +531,18 @@ impl Table {
             .collect()
     }
 
+    /// Iterate the physical slot ids of live rows in slot order, without
+    /// materializing an id vector (whole-table passes like delta-ingest
+    /// victim location stream this; double-ended so reverse-scan index
+    /// builds need no transient allocation either).
+    pub fn live_slot_ids(&self) -> impl DoubleEndedIterator<Item = u64> + '_ {
+        self.deleted
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| !d)
+            .map(|(i, _)| i as u64)
+    }
+
     /// Delete every row (keeps schema and indexes, emptied).
     pub fn truncate(&mut self) {
         for col in &mut self.columns {
@@ -509,6 +550,7 @@ impl Table {
         }
         self.deleted.clear();
         self.live = 0;
+        self.generation = next_generation();
         if let Some(pk) = &mut self.pk_index {
             pk.clear();
         }
@@ -534,6 +576,7 @@ impl Table {
         }
         self.deleted = vec![false; keep.len()];
         self.live = keep.len();
+        self.generation = next_generation();
         self.rebuild_indexes();
     }
 
