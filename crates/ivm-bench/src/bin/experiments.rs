@@ -10,7 +10,8 @@
 use ivm_bench::harness::{fmt_duration, Report};
 use ivm_bench::scenarios::{
     e1_ivm_vs_recompute, e2_art_overhead, e3_cross_system, e4_upsert_strategies, e5_batching,
-    e6_compile_time, ehash_hash_operators, eparallel_scaling, E1Row, EHashRow, EParallelRow,
+    e6_compile_time, ehash_hash_operators, eparallel_scaling, espill_out_of_core, E1Row, EHashRow,
+    EParallelRow, ESpillRow,
 };
 
 /// The session default worker-pool size: `$OPENIVM_PARALLELISM` when
@@ -96,6 +97,63 @@ fn ehash_json(rows: &[EHashRow]) -> String {
     )
 }
 
+/// Serialize E-spill rows as JSON by hand (no serde in the workspace).
+/// Budget, working set, latency, and the spill counters per run.
+fn espill_json(rows: &[ESpillRow]) -> String {
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"budget\": \"{}\", \"budget_bytes\": {}, \"fact_rows\": {}, \
+                 \"working_set_bytes\": {}, \"out_rows\": {}, \"join_group_ns\": {}, \
+                 \"spilled_partitions\": {}, \"spilled_rows\": {}, \"spilled_bytes\": {}, \
+                 \"spill_files\": {}, \"rehydrated_rows\": {}, \"repartitions\": {}}}",
+                r.budget_label,
+                r.budget_bytes.map_or(0, |b| b as u64),
+                r.fact_rows,
+                r.working_set,
+                r.out_rows,
+                r.join_group.as_nanos(),
+                r.stats.spilled_partitions,
+                r.stats.spilled_rows,
+                r.stats.spilled_bytes,
+                r.stats.spill_files,
+                r.stats.rehydrated_rows,
+                r.stats.repartitions,
+            )
+        })
+        .collect();
+    let cores = std::thread::available_parallelism().map_or(0, std::num::NonZero::get);
+    format!(
+        "{{\n\"experiment\": \"espill_out_of_core\",\n\"machine_cores\": {cores},\n\
+         \"resolved_parallelism\": {},\n\"rows\": [\n{}\n]\n}}\n",
+        resolved_parallelism(),
+        entries.join(",\n")
+    )
+}
+
+fn print_espill(rows: &[ESpillRow]) {
+    let mut report = Report::new(&[
+        "budget",
+        "fact rows",
+        "join+group",
+        "spilled bytes",
+        "spilled parts",
+        "rehydrated rows",
+    ]);
+    for r in rows {
+        report.row(&[
+            r.budget_label.to_string(),
+            r.fact_rows.to_string(),
+            fmt_duration(r.join_group),
+            r.stats.spilled_bytes.to_string(),
+            r.stats.spilled_partitions.to_string(),
+            r.stats.rehydrated_rows.to_string(),
+        ]);
+    }
+    println!("{}", report.render());
+}
+
 fn print_ehash(rows: &[EHashRow]) {
     let mut report = Report::new(&["variant", "fact rows", "out rows", "join+group", "distinct"]);
     for r in rows {
@@ -129,6 +187,22 @@ fn print_eparallel(rows: &[EParallelRow]) {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--espill-json") {
+        let Some(path) = args.get(pos + 1) else {
+            eprintln!("experiments: --espill-json requires an output path");
+            std::process::exit(2);
+        };
+        let sizes: &[usize] = if args.iter().any(|a| a == "--quick") {
+            &[50_000]
+        } else {
+            &[1_000_000]
+        };
+        let rows = espill_out_of_core(sizes);
+        print_espill(&rows);
+        std::fs::write(path, espill_json(&rows)).expect("write E-spill JSON");
+        println!("wrote {path}");
+        return;
+    }
     if let Some(pos) = args.iter().position(|a| a == "--ehash-json") {
         let Some(path) = args.get(pos + 1) else {
             eprintln!("experiments: --ehash-json requires an output path");
@@ -304,6 +378,13 @@ fn main() {
     );
     let sizes: &[usize] = if quick { &[10_000] } else { &[100_000] };
     print_ehash(&ehash_hash_operators(sizes));
+
+    // ---------------- E-spill
+    println!("== E-spill: memory-budgeted out-of-core join + GROUP BY ==");
+    println!("   (build sides and group tables larger than the budget spill radix");
+    println!("    partitions to disk and rehydrate partition-at-a-time)\n");
+    let sizes: &[usize] = if quick { &[20_000] } else { &[200_000] };
+    print_espill(&espill_out_of_core(sizes));
 
     // ---------------- E-parallel
     println!("== E-parallel: morsel-driven multi-core scaling ==");

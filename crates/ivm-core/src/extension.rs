@@ -121,6 +121,20 @@ impl IvmSession {
         self.db.parallelism()
     }
 
+    /// Set the engine's executor memory budget in bytes (`None` =
+    /// unbounded). Bounded budgets make join builds, group tables,
+    /// DISTINCT, and set operations spill radix partitions to disk; the
+    /// maintained views stay row-identical to unbounded execution.
+    pub fn set_memory_budget(&mut self, bytes: Option<usize>) {
+        self.db.set_memory_budget(bytes);
+    }
+
+    /// The engine's cumulative spill/rehydrate counters (session stats
+    /// for the out-of-core executor).
+    pub fn spill_stats(&self) -> ivm_engine::SpillStats {
+        self.db.spill_stats()
+    }
+
     /// The active flags.
     pub fn flags(&self) -> &IvmFlags {
         &self.flags

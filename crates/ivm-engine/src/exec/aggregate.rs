@@ -19,7 +19,10 @@ use std::collections::{HashSet, VecDeque};
 use crate::error::EngineError;
 use crate::exec::batch::RowBatch;
 use crate::exec::hash::{hash_key_columns, FlatTable};
-use crate::exec::{BatchBuilder, BoxedOperator, Operator};
+use crate::exec::spill::{
+    for_each_fitting_partition, rebatch_rows, MemoryBudget, PartitionedSpiller,
+};
+use crate::exec::{BatchBuilder, BoxedOperator, Operator, Row};
 use crate::expr::{AggExpr, AggFunc, BoundExpr, VectorKernel};
 use crate::planner::physical::AggMode;
 use crate::value::Value;
@@ -424,6 +427,18 @@ impl AggSpec {
         Ok(())
     }
 
+    /// Evaluate the group-key kernels and their per-row hashes for one
+    /// batch (the spill path uses this to route rows to radix partitions
+    /// without folding them yet).
+    pub(crate) fn group_hashes(&self, batch: &RowBatch<'_>) -> Result<Vec<u64>, EngineError> {
+        let key_cols: Vec<Vec<Value>> = self
+            .group_kernels
+            .iter()
+            .map(|k| k.eval_column(batch))
+            .collect::<Result<_, _>>()?;
+        Ok(hash_key_columns(&key_cols, batch.num_rows()))
+    }
+
     /// Fold one batch into the grouped flat table, evaluating group keys,
     /// aggregate arguments, *and key hashes* vectorized — each key is
     /// hashed exactly once, chunk-at-a-time, and only materialized on
@@ -433,6 +448,19 @@ impl AggSpec {
         batch: &RowBatch<'_>,
         groups: &mut GroupTable,
     ) -> Result<(), EngineError> {
+        self.fold_batch_grouped_observed(batch, groups, |_| {})
+    }
+
+    /// [`fold_batch_grouped`](AggSpec::fold_batch_grouped) with a hook
+    /// invoked with the batch row index whenever that row *creates* a new
+    /// group — the spill path records the creating row's global sequence
+    /// number to restore the serial first-seen emission order.
+    pub(crate) fn fold_batch_grouped_observed(
+        &self,
+        batch: &RowBatch<'_>,
+        groups: &mut GroupTable,
+        mut on_new_group: impl FnMut(usize),
+    ) -> Result<(), EngineError> {
         let key_cols: Vec<Vec<Value>> = self
             .group_kernels
             .iter()
@@ -441,7 +469,11 @@ impl AggSpec {
         let arg_cols = self.arg_columns(batch)?;
         let hashes = hash_key_columns(&key_cols, batch.num_rows());
         for (r, &hash) in hashes.iter().enumerate() {
+            let before = groups.len();
             let g = groups.group_index(hash, &key_cols, r, self);
+            if groups.len() > before {
+                on_new_group(r);
+            }
             self.fold_row(&mut groups.states[g], r, &arg_cols)?;
         }
         Ok(())
@@ -478,6 +510,16 @@ impl AggSpec {
 }
 
 /// Hash (or single-group) aggregation operator.
+///
+/// With a bounded [`MemoryBudget`], grouped aggregation routes its input
+/// rows through a [`PartitionedSpiller`] keyed on the group hash and
+/// folds one radix partition's [`GroupTable`] at a time (recursively
+/// re-partitioning partitions that still do not fit). A group's rows all
+/// share its partition, so per-group fold order matches the serial fold
+/// exactly; groups are tagged with the sequence number of their creating
+/// row and merged back into the global first-seen order — spilled output
+/// is row-identical, order included, to the in-memory fold. Ungrouped
+/// aggregation holds one accumulator set and never needs to spill.
 pub struct HashAggregateOp<'a> {
     input: BoxedOperator<'a>,
     spec: AggSpec,
@@ -486,6 +528,7 @@ pub struct HashAggregateOp<'a> {
     batch_size: usize,
     /// Planner sizing hint for the group table (0 = unknown).
     groups_hint: usize,
+    budget: MemoryBudget,
     output: Option<VecDeque<RowBatch<'a>>>,
 }
 
@@ -508,11 +551,72 @@ impl<'a> HashAggregateOp<'a> {
             mode,
             batch_size,
             groups_hint,
+            budget: MemoryBudget::unbounded(),
             output: None,
         }
     }
 
+    /// Attach a memory budget: grouped folds that overflow it spill
+    /// radix partitions of their input to disk and aggregate partition
+    /// at a time.
+    pub fn with_budget(mut self, budget: MemoryBudget) -> HashAggregateOp<'a> {
+        self.budget = budget;
+        self
+    }
+
+    /// The spill path for grouped aggregation under a bounded budget.
+    fn drain_and_aggregate_spilled(&mut self) -> Result<VecDeque<RowBatch<'a>>, EngineError> {
+        let width = self.group_width + self.spec.agg_width();
+        let mut spiller = PartitionedSpiller::new(self.budget.clone(), 0);
+        let mut seq = 0u64;
+        let mut input_width = 0usize;
+        while let Some(batch) = self.input.next_batch()? {
+            input_width = batch.width();
+            let hashes = self.spec.group_hashes(&batch)?;
+            for (r, &hash) in hashes.iter().enumerate() {
+                spiller.push(hash, seq, batch.materialize_row(r))?;
+                seq += 1;
+            }
+        }
+        let parts = spiller.finish()?;
+        // One (first-seen sequence, output row) pair per group, produced
+        // partition at a time and merged back into the serial order.
+        let mut tagged: Vec<(u64, Row)> = Vec::new();
+        let budget = self.budget.clone();
+        let spec = &self.spec;
+        let batch_size = self.batch_size.max(1);
+        for_each_fitting_partition(parts, &budget, 0, &mut |tuples| {
+            let mut groups = GroupTable::new();
+            let mut first_seqs: Vec<u64> = Vec::new();
+            for chunk in tuples.chunks(batch_size) {
+                let seqs: Vec<u64> = chunk.iter().map(|(_, s, _)| *s).collect();
+                let rows: Vec<Row> = chunk.iter().map(|(_, _, r)| r.clone()).collect();
+                let batch = RowBatch::from_rows(input_width, rows);
+                spec.fold_batch_grouped_observed(&batch, &mut groups, |r| {
+                    first_seqs.push(seqs[r]);
+                })?;
+            }
+            for (g, (key, state)) in groups.into_ordered().enumerate() {
+                let row: Row = key
+                    .into_iter()
+                    .chain(state.accs.into_iter().map(Acc::finish))
+                    .collect();
+                tagged.push((first_seqs[g], row));
+            }
+            Ok(())
+        })?;
+        tagged.sort_by_key(|(seq, _)| *seq);
+        Ok(rebatch_rows(
+            tagged.into_iter().map(|(_, row)| row),
+            width,
+            self.batch_size,
+        ))
+    }
+
     fn drain_and_aggregate(&mut self) -> Result<VecDeque<RowBatch<'a>>, EngineError> {
+        if self.budget.is_bounded() && self.mode == AggMode::HashGrouped {
+            return self.drain_and_aggregate_spilled();
+        }
         let width = self.group_width + self.spec.agg_width();
         // Arena order doubles as first-seen group order.
         let mut groups = GroupTable::with_capacity(self.groups_hint);
@@ -785,6 +889,88 @@ mod tests {
         );
         assert_eq!(out.len(), 10);
         assert!(out.iter().all(|r| r[1] == Value::Integer(1)));
+    }
+
+    #[test]
+    fn spilled_aggregation_is_row_identical_to_in_memory() {
+        // Many groups, NULL keys, DISTINCT aggregates, mixed types.
+        let rows: Vec<Row> = (0..500)
+            .map(|i| {
+                let g = if i % 19 == 0 {
+                    Value::Null
+                } else {
+                    Value::from(format!("g{}", i % 37))
+                };
+                vec![g, Value::Integer(i % 29), Value::Integer(i % 5)]
+            })
+            .collect();
+        let group = vec![BoundExpr::Column {
+            index: 0,
+            ty: Some(DataType::Varchar),
+            name: "g".into(),
+        }];
+        let mut distinct_sum = agg(AggFunc::Sum, Some(col(2)));
+        distinct_sum.distinct = true;
+        let aggs = vec![
+            agg(AggFunc::Sum, Some(col(1))),
+            agg(AggFunc::Count, None),
+            agg(AggFunc::Min, Some(col(1))),
+            agg(AggFunc::Max, Some(col(1))),
+            agg(AggFunc::Avg, Some(col(1))),
+            distinct_sum,
+        ];
+        let run_with = |budget: MemoryBudget, batch_size: usize| {
+            let op = HashAggregateOp::new(
+                Box::new(StaticOp::from_rows(3, rows.clone(), batch_size)),
+                group.clone(),
+                aggs.clone(),
+                AggMode::HashGrouped,
+                batch_size,
+                0,
+            )
+            .with_budget(budget);
+            drain(Box::new(op)).unwrap()
+        };
+        let unbounded = run_with(MemoryBudget::unbounded(), 16);
+        for limit in [1usize, 1024, 64 * 1024] {
+            for batch_size in [1usize, 16, 1024] {
+                let budget = MemoryBudget::with_limit(limit);
+                let spilled = run_with(budget.clone(), batch_size);
+                assert_eq!(
+                    unbounded, spilled,
+                    "budget {limit} batch {batch_size} changed aggregation output"
+                );
+                if limit == 1 {
+                    assert!(budget.stats().spilled(), "1-byte budget must spill");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_ungrouped_aggregation_never_spills() {
+        let budget = MemoryBudget::with_limit(1);
+        let op = HashAggregateOp::new(
+            Box::new(StaticOp::from_rows(
+                1,
+                (0..100).map(|v| vec![Value::Integer(v)]).collect(),
+                8,
+            )),
+            vec![],
+            vec![agg(AggFunc::Sum, Some(col(0)))],
+            AggMode::Ungrouped,
+            8,
+            0,
+        )
+        .with_budget(budget.clone());
+        assert_eq!(
+            drain(Box::new(op)).unwrap(),
+            vec![vec![Value::Integer(4950)]]
+        );
+        assert!(
+            !budget.stats().spilled(),
+            "one accumulator set never spills"
+        );
     }
 
     #[test]

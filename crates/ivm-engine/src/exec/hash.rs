@@ -509,6 +509,37 @@ impl RowCounter {
     pub fn count_mut(&mut self, hash: u64, batch: &RowBatch<'_>, r: usize) -> Option<&mut usize> {
         self.index_of(hash, batch, r).map(|i| &mut self.counts[i])
     }
+
+    fn index_of_row(&self, hash: u64, row: &[Value]) -> Option<usize> {
+        let rows = &self.rows;
+        self.table
+            .find(hash, |p| rows[p as usize] == row)
+            .map(|p| p as usize)
+    }
+
+    /// Bump the multiplicity of an already-materialized row (spill-path
+    /// counterpart of [`add_batch_row`](RowCounter::add_batch_row)).
+    pub fn add_row(&mut self, hash: u64, row: Row) {
+        match self.index_of_row(hash, &row) {
+            Some(i) => self.counts[i] += 1,
+            None => {
+                let idx = self.rows.len() as u32;
+                self.rows.push(row);
+                self.counts.push(1);
+                self.table.insert(hash, idx);
+            }
+        }
+    }
+
+    /// Whether the materialized row occurs at all (set semantics).
+    pub fn contains_row(&self, hash: u64, row: &[Value]) -> bool {
+        self.index_of_row(hash, row).is_some()
+    }
+
+    /// Mutable multiplicity of the materialized row, when present.
+    pub fn count_mut_row(&mut self, hash: u64, row: &[Value]) -> Option<&mut usize> {
+        self.index_of_row(hash, row).map(|i| &mut self.counts[i])
+    }
 }
 
 #[cfg(test)]

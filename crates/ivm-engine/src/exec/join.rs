@@ -14,9 +14,14 @@
 //! `FullOuter` additionally emits unmatched build rows after the probe is
 //! exhausted. SQL semantics: NULL keys never match.
 
+use std::collections::VecDeque;
+
 use crate::error::EngineError;
 use crate::exec::batch::{ColumnData, JoinedRow, RowBatch};
 use crate::exec::hash::{chain_prepend, hash_batch_keys, hash_rows_keys, FlatTable};
+use crate::exec::spill::{
+    for_each_fitting_partition_pair, rebatch_rows, MemoryBudget, PartitionedSpiller, SpillPartition,
+};
 use crate::exec::{BoxedOperator, Operator, Row};
 use crate::expr::{BoundExpr, VectorKernel};
 use crate::planner::physical::PhysJoinKind;
@@ -212,7 +217,91 @@ impl JoinTable {
     }
 }
 
+/// One probe batch joined against a [`JoinTable`]: candidate pairs via
+/// the flat table (chains in build-row order), residual kernel over one
+/// spliced frame, output pairs in probe-row order with outer padding.
+/// Shared by the streaming in-memory path and the per-partition spill
+/// path — both produce identical pair sequences for identical inputs.
+#[allow(clippy::too_many_arguments)]
+fn join_probe_batch(
+    table: &JoinTable,
+    build_rows: &[Row],
+    matched: &mut [bool],
+    batch: &RowBatch<'_>,
+    probe_keys: &[usize],
+    build_keys: &[usize],
+    residual: Option<&VectorKernel>,
+    join: PhysJoinKind,
+    build_width: usize,
+) -> Result<(Vec<u32>, Vec<u32>), EngineError> {
+    let preserve_probe = matches!(join, PhysJoinKind::LeftOuter | PhysJoinKind::FullOuter);
+    let rows = batch.num_rows();
+    let mut cand_rows: Vec<u32> = Vec::new();
+    let mut cand_bis: Vec<u32> = Vec::new();
+    let hashes = hash_batch_keys(batch, probe_keys);
+    for row in 0..rows {
+        if hashes.is_null(row) {
+            continue;
+        }
+        table.probe_into(
+            hashes.hashes[row],
+            batch,
+            row,
+            probe_keys,
+            build_rows,
+            build_keys,
+            &mut cand_bis,
+        );
+        cand_rows.resize(cand_bis.len(), row as u32);
+    }
+    // Vectorized residual: one `probe ++ build` frame over every
+    // candidate pair, filtered in a single kernel pass.
+    let pass: Option<Vec<bool>> = match residual {
+        Some(kernel) if !cand_rows.is_empty() => {
+            let frame = splice_output(batch, cand_rows.clone(), build_rows, build_width, &cand_bis);
+            let sel = kernel.select(&frame)?;
+            let mut mask = vec![false; cand_rows.len()];
+            for i in sel {
+                mask[i as usize] = true;
+            }
+            Some(mask)
+        }
+        _ => None,
+    };
+    let mut probe_sel: Vec<u32> = Vec::new();
+    let mut build_idx: Vec<u32> = Vec::new();
+    let mut cur = 0usize;
+    for row in 0..rows as u32 {
+        let mut any = false;
+        while cur < cand_rows.len() && cand_rows[cur] == row {
+            if pass.as_ref().is_none_or(|m| m[cur]) {
+                any = true;
+                matched[cand_bis[cur] as usize] = true;
+                probe_sel.push(row);
+                build_idx.push(cand_bis[cur]);
+            }
+            cur += 1;
+        }
+        if !any && preserve_probe {
+            probe_sel.push(row);
+            build_idx.push(u32::MAX);
+        }
+    }
+    Ok((probe_sel, build_idx))
+}
+
 /// Build-probe hash join on plan-time-extracted equi-keys.
+///
+/// With a bounded [`MemoryBudget`] the build side accumulates through a
+/// [`PartitionedSpiller`]; if it overflows, the join switches to a
+/// Grace-style plan: the probe side is partitioned on the same hash
+/// bits, resident partitions join first-class while spilled build
+/// partitions rehydrate one at a time against their probe runs
+/// (recursively re-partitioned on a rotated bit range when a partition
+/// still does not fit). Every output row carries its serial emission
+/// coordinates `(probe row, match ordinal)` — the FULL OUTER tail sorts
+/// after all probe output by build order — so the merged result is
+/// row-identical, order included, to the in-memory join.
 pub struct HashJoinOp<'a> {
     probe: BoxedOperator<'a>,
     build: BoxedOperator<'a>,
@@ -223,7 +312,12 @@ pub struct HashJoinOp<'a> {
     residual: Option<VectorKernel>,
     join: PhysJoinKind,
     batch_size: usize,
+    budget: MemoryBudget,
     state: Option<(BuildSide, JoinTable)>,
+    /// Spilled build partitions awaiting the Grace probe phase.
+    grace_parts: Option<Vec<SpillPartition>>,
+    /// Merged Grace output, emitted in serial order.
+    grace_output: Option<VecDeque<RowBatch<'a>>>,
     pending: Option<PendingOutput<'a>>,
     probe_done: bool,
     tail: Option<(Vec<u32>, usize)>,
@@ -254,90 +348,169 @@ impl<'a> HashJoinOp<'a> {
             residual: residual.as_ref().map(VectorKernel::compile),
             join,
             batch_size: batch_size.max(1),
+            budget: MemoryBudget::unbounded(),
             state: None,
+            grace_parts: None,
+            grace_output: None,
             pending: None,
             probe_done: false,
             tail: None,
         }
     }
 
+    /// Attach a memory budget: a build side that overflows it spills to
+    /// disk and the join runs Grace-style, partition at a time.
+    pub fn with_budget(mut self, budget: MemoryBudget) -> HashJoinOp<'a> {
+        self.budget = budget;
+        self
+    }
+
     fn ensure_built(&mut self) -> Result<(), EngineError> {
-        if self.state.is_some() {
+        if self.state.is_some() || self.grace_parts.is_some() || self.grace_output.is_some() {
             return Ok(());
         }
-        let side = BuildSide::consume(&mut self.build)?;
-        // Sized from the exact build-row count: no rehash during build.
-        let table = JoinTable::build(&side.rows, &self.build_keys);
-        self.state = Some((side, table));
+        if !self.budget.is_bounded() {
+            let side = BuildSide::consume(&mut self.build)?;
+            // Sized from the exact build-row count: no rehash during build.
+            let table = JoinTable::build(&side.rows, &self.build_keys);
+            self.state = Some((side, table));
+            return Ok(());
+        }
+        // Bounded budget: accumulate the build side through the radix
+        // spiller. Each build row is tagged with its build sequence so
+        // partition chains (and the FULL OUTER tail) keep build order.
+        let mut spiller = PartitionedSpiller::new(self.budget.clone(), 0);
+        let mut seq = 0u64;
+        while let Some(batch) = self.build.next_batch()? {
+            let hashes = hash_batch_keys(&batch, &self.build_keys);
+            for r in 0..batch.num_rows() {
+                spiller.push(hashes.hashes[r], seq, batch.materialize_row(r))?;
+                seq += 1;
+            }
+        }
+        if !spiller.spilled_any() {
+            // Everything fit: reassemble build order and run the normal
+            // streaming join — bounded-budget queries that fit behave
+            // exactly like unbounded ones.
+            let mut tuples: Vec<(u64, u64, Row)> = Vec::with_capacity(seq as usize);
+            for part in spiller.finish()? {
+                tuples.extend(part.load(&self.budget)?);
+            }
+            tuples.sort_by_key(|(_, s, _)| *s);
+            let rows: Vec<Row> = tuples.into_iter().map(|(_, _, r)| r).collect();
+            let matched = vec![false; rows.len()];
+            let table = JoinTable::build(&rows, &self.build_keys);
+            self.state = Some((BuildSide { rows, matched }, table));
+        } else {
+            self.grace_parts = Some(spiller.finish()?);
+        }
         Ok(())
     }
 
-    /// Join one probe batch: hash the probe keys chunk-at-a-time, collect
-    /// candidate pairs through the flat table, run the residual kernel
-    /// over all of them at once, then lay out the output pair list (with
-    /// outer padding) in probe-row order.
+    /// Join one probe batch against the in-memory build side.
     fn join_batch(&mut self, batch: &RowBatch<'a>) -> Result<(Vec<u32>, Vec<u32>), EngineError> {
-        let preserve_probe = matches!(self.join, PhysJoinKind::LeftOuter | PhysJoinKind::FullOuter);
         let (side, table) = self.state.as_mut().expect("built before probing");
-        let rows = batch.num_rows();
-        let mut cand_rows: Vec<u32> = Vec::new();
-        let mut cand_bis: Vec<u32> = Vec::new();
-        let hashes = hash_batch_keys(batch, &self.probe_keys);
-        for row in 0..rows {
-            if hashes.is_null(row) {
-                continue;
-            }
-            table.probe_into(
-                hashes.hashes[row],
-                batch,
-                row,
-                &self.probe_keys,
-                &side.rows,
-                &self.build_keys,
-                &mut cand_bis,
-            );
-            cand_rows.resize(cand_bis.len(), row as u32);
-        }
-        // Vectorized residual: one `probe ++ build` frame over every
-        // candidate pair, filtered in a single kernel pass.
-        let pass: Option<Vec<bool>> = match &self.residual {
-            Some(kernel) if !cand_rows.is_empty() => {
-                let frame = splice_output(
-                    batch,
-                    cand_rows.clone(),
-                    &side.rows,
-                    self.build_width,
-                    &cand_bis,
-                );
-                let sel = kernel.select(&frame)?;
-                let mut mask = vec![false; cand_rows.len()];
-                for i in sel {
-                    mask[i as usize] = true;
-                }
-                Some(mask)
-            }
-            _ => None,
-        };
-        let mut probe_sel: Vec<u32> = Vec::new();
-        let mut build_idx: Vec<u32> = Vec::new();
-        let mut cur = 0usize;
-        for row in 0..rows as u32 {
-            let mut any = false;
-            while cur < cand_rows.len() && cand_rows[cur] == row {
-                if pass.as_ref().is_none_or(|m| m[cur]) {
-                    any = true;
-                    side.matched[cand_bis[cur] as usize] = true;
-                    probe_sel.push(row);
-                    build_idx.push(cand_bis[cur]);
-                }
-                cur += 1;
-            }
-            if !any && preserve_probe {
-                probe_sel.push(row);
-                build_idx.push(u32::MAX);
+        join_probe_batch(
+            table,
+            &side.rows,
+            &mut side.matched,
+            batch,
+            &self.probe_keys,
+            &self.build_keys,
+            self.residual.as_ref(),
+            self.join,
+            self.build_width,
+        )
+    }
+
+    /// The Grace phase: partition the probe side on the build's bit
+    /// range, join partition pairs (recursing when a build partition
+    /// still does not fit), and merge the tagged output back into the
+    /// serial emission order.
+    fn run_grace(&mut self) -> Result<VecDeque<RowBatch<'a>>, EngineError> {
+        let build_parts = self.grace_parts.take().expect("grace build partitions");
+        let mut probe_spiller = PartitionedSpiller::new(self.budget.clone(), 0);
+        let mut pseq = 0u64;
+        while let Some(batch) = self.probe.next_batch()? {
+            let hashes = hash_batch_keys(&batch, &self.probe_keys);
+            for r in 0..batch.num_rows() {
+                probe_spiller.push(hashes.hashes[r], pseq, batch.materialize_row(r))?;
+                pseq += 1;
             }
         }
-        Ok((probe_sel, build_idx))
+        let probe_parts = probe_spiller.finish()?;
+
+        // (probe seq, match ordinal) sort keys; the FULL OUTER tail uses
+        // probe seq u64::MAX so it sorts after every probe row, ordered
+        // by global build sequence — exactly the serial tail position.
+        let mut tagged: Vec<(u64, u64, Row)> = Vec::new();
+        let budget = self.budget.clone();
+        let (probe_keys, build_keys) = (self.probe_keys.clone(), self.build_keys.clone());
+        let (probe_width, build_width) = (self.probe_width, self.build_width);
+        let (join, residual) = (self.join, self.residual.as_ref());
+        for_each_fitting_partition_pair(
+            build_parts,
+            probe_parts,
+            &budget,
+            0,
+            &mut |build_tuples, probe_part| {
+                // Build tuples arrive sequence-ascending, so chains built
+                // by `JoinTable::build` iterate in global build order.
+                let build_seqs: Vec<u64> = build_tuples.iter().map(|(_, s, _)| *s).collect();
+                let build_rows: Vec<Row> = build_tuples.into_iter().map(|(_, _, r)| r).collect();
+                let table = JoinTable::build(&build_rows, &build_keys);
+                let mut matched = vec![false; build_rows.len()];
+                probe_part.for_each_chunk(&budget, |chunk| {
+                    let seqs: Vec<u64> = chunk.iter().map(|(_, s, _)| *s).collect();
+                    let rows: Vec<Row> = chunk.into_iter().map(|(_, _, r)| r).collect();
+                    let batch = RowBatch::from_rows(probe_width, rows);
+                    let (probe_sel, build_idx) = join_probe_batch(
+                        &table,
+                        &build_rows,
+                        &mut matched,
+                        &batch,
+                        &probe_keys,
+                        &build_keys,
+                        residual,
+                        join,
+                        build_width,
+                    )?;
+                    let mut ordinal = 0u64;
+                    let mut prev_row = u32::MAX;
+                    for (&row, &bi) in probe_sel.iter().zip(&build_idx) {
+                        if row != prev_row {
+                            ordinal = 0;
+                            prev_row = row;
+                        }
+                        let mut out = batch.materialize_row(row as usize);
+                        if bi == u32::MAX {
+                            out.extend(std::iter::repeat_n(Value::Null, build_width));
+                        } else {
+                            out.extend(build_rows[bi as usize].iter().cloned());
+                        }
+                        tagged.push((seqs[row as usize], ordinal, out));
+                        ordinal += 1;
+                    }
+                    Ok(())
+                })?;
+                if join == PhysJoinKind::FullOuter {
+                    for (bi, m) in matched.iter().enumerate() {
+                        if !*m {
+                            let mut out: Row = vec![Value::Null; probe_width];
+                            out.extend(build_rows[bi].iter().cloned());
+                            tagged.push((u64::MAX, build_seqs[bi], out));
+                        }
+                    }
+                }
+                Ok(())
+            },
+        )?;
+        tagged.sort_by_key(|(seq, ord, _)| (*seq, *ord));
+        Ok(rebatch_rows(
+            tagged.into_iter().map(|(_, _, row)| row),
+            probe_width + build_width,
+            self.batch_size,
+        ))
     }
 
     fn emit_pending(&mut self) -> Option<RowBatch<'a>> {
@@ -354,6 +527,13 @@ impl<'a> HashJoinOp<'a> {
 impl<'a> Operator<'a> for HashJoinOp<'a> {
     fn next_batch(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
         self.ensure_built()?;
+        if self.grace_parts.is_some() || self.grace_output.is_some() {
+            if self.grace_output.is_none() {
+                let merged = self.run_grace()?;
+                self.grace_output = Some(merged);
+            }
+            return Ok(self.grace_output.as_mut().and_then(VecDeque::pop_front));
+        }
         loop {
             if let Some(out) = self.emit_pending() {
                 return Ok(Some(out));
@@ -863,6 +1043,153 @@ mod tests {
         );
         assert_eq!(out.len(), 10);
         assert!(out.iter().all(|r| r[0] == r[1]));
+    }
+
+    /// Run the same join with an unbounded budget and a tiny one; the
+    /// spilled result must be identical, rows AND order.
+    #[allow(clippy::too_many_arguments)]
+    fn assert_spill_identical(
+        probe: Vec<Row>,
+        build: Vec<Row>,
+        pw: usize,
+        bw: usize,
+        probe_keys: Vec<usize>,
+        build_keys: Vec<usize>,
+        residual: Option<BoundExpr>,
+        join: PhysJoinKind,
+        batch_size: usize,
+    ) {
+        let mk = |budget: MemoryBudget| {
+            let op = HashJoinOp::new(
+                Box::new(StaticOp::from_rows(pw, probe.clone(), batch_size)),
+                Box::new(StaticOp::from_rows(bw, build.clone(), batch_size)),
+                pw,
+                bw,
+                probe_keys.clone(),
+                build_keys.clone(),
+                residual.clone(),
+                join,
+                batch_size,
+            )
+            .with_budget(budget);
+            drain(Box::new(op)).unwrap()
+        };
+        let unbounded = mk(MemoryBudget::unbounded());
+        for limit in [1usize, 512, 16 * 1024] {
+            let budget = MemoryBudget::with_limit(limit);
+            let spilled = mk(budget.clone());
+            assert_eq!(
+                unbounded, spilled,
+                "budget {limit} changed join output ({join:?})"
+            );
+            if limit == 1 && !build.is_empty() {
+                assert!(budget.stats().spilled(), "1-byte budget must spill");
+            }
+        }
+    }
+
+    #[test]
+    fn spilled_join_is_row_identical_to_in_memory() {
+        // Skewed keys + NULLs + residual across every join kind.
+        let probe: Vec<Row> = (0..300)
+            .map(|i| {
+                let k = if i % 11 == 0 {
+                    Value::Null
+                } else {
+                    self::i(i % 17)
+                };
+                vec![k, self::i(i)]
+            })
+            .collect();
+        let build: Vec<Row> = (0..200)
+            .map(|i| {
+                let k = if i % 13 == 0 {
+                    Value::Null
+                } else {
+                    self::i(i % 23)
+                };
+                vec![k, self::i(i * 10)]
+            })
+            .collect();
+        for join in [
+            PhysJoinKind::Inner,
+            PhysJoinKind::LeftOuter,
+            PhysJoinKind::FullOuter,
+        ] {
+            assert_spill_identical(
+                probe.clone(),
+                build.clone(),
+                2,
+                2,
+                vec![0],
+                vec![0],
+                None,
+                join,
+                7,
+            );
+            assert_spill_identical(
+                probe.clone(),
+                build.clone(),
+                2,
+                2,
+                vec![0],
+                vec![0],
+                Some(gt(col(1), 40)),
+                join,
+                32,
+            );
+        }
+        // Empty sides under a bounded budget.
+        assert_spill_identical(
+            probe.clone(),
+            vec![],
+            2,
+            2,
+            vec![0],
+            vec![0],
+            None,
+            PhysJoinKind::LeftOuter,
+            4,
+        );
+        assert_spill_identical(
+            vec![],
+            build,
+            2,
+            2,
+            vec![0],
+            vec![0],
+            None,
+            PhysJoinKind::FullOuter,
+            4,
+        );
+    }
+
+    #[test]
+    fn bounded_budget_that_fits_uses_streaming_path() {
+        // A build side far under the budget must not spill at all.
+        let budget = MemoryBudget::with_limit(1 << 20);
+        let op = HashJoinOp::new(
+            Box::new(StaticOp::from_rows(
+                1,
+                (0..10).map(|v| vec![i(v)]).collect(),
+                4,
+            )),
+            Box::new(StaticOp::from_rows(
+                1,
+                (0..10).map(|v| vec![i(v)]).collect(),
+                4,
+            )),
+            1,
+            1,
+            vec![0],
+            vec![0],
+            None,
+            PhysJoinKind::Inner,
+            4,
+        )
+        .with_budget(budget.clone());
+        assert_eq!(drain(Box::new(op)).unwrap().len(), 10);
+        assert!(!budget.stats().spilled());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 pub mod batch;
 pub mod hash;
 pub mod parallel;
+pub mod spill;
 
 mod aggregate;
 mod join;
@@ -26,6 +27,7 @@ use std::sync::Arc;
 
 pub use batch::{BatchBuilder, BatchRow, ColumnData, JoinedRow, RowBatch, DEFAULT_BATCH_SIZE};
 pub use parallel::{execute_parallel, ParallelOptions, DEFAULT_MORSEL_SIZE};
+pub use spill::{MemoryBudget, SpillStats};
 
 use crate::catalog::Catalog;
 use crate::error::EngineError;
@@ -65,13 +67,27 @@ pub fn execute_with_batch_size(
     execute_physical(&physical, catalog, batch_size)
 }
 
-/// Run an already-lowered physical plan to completion.
+/// Run an already-lowered physical plan to completion (unbounded memory
+/// budget: pipeline breakers never spill).
 pub fn execute_physical(
     physical: &PhysicalPlan,
     catalog: &Catalog,
     batch_size: usize,
 ) -> Result<Vec<Row>, EngineError> {
-    let mut root = build_operator(physical, catalog, batch_size.max(1))?;
+    execute_physical_budgeted(physical, catalog, batch_size, &MemoryBudget::unbounded())
+}
+
+/// Run an already-lowered physical plan to completion under a memory
+/// budget: hash joins, group tables, DISTINCT, and set operations spill
+/// radix partitions to disk when the tracked state exceeds the budget
+/// (see [`spill`]).
+pub fn execute_physical_budgeted(
+    physical: &PhysicalPlan,
+    catalog: &Catalog,
+    batch_size: usize,
+    budget: &MemoryBudget,
+) -> Result<Vec<Row>, EngineError> {
+    let mut root = build_operator_budgeted(physical, catalog, batch_size.max(1), budget)?;
     let mut rows = Vec::new();
     while let Some(batch) = root.next_batch()? {
         rows.extend(batch.to_rows());
@@ -79,12 +95,25 @@ pub fn execute_physical(
     Ok(rows)
 }
 
-/// Compile a physical plan into a runnable operator tree. Expressions are
-/// prepared here (`IN (subquery)` materialization), once per operator.
+/// Compile a physical plan into a runnable operator tree with an
+/// unbounded memory budget. See [`build_operator_budgeted`].
 pub fn build_operator<'a>(
     plan: &PhysicalPlan,
     catalog: &'a Catalog,
     batch_size: usize,
+) -> Result<BoxedOperator<'a>, EngineError> {
+    build_operator_budgeted(plan, catalog, batch_size, &MemoryBudget::unbounded())
+}
+
+/// Compile a physical plan into a runnable operator tree. Expressions are
+/// prepared here (`IN (subquery)` materialization), once per operator.
+/// The memory budget threads into every spill-capable operator (hash
+/// join, hash aggregate, DISTINCT, set operations).
+pub fn build_operator_budgeted<'a>(
+    plan: &PhysicalPlan,
+    catalog: &'a Catalog,
+    batch_size: usize,
+    budget: &MemoryBudget,
 ) -> Result<BoxedOperator<'a>, EngineError> {
     Ok(match plan {
         PhysicalPlan::TableScan {
@@ -114,12 +143,12 @@ pub fn build_operator<'a>(
         }
         PhysicalPlan::Dual => Box::new(operators::DualOp::new()),
         PhysicalPlan::Filter { input, predicate } => {
-            let input = build_operator(input, catalog, batch_size)?;
+            let input = build_operator_budgeted(input, catalog, batch_size, budget)?;
             let predicate = prepare_expr_with_batch_size(predicate, catalog, batch_size)?;
             Box::new(operators::FilterOp::new(input, predicate))
         }
         PhysicalPlan::Project { input, exprs, .. } => {
-            let input = build_operator(input, catalog, batch_size)?;
+            let input = build_operator_budgeted(input, catalog, batch_size, budget)?;
             let exprs: Vec<BoundExpr> = exprs
                 .iter()
                 .map(|e| prepare_expr_with_batch_size(e, catalog, batch_size))
@@ -133,7 +162,7 @@ pub fn build_operator<'a>(
             mode,
             ..
         } => {
-            let child = build_operator(input, catalog, batch_size)?;
+            let child = build_operator_budgeted(input, catalog, batch_size, budget)?;
             let group: Vec<BoundExpr> = group
                 .iter()
                 .map(|e| prepare_expr_with_batch_size(e, catalog, batch_size))
@@ -149,14 +178,17 @@ pub fn build_operator<'a>(
             let hint = crate::planner::physical::table_size_hint(
                 crate::planner::physical::estimate_physical_rows(plan, catalog),
             );
-            Box::new(aggregate::HashAggregateOp::new(
-                child,
-                group,
-                prepared_aggs,
-                *mode,
-                batch_size,
-                hint,
-            ))
+            Box::new(
+                aggregate::HashAggregateOp::new(
+                    child,
+                    group,
+                    prepared_aggs,
+                    *mode,
+                    batch_size,
+                    hint,
+                )
+                .with_budget(budget.clone()),
+            )
         }
         PhysicalPlan::HashJoin {
             probe,
@@ -169,23 +201,26 @@ pub fn build_operator<'a>(
         } => {
             let probe_width = probe.schema().len();
             let build_width = build.schema().len();
-            let probe = build_operator(probe, catalog, batch_size)?;
-            let build = build_operator(build, catalog, batch_size)?;
+            let probe = build_operator_budgeted(probe, catalog, batch_size, budget)?;
+            let build = build_operator_budgeted(build, catalog, batch_size, budget)?;
             let residual = residual
                 .as_ref()
                 .map(|e| prepare_expr_with_batch_size(e, catalog, batch_size))
                 .transpose()?;
-            Box::new(join::HashJoinOp::new(
-                probe,
-                build,
-                probe_width,
-                build_width,
-                probe_keys.clone(),
-                build_keys.clone(),
-                residual,
-                *join,
-                batch_size,
-            ))
+            Box::new(
+                join::HashJoinOp::new(
+                    probe,
+                    build,
+                    probe_width,
+                    build_width,
+                    probe_keys.clone(),
+                    build_keys.clone(),
+                    residual,
+                    *join,
+                    batch_size,
+                )
+                .with_budget(budget.clone()),
+            )
         }
         PhysicalPlan::NestedLoopJoin {
             probe,
@@ -196,8 +231,8 @@ pub fn build_operator<'a>(
         } => {
             let probe_width = probe.schema().len();
             let build_width = build.schema().len();
-            let probe = build_operator(probe, catalog, batch_size)?;
-            let build = build_operator(build, catalog, batch_size)?;
+            let probe = build_operator_budgeted(probe, catalog, batch_size, budget)?;
+            let build = build_operator_budgeted(build, catalog, batch_size, budget)?;
             let on = on
                 .as_ref()
                 .map(|e| prepare_expr_with_batch_size(e, catalog, batch_size))
@@ -219,16 +254,19 @@ pub fn build_operator<'a>(
             right,
             ..
         } => {
-            let left = build_operator(left, catalog, batch_size)?;
-            let right = build_operator(right, catalog, batch_size)?;
-            Box::new(operators::SetOpOp::new(*op, *all, left, right))
+            let left = build_operator_budgeted(left, catalog, batch_size, budget)?;
+            let right = build_operator_budgeted(right, catalog, batch_size, budget)?;
+            Box::new(
+                operators::SetOpOp::new(*op, *all, left, right)
+                    .with_budget(budget.clone(), batch_size),
+            )
         }
         PhysicalPlan::Distinct { input } => {
-            let input = build_operator(input, catalog, batch_size)?;
-            Box::new(operators::DistinctOp::new(input))
+            let input = build_operator_budgeted(input, catalog, batch_size, budget)?;
+            Box::new(operators::DistinctOp::new(input).with_budget(budget.clone(), batch_size))
         }
         PhysicalPlan::Sort { input, keys } => {
-            let child = build_operator(input, catalog, batch_size)?;
+            let child = build_operator_budgeted(input, catalog, batch_size, budget)?;
             let prepared: Vec<(BoundExpr, bool)> = keys
                 .iter()
                 .map(|k| {
@@ -246,7 +284,7 @@ pub fn build_operator<'a>(
             limit,
             offset,
         } => {
-            let child = build_operator(input, catalog, batch_size)?;
+            let child = build_operator_budgeted(input, catalog, batch_size, budget)?;
             let prepared: Vec<(BoundExpr, bool)> = keys
                 .iter()
                 .map(|k| {
@@ -265,7 +303,7 @@ pub fn build_operator<'a>(
             limit,
             offset,
         } => {
-            let input = build_operator(input, catalog, batch_size)?;
+            let input = build_operator_budgeted(input, catalog, batch_size, budget)?;
             Box::new(operators::LimitOp::new(input, *limit, *offset))
         }
     })

@@ -7,6 +7,10 @@ use std::sync::Arc;
 use crate::error::EngineError;
 use crate::exec::batch::{ColumnData, RowBatch, DEFAULT_BATCH_SIZE};
 use crate::exec::hash::{hash_batch_rows, RowCounter, RowSet};
+use crate::exec::spill::{
+    for_each_fitting_partition, for_each_fitting_partition_pair, rebatch_rows, MemoryBudget,
+    PartitionedSpiller,
+};
 use crate::exec::{BoxedOperator, Operator, Row};
 use crate::expr::{BoundExpr, VectorKernel};
 use crate::planner::SetOpKind;
@@ -434,9 +438,17 @@ impl<'a> Operator<'a> for TopKOp<'a> {
 /// Streaming duplicate elimination over whole rows: each batch is hashed
 /// chunk-at-a-time and deduplicated against a flat row set (rows only
 /// materialize on first sight).
+///
+/// With a bounded [`MemoryBudget`] the input instead routes through a
+/// [`PartitionedSpiller`] on the whole-row hash and deduplicates one
+/// radix partition at a time; first-seen rows carry their global
+/// sequence number and merge back into the exact streaming output order.
 pub struct DistinctOp<'a> {
     input: BoxedOperator<'a>,
     seen: RowSet,
+    budget: MemoryBudget,
+    batch_size: usize,
+    spilled_output: Option<VecDeque<RowBatch<'a>>>,
 }
 
 impl<'a> DistinctOp<'a> {
@@ -445,12 +457,62 @@ impl<'a> DistinctOp<'a> {
         DistinctOp {
             input,
             seen: RowSet::new(),
+            budget: MemoryBudget::unbounded(),
+            batch_size: DEFAULT_BATCH_SIZE,
+            spilled_output: None,
         }
     }
+
+    /// Attach a memory budget (and the batch size spilled output is
+    /// re-chunked at).
+    pub fn with_budget(mut self, budget: MemoryBudget, batch_size: usize) -> DistinctOp<'a> {
+        self.budget = budget;
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    fn run_spilled(&mut self) -> Result<VecDeque<RowBatch<'a>>, EngineError> {
+        let mut spiller = PartitionedSpiller::new(self.budget.clone(), 0);
+        let mut seq = 0u64;
+        let mut width = 0usize;
+        while let Some(batch) = self.input.next_batch()? {
+            width = batch.width();
+            let hashes = hash_batch_rows(&batch);
+            for (r, &hash) in hashes.iter().enumerate() {
+                spiller.push(hash, seq, batch.materialize_row(r))?;
+                seq += 1;
+            }
+        }
+        let mut tagged: Vec<(u64, Row)> = Vec::new();
+        let budget = self.budget.clone();
+        for_each_fitting_partition(spiller.finish()?, &budget, 0, &mut |tuples| {
+            let mut seen = RowSet::new();
+            for (hash, seq, row) in tuples {
+                if seen.insert_row(hash, row.clone()) {
+                    tagged.push((seq, row));
+                }
+            }
+            Ok(())
+        })?;
+        tagged.sort_by_key(|(seq, _)| *seq);
+        Ok(rebatch(tagged, width, self.batch_size))
+    }
+}
+
+/// Chunk sequence-sorted rows into output batches (shared spill tail).
+fn rebatch<'a>(tagged: Vec<(u64, Row)>, width: usize, batch_size: usize) -> VecDeque<RowBatch<'a>> {
+    rebatch_rows(tagged.into_iter().map(|(_, row)| row), width, batch_size)
 }
 
 impl<'a> Operator<'a> for DistinctOp<'a> {
     fn next_batch(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
+        if self.budget.is_bounded() {
+            if self.spilled_output.is_none() {
+                let merged = self.run_spilled()?;
+                self.spilled_output = Some(merged);
+            }
+            return Ok(self.spilled_output.as_mut().and_then(VecDeque::pop_front));
+        }
         while let Some(batch) = self.input.next_batch()? {
             let hashes = hash_batch_rows(&batch);
             let mut keep: Vec<u32> = Vec::new();
@@ -472,6 +534,14 @@ impl<'a> Operator<'a> for DistinctOp<'a> {
 /// UNION streams both inputs; EXCEPT/INTERSECT materialize the right side
 /// into a flat multiplicity map, then stream the left side against it.
 /// Rows hash once per batch through the chunk-at-a-time kernel.
+///
+/// With a bounded [`MemoryBudget`], the "seen" set (UNION) or the right
+/// multiplicity map (EXCEPT/INTERSECT) can exceed memory, so both sides
+/// route through [`PartitionedSpiller`]s on the whole-row hash and the
+/// operation runs one radix partition pair at a time — equal rows always
+/// share a partition, so per-partition multiplicity consumption matches
+/// the streaming order exactly, and sequence tags restore the output
+/// order. `UNION ALL` is a pure concatenation and never spills.
 pub struct SetOpOp<'a> {
     op: SetOpKind,
     all: bool,
@@ -480,6 +550,9 @@ pub struct SetOpOp<'a> {
     left_done: bool,
     right_counts: Option<RowCounter>,
     seen: RowSet,
+    budget: MemoryBudget,
+    batch_size: usize,
+    spilled_output: Option<VecDeque<RowBatch<'a>>>,
 }
 
 impl<'a> SetOpOp<'a> {
@@ -498,7 +571,111 @@ impl<'a> SetOpOp<'a> {
             left_done: false,
             right_counts: None,
             seen: RowSet::new(),
+            budget: MemoryBudget::unbounded(),
+            batch_size: DEFAULT_BATCH_SIZE,
+            spilled_output: None,
         }
+    }
+
+    /// Attach a memory budget (and the batch size spilled output is
+    /// re-chunked at).
+    pub fn with_budget(mut self, budget: MemoryBudget, batch_size: usize) -> SetOpOp<'a> {
+        self.budget = budget;
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Drain one side into a spiller, tagging rows with sequence numbers
+    /// starting at `seq`; returns the next free sequence number.
+    fn drain_side(
+        side: &mut BoxedOperator<'a>,
+        spiller: &mut PartitionedSpiller,
+        mut seq: u64,
+        width: &mut usize,
+    ) -> Result<u64, EngineError> {
+        while let Some(batch) = side.next_batch()? {
+            *width = batch.width();
+            let hashes = hash_batch_rows(&batch);
+            for (r, &hash) in hashes.iter().enumerate() {
+                spiller.push(hash, seq, batch.materialize_row(r))?;
+                seq += 1;
+            }
+        }
+        Ok(seq)
+    }
+
+    /// Spill path for `UNION` (set semantics): a partitioned DISTINCT
+    /// over left-then-right concatenation.
+    fn run_spilled_union(&mut self) -> Result<VecDeque<RowBatch<'a>>, EngineError> {
+        let mut spiller = PartitionedSpiller::new(self.budget.clone(), 0);
+        let mut width = 0usize;
+        let seq = Self::drain_side(&mut self.left, &mut spiller, 0, &mut width)?;
+        Self::drain_side(&mut self.right, &mut spiller, seq, &mut width)?;
+        let mut tagged: Vec<(u64, Row)> = Vec::new();
+        let budget = self.budget.clone();
+        for_each_fitting_partition(spiller.finish()?, &budget, 0, &mut |tuples| {
+            let mut seen = RowSet::new();
+            for (hash, seq, row) in tuples {
+                if seen.insert_row(hash, row.clone()) {
+                    tagged.push((seq, row));
+                }
+            }
+            Ok(())
+        })?;
+        tagged.sort_by_key(|(seq, _)| *seq);
+        Ok(rebatch(tagged, width, self.batch_size))
+    }
+
+    /// Spill path for EXCEPT / INTERSECT: right partitions build the
+    /// multiplicity maps, left partitions stream against them pairwise.
+    fn run_spilled_against_counts(&mut self) -> Result<VecDeque<RowBatch<'a>>, EngineError> {
+        let mut right_spiller = PartitionedSpiller::new(self.budget.clone(), 0);
+        let mut left_spiller = PartitionedSpiller::new(self.budget.clone(), 0);
+        let mut rwidth = 0usize;
+        let mut width = 0usize;
+        Self::drain_side(&mut self.right, &mut right_spiller, 0, &mut rwidth)?;
+        Self::drain_side(&mut self.left, &mut left_spiller, 0, &mut width)?;
+        let except = self.op == SetOpKind::Except;
+        let all = self.all;
+        let mut tagged: Vec<(u64, Row)> = Vec::new();
+        let budget = self.budget.clone();
+        for_each_fitting_partition_pair(
+            right_spiller.finish()?,
+            left_spiller.finish()?,
+            &budget,
+            0,
+            &mut |right_tuples, left_part| {
+                let mut counts = RowCounter::new();
+                for (hash, _, row) in right_tuples {
+                    counts.add_row(hash, row);
+                }
+                let mut seen = RowSet::new();
+                left_part.for_each_chunk(&budget, |tuples| {
+                    for (hash, seq, row) in tuples {
+                        let kept = if all {
+                            // Bag semantics: consume one multiplicity per
+                            // match, in left sequence order.
+                            match counts.count_mut_row(hash, &row) {
+                                Some(c) if *c > 0 => {
+                                    *c -= 1;
+                                    !except
+                                }
+                                _ => except,
+                            }
+                        } else {
+                            let in_right = counts.contains_row(hash, &row);
+                            (in_right != except) && seen.insert_row(hash, row.clone())
+                        };
+                        if kept {
+                            tagged.push((seq, row));
+                        }
+                    }
+                    Ok(())
+                })
+            },
+        )?;
+        tagged.sort_by_key(|(seq, _)| *seq);
+        Ok(rebatch(tagged, width, self.batch_size))
     }
 
     fn next_union(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
@@ -577,6 +754,20 @@ impl<'a> SetOpOp<'a> {
 
 impl<'a> Operator<'a> for SetOpOp<'a> {
     fn next_batch(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
+        // UNION ALL is pure concatenation — nothing accumulates, so it
+        // streams regardless of the budget.
+        if self.budget.is_bounded() && !(self.op == SetOpKind::Union && self.all) {
+            if self.spilled_output.is_none() {
+                let merged = match self.op {
+                    SetOpKind::Union => self.run_spilled_union()?,
+                    SetOpKind::Except | SetOpKind::Intersect => {
+                        self.run_spilled_against_counts()?
+                    }
+                };
+                self.spilled_output = Some(merged);
+            }
+            return Ok(self.spilled_output.as_mut().and_then(VecDeque::pop_front));
+        }
         match self.op {
             SetOpKind::Union => self.next_union(),
             SetOpKind::Except | SetOpKind::Intersect => self.next_against_counts(),
@@ -705,6 +896,69 @@ mod tests {
             static_op([1, 2], 2),
         );
         assert_eq!(drain(Box::new(intersect)).unwrap(), rows([1, 2]));
+    }
+
+    #[test]
+    fn spilled_distinct_and_set_ops_are_row_identical() {
+        // Duplicate-heavy streams with NULLs crossing batch boundaries.
+        let mk_rows = |n: i64, stride: i64| -> Vec<Row> {
+            (0..n)
+                .map(|v| {
+                    let a = if v % 17 == 0 {
+                        Value::Null
+                    } else {
+                        i(v % stride)
+                    };
+                    vec![a, i(v % 3)]
+                })
+                .collect()
+        };
+        let left = mk_rows(400, 13);
+        let right = mk_rows(250, 9);
+        let distinct_out = |budget: MemoryBudget| {
+            let op = DistinctOp::new(Box::new(StaticOp::from_rows(2, left.clone(), 7)))
+                .with_budget(budget, 7);
+            drain(Box::new(op)).unwrap()
+        };
+        let unbounded = distinct_out(MemoryBudget::unbounded());
+        for limit in [1usize, 2048] {
+            let budget = MemoryBudget::with_limit(limit);
+            assert_eq!(
+                unbounded,
+                distinct_out(budget.clone()),
+                "distinct, {limit}B"
+            );
+            if limit == 1 {
+                assert!(budget.stats().spilled());
+            }
+        }
+
+        for op_kind in [SetOpKind::Union, SetOpKind::Except, SetOpKind::Intersect] {
+            for all in [false, true] {
+                let run = |budget: MemoryBudget| {
+                    let op = SetOpOp::new(
+                        op_kind,
+                        all,
+                        Box::new(StaticOp::from_rows(2, left.clone(), 7)),
+                        Box::new(StaticOp::from_rows(2, right.clone(), 7)),
+                    )
+                    .with_budget(budget, 7);
+                    drain(Box::new(op)).unwrap()
+                };
+                let unbounded = run(MemoryBudget::unbounded());
+                for limit in [1usize, 2048] {
+                    let budget = MemoryBudget::with_limit(limit);
+                    assert_eq!(
+                        unbounded,
+                        run(budget.clone()),
+                        "{op_kind:?} all={all} at {limit}B"
+                    );
+                    if limit == 1 && !(op_kind == SetOpKind::Union && all) {
+                        assert!(budget.stats().spilled(), "{op_kind:?} all={all}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

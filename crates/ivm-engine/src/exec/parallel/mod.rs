@@ -43,6 +43,7 @@ use std::collections::VecDeque;
 use crate::catalog::Catalog;
 use crate::error::EngineError;
 use crate::exec::batch::RowBatch;
+use crate::exec::spill::MemoryBudget;
 use crate::exec::{execute_physical, prepare_expr_with_batch_size, BoxedOperator, Operator, Row};
 use crate::expr::BoundExpr;
 use crate::planner::physical::PhysicalPlan;
@@ -53,21 +54,27 @@ use crate::planner::physical::PhysicalPlan;
 pub const DEFAULT_MORSEL_SIZE: usize = 4096;
 
 /// Tuning knobs for one parallel execution.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ParallelOptions {
     /// Worker threads (1 = serial fast path through the operator tree).
     pub workers: usize,
     /// Morsel size in physical slots (tables spanning at most one morsel
     /// run serially).
     pub morsel_size: usize,
+    /// Memory budget shared by every operator of the execution. Bounded
+    /// budgets route hash joins and aggregations through the serial
+    /// spill-capable breakers (scans, filters, and projections below
+    /// them stay morsel-parallel).
+    pub budget: MemoryBudget,
 }
 
 impl ParallelOptions {
-    /// Options with the default morsel size.
+    /// Options with the default morsel size and an unbounded budget.
     pub fn new(workers: usize) -> ParallelOptions {
         ParallelOptions {
             workers,
             morsel_size: DEFAULT_MORSEL_SIZE,
+            budget: MemoryBudget::unbounded(),
         }
     }
 }
@@ -78,6 +85,7 @@ pub(crate) struct Ctx<'a> {
     batch_size: usize,
     workers: usize,
     morsel_size: usize,
+    pub(crate) budget: MemoryBudget,
 }
 
 /// Run a physical plan to completion with up to `opts.workers` threads,
@@ -91,13 +99,14 @@ pub fn execute_parallel(
 ) -> Result<Vec<Row>, EngineError> {
     let batch_size = batch_size.max(1);
     if opts.workers <= 1 {
-        return execute_physical(plan, catalog, batch_size);
+        return crate::exec::execute_physical_budgeted(plan, catalog, batch_size, &opts.budget);
     }
     let ctx = Ctx {
         catalog,
         batch_size,
         workers: opts.workers,
         morsel_size: opts.morsel_size.max(1),
+        budget: opts.budget,
     };
     collect_rows(plan, &ctx)
 }
@@ -137,7 +146,10 @@ pub(crate) fn collect_rows(plan: &PhysicalPlan, ctx: &Ctx<'_>) -> Result<Vec<Row
             mode,
             ..
         } => {
-            if pipeline::worth_parallel(input, ctx) {
+            // Under a bounded budget the merged group table must be able
+            // to spill, which the serial operator below handles; the
+            // input still collects morsel-parallel.
+            if !ctx.budget.is_bounded() && pipeline::worth_parallel(input, ctx) {
                 if let Some(spec) = pipeline::build_pipeline(input, ctx)? {
                     return aggregate::parallel_aggregate(&spec, group, aggs, *mode, ctx);
                 }
@@ -161,14 +173,17 @@ pub(crate) fn collect_rows(plan: &PhysicalPlan, ctx: &Ctx<'_>) -> Result<Vec<Row
             // Exact input count as an upper-bound sizing hint, clamped so
             // a huge duplicate-heavy input doesn't pre-zero a giant table.
             let hint = rows.len().min(1 << 16);
-            drain_operator(Box::new(crate::exec::aggregate::HashAggregateOp::new(
-                replay(width, rows, ctx.batch_size),
-                group,
-                prepared_aggs,
-                *mode,
-                ctx.batch_size,
-                hint,
-            )))
+            drain_operator(Box::new(
+                crate::exec::aggregate::HashAggregateOp::new(
+                    replay(width, rows, ctx.batch_size),
+                    group,
+                    prepared_aggs,
+                    *mode,
+                    ctx.batch_size,
+                    hint,
+                )
+                .with_budget(ctx.budget.clone()),
+            ))
         }
         PhysicalPlan::Filter { input, predicate } => {
             let width = input.schema().len();
@@ -221,11 +236,10 @@ pub(crate) fn collect_rows(plan: &PhysicalPlan, ctx: &Ctx<'_>) -> Result<Vec<Row
         PhysicalPlan::Distinct { input } => {
             let width = input.schema().len();
             let rows = collect_rows(input, ctx)?;
-            drain_operator(Box::new(crate::exec::operators::DistinctOp::new(replay(
-                width,
-                rows,
-                ctx.batch_size,
-            ))))
+            drain_operator(Box::new(
+                crate::exec::operators::DistinctOp::new(replay(width, rows, ctx.batch_size))
+                    .with_budget(ctx.budget.clone(), ctx.batch_size),
+            ))
         }
         PhysicalPlan::SetOp {
             op,
@@ -238,12 +252,15 @@ pub(crate) fn collect_rows(plan: &PhysicalPlan, ctx: &Ctx<'_>) -> Result<Vec<Row
             let rwidth = right.schema().len();
             let lrows = collect_rows(left, ctx)?;
             let rrows = collect_rows(right, ctx)?;
-            drain_operator(Box::new(crate::exec::operators::SetOpOp::new(
-                *op,
-                *all,
-                replay(lwidth, lrows, ctx.batch_size),
-                replay(rwidth, rrows, ctx.batch_size),
-            )))
+            drain_operator(Box::new(
+                crate::exec::operators::SetOpOp::new(
+                    *op,
+                    *all,
+                    replay(lwidth, lrows, ctx.batch_size),
+                    replay(rwidth, rrows, ctx.batch_size),
+                )
+                .with_budget(ctx.budget.clone(), ctx.batch_size),
+            ))
         }
         PhysicalPlan::HashJoin {
             probe,
@@ -264,17 +281,20 @@ pub(crate) fn collect_rows(plan: &PhysicalPlan, ctx: &Ctx<'_>) -> Result<Vec<Row
                 .as_ref()
                 .map(|e| prepare_expr_with_batch_size(e, ctx.catalog, ctx.batch_size))
                 .transpose()?;
-            drain_operator(Box::new(crate::exec::join::HashJoinOp::new(
-                replay(pw, probe_rows, ctx.batch_size),
-                replay(bw, build_rows, ctx.batch_size),
-                pw,
-                bw,
-                probe_keys.clone(),
-                build_keys.clone(),
-                residual,
-                *join,
-                ctx.batch_size,
-            )))
+            drain_operator(Box::new(
+                crate::exec::join::HashJoinOp::new(
+                    replay(pw, probe_rows, ctx.batch_size),
+                    replay(bw, build_rows, ctx.batch_size),
+                    pw,
+                    bw,
+                    probe_keys.clone(),
+                    build_keys.clone(),
+                    residual,
+                    *join,
+                    ctx.batch_size,
+                )
+                .with_budget(ctx.budget.clone()),
+            ))
         }
         PhysicalPlan::NestedLoopJoin {
             probe,

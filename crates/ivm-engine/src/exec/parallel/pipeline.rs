@@ -510,6 +510,12 @@ pub(super) fn build_pipeline<'a>(
                 Some(spec)
             }
         },
+        // Under a bounded memory budget, join build sides must be able
+        // to spill; the fused `JoinStage` holds its partitioned build in
+        // memory, so the plan is left to the breaker path, where the
+        // serial spill-capable `HashJoinOp` joins parallel-collected
+        // inputs. Scans/filters/projects below stay morsel-parallel.
+        PhysicalPlan::HashJoin { .. } if ctx.budget.is_bounded() => None,
         PhysicalPlan::HashJoin {
             probe,
             build,

@@ -1,0 +1,932 @@
+//! Memory-budgeted spill-to-disk for hash operators.
+//!
+//! The engine's pipeline breakers (join builds, group tables, DISTINCT /
+//! set-operation row sets) used to assume their state fits in RAM; any
+//! build side or GROUP BY larger than memory aborted the process. This
+//! module adds the out-of-core machinery they share:
+//!
+//! - [`MemoryBudget`]: a cheaply-clonable accounting handle (one per
+//!   [`crate::session::Database`]) holding the byte limit, the running
+//!   usage counter, the spill directory, and the spill/rehydrate
+//!   counters. Unbounded budgets (`limit = usize::MAX`) never spill and
+//!   never touch the accounting atomics on the hot path.
+//! - [`SpillWriter`] / [`SpillFile`]: temp-file lifecycle around the
+//!   columnar frame codec of [`crate::storage::frame`]. Files are
+//!   created in the budget's spill directory and removed when the
+//!   [`SpillFile`] handle drops — spill files never outlive the query.
+//! - [`PartitionedSpiller`]: the radix accumulator. Rows arrive tagged
+//!   with their key hash and a global sequence number and are routed to
+//!   one of [`NUM_PARTITIONS`] partitions by a high-bit slice of the
+//!   hash (rotated per recursion level, so re-partitioning a partition
+//!   that still does not fit uses a *fresh* bit range). Partitions
+//!   buffer in memory while the budget allows; when the budget
+//!   overflows, the largest resident partition is flushed to its spill
+//!   file and subsequent rows for it pass through a small bounded write
+//!   buffer.
+//!
+//! The sequence tags are what make spilling invisible: consumers fold or
+//! join partition-at-a-time (any order) and use the tags to restore the
+//! exact serial output order, so a spilled run is row-identical —
+//! values *and* order — to the in-memory run. `tests/prop_spill_agree.rs`
+//! holds that equivalence under random workloads.
+//!
+//! The hash bit layout composes with the rest of the engine: spill
+//! partitions use rotated *high* bits (levels 0..4 cover bits 48..64),
+//! the flat tables index with *low* bits, and tag bytes come from the
+//! middle — one hash per key, everywhere.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::error::EngineError;
+use crate::exec::Row;
+use crate::storage::frame;
+use crate::value::Value;
+
+/// Radix bits per spill level: 16 partitions per level.
+pub(crate) const PART_BITS: u32 = 4;
+
+/// Partitions per spiller (one radix pass).
+pub(crate) const NUM_PARTITIONS: usize = 1 << PART_BITS;
+
+/// Deepest recursive re-partition level. Four levels consume hash bits
+/// 48..64; beyond that a partition is processed in memory regardless
+/// (its rows share 16 hash bits — almost certainly one heavy key, which
+/// no amount of hash partitioning can split).
+pub(crate) const MAX_SPILL_DEPTH: u32 = 4;
+
+/// Rows per spill write-buffer flush (bounds the per-partition buffer
+/// independently of the budget — even a 1-byte budget keeps at most this
+/// many rows buffered per spilled partition).
+const WRITE_BUFFER_ROWS: usize = 256;
+
+/// Fixed per-tuple accounting overhead on top of the row payload (the
+/// `(hash, seq)` tags and vector slack).
+const TUPLE_OVERHEAD: usize = 16;
+
+/// Partition index of `hash` at recursion level `bit_offset / PART_BITS`:
+/// the top [`PART_BITS`] bits after rotating the level's range in.
+#[inline]
+pub(crate) fn spill_partition_of(hash: u64, bit_offset: u32) -> usize {
+    (hash.rotate_left(bit_offset) >> (64 - PART_BITS)) as usize
+}
+
+/// Monotone suffix for spill file names (process-wide).
+static SPILL_FILE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+#[derive(Debug, Default)]
+struct StatCells {
+    spilled_partitions: AtomicU64,
+    spilled_rows: AtomicU64,
+    spilled_bytes: AtomicU64,
+    spill_files: AtomicU64,
+    rehydrated_partitions: AtomicU64,
+    rehydrated_rows: AtomicU64,
+    repartitions: AtomicU64,
+}
+
+/// A snapshot of the spill counters, surfaced through
+/// [`crate::session::Database::spill_stats`] and the bench JSON.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Partitions flushed from memory to disk.
+    pub spilled_partitions: u64,
+    /// Rows written to spill files.
+    pub spilled_rows: u64,
+    /// Bytes written to spill files (encoded frame bytes).
+    pub spilled_bytes: u64,
+    /// Spill files created.
+    pub spill_files: u64,
+    /// Spilled partitions read back for processing.
+    pub rehydrated_partitions: u64,
+    /// Rows read back from spill files.
+    pub rehydrated_rows: u64,
+    /// Recursive re-partition passes (a partition did not fit and was
+    /// split again on a rotated hash-bit range).
+    pub repartitions: u64,
+}
+
+impl SpillStats {
+    /// True when any spilling happened at all.
+    pub fn spilled(&self) -> bool {
+        self.spilled_partitions > 0
+    }
+}
+
+#[derive(Debug)]
+struct BudgetInner {
+    /// Byte limit; `usize::MAX` means unbounded.
+    limit: AtomicUsize,
+    /// Estimated bytes currently held by budget-tracked operator state.
+    used: AtomicUsize,
+    /// Directory spill files are created in.
+    spill_dir: Mutex<PathBuf>,
+    stats: StatCells,
+}
+
+/// The session-wide memory accounting handle threaded through the
+/// executor. Clones share one underlying account, so every operator of a
+/// query (serial or parallel) draws from the same pool.
+#[derive(Debug, Clone)]
+pub struct MemoryBudget {
+    inner: Arc<BudgetInner>,
+}
+
+impl Default for MemoryBudget {
+    fn default() -> MemoryBudget {
+        MemoryBudget::unbounded()
+    }
+}
+
+impl MemoryBudget {
+    fn with_raw_limit(limit: usize) -> MemoryBudget {
+        MemoryBudget {
+            inner: Arc::new(BudgetInner {
+                limit: AtomicUsize::new(limit),
+                used: AtomicUsize::new(0),
+                spill_dir: Mutex::new(std::env::temp_dir()),
+                stats: StatCells::default(),
+            }),
+        }
+    }
+
+    /// A budget that never spills (the default).
+    pub fn unbounded() -> MemoryBudget {
+        MemoryBudget::with_raw_limit(usize::MAX)
+    }
+
+    /// A budget limited to `bytes` of tracked operator state.
+    pub fn with_limit(bytes: usize) -> MemoryBudget {
+        MemoryBudget::with_raw_limit(bytes.max(1))
+    }
+
+    /// Change the limit in place (`None` = unbounded). Counters and the
+    /// spill directory are preserved.
+    pub fn set_limit(&self, bytes: Option<usize>) {
+        let raw = match bytes {
+            Some(b) => b.max(1),
+            None => usize::MAX,
+        };
+        self.inner.limit.store(raw, Ordering::Relaxed);
+    }
+
+    /// The configured limit, `None` when unbounded.
+    pub fn limit(&self) -> Option<usize> {
+        match self.inner.limit.load(Ordering::Relaxed) {
+            usize::MAX => None,
+            b => Some(b),
+        }
+    }
+
+    /// Whether a limit is set at all. Unbounded budgets take none of the
+    /// spill paths.
+    pub fn is_bounded(&self) -> bool {
+        self.limit().is_some()
+    }
+
+    /// Set the directory spill files are created in.
+    pub fn set_spill_dir(&self, dir: PathBuf) {
+        *self.inner.spill_dir.lock().unwrap() = dir;
+    }
+
+    /// The directory spill files are created in.
+    pub fn spill_dir(&self) -> PathBuf {
+        self.inner.spill_dir.lock().unwrap().clone()
+    }
+
+    /// Snapshot the spill/rehydrate counters.
+    pub fn stats(&self) -> SpillStats {
+        let s = &self.inner.stats;
+        SpillStats {
+            spilled_partitions: s.spilled_partitions.load(Ordering::Relaxed),
+            spilled_rows: s.spilled_rows.load(Ordering::Relaxed),
+            spilled_bytes: s.spilled_bytes.load(Ordering::Relaxed),
+            spill_files: s.spill_files.load(Ordering::Relaxed),
+            rehydrated_partitions: s.rehydrated_partitions.load(Ordering::Relaxed),
+            rehydrated_rows: s.rehydrated_rows.load(Ordering::Relaxed),
+            repartitions: s.repartitions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Account `bytes` of new operator state.
+    pub(crate) fn add(&self, bytes: usize) {
+        self.inner.used.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Release `bytes` of operator state.
+    pub(crate) fn sub(&self, bytes: usize) {
+        self.inner.used.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Whether tracked usage currently exceeds the limit.
+    pub(crate) fn over_limit(&self) -> bool {
+        self.inner.used.load(Ordering::Relaxed) > self.inner.limit.load(Ordering::Relaxed)
+    }
+
+    /// Whether a finished partition of `bytes` is too large to process
+    /// in memory and should be re-partitioned on the next bit range.
+    pub(crate) fn should_split(&self, bytes: u64) -> bool {
+        (bytes as u128) > self.inner.limit.load(Ordering::Relaxed) as u128
+    }
+}
+
+/// Approximate accounted footprint of one spiller tuple.
+#[inline]
+pub(crate) fn tuple_bytes(row: &[Value]) -> usize {
+    frame::row_bytes(row) + TUPLE_OVERHEAD
+}
+
+/// A spill file being written: buffered frames behind the codec of
+/// [`crate::storage::frame`].
+#[derive(Debug)]
+pub(crate) struct SpillWriter {
+    w: BufWriter<File>,
+    path: PathBuf,
+    rows: u64,
+    bytes: u64,
+}
+
+impl SpillWriter {
+    /// Create a fresh spill file in `budget`'s spill directory.
+    pub(crate) fn create(budget: &MemoryBudget) -> Result<SpillWriter, EngineError> {
+        let seq = SPILL_FILE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path =
+            budget
+                .spill_dir()
+                .join(format!("openivm-spill-{}-{}.bin", std::process::id(), seq));
+        let file = File::create(&path)
+            .map_err(|e| EngineError::execution(format!("cannot create spill file: {e}")))?;
+        let mut w = BufWriter::new(file);
+        frame::write_header(&mut w)?;
+        budget
+            .inner
+            .stats
+            .spill_files
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(SpillWriter {
+            w,
+            path,
+            rows: 0,
+            bytes: 0,
+        })
+    }
+
+    /// Append one frame of rows.
+    pub(crate) fn write_rows(&mut self, rows: &[Row]) -> Result<(), EngineError> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        self.bytes += frame::write_frame(&mut self.w, rows)?;
+        self.rows += rows.len() as u64;
+        Ok(())
+    }
+
+    /// Flush and seal into a readable [`SpillFile`].
+    pub(crate) fn finish(mut self) -> Result<SpillFile, EngineError> {
+        self.w
+            .flush()
+            .map_err(|e| EngineError::execution(format!("spill flush failed: {e}")))?;
+        Ok(SpillFile {
+            path: std::mem::take(&mut self.path),
+            rows: self.rows,
+        })
+    }
+}
+
+impl Drop for SpillWriter {
+    fn drop(&mut self) {
+        // Abandoned writers (error paths) must not leak their file.
+        if !self.path.as_os_str().is_empty() {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+/// A sealed spill file; removed from disk when dropped.
+#[derive(Debug)]
+pub(crate) struct SpillFile {
+    path: PathBuf,
+    rows: u64,
+}
+
+impl SpillFile {
+    /// Number of rows in the file.
+    pub(crate) fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Stream every frame through `f`.
+    pub(crate) fn replay(
+        &self,
+        mut f: impl FnMut(Vec<Row>) -> Result<(), EngineError>,
+    ) -> Result<(), EngineError> {
+        let file = File::open(&self.path)
+            .map_err(|e| EngineError::execution(format!("cannot reopen spill file: {e}")))?;
+        let mut r = BufReader::new(file);
+        frame::read_header(&mut r)?;
+        while let Some(rows) = frame::read_frame(&mut r)? {
+            f(rows)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// One spiller tuple: `(key hash, global sequence, row)`.
+pub(crate) type Tagged = (u64, u64, Row);
+
+#[derive(Debug, Default)]
+struct PartBuf {
+    resident: Vec<Tagged>,
+    resident_bytes: usize,
+    writer: Option<SpillWriter>,
+    write_buf: Vec<Row>,
+    total_rows: u64,
+    total_bytes: u64,
+}
+
+/// The radix accumulator: rows route to partitions by a high-bit slice
+/// of their hash, buffer in memory under the budget, and overflow to
+/// per-partition spill files.
+#[derive(Debug)]
+pub(crate) struct PartitionedSpiller {
+    budget: MemoryBudget,
+    parts: Vec<PartBuf>,
+    bit_offset: u32,
+    held: usize,
+    spilled_any: bool,
+}
+
+/// One finished partition: resident rows or a sealed spill file.
+#[derive(Debug)]
+pub(crate) enum SpillPartition {
+    /// Fully in memory.
+    Resident {
+        /// The partition's tuples in arrival (sequence-ascending) order.
+        rows: Vec<Tagged>,
+        /// Accounted bytes.
+        bytes: u64,
+    },
+    /// On disk.
+    Spilled {
+        /// The sealed file (tuples in arrival order).
+        file: SpillFile,
+        /// Accounted bytes.
+        bytes: u64,
+    },
+}
+
+impl SpillPartition {
+    /// Accounted byte size of the partition.
+    pub(crate) fn bytes(&self) -> u64 {
+        match self {
+            SpillPartition::Resident { bytes, .. } | SpillPartition::Spilled { bytes, .. } => {
+                *bytes
+            }
+        }
+    }
+
+    /// Number of tuples in the partition.
+    pub(crate) fn row_count(&self) -> u64 {
+        match self {
+            SpillPartition::Resident { rows, .. } => rows.len() as u64,
+            SpillPartition::Spilled { file, .. } => file.rows(),
+        }
+    }
+
+    /// Materialize the whole partition in sequence-ascending order.
+    /// Callers only do this for partitions the budget says fit (or at
+    /// [`MAX_SPILL_DEPTH`], where splitting cannot help).
+    pub(crate) fn load(self, budget: &MemoryBudget) -> Result<Vec<Tagged>, EngineError> {
+        match self {
+            SpillPartition::Resident { rows, .. } => Ok(rows),
+            SpillPartition::Spilled { file, .. } => {
+                let stats = &budget.inner.stats;
+                stats.rehydrated_partitions.fetch_add(1, Ordering::Relaxed);
+                let mut out: Vec<Tagged> = Vec::with_capacity(file.rows() as usize);
+                file.replay(|rows| {
+                    stats
+                        .rehydrated_rows
+                        .fetch_add(rows.len() as u64, Ordering::Relaxed);
+                    for row in rows {
+                        out.push(untag(row)?);
+                    }
+                    Ok(())
+                })?;
+                Ok(out)
+            }
+        }
+    }
+
+    /// Stream the partition's tuples through `f` in bounded chunks
+    /// (sequence-ascending) without materializing the whole partition —
+    /// the probe-side discipline: only the *build* side of a pair is
+    /// required to fit, the streamed side never is.
+    pub(crate) fn for_each_chunk(
+        self,
+        budget: &MemoryBudget,
+        mut f: impl FnMut(Vec<Tagged>) -> Result<(), EngineError>,
+    ) -> Result<(), EngineError> {
+        match self {
+            SpillPartition::Resident { rows, .. } => {
+                if !rows.is_empty() {
+                    f(rows)?;
+                }
+                Ok(())
+            }
+            SpillPartition::Spilled { file, .. } => {
+                let stats = &budget.inner.stats;
+                stats.rehydrated_partitions.fetch_add(1, Ordering::Relaxed);
+                file.replay(|rows| {
+                    stats
+                        .rehydrated_rows
+                        .fetch_add(rows.len() as u64, Ordering::Relaxed);
+                    let tuples: Vec<Tagged> =
+                        rows.into_iter().map(untag).collect::<Result<_, _>>()?;
+                    if !tuples.is_empty() {
+                        f(tuples)?;
+                    }
+                    Ok(())
+                })
+            }
+        }
+    }
+
+    /// Stream the partition's tuples into `target` (a sub-spiller on a
+    /// rotated bit range) — the recursive re-partition step.
+    pub(crate) fn split_into(
+        self,
+        budget: &MemoryBudget,
+        target: &mut PartitionedSpiller,
+    ) -> Result<(), EngineError> {
+        budget
+            .inner
+            .stats
+            .repartitions
+            .fetch_add(1, Ordering::Relaxed);
+        match self {
+            SpillPartition::Resident { rows, .. } => {
+                for (hash, seq, row) in rows {
+                    target.push(hash, seq, row)?;
+                }
+                Ok(())
+            }
+            SpillPartition::Spilled { file, .. } => {
+                let stats = &budget.inner.stats;
+                stats.rehydrated_partitions.fetch_add(1, Ordering::Relaxed);
+                file.replay(|rows| {
+                    stats
+                        .rehydrated_rows
+                        .fetch_add(rows.len() as u64, Ordering::Relaxed);
+                    for row in rows {
+                        let (hash, seq, row) = untag(row)?;
+                        target.push(hash, seq, row)?;
+                    }
+                    Ok(())
+                })
+            }
+        }
+    }
+}
+
+/// Append the `(seq, hash)` tag columns for spill encoding.
+fn tag(mut row: Row, hash: u64, seq: u64) -> Row {
+    row.push(Value::Integer(seq as i64));
+    row.push(Value::Integer(hash as i64));
+    row
+}
+
+/// Strip the tag columns back off a spilled row.
+fn untag(mut row: Row) -> Result<Tagged, EngineError> {
+    let hash = row
+        .pop()
+        .and_then(|v| v.as_integer())
+        .ok_or_else(|| EngineError::execution("corrupt spill frame: missing hash tag"))?;
+    let seq = row
+        .pop()
+        .and_then(|v| v.as_integer())
+        .ok_or_else(|| EngineError::execution("corrupt spill frame: missing sequence tag"))?;
+    Ok((hash as u64, seq as u64, row))
+}
+
+impl PartitionedSpiller {
+    /// A spiller at recursion level `bit_offset / PART_BITS`.
+    pub(crate) fn new(budget: MemoryBudget, bit_offset: u32) -> PartitionedSpiller {
+        PartitionedSpiller {
+            budget,
+            parts: (0..NUM_PARTITIONS).map(|_| PartBuf::default()).collect(),
+            bit_offset,
+            held: 0,
+            spilled_any: false,
+        }
+    }
+
+    /// Whether any partition has been flushed to disk so far.
+    pub(crate) fn spilled_any(&self) -> bool {
+        self.spilled_any
+    }
+
+    /// Route one tuple to its partition, spilling the largest resident
+    /// partitions when the budget overflows.
+    pub(crate) fn push(&mut self, hash: u64, seq: u64, row: Row) -> Result<(), EngineError> {
+        let p = spill_partition_of(hash, self.bit_offset);
+        let bytes = tuple_bytes(&row);
+        let part = &mut self.parts[p];
+        part.total_rows += 1;
+        part.total_bytes += bytes as u64;
+        if part.writer.is_some() {
+            part.write_buf.push(tag(row, hash, seq));
+            if part.write_buf.len() >= WRITE_BUFFER_ROWS {
+                Self::flush_write_buf(&mut self.parts[p], &self.budget)?;
+            }
+            return Ok(());
+        }
+        part.resident.push((hash, seq, row));
+        part.resident_bytes += bytes;
+        self.held += bytes;
+        self.budget.add(bytes);
+        while self.budget.over_limit() {
+            if !self.spill_largest()? {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn flush_write_buf(part: &mut PartBuf, budget: &MemoryBudget) -> Result<(), EngineError> {
+        if part.write_buf.is_empty() {
+            return Ok(());
+        }
+        let writer = part.writer.as_mut().expect("flushing a spilled partition");
+        let before = writer.bytes;
+        // Chunked frames: the initial eviction can carry a budget's worth
+        // of resident rows at once, and rehydration materializes one
+        // frame at a time.
+        for chunk in part.write_buf.chunks(4096) {
+            writer.write_rows(chunk)?;
+        }
+        let stats = &budget.inner.stats;
+        stats
+            .spilled_rows
+            .fetch_add(part.write_buf.len() as u64, Ordering::Relaxed);
+        stats
+            .spilled_bytes
+            .fetch_add(writer.bytes - before, Ordering::Relaxed);
+        part.write_buf.clear();
+        Ok(())
+    }
+
+    /// Flush the largest resident partition to disk; `false` when every
+    /// partition is already spilled (nothing left to evict here).
+    fn spill_largest(&mut self) -> Result<bool, EngineError> {
+        let victim = self
+            .parts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.resident.is_empty())
+            .max_by_key(|(_, p)| p.resident_bytes)
+            .map(|(i, _)| i);
+        let Some(i) = victim else {
+            return Ok(false);
+        };
+        let budget = self.budget.clone();
+        let part = &mut self.parts[i];
+        if part.writer.is_none() {
+            part.writer = Some(SpillWriter::create(&budget)?);
+            budget
+                .inner
+                .stats
+                .spilled_partitions
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        part.write_buf.extend(
+            std::mem::take(&mut part.resident)
+                .into_iter()
+                .map(|(hash, seq, row)| tag(row, hash, seq)),
+        );
+        Self::flush_write_buf(part, &budget)?;
+        let released = std::mem::take(&mut part.resident_bytes);
+        self.held -= released;
+        self.budget.sub(released);
+        self.spilled_any = true;
+        Ok(true)
+    }
+
+    /// Seal every partition, in partition order. The budget reservation
+    /// for resident rows transfers to the caller's processing phase and
+    /// is released here (processing is partition-at-a-time and checks
+    /// [`MemoryBudget::should_split`] before materializing anything).
+    pub(crate) fn finish(mut self) -> Result<Vec<SpillPartition>, EngineError> {
+        let budget = self.budget.clone();
+        let mut out = Vec::with_capacity(self.parts.len());
+        for mut part in self.parts.drain(..) {
+            if part.writer.is_some() {
+                Self::flush_write_buf(&mut part, &budget)?;
+                let file = part.writer.take().expect("checked above").finish()?;
+                out.push(SpillPartition::Spilled {
+                    file,
+                    bytes: part.total_bytes,
+                });
+            } else {
+                out.push(SpillPartition::Resident {
+                    rows: part.resident,
+                    bytes: part.total_bytes,
+                });
+            }
+        }
+        budget.sub(std::mem::take(&mut self.held));
+        Ok(out)
+    }
+}
+
+impl Drop for PartitionedSpiller {
+    fn drop(&mut self) {
+        // Error paths drop the spiller without `finish`; release the
+        // reservation so the session budget doesn't leak usage.
+        self.budget.sub(self.held);
+        self.held = 0;
+    }
+}
+
+/// Drive every partition of a finished spiller through `process`,
+/// recursively re-partitioning (rotated bit range) any partition the
+/// budget says does not fit, until [`MAX_SPILL_DEPTH`]. Partitions reach
+/// `process` fully materialized, in sequence-ascending order.
+pub(crate) fn for_each_fitting_partition(
+    parts: Vec<SpillPartition>,
+    budget: &MemoryBudget,
+    depth: u32,
+    process: &mut impl FnMut(Vec<Tagged>) -> Result<(), EngineError>,
+) -> Result<(), EngineError> {
+    for part in parts {
+        if part.row_count() == 0 {
+            continue;
+        }
+        if depth + 1 < MAX_SPILL_DEPTH && budget.should_split(part.bytes()) && part.row_count() > 1
+        {
+            let mut sub = PartitionedSpiller::new(budget.clone(), (depth + 1) * PART_BITS);
+            part.split_into(budget, &mut sub)?;
+            for_each_fitting_partition(sub.finish()?, budget, depth + 1, process)?;
+        } else {
+            process(part.load(budget)?)?;
+        }
+    }
+    Ok(())
+}
+
+/// Chunk sequence-sorted output rows into `batch_size` batches — the
+/// shared emission tail of every spill consumer (join, aggregation,
+/// DISTINCT, set operations).
+pub(crate) fn rebatch_rows<'a>(
+    rows: impl IntoIterator<Item = Row>,
+    width: usize,
+    batch_size: usize,
+) -> std::collections::VecDeque<crate::exec::batch::RowBatch<'a>> {
+    let batch_size = batch_size.max(1);
+    let mut out = std::collections::VecDeque::new();
+    let mut chunk: Vec<Row> = Vec::new();
+    for row in rows {
+        chunk.push(row);
+        if chunk.len() == batch_size {
+            out.push_back(crate::exec::batch::RowBatch::from_rows(
+                width,
+                std::mem::take(&mut chunk),
+            ));
+        }
+    }
+    if !chunk.is_empty() {
+        out.push_back(crate::exec::batch::RowBatch::from_rows(width, chunk));
+    }
+    out
+}
+
+/// Pairwise variant of [`for_each_fitting_partition`] for two-sided
+/// operators (join build/probe, set-operation right/left). Partitions
+/// pair positionally (both spillers use the same bit range); when side
+/// `a` does not fit, **both** sides re-partition on the next bit range so
+/// the pairing stays aligned. `process` receives side `a` fully
+/// materialized and side `b` as a partition handle to stream.
+pub(crate) fn for_each_fitting_partition_pair(
+    a_parts: Vec<SpillPartition>,
+    b_parts: Vec<SpillPartition>,
+    budget: &MemoryBudget,
+    depth: u32,
+    process: &mut impl FnMut(Vec<Tagged>, SpillPartition) -> Result<(), EngineError>,
+) -> Result<(), EngineError> {
+    debug_assert_eq!(a_parts.len(), b_parts.len());
+    for (a, b) in a_parts.into_iter().zip(b_parts) {
+        if a.row_count() == 0 && b.row_count() == 0 {
+            continue;
+        }
+        if depth + 1 < MAX_SPILL_DEPTH && budget.should_split(a.bytes()) && a.row_count() > 1 {
+            let off = (depth + 1) * PART_BITS;
+            let mut a_sub = PartitionedSpiller::new(budget.clone(), off);
+            a.split_into(budget, &mut a_sub)?;
+            let mut b_sub = PartitionedSpiller::new(budget.clone(), off);
+            b.split_into(budget, &mut b_sub)?;
+            for_each_fitting_partition_pair(
+                a_sub.finish()?,
+                b_sub.finish()?,
+                budget,
+                depth + 1,
+                process,
+            )?;
+        } else {
+            process(a.load(budget)?, b)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(i: i64) -> Row {
+        vec![Value::Integer(i), Value::Varchar(format!("row-{i}"))]
+    }
+
+    #[test]
+    fn budget_limits_and_counters() {
+        let b = MemoryBudget::unbounded();
+        assert!(!b.is_bounded());
+        assert_eq!(b.limit(), None);
+        b.set_limit(Some(1024));
+        assert!(b.is_bounded());
+        assert_eq!(b.limit(), Some(1024));
+        b.add(2000);
+        assert!(b.over_limit());
+        b.sub(2000);
+        assert!(!b.over_limit());
+        assert!(b.should_split(2048));
+        assert!(!b.should_split(512));
+        b.set_limit(None);
+        assert!(!b.is_bounded());
+    }
+
+    #[test]
+    fn spill_file_round_trips_and_cleans_up() {
+        let budget = MemoryBudget::with_limit(1);
+        let mut w = SpillWriter::create(&budget).unwrap();
+        w.write_rows(&[row(1), row(2)]).unwrap();
+        w.write_rows(&[row(3)]).unwrap();
+        let file = w.finish().unwrap();
+        assert_eq!(file.rows(), 3);
+        let mut seen = Vec::new();
+        file.replay(|rows| {
+            seen.extend(rows);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, vec![row(1), row(2), row(3)]);
+        let path = file.path.clone();
+        assert!(path.exists());
+        drop(file);
+        assert!(!path.exists(), "spill file must be removed on drop");
+    }
+
+    #[test]
+    fn abandoned_writer_removes_its_file() {
+        let budget = MemoryBudget::with_limit(1);
+        let w = SpillWriter::create(&budget).unwrap();
+        let path = w.path.clone();
+        assert!(path.exists());
+        drop(w);
+        assert!(!path.exists(), "abandoned spill file must be removed");
+    }
+
+    #[test]
+    fn unbounded_spiller_stays_resident() {
+        let budget = MemoryBudget::unbounded();
+        let mut s = PartitionedSpiller::new(budget.clone(), 0);
+        for i in 0..500 {
+            s.push(
+                crate::exec::hash::hash_value(&Value::Integer(i)),
+                i as u64,
+                row(i),
+            )
+            .unwrap();
+        }
+        assert!(!s.spilled_any());
+        let parts = s.finish().unwrap();
+        let total: usize = parts
+            .iter()
+            .map(|p| match p {
+                SpillPartition::Resident { rows, .. } => rows.len(),
+                SpillPartition::Spilled { .. } => panic!("unbounded must not spill"),
+            })
+            .sum();
+        assert_eq!(total, 500);
+        assert!(!budget.stats().spilled());
+    }
+
+    #[test]
+    fn bounded_spiller_spills_and_replays_in_order() {
+        let budget = MemoryBudget::with_limit(2_000);
+        let mut s = PartitionedSpiller::new(budget.clone(), 0);
+        for i in 0..2_000 {
+            s.push(
+                crate::exec::hash::hash_value(&Value::Integer(i)),
+                i as u64,
+                row(i),
+            )
+            .unwrap();
+        }
+        assert!(s.spilled_any());
+        let parts = s.finish().unwrap();
+        let stats = budget.stats();
+        assert!(stats.spilled() && stats.spilled_rows > 0 && stats.spill_files > 0);
+        let mut all: Vec<Tagged> = Vec::new();
+        for part in parts {
+            let rows = part.load(&budget).unwrap();
+            // Within a partition, arrival (sequence) order is preserved.
+            assert!(rows.windows(2).all(|w| w[0].1 < w[1].1));
+            all.extend(rows);
+        }
+        all.sort_by_key(|(_, seq, _)| *seq);
+        assert_eq!(all.len(), 2_000);
+        for (i, (hash, seq, r)) in all.iter().enumerate() {
+            assert_eq!(*seq, i as u64);
+            assert_eq!(r, &row(i as i64));
+            assert_eq!(
+                *hash,
+                crate::exec::hash::hash_value(&Value::Integer(i as i64))
+            );
+        }
+        assert!(budget.stats().rehydrated_rows > 0);
+    }
+
+    #[test]
+    fn recursion_splits_oversized_partitions() {
+        // A tiny budget forces every partition over the limit; the
+        // recursive driver must still deliver every row exactly once.
+        let budget = MemoryBudget::with_limit(64);
+        let mut s = PartitionedSpiller::new(budget.clone(), 0);
+        for i in 0..300 {
+            s.push(
+                crate::exec::hash::hash_value(&Value::Integer(i)),
+                i as u64,
+                row(i),
+            )
+            .unwrap();
+        }
+        let parts = s.finish().unwrap();
+        let mut all: Vec<Tagged> = Vec::new();
+        for_each_fitting_partition(parts, &budget, 0, &mut |rows| {
+            all.extend(rows);
+            Ok(())
+        })
+        .unwrap();
+        all.sort_by_key(|(_, seq, _)| *seq);
+        assert_eq!(all.len(), 300);
+        for (i, (_, seq, r)) in all.iter().enumerate() {
+            assert_eq!(*seq, i as u64);
+            assert_eq!(r, &row(i as i64));
+        }
+        assert!(budget.stats().repartitions > 0, "recursion must trigger");
+    }
+
+    #[test]
+    fn one_row_budget_spills_everything() {
+        let budget = MemoryBudget::with_limit(1);
+        let mut s = PartitionedSpiller::new(budget.clone(), 0);
+        for i in 0..50 {
+            s.push(
+                crate::exec::hash::hash_value(&Value::Integer(i)),
+                i as u64,
+                row(i),
+            )
+            .unwrap();
+        }
+        assert!(s.spilled_any());
+        let parts = s.finish().unwrap();
+        let mut n = 0;
+        for_each_fitting_partition(parts, &budget, 0, &mut |rows| {
+            n += rows.len();
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(n, 50);
+    }
+
+    #[test]
+    fn dropped_spiller_releases_its_reservation() {
+        let budget = MemoryBudget::with_limit(usize::MAX - 1);
+        {
+            let mut s = PartitionedSpiller::new(budget.clone(), 0);
+            for i in 0..100 {
+                s.push(i as u64, i as u64, row(i)).unwrap();
+            }
+            assert!(budget.inner.used.load(Ordering::Relaxed) > 0);
+        }
+        assert_eq!(budget.inner.used.load(Ordering::Relaxed), 0);
+    }
+}

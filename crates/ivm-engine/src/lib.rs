@@ -24,8 +24,14 @@
 //!   `std::thread` workers claim table morsels from a lock-free cursor,
 //!   hash joins and aggregates run hash-partitioned, and per-morsel
 //!   results merge in morsel order (serial-identical output)
-//! - the `Database` session API ([`session`]), with a parallelism knob
-//!   and a DDL-invalidated bound-plan cache for repeated scripts
+//! - memory-budgeted spill-to-disk ([`exec::spill`]): under a bounded
+//!   [`MemoryBudget`], join builds, group tables, DISTINCT, and set
+//!   operations overflow radix partitions to temp files (columnar frame
+//!   codec in [`storage::frame`]) and rehydrate partition-at-a-time,
+//!   with results row-identical to in-memory execution
+//! - the `Database` session API ([`session`]), with parallelism and
+//!   memory-budget knobs and a DDL-invalidated bound-plan cache for
+//!   repeated scripts
 //!
 //! ## Quick example
 //!
@@ -58,7 +64,7 @@ pub mod value;
 
 pub use catalog::Catalog;
 pub use error::{EngineError, ErrorKind};
-pub use exec::RowBatch;
+pub use exec::{MemoryBudget, RowBatch, SpillStats};
 pub use planner::{plan_query, LogicalPlan, PhysicalPlan};
 pub use schema::{Column, Schema};
 pub use session::{Database, QueryResult};

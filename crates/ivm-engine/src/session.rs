@@ -12,8 +12,8 @@ use ivm_sql::{parse_statement, parse_statements};
 use crate::catalog::Catalog;
 use crate::error::EngineError;
 use crate::exec::{
-    execute_parallel, execute_physical, prepare_expr_with_batch_size, ParallelOptions, Row,
-    DEFAULT_BATCH_SIZE, DEFAULT_MORSEL_SIZE,
+    execute_parallel, execute_physical_budgeted, prepare_expr_with_batch_size, MemoryBudget,
+    ParallelOptions, Row, SpillStats, DEFAULT_BATCH_SIZE, DEFAULT_MORSEL_SIZE,
 };
 use crate::expr::bind::{bind_expr_with, Scope};
 use crate::expr::BindColumn;
@@ -31,14 +31,90 @@ use crate::value::Value;
 /// setting it to `1` is the explicit serial bypass.
 pub const PARALLELISM_ENV: &str = "OPENIVM_PARALLELISM";
 
-fn env_parallelism() -> usize {
-    match std::env::var(PARALLELISM_ENV) {
-        // An explicit setting wins; `1` is the explicit serial bypass
-        // (unparseable values fall back to serial, not to the core count).
-        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
-        // Unset: size the worker pool from the machine.
-        Err(_) => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+/// Environment variable read by [`Database::new`] for the default
+/// executor memory budget (bytes, with optional `K`/`KB`/`M`/`MB`/`G`/
+/// `GB` suffix; `0` or `unbounded` disables the budget). CI runs the
+/// whole test suite once with a small value so every test doubles as a
+/// spill-correctness test.
+pub const MEMORY_BUDGET_ENV: &str = "OPENIVM_MEMORY_BUDGET";
+
+/// Environment variable read by [`Database::new`] for the directory
+/// spill files are created in (default: the system temp directory).
+pub const SPILL_DIR_ENV: &str = "OPENIVM_SPILL_DIR";
+
+/// Parse an `OPENIVM_PARALLELISM` value: a positive integer.
+///
+/// Shared by the env reader (which turns `Err` into a loud startup
+/// panic — a typo'd setting must never silently fall back) and tests.
+pub fn parse_parallelism_setting(raw: &str) -> Result<usize, EngineError> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(EngineError::bind(format!(
+            "invalid {PARALLELISM_ENV} value {raw:?}: expected a positive integer \
+             (e.g. 1 for serial, 4 for four workers)"
+        ))),
     }
+}
+
+/// Parse an `OPENIVM_MEMORY_BUDGET` value: a byte count with an optional
+/// `K`/`KB`/`M`/`MB`/`G`/`GB` suffix (case-insensitive); `0` or
+/// `unbounded` disables the budget. Returns `None` for unbounded.
+pub fn parse_memory_budget_setting(raw: &str) -> Result<Option<usize>, EngineError> {
+    let s = raw.trim();
+    let invalid = || {
+        EngineError::bind(format!(
+            "invalid {MEMORY_BUDGET_ENV} value {raw:?}: expected bytes with an optional \
+             K/KB/M/MB/G/GB suffix (e.g. 64KB, 512M), or 0/unbounded to disable"
+        ))
+    };
+    if s.eq_ignore_ascii_case("unbounded") {
+        return Ok(None);
+    }
+    let upper = s.to_ascii_uppercase();
+    let (digits, multiplier) = if let Some(p) = upper.strip_suffix("KB").or(upper.strip_suffix("K"))
+    {
+        (p, 1usize << 10)
+    } else if let Some(p) = upper.strip_suffix("MB").or(upper.strip_suffix("M")) {
+        (p, 1 << 20)
+    } else if let Some(p) = upper.strip_suffix("GB").or(upper.strip_suffix("G")) {
+        (p, 1 << 30)
+    } else {
+        (upper.as_str(), 1)
+    };
+    let digits = digits.trim();
+    if digits.is_empty() {
+        return Err(invalid());
+    }
+    let n: usize = digits.parse().map_err(|_| invalid())?;
+    let bytes = n.checked_mul(multiplier).ok_or_else(invalid)?;
+    Ok(if bytes == 0 { None } else { Some(bytes) })
+}
+
+/// Read and validate an environment setting; invalid values are a loud
+/// startup error (panic with the parse message), never a silent default.
+fn env_setting<T>(name: &str, parse: impl FnOnce(&str) -> Result<T, EngineError>) -> Option<T> {
+    match std::env::var(name) {
+        Ok(raw) => Some(parse(&raw).unwrap_or_else(|e| panic!("{e}"))),
+        Err(_) => None,
+    }
+}
+
+fn env_parallelism() -> usize {
+    // An explicit setting wins; `1` is the explicit serial bypass.
+    // Unset: size the worker pool from the machine.
+    env_setting(PARALLELISM_ENV, parse_parallelism_setting)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
+}
+
+fn env_budget() -> MemoryBudget {
+    let budget = match env_setting(MEMORY_BUDGET_ENV, parse_memory_budget_setting).flatten() {
+        Some(bytes) => MemoryBudget::with_limit(bytes),
+        None => MemoryBudget::unbounded(),
+    };
+    if let Some(dir) = std::env::var_os(SPILL_DIR_ENV) {
+        budget.set_spill_dir(std::path::PathBuf::from(dir));
+    }
+    budget
 }
 
 /// A cached optimized physical plan, valid while the catalog shape
@@ -90,6 +166,9 @@ pub struct Database {
     batch_size: usize,
     parallelism: usize,
     morsel_size: usize,
+    /// Memory budget shared by every query of the session; bounded
+    /// budgets make pipeline breakers spill radix partitions to disk.
+    budget: MemoryBudget,
     /// Physical-plan cache for repeated statements (maintenance scripts),
     /// invalidated by bumping `ddl_generation`.
     plan_cache: HashMap<String, CachedPlan>,
@@ -104,6 +183,7 @@ impl Default for Database {
             batch_size: DEFAULT_BATCH_SIZE,
             parallelism: env_parallelism(),
             morsel_size: DEFAULT_MORSEL_SIZE,
+            budget: env_budget(),
             plan_cache: HashMap::new(),
             ddl_generation: 0,
             plan_cache_hits: 0,
@@ -169,8 +249,43 @@ impl Database {
         (self.plan_cache.len(), self.plan_cache_hits)
     }
 
+    /// Set the executor memory budget in bytes (`None` = unbounded, the
+    /// default). Under a bounded budget, hash-join builds, group tables,
+    /// DISTINCT, and set operations spill radix partitions to temp files
+    /// when their tracked state exceeds the budget, and rehydrate them
+    /// partition-at-a-time — results are row-identical to unbounded
+    /// execution. Environment default: `$OPENIVM_MEMORY_BUDGET`.
+    ///
+    /// Trade-offs: grouped aggregation, DISTINCT, and set operations
+    /// cannot re-scan their input, so a bounded budget routes them
+    /// through the partitioned spill framework even when nothing ends up
+    /// spilling (joins fall back to the streaming path when the build
+    /// side fits). And at [`parallelism`](Database::parallelism) above 1
+    /// the breakers consume parallel-collected, fully materialized
+    /// inputs: the budget bounds operator hash state, while the complete
+    /// out-of-core guarantee holds at parallelism 1.
+    pub fn set_memory_budget(&mut self, bytes: Option<usize>) {
+        self.budget.set_limit(bytes);
+    }
+
+    /// The executor memory budget in bytes (`None` = unbounded).
+    pub fn memory_budget(&self) -> Option<usize> {
+        self.budget.limit()
+    }
+
+    /// Set the directory spill files are created in (default: the system
+    /// temp directory, or `$OPENIVM_SPILL_DIR`).
+    pub fn set_spill_dir(&mut self, dir: impl Into<std::path::PathBuf>) {
+        self.budget.set_spill_dir(dir.into());
+    }
+
+    /// Cumulative spill/rehydrate counters for this session.
+    pub fn spill_stats(&self) -> SpillStats {
+        self.budget.stats()
+    }
+
     /// Run an already-lowered physical plan with this session's batch
-    /// size and parallelism.
+    /// size, parallelism, and memory budget.
     fn run_physical(&self, physical: &PhysicalPlan) -> Result<Vec<Row>, EngineError> {
         if self.parallelism > 1 {
             execute_parallel(
@@ -180,10 +295,11 @@ impl Database {
                 ParallelOptions {
                     workers: self.parallelism,
                     morsel_size: self.morsel_size,
+                    budget: self.budget.clone(),
                 },
             )
         } else {
-            execute_physical(physical, &self.catalog, self.batch_size)
+            execute_physical_budgeted(physical, &self.catalog, self.batch_size, &self.budget)
         }
     }
 
@@ -854,5 +970,71 @@ mod tests {
         assert_eq!(db.parallelism(), 4);
         db.set_morsel_size(0);
         assert_eq!(db.morsel_size(), 1);
+    }
+
+    #[test]
+    fn memory_budget_knob_and_stats() {
+        let mut db = Database::new();
+        db.set_memory_budget(None);
+        assert_eq!(db.memory_budget(), None);
+        db.set_memory_budget(Some(4096));
+        assert_eq!(db.memory_budget(), Some(4096));
+        db.execute("CREATE TABLE big (k INTEGER, v VARCHAR)")
+            .unwrap();
+        let values: Vec<String> = (0..600).map(|i| format!("({}, 'v{i}')", i % 7)).collect();
+        db.execute(&format!("INSERT INTO big VALUES {}", values.join(", ")))
+            .unwrap();
+        db.set_memory_budget(Some(256));
+        let out = db
+            .query("SELECT k, COUNT(*) FROM big GROUP BY k")
+            .unwrap()
+            .rows;
+        assert_eq!(out.len(), 7);
+        assert!(db.spill_stats().spilled(), "{:?}", db.spill_stats());
+        // Back to unbounded: same answer, counters keep their history.
+        db.set_memory_budget(None);
+        let again = db
+            .query("SELECT k, COUNT(*) FROM big GROUP BY k")
+            .unwrap()
+            .rows;
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn parallelism_env_values_parse_loudly() {
+        assert_eq!(parse_parallelism_setting("1").unwrap(), 1);
+        assert_eq!(parse_parallelism_setting(" 8 ").unwrap(), 8);
+        for bad in ["", "0", "-2", "four", "2.5", "1worker"] {
+            let err = parse_parallelism_setting(bad).unwrap_err();
+            assert!(err.to_string().contains(PARALLELISM_ENV), "{bad:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn memory_budget_env_values_parse_loudly() {
+        assert_eq!(parse_memory_budget_setting("4096").unwrap(), Some(4096));
+        assert_eq!(parse_memory_budget_setting("64KB").unwrap(), Some(65536));
+        assert_eq!(parse_memory_budget_setting("64k").unwrap(), Some(65536));
+        assert_eq!(parse_memory_budget_setting(" 2MB ").unwrap(), Some(2 << 20));
+        assert_eq!(parse_memory_budget_setting("1G").unwrap(), Some(1 << 30));
+        assert_eq!(parse_memory_budget_setting("1").unwrap(), Some(1));
+        assert_eq!(parse_memory_budget_setting("0").unwrap(), None);
+        assert_eq!(parse_memory_budget_setting("unbounded").unwrap(), None);
+        assert_eq!(parse_memory_budget_setting("UNBOUNDED").unwrap(), None);
+        for bad in [
+            "",
+            "KB",
+            "lots",
+            "-64KB",
+            "64 K B",
+            "1.5MB",
+            "999999999999999999999",
+        ] {
+            let err = parse_memory_budget_setting(bad).unwrap_err();
+            assert!(
+                err.to_string().contains(MEMORY_BUDGET_ENV),
+                "{bad:?} → {err}"
+            );
+        }
     }
 }

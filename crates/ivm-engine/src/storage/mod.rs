@@ -1,4 +1,6 @@
-//! In-memory columnar table storage.
+//! In-memory columnar table storage and the spill frame codec.
+
+pub mod frame;
 
 mod table;
 

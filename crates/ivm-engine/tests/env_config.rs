@@ -1,0 +1,123 @@
+//! Process-level environment-configuration tests: `Database::new` must
+//! honor valid `OPENIVM_PARALLELISM` / `OPENIVM_MEMORY_BUDGET` settings
+//! and fail *loudly* (panic with the parse error) on invalid ones —
+//! never silently fall back, which is how a typo'd budget used to turn
+//! into an unbudgeted (or serial) run nobody notices.
+//!
+//! Environment variables are process-global, so every scenario lives in
+//! ONE `#[test]` function (this file is its own test binary): there is
+//! no concurrent test that could observe the temporary values.
+
+use ivm_engine::Database;
+
+struct EnvGuard {
+    name: &'static str,
+    saved: Option<std::ffi::OsString>,
+}
+
+impl EnvGuard {
+    fn set(name: &'static str, value: &str) -> EnvGuard {
+        let saved = std::env::var_os(name);
+        std::env::set_var(name, value);
+        EnvGuard { name, saved }
+    }
+}
+
+impl Drop for EnvGuard {
+    fn drop(&mut self) {
+        match &self.saved {
+            Some(v) => std::env::set_var(self.name, v),
+            None => std::env::remove_var(self.name),
+        }
+    }
+}
+
+fn new_database_panic_message() -> Option<String> {
+    // A loud startup error is a panic from `Database::new`; capture it
+    // without letting the default hook spam the test output.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = std::panic::catch_unwind(Database::new);
+    std::panic::set_hook(prev);
+    match result {
+        Ok(_) => None,
+        Err(payload) => Some(
+            payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default(),
+        ),
+    }
+}
+
+#[test]
+fn env_settings_apply_and_invalid_values_fail_loudly() {
+    // Valid settings flow into the session defaults.
+    {
+        let _p = EnvGuard::set("OPENIVM_PARALLELISM", "3");
+        let _m = EnvGuard::set("OPENIVM_MEMORY_BUDGET", "64KB");
+        let db = Database::new();
+        assert_eq!(db.parallelism(), 3);
+        assert_eq!(db.memory_budget(), Some(64 * 1024));
+    }
+    // `0` / `unbounded` budgets disable the limit.
+    {
+        let _m = EnvGuard::set("OPENIVM_MEMORY_BUDGET", "0");
+        assert_eq!(Database::new().memory_budget(), None);
+    }
+    {
+        let _m = EnvGuard::set("OPENIVM_MEMORY_BUDGET", "unbounded");
+        assert_eq!(Database::new().memory_budget(), None);
+    }
+    // Invalid parallelism: loud error naming the variable and value.
+    {
+        let _p = EnvGuard::set("OPENIVM_PARALLELISM", "many");
+        let msg = new_database_panic_message().expect("invalid parallelism must panic");
+        assert!(
+            msg.contains("OPENIVM_PARALLELISM") && msg.contains("many"),
+            "{msg}"
+        );
+    }
+    {
+        let _p = EnvGuard::set("OPENIVM_PARALLELISM", "0");
+        let msg = new_database_panic_message().expect("zero workers must panic");
+        assert!(msg.contains("OPENIVM_PARALLELISM"), "{msg}");
+    }
+    // Invalid budget: loud error naming the variable and value.
+    {
+        let _m = EnvGuard::set("OPENIVM_MEMORY_BUDGET", "lots");
+        let msg = new_database_panic_message().expect("invalid budget must panic");
+        assert!(
+            msg.contains("OPENIVM_MEMORY_BUDGET") && msg.contains("lots"),
+            "{msg}"
+        );
+    }
+    // The spill-dir override lands in the budget's directory config, and
+    // a session constrained through env actually spills into it.
+    {
+        let dir = std::env::temp_dir().join(format!("openivm-envtest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let _m = EnvGuard::set("OPENIVM_MEMORY_BUDGET", "1");
+        let dir_str = dir.to_str().unwrap().to_string();
+        let _d = EnvGuard::set("OPENIVM_SPILL_DIR", Box::leak(dir_str.into_boxed_str()));
+        let mut db = Database::new();
+        db.set_parallelism(1);
+        db.execute("CREATE TABLE t (k INTEGER)").unwrap();
+        let values: Vec<String> = (0..200).map(|i| format!("({})", i % 5)).collect();
+        db.execute(&format!("INSERT INTO t VALUES {}", values.join(", ")))
+            .unwrap();
+        assert_eq!(
+            db.query("SELECT k, COUNT(*) FROM t GROUP BY k")
+                .unwrap()
+                .rows
+                .len(),
+            5
+        );
+        assert!(db.spill_stats().spilled());
+        // Spill files are removed as soon as their partitions are read.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert!(leftovers.is_empty(), "leaked spill files: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

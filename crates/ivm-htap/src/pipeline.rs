@@ -62,6 +62,14 @@ impl HtapPipeline {
         self.olap.set_parallelism(workers);
     }
 
+    /// Set the OLAP engine's executor memory budget in bytes (`None` =
+    /// unbounded): analytical joins and aggregations whose hash state
+    /// exceeds the budget spill radix partitions to disk (see
+    /// `ivm_engine::Database::set_memory_budget` for the trade-offs).
+    pub fn set_memory_budget(&mut self, bytes: Option<usize>) {
+        self.olap.set_memory_budget(bytes);
+    }
+
     /// Shipping counters.
     pub fn ship_stats(&self) -> ShipStats {
         self.bridge.stats()

@@ -1,0 +1,233 @@
+//! Spill/in-memory equivalence testing: the same random workload
+//! executed at memory budgets {unbounded, 64KB, 4KB, 1 byte ("one row
+//! never fits")} × parallelism {1, 4} must produce results that are
+//! **row-identical to the unbounded serial run — values and order**.
+//!
+//! Spilling silently changes data paths (radix partitioning, temp-file
+//! round trips, partition-at-a-time rebuilds), so this harness is the
+//! proof obligation of the spill subsystem: every query class that can
+//! spill (hash joins of every kind, GROUP BY with and without DISTINCT
+//! aggregates, DISTINCT, EXCEPT/INTERSECT/UNION) is compared as an exact
+//! list, and the constrained budgets additionally assert through the
+//! session spill counters that the spill path genuinely ran.
+
+use openivm::ivm_engine::Database;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Row {
+    g: u8,
+    v: i32,
+    tag: bool,
+}
+
+fn row_strategy() -> impl Strategy<Value = Row> {
+    (0u8..6, -100i32..100, any::<bool>()).prop_map(|(g, v, tag)| Row { g, v, tag })
+}
+
+/// Query classes covering every spill-capable operator. All results are
+/// compared as exact lists: the spill paths restore the serial emission
+/// order, so even unordered queries must match row for row.
+fn queries() -> Vec<&'static str> {
+    vec![
+        // Hash joins: inner / left outer (with residual) / full outer.
+        "SELECT t.v, d.name FROM t JOIN dim AS d ON t.g = d.id",
+        "SELECT t.v, d.name FROM t LEFT JOIN dim AS d ON t.g = d.id AND t.v > 0",
+        "SELECT t.v, d.name FROM t FULL JOIN dim AS d ON t.g = d.id",
+        // GROUP BY: every accumulator kind plus DISTINCT aggregates.
+        "SELECT g, SUM(v) AS s, COUNT(*) AS c FROM t GROUP BY g",
+        "SELECT g, MIN(v) AS lo, MAX(v) AS hi, AVG(v) AS m FROM t GROUP BY g",
+        "SELECT g, COUNT(DISTINCT tag) AS d, SUM(v) AS s FROM t GROUP BY g",
+        // Join feeding an aggregation: two spill operators stacked.
+        "SELECT d.name, SUM(t.v) AS s FROM t JOIN dim AS d ON t.g = d.id GROUP BY d.name",
+        // DISTINCT and set operations.
+        "SELECT DISTINCT g, tag FROM t",
+        "SELECT v FROM t EXCEPT SELECT v FROM t WHERE tag = TRUE",
+        "SELECT v FROM t WHERE tag = TRUE INTERSECT SELECT v FROM t",
+        "SELECT g FROM t UNION SELECT id FROM dim",
+        // ORDER BY above a spilled aggregation.
+        "SELECT g, SUM(v) AS s FROM t GROUP BY g ORDER BY s DESC, g",
+    ]
+}
+
+/// Budgets swept by the harness; `None` is the unbounded baseline.
+/// 1 byte means even a single row overflows — the "1 row" budget.
+fn budgets() -> Vec<Option<usize>> {
+    vec![None, Some(64 * 1024), Some(4 * 1024), Some(1)]
+}
+
+fn database(workers: usize, budget: Option<usize>, rows: &[Row]) -> Database {
+    let mut db = Database::new();
+    db.set_parallelism(workers);
+    db.set_morsel_size(32);
+    db.set_memory_budget(budget);
+    db.execute("CREATE TABLE t (g VARCHAR, v INTEGER, tag BOOLEAN)")
+        .unwrap();
+    // dim covers g0..g3: g4/g5 probe misses, one dim row ('gx') never
+    // matches — outer padding and FULL OUTER tails cross the spill path.
+    db.execute("CREATE TABLE dim (id VARCHAR, name VARCHAR)")
+        .unwrap();
+    for d in 0..4 {
+        db.execute(&format!("INSERT INTO dim VALUES ('g{d}', 'name{d}')"))
+            .unwrap();
+    }
+    db.execute("INSERT INTO dim VALUES ('gx', 'lonely')")
+        .unwrap();
+    if !rows.is_empty() {
+        let values: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "('g{}', {}, {})",
+                    r.g,
+                    r.v,
+                    if r.tag { "TRUE" } else { "FALSE" }
+                )
+            })
+            .collect();
+        db.execute(&format!("INSERT INTO t VALUES {}", values.join(", ")))
+            .unwrap();
+    }
+    db
+}
+
+fn check_workload(rows: &[Row]) -> Result<(), TestCaseError> {
+    let baseline = database(1, None, rows);
+    for workers in [1usize, 4] {
+        for budget in budgets() {
+            if workers == 1 && budget.is_none() {
+                continue; // that IS the baseline
+            }
+            let db = database(workers, budget, rows);
+            for q in queries() {
+                let expect = baseline.query(q).unwrap().rows;
+                let got = db.query(q).unwrap().rows;
+                prop_assert_eq!(
+                    &expect,
+                    &got,
+                    "workers={} budget={:?} disagree on {}",
+                    workers,
+                    budget,
+                    q
+                );
+            }
+            // A budget one byte wide cannot hold a single row: every
+            // join build / group fold with input must have spilled.
+            if budget == Some(1) && !rows.is_empty() {
+                let stats = db.spill_stats();
+                prop_assert!(
+                    stats.spilled() && stats.spilled_rows > 0,
+                    "workers={} at 1-byte budget never spilled: {:?}",
+                    workers,
+                    stats
+                );
+                prop_assert!(
+                    stats.rehydrated_rows > 0,
+                    "spilled rows were never read back: {:?}",
+                    stats
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn spilled_results_agree_with_in_memory(
+        rows in prop::collection::vec(row_strategy(), 0..200),
+    ) {
+        check_workload(&rows)?;
+    }
+}
+
+/// Deterministic pin crossing batch (1024) and morsel (32) boundaries:
+/// 1025 rows exercise partition buffers, write-buffer flushes, and
+/// multi-frame rehydration on every query class.
+#[test]
+fn spill_agrees_at_batch_boundary_sizes() {
+    for n in [0usize, 1, 1023, 1024, 1025] {
+        let rows: Vec<Row> = (0..n)
+            .map(|i| Row {
+                g: (i % 6) as u8,
+                v: ((i * 37) % 199) as i32 - 99,
+                tag: i % 3 == 0,
+            })
+            .collect();
+        check_workload(&rows).unwrap();
+    }
+}
+
+/// Tiny budgets must take the spill path (counter proof), and the
+/// recursive re-partition path must fire for heavily duplicated keys
+/// (one key's rows all land in one partition at every level until the
+/// depth cap).
+#[test]
+fn constrained_budgets_actually_spill() {
+    let rows: Vec<Row> = (0..600)
+        .map(|i| Row {
+            g: (i % 2) as u8, // two heavy keys → fat partitions
+            v: i % 50,
+            tag: i % 2 == 0,
+        })
+        .collect();
+    let db = database(1, Some(256), &rows);
+    for q in queries() {
+        db.query(q).unwrap();
+    }
+    let stats = db.spill_stats();
+    assert!(stats.spilled(), "256-byte budget must spill: {stats:?}");
+    assert!(stats.spill_files > 0 && stats.spilled_bytes > 0);
+    assert!(stats.rehydrated_partitions > 0);
+    assert!(
+        stats.repartitions > 0,
+        "duplicate-heavy keys must trigger recursive re-partitioning: {stats:?}"
+    );
+
+    // An unbounded session running the same workload never spills.
+    let db = database(1, None, &rows);
+    for q in queries() {
+        db.query(q).unwrap();
+    }
+    assert!(!db.spill_stats().spilled());
+}
+
+/// The IVM pipeline end-to-end stays consistent when the OLAP engine
+/// runs under a constrained budget: ingest → refresh → view equals
+/// recomputation, at serial and parallel settings.
+#[test]
+fn ivm_refresh_consistent_under_memory_budget() {
+    use openivm::ivm_core::IvmSession;
+    use openivm::ivm_engine::Value;
+    for workers in [1usize, 4] {
+        let mut ivm = IvmSession::with_defaults();
+        ivm.set_parallelism(workers);
+        ivm.set_memory_budget(Some(4 * 1024));
+        ivm.database_mut().set_morsel_size(64);
+        ivm.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)")
+            .unwrap();
+        ivm.execute(
+            "CREATE MATERIALIZED VIEW qg AS \
+             SELECT group_index, SUM(group_value) AS total \
+             FROM groups GROUP BY group_index",
+        )
+        .unwrap();
+        let changes: Vec<(Vec<Value>, bool)> = (0..500)
+            .map(|i| {
+                (
+                    vec![Value::from(format!("g{}", i % 13)), Value::Integer(i % 29)],
+                    true,
+                )
+            })
+            .collect();
+        ivm.ingest_deltas("groups", &changes).unwrap();
+        ivm.refresh("qg").unwrap();
+        assert!(ivm.check_consistency("qg").unwrap(), "workers={workers}");
+        assert!(
+            ivm.spill_stats().spilled(),
+            "a 4KB budget over 500 grouped rows must spill (workers={workers})"
+        );
+    }
+}
