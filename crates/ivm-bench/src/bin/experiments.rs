@@ -79,12 +79,15 @@ fn ehash_json(rows: &[EHashRow]) -> String {
         .map(|r| {
             format!(
                 "  {{\"variant\": \"{}\", \"fact_rows\": {}, \"out_rows\": {}, \
-                 \"join_group_ns\": {}, \"distinct_ns\": {}}}",
+                 \"join_group_ns\": {}, \"distinct_ns\": {}, \
+                 \"typed_rows\": {}, \"fallback_rows\": {}}}",
                 r.variant,
                 r.fact_rows,
                 r.out_rows,
                 r.join_group.as_nanos(),
-                r.distinct.as_nanos()
+                r.distinct.as_nanos(),
+                r.typed_rows,
+                r.fallback_rows
             )
         })
         .collect();
@@ -155,7 +158,15 @@ fn print_espill(rows: &[ESpillRow]) {
 }
 
 fn print_ehash(rows: &[EHashRow]) {
-    let mut report = Report::new(&["variant", "fact rows", "out rows", "join+group", "distinct"]);
+    let mut report = Report::new(&[
+        "variant",
+        "fact rows",
+        "out rows",
+        "join+group",
+        "distinct",
+        "typed rows",
+        "fallback rows",
+    ]);
     for r in rows {
         report.row(&[
             r.variant.to_string(),
@@ -163,6 +174,8 @@ fn print_ehash(rows: &[EHashRow]) {
             r.out_rows.to_string(),
             fmt_duration(r.join_group),
             fmt_duration(r.distinct),
+            r.typed_rows.to_string(),
+            r.fallback_rows.to_string(),
         ]);
     }
     println!("{}", report.render());

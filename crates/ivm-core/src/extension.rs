@@ -730,7 +730,9 @@ const NO_SLOT: u32 = u32::MAX;
 /// the table's mutation counter (unique per table *instance*): any
 /// foreign DML — intercepted SQL writes, truncates, compaction, even a
 /// drop-and-recreate under the same name — mismatches and the index
-/// rebuilds on the next ingest. Digest collisions are harmless:
+/// rebuilds on the next ingest. Lookups inherit [`FlatTable`]'s
+/// group-wise tag probing (SWAR/SSE2), so a digest probe scans 16
+/// control tags per step. Digest collisions are harmless:
 /// colliding rows share a chain and [`MirrorIndex::take`] verifies the
 /// actual column values before surrendering an id. Tables beyond
 /// `u32::MAX` physical slots are never indexed (slot ids are stored as

@@ -22,8 +22,9 @@ use crate::exec::hash::{hash_key_columns, FlatTable};
 use crate::exec::spill::{
     for_each_fitting_partition, rebatch_rows, MemoryBudget, PartitionedSpiller,
 };
+use crate::exec::typed::{note_fallback_rows, note_typed_rows, EncodedChunk, TupleStore};
 use crate::exec::{BatchBuilder, BoxedOperator, Operator, Row};
-use crate::expr::{AggExpr, AggFunc, BoundExpr, VectorKernel};
+use crate::expr::{AggExpr, AggFunc, BoundExpr, EvalChunk, VectorKernel};
 use crate::planner::physical::AggMode;
 use crate::value::Value;
 
@@ -113,6 +114,95 @@ impl Acc {
             Acc::Max(cur) => {
                 if cur.as_ref().is_none_or(|c| v.total_cmp(c).is_gt()) {
                     *cur = Some(v.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// [`update`](Acc::update) specialized for a non-null integer fed
+    /// from a typed argument chunk — no `Value` is constructed unless an
+    /// extremum is actually stored.
+    #[inline]
+    fn update_i64(&mut self, v: i64) -> Result<(), EngineError> {
+        match self {
+            Acc::Sum {
+                total_i,
+                total_f,
+                is_float,
+                seen,
+            } => {
+                *seen = true;
+                if *is_float {
+                    *total_f += v as f64;
+                } else {
+                    *total_i = total_i
+                        .checked_add(v)
+                        .ok_or_else(|| EngineError::execution("integer overflow in SUM"))?;
+                }
+            }
+            Acc::Count(c) => *c += 1,
+            Acc::Avg { total, count } => {
+                *total += v as f64;
+                *count += 1;
+            }
+            Acc::Min(cur) => {
+                if cur
+                    .as_ref()
+                    .is_none_or(|c| Value::Integer(v).total_cmp(c).is_lt())
+                {
+                    *cur = Some(Value::Integer(v));
+                }
+            }
+            Acc::Max(cur) => {
+                if cur
+                    .as_ref()
+                    .is_none_or(|c| Value::Integer(v).total_cmp(c).is_gt())
+                {
+                    *cur = Some(Value::Integer(v));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// [`update`](Acc::update) specialized for a non-null double fed from
+    /// a typed argument chunk.
+    #[inline]
+    fn update_f64(&mut self, v: f64) -> Result<(), EngineError> {
+        match self {
+            Acc::Sum {
+                total_i,
+                total_f,
+                is_float,
+                seen,
+            } => {
+                *seen = true;
+                if !*is_float {
+                    *total_f = *total_i as f64;
+                    *is_float = true;
+                }
+                *total_f += v;
+            }
+            Acc::Count(c) => *c += 1,
+            Acc::Avg { total, count } => {
+                *total += v;
+                *count += 1;
+            }
+            Acc::Min(cur) => {
+                if cur
+                    .as_ref()
+                    .is_none_or(|c| Value::Double(v).total_cmp(c).is_lt())
+                {
+                    *cur = Some(Value::Double(v));
+                }
+            }
+            Acc::Max(cur) => {
+                if cur
+                    .as_ref()
+                    .is_none_or(|c| Value::Double(v).total_cmp(c).is_gt())
+                {
+                    *cur = Some(Value::Double(v));
                 }
             }
         }
@@ -240,16 +330,22 @@ impl GroupState {
 
 /// The grouped accumulator store: a flat open-addressing index
 /// ([`FlatTable`]) over arena-stored group keys, states, and hashes.
-/// Arena order *is* first-seen order, so draining the arenas reproduces
-/// the serial output order with no separate `order` vector; stored
-/// per-group hashes make morsel merges reuse the fold-time hash (a group
-/// key is hashed once per operator, never re-hashed at merge).
+/// Group keys live in a typed key arena (packed `(tag, word)` columns —
+/// see [`crate::exec::typed`]) while representable, so a group lookup is
+/// a branch-free word compare; an unrepresentable key (integer beyond
+/// ±2^53) demotes the store losslessly to `Vec<Value>` keys. Arena order
+/// *is* first-seen order, so draining the arenas reproduces the serial
+/// output order with no separate `order` vector; stored per-group hashes
+/// make morsel merges reuse the fold-time hash (a group key is hashed
+/// once per operator, never re-hashed at merge).
 #[derive(Debug, Default)]
 pub(crate) struct GroupTable {
     table: FlatTable,
-    keys: Vec<Vec<Value>>,
+    keys: TupleStore,
     hashes: Vec<u64>,
     states: Vec<GroupState>,
+    scratch: EncodedChunk,
+    hint: usize,
 }
 
 impl GroupTable {
@@ -263,19 +359,73 @@ impl GroupTable {
     pub(crate) fn with_capacity(hint: usize) -> GroupTable {
         GroupTable {
             table: FlatTable::with_capacity(hint),
-            keys: Vec::with_capacity(hint),
+            keys: TupleStore::Empty,
             hashes: Vec::with_capacity(hint),
             states: Vec::with_capacity(hint),
+            scratch: EncodedChunk::new(),
+            hint,
         }
     }
 
     /// Number of groups.
     pub(crate) fn len(&self) -> usize {
-        self.keys.len()
+        self.states.len()
+    }
+
+    /// Encode one batch's evaluated key columns into the typed scratch
+    /// chunk *and* hash them — one fused pass per batch, each key value
+    /// enum-dispatched exactly once (bit-identical to
+    /// [`hash_key_columns`]) — before the per-row
+    /// [`group_index`](GroupTable::group_index) loop. Returns the per-row
+    /// key hashes.
+    fn begin_chunk(&mut self, key_cols: &[Vec<Value>], rows: usize) -> Vec<u64> {
+        self.keys.ensure_width(key_cols.len());
+        if let TupleStore::Typed(arena) = &mut self.keys {
+            if arena.is_empty() && self.hint > 0 {
+                arena.reserve(self.hint);
+                self.hint = 0;
+            }
+            let hashes = arena.encode_chunk_hashed(&mut self.scratch, rows, |r, c| &key_cols[c][r]);
+            note_typed_rows((rows - self.scratch.bad_rows()) as u64);
+            note_fallback_rows(self.scratch.bad_rows() as u64);
+            hashes
+        } else {
+            note_fallback_rows(rows as u64);
+            hash_key_columns(key_cols, rows)
+        }
+    }
+
+    /// Resolve the store for `width`-column keys and report whether it is
+    /// typed — the precondition for
+    /// [`begin_chunk_columns`](GroupTable::begin_chunk_columns).
+    fn typed_ready(&mut self, width: usize) -> bool {
+        self.keys.ensure_width(width);
+        matches!(self.keys, TupleStore::Typed(_))
+    }
+
+    /// [`begin_chunk`](GroupTable::begin_chunk) for bare-column group
+    /// keys: encodes and hashes straight off the batch's columns, never
+    /// materializing the keys as `Vec<Value>`. Caller must have checked
+    /// [`typed_ready`](GroupTable::typed_ready).
+    fn begin_chunk_columns(&mut self, batch: &RowBatch<'_>, cols: &[usize]) -> Vec<u64> {
+        let rows = batch.num_rows();
+        let TupleStore::Typed(arena) = &mut self.keys else {
+            unreachable!("typed_ready checked before begin_chunk_columns")
+        };
+        if arena.is_empty() && self.hint > 0 {
+            arena.reserve(self.hint);
+            self.hint = 0;
+        }
+        let hashes = arena.encode_batch_hashed(&mut self.scratch, batch, cols);
+        note_typed_rows((rows - self.scratch.bad_rows()) as u64);
+        note_fallback_rows(self.scratch.bad_rows() as u64);
+        hashes
     }
 
     /// The group index for the key at row `r` of the evaluated key
     /// columns, creating a fresh state (first-seen append) when new.
+    /// Requires a [`begin_chunk`](GroupTable::begin_chunk) call for this
+    /// batch.
     fn group_index(
         &mut self,
         hash: u64,
@@ -283,21 +433,41 @@ impl GroupTable {
         r: usize,
         spec: &AggSpec,
     ) -> usize {
-        let keys = &self.keys;
-        match self.table.find(hash, |g| {
-            let key = &keys[g as usize];
-            key_cols.iter().zip(key).all(|(c, kv)| &c[r] == kv)
-        }) {
-            Some(g) => g as usize,
-            None => {
-                let g = self.keys.len();
-                self.keys
-                    .push(key_cols.iter().map(|c| c[r].clone()).collect());
-                self.hashes.push(hash);
-                self.states.push(spec.new_state());
-                self.table.insert(hash, g as u32);
-                g
+        if matches!(self.keys, TupleStore::Typed(_)) && !self.scratch.ok(r) {
+            self.keys.demote();
+        }
+        match &mut self.keys {
+            TupleStore::Typed(arena) => {
+                let (table, scratch) = (&self.table, &self.scratch);
+                match table.find(hash, |g| arena.eq_chunk(g as usize, scratch, r)) {
+                    Some(g) => g as usize,
+                    None => {
+                        let g = arena.push_from_chunk(scratch, r);
+                        self.hashes.push(hash);
+                        self.states.push(spec.new_state());
+                        self.table.insert(hash, g);
+                        g as usize
+                    }
+                }
             }
+            TupleStore::Rows(keys) => {
+                let found = self.table.find(hash, |g| {
+                    let key = &keys[g as usize];
+                    key_cols.iter().zip(key).all(|(c, kv)| &c[r] == kv)
+                });
+                match found {
+                    Some(g) => g as usize,
+                    None => {
+                        let g = keys.len();
+                        keys.push(key_cols.iter().map(|c| c[r].clone()).collect());
+                        self.hashes.push(hash);
+                        self.states.push(spec.new_state());
+                        self.table.insert(hash, g as u32);
+                        g
+                    }
+                }
+            }
+            TupleStore::Empty => unreachable!("begin_chunk resolves the store"),
         }
     }
 
@@ -305,12 +475,38 @@ impl GroupTable {
     /// creating a fresh state when new. Uses the key's stored fold-time
     /// hash.
     fn merge_index(&mut self, hash: u64, key: &[Value], spec: &AggSpec) -> usize {
-        let keys = &self.keys;
-        match self.table.find(hash, |g| keys[g as usize] == key) {
+        self.keys.ensure_width(key.len());
+        let mut demote = false;
+        if let TupleStore::Typed(arena) = &mut self.keys {
+            // No batch fold is in flight during a merge, so the chunk
+            // scratch is free for the single-key encode.
+            arena.encode_chunk(&mut self.scratch, 1, |_, c| &key[c]);
+            if self.scratch.ok(0) {
+                let (table, scratch) = (&self.table, &self.scratch);
+                if let Some(g) = table.find(hash, |g| arena.eq_chunk(g as usize, scratch, 0)) {
+                    return g as usize;
+                }
+                let g = arena.push_from_chunk(scratch, 0);
+                self.hashes.push(hash);
+                self.states.push(spec.new_state());
+                self.table.insert(hash, g);
+                return g as usize;
+            }
+            demote = true;
+        }
+        if demote {
+            self.keys.demote();
+        }
+        let keys = match &mut self.keys {
+            TupleStore::Rows(keys) => keys,
+            _ => unreachable!(),
+        };
+        let found = self.table.find(hash, |g| keys[g as usize] == key);
+        match found {
             Some(g) => g as usize,
             None => {
-                let g = self.keys.len();
-                self.keys.push(key.to_vec());
+                let g = keys.len();
+                keys.push(key.to_vec());
                 self.hashes.push(hash);
                 self.states.push(spec.new_state());
                 self.table.insert(hash, g as u32);
@@ -321,22 +517,97 @@ impl GroupTable {
 
     /// Merge `later` (per-morsel partial groups over rows *after* every
     /// row this table has seen) in its first-seen order — reconstructing
-    /// the global serial first-seen order across morsels.
+    /// the global serial first-seen order across morsels. Keys decode out
+    /// of `later`'s arena one at a time (exact round trip).
     pub(crate) fn merge_from(
         &mut self,
         later: GroupTable,
         spec: &AggSpec,
     ) -> Result<(), EngineError> {
-        for ((key, hash), state) in later.keys.into_iter().zip(later.hashes).zip(later.states) {
-            let g = self.merge_index(hash, &key, spec);
-            self.states[g].merge(state)?;
+        let keys = later.keys;
+        for ((g, hash), state) in (0usize..).zip(later.hashes).zip(later.states) {
+            let key = keys.row(g);
+            let idx = self.merge_index(hash, &key, spec);
+            self.states[idx].merge(state)?;
         }
         Ok(())
     }
 
     /// Drain into `(key, state)` pairs in first-seen group order.
     pub(crate) fn into_ordered(self) -> impl Iterator<Item = (Vec<Value>, GroupState)> {
-        self.keys.into_iter().zip(self.states)
+        let keys = match self.keys {
+            TupleStore::Empty => Vec::new(),
+            TupleStore::Typed(arena) => arena.decode_all(),
+            TupleStore::Rows(keys) => keys,
+        };
+        keys.into_iter().zip(self.states)
+    }
+
+    /// Drain straight into `batch_size`-row output batches — key columns
+    /// then finished aggregate columns, first-seen group order. Key
+    /// values decode column-wise out of the arena into the output
+    /// columns, so no per-group key row is ever materialized (the
+    /// [`into_ordered`](GroupTable::into_ordered) path allocates one
+    /// `Vec<Value>` per group, which dominates high-cardinality emits).
+    pub(crate) fn into_batches(self, batch_size: usize) -> VecDeque<RowBatch<'static>> {
+        let n = self.states.len();
+        let mut out = VecDeque::new();
+        if n == 0 {
+            return out;
+        }
+        let agg_width = self.states[0].accs.len();
+        let step = batch_size.max(1);
+        let mut states = self.states.into_iter();
+        let mut emit = |cols: Vec<Vec<Value>>| out.push_back(RowBatch::from_columns(cols));
+        match self.keys {
+            TupleStore::Typed(arena) => {
+                let kw = arena.width();
+                let mut start = 0usize;
+                while start < n {
+                    let end = (start + step).min(n);
+                    let mut cols: Vec<Vec<Value>> = (0..kw + agg_width)
+                        .map(|_| Vec::with_capacity(end - start))
+                        .collect();
+                    for (c, col) in cols.iter_mut().enumerate().take(kw) {
+                        for g in start..end {
+                            col.push(arena.value_at(g, c));
+                        }
+                    }
+                    for state in states.by_ref().take(end - start) {
+                        for (j, acc) in state.accs.into_iter().enumerate() {
+                            cols[kw + j].push(acc.finish());
+                        }
+                    }
+                    emit(cols);
+                    start = end;
+                }
+            }
+            TupleStore::Rows(keys) => {
+                let kw = keys.first().map_or(0, Vec::len);
+                let mut keys = keys.into_iter();
+                let mut start = 0usize;
+                while start < n {
+                    let end = (start + step).min(n);
+                    let mut cols: Vec<Vec<Value>> = (0..kw + agg_width)
+                        .map(|_| Vec::with_capacity(end - start))
+                        .collect();
+                    for (key, state) in keys.by_ref().zip(states.by_ref()).take(end - start) {
+                        for (c, v) in key.into_iter().enumerate() {
+                            cols[c].push(v);
+                        }
+                        for (j, acc) in state.accs.into_iter().enumerate() {
+                            cols[kw + j].push(acc.finish());
+                        }
+                    }
+                    emit(cols);
+                    start = end;
+                }
+            }
+            // Grouped folds resolve the store on first batch; states are
+            // only non-empty once that happened.
+            TupleStore::Empty => unreachable!("groups exist without a key store"),
+        }
+        out
     }
 }
 
@@ -348,6 +619,11 @@ pub(crate) struct AggSpec {
     aggs: Vec<AggExpr>,
     group_kernels: Vec<VectorKernel>,
     arg_kernels: Vec<Option<VectorKernel>>,
+    /// When every group key is a bare column reference (`GROUP BY k`),
+    /// their input column indexes: the fold then encodes and hashes keys
+    /// straight off the batch columns instead of evaluating each kernel
+    /// into a cloned `Vec<Value>`.
+    bare_group_cols: Option<Vec<usize>>,
     /// When set (parallel mode), DISTINCT aggregates only collect their
     /// seen-sets during folding; the accumulators are fed once from the
     /// merged set in [`AggSpec::finalize_distinct`]. The serial path
@@ -358,15 +634,24 @@ pub(crate) struct AggSpec {
 impl AggSpec {
     /// Compile kernels for prepared group expressions and aggregates.
     pub(crate) fn new(group: &[BoundExpr], aggs: Vec<AggExpr>, deferred_distinct: bool) -> AggSpec {
-        let group_kernels = group.iter().map(VectorKernel::compile).collect();
+        let group_kernels: Vec<VectorKernel> = group.iter().map(VectorKernel::compile).collect();
         let arg_kernels = aggs
             .iter()
             .map(|a| a.arg.as_ref().map(VectorKernel::compile))
             .collect();
+        let bare_group_cols = (!group.is_empty())
+            .then(|| {
+                group_kernels
+                    .iter()
+                    .map(VectorKernel::column_index)
+                    .collect::<Option<Vec<usize>>>()
+            })
+            .flatten();
         AggSpec {
             aggs,
             group_kernels,
             arg_kernels,
+            bare_group_cols,
             deferred_distinct,
         }
     }
@@ -378,22 +663,30 @@ impl AggSpec {
 
     /// A fresh per-group state.
     pub(crate) fn new_state(&self) -> GroupState {
-        GroupState {
-            accs: self.aggs.iter().map(|a| Acc::new(a.func)).collect(),
-            distinct_seen: self
-                .aggs
+        // Without any DISTINCT aggregate the seen-set vector stays empty
+        // (`Vec::new` never allocates): grouped folds create one state
+        // per group, so a dead allocation here is paid once per group.
+        let distinct_seen = if self.aggs.iter().any(|a| a.distinct) {
+            self.aggs
                 .iter()
                 .map(|a| a.distinct.then(HashSet::new))
-                .collect(),
+                .collect()
+        } else {
+            Vec::new()
+        };
+        GroupState {
+            accs: self.aggs.iter().map(|a| Acc::new(a.func)).collect(),
+            distinct_seen,
         }
     }
 
     /// Evaluate the aggregate-argument kernels for one batch
-    /// (chunk-at-a-time; `None` slots are `COUNT(*)`).
-    fn arg_columns(&self, batch: &RowBatch<'_>) -> Result<Vec<Option<Vec<Value>>>, EngineError> {
+    /// (chunk-at-a-time, numeric outputs staying typed; `None` slots are
+    /// `COUNT(*)`).
+    fn arg_chunks(&self, batch: &RowBatch<'_>) -> Result<Vec<Option<EvalChunk>>, EngineError> {
         self.arg_kernels
             .iter()
-            .map(|k| k.as_ref().map(|k| k.eval_column(batch)).transpose())
+            .map(|k| k.as_ref().map(|k| k.eval_chunk(batch)).transpose())
             .collect()
     }
 
@@ -401,28 +694,72 @@ impl AggSpec {
         &self,
         state: &mut GroupState,
         row: usize,
-        arg_cols: &[Option<Vec<Value>>],
+        arg_cols: &[Option<EvalChunk>],
     ) -> Result<(), EngineError> {
-        for (i, _agg) in self.aggs.iter().enumerate() {
-            let value = match &arg_cols[i] {
-                Some(col) => col[row].clone(),
+        for (i, chunk) in arg_cols.iter().enumerate() {
+            match chunk {
                 // COUNT(*) counts rows; feed a constant marker.
-                None => Value::Boolean(true),
-            };
-            if value.is_null() {
-                continue;
-            }
-            if let Some(seen) = &mut state.distinct_seen[i] {
-                if !seen.insert(value.clone()) {
-                    continue;
+                None => {
+                    if let Some(seen) = state.distinct_seen.get_mut(i).and_then(Option::as_mut) {
+                        if !seen.insert(Value::Boolean(true)) {
+                            continue;
+                        }
+                        if self.deferred_distinct {
+                            continue;
+                        }
+                    }
+                    state.accs[i].update(&Value::Boolean(true))?;
                 }
-                if self.deferred_distinct {
-                    // Parallel mode: the accumulator is fed from the
-                    // merged set at finalization, never during folding.
-                    continue;
+                Some(EvalChunk::Ints { data, nulls }) => {
+                    if nulls.as_ref().is_some_and(|n| n[row]) {
+                        continue;
+                    }
+                    let v = data[row];
+                    if let Some(seen) = state.distinct_seen.get_mut(i).and_then(Option::as_mut) {
+                        if !seen.insert(Value::Integer(v)) {
+                            continue;
+                        }
+                        if self.deferred_distinct {
+                            continue;
+                        }
+                    }
+                    state.accs[i].update_i64(v)?;
+                }
+                Some(EvalChunk::Floats { data, nulls }) => {
+                    if nulls.as_ref().is_some_and(|n| n[row]) {
+                        continue;
+                    }
+                    let v = data[row];
+                    if let Some(seen) = state.distinct_seen.get_mut(i).and_then(Option::as_mut) {
+                        if !seen.insert(Value::Double(v)) {
+                            continue;
+                        }
+                        if self.deferred_distinct {
+                            continue;
+                        }
+                    }
+                    state.accs[i].update_f64(v)?;
+                }
+                Some(EvalChunk::Values(vals)) => {
+                    let value = &vals[row];
+                    if value.is_null() {
+                        continue;
+                    }
+                    if let Some(seen) = state.distinct_seen.get_mut(i).and_then(Option::as_mut) {
+                        if seen.contains(value) {
+                            continue;
+                        }
+                        seen.insert(value.clone());
+                        if self.deferred_distinct {
+                            // Parallel mode: the accumulator is fed from
+                            // the merged set at finalization, never
+                            // during folding.
+                            continue;
+                        }
+                    }
+                    state.accs[i].update(value)?;
                 }
             }
-            state.accs[i].update(&value)?;
         }
         Ok(())
     }
@@ -461,13 +798,44 @@ impl AggSpec {
         groups: &mut GroupTable,
         mut on_new_group: impl FnMut(usize),
     ) -> Result<(), EngineError> {
-        let key_cols: Vec<Vec<Value>> = self
-            .group_kernels
-            .iter()
-            .map(|k| k.eval_column(batch))
-            .collect::<Result<_, _>>()?;
-        let arg_cols = self.arg_columns(batch)?;
-        let hashes = hash_key_columns(&key_cols, batch.num_rows());
+        let rows = batch.num_rows();
+        // Bare-column keys encode and hash straight off the batch columns
+        // while the store is typed; the keys only materialize as
+        // `Vec<Value>` when the row-based path can actually observe them.
+        let bare = self
+            .bare_group_cols
+            .as_deref()
+            .filter(|cols| cols.iter().all(|&c| c < batch.width()));
+        let mut key_cols: Vec<Vec<Value>> = Vec::new();
+        let hashes = match bare {
+            Some(cols) if groups.typed_ready(cols.len()) => {
+                let hashes = groups.begin_chunk_columns(batch, cols);
+                if !groups.scratch.all_ok() {
+                    // Unrepresentable keys in this batch demote the store
+                    // mid-fold, which needs materialized key values.
+                    key_cols = cols
+                        .iter()
+                        .map(|&c| {
+                            let mut out = Vec::with_capacity(rows);
+                            batch.column(c).for_each_value(rows, |_, v| {
+                                out.push(v.clone());
+                            });
+                            out
+                        })
+                        .collect();
+                }
+                hashes
+            }
+            _ => {
+                key_cols = self
+                    .group_kernels
+                    .iter()
+                    .map(|k| k.eval_column(batch))
+                    .collect::<Result<_, _>>()?;
+                groups.begin_chunk(&key_cols, rows)
+            }
+        };
+        let arg_cols = self.arg_chunks(batch)?;
         for (r, &hash) in hashes.iter().enumerate() {
             let before = groups.len();
             let g = groups.group_index(hash, &key_cols, r, self);
@@ -485,7 +853,7 @@ impl AggSpec {
         batch: &RowBatch<'_>,
         state: &mut GroupState,
     ) -> Result<(), EngineError> {
-        let arg_cols = self.arg_columns(batch)?;
+        let arg_cols = self.arg_chunks(batch)?;
         for r in 0..batch.num_rows() {
             self.fold_row(state, r, &arg_cols)?;
         }
@@ -629,33 +997,17 @@ impl<'a> HashAggregateOp<'a> {
             }
         }
 
-        let mut out = VecDeque::new();
-        let mut builder = BatchBuilder::new(width);
-        let flush = |builder: &mut BatchBuilder, out: &mut VecDeque<RowBatch<'a>>| {
-            if !builder.is_empty() {
-                out.push_back(std::mem::replace(builder, BatchBuilder::new(width)).finish());
-            }
-        };
         match global {
             Some(state) => {
                 // Global aggregates produce one row even for empty input.
+                let mut builder = BatchBuilder::new(width);
                 builder.push_row(state.accs.into_iter().map(Acc::finish));
-                flush(&mut builder, &mut out);
+                let mut out = VecDeque::new();
+                out.push_back(builder.finish());
+                Ok(out)
             }
-            None => {
-                for (key, state) in groups.into_ordered() {
-                    builder.push_row(
-                        key.into_iter()
-                            .chain(state.accs.into_iter().map(Acc::finish)),
-                    );
-                    if builder.len() == self.batch_size {
-                        flush(&mut builder, &mut out);
-                    }
-                }
-                flush(&mut builder, &mut out);
-            }
+            None => Ok(groups.into_batches(self.batch_size)),
         }
-        Ok(out)
     }
 }
 

@@ -66,6 +66,17 @@ impl<'a> ColumnData<'a> {
         }
     }
 
+    /// A column sharing an owned value buffer, selecting `sel[i]` as
+    /// logical row `i`. Lets operators that keep a columnar copy of
+    /// materialized rows (e.g. a join's build side) emit gathered output
+    /// without cloning any [`Value`].
+    pub fn shared_with_sel(values: Arc<Vec<Value>>, sel: Arc<Vec<u32>>) -> ColumnData<'a> {
+        ColumnData {
+            values: Values::Owned(values),
+            sel: Some(sel),
+        }
+    }
+
     /// Value at the logical row index.
     pub fn get(&self, logical: usize) -> &Value {
         let physical = match &self.sel {

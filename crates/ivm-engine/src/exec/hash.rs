@@ -15,11 +15,20 @@
 //!    hashes its bytes, NULL takes a sentinel), combined across columns
 //!    with a mixer. A key is hashed exactly once per operator.
 //! 2. **[`FlatTable`]**: a `RawTable`-style flat open-addressing table —
-//!    power-of-two capacity, linear probing, an 8-bit tag array for early
-//!    rejection, and `u32` payloads indexing arena-stored keys/rows. The
+//!    power-of-two capacity, an 8-bit tag array for early rejection, and
+//!    `u32` payloads indexing arena-stored keys/rows. Probing is
+//!    **group-wise**, hashbrown-style: 16 tag bytes are scanned per step —
+//!    via SSE2 compare+movemask on x86_64, via SWAR on two `u64` words
+//!    everywhere else, or byte-at-a-time when `OPENIVM_NO_SIMD=1` forces
+//!    the scalar path (see [`ProbeMode`]). All three scans visit identical
+//!    slot sequences, so parity tests can compare them on one table. The
 //!    table never stores keys; callers compare candidates through a
 //!    closure over their own arena (typed column compares, no per-key
 //!    allocation). Stored hashes make growth a pure reinsertion pass.
+//! 3. **Typed key arenas** ([`crate::exec::typed`]): the arenas behind
+//!    those closures pack keys into fixed-width `(tag, word)` columns, so
+//!    the compare itself is branch-free — [`RowSet`] and [`RowCounter`]
+//!    below store their rows that way, as do the join and group tables.
 //!
 //! Hashes are consistent with the *grouping* equality of
 //! [`Value`](crate::value::Value): `NULL` hashes to a constant (groups
@@ -31,28 +40,33 @@
 //! the tag byte comes from the middle bits — no second hash anywhere.
 
 use crate::exec::batch::RowBatch;
+use crate::exec::typed::{note_fallback_rows, note_typed_rows, EncodedChunk, TupleStore};
 use crate::exec::Row;
 use crate::value::Value;
 
 /// Seed every row hash starts from (also the hash of a zero-column row).
-const HASH_SEED: u64 = 0x243F_6A88_85A3_08D3;
+/// `pub(crate)` so the fused typed kernels ([`crate::exec::typed`]) start
+/// their combine chains from the same state.
+pub(crate) const HASH_SEED: u64 = 0x243F_6A88_85A3_08D3;
 
 /// Sentinel mixed in for SQL NULL (NULL groups with NULL).
-const NULL_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+pub(crate) const NULL_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Per-type salts keeping differently-typed values apart (numerics share
 /// one salt so `INTEGER 3` and `DOUBLE 3.0` hash identically, matching
-/// grouping equality).
-const BOOL_SALT: u64 = 0xBF58_476D_1CE4_E5B9;
-const NUM_SALT: u64 = 0x94D0_49BB_1331_11EB;
+/// grouping equality). The numeric/bool/date salts are `pub(crate)`: the
+/// typed encoder's packed word *is* the hashed scalar for those types, so
+/// the fused kernels derive `hash_value`-identical hashes from it.
+pub(crate) const BOOL_SALT: u64 = 0xBF58_476D_1CE4_E5B9;
+pub(crate) const NUM_SALT: u64 = 0x94D0_49BB_1331_11EB;
 const TEXT_SALT: u64 = 0xD6E8_FEB8_6659_FD93;
-const DATE_SALT: u64 = 0xA076_1D64_78BD_642F;
+pub(crate) const DATE_SALT: u64 = 0xA076_1D64_78BD_642F;
 
 /// Finalizer (Murmur3/SplitMix-style): full-avalanche so the low bits
 /// (table index), middle bits (tag), and high bits (radix partition) are
 /// all usable independently.
 #[inline]
-fn mix(mut x: u64) -> u64 {
+pub(crate) fn mix(mut x: u64) -> u64 {
     x ^= x >> 33;
     x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
     x ^= x >> 33;
@@ -63,7 +77,7 @@ fn mix(mut x: u64) -> u64 {
 
 /// Combine a per-column value hash into a row hash (order-sensitive).
 #[inline]
-fn combine(acc: u64, h: u64) -> u64 {
+pub(crate) fn combine(acc: u64, h: u64) -> u64 {
     mix(acc.rotate_left(23) ^ h)
 }
 
@@ -75,6 +89,13 @@ fn hash_bytes(bytes: &[u8]) -> u64 {
         h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
     }
     mix(h ^ TEXT_SALT)
+}
+
+/// Hash a string key — the text kernel on its own, used by the string
+/// interner behind the typed key arenas.
+#[inline]
+pub fn hash_str(s: &str) -> u64 {
+    hash_bytes(s.as_bytes())
 }
 
 /// Hash one value, consistent with grouping equality: equal values (under
@@ -124,9 +145,18 @@ impl KeyHashes {
         self.nulls.as_ref().is_some_and(|n| n[r])
     }
 
-    fn mark_null(&mut self, r: usize) {
+    pub(crate) fn mark_null(&mut self, r: usize) {
         self.nulls
             .get_or_insert_with(|| vec![false; self.hashes.len()])[r] = true;
+    }
+
+    /// Hashes pre-seeded with [`HASH_SEED`] for `n` rows — the start of
+    /// every per-row combine chain, filled by the fused typed kernels.
+    pub(crate) fn seeded(n: usize) -> KeyHashes {
+        KeyHashes {
+            hashes: vec![HASH_SEED; n],
+            nulls: None,
+        }
     }
 
     /// A zeroed hash set for `n` rows, to be filled by
@@ -231,7 +261,8 @@ pub fn hash_rows_keys(rows: &[Row], keys: &[usize]) -> KeyHashes {
 /// Tag byte for a hash: middle bits (32..39), so it stays discriminating
 /// inside a radix partition (whose rows share the *high* bits) and across
 /// a probe run (which walks the *low* bits). `0x80` marks occupancy —
-/// zero always means empty.
+/// zero always means empty, and the occupancy bit is what lets the SWAR
+/// empty scan reduce to "high bit clear".
 #[inline]
 fn tag_of(hash: u64) -> u8 {
     0x80 | ((hash >> 32) as u8 & 0x7F)
@@ -239,18 +270,164 @@ fn tag_of(hash: u64) -> u8 {
 
 const EMPTY_TAG: u8 = 0;
 
-/// A flat open-addressing hash table: power-of-two capacity, linear
-/// probing, an 8-bit tag array for early rejection, and `u32` payloads
-/// pointing into caller-owned arenas.
+/// Tag bytes scanned per probe step. Constant across all probe modes so
+/// scalar, SWAR, and SSE2 probes visit identical slot sequences (the
+/// parity guarantee `OPENIVM_NO_SIMD=1` tests rely on).
+const GROUP: usize = 16;
+
+/// Smallest table capacity: one full probe group.
+const MIN_CAP: usize = GROUP;
+
+/// How a [`FlatTable`] scans its 16-byte tag groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeMode {
+    /// Byte-at-a-time (forced by `OPENIVM_NO_SIMD=1`; the parity oracle).
+    Scalar,
+    /// Two `u64` SWAR words per group — stable Rust, every target.
+    Swar,
+    /// One `_mm_cmpeq_epi8`/`_mm_movemask_epi8` per group (x86_64 only;
+    /// selecting it elsewhere silently runs the SWAR scan).
+    Sse2,
+}
+
+/// Environment variable forcing the scalar probe path (`1` = scalar;
+/// unset/empty/`0` = pick the fastest for the target).
+pub const NO_SIMD_ENV: &str = "OPENIVM_NO_SIMD";
+
+fn default_probe_mode() -> ProbeMode {
+    if cfg!(target_arch = "x86_64") {
+        ProbeMode::Sse2
+    } else {
+        ProbeMode::Swar
+    }
+}
+
+/// The process-wide probe mode: SSE2 on x86_64, SWAR elsewhere, scalar
+/// when `OPENIVM_NO_SIMD=1`. Read once; invalid settings abort loudly
+/// rather than silently probing a different way than the user asked.
+pub fn probe_mode() -> ProbeMode {
+    use std::sync::OnceLock;
+    static MODE: OnceLock<ProbeMode> = OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var(NO_SIMD_ENV) {
+        Err(_) => default_probe_mode(),
+        Ok(raw) => match raw.trim() {
+            "" | "0" => default_probe_mode(),
+            "1" => ProbeMode::Scalar,
+            other => panic!(
+                "invalid {NO_SIMD_ENV}={other:?}: expected \"1\" (force scalar tag \
+                 probing) or \"0\"/unset (use SSE2/SWAR)"
+            ),
+        },
+    })
+}
+
+const SWAR_ONES: u64 = 0x0101_0101_0101_0101;
+const SWAR_HIGHS: u64 = 0x8080_8080_8080_8080;
+
+/// High bit set in each byte of `w` that equals `b` — the exact zero-byte
+/// detector `(m - ONES) & !m & HIGHS` applied to `m = w ^ splat(b)` (the
+/// three-term form has no false positives).
+#[inline]
+fn swar_eq(w: u64, b: u8) -> u64 {
+    let m = w ^ SWAR_ONES.wrapping_mul(u64::from(b));
+    m.wrapping_sub(SWAR_ONES) & !m & SWAR_HIGHS
+}
+
+/// Collapse per-byte high bits into an 8-bit mask (movemask emulation):
+/// bit `8i+7` of `x` lands on bit `56+i` of the product, and no two
+/// contributions collide, so the multiply is carry-free and exact.
+#[inline]
+fn pack_high_bits(x: u64) -> u32 {
+    (x.wrapping_mul(0x0002_0408_1020_4081) >> 56) as u32
+}
+
+#[inline]
+fn swar_load(tags: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(tags[at..at + 8].try_into().unwrap())
+}
+
+#[inline]
+fn swar_masks(tags: &[u8], start: usize, tag: u8) -> (u32, u32) {
+    let lo = swar_load(tags, start);
+    let hi = swar_load(tags, start + 8);
+    let eq = pack_high_bits(swar_eq(lo, tag)) | (pack_high_bits(swar_eq(hi, tag)) << 8);
+    // Occupied tags always carry the 0x80 bit, so "high bit clear" is an
+    // exact empty test.
+    let empty = pack_high_bits(!lo & SWAR_HIGHS) | (pack_high_bits(!hi & SWAR_HIGHS) << 8);
+    (eq, empty)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn sse2_masks(tags: &[u8], start: usize, tag: u8) -> (u32, u32) {
+    use std::arch::x86_64::{
+        _mm_cmpeq_epi8, _mm_loadu_si128, _mm_movemask_epi8, _mm_set1_epi8, _mm_setzero_si128,
+    };
+    debug_assert!(start + GROUP <= tags.len());
+    // SAFETY: the mirrored tag tail guarantees `start + 16 <= tags.len()`
+    // for every probe start, and SSE2 is part of the x86_64 baseline, so
+    // the unaligned load and compare are always available.
+    unsafe {
+        let g = _mm_loadu_si128(tags.as_ptr().add(start).cast());
+        let eq = _mm_movemask_epi8(_mm_cmpeq_epi8(g, _mm_set1_epi8(tag as i8))) as u32;
+        let empty = _mm_movemask_epi8(_mm_cmpeq_epi8(g, _mm_setzero_si128())) as u32;
+        (eq, empty)
+    }
+}
+
+/// `(match_mask, empty_mask)` over the 16 tag bytes at `start`: bit `k`
+/// of the match mask marks `tags[start+k] == tag`, bit `k` of the empty
+/// mask marks an empty slot. All modes return identical masks.
+#[inline]
+fn group_masks(tags: &[u8], start: usize, tag: u8, mode: ProbeMode) -> (u32, u32) {
+    match mode {
+        ProbeMode::Scalar => {
+            let mut eq = 0u32;
+            let mut empty = 0u32;
+            for k in 0..GROUP {
+                let t = tags[start + k];
+                eq |= u32::from(t == tag) << k;
+                empty |= u32::from(t == EMPTY_TAG) << k;
+            }
+            (eq, empty)
+        }
+        ProbeMode::Swar => swar_masks(tags, start, tag),
+        ProbeMode::Sse2 => {
+            #[cfg(target_arch = "x86_64")]
+            {
+                sse2_masks(tags, start, tag)
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                swar_masks(tags, start, tag)
+            }
+        }
+    }
+}
+
+/// A flat open-addressing hash table: power-of-two capacity, group-wise
+/// probing over an 8-bit tag array, and `u32` payloads pointing into
+/// caller-owned arenas.
+///
+/// Probing scans 16 tag bytes per step starting at the hash's home slot
+/// (unaligned; the tag array keeps a 15-byte mirror of its head past the
+/// end so group loads never wrap). Within a group, tag matches are
+/// verified against the stored hash and then the caller's equality
+/// closure; a group containing an empty slot ends the probe. Inserts take
+/// the first empty slot in the same group sequence, which together with
+/// "no deletion" (none of the engine's hash operators delete) makes the
+/// early exit sound: an entry is never stored past the first empty slot
+/// of its own probe sequence.
 ///
 /// The table stores `(tag, hash, payload)` per slot and never the keys
 /// themselves: lookups pass an equality closure over the payload, so key
-/// storage, comparison, and chaining stay in the operator's arena (build
-/// rows, group-key vectors, …) with no per-key allocation. There is no
-/// deletion (none of the engine's hash operators delete), which keeps
-/// probing tombstone-free.
+/// storage, comparison, and chaining stay in the operator's arena (typed
+/// key arenas, build rows, …) with no per-key allocation.
 #[derive(Debug, Default, Clone)]
 pub struct FlatTable {
+    /// `capacity + GROUP - 1` bytes: the first `GROUP - 1` bytes are
+    /// mirrored past the end so a 16-byte group load at any slot index
+    /// stays in bounds.
     tags: Vec<u8>,
     hashes: Vec<u64>,
     payloads: Vec<u32>,
@@ -289,50 +466,86 @@ impl FlatTable {
 
     /// Slot capacity (0 before the first insert).
     pub fn capacity(&self) -> usize {
-        self.tags.len()
+        if self.tags.is_empty() {
+            0
+        } else {
+            self.mask + 1
+        }
     }
 
-    /// Find the payload of the entry with this hash whose arena key
-    /// satisfies `eq`. The tag byte rejects most non-matching slots
-    /// before the full hash (let alone the key) is compared.
+    /// Slot index of the entry with this hash whose arena key satisfies
+    /// `eq`, probing group-wise in `mode`.
     #[inline]
-    pub fn find(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
+    fn find_slot(
+        &self,
+        hash: u64,
+        mut eq: impl FnMut(u32) -> bool,
+        mode: ProbeMode,
+    ) -> Option<usize> {
         if self.len == 0 {
             return None;
         }
         let tag = tag_of(hash);
         let mut i = (hash as usize) & self.mask;
+        // Home-slot fast path: most probes resolve at the hash's own slot
+        // (hit there, or empty there on a miss), so test it before firing
+        // up a group scan. Entries are never stored past the first empty
+        // slot of their probe sequence (no deletion + first-empty
+        // placement), so "home slot empty" is a definitive miss — the
+        // group loop below would conclude the same from its empty mask.
+        let t = self.tags[i];
+        if t == tag && self.hashes[i] == hash && eq(self.payloads[i]) {
+            return Some(i);
+        }
+        if t == EMPTY_TAG {
+            return None;
+        }
         loop {
-            let t = self.tags[i];
-            if t == EMPTY_TAG {
+            let (mut matches, empties) = group_masks(&self.tags, i, tag, mode);
+            while matches != 0 {
+                // Group loads may run into the mirrored tail; `& mask`
+                // folds those candidates back onto their real slots.
+                let j = (i + matches.trailing_zeros() as usize) & self.mask;
+                if self.hashes[j] == hash && eq(self.payloads[j]) {
+                    return Some(j);
+                }
+                matches &= matches - 1;
+            }
+            if empties != 0 {
                 return None;
             }
-            if t == tag && self.hashes[i] == hash && eq(self.payloads[i]) {
-                return Some(self.payloads[i]);
-            }
-            i = (i + 1) & self.mask;
+            i = (i + GROUP) & self.mask;
         }
+    }
+
+    /// Find the payload of the entry with this hash whose arena key
+    /// satisfies `eq`. The tag group rejects most non-matching slots
+    /// 16 at a time before the full hash (let alone the key) is compared.
+    #[inline]
+    pub fn find(&self, hash: u64, eq: impl FnMut(u32) -> bool) -> Option<u32> {
+        self.find_in_mode(hash, eq, probe_mode())
+    }
+
+    /// [`find`](FlatTable::find) with an explicit probe mode — parity
+    /// tests run the SWAR and SSE2 scans against the scalar one on the
+    /// same table.
+    #[doc(hidden)]
+    #[inline]
+    pub fn find_in_mode(
+        &self,
+        hash: u64,
+        eq: impl FnMut(u32) -> bool,
+        mode: ProbeMode,
+    ) -> Option<u32> {
+        self.find_slot(hash, eq, mode).map(|j| self.payloads[j])
     }
 
     /// Like [`find`](FlatTable::find), but yields a mutable payload slot —
     /// join builds use this to prepend chain heads in place.
     #[inline]
-    pub fn find_mut(&mut self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<&mut u32> {
-        if self.len == 0 {
-            return None;
-        }
-        let tag = tag_of(hash);
-        let mut i = (hash as usize) & self.mask;
-        loop {
-            let t = self.tags[i];
-            if t == EMPTY_TAG {
-                return None;
-            }
-            if t == tag && self.hashes[i] == hash && eq(self.payloads[i]) {
-                return Some(&mut self.payloads[i]);
-            }
-            i = (i + 1) & self.mask;
-        }
+    pub fn find_mut(&mut self, hash: u64, eq: impl FnMut(u32) -> bool) -> Option<&mut u32> {
+        let j = self.find_slot(hash, eq, probe_mode())?;
+        Some(&mut self.payloads[j])
     }
 
     /// Insert an entry known to be absent (callers always
@@ -341,10 +554,10 @@ impl FlatTable {
     /// never re-hashed or touched.
     pub fn insert(&mut self, hash: u64, payload: u32) {
         if self.growth_left == 0 {
-            let cap = if self.tags.is_empty() {
-                8
+            let cap = if self.capacity() == 0 {
+                MIN_CAP
             } else {
-                self.tags.len() * 2
+                self.capacity() * 2
             };
             self.resize_to(cap);
         }
@@ -353,25 +566,51 @@ impl FlatTable {
         self.growth_left -= 1;
     }
 
+    /// Place an entry into the first empty slot of its group sequence.
     #[inline]
     fn insert_slot(&mut self, hash: u64, payload: u32) {
+        let mode = probe_mode();
+        let tag = tag_of(hash);
         let mut i = (hash as usize) & self.mask;
-        while self.tags[i] != EMPTY_TAG {
-            i = (i + 1) & self.mask;
+        loop {
+            let (_, empties) = group_masks(&self.tags, i, tag, mode);
+            if empties != 0 {
+                let j = (i + empties.trailing_zeros() as usize) & self.mask;
+                self.set_tag(j, tag);
+                self.hashes[j] = hash;
+                self.payloads[j] = payload;
+                return;
+            }
+            i = (i + GROUP) & self.mask;
         }
-        self.tags[i] = tag_of(hash);
-        self.hashes[i] = hash;
-        self.payloads[i] = payload;
+    }
+
+    /// Write a tag byte, keeping the mirrored tail in sync so unaligned
+    /// group loads near the end of the table see current bytes.
+    #[inline]
+    fn set_tag(&mut self, j: usize, tag: u8) {
+        self.tags[j] = tag;
+        if j < GROUP - 1 {
+            let cap = self.mask + 1;
+            self.tags[cap + j] = tag;
+        }
     }
 
     fn resize_to(&mut self, cap: usize) {
-        debug_assert!(cap.is_power_of_two());
-        let old_tags = std::mem::replace(&mut self.tags, vec![EMPTY_TAG; cap]);
+        debug_assert!(cap.is_power_of_two() && cap >= MIN_CAP);
+        let old_cap = self.capacity();
+        let old_tags = std::mem::replace(&mut self.tags, vec![EMPTY_TAG; cap + GROUP - 1]);
         let old_hashes = std::mem::replace(&mut self.hashes, vec![0; cap]);
         let old_payloads = std::mem::replace(&mut self.payloads, vec![0; cap]);
         self.mask = cap - 1;
         self.growth_left = cap - cap / 8 - self.len;
-        for ((t, h), p) in old_tags.iter().zip(old_hashes).zip(old_payloads) {
+        // Skip the mirror bytes of the old tag array; slots only.
+        for ((t, h), p) in old_tags
+            .iter()
+            .take(old_cap)
+            .zip(old_hashes)
+            .zip(old_payloads)
+        {
             if *t != EMPTY_TAG {
                 self.insert_slot(h, p);
             }
@@ -380,10 +619,10 @@ impl FlatTable {
 }
 
 /// Capacity (power of two) at which `n` entries stay under the 7/8 load
-/// factor.
+/// factor — at least one full probe group.
 fn capacity_for(n: usize) -> usize {
     let needed = n + n.div_ceil(7); // ceil(n * 8/7)
-    needed.next_power_of_two().max(8)
+    needed.next_power_of_two().max(MIN_CAP)
 }
 
 /// Prepend entry `i` onto its equal-key chain in `table`: the chain head
@@ -409,13 +648,17 @@ pub fn chain_prepend(
     }
 }
 
-/// A set of materialized rows over a [`FlatTable`] — the DISTINCT /
-/// set-operation "seen" structure (rows arena + flat index, no per-row
-/// `HashMap` key allocation).
+/// A set of rows over a [`FlatTable`] — the DISTINCT / set-operation
+/// "seen" structure. Rows live in a typed key arena (packed `(tag, word)`
+/// columns, string heap) while representable, so membership compares are
+/// word compares; an unrepresentable key (integer beyond ±2^53) demotes
+/// the set losslessly to materialized rows.
 #[derive(Debug, Default)]
 pub struct RowSet {
     table: FlatTable,
-    rows: Vec<Row>,
+    store: TupleStore,
+    scratch: EncodedChunk,
+    hint: usize,
 }
 
 impl RowSet {
@@ -424,47 +667,132 @@ impl RowSet {
         RowSet::default()
     }
 
-    /// Insert batch row `r` (pre-hashed as `hash`); `true` when it was
-    /// not yet present. The row is only materialized on first sight.
-    pub fn insert_batch_row(&mut self, hash: u64, batch: &RowBatch<'_>, r: usize) -> bool {
-        let rows = &self.rows;
-        let width = batch.width();
-        let present = self
-            .table
-            .find(hash, |p| {
-                let seen = &rows[p as usize];
-                (0..width).all(|c| batch.value(c, r) == &seen[c])
-            })
-            .is_some();
-        if present {
-            return false;
+    /// An empty set pre-sized for `n` rows (planner cardinality hint):
+    /// the flat index never rehashes below `n` inserts and the arena
+    /// reserves ahead.
+    pub fn with_capacity(n: usize) -> RowSet {
+        RowSet {
+            table: FlatTable::with_capacity(n),
+            hint: n,
+            ..RowSet::default()
         }
-        let idx = self.rows.len() as u32;
-        self.rows.push(batch.materialize_row(r));
-        self.table.insert(hash, idx);
-        true
     }
 
-    /// Insert a materialized row; `true` when it was not yet present.
+    /// Encode a batch's rows into the typed scratch chunk, once, before
+    /// the per-row [`insert_batch_row`](RowSet::insert_batch_row) loop.
+    /// Interning is idempotent, so pre-encoding rows that turn out to be
+    /// duplicates costs nothing extra.
+    pub fn begin_batch(&mut self, batch: &RowBatch<'_>) {
+        self.store.ensure_width(batch.width());
+        let n = batch.num_rows();
+        if let TupleStore::Typed(arena) = &mut self.store {
+            if arena.is_empty() && self.hint > 0 {
+                arena.reserve(self.hint);
+                self.hint = 0;
+            }
+            arena.encode_chunk(&mut self.scratch, n, |r, c| batch.value(c, r));
+            note_typed_rows((n - self.scratch.bad_rows()) as u64);
+            note_fallback_rows(self.scratch.bad_rows() as u64);
+        } else {
+            note_fallback_rows(n as u64);
+        }
+    }
+
+    /// Insert batch row `r` (pre-hashed as `hash`); `true` when it was
+    /// not yet present. Requires a [`begin_batch`](RowSet::begin_batch)
+    /// call for this batch. The row is only materialized on first sight —
+    /// and on the typed path not even then (it lives packed in the
+    /// arena).
+    pub fn insert_batch_row(&mut self, hash: u64, batch: &RowBatch<'_>, r: usize) -> bool {
+        if matches!(self.store, TupleStore::Typed(_)) && !self.scratch.ok(r) {
+            self.store.demote();
+        }
+        match &mut self.store {
+            TupleStore::Typed(arena) => {
+                let (table, scratch) = (&self.table, &self.scratch);
+                if table
+                    .find(hash, |p| arena.eq_chunk(p as usize, scratch, r))
+                    .is_some()
+                {
+                    return false;
+                }
+                let idx = arena.push_from_chunk(scratch, r);
+                self.table.insert(hash, idx);
+                true
+            }
+            TupleStore::Rows(rows) => {
+                let width = batch.width();
+                let present = self
+                    .table
+                    .find(hash, |p| {
+                        let seen = &rows[p as usize];
+                        (0..width).all(|c| batch.value(c, r) == &seen[c])
+                    })
+                    .is_some();
+                if present {
+                    return false;
+                }
+                let idx = rows.len() as u32;
+                rows.push(batch.materialize_row(r));
+                self.table.insert(hash, idx);
+                true
+            }
+            TupleStore::Empty => unreachable!("begin_batch resolves the store"),
+        }
+    }
+
+    /// Insert a materialized row (spill-path counterpart); `true` when it
+    /// was not yet present.
     pub fn insert_row(&mut self, hash: u64, row: Row) -> bool {
-        let rows = &self.rows;
+        self.store.ensure_width(row.len());
+        let mut demote = false;
+        if let TupleStore::Typed(arena) = &mut self.store {
+            arena.encode_chunk(&mut self.scratch, 1, |_, c| &row[c]);
+            if self.scratch.ok(0) {
+                note_typed_rows(1);
+                let (table, scratch) = (&self.table, &self.scratch);
+                if table
+                    .find(hash, |p| arena.eq_chunk(p as usize, scratch, 0))
+                    .is_some()
+                {
+                    return false;
+                }
+                let idx = arena.push_from_chunk(scratch, 0);
+                self.table.insert(hash, idx);
+                return true;
+            }
+            demote = true;
+        }
+        if demote {
+            self.store.demote();
+        }
+        note_fallback_rows(1);
+        let rows = match &mut self.store {
+            TupleStore::Rows(rows) => rows,
+            _ => unreachable!(),
+        };
         if self.table.find(hash, |p| rows[p as usize] == row).is_some() {
             return false;
         }
-        let idx = self.rows.len() as u32;
-        self.rows.push(row);
+        let idx = rows.len() as u32;
+        rows.push(row);
         self.table.insert(hash, idx);
         true
     }
 }
 
-/// A multiplicity map over whole rows (arena + flat index) — the
-/// EXCEPT/INTERSECT right-side counter.
+/// A multiplicity map over whole rows — the EXCEPT/INTERSECT right-side
+/// counter. Storage follows the same typed-arena-with-fallback scheme as
+/// [`RowSet`]; the probe-only lookups (`contains*`/`count_mut*`) compare
+/// probe values directly against the packed arena (exact for every value,
+/// including unrepresentable integers) so they never intern or demote.
 #[derive(Debug, Default)]
 pub struct RowCounter {
     table: FlatTable,
-    rows: Vec<Row>,
+    store: TupleStore,
     counts: Vec<usize>,
+    scratch: EncodedChunk,
+    hint: usize,
 }
 
 impl RowCounter {
@@ -473,27 +801,90 @@ impl RowCounter {
         RowCounter::default()
     }
 
+    /// An empty counter pre-sized for `n` rows (planner cardinality
+    /// hint).
+    pub fn with_capacity(n: usize) -> RowCounter {
+        RowCounter {
+            table: FlatTable::with_capacity(n),
+            hint: n,
+            ..RowCounter::default()
+        }
+    }
+
+    /// Encode a batch's rows into the typed scratch chunk before an
+    /// [`add_batch_row`](RowCounter::add_batch_row) loop.
+    pub fn begin_batch(&mut self, batch: &RowBatch<'_>) {
+        self.store.ensure_width(batch.width());
+        let n = batch.num_rows();
+        if let TupleStore::Typed(arena) = &mut self.store {
+            if arena.is_empty() && self.hint > 0 {
+                arena.reserve(self.hint);
+                self.hint = 0;
+            }
+            arena.encode_chunk(&mut self.scratch, n, |r, c| batch.value(c, r));
+            note_typed_rows((n - self.scratch.bad_rows()) as u64);
+            note_fallback_rows(self.scratch.bad_rows() as u64);
+        } else {
+            note_fallback_rows(n as u64);
+        }
+    }
+
+    /// Index of the stored row equal to batch row `r`, via direct
+    /// probe-vs-arena compare (no scratch needed).
     fn index_of(&self, hash: u64, batch: &RowBatch<'_>, r: usize) -> Option<usize> {
-        let rows = &self.rows;
         let width = batch.width();
-        self.table
-            .find(hash, |p| {
-                let seen = &rows[p as usize];
-                (0..width).all(|c| batch.value(c, r) == &seen[c])
-            })
-            .map(|p| p as usize)
+        match &self.store {
+            TupleStore::Empty => None,
+            TupleStore::Typed(arena) => self
+                .table
+                .find(hash, |p| arena.eq_row_at(p as usize, |c| batch.value(c, r)))
+                .map(|p| p as usize),
+            TupleStore::Rows(rows) => self
+                .table
+                .find(hash, |p| {
+                    let seen = &rows[p as usize];
+                    (0..width).all(|c| batch.value(c, r) == &seen[c])
+                })
+                .map(|p| p as usize),
+        }
     }
 
     /// Bump the multiplicity of batch row `r` (pre-hashed as `hash`).
+    /// Requires a [`begin_batch`](RowCounter::begin_batch) call for this
+    /// batch.
     pub fn add_batch_row(&mut self, hash: u64, batch: &RowBatch<'_>, r: usize) {
-        match self.index_of(hash, batch, r) {
-            Some(i) => self.counts[i] += 1,
-            None => {
-                let idx = self.rows.len() as u32;
-                self.rows.push(batch.materialize_row(r));
-                self.counts.push(1);
-                self.table.insert(hash, idx);
+        if matches!(self.store, TupleStore::Typed(_)) && !self.scratch.ok(r) {
+            self.store.demote();
+        }
+        match &mut self.store {
+            TupleStore::Typed(arena) => {
+                let (table, scratch) = (&self.table, &self.scratch);
+                match table.find(hash, |p| arena.eq_chunk(p as usize, scratch, r)) {
+                    Some(p) => self.counts[p as usize] += 1,
+                    None => {
+                        let idx = arena.push_from_chunk(scratch, r);
+                        self.counts.push(1);
+                        self.table.insert(hash, idx);
+                    }
+                }
             }
+            TupleStore::Rows(rows) => {
+                let width = batch.width();
+                let found = self.table.find(hash, |p| {
+                    let seen = &rows[p as usize];
+                    (0..width).all(|c| batch.value(c, r) == &seen[c])
+                });
+                match found {
+                    Some(p) => self.counts[p as usize] += 1,
+                    None => {
+                        let idx = rows.len() as u32;
+                        rows.push(batch.materialize_row(r));
+                        self.counts.push(1);
+                        self.table.insert(hash, idx);
+                    }
+                }
+            }
+            TupleStore::Empty => unreachable!("begin_batch resolves the store"),
         }
     }
 
@@ -511,20 +902,55 @@ impl RowCounter {
     }
 
     fn index_of_row(&self, hash: u64, row: &[Value]) -> Option<usize> {
-        let rows = &self.rows;
-        self.table
-            .find(hash, |p| rows[p as usize] == row)
-            .map(|p| p as usize)
+        match &self.store {
+            TupleStore::Empty => None,
+            TupleStore::Typed(arena) => self
+                .table
+                .find(hash, |p| arena.eq_row_at(p as usize, |c| &row[c]))
+                .map(|p| p as usize),
+            TupleStore::Rows(rows) => self
+                .table
+                .find(hash, |p| rows[p as usize] == row)
+                .map(|p| p as usize),
+        }
     }
 
     /// Bump the multiplicity of an already-materialized row (spill-path
     /// counterpart of [`add_batch_row`](RowCounter::add_batch_row)).
     pub fn add_row(&mut self, hash: u64, row: Row) {
-        match self.index_of_row(hash, &row) {
-            Some(i) => self.counts[i] += 1,
+        self.store.ensure_width(row.len());
+        let mut demote = false;
+        if let TupleStore::Typed(arena) = &mut self.store {
+            arena.encode_chunk(&mut self.scratch, 1, |_, c| &row[c]);
+            if self.scratch.ok(0) {
+                note_typed_rows(1);
+                let (table, scratch) = (&self.table, &self.scratch);
+                match table.find(hash, |p| arena.eq_chunk(p as usize, scratch, 0)) {
+                    Some(p) => self.counts[p as usize] += 1,
+                    None => {
+                        let idx = arena.push_from_chunk(scratch, 0);
+                        self.counts.push(1);
+                        self.table.insert(hash, idx);
+                    }
+                }
+                return;
+            }
+            demote = true;
+        }
+        if demote {
+            self.store.demote();
+        }
+        note_fallback_rows(1);
+        let rows = match &mut self.store {
+            TupleStore::Rows(rows) => rows,
+            _ => unreachable!(),
+        };
+        let found = self.table.find(hash, |p| rows[p as usize] == row);
+        match found {
+            Some(p) => self.counts[p as usize] += 1,
             None => {
-                let idx = self.rows.len() as u32;
-                self.rows.push(row);
+                let idx = rows.len() as u32;
+                rows.push(row);
                 self.counts.push(1);
                 self.table.insert(hash, idx);
             }
@@ -607,6 +1033,37 @@ mod tests {
     }
 
     #[test]
+    fn probe_modes_agree() {
+        // The scalar scan is the oracle: SWAR and SSE2 group masks must
+        // produce identical find results on a table spanning growth
+        // boundaries, with and without heavy tag collisions.
+        let mut t = FlatTable::new();
+        for k in 0u32..3000 {
+            t.insert(hash_value(&i(i64::from(k))), k);
+        }
+        // Colliding entries: same hash (hence same tag and home slot).
+        for k in 3000u32..3100 {
+            t.insert(0xABCD_EF01_2345_6789, k);
+        }
+        for k in 0u32..3100 {
+            let h = if k < 3000 {
+                hash_value(&i(i64::from(k)))
+            } else {
+                0xABCD_EF01_2345_6789
+            };
+            let scalar = t.find_in_mode(h, |p| p == k, ProbeMode::Scalar);
+            assert_eq!(scalar, Some(k));
+            assert_eq!(t.find_in_mode(h, |p| p == k, ProbeMode::Swar), scalar);
+            assert_eq!(t.find_in_mode(h, |p| p == k, ProbeMode::Sse2), scalar);
+        }
+        for miss in [hash_value(&i(777_777)), 0x1234, !0u64] {
+            assert_eq!(t.find_in_mode(miss, |_| true, ProbeMode::Scalar), None);
+            assert_eq!(t.find_in_mode(miss, |_| true, ProbeMode::Swar), None);
+            assert_eq!(t.find_in_mode(miss, |_| true, ProbeMode::Sse2), None);
+        }
+    }
+
+    #[test]
     fn with_capacity_never_rehashes() {
         for n in [0usize, 1, 7, 8, 1023, 1024, 1025] {
             let mut t = FlatTable::with_capacity(n);
@@ -656,16 +1113,55 @@ mod tests {
         let batch = RowBatch::from_rows(1, vec![vec![i(1)], vec![i(2)], vec![i(1)]]);
         let hashes = hash_batch_rows(&batch);
         let mut set = RowSet::new();
+        set.begin_batch(&batch);
         assert!(set.insert_batch_row(hashes[0], &batch, 0));
         assert!(set.insert_batch_row(hashes[1], &batch, 1));
         assert!(!set.insert_batch_row(hashes[2], &batch, 2));
 
         let mut counts = RowCounter::new();
+        counts.begin_batch(&batch);
         for (r, &hash) in hashes.iter().enumerate() {
             counts.add_batch_row(hash, &batch, r);
         }
         assert_eq!(counts.count_mut(hashes[0], &batch, 0), Some(&mut 2));
         assert_eq!(counts.count_mut(hashes[1], &batch, 1), Some(&mut 1));
         assert!(counts.contains_batch_row(hashes[0], &batch, 2));
+    }
+
+    #[test]
+    fn row_set_demotes_on_unrepresentable_keys_without_losing_rows() {
+        let big = (1i64 << 53) + 1; // no exact f64 widening → fallback
+        let rows = vec![
+            vec![i(1), Value::from("x")],
+            vec![i(big), Value::from("y")],
+            vec![i(1), Value::from("x")],   // dup of row 0 (typed era)
+            vec![i(big), Value::from("y")], // dup of row 1 (row era)
+        ];
+        let batch = RowBatch::from_rows(2, rows);
+        let hashes = hash_batch_rows(&batch);
+        let mut set = RowSet::new();
+        set.begin_batch(&batch);
+        assert!(set.insert_batch_row(hashes[0], &batch, 0));
+        assert!(set.insert_batch_row(hashes[1], &batch, 1)); // triggers demotion
+        assert!(!set.insert_batch_row(hashes[2], &batch, 2));
+        assert!(!set.insert_batch_row(hashes[3], &batch, 3));
+    }
+
+    #[test]
+    fn row_counter_mixed_typed_and_row_probes() {
+        let batch = RowBatch::from_rows(1, vec![vec![i(5)], vec![Value::Double(5.0)]]);
+        let hashes = hash_batch_rows(&batch);
+        let mut counts = RowCounter::new();
+        counts.begin_batch(&batch);
+        counts.add_batch_row(hashes[0], &batch, 0);
+        counts.add_batch_row(hashes[1], &batch, 1);
+        // INTEGER 5 and DOUBLE 5.0 are one group under grouping equality.
+        assert_eq!(
+            counts.count_mut_row(hash_row(&[i(5)]), &[i(5)]),
+            Some(&mut 2)
+        );
+        // Probe with an unrepresentable integer: exact miss, no demotion.
+        let big = (1i64 << 53) + 1;
+        assert!(!counts.contains_row(hash_row(&[i(big)]), &[i(big)]));
     }
 }

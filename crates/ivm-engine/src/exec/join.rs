@@ -15,6 +15,7 @@
 //! exhausted. SQL semantics: NULL keys never match.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crate::error::EngineError;
 use crate::exec::batch::{ColumnData, JoinedRow, RowBatch};
@@ -22,25 +23,46 @@ use crate::exec::hash::{chain_prepend, hash_batch_keys, hash_rows_keys, FlatTabl
 use crate::exec::spill::{
     for_each_fitting_partition_pair, rebatch_rows, MemoryBudget, PartitionedSpiller, SpillPartition,
 };
+use crate::exec::typed::{note_fallback_rows, note_typed_rows, EncodedChunk, KeyArena};
 use crate::exec::{BoxedOperator, Operator, Row};
 use crate::expr::{BoundExpr, VectorKernel};
 use crate::planner::physical::PhysJoinKind;
 use crate::value::Value;
 
-/// The materialized build side shared by both join flavors.
+/// The materialized build side shared by both join flavors. Besides the
+/// rows themselves it keeps a columnar copy behind `Arc`s: output batches
+/// gather the build side by *selection* against those shared buffers
+/// (one `Value` clone per build row at construction, zero per output
+/// row), instead of cloning values once per emitted pair.
 struct BuildSide {
     rows: Vec<Row>,
+    cols: Vec<Arc<Vec<Value>>>,
     matched: Vec<bool>,
 }
 
 impl BuildSide {
-    fn consume<'a>(op: &mut BoxedOperator<'a>) -> Result<BuildSide, EngineError> {
+    fn new(rows: Vec<Row>, width: usize) -> BuildSide {
+        let mut cols: Vec<Vec<Value>> =
+            (0..width).map(|_| Vec::with_capacity(rows.len())).collect();
+        for row in &rows {
+            for (col, v) in cols.iter_mut().zip(row) {
+                col.push(v.clone());
+            }
+        }
+        let matched = vec![false; rows.len()];
+        BuildSide {
+            rows,
+            cols: cols.into_iter().map(Arc::new).collect(),
+            matched,
+        }
+    }
+
+    fn consume<'a>(op: &mut BoxedOperator<'a>, width: usize) -> Result<BuildSide, EngineError> {
         let mut rows = Vec::new();
         while let Some(batch) = op.next_batch()? {
             rows.extend(batch.to_rows());
         }
-        let matched = vec![false; rows.len()];
-        Ok(BuildSide { rows, matched })
+        Ok(BuildSide::new(rows, width))
     }
 }
 
@@ -49,15 +71,30 @@ struct PendingOutput<'a> {
     batch: RowBatch<'a>,
     probe_sel: Vec<u32>,
     build_idx: Vec<u32>,
+    /// Whether `build_idx` contains any `u32::MAX` NULL-pad slot (outer
+    /// joins only): padded chunks gather the build side row-wise, while
+    /// unpadded ones share the columnar build buffers zero-copy.
+    padded: bool,
     offset: usize,
 }
 
 impl<'a> PendingOutput<'a> {
+    fn new(batch: RowBatch<'a>, probe_sel: Vec<u32>, build_idx: Vec<u32>) -> PendingOutput<'a> {
+        let padded = build_idx.contains(&u32::MAX);
+        PendingOutput {
+            batch,
+            probe_sel,
+            build_idx,
+            padded,
+            offset: 0,
+        }
+    }
+
     /// Emit the next chunk of at most `batch_size` output rows, or `None`
     /// when exhausted.
     fn next_chunk(
         &mut self,
-        build_rows: &[Row],
+        side: &BuildSide,
         build_width: usize,
         batch_size: usize,
     ) -> Option<RowBatch<'a>> {
@@ -68,13 +105,19 @@ impl<'a> PendingOutput<'a> {
         let probe_sel = self.probe_sel[self.offset..end].to_vec();
         let build_idx = &self.build_idx[self.offset..end];
         self.offset = end;
-        Some(splice_output(
-            &self.batch,
-            probe_sel,
-            build_rows,
-            build_width,
-            build_idx,
-        ))
+        let rows = probe_sel.len();
+        let mut columns = self.batch.select(probe_sel).into_columns();
+        if self.padded {
+            columns.extend(gather_build_columns(&side.rows, build_width, build_idx));
+        } else {
+            let sel = Arc::new(build_idx.to_vec());
+            columns.extend(
+                side.cols
+                    .iter()
+                    .map(|c| ColumnData::shared_with_sel(Arc::clone(c), Arc::clone(&sel))),
+            );
+        }
+        Some(RowBatch::new(columns, rows))
     }
 }
 
@@ -143,17 +186,26 @@ pub(crate) fn unmatched_build_batch<'a>(
     RowBatch::new(columns, ids.len())
 }
 
+/// Build-side key encode chunk size: bounds the scratch [`EncodedChunk`]
+/// while the whole build side streams through the typed encoder.
+const BUILD_ENCODE_CHUNK: usize = 4096;
+
 /// Hash index over the build side: a [`FlatTable`] keyed by precomputed
 /// key hashes whose payload is the *head* build-row index of a chain
 /// threaded through `next` (rows with equal keys, in build-row order).
-/// Keys live in the build rows themselves — no per-key `Vec<Value>`
-/// allocation — and every build row is hashed exactly once, by the
-/// vectorized key kernel.
+/// When every build key is representable in the typed layout, keys are
+/// packed into a [`KeyArena`] (arena row `i` == build row `i`, null-key
+/// rows included) so chain and probe compares are branch-free word
+/// compares; otherwise compares fall back to the build rows themselves.
+/// Every build row is hashed exactly once, by the vectorized key kernel.
 pub(crate) struct JoinTable {
     table: FlatTable,
     /// Per build row: the next row with an equal key, `u32::MAX` at the
     /// chain end.
     next: Vec<u32>,
+    /// Typed columnar copy of the build keys; `None` when some build key
+    /// is unrepresentable (or the key set is empty).
+    keys: Option<KeyArena>,
 }
 
 impl JoinTable {
@@ -165,28 +217,51 @@ impl JoinTable {
         let hashes = hash_rows_keys(rows, keys);
         let mut table = FlatTable::with_capacity(rows.len());
         let mut next = vec![u32::MAX; rows.len()];
+        let arena = encode_build_keys(rows, keys);
+        match &arena {
+            Some(_) => note_typed_rows(rows.len() as u64),
+            None => note_fallback_rows(rows.len() as u64),
+        }
         for i in (0..rows.len()).rev() {
             if hashes.is_null(i) {
                 continue;
             }
-            let row = &rows[i];
-            chain_prepend(
-                &mut table,
-                hashes.hashes[i],
-                i as u32,
-                |p| {
-                    let head = &rows[p as usize];
-                    keys.iter().all(|&k| head[k] == row[k])
-                },
-                |head| next[i] = head,
-            );
+            match &arena {
+                Some(a) => chain_prepend(
+                    &mut table,
+                    hashes.hashes[i],
+                    i as u32,
+                    |p| a.eq_rows(p as usize, i),
+                    |head| next[i] = head,
+                ),
+                None => {
+                    let row = &rows[i];
+                    chain_prepend(
+                        &mut table,
+                        hashes.hashes[i],
+                        i as u32,
+                        |p| {
+                            let head = &rows[p as usize];
+                            keys.iter().all(|&k| head[k] == row[k])
+                        },
+                        |head| next[i] = head,
+                    )
+                }
+            }
         }
-        JoinTable { table, next }
+        JoinTable {
+            table,
+            next,
+            keys: arena,
+        }
     }
 
     /// Push every build row matching the probe key onto `out`, in
     /// build-row order. The probe key is taken from `batch` columns
-    /// `probe_keys` at row `r`, pre-hashed as `hash`.
+    /// `probe_keys` at row `r`, pre-hashed as `hash`. `chunk` is the
+    /// batch's probe-side typed encoding when the build keys are typed
+    /// (rows the typed layout can't represent compare exactly via
+    /// [`KeyArena::eq_row_at`]).
     #[inline]
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn probe_into(
@@ -197,15 +272,24 @@ impl JoinTable {
         probe_keys: &[usize],
         build_rows: &[Row],
         build_keys: &[usize],
+        chunk: Option<&EncodedChunk>,
         out: &mut Vec<u32>,
     ) {
-        let head = self.table.find(hash, |p| {
-            let build = &build_rows[p as usize];
-            probe_keys
-                .iter()
-                .zip(build_keys)
-                .all(|(&pk, &bk)| batch.value(pk, r) == &build[bk])
-        });
+        let head = match (&self.keys, chunk) {
+            (Some(arena), Some(chunk)) if chunk.ok(r) => self
+                .table
+                .find(hash, |p| arena.eq_chunk(p as usize, chunk, r)),
+            (Some(arena), _) => self.table.find(hash, |p| {
+                arena.eq_row_at(p as usize, |c| batch.value(probe_keys[c], r))
+            }),
+            (None, _) => self.table.find(hash, |p| {
+                let build = &build_rows[p as usize];
+                probe_keys
+                    .iter()
+                    .zip(build_keys)
+                    .all(|(&pk, &bk)| batch.value(pk, r) == &build[bk])
+            }),
+        };
         let mut cur = match head {
             Some(h) => h,
             None => return,
@@ -215,6 +299,37 @@ impl JoinTable {
             cur = self.next[cur as usize];
         }
     }
+
+    /// The typed build-key arena, when the build side is representable.
+    fn arena(&self) -> Option<&KeyArena> {
+        self.keys.as_ref()
+    }
+}
+
+/// Pack every build key into a fresh [`KeyArena`] (arena row == build
+/// row), or `None` if any key value is unrepresentable. NULL-key rows
+/// are encoded too — they never enter the hash table, but keeping the
+/// arena index aligned with the row index keeps chain compares O(1).
+fn encode_build_keys(rows: &[Row], keys: &[usize]) -> Option<KeyArena> {
+    if keys.is_empty() {
+        return None;
+    }
+    let mut arena = KeyArena::new(keys.len());
+    arena.reserve(rows.len());
+    let mut chunk = EncodedChunk::new();
+    let mut base = 0;
+    while base < rows.len() {
+        let n = BUILD_ENCODE_CHUNK.min(rows.len() - base);
+        arena.encode_chunk(&mut chunk, n, |r, c| &rows[base + r][keys[c]]);
+        if !chunk.all_ok() {
+            return None;
+        }
+        for r in 0..n {
+            arena.push_from_chunk(&chunk, r);
+        }
+        base += n;
+    }
+    Some(arena)
 }
 
 /// One probe batch joined against a [`JoinTable`]: candidate pairs via
@@ -238,7 +353,25 @@ fn join_probe_batch(
     let rows = batch.num_rows();
     let mut cand_rows: Vec<u32> = Vec::new();
     let mut cand_bis: Vec<u32> = Vec::new();
-    let hashes = hash_batch_keys(batch, probe_keys);
+    // Typed probe: one fused column-at-a-time pass both hashes the
+    // batch's probe keys and encodes them against the build arena
+    // (lookup-only — a probe string absent from the build heap can match
+    // nothing, so it is never interned), so each key value is
+    // enum-dispatched exactly once and each candidate compare is a word
+    // compare. Row-based build sides take the plain hash kernel.
+    let (hashes, probe_chunk) = match table.arena() {
+        Some(arena) => {
+            let mut chunk = EncodedChunk::new();
+            let hashes = arena.encode_probe_batch(&mut chunk, batch, probe_keys);
+            note_typed_rows((rows - chunk.bad_rows()) as u64);
+            note_fallback_rows(chunk.bad_rows() as u64);
+            (hashes, Some(chunk))
+        }
+        None => {
+            note_fallback_rows(rows as u64);
+            (hash_batch_keys(batch, probe_keys), None)
+        }
+    };
     for row in 0..rows {
         if hashes.is_null(row) {
             continue;
@@ -250,9 +383,17 @@ fn join_probe_batch(
             probe_keys,
             build_rows,
             build_keys,
+            probe_chunk.as_ref(),
             &mut cand_bis,
         );
         cand_rows.resize(cand_bis.len(), row as u32);
+    }
+    // Inner join without a residual: the candidate arrays already ARE
+    // the output pairs — probe-row order with chains in build-row order
+    // — and `matched` is only observed by the FULL OUTER tail. Skip the
+    // pair-rebuild pass entirely.
+    if join == PhysJoinKind::Inner && residual.is_none() {
+        return Ok((cand_rows, cand_bis));
     }
     // Vectorized residual: one `probe ++ build` frame over every
     // candidate pair, filtered in a single kernel pass.
@@ -370,7 +511,7 @@ impl<'a> HashJoinOp<'a> {
             return Ok(());
         }
         if !self.budget.is_bounded() {
-            let side = BuildSide::consume(&mut self.build)?;
+            let side = BuildSide::consume(&mut self.build, self.build_width)?;
             // Sized from the exact build-row count: no rehash during build.
             let table = JoinTable::build(&side.rows, &self.build_keys);
             self.state = Some((side, table));
@@ -398,9 +539,8 @@ impl<'a> HashJoinOp<'a> {
             }
             tuples.sort_by_key(|(_, s, _)| *s);
             let rows: Vec<Row> = tuples.into_iter().map(|(_, _, r)| r).collect();
-            let matched = vec![false; rows.len()];
             let table = JoinTable::build(&rows, &self.build_keys);
-            self.state = Some((BuildSide { rows, matched }, table));
+            self.state = Some((BuildSide::new(rows, self.build_width), table));
         } else {
             self.grace_parts = Some(spiller.finish()?);
         }
@@ -516,7 +656,7 @@ impl<'a> HashJoinOp<'a> {
     fn emit_pending(&mut self) -> Option<RowBatch<'a>> {
         let pending = self.pending.as_mut()?;
         let (side, _) = self.state.as_ref().expect("built before emitting");
-        let out = pending.next_chunk(&side.rows, self.build_width, self.batch_size);
+        let out = pending.next_chunk(side, self.build_width, self.batch_size);
         if out.is_none() {
             self.pending = None;
         }
@@ -547,12 +687,7 @@ impl<'a> Operator<'a> for HashJoinOp<'a> {
             };
             let (probe_sel, build_idx) = self.join_batch(&batch)?;
             if !probe_sel.is_empty() {
-                self.pending = Some(PendingOutput {
-                    batch,
-                    probe_sel,
-                    build_idx,
-                    offset: 0,
-                });
+                self.pending = Some(PendingOutput::new(batch, probe_sel, build_idx));
             }
         }
         if self.join == PhysJoinKind::FullOuter {
@@ -622,7 +757,7 @@ impl<'a> NestedLoopJoinOp<'a> {
     fn emit_pending(&mut self) -> Option<RowBatch<'a>> {
         let pending = self.pending.as_mut()?;
         let side = self.state.as_ref().expect("built before emitting");
-        let out = pending.next_chunk(&side.rows, self.build_width, self.batch_size);
+        let out = pending.next_chunk(side, self.build_width, self.batch_size);
         if out.is_none() {
             self.pending = None;
         }
@@ -633,7 +768,7 @@ impl<'a> NestedLoopJoinOp<'a> {
 impl<'a> Operator<'a> for NestedLoopJoinOp<'a> {
     fn next_batch(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
         if self.state.is_none() {
-            self.state = Some(BuildSide::consume(&mut self.build)?);
+            self.state = Some(BuildSide::consume(&mut self.build, self.build_width)?);
         }
         let preserve_probe = matches!(self.join, PhysJoinKind::LeftOuter | PhysJoinKind::FullOuter);
         loop {
@@ -674,12 +809,7 @@ impl<'a> Operator<'a> for NestedLoopJoinOp<'a> {
                 }
             }
             if !probe_sel.is_empty() {
-                self.pending = Some(PendingOutput {
-                    batch,
-                    probe_sel,
-                    build_idx,
-                    offset: 0,
-                });
+                self.pending = Some(PendingOutput::new(batch, probe_sel, build_idx));
             }
         }
         if self.join == PhysJoinKind::FullOuter {

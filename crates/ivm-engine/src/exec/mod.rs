@@ -17,6 +17,7 @@ pub mod batch;
 pub mod hash;
 pub mod parallel;
 pub mod spill;
+pub mod typed;
 
 mod aggregate;
 mod join;
@@ -28,6 +29,7 @@ use std::sync::Arc;
 pub use batch::{BatchBuilder, BatchRow, ColumnData, JoinedRow, RowBatch, DEFAULT_BATCH_SIZE};
 pub use parallel::{execute_parallel, ParallelOptions, DEFAULT_MORSEL_SIZE};
 pub use spill::{MemoryBudget, SpillStats};
+pub use typed::{reset_typed_path_stats, typed_path_stats};
 
 use crate::catalog::Catalog;
 use crate::error::EngineError;
@@ -254,16 +256,34 @@ pub fn build_operator_budgeted<'a>(
             right,
             ..
         } => {
+            // Planner sizing hints: the seen-set holds at most the output
+            // estimate, the right-side multiplicity map the right input.
+            let seen_hint = crate::planner::physical::table_size_hint(
+                crate::planner::physical::estimate_physical_rows(plan, catalog),
+            );
+            let right_hint = crate::planner::physical::table_size_hint(
+                crate::planner::physical::estimate_physical_rows(right, catalog),
+            );
             let left = build_operator_budgeted(left, catalog, batch_size, budget)?;
             let right = build_operator_budgeted(right, catalog, batch_size, budget)?;
             Box::new(
                 operators::SetOpOp::new(*op, *all, left, right)
+                    .with_size_hints(seen_hint, right_hint)
                     .with_budget(budget.clone(), batch_size),
             )
         }
         PhysicalPlan::Distinct { input } => {
+            // Planner sizing hint: pre-size the seen-set so large
+            // DISTINCTs never rehash mid-stream.
+            let hint = crate::planner::physical::table_size_hint(
+                crate::planner::physical::estimate_physical_rows(plan, catalog),
+            );
             let input = build_operator_budgeted(input, catalog, batch_size, budget)?;
-            Box::new(operators::DistinctOp::new(input).with_budget(budget.clone(), batch_size))
+            Box::new(
+                operators::DistinctOp::new(input)
+                    .with_size_hint(hint)
+                    .with_budget(budget.clone(), batch_size),
+            )
         }
         PhysicalPlan::Sort { input, keys } => {
             let child = build_operator_budgeted(input, catalog, batch_size, budget)?;

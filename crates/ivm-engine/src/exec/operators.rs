@@ -463,6 +463,15 @@ impl<'a> DistinctOp<'a> {
         }
     }
 
+    /// Pre-size the seen-set from the planner's cardinality estimate so
+    /// large DISTINCTs never rehash mid-stream (0 = no hint).
+    pub fn with_size_hint(mut self, hint: usize) -> DistinctOp<'a> {
+        if hint > 0 {
+            self.seen = RowSet::with_capacity(hint);
+        }
+        self
+    }
+
     /// Attach a memory budget (and the batch size spilled output is
     /// re-chunked at).
     pub fn with_budget(mut self, budget: MemoryBudget, batch_size: usize) -> DistinctOp<'a> {
@@ -515,6 +524,7 @@ impl<'a> Operator<'a> for DistinctOp<'a> {
         }
         while let Some(batch) = self.input.next_batch()? {
             let hashes = hash_batch_rows(&batch);
+            self.seen.begin_batch(&batch);
             let mut keep: Vec<u32> = Vec::new();
             for (row, &hash) in hashes.iter().enumerate() {
                 if self.seen.insert_batch_row(hash, &batch, row) {
@@ -550,6 +560,7 @@ pub struct SetOpOp<'a> {
     left_done: bool,
     right_counts: Option<RowCounter>,
     seen: RowSet,
+    right_hint: usize,
     budget: MemoryBudget,
     batch_size: usize,
     spilled_output: Option<VecDeque<RowBatch<'a>>>,
@@ -571,6 +582,7 @@ impl<'a> SetOpOp<'a> {
             left_done: false,
             right_counts: None,
             seen: RowSet::new(),
+            right_hint: 0,
             budget: MemoryBudget::unbounded(),
             batch_size: DEFAULT_BATCH_SIZE,
             spilled_output: None,
@@ -582,6 +594,19 @@ impl<'a> SetOpOp<'a> {
     pub fn with_budget(mut self, budget: MemoryBudget, batch_size: usize) -> SetOpOp<'a> {
         self.budget = budget;
         self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Pre-size the seen-set (output estimate) and the right-side
+    /// multiplicity map (right-input estimate) from planner cardinality
+    /// hints (0 = no hint).
+    pub fn with_size_hints(mut self, seen_hint: usize, right_hint: usize) -> SetOpOp<'a> {
+        if seen_hint > 0 {
+            self.seen = RowSet::with_capacity(seen_hint);
+        }
+        if right_hint > 0 {
+            self.right_hint = right_hint;
+        }
         self
     }
 
@@ -698,6 +723,7 @@ impl<'a> SetOpOp<'a> {
                 return Ok(Some(batch));
             }
             let hashes = hash_batch_rows(&batch);
+            self.seen.begin_batch(&batch);
             let mut keep: Vec<u32> = Vec::new();
             for (row, &hash) in hashes.iter().enumerate() {
                 if self.seen.insert_batch_row(hash, &batch, row) {
@@ -712,9 +738,14 @@ impl<'a> SetOpOp<'a> {
 
     fn next_against_counts(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
         if self.right_counts.is_none() {
-            let mut counts = RowCounter::new();
+            let mut counts = if self.right_hint > 0 {
+                RowCounter::with_capacity(self.right_hint)
+            } else {
+                RowCounter::new()
+            };
             while let Some(batch) = self.right.next_batch()? {
                 let hashes = hash_batch_rows(&batch);
+                counts.begin_batch(&batch);
                 for (row, &hash) in hashes.iter().enumerate() {
                     counts.add_batch_row(hash, &batch, row);
                 }
@@ -725,6 +756,10 @@ impl<'a> SetOpOp<'a> {
         while let Some(batch) = self.left.next_batch()? {
             let counts = self.right_counts.as_mut().expect("built above");
             let hashes = hash_batch_rows(&batch);
+            if !self.all {
+                // Set semantics track first-sight through the seen-set.
+                self.seen.begin_batch(&batch);
+            }
             let mut keep: Vec<u32> = Vec::new();
             for (row, &hash) in hashes.iter().enumerate() {
                 let kept = if self.all {

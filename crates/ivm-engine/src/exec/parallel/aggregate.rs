@@ -83,7 +83,7 @@ pub(super) fn parallel_aggregate(
                 let MorselOut::Grouped(partial) = out else {
                     unreachable!("grouped work yields grouped partials")
                 };
-                groups.merge_from(partial, &agg)?;
+                groups.merge_from(*partial, &agg)?;
             }
             for batch in pipeline_tails(spec, ctx)? {
                 agg.fold_batch_grouped(&batch, &mut groups)?;

@@ -299,6 +299,22 @@ impl JoinStage {
             }
             cand_rows.resize(cand_bis.len(), row as u32);
         }
+        // Inner join without a residual: the candidate arrays already
+        // ARE the output pairs (probe-row order, chains in build-row
+        // order) and matched flags are FULL OUTER-only — same fast path
+        // as the serial `join_probe_batch`.
+        if self.join == PhysJoinKind::Inner && self.residual.is_none() {
+            if cand_rows.is_empty() {
+                return Ok(None);
+            }
+            return Ok(Some(splice_output(
+                &batch,
+                cand_rows,
+                &self.build_rows,
+                self.build_width,
+                &cand_bis,
+            )));
+        }
         let pass: Option<Vec<bool>> = match &self.residual {
             Some(kernel) if !cand_rows.is_empty() => {
                 let frame = splice_output(
@@ -566,7 +582,7 @@ pub(super) enum MorselWork<'s> {
 /// [`run_morsels`].
 pub(super) enum MorselOut {
     Rows(Vec<Row>),
-    Grouped(GroupTable),
+    Grouped(Box<GroupTable>),
     Global(crate::exec::aggregate::GroupState),
 }
 
@@ -596,7 +612,7 @@ fn process_morsel(
                     agg.fold_batch_grouped(&b, &mut groups)?;
                 }
             }
-            Ok(MorselOut::Grouped(groups))
+            Ok(MorselOut::Grouped(Box::new(groups)))
         }
         MorselWork::AggGlobal(agg) => {
             let mut state = agg.new_state();

@@ -8,7 +8,7 @@ pub mod vector;
 pub use bind::{BindColumn, Scope};
 pub use eval::like_match;
 pub use funcs::{AggFunc, ScalarFunc};
-pub use vector::VectorKernel;
+pub use vector::{EvalChunk, VectorKernel};
 
 use ivm_sql::ast::{BinaryOp, UnaryOp};
 

@@ -209,12 +209,45 @@ impl NumView<'_> {
     }
 }
 
+/// A materialized projection chunk in its tightest representation: typed
+/// vectors for all-numeric outputs (the aggregate fold reads these
+/// without constructing a `Value` per row), owned values otherwise.
+#[derive(Debug)]
+pub enum EvalChunk {
+    /// All-Integer output; `nulls[i]` marks NULL rows.
+    Ints {
+        /// Row values (garbage where null).
+        data: Vec<i64>,
+        /// Per-row null mask, if any row is NULL.
+        nulls: Option<Vec<bool>>,
+    },
+    /// Double (or mixed Integer/Double, widened) output.
+    Floats {
+        /// Row values (garbage where null).
+        data: Vec<f64>,
+        /// Per-row null mask, if any row is NULL.
+        nulls: Option<Vec<bool>>,
+    },
+    /// Any other output shape, one owned value per row.
+    Values(Vec<Value>),
+}
+
 impl VectorKernel {
     /// Compile an expression into a kernel. Compilation never fails:
     /// unsupported sub-trees become row-at-a-time fallback nodes.
     pub fn compile(expr: &BoundExpr) -> VectorKernel {
         VectorKernel {
             prog: compile_node(expr),
+        }
+    }
+
+    /// The input column index when the whole kernel is a bare column
+    /// reference (`GROUP BY c`) — consumers can then read the batch
+    /// column directly instead of evaluating the kernel into a clone.
+    pub fn column_index(&self) -> Option<usize> {
+        match self.prog {
+            Node::Col(i) => Some(i),
+            _ => None,
         }
     }
 
@@ -249,6 +282,22 @@ impl VectorKernel {
         }
         let out = eval_node(&self.prog, batch, rows, None)?;
         Ok(out.into_values(rows))
+    }
+
+    /// Evaluate as a projection, keeping all-numeric outputs typed (the
+    /// aggregate fold consumes [`EvalChunk::Ints`]/[`EvalChunk::Floats`]
+    /// directly; everything else materializes as with
+    /// [`eval_column`](VectorKernel::eval_column)).
+    pub fn eval_chunk(&self, batch: &RowBatch<'_>) -> Result<EvalChunk, EngineError> {
+        let rows = batch.num_rows();
+        if rows == 0 {
+            return Ok(EvalChunk::Values(Vec::new()));
+        }
+        Ok(match eval_node(&self.prog, batch, rows, None)? {
+            VecCol::Int { data, nulls } => EvalChunk::Ints { data, nulls },
+            VecCol::Float { data, nulls } => EvalChunk::Floats { data, nulls },
+            other => EvalChunk::Values(other.into_values(rows)),
+        })
     }
 }
 

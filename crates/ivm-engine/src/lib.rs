@@ -64,7 +64,7 @@ pub mod value;
 
 pub use catalog::Catalog;
 pub use error::{EngineError, ErrorKind};
-pub use exec::{MemoryBudget, RowBatch, SpillStats};
+pub use exec::{reset_typed_path_stats, typed_path_stats, MemoryBudget, RowBatch, SpillStats};
 pub use planner::{plan_query, LogicalPlan, PhysicalPlan};
 pub use schema::{Column, Schema};
 pub use session::{Database, QueryResult};

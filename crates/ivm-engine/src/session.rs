@@ -284,6 +284,13 @@ impl Database {
         self.budget.stats()
     }
 
+    /// Cumulative `(typed, fallback)` row counters for the typed columnar
+    /// key path (process-wide — see
+    /// [`exec::typed_path_stats`](crate::exec::typed_path_stats)).
+    pub fn typed_path_stats(&self) -> (u64, u64) {
+        crate::exec::typed_path_stats()
+    }
+
     /// Run an already-lowered physical plan with this session's batch
     /// size, parallelism, and memory budget.
     fn run_physical(&self, physical: &PhysicalPlan) -> Result<Vec<Row>, EngineError> {

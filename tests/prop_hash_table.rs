@@ -6,7 +6,7 @@
 
 use std::collections::HashMap;
 
-use openivm::ivm_engine::exec::hash::{hash_row, hash_value, FlatTable, RowSet};
+use openivm::ivm_engine::exec::hash::{hash_row, hash_value, FlatTable, ProbeMode, RowSet};
 use openivm::ivm_engine::{Database, Value};
 use proptest::prelude::*;
 
@@ -255,5 +255,94 @@ fn results_invariant_across_batch_sizes() {
             expect_join,
             "batch_size={bs}"
         );
+    }
+}
+
+/// Every probe mode, over every table under test.
+const PROBE_MODES: [ProbeMode; 3] = [ProbeMode::Scalar, ProbeMode::Swar, ProbeMode::Sse2];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Group-scan parity: the SWAR and SSE2 tag scans return exactly what
+    /// the byte-at-a-time scalar scan returns — same payload on hits,
+    /// `None` on misses — on tables grown through arbitrary insert
+    /// sequences. Squeezing hashes into a handful of classes forces long
+    /// probe sequences *and* identical 7-bit control tags packed densely
+    /// into shared groups, the worst case for a vectorized tag compare.
+    #[test]
+    fn probe_modes_match_scalar(
+        payloads in prop::collection::vec(0u32..5000, 0..600),
+        classes in 1u64..8,
+    ) {
+        let mut table = FlatTable::new();
+        for (i, &p) in payloads.iter().enumerate() {
+            let h = (i as u64 % classes).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            table.insert(h, p);
+        }
+        for (i, &p) in payloads.iter().enumerate() {
+            let h = (i as u64 % classes).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let scalar = table.find_in_mode(h, |q| q == p, ProbeMode::Scalar);
+            prop_assert_eq!(scalar, Some(p), "scalar lost entry {}", i);
+            for mode in PROBE_MODES {
+                prop_assert_eq!(
+                    table.find_in_mode(h, |q| q == p, mode),
+                    scalar,
+                    "{:?} disagrees on entry {}",
+                    mode,
+                    i
+                );
+            }
+        }
+        // Misses agree in every mode: same hash class, absent payload.
+        for cls in 0..classes {
+            let h = cls.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            for mode in PROBE_MODES {
+                prop_assert_eq!(table.find_in_mode(h, |q| q == u32::MAX, mode), None);
+            }
+        }
+    }
+}
+
+/// Probe-mode parity across growth at the executor batch boundaries
+/// (0/1/1023/1024/1025), plus re-insertion under the same hashes after
+/// growth: the table never deletes, so chains extend tombstone-free and
+/// every mode still resolves both the old and the new payloads.
+#[test]
+fn probe_modes_agree_across_growth_and_reinsertion() {
+    for n in [0usize, 1, 1023, 1024, 1025] {
+        let mut table = FlatTable::new();
+        for k in 0..n as u32 {
+            table.insert(hash_value(&Value::Integer(i64::from(k))), k);
+        }
+        for k in 0..n as u32 {
+            let h = hash_value(&Value::Integer(i64::from(k)));
+            for mode in PROBE_MODES {
+                assert_eq!(
+                    table.find_in_mode(h, |p| p == k, mode),
+                    Some(k),
+                    "n={n} k={k} {mode:?}"
+                );
+            }
+        }
+        // Second wave on the same hashes (no tombstones exist to reuse —
+        // inserts only ever take first-empty slots).
+        for k in 0..n as u32 {
+            table.insert(hash_value(&Value::Integer(i64::from(k))), n as u32 + k);
+        }
+        assert_eq!(table.len(), 2 * n);
+        for k in 0..n as u32 {
+            let h = hash_value(&Value::Integer(i64::from(k)));
+            for (want, miss) in [(k, false), (n as u32 + k, false), (u32::MAX, true)] {
+                let expect = if miss { None } else { Some(want) };
+                for mode in PROBE_MODES {
+                    assert_eq!(
+                        table.find_in_mode(h, |p| p == want, mode),
+                        expect,
+                        "n={n} k={k} want={want} {mode:?}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,248 @@
+//! SQL-level equivalence suite for the typed columnar key path
+//! (`ivm_engine::exec::typed`): queries whose keys take the packed
+//! `(tag, word)` arena must produce exactly the rows (order included)
+//! that `Vec<Value>` grouping semantics dictate — across INTEGER≡DOUBLE
+//! grouping, NULL keys, empty-string vs NULL text, NaN keys, and the
+//! beyond-±2^53 integers that force the row-store fallback.
+//!
+//! The typed/fallback row counters are process-wide atomics, so every
+//! test serializes on one mutex before resetting them.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use openivm::ivm_engine::{reset_typed_path_stats, typed_path_stats, Database, Value};
+
+/// Serialize tests that reset/read the process-wide typed-path counters.
+fn stats_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poison) => poison.into_inner(),
+    }
+}
+
+fn i(v: i64) -> Value {
+    Value::Integer(v)
+}
+
+fn d(v: f64) -> Value {
+    Value::Double(v)
+}
+
+/// INTEGER and DOUBLE key values that compare equal under grouping
+/// equality (3 ≡ 3.0) land in one group, keyed by the first-seen value;
+/// NULL keys form one group of their own. The whole workload stays on
+/// the typed path — zero fallback rows.
+#[test]
+fn mixed_int_double_keys_group_together() {
+    let _g = stats_lock();
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t (k DOUBLE, v INTEGER)").unwrap();
+    {
+        let t = db.catalog_mut().table_mut("t").unwrap();
+        // DOUBLE accepts INTEGER values as-is (widening), so one column
+        // carries both runtime types — the grouping-equality stress case.
+        for (n, k) in [i(3), d(3.0), i(4), d(4.5), Value::Null, Value::Null, d(3.0)]
+            .into_iter()
+            .enumerate()
+        {
+            t.insert(vec![k, i(n as i64)]).unwrap();
+        }
+    }
+    reset_typed_path_stats();
+    let out = db.query("SELECT k, COUNT(*) FROM t GROUP BY k").unwrap();
+    // First-seen group order, first-seen key representative.
+    assert_eq!(
+        out.rows,
+        vec![
+            vec![i(3), i(3)],
+            vec![i(4), i(1)],
+            vec![d(4.5), i(1)],
+            vec![Value::Null, i(2)],
+        ]
+    );
+    let (typed, fallback) = typed_path_stats();
+    assert!(typed > 0, "grouping must take the typed path");
+    assert_eq!(fallback, 0, "no key here is unrepresentable");
+}
+
+/// DISTINCT over text: the empty string and NULL are different keys (one
+/// row each), and duplicate strings deduplicate through the interned
+/// text column.
+#[test]
+fn distinct_empty_string_vs_null_text() {
+    let _g = stats_lock();
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t (s VARCHAR)").unwrap();
+    {
+        let t = db.catalog_mut().table_mut("t").unwrap();
+        for s in [
+            Value::from(""),
+            Value::Null,
+            Value::from(""),
+            Value::Null,
+            Value::from("a"),
+        ] {
+            t.insert(vec![s]).unwrap();
+        }
+    }
+    reset_typed_path_stats();
+    let out = db.query("SELECT DISTINCT s FROM t").unwrap();
+    assert_eq!(
+        out.rows,
+        vec![
+            vec![Value::from("")],
+            vec![Value::Null],
+            vec![Value::from("a")]
+        ]
+    );
+    let (typed, fallback) = typed_path_stats();
+    assert!(typed > 0, "text keys must take the typed path");
+    assert_eq!(fallback, 0);
+}
+
+/// NaN keys: grouping equality treats NaN as equal to itself (one
+/// group), and ORDER BY's total order places NaN after every finite
+/// double.
+#[test]
+fn nan_keys_group_and_order() {
+    let _g = stats_lock();
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t (k DOUBLE)").unwrap();
+    {
+        let t = db.catalog_mut().table_mut("t").unwrap();
+        for k in [d(f64::NAN), d(1.0), d(f64::NAN)] {
+            t.insert(vec![k]).unwrap();
+        }
+    }
+    let grouped = db.query("SELECT k, COUNT(*) FROM t GROUP BY k").unwrap();
+    assert_eq!(grouped.rows.len(), 2, "NaN must form exactly one group");
+    assert_eq!(
+        grouped.rows[0][1],
+        i(2),
+        "both NaNs in the first-seen group"
+    );
+    assert_eq!(grouped.rows[1], vec![d(1.0), i(1)]);
+    let ordered = db.query("SELECT k FROM t ORDER BY k").unwrap();
+    assert_eq!(ordered.rows[0], vec![d(1.0)], "finite doubles sort first");
+    assert!(
+        ordered.rows[1][0].as_f64().unwrap().is_nan()
+            && ordered.rows[2][0].as_f64().unwrap().is_nan()
+    );
+}
+
+/// Integers beyond ±2^53 cannot be packed into the f64-keyed word
+/// column; the store demotes to rows (counted as fallback) and the
+/// answers stay exact — 2^53 and 2^53 + 1 are distinct groups even
+/// though they share an f64 image (and therefore a hash).
+#[test]
+fn big_int_keys_fall_back_without_wrong_answers() {
+    let _g = stats_lock();
+    const BIG: i64 = 1 << 53;
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t (k INTEGER)").unwrap();
+    {
+        let t = db.catalog_mut().table_mut("t").unwrap();
+        for k in [BIG, BIG + 1, BIG, i64::MAX, i64::MIN, BIG + 1] {
+            t.insert(vec![i(k)]).unwrap();
+        }
+    }
+    reset_typed_path_stats();
+    let out = db.query("SELECT k, COUNT(*) FROM t GROUP BY k").unwrap();
+    assert_eq!(
+        out.rows,
+        vec![
+            vec![i(BIG), i(2)],
+            vec![i(BIG + 1), i(2)],
+            vec![i(i64::MAX), i(1)],
+            vec![i(i64::MIN), i(1)],
+        ]
+    );
+    let (_, fallback) = typed_path_stats();
+    assert!(fallback > 0, "beyond-2^53 keys must be counted as fallback");
+}
+
+/// Join-key equality through the typed probe: an INTEGER probe key
+/// equals a DOUBLE build key when their grouping comparison says so
+/// (2^53 + 1 ≡ 9007199254740992.0 — the widened image), but never
+/// equals a *different* INTEGER that shares the same f64 image and
+/// hash. This pins the exact-compare matrix of the probe-side
+/// fallback.
+#[test]
+fn join_probe_exactness_beyond_2_53() {
+    let _g = stats_lock();
+    const BIG: i64 = 1 << 53;
+    let mut db = Database::new();
+    db.execute("CREATE TABLE l (k INTEGER, tag VARCHAR)")
+        .unwrap();
+    db.execute("CREATE TABLE rd (k DOUBLE, tag VARCHAR)")
+        .unwrap();
+    db.execute("CREATE TABLE ri (k INTEGER, tag VARCHAR)")
+        .unwrap();
+    {
+        let t = db.catalog_mut().table_mut("l").unwrap();
+        t.insert(vec![i(BIG + 1), Value::from("probe")]).unwrap();
+    }
+    {
+        let t = db.catalog_mut().table_mut("rd").unwrap();
+        t.insert(vec![d(BIG as f64), Value::from("double")])
+            .unwrap();
+    }
+    {
+        let t = db.catalog_mut().table_mut("ri").unwrap();
+        t.insert(vec![i(BIG), Value::from("int")]).unwrap();
+    }
+    // Probe Integer(2^53+1) vs build Double(2^53 as f64): the grouping
+    // comparison widens the integer, so they match.
+    let vs_double = db
+        .query("SELECT l.tag, rd.tag FROM l JOIN rd ON l.k = rd.k")
+        .unwrap();
+    assert_eq!(
+        vs_double.rows,
+        vec![vec![Value::from("probe"), Value::from("double")]]
+    );
+    // Probe Integer(2^53+1) vs build Integer(2^53): equal hashes, equal
+    // f64 images — but integer comparison is exact, so no match.
+    let vs_int = db
+        .query("SELECT l.tag, ri.tag FROM l JOIN ri ON l.k = ri.k")
+        .unwrap();
+    assert!(vs_int.rows.is_empty(), "{:?}", vs_int.rows);
+}
+
+/// A plain integer join + GROUP BY workload never falls back — the
+/// acceptance gate that integer keys take the typed path silently is
+/// observable through the public counters.
+#[test]
+fn integer_workload_is_fallback_free() {
+    let _g = stats_lock();
+    let mut db = Database::new();
+    db.execute("CREATE TABLE f (k INTEGER, v INTEGER)").unwrap();
+    db.execute("CREATE TABLE dim (k INTEGER, w INTEGER)")
+        .unwrap();
+    {
+        let t = db.catalog_mut().table_mut("f").unwrap();
+        for n in 0..3000i64 {
+            t.insert(vec![i(n % 97), i(n)]).unwrap();
+        }
+    }
+    {
+        let t = db.catalog_mut().table_mut("dim").unwrap();
+        for n in 0..97i64 {
+            t.insert(vec![i(n), i(n * 10)]).unwrap();
+        }
+    }
+    reset_typed_path_stats();
+    let joined = db
+        .query("SELECT f.k, dim.w FROM f JOIN dim ON f.k = dim.k")
+        .unwrap();
+    assert_eq!(joined.rows.len(), 3000);
+    let grouped = db
+        .query("SELECT k, COUNT(*), SUM(v) FROM f GROUP BY k")
+        .unwrap();
+    assert_eq!(grouped.rows.len(), 97);
+    let distinct = db.query("SELECT DISTINCT k FROM f").unwrap();
+    assert_eq!(distinct.rows.len(), 97);
+    let (typed, fallback) = typed_path_stats();
+    assert!(typed > 0);
+    assert_eq!(fallback, 0, "integer keys must never fall back");
+}
