@@ -101,18 +101,23 @@ fn ehash_json(rows: &[EHashRow]) -> String {
 }
 
 /// Serialize E-spill rows as JSON by hand (no serde in the workspace).
-/// Budget, working set, latency, and the spill counters per run.
+/// Budget, workers, working set, latency, and the spill counters per
+/// run, including the background-writer observability fields.
 fn espill_json(rows: &[ESpillRow]) -> String {
     let entries: Vec<String> = rows
         .iter()
         .map(|r| {
             format!(
-                "  {{\"budget\": \"{}\", \"budget_bytes\": {}, \"fact_rows\": {}, \
+                "  {{\"budget\": \"{}\", \"budget_bytes\": {}, \"workers\": {}, \
+                 \"fact_rows\": {}, \
                  \"working_set_bytes\": {}, \"out_rows\": {}, \"join_group_ns\": {}, \
                  \"spilled_partitions\": {}, \"spilled_rows\": {}, \"spilled_bytes\": {}, \
-                 \"spill_files\": {}, \"rehydrated_rows\": {}, \"repartitions\": {}}}",
+                 \"spill_files\": {}, \"rehydrated_rows\": {}, \"bytes_read\": {}, \
+                 \"repartitions\": {}, \"queue_high_water\": {}, \"overlap_ns\": {}, \
+                 \"peak_used_bytes\": {}}}",
                 r.budget_label,
                 r.budget_bytes.map_or(0, |b| b as u64),
+                r.workers,
                 r.fact_rows,
                 r.working_set,
                 r.out_rows,
@@ -122,7 +127,11 @@ fn espill_json(rows: &[ESpillRow]) -> String {
                 r.stats.spilled_bytes,
                 r.stats.spill_files,
                 r.stats.rehydrated_rows,
+                r.stats.bytes_read,
                 r.stats.repartitions,
+                r.stats.queue_high_water,
+                r.stats.overlap_nanos,
+                r.stats.peak_used,
             )
         })
         .collect();
@@ -138,19 +147,23 @@ fn espill_json(rows: &[ESpillRow]) -> String {
 fn print_espill(rows: &[ESpillRow]) {
     let mut report = Report::new(&[
         "budget",
+        "workers",
         "fact rows",
         "join+group",
         "spilled bytes",
-        "spilled parts",
+        "peak used",
+        "queue hwm",
         "rehydrated rows",
     ]);
     for r in rows {
         report.row(&[
             r.budget_label.to_string(),
+            r.workers.to_string(),
             r.fact_rows.to_string(),
             fmt_duration(r.join_group),
             r.stats.spilled_bytes.to_string(),
-            r.stats.spilled_partitions.to_string(),
+            r.stats.peak_used.to_string(),
+            r.stats.queue_high_water.to_string(),
             r.stats.rehydrated_rows.to_string(),
         ]);
     }
@@ -210,7 +223,7 @@ fn main() {
         } else {
             &[1_000_000]
         };
-        let rows = espill_out_of_core(sizes);
+        let rows = espill_out_of_core(sizes, &[1, 4]);
         print_espill(&rows);
         std::fs::write(path, espill_json(&rows)).expect("write E-spill JSON");
         println!("wrote {path}");
@@ -397,7 +410,7 @@ fn main() {
     println!("   (build sides and group tables larger than the budget spill radix");
     println!("    partitions to disk and rehydrate partition-at-a-time)\n");
     let sizes: &[usize] = if quick { &[20_000] } else { &[200_000] };
-    print_espill(&espill_out_of_core(sizes));
+    print_espill(&espill_out_of_core(sizes, &[1, 4]));
 
     // ---------------- E-parallel
     println!("== E-parallel: morsel-driven multi-core scaling ==");

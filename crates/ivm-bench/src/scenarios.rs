@@ -704,6 +704,8 @@ pub struct ESpillRow {
     pub budget_label: &'static str,
     /// Budget in bytes (`None` = unbounded).
     pub budget_bytes: Option<usize>,
+    /// Worker threads the run executed with.
+    pub workers: usize,
     /// Fact-table size.
     pub fact_rows: usize,
     /// Estimated working set in bytes (fact rows × row footprint).
@@ -726,11 +728,13 @@ pub const ESPILL_QUERY: &str = "SELECT fact.k, SUM(fact.v + d1.w) AS s, COUNT(*)
 /// (Value enum per column + row vector header + spiller tuple tags).
 const ESPILL_ROW_BYTES: usize = 200;
 
-/// E-spill: out-of-core execution under shrinking memory budgets. The
-/// same 1M-row join + high-cardinality GROUP BY runs unbounded, at half
-/// the working set, and at an eighth of it; results must agree while the
-/// constrained runs spill radix partitions to disk (counters recorded).
-pub fn espill_out_of_core(fact_sizes: &[usize]) -> Vec<ESpillRow> {
+/// E-spill: out-of-core execution under shrinking memory budgets × a
+/// worker sweep. The same 1M-row join + high-cardinality GROUP BY runs
+/// unbounded, at half the working set, and at an eighth of it, each at
+/// every requested parallelism; results must be identical to the
+/// serial unbounded baseline while the constrained runs spill radix
+/// partitions to disk (counters recorded per run).
+pub fn espill_out_of_core(fact_sizes: &[usize], workers: &[usize]) -> Vec<ESpillRow> {
     let mut out = Vec::new();
     for &n in fact_sizes {
         let working_set = n * ESPILL_ROW_BYTES;
@@ -741,56 +745,60 @@ pub fn espill_out_of_core(fact_sizes: &[usize]) -> Vec<ESpillRow> {
         ];
         let mut baseline: Option<Vec<Vec<Value>>> = None;
         for (budget_label, budget_bytes) in budgets {
-            let mut db = ivm_engine::Database::new();
-            db.set_memory_budget(budget_bytes);
-            db.execute("CREATE TABLE fact (k INTEGER, a INTEGER, v INTEGER)")
-                .unwrap();
-            db.execute("CREATE TABLE d1 (id INTEGER, w INTEGER)")
-                .unwrap();
-            let dim_ids = (n / 8).max(16);
-            let spread =
-                |i: usize, m: usize| ((i as u64).wrapping_mul(2654435761) % m as u64) as i64;
-            {
-                let t = db.catalog_mut().table_mut("fact").unwrap();
-                for i in 0..n {
-                    // Unique k per row: the group table is as large as the
-                    // input — exactly what must spill gracefully.
-                    t.insert(vec![
-                        Value::Integer(i as i64),
-                        Value::Integer(spread(i, dim_ids)),
-                        Value::Integer((i % 1000) as i64),
-                    ])
+            for &w in workers {
+                let mut db = ivm_engine::Database::new();
+                db.set_parallelism(w);
+                db.set_memory_budget(budget_bytes);
+                db.execute("CREATE TABLE fact (k INTEGER, a INTEGER, v INTEGER)")
                     .unwrap();
-                }
-            }
-            {
-                let t = db.catalog_mut().table_mut("d1").unwrap();
-                for id in 0..dim_ids {
-                    t.insert(vec![
-                        Value::Integer(id as i64),
-                        Value::Integer((id * 7) as i64),
-                    ])
+                db.execute("CREATE TABLE d1 (id INTEGER, w INTEGER)")
                     .unwrap();
+                let dim_ids = (n / 8).max(16);
+                let spread =
+                    |i: usize, m: usize| ((i as u64).wrapping_mul(2654435761) % m as u64) as i64;
+                {
+                    let t = db.catalog_mut().table_mut("fact").unwrap();
+                    for i in 0..n {
+                        // Unique k per row: the group table is as large as the
+                        // input — exactly what must spill gracefully.
+                        t.insert(vec![
+                            Value::Integer(i as i64),
+                            Value::Integer(spread(i, dim_ids)),
+                            Value::Integer((i % 1000) as i64),
+                        ])
+                        .unwrap();
+                    }
                 }
+                {
+                    let t = db.catalog_mut().table_mut("d1").unwrap();
+                    for id in 0..dim_ids {
+                        t.insert(vec![
+                            Value::Integer(id as i64),
+                            Value::Integer((id * 7) as i64),
+                        ])
+                        .unwrap();
+                    }
+                }
+                let (result, join_group) = time_once(|| db.query(ESPILL_QUERY).unwrap());
+                let out_rows = result.rows.len();
+                match &baseline {
+                    None => baseline = Some(result.rows),
+                    Some(expect) => assert_eq!(
+                        expect, &result.rows,
+                        "E-spill at {budget_label} workers={w} diverged from the baseline"
+                    ),
+                }
+                out.push(ESpillRow {
+                    budget_label,
+                    budget_bytes,
+                    workers: w,
+                    fact_rows: n,
+                    working_set,
+                    out_rows,
+                    join_group,
+                    stats: db.spill_stats(),
+                });
             }
-            let (result, join_group) = time_once(|| db.query(ESPILL_QUERY).unwrap());
-            let out_rows = result.rows.len();
-            match &baseline {
-                None => baseline = Some(result.rows),
-                Some(expect) => assert_eq!(
-                    expect, &result.rows,
-                    "E-spill at {budget_label} diverged from unbounded"
-                ),
-            }
-            out.push(ESpillRow {
-                budget_label,
-                budget_bytes,
-                fact_rows: n,
-                working_set,
-                out_rows,
-                join_group,
-                stats: db.spill_stats(),
-            });
         }
     }
     out
@@ -930,20 +938,24 @@ mod tests {
 
     #[test]
     fn espill_smoke() {
-        let rows = espill_out_of_core(&[3_000]);
-        assert_eq!(rows.len(), 3);
+        let rows = espill_out_of_core(&[3_000], &[1, 2]);
+        assert_eq!(rows.len(), 6);
         let unbounded = &rows[0];
         assert_eq!(unbounded.budget_bytes, None);
+        assert_eq!(unbounded.workers, 1);
         assert!(!unbounded.stats.spilled(), "unbounded must not spill");
         assert_eq!(unbounded.out_rows, 3_000);
-        let tight = &rows[2];
-        assert_eq!(tight.budget_label, "ws/8");
-        assert!(
-            tight.stats.spilled() && tight.stats.spilled_bytes > 0,
-            "an eighth of the working set must spill: {:?}",
-            tight.stats
-        );
-        // espill_out_of_core itself asserts result equality per budget.
+        for tight in &rows[4..] {
+            assert_eq!(tight.budget_label, "ws/8");
+            assert!(
+                tight.stats.spilled() && tight.stats.spilled_bytes > 0,
+                "an eighth of the working set must spill (workers={}): {:?}",
+                tight.workers,
+                tight.stats
+            );
+        }
+        // espill_out_of_core itself asserts result equality per run,
+        // parallel runs included.
     }
 
     #[test]

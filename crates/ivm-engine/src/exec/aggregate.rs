@@ -20,7 +20,7 @@ use crate::error::EngineError;
 use crate::exec::batch::RowBatch;
 use crate::exec::hash::{hash_key_columns, FlatTable};
 use crate::exec::spill::{
-    for_each_fitting_partition, rebatch_rows, MemoryBudget, PartitionedSpiller,
+    for_each_fitting_group, MemoryBudget, MergeEmit, OutputRuns, PartitionedSpiller, SpillPartition,
 };
 use crate::exec::typed::{note_fallback_rows, note_typed_rows, EncodedChunk, TupleStore};
 use crate::exec::{BatchBuilder, BoxedOperator, Operator, Row};
@@ -897,7 +897,11 @@ pub struct HashAggregateOp<'a> {
     /// Planner sizing hint for the group table (0 = unknown).
     groups_hint: usize,
     budget: MemoryBudget,
+    /// Pre-partitioned input groups (one per parallel worker) plus the
+    /// input row width; set by [`HashAggregateOp::with_prepartitioned`].
+    prepart: Option<(Vec<Vec<SpillPartition>>, usize)>,
     output: Option<VecDeque<RowBatch<'a>>>,
+    spilled_emit: Option<MergeEmit>,
 }
 
 impl<'a> HashAggregateOp<'a> {
@@ -920,7 +924,9 @@ impl<'a> HashAggregateOp<'a> {
             batch_size,
             groups_hint,
             budget: MemoryBudget::unbounded(),
+            prepart: None,
             output: None,
+            spilled_emit: None,
         }
     }
 
@@ -932,28 +938,47 @@ impl<'a> HashAggregateOp<'a> {
         self
     }
 
+    /// Aggregate pre-partitioned input groups (one spiller result per
+    /// parallel worker, hashed on the group key) of `input_width`-column
+    /// rows instead of draining `input`. Grouped spill path only.
+    pub(crate) fn with_prepartitioned(
+        mut self,
+        groups: Vec<Vec<SpillPartition>>,
+        input_width: usize,
+    ) -> HashAggregateOp<'a> {
+        self.prepart = Some((groups, input_width));
+        self
+    }
+
     /// The spill path for grouped aggregation under a bounded budget.
-    fn drain_and_aggregate_spilled(&mut self) -> Result<VecDeque<RowBatch<'a>>, EngineError> {
+    fn drain_and_aggregate_spilled(&mut self) -> Result<MergeEmit, EngineError> {
         let width = self.group_width + self.spec.agg_width();
-        let mut spiller = PartitionedSpiller::new(self.budget.clone(), 0);
-        let mut seq = 0u64;
-        let mut input_width = 0usize;
-        while let Some(batch) = self.input.next_batch()? {
-            input_width = batch.width();
-            let hashes = self.spec.group_hashes(&batch)?;
-            for (r, &hash) in hashes.iter().enumerate() {
-                spiller.push(hash, seq, batch.materialize_row(r))?;
-                seq += 1;
+        let (groups_in, input_width) = match self.prepart.take() {
+            Some((groups, w)) => (groups, w),
+            None => {
+                let mut spiller = PartitionedSpiller::new(self.budget.clone(), 0);
+                let mut seq = 0u64;
+                let mut input_width = 0usize;
+                while let Some(batch) = self.input.next_batch()? {
+                    input_width = batch.width();
+                    let hashes = self.spec.group_hashes(&batch)?;
+                    for (r, &hash) in hashes.iter().enumerate() {
+                        spiller.push(hash, seq, batch.materialize_row(r))?;
+                        seq += 1;
+                    }
+                }
+                (vec![spiller.finish()?], input_width)
             }
-        }
-        let parts = spiller.finish()?;
-        // One (first-seen sequence, output row) pair per group, produced
-        // partition at a time and merged back into the serial order.
-        let mut tagged: Vec<(u64, Row)> = Vec::new();
+        };
+        // Each partition appends one run of (first-seen sequence, output
+        // row) pairs — ascending, because groups are discovered while
+        // folding in sequence order — and the emission merge restores
+        // the global serial first-seen order.
+        let mut runs = OutputRuns::new(self.budget.clone());
         let budget = self.budget.clone();
         let spec = &self.spec;
         let batch_size = self.batch_size.max(1);
-        for_each_fitting_partition(parts, &budget, 0, &mut |tuples| {
+        for_each_fitting_group(groups_in, &budget, 0, &mut |tuples| {
             let mut groups = GroupTable::new();
             let mut first_seqs: Vec<u64> = Vec::new();
             for chunk in tuples.chunks(batch_size) {
@@ -964,27 +989,25 @@ impl<'a> HashAggregateOp<'a> {
                     first_seqs.push(seqs[r]);
                 })?;
             }
+            runs.begin_run();
             for (g, (key, state)) in groups.into_ordered().enumerate() {
                 let row: Row = key
                     .into_iter()
                     .chain(state.accs.into_iter().map(Acc::finish))
                     .collect();
-                tagged.push((first_seqs[g], row));
+                runs.push(first_seqs[g], 0, row)?;
             }
             Ok(())
         })?;
-        tagged.sort_by_key(|(seq, _)| *seq);
-        Ok(rebatch_rows(
-            tagged.into_iter().map(|(_, row)| row),
-            width,
-            self.batch_size,
-        ))
+        runs.finish(width, self.batch_size)
+    }
+
+    /// Whether this aggregation runs the out-of-core grouped path.
+    fn spills(&self) -> bool {
+        self.prepart.is_some() || (self.budget.is_bounded() && self.mode == AggMode::HashGrouped)
     }
 
     fn drain_and_aggregate(&mut self) -> Result<VecDeque<RowBatch<'a>>, EngineError> {
-        if self.budget.is_bounded() && self.mode == AggMode::HashGrouped {
-            return self.drain_and_aggregate_spilled();
-        }
         let width = self.group_width + self.spec.agg_width();
         // Arena order doubles as first-seen group order.
         let mut groups = GroupTable::with_capacity(self.groups_hint);
@@ -1013,6 +1036,13 @@ impl<'a> HashAggregateOp<'a> {
 
 impl<'a> Operator<'a> for HashAggregateOp<'a> {
     fn next_batch(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
+        if self.spilled_emit.is_some() || self.spills() {
+            if self.spilled_emit.is_none() {
+                let emit = self.drain_and_aggregate_spilled()?;
+                self.spilled_emit = Some(emit);
+            }
+            return self.spilled_emit.as_mut().expect("just set").next_batch();
+        }
         if self.output.is_none() {
             let aggregated = self.drain_and_aggregate()?;
             self.output = Some(aggregated);

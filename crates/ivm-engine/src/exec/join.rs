@@ -14,14 +14,14 @@
 //! `FullOuter` additionally emits unmatched build rows after the probe is
 //! exhausted. SQL semantics: NULL keys never match.
 
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crate::error::EngineError;
 use crate::exec::batch::{ColumnData, JoinedRow, RowBatch};
 use crate::exec::hash::{chain_prepend, hash_batch_keys, hash_rows_keys, FlatTable};
 use crate::exec::spill::{
-    for_each_fitting_partition_pair, rebatch_rows, MemoryBudget, PartitionedSpiller, SpillPartition,
+    for_each_fitting_group_pair, MemoryBudget, MergeEmit, OutputRuns, PartitionedSpiller,
+    SpillPartition,
 };
 use crate::exec::typed::{note_fallback_rows, note_typed_rows, EncodedChunk, KeyArena};
 use crate::exec::{BoxedOperator, Operator, Row};
@@ -310,7 +310,7 @@ impl JoinTable {
 /// row), or `None` if any key value is unrepresentable. NULL-key rows
 /// are encoded too — they never enter the hash table, but keeping the
 /// arena index aligned with the row index keeps chain compares O(1).
-fn encode_build_keys(rows: &[Row], keys: &[usize]) -> Option<KeyArena> {
+pub(crate) fn encode_build_keys(rows: &[Row], keys: &[usize]) -> Option<KeyArena> {
     if keys.is_empty() {
         return None;
     }
@@ -455,10 +455,14 @@ pub struct HashJoinOp<'a> {
     batch_size: usize,
     budget: MemoryBudget,
     state: Option<(BuildSide, JoinTable)>,
-    /// Spilled build partitions awaiting the Grace probe phase.
-    grace_parts: Option<Vec<SpillPartition>>,
-    /// Merged Grace output, emitted in serial order.
-    grace_output: Option<VecDeque<RowBatch<'a>>>,
+    /// Build partition groups (one per producer) awaiting the Grace
+    /// probe phase.
+    grace_build: Option<Vec<Vec<SpillPartition>>>,
+    /// Pre-partitioned probe groups from a parallel scan; when absent
+    /// the Grace phase partitions `probe` itself.
+    grace_probe: Option<Vec<Vec<SpillPartition>>>,
+    /// Streaming Grace output merge, emitted in serial order.
+    grace_output: Option<MergeEmit>,
     pending: Option<PendingOutput<'a>>,
     probe_done: bool,
     tail: Option<(Vec<u32>, usize)>,
@@ -491,7 +495,8 @@ impl<'a> HashJoinOp<'a> {
             batch_size: batch_size.max(1),
             budget: MemoryBudget::unbounded(),
             state: None,
-            grace_parts: None,
+            grace_build: None,
+            grace_probe: None,
             grace_output: None,
             pending: None,
             probe_done: false,
@@ -506,8 +511,22 @@ impl<'a> HashJoinOp<'a> {
         self
     }
 
+    /// Feed the join from pre-partitioned build/probe groups (one spiller
+    /// result per parallel worker) instead of the input operators. The
+    /// join goes straight to the Grace phase; the sequence tags must be
+    /// globally unique and per-group ascending.
+    pub(crate) fn with_prepartitioned(
+        mut self,
+        build_groups: Vec<Vec<SpillPartition>>,
+        probe_groups: Vec<Vec<SpillPartition>>,
+    ) -> HashJoinOp<'a> {
+        self.grace_build = Some(build_groups);
+        self.grace_probe = Some(probe_groups);
+        self
+    }
+
     fn ensure_built(&mut self) -> Result<(), EngineError> {
-        if self.state.is_some() || self.grace_parts.is_some() || self.grace_output.is_some() {
+        if self.state.is_some() || self.grace_build.is_some() || self.grace_output.is_some() {
             return Ok(());
         }
         if !self.budget.is_bounded() {
@@ -542,7 +561,7 @@ impl<'a> HashJoinOp<'a> {
             let table = JoinTable::build(&rows, &self.build_keys);
             self.state = Some((BuildSide::new(rows, self.build_width), table));
         } else {
-            self.grace_parts = Some(spiller.finish()?);
+            self.grace_build = Some(vec![spiller.finish()?]);
         }
         Ok(())
     }
@@ -564,43 +583,52 @@ impl<'a> HashJoinOp<'a> {
     }
 
     /// The Grace phase: partition the probe side on the build's bit
-    /// range, join partition pairs (recursing when a build partition
-    /// still does not fit), and merge the tagged output back into the
-    /// serial emission order.
-    fn run_grace(&mut self) -> Result<VecDeque<RowBatch<'a>>, EngineError> {
-        let build_parts = self.grace_parts.take().expect("grace build partitions");
-        let mut probe_spiller = PartitionedSpiller::new(self.budget.clone(), 0);
-        let mut pseq = 0u64;
-        while let Some(batch) = self.probe.next_batch()? {
-            let hashes = hash_batch_keys(&batch, &self.probe_keys);
-            for r in 0..batch.num_rows() {
-                probe_spiller.push(hashes.hashes[r], pseq, batch.materialize_row(r))?;
-                pseq += 1;
+    /// range (unless it arrived pre-partitioned), join partition pairs
+    /// (recursing when a build partition still does not fit), and emit
+    /// through a k-way merge over per-partition output runs — the serial
+    /// emission order is restored without materializing the result.
+    fn run_grace(&mut self) -> Result<MergeEmit, EngineError> {
+        let build_groups = self.grace_build.take().expect("grace build partitions");
+        let probe_groups = match self.grace_probe.take() {
+            Some(groups) => groups,
+            None => {
+                let mut probe_spiller = PartitionedSpiller::new(self.budget.clone(), 0);
+                let mut pseq = 0u64;
+                while let Some(batch) = self.probe.next_batch()? {
+                    let hashes = hash_batch_keys(&batch, &self.probe_keys);
+                    for r in 0..batch.num_rows() {
+                        probe_spiller.push(hashes.hashes[r], pseq, batch.materialize_row(r))?;
+                        pseq += 1;
+                    }
+                }
+                vec![probe_spiller.finish()?]
             }
-        }
-        let probe_parts = probe_spiller.finish()?;
+        };
 
-        // (probe seq, match ordinal) sort keys; the FULL OUTER tail uses
-        // probe seq u64::MAX so it sorts after every probe row, ordered
-        // by global build sequence — exactly the serial tail position.
-        let mut tagged: Vec<(u64, u64, Row)> = Vec::new();
+        // (probe seq, match ordinal) emission keys; the FULL OUTER tail
+        // uses probe seq u64::MAX so it merges after every probe row,
+        // ordered by global build sequence — exactly the serial tail
+        // position. Each partition pair appends one key-ascending run.
+        let mut runs = OutputRuns::new(self.budget.clone());
         let budget = self.budget.clone();
         let (probe_keys, build_keys) = (self.probe_keys.clone(), self.build_keys.clone());
         let (probe_width, build_width) = (self.probe_width, self.build_width);
         let (join, residual) = (self.join, self.residual.as_ref());
-        for_each_fitting_partition_pair(
-            build_parts,
-            probe_parts,
+        let chunk_rows = self.batch_size;
+        for_each_fitting_group_pair(
+            build_groups,
+            probe_groups,
             &budget,
             0,
-            &mut |build_tuples, probe_part| {
+            &mut |build_tuples, probe_merge| {
                 // Build tuples arrive sequence-ascending, so chains built
                 // by `JoinTable::build` iterate in global build order.
                 let build_seqs: Vec<u64> = build_tuples.iter().map(|(_, s, _)| *s).collect();
                 let build_rows: Vec<Row> = build_tuples.into_iter().map(|(_, _, r)| r).collect();
                 let table = JoinTable::build(&build_rows, &build_keys);
                 let mut matched = vec![false; build_rows.len()];
-                probe_part.for_each_chunk(&budget, |chunk| {
+                runs.begin_run();
+                probe_merge.for_each_chunk(chunk_rows, |chunk| {
                     let seqs: Vec<u64> = chunk.iter().map(|(_, s, _)| *s).collect();
                     let rows: Vec<Row> = chunk.into_iter().map(|(_, _, r)| r).collect();
                     let batch = RowBatch::from_rows(probe_width, rows);
@@ -628,7 +656,7 @@ impl<'a> HashJoinOp<'a> {
                         } else {
                             out.extend(build_rows[bi as usize].iter().cloned());
                         }
-                        tagged.push((seqs[row as usize], ordinal, out));
+                        runs.push(seqs[row as usize], ordinal, out)?;
                         ordinal += 1;
                     }
                     Ok(())
@@ -638,19 +666,14 @@ impl<'a> HashJoinOp<'a> {
                         if !*m {
                             let mut out: Row = vec![Value::Null; probe_width];
                             out.extend(build_rows[bi].iter().cloned());
-                            tagged.push((u64::MAX, build_seqs[bi], out));
+                            runs.push(u64::MAX, build_seqs[bi], out)?;
                         }
                     }
                 }
                 Ok(())
             },
         )?;
-        tagged.sort_by_key(|(seq, ord, _)| (*seq, *ord));
-        Ok(rebatch_rows(
-            tagged.into_iter().map(|(_, _, row)| row),
-            probe_width + build_width,
-            self.batch_size,
-        ))
+        runs.finish(probe_width + build_width, self.batch_size)
     }
 
     fn emit_pending(&mut self) -> Option<RowBatch<'a>> {
@@ -667,12 +690,12 @@ impl<'a> HashJoinOp<'a> {
 impl<'a> Operator<'a> for HashJoinOp<'a> {
     fn next_batch(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
         self.ensure_built()?;
-        if self.grace_parts.is_some() || self.grace_output.is_some() {
+        if self.grace_build.is_some() || self.grace_output.is_some() {
             if self.grace_output.is_none() {
                 let merged = self.run_grace()?;
                 self.grace_output = Some(merged);
             }
-            return Ok(self.grace_output.as_mut().and_then(VecDeque::pop_front));
+            return self.grace_output.as_mut().expect("just set").next_batch();
         }
         loop {
             if let Some(out) = self.emit_pending() {

@@ -27,7 +27,9 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 pub use batch::{BatchBuilder, BatchRow, ColumnData, JoinedRow, RowBatch, DEFAULT_BATCH_SIZE};
-pub use parallel::{execute_parallel, ParallelOptions, DEFAULT_MORSEL_SIZE};
+pub use parallel::{
+    execute_parallel, parallel_filter_row_ids, ParallelOptions, DEFAULT_MORSEL_SIZE,
+};
 pub use spill::{MemoryBudget, SpillStats};
 pub use typed::{reset_typed_path_stats, typed_path_stats};
 

@@ -8,8 +8,8 @@ use crate::error::EngineError;
 use crate::exec::batch::{ColumnData, RowBatch, DEFAULT_BATCH_SIZE};
 use crate::exec::hash::{hash_batch_rows, RowCounter, RowSet};
 use crate::exec::spill::{
-    for_each_fitting_partition, for_each_fitting_partition_pair, rebatch_rows, MemoryBudget,
-    PartitionedSpiller,
+    for_each_fitting_group, for_each_fitting_group_pair, MemoryBudget, MergeEmit, OutputRuns,
+    PartitionGroups, PartitionedSpiller,
 };
 use crate::exec::{BoxedOperator, Operator, Row};
 use crate::expr::{BoundExpr, VectorKernel};
@@ -448,7 +448,10 @@ pub struct DistinctOp<'a> {
     seen: RowSet,
     budget: MemoryBudget,
     batch_size: usize,
-    spilled_output: Option<VecDeque<RowBatch<'a>>>,
+    /// Pre-partitioned input groups (one per parallel worker, hashed on
+    /// the whole row) plus the row width.
+    prepart: Option<(PartitionGroups, usize)>,
+    spilled_output: Option<MergeEmit>,
 }
 
 impl<'a> DistinctOp<'a> {
@@ -459,8 +462,20 @@ impl<'a> DistinctOp<'a> {
             seen: RowSet::new(),
             budget: MemoryBudget::unbounded(),
             batch_size: DEFAULT_BATCH_SIZE,
+            prepart: None,
             spilled_output: None,
         }
+    }
+
+    /// Deduplicate pre-partitioned input groups of `width`-column rows
+    /// instead of draining `input`.
+    pub(crate) fn with_prepartitioned(
+        mut self,
+        groups: PartitionGroups,
+        width: usize,
+    ) -> DistinctOp<'a> {
+        self.prepart = Some((groups, width));
+        self
     }
 
     /// Pre-size the seen-set from the planner's cardinality estimate so
@@ -480,47 +495,48 @@ impl<'a> DistinctOp<'a> {
         self
     }
 
-    fn run_spilled(&mut self) -> Result<VecDeque<RowBatch<'a>>, EngineError> {
-        let mut spiller = PartitionedSpiller::new(self.budget.clone(), 0);
-        let mut seq = 0u64;
-        let mut width = 0usize;
-        while let Some(batch) = self.input.next_batch()? {
-            width = batch.width();
-            let hashes = hash_batch_rows(&batch);
-            for (r, &hash) in hashes.iter().enumerate() {
-                spiller.push(hash, seq, batch.materialize_row(r))?;
-                seq += 1;
+    fn run_spilled(&mut self) -> Result<MergeEmit, EngineError> {
+        let (groups, width) = match self.prepart.take() {
+            Some((groups, width)) => (groups, width),
+            None => {
+                let mut spiller = PartitionedSpiller::new(self.budget.clone(), 0);
+                let mut seq = 0u64;
+                let mut width = 0usize;
+                while let Some(batch) = self.input.next_batch()? {
+                    width = batch.width();
+                    let hashes = hash_batch_rows(&batch);
+                    for (r, &hash) in hashes.iter().enumerate() {
+                        spiller.push(hash, seq, batch.materialize_row(r))?;
+                        seq += 1;
+                    }
+                }
+                (vec![spiller.finish()?], width)
             }
-        }
-        let mut tagged: Vec<(u64, Row)> = Vec::new();
+        };
+        let mut runs = OutputRuns::new(self.budget.clone());
         let budget = self.budget.clone();
-        for_each_fitting_partition(spiller.finish()?, &budget, 0, &mut |tuples| {
+        for_each_fitting_group(groups, &budget, 0, &mut |tuples| {
             let mut seen = RowSet::new();
+            runs.begin_run();
             for (hash, seq, row) in tuples {
                 if seen.insert_row(hash, row.clone()) {
-                    tagged.push((seq, row));
+                    runs.push(seq, 0, row)?;
                 }
             }
             Ok(())
         })?;
-        tagged.sort_by_key(|(seq, _)| *seq);
-        Ok(rebatch(tagged, width, self.batch_size))
+        runs.finish(width, self.batch_size)
     }
-}
-
-/// Chunk sequence-sorted rows into output batches (shared spill tail).
-fn rebatch<'a>(tagged: Vec<(u64, Row)>, width: usize, batch_size: usize) -> VecDeque<RowBatch<'a>> {
-    rebatch_rows(tagged.into_iter().map(|(_, row)| row), width, batch_size)
 }
 
 impl<'a> Operator<'a> for DistinctOp<'a> {
     fn next_batch(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
-        if self.budget.is_bounded() {
+        if self.budget.is_bounded() || self.prepart.is_some() || self.spilled_output.is_some() {
             if self.spilled_output.is_none() {
                 let merged = self.run_spilled()?;
                 self.spilled_output = Some(merged);
             }
-            return Ok(self.spilled_output.as_mut().and_then(VecDeque::pop_front));
+            return self.spilled_output.as_mut().expect("just set").next_batch();
         }
         while let Some(batch) = self.input.next_batch()? {
             let hashes = hash_batch_rows(&batch);
@@ -563,7 +579,13 @@ pub struct SetOpOp<'a> {
     right_hint: usize,
     budget: MemoryBudget,
     batch_size: usize,
-    spilled_output: Option<VecDeque<RowBatch<'a>>>,
+    /// Pre-partitioned combined left++right groups for UNION (left
+    /// sequences sort before right sequences) plus the row width.
+    prepart_union: Option<(PartitionGroups, usize)>,
+    /// Pre-partitioned (right groups, left groups, width) for
+    /// EXCEPT / INTERSECT.
+    prepart_pair: Option<(PartitionGroups, PartitionGroups, usize)>,
+    spilled_output: Option<MergeEmit>,
 }
 
 impl<'a> SetOpOp<'a> {
@@ -585,6 +607,8 @@ impl<'a> SetOpOp<'a> {
             right_hint: 0,
             budget: MemoryBudget::unbounded(),
             batch_size: DEFAULT_BATCH_SIZE,
+            prepart_union: None,
+            prepart_pair: None,
             spilled_output: None,
         }
     }
@@ -594,6 +618,29 @@ impl<'a> SetOpOp<'a> {
     pub fn with_budget(mut self, budget: MemoryBudget, batch_size: usize) -> SetOpOp<'a> {
         self.budget = budget;
         self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// UNION from pre-partitioned combined groups of `width`-column rows;
+    /// left-input sequence tags must sort before right-input tags.
+    pub(crate) fn with_prepartitioned_union(
+        mut self,
+        groups: PartitionGroups,
+        width: usize,
+    ) -> SetOpOp<'a> {
+        self.prepart_union = Some((groups, width));
+        self
+    }
+
+    /// EXCEPT / INTERSECT from pre-partitioned right and left groups of
+    /// `width`-column rows.
+    pub(crate) fn with_prepartitioned_pair(
+        mut self,
+        right_groups: PartitionGroups,
+        left_groups: PartitionGroups,
+        width: usize,
+    ) -> SetOpOp<'a> {
+        self.prepart_pair = Some((right_groups, left_groups, width));
         self
     }
 
@@ -630,52 +677,72 @@ impl<'a> SetOpOp<'a> {
     }
 
     /// Spill path for `UNION` (set semantics): a partitioned DISTINCT
-    /// over left-then-right concatenation.
-    fn run_spilled_union(&mut self) -> Result<VecDeque<RowBatch<'a>>, EngineError> {
-        let mut spiller = PartitionedSpiller::new(self.budget.clone(), 0);
-        let mut width = 0usize;
-        let seq = Self::drain_side(&mut self.left, &mut spiller, 0, &mut width)?;
-        Self::drain_side(&mut self.right, &mut spiller, seq, &mut width)?;
-        let mut tagged: Vec<(u64, Row)> = Vec::new();
+    /// over left-then-right concatenation, merge-emitted in sequence
+    /// order.
+    fn run_spilled_union(&mut self) -> Result<MergeEmit, EngineError> {
+        let (groups, width) = match self.prepart_union.take() {
+            Some(pre) => pre,
+            None => {
+                let mut spiller = PartitionedSpiller::new(self.budget.clone(), 0);
+                let mut width = 0usize;
+                let seq = Self::drain_side(&mut self.left, &mut spiller, 0, &mut width)?;
+                Self::drain_side(&mut self.right, &mut spiller, seq, &mut width)?;
+                (vec![spiller.finish()?], width)
+            }
+        };
         let budget = self.budget.clone();
-        for_each_fitting_partition(spiller.finish()?, &budget, 0, &mut |tuples| {
+        let mut runs = OutputRuns::new(budget.clone());
+        for_each_fitting_group(groups, &budget, 0, &mut |tuples| {
             let mut seen = RowSet::new();
+            runs.begin_run();
             for (hash, seq, row) in tuples {
                 if seen.insert_row(hash, row.clone()) {
-                    tagged.push((seq, row));
+                    runs.push(seq, 0, row)?;
                 }
             }
             Ok(())
         })?;
-        tagged.sort_by_key(|(seq, _)| *seq);
-        Ok(rebatch(tagged, width, self.batch_size))
+        runs.finish(width, self.batch_size)
     }
 
     /// Spill path for EXCEPT / INTERSECT: right partitions build the
-    /// multiplicity maps, left partitions stream against them pairwise.
-    fn run_spilled_against_counts(&mut self) -> Result<VecDeque<RowBatch<'a>>, EngineError> {
-        let mut right_spiller = PartitionedSpiller::new(self.budget.clone(), 0);
-        let mut left_spiller = PartitionedSpiller::new(self.budget.clone(), 0);
-        let mut rwidth = 0usize;
-        let mut width = 0usize;
-        Self::drain_side(&mut self.right, &mut right_spiller, 0, &mut rwidth)?;
-        Self::drain_side(&mut self.left, &mut left_spiller, 0, &mut width)?;
+    /// multiplicity maps, left partitions stream against them pairwise,
+    /// and kept rows merge-emit in left sequence order.
+    fn run_spilled_against_counts(&mut self) -> Result<MergeEmit, EngineError> {
+        let (right_groups, left_groups, width) = match self.prepart_pair.take() {
+            Some(pre) => pre,
+            None => {
+                let mut right_spiller = PartitionedSpiller::new(self.budget.clone(), 0);
+                let mut left_spiller = PartitionedSpiller::new(self.budget.clone(), 0);
+                let mut rwidth = 0usize;
+                let mut width = 0usize;
+                Self::drain_side(&mut self.right, &mut right_spiller, 0, &mut rwidth)?;
+                Self::drain_side(&mut self.left, &mut left_spiller, 0, &mut width)?;
+                (
+                    vec![right_spiller.finish()?],
+                    vec![left_spiller.finish()?],
+                    width,
+                )
+            }
+        };
         let except = self.op == SetOpKind::Except;
         let all = self.all;
-        let mut tagged: Vec<(u64, Row)> = Vec::new();
         let budget = self.budget.clone();
-        for_each_fitting_partition_pair(
-            right_spiller.finish()?,
-            left_spiller.finish()?,
+        let chunk_rows = self.batch_size;
+        let mut runs = OutputRuns::new(budget.clone());
+        for_each_fitting_group_pair(
+            right_groups,
+            left_groups,
             &budget,
             0,
-            &mut |right_tuples, left_part| {
+            &mut |right_tuples, left_merge| {
                 let mut counts = RowCounter::new();
                 for (hash, _, row) in right_tuples {
                     counts.add_row(hash, row);
                 }
                 let mut seen = RowSet::new();
-                left_part.for_each_chunk(&budget, |tuples| {
+                runs.begin_run();
+                left_merge.for_each_chunk(chunk_rows, |tuples: Vec<(u64, u64, Row)>| {
                     for (hash, seq, row) in tuples {
                         let kept = if all {
                             // Bag semantics: consume one multiplicity per
@@ -692,15 +759,14 @@ impl<'a> SetOpOp<'a> {
                             (in_right != except) && seen.insert_row(hash, row.clone())
                         };
                         if kept {
-                            tagged.push((seq, row));
+                            runs.push(seq, 0, row)?;
                         }
                     }
                     Ok(())
                 })
             },
         )?;
-        tagged.sort_by_key(|(seq, _)| *seq);
-        Ok(rebatch(tagged, width, self.batch_size))
+        runs.finish(width, self.batch_size)
     }
 
     fn next_union(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
@@ -791,7 +857,11 @@ impl<'a> Operator<'a> for SetOpOp<'a> {
     fn next_batch(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
         // UNION ALL is pure concatenation — nothing accumulates, so it
         // streams regardless of the budget.
-        if self.budget.is_bounded() && !(self.op == SetOpKind::Union && self.all) {
+        if (self.budget.is_bounded() && !(self.op == SetOpKind::Union && self.all))
+            || self.prepart_union.is_some()
+            || self.prepart_pair.is_some()
+            || self.spilled_output.is_some()
+        {
             if self.spilled_output.is_none() {
                 let merged = match self.op {
                     SetOpKind::Union => self.run_spilled_union()?,
@@ -801,7 +871,7 @@ impl<'a> Operator<'a> for SetOpOp<'a> {
                 };
                 self.spilled_output = Some(merged);
             }
-            return Ok(self.spilled_output.as_mut().and_then(VecDeque::pop_front));
+            return self.spilled_output.as_mut().expect("just set").next_batch();
         }
         match self.op {
             SetOpKind::Union => self.next_union(),

@@ -39,14 +39,18 @@ mod aggregate;
 mod pipeline;
 
 use std::collections::VecDeque;
+use std::sync::Mutex;
 
 use crate::catalog::Catalog;
 use crate::error::EngineError;
+use crate::exec::aggregate::AggSpec;
 use crate::exec::batch::RowBatch;
-use crate::exec::spill::MemoryBudget;
+use crate::exec::spill::{MemoryBudget, PartitionedSpiller, SpillPartition};
 use crate::exec::{execute_physical, prepare_expr_with_batch_size, BoxedOperator, Operator, Row};
-use crate::expr::BoundExpr;
-use crate::planner::physical::PhysicalPlan;
+use crate::expr::{BoundExpr, VectorKernel};
+use crate::planner::physical::{AggMode, PhysicalPlan};
+use crate::planner::SetOpKind;
+use crate::storage::{MorselCursor, Table};
 
 /// Default morsel size in physical storage slots. Small enough that
 /// mid-sized tables split across workers, large enough that the per-claim
@@ -62,10 +66,15 @@ pub struct ParallelOptions {
     /// run serially).
     pub morsel_size: usize,
     /// Memory budget shared by every operator of the execution. Bounded
-    /// budgets route hash joins and aggregations through the serial
-    /// spill-capable breakers (scans, filters, and projections below
-    /// them stay morsel-parallel).
+    /// budgets route breaker inputs through per-worker spill
+    /// partitioners into the grace-capable operators (scans, filters,
+    /// and projections below them stay morsel-parallel).
     pub budget: MemoryBudget,
+    /// Scale morsel size up from `morsel_size` on large scans (targeting
+    /// a few morsels per worker, capped at 64 Ki slots) so the claim
+    /// loop isn't the bottleneck. Off when the morsel size was set
+    /// explicitly.
+    pub adaptive_morsels: bool,
 }
 
 impl ParallelOptions {
@@ -75,6 +84,7 @@ impl ParallelOptions {
             workers,
             morsel_size: DEFAULT_MORSEL_SIZE,
             budget: MemoryBudget::unbounded(),
+            adaptive_morsels: true,
         }
     }
 }
@@ -85,7 +95,23 @@ pub(crate) struct Ctx<'a> {
     batch_size: usize,
     workers: usize,
     morsel_size: usize,
+    adaptive_morsels: bool,
     pub(crate) budget: MemoryBudget,
+}
+
+impl Ctx<'_> {
+    /// Morsel size for a scan of `total_slots`: the configured size, or —
+    /// when adaptive — scaled up so each worker claims on the order of
+    /// four morsels, bounded to 64 Ki slots. Parallel-worthiness gates
+    /// (`total_slots > morsel_size`) always use the configured base size.
+    fn effective_morsel_size(&self, total_slots: usize) -> usize {
+        if !self.adaptive_morsels {
+            return self.morsel_size;
+        }
+        (total_slots / (self.workers.max(1) * 4))
+            .max(self.morsel_size)
+            .min((1 << 16).max(self.morsel_size))
+    }
 }
 
 /// Run a physical plan to completion with up to `opts.workers` threads,
@@ -106,6 +132,7 @@ pub fn execute_parallel(
         batch_size,
         workers: opts.workers,
         morsel_size: opts.morsel_size.max(1),
+        adaptive_morsels: opts.adaptive_morsels,
         budget: opts.budget,
     };
     collect_rows(plan, &ctx)
@@ -146,16 +173,18 @@ pub(crate) fn collect_rows(plan: &PhysicalPlan, ctx: &Ctx<'_>) -> Result<Vec<Row
             mode,
             ..
         } => {
-            // Under a bounded budget the merged group table must be able
-            // to spill, which the serial operator below handles; the
-            // input still collects morsel-parallel.
-            if !ctx.budget.is_bounded() && pipeline::worth_parallel(input, ctx) {
+            // Morsel-parallel partial aggregation: always for unbounded
+            // budgets; under a bounded budget only the ungrouped mode
+            // (whose accumulator state is O(1), so nothing can outgrow
+            // the budget).
+            if (!ctx.budget.is_bounded() || *mode == AggMode::Ungrouped)
+                && pipeline::worth_parallel(input, ctx)
+            {
                 if let Some(spec) = pipeline::build_pipeline(input, ctx)? {
                     return aggregate::parallel_aggregate(&spec, group, aggs, *mode, ctx);
                 }
             }
             let width = input.schema().len();
-            let rows = collect_rows(input, ctx)?;
             let group: Vec<BoundExpr> = group
                 .iter()
                 .map(|e| prepare_expr_with_batch_size(e, ctx.catalog, ctx.batch_size))
@@ -170,6 +199,27 @@ pub(crate) fn collect_rows(plan: &PhysicalPlan, ctx: &Ctx<'_>) -> Result<Vec<Row
                     )?);
                 }
             }
+            // Bounded grouped aggregation: the input streams through
+            // per-worker spill partitioners on the group-key hash (never
+            // staged as `Vec<Row>`) and the grace-capable operator folds
+            // one fitting partition group at a time.
+            if ctx.budget.is_bounded() && *mode == AggMode::HashGrouped {
+                let spec = AggSpec::new(&group, prepared_aggs.clone(), false);
+                let groups_in = collect_partitions(input, ctx, pipeline::SpillHash::Agg(&spec), 0)?;
+                return drain_operator(Box::new(
+                    crate::exec::aggregate::HashAggregateOp::new(
+                        replay(width, Vec::new(), ctx.batch_size),
+                        group,
+                        prepared_aggs,
+                        *mode,
+                        ctx.batch_size,
+                        0,
+                    )
+                    .with_budget(ctx.budget.clone())
+                    .with_prepartitioned(groups_in, width),
+                ));
+            }
+            let rows = collect_rows(input, ctx)?;
             // Exact input count as an upper-bound sizing hint, clamped so
             // a huge duplicate-heavy input doesn't pre-zero a giant table.
             let hint = rows.len().min(1 << 16);
@@ -235,6 +285,18 @@ pub(crate) fn collect_rows(plan: &PhysicalPlan, ctx: &Ctx<'_>) -> Result<Vec<Row
         }
         PhysicalPlan::Distinct { input } => {
             let width = input.schema().len();
+            if ctx.budget.is_bounded() {
+                let groups = collect_partitions(input, ctx, pipeline::SpillHash::WholeRow, 0)?;
+                return drain_operator(Box::new(
+                    crate::exec::operators::DistinctOp::new(replay(
+                        width,
+                        Vec::new(),
+                        ctx.batch_size,
+                    ))
+                    .with_budget(ctx.budget.clone(), ctx.batch_size)
+                    .with_prepartitioned(groups, width),
+                ));
+            }
             let rows = collect_rows(input, ctx)?;
             drain_operator(Box::new(
                 crate::exec::operators::DistinctOp::new(replay(width, rows, ctx.batch_size))
@@ -250,6 +312,38 @@ pub(crate) fn collect_rows(plan: &PhysicalPlan, ctx: &Ctx<'_>) -> Result<Vec<Row
         } => {
             let lwidth = left.schema().len();
             let rwidth = right.schema().len();
+            // UNION ALL is pure concatenation and never accumulates;
+            // everything else under a bounded budget pre-partitions both
+            // inputs on the whole-row hash, per-worker.
+            if ctx.budget.is_bounded() && !(*op == SetOpKind::Union && *all) {
+                let empty_op = crate::exec::operators::SetOpOp::new(
+                    *op,
+                    *all,
+                    replay(lwidth, Vec::new(), ctx.batch_size),
+                    replay(rwidth, Vec::new(), ctx.batch_size),
+                )
+                .with_budget(ctx.budget.clone(), ctx.batch_size);
+                let op = if *op == SetOpKind::Union {
+                    // One combined producer set; right-input sequence
+                    // tags offset past every possible left tag.
+                    let mut groups =
+                        collect_partitions(left, ctx, pipeline::SpillHash::WholeRow, 0)?;
+                    groups.extend(collect_partitions(
+                        right,
+                        ctx,
+                        pipeline::SpillHash::WholeRow,
+                        1 << 62,
+                    )?);
+                    empty_op.with_prepartitioned_union(groups, lwidth)
+                } else {
+                    let right_groups =
+                        collect_partitions(right, ctx, pipeline::SpillHash::WholeRow, 0)?;
+                    let left_groups =
+                        collect_partitions(left, ctx, pipeline::SpillHash::WholeRow, 0)?;
+                    empty_op.with_prepartitioned_pair(right_groups, left_groups, lwidth)
+                };
+                return drain_operator(Box::new(op));
+            }
             let lrows = collect_rows(left, ctx)?;
             let rrows = collect_rows(right, ctx)?;
             drain_operator(Box::new(
@@ -271,16 +365,41 @@ pub(crate) fn collect_rows(plan: &PhysicalPlan, ctx: &Ctx<'_>) -> Result<Vec<Row
             join,
             ..
         } => {
-            // The probe side was not pipeline-able (e.g. it is itself a
-            // breaker); parallelize both children, join serially.
             let pw = probe.schema().len();
             let bw = build.schema().len();
-            let probe_rows = collect_rows(probe, ctx)?;
-            let build_rows = collect_rows(build, ctx)?;
             let residual = residual
                 .as_ref()
                 .map(|e| prepare_expr_with_batch_size(e, ctx.catalog, ctx.batch_size))
                 .transpose()?;
+            // Bounded budget: both sides stream through per-worker spill
+            // partitioners on their equi-key hashes — never staged as
+            // `Vec<Row>` — and the grace join processes aligned partition
+            // pairs, merge-emitting in probe order.
+            if ctx.budget.is_bounded() {
+                let build_groups =
+                    collect_partitions(build, ctx, pipeline::SpillHash::Keys(build_keys), 0)?;
+                let probe_groups =
+                    collect_partitions(probe, ctx, pipeline::SpillHash::Keys(probe_keys), 0)?;
+                return drain_operator(Box::new(
+                    crate::exec::join::HashJoinOp::new(
+                        replay(pw, Vec::new(), ctx.batch_size),
+                        replay(bw, Vec::new(), ctx.batch_size),
+                        pw,
+                        bw,
+                        probe_keys.clone(),
+                        build_keys.clone(),
+                        residual,
+                        *join,
+                        ctx.batch_size,
+                    )
+                    .with_budget(ctx.budget.clone())
+                    .with_prepartitioned(build_groups, probe_groups),
+                ));
+            }
+            // The probe side was not pipeline-able (e.g. it is itself a
+            // breaker); parallelize both children, join serially.
+            let probe_rows = collect_rows(probe, ctx)?;
+            let build_rows = collect_rows(build, ctx)?;
             drain_operator(Box::new(
                 crate::exec::join::HashJoinOp::new(
                     replay(pw, probe_rows, ctx.batch_size),
@@ -327,6 +446,79 @@ pub(crate) fn collect_rows(plan: &PhysicalPlan, ctx: &Ctx<'_>) -> Result<Vec<Row
             execute_physical(plan, ctx.catalog, ctx.batch_size)
         }
     }
+}
+
+/// Materialize `plan`'s output into budget-accounted radix spill
+/// partitions — hashed with `hash`, sequence-tagged from `seq_base` — for
+/// a grace-capable breaker to consume. Pipeline-able subtrees stream
+/// morsel-parallel through per-worker spillers
+/// ([`pipeline::run_morsels_spill`]); other shapes (nested breakers,
+/// small scans) stream serially through the budgeted operator tree into
+/// one spiller. Either way the rows are never staged in an unaccounted
+/// `Vec<Row>`.
+fn collect_partitions(
+    plan: &PhysicalPlan,
+    ctx: &Ctx<'_>,
+    hash: pipeline::SpillHash<'_>,
+    seq_base: u64,
+) -> Result<Vec<Vec<SpillPartition>>, EngineError> {
+    if pipeline::worth_parallel(plan, ctx) {
+        if let Some(spec) = pipeline::build_pipeline(plan, ctx)? {
+            return pipeline::run_morsels_spill(&spec, ctx, hash, seq_base);
+        }
+    }
+    let mut op =
+        crate::exec::build_operator_budgeted(plan, ctx.catalog, ctx.batch_size, &ctx.budget)?;
+    let mut spiller = PartitionedSpiller::new(ctx.budget.clone(), 0);
+    let mut seq = seq_base;
+    while let Some(batch) = op.next_batch()? {
+        let hashes = hash.hash(&batch)?;
+        for (r, &h) in hashes.iter().enumerate() {
+            spiller.push(h, seq, batch.materialize_row(r))?;
+            seq += 1;
+        }
+    }
+    Ok(vec![spiller.finish()?])
+}
+
+/// Parallel UPDATE/DELETE victim selection: workers claim storage-slot
+/// morsels and run the vectorized predicate per window; per-morsel id
+/// lists come back in slot order and concatenate in morsel order, so the
+/// result is identical to the serial [`Table::filter_row_ids`] scan. On
+/// error the cursor poisons and the earliest morsel's error surfaces.
+pub fn parallel_filter_row_ids(
+    table: &Table,
+    kernel: &VectorKernel,
+    workers: usize,
+    morsel_size: usize,
+    batch_size: usize,
+) -> Result<Vec<u64>, EngineError> {
+    let cursor = MorselCursor::new(table.total_slots(), morsel_size.max(1));
+    let results: Mutex<Vec<(usize, Vec<u64>)>> = Mutex::new(Vec::new());
+    let errors: Mutex<Vec<(usize, EngineError)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for _ in 0..workers.max(1) {
+            s.spawn(|| {
+                while let Some((seq, slots)) = cursor.claim() {
+                    match table.filter_row_ids_range(slots, batch_size, kernel) {
+                        Ok(ids) => results.lock().unwrap().push((seq, ids)),
+                        Err(e) => {
+                            cursor.stop();
+                            errors.lock().unwrap().push((seq, e));
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let errors = errors.into_inner().unwrap();
+    if let Some((_, e)) = errors.into_iter().min_by_key(|(seq, _)| *seq) {
+        return Err(e);
+    }
+    let mut out = results.into_inner().unwrap();
+    out.sort_by_key(|(seq, _)| *seq);
+    Ok(out.into_iter().flat_map(|(_, ids)| ids).collect())
 }
 
 fn prepare_sort_keys(

@@ -16,8 +16,12 @@ use std::sync::Mutex;
 use crate::error::EngineError;
 use crate::exec::aggregate::{AggSpec, GroupTable};
 use crate::exec::batch::{ColumnData, RowBatch};
-use crate::exec::hash::{chain_prepend, hash_batch_keys, hash_rows_keys, FlatTable, KeyHashes};
-use crate::exec::join::{splice_output, unmatched_build_batch};
+use crate::exec::hash::{
+    chain_prepend, hash_batch_keys, hash_batch_rows, hash_rows_keys, FlatTable, KeyHashes,
+};
+use crate::exec::join::{encode_build_keys, splice_output, unmatched_build_batch};
+use crate::exec::spill::{PartitionedSpiller, SpillPartition};
+use crate::exec::typed::{note_fallback_rows, note_typed_rows, EncodedChunk, KeyArena};
 use crate::exec::{prepare_expr_with_batch_size, Row};
 use crate::expr::VectorKernel;
 use crate::planner::physical::{PhysJoinKind, PhysicalPlan};
@@ -43,8 +47,10 @@ pub(super) enum Stage {
     Filter(VectorKernel),
     /// Projection: column passthrough or computed kernel per output.
     Project(Vec<Proj>),
-    /// Hash-join probe against a shared partitioned build side.
-    Join(JoinStage),
+    /// Hash-join probe against a shared partitioned build side. Boxed:
+    /// the stage carries the build tables + typed key arena and would
+    /// otherwise dominate the enum's size.
+    Join(Box<JoinStage>),
 }
 
 /// One projection output column.
@@ -73,6 +79,10 @@ type BuiltPartition = (FlatTable, Vec<(u32, u32)>);
 /// probe concurrently.
 pub(super) struct JoinStage {
     build_rows: Vec<Row>,
+    /// Typed build-key arena (arena row == build row) when every key is
+    /// word-representable; chain and probe compares then reduce to word
+    /// compares, exactly like the serial [`crate::exec::join::JoinTable`].
+    keys: Option<KeyArena>,
     /// One flat table per radix partition (len 1 = unpartitioned);
     /// payloads are chain-head build-row indices.
     parts: Vec<FlatTable>,
@@ -176,6 +186,14 @@ impl JoinStage {
             (hashes, part_rows)
         };
 
+        // Typed build-key arena: encoded once over the full build side,
+        // shared read-only by every partition builder and probe worker.
+        let arena = encode_build_keys(&build_rows, build_keys);
+        match &arena {
+            Some(_) => note_typed_rows(n as u64),
+            None => note_fallback_rows(n as u64),
+        }
+
         // Phase 2: per-partition flat tables, chains prepended over a
         // reverse scan of each partition's (globally ordered) row list.
         // One build loop serves both arms; only the chain sink differs
@@ -189,9 +207,12 @@ impl JoinStage {
                     &mut table,
                     hashes.hashes[i as usize],
                     i,
-                    |p| {
-                        let head = &build_rows[p as usize];
-                        build_keys.iter().all(|&k| head[k] == row[k])
+                    |p| match &arena {
+                        Some(a) => a.eq_rows(p as usize, i as usize),
+                        None => {
+                            let head = &build_rows[p as usize];
+                            build_keys.iter().all(|&k| head[k] == row[k])
+                        }
                     },
                     |head| set_next(i, head),
                 );
@@ -252,6 +273,7 @@ impl JoinStage {
         };
         JoinStage {
             build_rows,
+            keys: arena,
             parts,
             next,
             part_shift,
@@ -275,20 +297,44 @@ impl JoinStage {
         let rows = batch.num_rows();
         let mut cand_rows: Vec<u32> = Vec::new();
         let mut cand_bis: Vec<u32> = Vec::new();
-        let hashes = hash_batch_keys(&batch, &self.probe_keys);
+        // Typed build sides hash *and* encode the probe keys in one
+        // enum-dispatch pass; candidate compares are then word compares
+        // (rows the typed layout can't represent compare exactly via
+        // `eq_row_at`). Row-based build sides take the plain hash kernel.
+        let (hashes, probe_chunk) = match &self.keys {
+            Some(arena) => {
+                let mut chunk = EncodedChunk::new();
+                let hashes = arena.encode_probe_batch(&mut chunk, &batch, &self.probe_keys);
+                note_typed_rows((rows - chunk.bad_rows()) as u64);
+                note_fallback_rows(chunk.bad_rows() as u64);
+                (hashes, Some(chunk))
+            }
+            None => {
+                note_fallback_rows(rows as u64);
+                (hash_batch_keys(&batch, &self.probe_keys), None)
+            }
+        };
         for row in 0..rows {
             if hashes.is_null(row) {
                 continue;
             }
             let h = hashes.hashes[row];
             let part = &self.parts[partition_of(h, self.part_shift)];
-            let head = part.find(h, |p| {
-                let build = &self.build_rows[p as usize];
-                self.probe_keys
-                    .iter()
-                    .zip(&self.build_keys)
-                    .all(|(&pk, &bk)| batch.value(pk, row) == &build[bk])
-            });
+            let head = match (&self.keys, probe_chunk.as_ref()) {
+                (Some(arena), Some(chunk)) if chunk.ok(row) => {
+                    part.find(h, |p| arena.eq_chunk(p as usize, chunk, row))
+                }
+                (Some(arena), _) => part.find(h, |p| {
+                    arena.eq_row_at(p as usize, |c| batch.value(self.probe_keys[c], row))
+                }),
+                (None, _) => part.find(h, |p| {
+                    let build = &self.build_rows[p as usize];
+                    self.probe_keys
+                        .iter()
+                        .zip(&self.build_keys)
+                        .all(|(&pk, &bk)| batch.value(pk, row) == &build[bk])
+                }),
+            };
             let mut cur = match head {
                 Some(head) => head,
                 None => continue,
@@ -528,9 +574,10 @@ pub(super) fn build_pipeline<'a>(
         },
         // Under a bounded memory budget, join build sides must be able
         // to spill; the fused `JoinStage` holds its partitioned build in
-        // memory, so the plan is left to the breaker path, where the
-        // serial spill-capable `HashJoinOp` joins parallel-collected
-        // inputs. Scans/filters/projects below stay morsel-parallel.
+        // memory, so the plan is left to the breaker path, where both
+        // sides stream through per-worker spill partitioners
+        // ([`run_morsels_spill`]) into the grace-capable `HashJoinOp`.
+        // Scans/filters/projects below stay morsel-parallel.
         PhysicalPlan::HashJoin { .. } if ctx.budget.is_bounded() => None,
         PhysicalPlan::HashJoin {
             probe,
@@ -551,7 +598,7 @@ pub(super) fn build_pipeline<'a>(
                     .map(|e| prepare_expr_with_batch_size(e, ctx.catalog, ctx.batch_size))
                     .transpose()?
                     .map(|e| VectorKernel::compile(&e));
-                spec.stages.push(Stage::Join(JoinStage::build(
+                spec.stages.push(Stage::Join(Box::new(JoinStage::build(
                     build_rows,
                     probe.schema().len(),
                     build.schema().len(),
@@ -560,7 +607,7 @@ pub(super) fn build_pipeline<'a>(
                     residual,
                     *join,
                     ctx.workers,
-                )));
+                ))));
                 Some(spec)
             }
         },
@@ -638,7 +685,8 @@ pub(super) fn run_morsels(
     ctx: &Ctx<'_>,
     work: MorselWork<'_>,
 ) -> Result<Vec<(usize, MorselOut)>, EngineError> {
-    let cursor = MorselCursor::new(spec.table.total_slots(), ctx.morsel_size);
+    let total = spec.table.total_slots();
+    let cursor = MorselCursor::new(total, ctx.effective_morsel_size(total));
     let results: Mutex<Vec<(usize, MorselOut)>> = Mutex::new(Vec::new());
     let errors: Mutex<Vec<(usize, EngineError)>> = Mutex::new(Vec::new());
     std::thread::scope(|s| {
@@ -664,6 +712,122 @@ pub(super) fn run_morsels(
     let mut out = results.into_inner().unwrap();
     out.sort_by_key(|(seq, _)| *seq);
     Ok(out)
+}
+
+/// How rows flowing into a per-worker spill partitioner hash — it must be
+/// the exact hash the consuming breaker uses on its serial drain path, so
+/// radix partitions align between producers and the breaker's grace
+/// processing.
+pub(super) enum SpillHash<'s> {
+    /// Equi-join key hash over the given columns.
+    Keys(&'s [usize]),
+    /// Whole-row hash (DISTINCT and set operations).
+    WholeRow,
+    /// Aggregation group-key hash.
+    Agg(&'s AggSpec),
+}
+
+impl SpillHash<'_> {
+    pub(super) fn hash(&self, batch: &RowBatch<'_>) -> Result<Vec<u64>, EngineError> {
+        Ok(match self {
+            SpillHash::Keys(cols) => hash_batch_keys(batch, cols).hashes,
+            SpillHash::WholeRow => hash_batch_rows(batch),
+            SpillHash::Agg(spec) => spec.group_hashes(batch)?,
+        })
+    }
+}
+
+/// Run one morsel's batches through the stage stack, pushing every output
+/// row into the worker's spiller. Row sequence tags are
+/// `seq_base | ordinal` with the ordinal counting output rows within the
+/// morsel — unique and ascending per worker because workers claim morsels
+/// in increasing sequence order.
+fn spill_morsel(
+    spec: &PipelineSpec<'_>,
+    ctx: &Ctx<'_>,
+    slots: Range<usize>,
+    hash: &SpillHash<'_>,
+    seq_base: u64,
+    spiller: &mut PartitionedSpiller,
+) -> Result<(), EngineError> {
+    let batches = spec
+        .table
+        .scan_morsel(slots, ctx.batch_size, spec.scan_kernel.as_ref())?;
+    let mut ordinal = 0u64;
+    for batch in batches {
+        if let Some(b) = apply_stages(&spec.stages, batch)? {
+            let hashes = hash.hash(&b)?;
+            for (r, &h) in hashes.iter().enumerate() {
+                spiller.push(h, seq_base | ordinal, b.materialize_row(r))?;
+                ordinal += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The out-of-core morsel loop: like [`run_morsels`], but each worker
+/// routes its morsel output straight into its own budget-accounted
+/// [`PartitionedSpiller`] instead of materializing `Vec<Row>`s. Returns
+/// one partition set per producer (worker spillers, plus one for the
+/// FULL OUTER tails when the pipeline has any); sequence tags are
+/// `seq_base + (morsel_seq << 32 | output_ordinal)`, so a sequence-ordered
+/// merge of all producers reproduces the serial output order exactly.
+pub(super) fn run_morsels_spill(
+    spec: &PipelineSpec<'_>,
+    ctx: &Ctx<'_>,
+    hash: SpillHash<'_>,
+    seq_base: u64,
+) -> Result<Vec<Vec<SpillPartition>>, EngineError> {
+    let total = spec.table.total_slots();
+    let morsel = ctx.effective_morsel_size(total);
+    let cursor = MorselCursor::new(total, morsel);
+    let num_morsels = total.div_ceil(morsel.max(1)) as u64;
+    let producers: Mutex<Vec<Vec<SpillPartition>>> = Mutex::new(Vec::new());
+    let errors: Mutex<Vec<(usize, EngineError)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for _ in 0..ctx.workers {
+            s.spawn(|| {
+                let mut spiller = PartitionedSpiller::new(ctx.budget.clone(), 0);
+                while let Some((seq, slots)) = cursor.claim() {
+                    let base = seq_base + ((seq as u64) << 32);
+                    if let Err(e) = spill_morsel(spec, ctx, slots, &hash, base, &mut spiller) {
+                        cursor.stop();
+                        errors.lock().unwrap().push((seq, e));
+                        return;
+                    }
+                }
+                match spiller.finish() {
+                    Ok(parts) => producers.lock().unwrap().push(parts),
+                    Err(e) => {
+                        cursor.stop();
+                        errors.lock().unwrap().push((usize::MAX, e));
+                    }
+                }
+            });
+        }
+    });
+    let errors = errors.into_inner().unwrap();
+    if let Some((_, e)) = errors.into_iter().min_by_key(|(seq, _)| *seq) {
+        return Err(e);
+    }
+    let mut producers = producers.into_inner().unwrap();
+    // FULL OUTER tails sequence after every morsel row (morsel ordinals
+    // stay below 1 << 32), matching the serial executor's append order.
+    let tails = pipeline_tails(spec, ctx)?;
+    if !tails.is_empty() {
+        let mut spiller = PartitionedSpiller::new(ctx.budget.clone(), 0);
+        let mut seq = seq_base + ((num_morsels + 1) << 32);
+        for batch in tails {
+            let hashes = hash.hash(&batch)?;
+            for (r, &h) in hashes.iter().enumerate() {
+                spiller.push(h, seq, batch.materialize_row(r))?;
+                seq += 1;
+            }
+        }
+        producers.push(spiller.finish()?);
+    }
+    Ok(producers)
 }
 
 /// The pipeline's tail batches: for every FULL OUTER join stage

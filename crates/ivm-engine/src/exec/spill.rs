@@ -8,12 +8,18 @@
 //! - [`MemoryBudget`]: a cheaply-clonable accounting handle (one per
 //!   [`crate::session::Database`]) holding the byte limit, the running
 //!   usage counter, the spill directory, and the spill/rehydrate
-//!   counters. Unbounded budgets (`limit = usize::MAX`) never spill and
-//!   never touch the accounting atomics on the hot path.
+//!   counters. Unbounded budgets (`limit = usize::MAX`) never spill.
 //! - [`SpillWriter`] / [`SpillFile`]: temp-file lifecycle around the
-//!   columnar frame codec of [`crate::storage::frame`]. Files are
-//!   created in the budget's spill directory and removed when the
-//!   [`SpillFile`] handle drops — spill files never outlive the query.
+//!   columnar frame codec of [`crate::storage::frame`]. Frames are
+//!   encoded on the execution thread but *written* by a dedicated
+//!   background writer thread (one per budgeted session) behind a
+//!   bounded queue, so eviction overlaps with fold/probe work and
+//!   backpressures instead of buffering unboundedly. Write errors
+//!   (ENOSPC and friends) surface as clean [`EngineError`]s at the next
+//!   enqueue or at [`SpillWriter::finish`], which drains the queue and
+//!   fsyncs. Files are created in the budget's spill directory and
+//!   removed when the [`SpillFile`] handle drops — spill files never
+//!   outlive the query.
 //! - [`PartitionedSpiller`]: the radix accumulator. Rows arrive tagged
 //!   with their key hash and a global sequence number and are routed to
 //!   one of [`NUM_PARTITIONS`] partitions by a high-bit slice of the
@@ -23,25 +29,39 @@
 //!   overflows, the largest resident partition is flushed to its spill
 //!   file and subsequent rows for it pass through a small bounded write
 //!   buffer.
+//! - [`SeqMerge`]: a k-way merge over sequence-ascending partition
+//!   streams. Parallel execution produces one spiller per worker; the
+//!   per-worker slices of a partition merge back into one
+//!   sequence-ordered stream holding at most one frame per source
+//!   resident.
+//! - [`OutputRuns`] / [`MergeEmit`]: budget-bounded operator output.
+//!   Each fitting partition appends one key-ascending run; runs flush
+//!   to disk under memory pressure and the finished operator emits by
+//!   k-way merging the runs — no materialize-and-sort of the full
+//!   result.
 //!
 //! The sequence tags are what make spilling invisible: consumers fold or
 //! join partition-at-a-time (any order) and use the tags to restore the
 //! exact serial output order, so a spilled run is row-identical —
-//! values *and* order — to the in-memory run. `tests/prop_spill_agree.rs`
-//! holds that equivalence under random workloads.
+//! values *and* order — to the in-memory run, at any parallelism.
+//! `tests/prop_spill_agree.rs` holds that equivalence under random
+//! workloads.
 //!
 //! The hash bit layout composes with the rest of the engine: spill
 //! partitions use rotated *high* bits (levels 0..4 cover bits 48..64),
 //! the flat tables index with *low* bits, and tag bytes come from the
 //! middle — one hash per key, everywhere.
 
+use std::collections::{BinaryHeap, VecDeque};
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, Read, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::error::EngineError;
+use crate::exec::batch::RowBatch;
 use crate::exec::Row;
 use crate::storage::frame;
 use crate::value::Value;
@@ -67,6 +87,11 @@ const WRITE_BUFFER_ROWS: usize = 256;
 /// `(hash, seq)` tags and vector slack).
 const TUPLE_OVERHEAD: usize = 16;
 
+/// Encoded frames the background writer queue holds before enqueueing
+/// execution threads block (backpressure). Bounds the memory the queue
+/// itself can pin to a handful of frames.
+const SPILL_QUEUE_FRAMES: usize = 8;
+
 /// Partition index of `hash` at recursion level `bit_offset / PART_BITS`:
 /// the top [`PART_BITS`] bits after rotating the level's range in.
 #[inline]
@@ -85,7 +110,11 @@ struct StatCells {
     spill_files: AtomicU64,
     rehydrated_partitions: AtomicU64,
     rehydrated_rows: AtomicU64,
+    bytes_read: AtomicU64,
     repartitions: AtomicU64,
+    queue_high_water: AtomicU64,
+    overlap_nanos: AtomicU64,
+    peak_used: AtomicU64,
 }
 
 /// A snapshot of the spill counters, surfaced through
@@ -104,15 +133,82 @@ pub struct SpillStats {
     pub rehydrated_partitions: u64,
     /// Rows read back from spill files.
     pub rehydrated_rows: u64,
+    /// Bytes read back from spill files (encoded frame bytes).
+    pub bytes_read: u64,
     /// Recursive re-partition passes (a partition did not fit and was
     /// split again on a rotated hash-bit range).
     pub repartitions: u64,
+    /// High-water mark of the background writer queue (frames in flight).
+    pub queue_high_water: u64,
+    /// Nanoseconds the background writer spent writing — I/O time that
+    /// overlapped with execution instead of blocking it.
+    pub overlap_nanos: u64,
+    /// Peak budget-accounted bytes observed. With per-worker spill
+    /// partitioning this stays near the limit even at high parallelism —
+    /// the proof that breaker inputs are never fully materialized.
+    pub peak_used: u64,
 }
 
 impl SpillStats {
     /// True when any spilling happened at all.
     pub fn spilled(&self) -> bool {
         self.spilled_partitions > 0
+    }
+}
+
+#[derive(Debug)]
+struct SlotState {
+    file: Option<File>,
+    pending: usize,
+    error: Option<String>,
+}
+
+/// Shared state between one [`SpillWriter`] and the background writer
+/// thread: the open file, the count of queued-but-unwritten frames, and
+/// the first write error (sticky until surfaced).
+#[derive(Debug)]
+struct FileSlot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+enum IoMsg {
+    Frame { slot: Arc<FileSlot>, bytes: Vec<u8> },
+}
+
+/// The per-session background writer: a bounded frame queue and the
+/// thread draining it. The thread exits when every sender is gone
+/// (session drop plus all in-flight writers).
+#[derive(Debug)]
+struct SpillIo {
+    tx: SyncSender<IoMsg>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    inflight: Arc<AtomicU64>,
+}
+
+fn writer_loop(rx: Receiver<IoMsg>, stats: Arc<StatCells>, inflight: Arc<AtomicU64>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            IoMsg::Frame { slot, bytes } => {
+                let start = std::time::Instant::now();
+                {
+                    let mut st = slot.state.lock().unwrap();
+                    if st.error.is_none() {
+                        if let Some(file) = st.file.as_mut() {
+                            if let Err(e) = file.write_all(&bytes) {
+                                st.error = Some(e.to_string());
+                            }
+                        }
+                    }
+                    st.pending -= 1;
+                    slot.cv.notify_all();
+                }
+                stats
+                    .overlap_nanos
+                    .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                inflight.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 
@@ -124,7 +220,26 @@ struct BudgetInner {
     used: AtomicUsize,
     /// Directory spill files are created in.
     spill_dir: Mutex<PathBuf>,
-    stats: StatCells,
+    /// Shared with the writer thread (which must not keep `BudgetInner`
+    /// itself alive, or the session could never drop).
+    stats: Arc<StatCells>,
+    /// Lazily-started background writer; lives for the session.
+    io: Mutex<Option<SpillIo>>,
+}
+
+impl Drop for BudgetInner {
+    fn drop(&mut self) {
+        // Every live SpillWriter holds a budget clone, so when the inner
+        // drops there are no senders left beyond ours: closing it ends
+        // the writer thread, and joining cannot deadlock.
+        if let Some(io) = self.io.get_mut().map(Option::take).unwrap_or(None) {
+            let SpillIo { tx, handle, .. } = io;
+            drop(tx);
+            if let Some(h) = handle {
+                let _ = h.join();
+            }
+        }
+    }
 }
 
 /// The session-wide memory accounting handle threaded through the
@@ -148,7 +263,8 @@ impl MemoryBudget {
                 limit: AtomicUsize::new(limit),
                 used: AtomicUsize::new(0),
                 spill_dir: Mutex::new(std::env::temp_dir()),
-                stats: StatCells::default(),
+                stats: Arc::new(StatCells::default()),
+                io: Mutex::new(None),
             }),
         }
     }
@@ -207,13 +323,46 @@ impl MemoryBudget {
             spill_files: s.spill_files.load(Ordering::Relaxed),
             rehydrated_partitions: s.rehydrated_partitions.load(Ordering::Relaxed),
             rehydrated_rows: s.rehydrated_rows.load(Ordering::Relaxed),
+            bytes_read: s.bytes_read.load(Ordering::Relaxed),
             repartitions: s.repartitions.load(Ordering::Relaxed),
+            queue_high_water: s.queue_high_water.load(Ordering::Relaxed),
+            overlap_nanos: s.overlap_nanos.load(Ordering::Relaxed),
+            peak_used: s.peak_used.load(Ordering::Relaxed),
         }
+    }
+
+    /// The background writer's queue handle, starting the thread on
+    /// first use.
+    fn io(&self) -> Result<(SyncSender<IoMsg>, Arc<AtomicU64>), EngineError> {
+        let mut guard = self.inner.io.lock().unwrap();
+        if guard.is_none() {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<IoMsg>(SPILL_QUEUE_FRAMES);
+            let stats = Arc::clone(&self.inner.stats);
+            let inflight = Arc::new(AtomicU64::new(0));
+            let thread_inflight = Arc::clone(&inflight);
+            let handle = std::thread::Builder::new()
+                .name("openivm-spill-io".into())
+                .spawn(move || writer_loop(rx, stats, thread_inflight))
+                .map_err(|e| {
+                    EngineError::execution(format!("cannot start spill writer thread: {e}"))
+                })?;
+            *guard = Some(SpillIo {
+                tx,
+                handle: Some(handle),
+                inflight,
+            });
+        }
+        let io = guard.as_ref().expect("just initialized");
+        Ok((io.tx.clone(), Arc::clone(&io.inflight)))
     }
 
     /// Account `bytes` of new operator state.
     pub(crate) fn add(&self, bytes: usize) {
-        self.inner.used.fetch_add(bytes, Ordering::Relaxed);
+        let now = self.inner.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.inner
+            .stats
+            .peak_used
+            .fetch_max(now as u64, Ordering::Relaxed);
     }
 
     /// Release `bytes` of operator state.
@@ -239,11 +388,31 @@ pub(crate) fn tuple_bytes(row: &[Value]) -> usize {
     frame::row_bytes(row) + TUPLE_OVERHEAD
 }
 
-/// A spill file being written: buffered frames behind the codec of
-/// [`crate::storage::frame`].
+/// `Read` adapter counting decoded bytes, feeding the `bytes_read` stat.
+struct CountingReader<R> {
+    inner: R,
+    n: u64,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.n += n as u64;
+        Ok(n)
+    }
+}
+
+/// A spill file being written. Frames are encoded here on the calling
+/// thread and handed to the session's background writer; `finish` drains
+/// the queue, surfaces any deferred write error, and fsyncs.
 #[derive(Debug)]
 pub(crate) struct SpillWriter {
-    w: BufWriter<File>,
+    /// Keeps the session (and so the writer thread) alive while any
+    /// writer exists.
+    budget: MemoryBudget,
+    slot: Arc<FileSlot>,
+    tx: SyncSender<IoMsg>,
+    inflight: Arc<AtomicU64>,
     path: PathBuf,
     rows: u64,
     bytes: u64,
@@ -257,38 +426,98 @@ impl SpillWriter {
             budget
                 .spill_dir()
                 .join(format!("openivm-spill-{}-{}.bin", std::process::id(), seq));
+        SpillWriter::create_at(path, budget)
+    }
+
+    /// Create a writer at an explicit path. A missing or closed
+    /// directory fails here, synchronously; device-level errors (ENOSPC)
+    /// surface later through the async error path.
+    fn create_at(path: PathBuf, budget: &MemoryBudget) -> Result<SpillWriter, EngineError> {
         let file = File::create(&path)
             .map_err(|e| EngineError::execution(format!("cannot create spill file: {e}")))?;
-        let mut w = BufWriter::new(file);
-        frame::write_header(&mut w)?;
+        let (tx, inflight) = budget.io()?;
         budget
             .inner
             .stats
             .spill_files
             .fetch_add(1, Ordering::Relaxed);
-        Ok(SpillWriter {
-            w,
+        let slot = Arc::new(FileSlot {
+            state: Mutex::new(SlotState {
+                file: Some(file),
+                pending: 0,
+                error: None,
+            }),
+            cv: Condvar::new(),
+        });
+        let mut w = SpillWriter {
+            budget: budget.clone(),
+            slot,
+            tx,
+            inflight,
             path,
             rows: 0,
             bytes: 0,
-        })
+        };
+        // The header rides the queue like every frame, so even it gets
+        // the async error discipline (a full device fails the next
+        // enqueue or `finish`, never a hang).
+        let mut header = Vec::new();
+        frame::write_header(&mut header)?;
+        w.enqueue(header)?;
+        Ok(w)
     }
 
-    /// Append one frame of rows.
+    fn enqueue(&mut self, bytes: Vec<u8>) -> Result<(), EngineError> {
+        {
+            let mut st = self.slot.state.lock().unwrap();
+            if let Some(e) = &st.error {
+                return Err(EngineError::execution(format!("spill write failed: {e}")));
+            }
+            st.pending += 1;
+        }
+        let queued = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.budget
+            .inner
+            .stats
+            .queue_high_water
+            .fetch_max(queued, Ordering::Relaxed);
+        self.tx
+            .send(IoMsg::Frame {
+                slot: Arc::clone(&self.slot),
+                bytes,
+            })
+            .map_err(|_| EngineError::execution("spill writer thread terminated"))
+    }
+
+    /// Encode one frame of rows and queue it for the background writer.
+    /// Returns as soon as the queue accepts the frame.
     pub(crate) fn write_rows(&mut self, rows: &[Row]) -> Result<(), EngineError> {
         if rows.is_empty() {
             return Ok(());
         }
-        self.bytes += frame::write_frame(&mut self.w, rows)?;
+        let mut buf = Vec::new();
+        self.bytes += frame::write_frame(&mut buf, rows)?;
         self.rows += rows.len() as u64;
-        Ok(())
+        self.enqueue(buf)
     }
 
-    /// Flush and seal into a readable [`SpillFile`].
+    /// Drain queued frames, surface any deferred write error, fsync, and
+    /// seal into a readable [`SpillFile`].
     pub(crate) fn finish(mut self) -> Result<SpillFile, EngineError> {
-        self.w
-            .flush()
-            .map_err(|e| EngineError::execution(format!("spill flush failed: {e}")))?;
+        let file = {
+            let mut st = self.slot.state.lock().unwrap();
+            while st.pending > 0 {
+                st = self.slot.cv.wait(st).unwrap();
+            }
+            if let Some(e) = st.error.take() {
+                return Err(EngineError::execution(format!("spill write failed: {e}")));
+            }
+            st.file.take()
+        };
+        if let Some(file) = file {
+            file.sync_all()
+                .map_err(|e| EngineError::execution(format!("spill fsync failed: {e}")))?;
+        }
         Ok(SpillFile {
             path: std::mem::take(&mut self.path),
             rows: self.rows,
@@ -298,9 +527,11 @@ impl SpillWriter {
 
 impl Drop for SpillWriter {
     fn drop(&mut self) {
-        // Abandoned writers (error paths) must not leak their file.
+        // Abandoned writers (error paths) must not leak their file; any
+        // still-queued frames find the slot closed and are discarded.
         if !self.path.as_os_str().is_empty() {
             let _ = std::fs::remove_file(&self.path);
+            self.slot.state.lock().unwrap().file = None;
         }
     }
 }
@@ -318,18 +549,27 @@ impl SpillFile {
         self.rows
     }
 
-    /// Stream every frame through `f`.
+    /// Stream every frame through `f`, counting bytes read.
     pub(crate) fn replay(
         &self,
+        budget: &MemoryBudget,
         mut f: impl FnMut(Vec<Row>) -> Result<(), EngineError>,
     ) -> Result<(), EngineError> {
+        let stats = &budget.inner.stats;
         let file = File::open(&self.path)
             .map_err(|e| EngineError::execution(format!("cannot reopen spill file: {e}")))?;
-        let mut r = BufReader::new(file);
+        let mut r = CountingReader {
+            inner: BufReader::new(file),
+            n: 0,
+        };
         frame::read_header(&mut r)?;
+        let mut counted = 0u64;
         while let Some(rows) = frame::read_frame(&mut r)? {
+            stats.bytes_read.fetch_add(r.n - counted, Ordering::Relaxed);
+            counted = r.n;
             f(rows)?;
         }
+        stats.bytes_read.fetch_add(r.n - counted, Ordering::Relaxed);
         Ok(())
     }
 }
@@ -337,6 +577,50 @@ impl SpillFile {
 impl Drop for SpillFile {
     fn drop(&mut self) {
         let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// A frame-at-a-time reader over a sealed spill file. Owns the file
+/// handle (so deletion still happens on drop) and keeps only one decoded
+/// frame in memory.
+pub(crate) struct SpillReader {
+    _file: SpillFile,
+    r: CountingReader<BufReader<File>>,
+    stats: Arc<StatCells>,
+    counted: u64,
+}
+
+impl SpillReader {
+    pub(crate) fn open(file: SpillFile, budget: &MemoryBudget) -> Result<SpillReader, EngineError> {
+        let stats = Arc::clone(&budget.inner.stats);
+        stats.rehydrated_partitions.fetch_add(1, Ordering::Relaxed);
+        let f = File::open(&file.path)
+            .map_err(|e| EngineError::execution(format!("cannot reopen spill file: {e}")))?;
+        let mut r = CountingReader {
+            inner: BufReader::new(f),
+            n: 0,
+        };
+        frame::read_header(&mut r)?;
+        Ok(SpillReader {
+            _file: file,
+            r,
+            stats,
+            counted: 0,
+        })
+    }
+
+    pub(crate) fn next_frame(&mut self) -> Result<Option<Vec<Row>>, EngineError> {
+        let frame = frame::read_frame(&mut self.r)?;
+        self.stats
+            .bytes_read
+            .fetch_add(self.r.n - self.counted, Ordering::Relaxed);
+        self.counted = self.r.n;
+        if let Some(rows) = &frame {
+            self.stats
+                .rehydrated_rows
+                .fetch_add(rows.len() as u64, Ordering::Relaxed);
+        }
+        Ok(frame)
     }
 }
 
@@ -364,6 +648,11 @@ pub(crate) struct PartitionedSpiller {
     held: usize,
     spilled_any: bool,
 }
+
+/// One producer's finished partition set, indexed by radix partition:
+/// index `i` of every producer's set holds the same key space, so a
+/// grace consumer merges index `i` across producers.
+pub(crate) type PartitionGroups = Vec<Vec<SpillPartition>>;
 
 /// One finished partition: resident rows or a sealed spill file.
 #[derive(Debug)]
@@ -412,7 +701,7 @@ impl SpillPartition {
                 let stats = &budget.inner.stats;
                 stats.rehydrated_partitions.fetch_add(1, Ordering::Relaxed);
                 let mut out: Vec<Tagged> = Vec::with_capacity(file.rows() as usize);
-                file.replay(|rows| {
+                file.replay(budget, |rows| {
                     stats
                         .rehydrated_rows
                         .fetch_add(rows.len() as u64, Ordering::Relaxed);
@@ -422,76 +711,6 @@ impl SpillPartition {
                     Ok(())
                 })?;
                 Ok(out)
-            }
-        }
-    }
-
-    /// Stream the partition's tuples through `f` in bounded chunks
-    /// (sequence-ascending) without materializing the whole partition —
-    /// the probe-side discipline: only the *build* side of a pair is
-    /// required to fit, the streamed side never is.
-    pub(crate) fn for_each_chunk(
-        self,
-        budget: &MemoryBudget,
-        mut f: impl FnMut(Vec<Tagged>) -> Result<(), EngineError>,
-    ) -> Result<(), EngineError> {
-        match self {
-            SpillPartition::Resident { rows, .. } => {
-                if !rows.is_empty() {
-                    f(rows)?;
-                }
-                Ok(())
-            }
-            SpillPartition::Spilled { file, .. } => {
-                let stats = &budget.inner.stats;
-                stats.rehydrated_partitions.fetch_add(1, Ordering::Relaxed);
-                file.replay(|rows| {
-                    stats
-                        .rehydrated_rows
-                        .fetch_add(rows.len() as u64, Ordering::Relaxed);
-                    let tuples: Vec<Tagged> =
-                        rows.into_iter().map(untag).collect::<Result<_, _>>()?;
-                    if !tuples.is_empty() {
-                        f(tuples)?;
-                    }
-                    Ok(())
-                })
-            }
-        }
-    }
-
-    /// Stream the partition's tuples into `target` (a sub-spiller on a
-    /// rotated bit range) — the recursive re-partition step.
-    pub(crate) fn split_into(
-        self,
-        budget: &MemoryBudget,
-        target: &mut PartitionedSpiller,
-    ) -> Result<(), EngineError> {
-        budget
-            .inner
-            .stats
-            .repartitions
-            .fetch_add(1, Ordering::Relaxed);
-        match self {
-            SpillPartition::Resident { rows, .. } => {
-                for (hash, seq, row) in rows {
-                    target.push(hash, seq, row)?;
-                }
-                Ok(())
-            }
-            SpillPartition::Spilled { file, .. } => {
-                let stats = &budget.inner.stats;
-                stats.rehydrated_partitions.fetch_add(1, Ordering::Relaxed);
-                file.replay(|rows| {
-                    stats
-                        .rehydrated_rows
-                        .fetch_add(rows.len() as u64, Ordering::Relaxed);
-                    for row in rows {
-                        let (hash, seq, row) = untag(row)?;
-                        target.push(hash, seq, row)?;
-                    }
-                    Ok(())
-                })
             }
         }
     }
@@ -656,94 +875,499 @@ impl Drop for PartitionedSpiller {
     }
 }
 
-/// Drive every partition of a finished spiller through `process`,
+/// Cursor over one sequence-ascending tuple source: a resident partition
+/// or a frame-at-a-time spill reader.
+struct TaggedCursor {
+    reader: Option<SpillReader>,
+    buf: VecDeque<Tagged>,
+}
+
+impl TaggedCursor {
+    fn refill(&mut self) -> Result<(), EngineError> {
+        while self.buf.is_empty() {
+            let Some(r) = self.reader.as_mut() else {
+                return Ok(());
+            };
+            match r.next_frame()? {
+                Some(rows) => {
+                    for row in rows {
+                        self.buf.push_back(untag(row)?);
+                    }
+                }
+                None => self.reader = None,
+            }
+        }
+        Ok(())
+    }
+
+    fn peek_seq(&self) -> Option<u64> {
+        self.buf.front().map(|t| t.1)
+    }
+}
+
+/// K-way merge over sequence-ascending partition streams, yielding one
+/// globally sequence-ordered stream. Spilled sources keep at most one
+/// decoded frame resident, so merging `k` per-worker slices of a
+/// partition costs ~`k` frames of memory, not the partition.
+pub(crate) struct SeqMerge {
+    cursors: Vec<TaggedCursor>,
+    heap: BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+}
+
+impl SeqMerge {
+    /// Merge `parts` (each internally sequence-ascending; sequences are
+    /// globally unique across them).
+    pub(crate) fn new(
+        parts: Vec<SpillPartition>,
+        budget: &MemoryBudget,
+    ) -> Result<SeqMerge, EngineError> {
+        let mut cursors = Vec::with_capacity(parts.len());
+        for part in parts {
+            if part.row_count() == 0 {
+                continue;
+            }
+            match part {
+                SpillPartition::Resident { rows, .. } => cursors.push(TaggedCursor {
+                    reader: None,
+                    buf: rows.into(),
+                }),
+                SpillPartition::Spilled { file, .. } => cursors.push(TaggedCursor {
+                    reader: Some(SpillReader::open(file, budget)?),
+                    buf: VecDeque::new(),
+                }),
+            }
+        }
+        let mut merge = SeqMerge {
+            cursors,
+            heap: BinaryHeap::new(),
+        };
+        for i in 0..merge.cursors.len() {
+            merge.cursors[i].refill()?;
+            if let Some(seq) = merge.cursors[i].peek_seq() {
+                merge.heap.push(std::cmp::Reverse((seq, i)));
+            }
+        }
+        Ok(merge)
+    }
+
+    /// The next tuple in global sequence order.
+    pub(crate) fn next(&mut self) -> Result<Option<Tagged>, EngineError> {
+        let Some(std::cmp::Reverse((_, i))) = self.heap.pop() else {
+            return Ok(None);
+        };
+        let tuple = self.cursors[i]
+            .buf
+            .pop_front()
+            .expect("heap entry implies a buffered tuple");
+        self.cursors[i].refill()?;
+        if let Some(seq) = self.cursors[i].peek_seq() {
+            self.heap.push(std::cmp::Reverse((seq, i)));
+        }
+        Ok(Some(tuple))
+    }
+
+    /// Materialize the merged stream (for sides the budget says fit).
+    pub(crate) fn collect_all(mut self) -> Result<Vec<Tagged>, EngineError> {
+        let mut out = Vec::new();
+        while let Some(t) = self.next()? {
+            out.push(t);
+        }
+        Ok(out)
+    }
+
+    /// Stream the merged tuples through `f` in chunks of at most
+    /// `chunk_rows` — the streamed-side discipline: never materialize.
+    pub(crate) fn for_each_chunk(
+        mut self,
+        chunk_rows: usize,
+        mut f: impl FnMut(Vec<Tagged>) -> Result<(), EngineError>,
+    ) -> Result<(), EngineError> {
+        let cap = chunk_rows.max(1);
+        let mut chunk: Vec<Tagged> = Vec::with_capacity(cap);
+        while let Some(t) = self.next()? {
+            chunk.push(t);
+            if chunk.len() == cap {
+                f(std::mem::take(&mut chunk))?;
+            }
+        }
+        if !chunk.is_empty() {
+            f(chunk)?;
+        }
+        Ok(())
+    }
+}
+
+/// Gather column `p` from every producer's partition vector.
+fn partition_column(groups: &mut [Vec<SpillPartition>], p: usize) -> Vec<SpillPartition> {
+    let mut col = Vec::new();
+    for g in groups.iter_mut() {
+        if p < g.len() {
+            col.push(std::mem::replace(
+                &mut g[p],
+                SpillPartition::Resident {
+                    rows: Vec::new(),
+                    bytes: 0,
+                },
+            ));
+        }
+    }
+    col
+}
+
+/// Stream a partition group through a sub-spiller on the next bit range
+/// (in global sequence order, so sub-partitions stay sequence-ascending).
+fn repartition_group(
+    parts: Vec<SpillPartition>,
+    budget: &MemoryBudget,
+    bit_offset: u32,
+) -> Result<Vec<SpillPartition>, EngineError> {
+    budget
+        .inner
+        .stats
+        .repartitions
+        .fetch_add(1, Ordering::Relaxed);
+    let mut sub = PartitionedSpiller::new(budget.clone(), bit_offset);
+    let mut merge = SeqMerge::new(parts, budget)?;
+    while let Some((hash, seq, row)) = merge.next()? {
+        sub.push(hash, seq, row)?;
+    }
+    sub.finish()
+}
+
+fn group_step(
+    parts: Vec<SpillPartition>,
+    budget: &MemoryBudget,
+    depth: u32,
+    process: &mut impl FnMut(Vec<Tagged>) -> Result<(), EngineError>,
+) -> Result<(), EngineError> {
+    let rows: u64 = parts.iter().map(|p| p.row_count()).sum();
+    if rows == 0 {
+        return Ok(());
+    }
+    let bytes: u64 = parts.iter().map(|p| p.bytes()).sum();
+    if depth + 1 < MAX_SPILL_DEPTH && budget.should_split(bytes) && rows > 1 {
+        let sub = repartition_group(parts, budget, (depth + 1) * PART_BITS)?;
+        for_each_fitting_group(vec![sub], budget, depth + 1, process)
+    } else {
+        process(SeqMerge::new(parts, budget)?.collect_all()?)
+    }
+}
+
+/// Drive every partition of a group of finished spillers (one per
+/// producer — e.g. one per parallel worker) through `process`,
 /// recursively re-partitioning (rotated bit range) any partition the
-/// budget says does not fit, until [`MAX_SPILL_DEPTH`]. Partitions reach
-/// `process` fully materialized, in sequence-ascending order.
+/// budget says does not fit, until [`MAX_SPILL_DEPTH`]. The per-producer
+/// slices of each partition are k-way merged on their sequence tags, so
+/// partitions reach `process` fully materialized in sequence-ascending
+/// order regardless of how many producers wrote them.
+pub(crate) fn for_each_fitting_group(
+    mut groups: Vec<Vec<SpillPartition>>,
+    budget: &MemoryBudget,
+    depth: u32,
+    process: &mut impl FnMut(Vec<Tagged>) -> Result<(), EngineError>,
+) -> Result<(), EngineError> {
+    let n = groups.iter().map(|g| g.len()).max().unwrap_or(0);
+    for p in 0..n {
+        group_step(partition_column(&mut groups, p), budget, depth, process)?;
+    }
+    Ok(())
+}
+
+/// Single-producer convenience over [`for_each_fitting_group`].
+#[cfg(test)]
 pub(crate) fn for_each_fitting_partition(
     parts: Vec<SpillPartition>,
     budget: &MemoryBudget,
     depth: u32,
     process: &mut impl FnMut(Vec<Tagged>) -> Result<(), EngineError>,
 ) -> Result<(), EngineError> {
-    for part in parts {
-        if part.row_count() == 0 {
-            continue;
-        }
-        if depth + 1 < MAX_SPILL_DEPTH && budget.should_split(part.bytes()) && part.row_count() > 1
-        {
-            let mut sub = PartitionedSpiller::new(budget.clone(), (depth + 1) * PART_BITS);
-            part.split_into(budget, &mut sub)?;
-            for_each_fitting_partition(sub.finish()?, budget, depth + 1, process)?;
-        } else {
-            process(part.load(budget)?)?;
-        }
-    }
-    Ok(())
+    for_each_fitting_group(vec![parts], budget, depth, process)
 }
 
-/// Chunk sequence-sorted output rows into `batch_size` batches — the
-/// shared emission tail of every spill consumer (join, aggregation,
-/// DISTINCT, set operations).
-pub(crate) fn rebatch_rows<'a>(
-    rows: impl IntoIterator<Item = Row>,
-    width: usize,
-    batch_size: usize,
-) -> std::collections::VecDeque<crate::exec::batch::RowBatch<'a>> {
-    let batch_size = batch_size.max(1);
-    let mut out = std::collections::VecDeque::new();
-    let mut chunk: Vec<Row> = Vec::new();
-    for row in rows {
-        chunk.push(row);
-        if chunk.len() == batch_size {
-            out.push_back(crate::exec::batch::RowBatch::from_rows(
-                width,
-                std::mem::take(&mut chunk),
-            ));
-        }
-    }
-    if !chunk.is_empty() {
-        out.push_back(crate::exec::batch::RowBatch::from_rows(width, chunk));
-    }
-    out
-}
-
-/// Pairwise variant of [`for_each_fitting_partition`] for two-sided
-/// operators (join build/probe, set-operation right/left). Partitions
-/// pair positionally (both spillers use the same bit range); when side
-/// `a` does not fit, **both** sides re-partition on the next bit range so
-/// the pairing stays aligned. `process` receives side `a` fully
-/// materialized and side `b` as a partition handle to stream.
-pub(crate) fn for_each_fitting_partition_pair(
+fn group_pair_step(
     a_parts: Vec<SpillPartition>,
     b_parts: Vec<SpillPartition>,
     budget: &MemoryBudget,
     depth: u32,
-    process: &mut impl FnMut(Vec<Tagged>, SpillPartition) -> Result<(), EngineError>,
+    process: &mut impl FnMut(Vec<Tagged>, SeqMerge) -> Result<(), EngineError>,
 ) -> Result<(), EngineError> {
-    debug_assert_eq!(a_parts.len(), b_parts.len());
-    for (a, b) in a_parts.into_iter().zip(b_parts) {
-        if a.row_count() == 0 && b.row_count() == 0 {
-            continue;
-        }
-        if depth + 1 < MAX_SPILL_DEPTH && budget.should_split(a.bytes()) && a.row_count() > 1 {
-            let off = (depth + 1) * PART_BITS;
-            let mut a_sub = PartitionedSpiller::new(budget.clone(), off);
-            a.split_into(budget, &mut a_sub)?;
-            let mut b_sub = PartitionedSpiller::new(budget.clone(), off);
-            b.split_into(budget, &mut b_sub)?;
-            for_each_fitting_partition_pair(
-                a_sub.finish()?,
-                b_sub.finish()?,
-                budget,
-                depth + 1,
-                process,
-            )?;
-        } else {
-            process(a.load(budget)?, b)?;
-        }
+    let a_rows: u64 = a_parts.iter().map(|p| p.row_count()).sum();
+    let b_rows: u64 = b_parts.iter().map(|p| p.row_count()).sum();
+    if a_rows == 0 && b_rows == 0 {
+        return Ok(());
+    }
+    let a_bytes: u64 = a_parts.iter().map(|p| p.bytes()).sum();
+    if depth + 1 < MAX_SPILL_DEPTH && budget.should_split(a_bytes) && a_rows > 1 {
+        let off = (depth + 1) * PART_BITS;
+        let a_sub = repartition_group(a_parts, budget, off)?;
+        let b_sub = repartition_group(b_parts, budget, off)?;
+        for_each_fitting_group_pair(vec![a_sub], vec![b_sub], budget, depth + 1, process)
+    } else {
+        process(
+            SeqMerge::new(a_parts, budget)?.collect_all()?,
+            SeqMerge::new(b_parts, budget)?,
+        )
+    }
+}
+
+/// Pairwise variant of [`for_each_fitting_group`] for two-sided
+/// operators (join build/probe, set-operation right/left). Partitions
+/// pair positionally (both sides use the same bit range); when side `a`
+/// does not fit, **both** sides re-partition on the next bit range so
+/// the pairing stays aligned. `process` receives side `a` fully
+/// materialized and side `b` as a sequence-ordered merge to stream.
+pub(crate) fn for_each_fitting_group_pair(
+    mut a_groups: Vec<Vec<SpillPartition>>,
+    mut b_groups: Vec<Vec<SpillPartition>>,
+    budget: &MemoryBudget,
+    depth: u32,
+    process: &mut impl FnMut(Vec<Tagged>, SeqMerge) -> Result<(), EngineError>,
+) -> Result<(), EngineError> {
+    let n = a_groups
+        .iter()
+        .chain(b_groups.iter())
+        .map(|g| g.len())
+        .max()
+        .unwrap_or(0);
+    for p in 0..n {
+        group_pair_step(
+            partition_column(&mut a_groups, p),
+            partition_column(&mut b_groups, p),
+            budget,
+            depth,
+            process,
+        )?;
     }
     Ok(())
+}
+
+/// Emission keys are `(primary, secondary)` pairs — e.g. a join's
+/// `(probe sequence, match ordinal)` — restoring the exact serial output
+/// order across partitions without a global sort.
+type EmitKey = (u64, u64);
+
+#[derive(Debug, Default)]
+struct Run {
+    writer: Option<SpillWriter>,
+    resident: Vec<(u64, u64, Row)>,
+    resident_bytes: usize,
+    last_key: Option<EmitKey>,
+}
+
+/// Budget-bounded operator output: each fitting partition appends one
+/// key-ascending run; runs flush to disk (prefix order preserved) when
+/// the budget overflows. `finish` turns the runs into a [`MergeEmit`]
+/// that k-way merges them — output memory stays at ~one frame per run
+/// instead of the whole result.
+pub(crate) struct OutputRuns {
+    budget: MemoryBudget,
+    runs: Vec<Run>,
+    held: usize,
+}
+
+impl OutputRuns {
+    pub(crate) fn new(budget: MemoryBudget) -> OutputRuns {
+        OutputRuns {
+            budget,
+            runs: Vec::new(),
+            held: 0,
+        }
+    }
+
+    /// Start the next run. Keys must ascend *within* a run; runs may
+    /// overlap each other freely.
+    pub(crate) fn begin_run(&mut self) {
+        self.runs.push(Run::default());
+    }
+
+    /// Append one output row to the current run.
+    pub(crate) fn push(&mut self, k1: u64, k2: u64, row: Row) -> Result<(), EngineError> {
+        let run = self.runs.last_mut().expect("begin_run before push");
+        debug_assert!(
+            run.last_key.is_none_or(|k| k <= (k1, k2)),
+            "output run keys must ascend"
+        );
+        run.last_key = Some((k1, k2));
+        let bytes = tuple_bytes(&row);
+        run.resident.push((k1, k2, row));
+        run.resident_bytes += bytes;
+        self.held += bytes;
+        self.budget.add(bytes);
+        while self.budget.over_limit() {
+            if !self.flush_largest()? {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush the largest resident run suffix to its file. Only the last
+    /// run ever grows again, so every file stays a key-prefix of its run.
+    fn flush_largest(&mut self) -> Result<bool, EngineError> {
+        let victim = self
+            .runs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.resident.is_empty())
+            .max_by_key(|(_, r)| r.resident_bytes)
+            .map(|(i, _)| i);
+        let Some(i) = victim else {
+            return Ok(false);
+        };
+        let budget = self.budget.clone();
+        let run = &mut self.runs[i];
+        if run.writer.is_none() {
+            run.writer = Some(SpillWriter::create(&budget)?);
+            budget
+                .inner
+                .stats
+                .spilled_partitions
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let writer = run.writer.as_mut().expect("just created");
+        let before = writer.bytes;
+        let rows: Vec<Row> = std::mem::take(&mut run.resident)
+            .into_iter()
+            .map(|(k1, k2, row)| tag(row, k1, k2))
+            .collect();
+        for chunk in rows.chunks(4096) {
+            writer.write_rows(chunk)?;
+        }
+        let stats = &budget.inner.stats;
+        stats
+            .spilled_rows
+            .fetch_add(rows.len() as u64, Ordering::Relaxed);
+        stats
+            .spilled_bytes
+            .fetch_add(writer.bytes - before, Ordering::Relaxed);
+        let released = std::mem::take(&mut run.resident_bytes);
+        self.held -= released;
+        self.budget.sub(released);
+        Ok(true)
+    }
+
+    /// Seal the runs into a streaming merge emitter.
+    pub(crate) fn finish(
+        mut self,
+        width: usize,
+        batch_size: usize,
+    ) -> Result<MergeEmit, EngineError> {
+        let budget = self.budget.clone();
+        budget.sub(std::mem::take(&mut self.held));
+        let mut cursors = Vec::new();
+        for run in std::mem::take(&mut self.runs) {
+            let reader = match run.writer {
+                Some(w) => Some(SpillReader::open(w.finish()?, &budget)?),
+                None => None,
+            };
+            if reader.is_none() && run.resident.is_empty() {
+                continue;
+            }
+            cursors.push(RunCursor {
+                reader,
+                buf: VecDeque::new(),
+                resident: run.resident.into(),
+            });
+        }
+        let mut emit = MergeEmit {
+            cursors,
+            heap: BinaryHeap::new(),
+            width,
+            batch_size: batch_size.max(1),
+        };
+        for i in 0..emit.cursors.len() {
+            emit.cursors[i].refill()?;
+            if let Some(key) = emit.cursors[i].peek() {
+                emit.heap.push(std::cmp::Reverse((key.0, key.1, i)));
+            }
+        }
+        Ok(emit)
+    }
+}
+
+impl Drop for OutputRuns {
+    fn drop(&mut self) {
+        self.budget.sub(self.held);
+        self.held = 0;
+    }
+}
+
+/// One sealed run: an optional file prefix followed by the resident
+/// suffix, keys ascending across the whole.
+struct RunCursor {
+    reader: Option<SpillReader>,
+    buf: VecDeque<(u64, u64, Row)>,
+    resident: VecDeque<(u64, u64, Row)>,
+}
+
+impl RunCursor {
+    fn refill(&mut self) -> Result<(), EngineError> {
+        while self.buf.is_empty() {
+            if let Some(r) = self.reader.as_mut() {
+                match r.next_frame()? {
+                    Some(rows) => {
+                        for row in rows {
+                            let (k1, k2, row) = untag(row)?;
+                            self.buf.push_back((k1, k2, row));
+                        }
+                    }
+                    None => self.reader = None,
+                }
+            } else {
+                if self.resident.is_empty() {
+                    return Ok(());
+                }
+                std::mem::swap(&mut self.buf, &mut self.resident);
+            }
+        }
+        Ok(())
+    }
+
+    fn peek(&self) -> Option<EmitKey> {
+        self.buf.front().map(|t| (t.0, t.1))
+    }
+}
+
+/// Streaming k-way merge over sealed output runs, emitting batches in
+/// global key order with ~one frame per run resident.
+pub(crate) struct MergeEmit {
+    cursors: Vec<RunCursor>,
+    heap: BinaryHeap<std::cmp::Reverse<(u64, u64, usize)>>,
+    width: usize,
+    batch_size: usize,
+}
+
+impl MergeEmit {
+    fn next_row(&mut self) -> Result<Option<Row>, EngineError> {
+        let Some(std::cmp::Reverse((_, _, i))) = self.heap.pop() else {
+            return Ok(None);
+        };
+        let (_, _, row) = self.cursors[i]
+            .buf
+            .pop_front()
+            .expect("heap entry implies a buffered tuple");
+        self.cursors[i].refill()?;
+        if let Some(key) = self.cursors[i].peek() {
+            self.heap.push(std::cmp::Reverse((key.0, key.1, i)));
+        }
+        Ok(Some(row))
+    }
+
+    /// The next output batch (up to `batch_size` rows), `None` at end.
+    pub(crate) fn next_batch<'a>(&mut self) -> Result<Option<RowBatch<'a>>, EngineError> {
+        let mut rows: Vec<Row> = Vec::with_capacity(self.batch_size);
+        while rows.len() < self.batch_size {
+            match self.next_row()? {
+                Some(row) => rows.push(row),
+                None => break,
+            }
+        }
+        if rows.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(RowBatch::from_rows(self.width, rows)))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -768,6 +1392,7 @@ mod tests {
         assert!(!b.over_limit());
         assert!(b.should_split(2048));
         assert!(!b.should_split(512));
+        assert!(b.stats().peak_used >= 2000);
         b.set_limit(None);
         assert!(!b.is_bounded());
     }
@@ -781,12 +1406,13 @@ mod tests {
         let file = w.finish().unwrap();
         assert_eq!(file.rows(), 3);
         let mut seen = Vec::new();
-        file.replay(|rows| {
+        file.replay(&budget, |rows| {
             seen.extend(rows);
             Ok(())
         })
         .unwrap();
         assert_eq!(seen, vec![row(1), row(2), row(3)]);
+        assert!(budget.stats().bytes_read > 0);
         let path = file.path.clone();
         assert!(path.exists());
         drop(file);
@@ -801,6 +1427,38 @@ mod tests {
         assert!(path.exists());
         drop(w);
         assert!(!path.exists(), "abandoned spill file must be removed");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn writer_thread_error_surfaces_cleanly() {
+        // /dev/full accepts the open but fails every write with ENOSPC;
+        // the failure happens on the background writer thread and must
+        // surface as a clean EngineError — never a hang or a panic.
+        let dev_full = PathBuf::from("/dev/full");
+        if !dev_full.exists() {
+            return;
+        }
+        let budget = MemoryBudget::with_limit(1);
+        let mut w = SpillWriter::create_at(dev_full, &budget).unwrap();
+        let mut failed = false;
+        for i in 0..1000 {
+            let rows: Vec<Row> = (0..64).map(|j| row(i * 64 + j)).collect();
+            if w.write_rows(&rows).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        if !failed {
+            assert!(w.finish().is_err(), "ENOSPC must surface by finish()");
+        }
+    }
+
+    #[test]
+    fn writer_in_missing_directory_fails_fast() {
+        let budget = MemoryBudget::with_limit(1);
+        budget.set_spill_dir(PathBuf::from("/nonexistent-openivm-spill-dir"));
+        assert!(SpillWriter::create(&budget).is_err());
     }
 
     #[test]
@@ -862,6 +1520,7 @@ mod tests {
             );
         }
         assert!(budget.stats().rehydrated_rows > 0);
+        assert!(budget.stats().queue_high_water > 0);
     }
 
     #[test]
@@ -927,6 +1586,64 @@ mod tests {
             }
             assert!(budget.inner.used.load(Ordering::Relaxed) > 0);
         }
+        assert_eq!(budget.inner.used.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn group_merge_restores_sequence_order_across_producers() {
+        // Simulate 3 workers spilling disjoint sequence ranges; the
+        // group driver must hand each partition back in global seq order.
+        let budget = MemoryBudget::with_limit(512);
+        let mut groups = Vec::new();
+        for w in 0..3u64 {
+            let mut s = PartitionedSpiller::new(budget.clone(), 0);
+            for i in 0..200u64 {
+                let seq = (i << 2) | w; // interleaved but per-worker ascending
+                s.push(
+                    crate::exec::hash::hash_value(&Value::Integer((i % 7) as i64)),
+                    seq,
+                    row(seq as i64),
+                )
+                .unwrap();
+            }
+            groups.push(s.finish().unwrap());
+        }
+        let mut all: Vec<Tagged> = Vec::new();
+        for_each_fitting_group(groups, &budget, 0, &mut |rows| {
+            assert!(rows.windows(2).all(|t| t[0].1 < t[1].1));
+            all.extend(rows);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(all.len(), 600);
+        all.sort_by_key(|t| t.1);
+        for t in &all {
+            assert_eq!(t.2, row(t.1 as i64));
+        }
+    }
+
+    #[test]
+    fn output_runs_merge_in_key_order_under_pressure() {
+        let budget = MemoryBudget::with_limit(256);
+        let mut runs = OutputRuns::new(budget.clone());
+        // Three overlapping runs, each internally ascending.
+        for r in 0..3u64 {
+            runs.begin_run();
+            for i in 0..100u64 {
+                runs.push(i * 3 + r, 0, row((i * 3 + r) as i64)).unwrap();
+            }
+        }
+        let mut emit = runs.finish(2, 7).unwrap();
+        let mut seen = Vec::new();
+        while let Some(batch) = emit.next_batch().unwrap() {
+            assert!(batch.num_rows() <= 7);
+            seen.extend(batch.to_rows());
+        }
+        assert_eq!(seen.len(), 300);
+        for (i, r) in seen.iter().enumerate() {
+            assert_eq!(r, &row(i as i64));
+        }
+        assert!(budget.stats().spilled(), "256-byte budget must flush runs");
         assert_eq!(budget.inner.used.load(Ordering::Relaxed), 0);
     }
 }

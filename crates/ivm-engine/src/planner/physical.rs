@@ -291,12 +291,31 @@ impl PhysicalPlan {
 /// fold eligible `Filter` nodes into their `TableScan` inputs (predicate
 /// pushdown into storage — see [`crate::optimizer`]'s physical rule).
 pub fn lower(plan: &LogicalPlan, catalog: &Catalog) -> Result<PhysicalPlan, EngineError> {
+    lower_with_budget(plan, catalog, None)
+}
+
+/// [`lower`] with the session memory budget (bytes; `None` = unbounded)
+/// available to cost decisions: when a join's predicted build side
+/// exceeds the budget — i.e. a spill is coming — INNER join side
+/// selection compares *physical* row estimates so the cheaper-to-spill
+/// side builds. Unbounded sessions lower identically to [`lower`].
+pub fn lower_with_budget(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    budget_limit: Option<usize>,
+) -> Result<PhysicalPlan, EngineError> {
     Ok(crate::optimizer::push_scan_predicates(lower_node(
-        plan, catalog,
+        plan,
+        catalog,
+        budget_limit,
     )?))
 }
 
-fn lower_node(plan: &LogicalPlan, catalog: &Catalog) -> Result<PhysicalPlan, EngineError> {
+fn lower_node(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    budget_limit: Option<usize>,
+) -> Result<PhysicalPlan, EngineError> {
     Ok(match plan {
         LogicalPlan::Scan { table, schema } => PhysicalPlan::TableScan {
             table: table.clone(),
@@ -306,7 +325,7 @@ fn lower_node(plan: &LogicalPlan, catalog: &Catalog) -> Result<PhysicalPlan, Eng
         },
         LogicalPlan::Dual { .. } => PhysicalPlan::Dual,
         LogicalPlan::Filter { input, predicate } => PhysicalPlan::Filter {
-            input: Box::new(lower_node(input, catalog)?),
+            input: Box::new(lower_node(input, catalog, budget_limit)?),
             predicate: predicate.clone(),
         },
         LogicalPlan::Project {
@@ -314,7 +333,7 @@ fn lower_node(plan: &LogicalPlan, catalog: &Catalog) -> Result<PhysicalPlan, Eng
             exprs,
             schema,
         } => PhysicalPlan::Project {
-            input: Box::new(lower_node(input, catalog)?),
+            input: Box::new(lower_node(input, catalog, budget_limit)?),
             exprs: exprs.clone(),
             schema: schema.clone(),
         },
@@ -324,7 +343,7 @@ fn lower_node(plan: &LogicalPlan, catalog: &Catalog) -> Result<PhysicalPlan, Eng
             aggs,
             schema,
         } => PhysicalPlan::HashAggregate {
-            input: Box::new(lower_node(input, catalog)?),
+            input: Box::new(lower_node(input, catalog, budget_limit)?),
             group: group.clone(),
             aggs: aggs.clone(),
             mode: if group.is_empty() {
@@ -340,7 +359,15 @@ fn lower_node(plan: &LogicalPlan, catalog: &Catalog) -> Result<PhysicalPlan, Eng
             kind,
             on,
             schema,
-        } => lower_join(left, right, *kind, on.as_ref(), schema, catalog)?,
+        } => lower_join(
+            left,
+            right,
+            *kind,
+            on.as_ref(),
+            schema,
+            catalog,
+            budget_limit,
+        )?,
         LogicalPlan::SetOp {
             op,
             all,
@@ -350,15 +377,15 @@ fn lower_node(plan: &LogicalPlan, catalog: &Catalog) -> Result<PhysicalPlan, Eng
         } => PhysicalPlan::SetOp {
             op: *op,
             all: *all,
-            left: Box::new(lower_node(left, catalog)?),
-            right: Box::new(lower_node(right, catalog)?),
+            left: Box::new(lower_node(left, catalog, budget_limit)?),
+            right: Box::new(lower_node(right, catalog, budget_limit)?),
             schema: schema.clone(),
         },
         LogicalPlan::Distinct { input } => PhysicalPlan::Distinct {
-            input: Box::new(lower_node(input, catalog)?),
+            input: Box::new(lower_node(input, catalog, budget_limit)?),
         },
         LogicalPlan::Sort { input, keys } => PhysicalPlan::Sort {
-            input: Box::new(lower_node(input, catalog)?),
+            input: Box::new(lower_node(input, catalog, budget_limit)?),
             keys: keys.clone(),
         },
         // ORDER BY … LIMIT k lowers to a bounded-heap top-k instead of a
@@ -374,14 +401,14 @@ fn lower_node(plan: &LogicalPlan, catalog: &Catalog) -> Result<PhysicalPlan, Eng
             } = input.as_ref()
             {
                 PhysicalPlan::TopK {
-                    input: Box::new(lower_node(sorted, catalog)?),
+                    input: Box::new(lower_node(sorted, catalog, budget_limit)?),
                     keys: keys.clone(),
                     limit: *limit,
                     offset: *offset,
                 }
             } else {
                 PhysicalPlan::Limit {
-                    input: Box::new(lower_node(input, catalog)?),
+                    input: Box::new(lower_node(input, catalog, budget_limit)?),
                     limit: Some(*limit),
                     offset: *offset,
                 }
@@ -392,7 +419,7 @@ fn lower_node(plan: &LogicalPlan, catalog: &Catalog) -> Result<PhysicalPlan, Eng
             limit,
             offset,
         } => PhysicalPlan::Limit {
-            input: Box::new(lower_node(input, catalog)?),
+            input: Box::new(lower_node(input, catalog, budget_limit)?),
             limit: *limit,
             offset: *offset,
         },
@@ -521,6 +548,12 @@ pub fn table_size_hint(estimate: f64) -> usize {
     }
 }
 
+/// Rough bytes per materialized build-side row, used only to predict
+/// whether a join build fits the memory budget. Precision doesn't matter:
+/// the prediction just decides which cardinality estimate picks sides.
+const SPILL_EST_ROW_BYTES: f64 = 64.0;
+
+#[allow(clippy::too_many_arguments)]
 fn lower_join(
     left: &LogicalPlan,
     right: &LogicalPlan,
@@ -528,16 +561,34 @@ fn lower_join(
     on: Option<&BoundExpr>,
     schema: &Schema,
     catalog: &Catalog,
+    budget_limit: Option<usize>,
 ) -> Result<PhysicalPlan, EngineError> {
     let lwidth = left.schema().len();
     let rwidth = right.schema().len();
 
+    // Children lower first so side selection can consult physical
+    // estimates (which see pushed predicates the logical ones don't).
+    let left_phys = lower_node(left, catalog, budget_limit)?;
+    let right_phys = lower_node(right, catalog, budget_limit)?;
+
     // Pick sides. The probe side is the preserved side of outer joins, so
     // only INNER joins are free to swap for a smaller build table; RIGHT
-    // joins must mirror (probe = right).
+    // joins must mirror (probe = right). Unbounded sessions keep the
+    // legacy logical-estimate comparison (plans lower identically);
+    // under a budget that the smaller side is predicted to outgrow —
+    // i.e. the build will spill — the physical estimates decide, so the
+    // side with fewer expected rows (partitions, spill files, grace
+    // passes) builds.
     let swap = match kind {
         JoinKind::Right => true,
-        JoinKind::Inner => estimate_rows(left, catalog) < estimate_rows(right, catalog),
+        JoinKind::Inner => {
+            let le = estimate_physical_rows(&left_phys, catalog);
+            let re = estimate_physical_rows(&right_phys, catalog);
+            match budget_limit {
+                Some(limit) if le.min(re) * SPILL_EST_ROW_BYTES > limit as f64 => le < re,
+                _ => estimate_rows(left, catalog) < estimate_rows(right, catalog),
+            }
+        }
         _ => false,
     };
     let join = match kind {
@@ -546,10 +597,10 @@ fn lower_join(
         JoinKind::Full => PhysJoinKind::FullOuter,
     };
 
-    let (probe_lp, build_lp, probe_width, build_width) = if swap {
-        (right, left, rwidth, lwidth)
+    let (probe_phys, build_phys, probe_width, build_width) = if swap {
+        (right_phys, left_phys, rwidth, lwidth)
     } else {
-        (left, right, lwidth, rwidth)
+        (left_phys, right_phys, lwidth, rwidth)
     };
 
     // The ON clause was bound over `left ++ right`; re-express it over the
@@ -571,8 +622,8 @@ fn lower_join(
         schema.clone()
     };
 
-    let probe = Box::new(lower_node(probe_lp, catalog)?);
-    let build = Box::new(lower_node(build_lp, catalog)?);
+    let probe = Box::new(probe_phys);
+    let build = Box::new(build_phys);
 
     let (equi, residual) = match &on_in_frame {
         Some(pred) => split_equi_conjuncts(pred, probe_width, probe_width + build_width),

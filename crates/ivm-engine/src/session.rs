@@ -12,13 +12,14 @@ use ivm_sql::{parse_statement, parse_statements};
 use crate::catalog::Catalog;
 use crate::error::EngineError;
 use crate::exec::{
-    execute_parallel, execute_physical_budgeted, prepare_expr_with_batch_size, MemoryBudget,
-    ParallelOptions, Row, SpillStats, DEFAULT_BATCH_SIZE, DEFAULT_MORSEL_SIZE,
+    execute_parallel, execute_physical_budgeted, parallel_filter_row_ids,
+    prepare_expr_with_batch_size, MemoryBudget, ParallelOptions, Row, SpillStats,
+    DEFAULT_BATCH_SIZE, DEFAULT_MORSEL_SIZE,
 };
 use crate::expr::bind::{bind_expr_with, Scope};
 use crate::expr::BindColumn;
 use crate::optimizer::optimize;
-use crate::planner::physical::{lower, PhysicalPlan};
+use crate::planner::physical::{lower_with_budget, PhysicalPlan};
 use crate::planner::plan_query;
 use crate::schema::{Column, Schema};
 use crate::storage::Table;
@@ -166,6 +167,9 @@ pub struct Database {
     batch_size: usize,
     parallelism: usize,
     morsel_size: usize,
+    /// Whether [`set_morsel_size`](Database::set_morsel_size) was called:
+    /// an explicit size disables adaptive morsel scaling.
+    morsel_size_explicit: bool,
     /// Memory budget shared by every query of the session; bounded
     /// budgets make pipeline breakers spill radix partitions to disk.
     budget: MemoryBudget,
@@ -183,6 +187,7 @@ impl Default for Database {
             batch_size: DEFAULT_BATCH_SIZE,
             parallelism: env_parallelism(),
             morsel_size: DEFAULT_MORSEL_SIZE,
+            morsel_size_explicit: false,
             budget: env_budget(),
             plan_cache: HashMap::new(),
             ddl_generation: 0,
@@ -238,9 +243,12 @@ impl Database {
 
     /// Set the parallel executor's morsel size (clamped to ≥ 1). Tables
     /// spanning at most one morsel run serially; tests shrink this to
-    /// exercise multi-morsel scheduling on small tables.
+    /// exercise multi-morsel scheduling on small tables. An explicit
+    /// size also disables the adaptive scaling that grows morsels on
+    /// large scans.
     pub fn set_morsel_size(&mut self, slots: usize) {
         self.morsel_size = slots.max(1);
+        self.morsel_size_explicit = true;
     }
 
     /// `(entries, hits)` of the bound-plan cache (see
@@ -254,18 +262,22 @@ impl Database {
     /// DISTINCT, and set operations spill radix partitions to temp files
     /// when their tracked state exceeds the budget, and rehydrate them
     /// partition-at-a-time — results are row-identical to unbounded
-    /// execution. Environment default: `$OPENIVM_MEMORY_BUDGET`.
+    /// execution at any [`parallelism`](Database::parallelism): above 1,
+    /// breaker inputs stream through per-worker spill partitioners
+    /// (never staged as materialized row vectors), spill writes happen
+    /// on a background writer thread, and spilled output merge-emits in
+    /// sequence order. Environment default: `$OPENIVM_MEMORY_BUDGET`.
     ///
     /// Trade-offs: grouped aggregation, DISTINCT, and set operations
     /// cannot re-scan their input, so a bounded budget routes them
     /// through the partitioned spill framework even when nothing ends up
-    /// spilling (joins fall back to the streaming path when the build
-    /// side fits). And at [`parallelism`](Database::parallelism) above 1
-    /// the breakers consume parallel-collected, fully materialized
-    /// inputs: the budget bounds operator hash state, while the complete
-    /// out-of-core guarantee holds at parallelism 1.
+    /// spilling (serial joins fall back to the streaming path when the
+    /// build side fits).
     pub fn set_memory_budget(&mut self, bytes: Option<usize>) {
         self.budget.set_limit(bytes);
+        // The planner's build-side choice is budget-aware; cached plans
+        // lowered under the old budget may no longer be the right shape.
+        self.invalidate_plans();
     }
 
     /// The executor memory budget in bytes (`None` = unbounded).
@@ -303,6 +315,7 @@ impl Database {
                     workers: self.parallelism,
                     morsel_size: self.morsel_size,
                     budget: self.budget.clone(),
+                    adaptive_morsels: !self.morsel_size_explicit,
                 },
             )
         } else {
@@ -312,7 +325,7 @@ impl Database {
 
     /// Plan, lower, and run a logical plan.
     fn run_plan(&self, plan: &crate::planner::LogicalPlan) -> Result<Vec<Row>, EngineError> {
-        let physical = lower(plan, &self.catalog)?;
+        let physical = lower_with_budget(plan, &self.catalog, self.budget.limit())?;
         self.run_physical(&physical)
     }
 
@@ -331,7 +344,11 @@ impl Database {
         }
         let plan = optimize(plan_query(q, &self.catalog)?);
         let columns = plan.schema().names();
-        let physical = Arc::new(lower(&plan, &self.catalog)?);
+        let physical = Arc::new(lower_with_budget(
+            &plan,
+            &self.catalog,
+            self.budget.limit(),
+        )?);
         // Keep the cache bounded: evict stale-generation entries first,
         // and wholesale if distinct keys alone exceed the cap (a fixed
         // maintenance-script set never comes close).
@@ -453,8 +470,9 @@ impl Database {
                     return Err(EngineError::unsupported("EXPLAIN supports queries only"));
                 };
                 let plan = optimize(plan_query(q, &self.catalog)?);
-                // Show what will actually run: the lowered physical tree.
-                let physical = crate::planner::physical::lower(&plan, &self.catalog)?;
+                // Show what will actually run: the lowered physical tree,
+                // under this session's budget.
+                let physical = lower_with_budget(&plan, &self.catalog, self.budget.limit())?;
                 let rows = physical
                     .explain()
                     .lines()
@@ -637,7 +655,14 @@ impl Database {
                     None => {
                         let plan = optimize(plan_query(q, &self.catalog)?);
                         let columns = plan.schema().names();
-                        (Arc::new(lower(&plan, &self.catalog)?), columns)
+                        (
+                            Arc::new(lower_with_budget(
+                                &plan,
+                                &self.catalog,
+                                self.budget.limit(),
+                            )?),
+                            columns,
+                        )
                     }
                 };
                 if columns.len() != column_map.len() {
@@ -801,7 +826,7 @@ impl Database {
             let victims = match &predicate {
                 Some(p) => {
                     let kernel = crate::expr::VectorKernel::compile(p);
-                    table.filter_row_ids(self.batch_size, &kernel)?
+                    self.victim_row_ids(table, &kernel)?
                 }
                 None => table.live_row_ids(),
             };
@@ -848,7 +873,7 @@ impl Database {
         let victims: Vec<u64> = {
             let table = self.catalog.table(&tname)?;
             let kernel = crate::expr::VectorKernel::compile(&predicate);
-            table.filter_row_ids(self.batch_size, &kernel)?
+            self.victim_row_ids(table, &kernel)?
         };
         let affected = victims.len();
         let table = self.catalog.table_mut(&tname)?;
@@ -856,6 +881,28 @@ impl Database {
             table.delete(row_id)?;
         }
         Ok(QueryResult::dml(affected))
+    }
+
+    /// UPDATE/DELETE victim ids for a compiled predicate: the chunked
+    /// vectorized scan, fanned out over storage-slot morsels when the
+    /// session has worker threads and the table spans more than one
+    /// morsel — id order (and thus apply order) matches the serial scan.
+    fn victim_row_ids(
+        &self,
+        table: &Table,
+        kernel: &crate::expr::VectorKernel,
+    ) -> Result<Vec<u64>, EngineError> {
+        if self.parallelism > 1 && table.total_slots() > self.morsel_size {
+            parallel_filter_row_ids(
+                table,
+                kernel,
+                self.parallelism,
+                self.morsel_size,
+                self.batch_size,
+            )
+        } else {
+            table.filter_row_ids(self.batch_size, kernel)
+        }
     }
 
     fn table_scope(&self, tname: &str) -> Result<(Schema, Scope), EngineError> {

@@ -495,11 +495,24 @@ impl Table {
         batch_size: usize,
         kernel: &VectorKernel,
     ) -> Result<Vec<u64>, EngineError> {
+        self.filter_row_ids_range(0..self.deleted.len(), batch_size, kernel)
+    }
+
+    /// [`Table::filter_row_ids`] over one physical slot window — the
+    /// morsel-granular form the parallel DML victim scan fans out over.
+    /// Ids come back in slot order, so concatenating per-morsel results
+    /// in morsel order reproduces the serial scan exactly.
+    pub fn filter_row_ids_range(
+        &self,
+        slots: std::ops::Range<usize>,
+        batch_size: usize,
+        kernel: &VectorKernel,
+    ) -> Result<Vec<u64>, EngineError> {
         let batch_size = batch_size.max(1);
-        let total = self.deleted.len();
+        let total = slots.end.min(self.deleted.len());
         let clean = self.is_clean();
         let mut out = Vec::new();
-        let mut start = 0usize;
+        let mut start = slots.start.min(total);
         while start < total {
             let window_start = start;
             let next = (start + batch_size).min(total);

@@ -1,6 +1,6 @@
 //! Spill/in-memory equivalence testing: the same random workload
 //! executed at memory budgets {unbounded, 64KB, 4KB, 1 byte ("one row
-//! never fits")} × parallelism {1, 4} must produce results that are
+//! never fits")} × parallelism {1, 2, 4} must produce results that are
 //! **row-identical to the unbounded serial run — values and order**.
 //!
 //! Spilling silently changes data paths (radix partitioning, temp-file
@@ -93,7 +93,7 @@ fn database(workers: usize, budget: Option<usize>, rows: &[Row]) -> Database {
 
 fn check_workload(rows: &[Row]) -> Result<(), TestCaseError> {
     let baseline = database(1, None, rows);
-    for workers in [1usize, 4] {
+    for workers in [1usize, 2, 4] {
         for budget in budgets() {
             if workers == 1 && budget.is_none() {
                 continue; // that IS the baseline
@@ -192,6 +192,109 @@ fn constrained_budgets_actually_spill() {
         db.query(q).unwrap();
     }
     assert!(!db.spill_stats().spilled());
+}
+
+/// No spill temp files may outlive the queries that created them, even
+/// when eviction goes through the background writer thread at high
+/// parallelism: every `openivm-spill-*` file in the session's spill
+/// directory must be gone once results are materialized.
+#[test]
+fn background_writer_leaves_no_spill_files_behind() {
+    let dir = std::env::temp_dir().join(format!("openivm-leakcheck-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let leaked = |dir: &std::path::Path| -> Vec<String> {
+        std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("openivm-spill-"))
+            .collect()
+    };
+    let rows: Vec<Row> = (0..1500)
+        .map(|i| Row {
+            g: (i % 6) as u8,
+            v: (i % 211) - 100,
+            tag: i % 2 == 0,
+        })
+        .collect();
+    for workers in [1usize, 4] {
+        let mut db = database(workers, Some(1), &rows);
+        db.set_spill_dir(dir.clone());
+        for q in queries() {
+            db.query(q).unwrap();
+        }
+        let stats = db.spill_stats();
+        assert!(
+            stats.spill_files > 0,
+            "workers={workers}: writer thread never produced a file: {stats:?}"
+        );
+        assert_eq!(
+            leaked(&dir),
+            Vec::<String>::new(),
+            "workers={workers}: spill files leaked after queries completed"
+        );
+        drop(db);
+        assert_eq!(
+            leaked(&dir),
+            Vec::<String>::new(),
+            "workers={workers}: spill files leaked after session drop"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The memory budget holds end-to-end at parallelism 4: on a workload
+/// whose working set is far larger than the budget, the peak of
+/// budget-accounted bytes stays within the limit plus a small fixed
+/// allowance (per-worker partition write buffers plus the bounded
+/// writer queue) — proof that breaker inputs are never fully staged in
+/// memory on the parallel path.
+#[test]
+fn parallel_spill_peak_memory_stays_near_budget() {
+    const LIMIT: u64 = 64 * 1024;
+    const SLACK: u64 = 512 * 1024;
+    let mut db = Database::new();
+    db.set_parallelism(4);
+    db.set_memory_budget(Some(LIMIT as usize));
+    db.execute("CREATE TABLE big (g VARCHAR, v INTEGER, tag BOOLEAN)")
+        .unwrap();
+    for chunk in 0..10 {
+        let values: Vec<String> = (0..5000)
+            .map(|i| {
+                let i = chunk * 5000 + i;
+                format!(
+                    "('g{}', {}, {})",
+                    i % 97,
+                    i % 1009,
+                    if i % 2 == 0 { "TRUE" } else { "FALSE" }
+                )
+            })
+            .collect();
+        db.execute(&format!("INSERT INTO big VALUES {}", values.join(", ")))
+            .unwrap();
+    }
+    db.query("SELECT g, SUM(v) AS s, COUNT(*) AS c FROM big GROUP BY g")
+        .unwrap();
+    db.query("SELECT DISTINCT g, v FROM big").unwrap();
+    db.query("SELECT a.g, COUNT(*) AS c FROM big AS a JOIN big AS b ON a.v = b.v GROUP BY a.g")
+        .unwrap();
+    let stats = db.spill_stats();
+    assert!(
+        stats.spilled_bytes > 4 * SLACK,
+        "working set must dwarf the slack allowance for the bound to mean \
+         anything: {stats:?}"
+    );
+    assert!(
+        stats.peak_used <= LIMIT + SLACK,
+        "peak accounted bytes {} exceed budget {} + allowance {}: {stats:?}",
+        stats.peak_used,
+        LIMIT,
+        SLACK
+    );
+    assert!(
+        stats.queue_high_water > 0,
+        "eviction never reached the background writer queue: {stats:?}"
+    );
 }
 
 /// The IVM pipeline end-to-end stays consistent when the OLAP engine
