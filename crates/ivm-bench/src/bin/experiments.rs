@@ -10,8 +10,8 @@
 use ivm_bench::harness::{fmt_duration, Report};
 use ivm_bench::scenarios::{
     e1_ivm_vs_recompute, e2_art_overhead, e3_cross_system, e4_upsert_strategies, e5_batching,
-    e6_compile_time, ehash_hash_operators, eparallel_scaling, espill_out_of_core, E1Row, EHashRow,
-    EParallelRow, ESpillRow,
+    e6_compile_time, edurable_durability, ehash_hash_operators, eparallel_scaling,
+    espill_out_of_core, E1Row, EDurableRow, EHashRow, EParallelRow, ESpillRow,
 };
 
 /// The session default worker-pool size: `$OPENIVM_PARALLELISM` when
@@ -170,6 +170,60 @@ fn print_espill(rows: &[ESpillRow]) {
     println!("{}", report.render());
 }
 
+/// Serialize E-durable rows as JSON by hand (no serde in the workspace).
+fn edurable_json(rows: &[EDurableRow]) -> String {
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"mode\": \"{}\", \"base_rows\": {}, \"delta_rows\": {}, \
+                 \"batches\": {}, \"elapsed_ns\": {}, \"wal_records\": {}, \
+                 \"wal_syncs\": {}, \"wal_bytes\": {}, \"replayed_records\": {}}}",
+                r.mode,
+                r.base_rows,
+                r.delta_rows,
+                r.batches,
+                r.elapsed.as_nanos(),
+                r.wal_records,
+                r.wal_syncs,
+                r.wal_bytes,
+                r.replayed_records,
+            )
+        })
+        .collect();
+    let cores = std::thread::available_parallelism().map_or(0, std::num::NonZero::get);
+    format!(
+        "{{\n\"experiment\": \"edurable_durability\",\n\"machine_cores\": {cores},\n\
+         \"resolved_parallelism\": {},\n\"rows\": [\n{}\n]\n}}\n",
+        resolved_parallelism(),
+        entries.join(",\n")
+    )
+}
+
+fn print_edurable(rows: &[EDurableRow]) {
+    let mut report = Report::new(&[
+        "mode",
+        "batches",
+        "elapsed",
+        "wal records",
+        "fsyncs",
+        "wal bytes",
+        "replayed",
+    ]);
+    for r in rows {
+        report.row(&[
+            r.mode.to_string(),
+            r.batches.to_string(),
+            fmt_duration(r.elapsed),
+            r.wal_records.to_string(),
+            r.wal_syncs.to_string(),
+            r.wal_bytes.to_string(),
+            r.replayed_records.to_string(),
+        ]);
+    }
+    println!("{}", report.render());
+}
+
 fn print_ehash(rows: &[EHashRow]) {
     let mut report = Report::new(&[
         "variant",
@@ -242,6 +296,23 @@ fn main() {
         let rows = ehash_hash_operators(sizes);
         print_ehash(&rows);
         std::fs::write(path, ehash_json(&rows)).expect("write E-hash JSON");
+        println!("wrote {path}");
+        return;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--edurable-json") {
+        let Some(path) = args.get(pos + 1) else {
+            eprintln!("experiments: --edurable-json requires an output path");
+            std::process::exit(2);
+        };
+        let (base, delta, counts): (usize, usize, &[usize]) = if args.iter().any(|a| a == "--quick")
+        {
+            (2_000, 50, &[2, 8])
+        } else {
+            (20_000, 200, &[2, 8, 32])
+        };
+        let rows = edurable_durability(base, delta, counts);
+        print_edurable(&rows);
+        std::fs::write(path, edurable_json(&rows)).expect("write E-durable JSON");
         println!("wrote {path}");
         return;
     }
@@ -411,6 +482,17 @@ fn main() {
     println!("    partitions to disk and rehydrate partition-at-a-time)\n");
     let sizes: &[usize] = if quick { &[20_000] } else { &[200_000] };
     print_espill(&espill_out_of_core(sizes, &[1, 4]));
+
+    // ---------------- E-durable
+    println!("== E-durable: WAL toll on ingest+refresh and recovery vs log length ==");
+    println!("   (slotted pages + buffer pool + ARIES-lite WAL; reopen replays the");
+    println!("    committed prefix and takes a recovery checkpoint)\n");
+    let (base, delta, counts): (usize, usize, &[usize]) = if quick {
+        (2_000, 50, &[2, 8])
+    } else {
+        (20_000, 200, &[2, 8, 32])
+    };
+    print_edurable(&edurable_durability(base, delta, counts));
 
     // ---------------- E-parallel
     println!("== E-parallel: morsel-driven multi-core scaling ==");

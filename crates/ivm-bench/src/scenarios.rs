@@ -804,6 +804,181 @@ pub fn espill_out_of_core(fact_sizes: &[usize], workers: &[usize]) -> Vec<ESpill
     out
 }
 
+// ---------------------------------------------------------------- E-durable
+
+/// One E-durable measurement.
+#[derive(Debug, Clone)]
+pub struct EDurableRow {
+    /// `"memory"` (no WAL), `"durable"` (every commit fsync'd to the
+    /// WAL), or `"recovery"` (reopen after a crash).
+    pub mode: &'static str,
+    /// Base-table rows loaded before timing.
+    pub base_rows: usize,
+    /// Delta rows per ingest batch.
+    pub delta_rows: usize,
+    /// Ingest+refresh batches applied; for recovery rows, the batches
+    /// sitting uncheckpointed in the replayed WAL.
+    pub batches: usize,
+    /// Wall time: the full ingest+refresh loop for memory/durable rows,
+    /// the reopen (replay + recovery checkpoint) for recovery rows.
+    pub elapsed: Duration,
+    /// WAL redo records the workload logged (durable rows only).
+    pub wal_records: u64,
+    /// fsyncs the workload issued (durable rows only).
+    pub wal_syncs: u64,
+    /// WAL bytes: appended by the workload (durable rows) or scanned on
+    /// reopen (recovery rows).
+    pub wal_bytes: u64,
+    /// Committed records replayed on reopen (recovery rows only).
+    pub replayed_records: u64,
+}
+
+/// Scratch data directory for the durable runs, removed on drop so bench
+/// runs leave nothing behind.
+struct BenchDataDir(std::path::PathBuf);
+
+impl BenchDataDir {
+    fn new(tag: &str) -> BenchDataDir {
+        let dir = std::env::temp_dir().join(format!("openivm-bench-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        BenchDataDir(dir)
+    }
+}
+
+impl Drop for BenchDataDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// [`groups_session`] against a durable data directory: the same bulk
+/// load and Listing-1 view, then a checkpoint so the WAL carries only
+/// what the measured workload writes.
+fn durable_groups_session(
+    dir: &std::path::Path,
+    num_groups: usize,
+    base_rows: usize,
+    seed: u64,
+) -> (IvmSession, Vec<(String, i64)>, GroupsWorkload) {
+    let mut w = GroupsWorkload::new(num_groups, seed);
+    let rows = w.base_rows(base_rows);
+    let mut ivm = IvmSession::open(dir, IvmFlags::paper_defaults()).unwrap();
+    ivm.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)")
+        .unwrap();
+    {
+        let table = ivm
+            .database_mut()
+            .catalog_mut()
+            .table_mut("groups")
+            .unwrap();
+        for (g, v) in &rows {
+            table
+                .insert(vec![Value::from(g.clone()), Value::Integer(*v)])
+                .unwrap();
+        }
+    }
+    ivm.execute(LISTING_1_VIEW).unwrap();
+    ivm.checkpoint().unwrap();
+    (ivm, rows, w)
+}
+
+/// E-durable: the write-ahead-log toll on ingest+refresh, and recovery
+/// time as a function of log length. The same delta workload runs once
+/// in memory and once against a durable directory (every commit
+/// fsync'd); then fresh directories "crash" (drop without `close`) after
+/// each `batch_counts` entry of uncheckpointed batches and the reopen —
+/// committed-prefix replay plus the recovery checkpoint — is timed.
+pub fn edurable_durability(
+    base_rows: usize,
+    delta: usize,
+    batch_counts: &[usize],
+) -> Vec<EDurableRow> {
+    let num_groups = (base_rows as f64).sqrt().ceil() as usize;
+    let batches = batch_counts.iter().copied().max().unwrap_or(0);
+    let mut out = Vec::new();
+
+    // In-memory baseline: identical workload, no durability machinery.
+    {
+        let (mut ivm, mut existing, mut w) =
+            groups_session(IvmFlags::paper_defaults(), num_groups, base_rows, 0xD4);
+        let ((), elapsed) = time_once(|| {
+            for _ in 0..batches {
+                let batch = w.delta_batch(delta, 0.7, &mut existing);
+                apply_batch(&mut ivm, &batch);
+            }
+        });
+        out.push(EDurableRow {
+            mode: "memory",
+            base_rows,
+            delta_rows: delta,
+            batches,
+            elapsed,
+            wal_records: 0,
+            wal_syncs: 0,
+            wal_bytes: 0,
+            replayed_records: 0,
+        });
+    }
+
+    // Durable: same workload with logical redo logging + group commit.
+    {
+        let dir = BenchDataDir::new("edurable-ingest");
+        let (mut ivm, mut existing, mut w) =
+            durable_groups_session(&dir.0, num_groups, base_rows, 0xD4);
+        let before = ivm.database().wal_stats().unwrap();
+        let ((), elapsed) = time_once(|| {
+            for _ in 0..batches {
+                let batch = w.delta_batch(delta, 0.7, &mut existing);
+                apply_batch(&mut ivm, &batch);
+            }
+        });
+        let after = ivm.database().wal_stats().unwrap();
+        ivm.close().unwrap();
+        out.push(EDurableRow {
+            mode: "durable",
+            base_rows,
+            delta_rows: delta,
+            batches,
+            elapsed,
+            wal_records: after.records - before.records,
+            wal_syncs: after.syncs - before.syncs,
+            wal_bytes: after.bytes_written - before.bytes_written,
+            replayed_records: 0,
+        });
+    }
+
+    // Recovery time vs log length: crash with k uncheckpointed batches
+    // in the WAL, then time the reopen that replays them.
+    for &k in batch_counts {
+        let dir = BenchDataDir::new(&format!("edurable-rec{k}"));
+        {
+            let (mut ivm, mut existing, mut w) =
+                durable_groups_session(&dir.0, num_groups, base_rows, 0xD4);
+            for _ in 0..k {
+                let batch = w.delta_batch(delta, 0.7, &mut existing);
+                apply_batch(&mut ivm, &batch);
+            }
+            // Crash: drop without close() so reopen must replay the WAL.
+        }
+        let (ivm, elapsed) =
+            time_once(|| IvmSession::open(&dir.0, IvmFlags::paper_defaults()).unwrap());
+        let rec = ivm.database().recovery_stats().unwrap();
+        out.push(EDurableRow {
+            mode: "recovery",
+            base_rows,
+            delta_rows: delta,
+            batches: k,
+            elapsed,
+            wal_records: 0,
+            wal_syncs: 0,
+            wal_bytes: rec.wal_bytes,
+            replayed_records: rec.replayed_records,
+        });
+    }
+    out
+}
+
 // ---------------------------------------------------------------- E6
 
 /// One E6 measurement.
@@ -956,6 +1131,19 @@ mod tests {
         }
         // espill_out_of_core itself asserts result equality per run,
         // parallel runs included.
+    }
+
+    #[test]
+    fn edurable_smoke() {
+        let rows = edurable_durability(500, 20, &[1, 3]);
+        assert_eq!(rows.len(), 4); // memory + durable + 2 recovery points
+        let durable = rows.iter().find(|r| r.mode == "durable").unwrap();
+        assert!(durable.wal_records > 0 && durable.wal_syncs > 0);
+        let rec: Vec<&EDurableRow> = rows.iter().filter(|r| r.mode == "recovery").collect();
+        assert_eq!(rec.len(), 2);
+        // More uncheckpointed batches must mean a longer log to replay.
+        assert!(rec[1].replayed_records > rec[0].replayed_records);
+        assert!(rows.iter().all(|r| r.elapsed.as_nanos() > 0));
     }
 
     #[test]

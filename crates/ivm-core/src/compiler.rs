@@ -125,6 +125,19 @@ impl IvmCompiler {
         if catalog.has_table(&view_name) || catalog.has_view(&view_name) {
             return Err(IvmError::catalog(format!("{view_name} already exists")));
         }
+        self.compile_unchecked(cv, catalog, flags)
+    }
+
+    /// [`compile`](IvmCompiler::compile) without the name-collision check:
+    /// re-deriving the artifacts of a view whose table already exists in a
+    /// recovered durable catalog.
+    pub(crate) fn compile_unchecked(
+        &self,
+        cv: &CreateView,
+        catalog: &Catalog,
+        flags: &IvmFlags,
+    ) -> Result<IvmArtifacts, IvmError> {
+        let view_name = cv.name.normalized().to_string();
         let analysis = analyze_view(&view_name, &cv.query, catalog)?;
         let ddl = generate_ddl(&analysis, catalog, flags)?;
         let full = build_full_query(&analysis, None)?;

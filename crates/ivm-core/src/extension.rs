@@ -99,6 +99,94 @@ impl IvmSession {
         IvmSession::new(IvmFlags::paper_defaults())
     }
 
+    /// Open (or create) a session over a *durable* database at `path`:
+    /// base tables, materialized views, delta tables, and metadata come
+    /// back from the last committed state, and every materialized view is
+    /// re-registered by recompiling its stored SQL from the
+    /// `_openivm_views` metadata table — without re-running the setup
+    /// statements (the recovered tables already hold the data). Views
+    /// whose delta tables hold unpropagated rows come back *dirty* and
+    /// refresh on the usual triggers.
+    pub fn open(
+        path: impl AsRef<std::path::Path>,
+        flags: IvmFlags,
+    ) -> Result<IvmSession, IvmError> {
+        let db = Database::open(path).map_err(|e| IvmError::Engine(e.to_string()))?;
+        let mut session = IvmSession {
+            db,
+            flags,
+            compiler: IvmCompiler::new(),
+            views: Vec::new(),
+            pending: HashMap::new(),
+            stmt_cache: HashMap::new(),
+            victim_index: HashMap::new(),
+            stats: SessionStats::default(),
+        };
+        session.restore_views()?;
+        Ok(session)
+    }
+
+    /// Checkpoint the underlying durable database (no-op in-memory).
+    pub fn checkpoint(&mut self) -> Result<(), IvmError> {
+        self.db
+            .checkpoint()
+            .map_err(|e| IvmError::Engine(e.to_string()))
+    }
+
+    /// Checkpoint and drop the session (clean shutdown).
+    pub fn close(mut self) -> Result<(), IvmError> {
+        self.checkpoint()
+    }
+
+    /// Re-register every materialized view recorded in the metadata
+    /// tables of a recovered catalog.
+    fn restore_views(&mut self) -> Result<(), IvmError> {
+        if !self.db.catalog().has_table(names::META_VIEWS_TABLE) {
+            return Ok(());
+        }
+        let rows = self
+            .db
+            .query(&format!(
+                "SELECT view_name, view_sql FROM {} ORDER BY view_name",
+                names::META_VIEWS_TABLE
+            ))
+            .map_err(|e| IvmError::Engine(e.to_string()))?
+            .rows;
+        for row in rows {
+            let (Some(Value::Varchar(name)), Some(Value::Varchar(sql))) = (row.first(), row.get(1))
+            else {
+                return Err(IvmError::catalog(format!(
+                    "corrupt {} row: {row:?}",
+                    names::META_VIEWS_TABLE
+                )));
+            };
+            let create = format!("CREATE MATERIALIZED VIEW {name} AS {sql}");
+            let Statement::CreateView(cv) = parse_statement(&create).map_err(IvmError::from)?
+            else {
+                return Err(IvmError::catalog(format!(
+                    "stored view SQL for {name} is not a query: {sql}"
+                )));
+            };
+            let (name, base_tables) = {
+                let view = self.register_view(cv, false)?;
+                (view.name.clone(), view.base_tables.clone())
+            };
+            // Unpropagated delta rows survive the restart; mark the view
+            // dirty so the usual triggers drain them.
+            let dirty = base_tables.iter().any(|t| {
+                self.db
+                    .catalog()
+                    .table(&names::delta(t))
+                    .map(|d| d.live_rows() > 0)
+                    .unwrap_or(false)
+            });
+            if dirty {
+                self.pending.insert(name, 1);
+            }
+        }
+        Ok(())
+    }
+
     /// Borrow the underlying engine.
     pub fn database(&self) -> &Database {
         &self.db
@@ -239,11 +327,38 @@ impl IvmSession {
         &mut self,
         cv: ivm_sql::ast::CreateView,
     ) -> Result<&RegisteredView, IvmError> {
-        let artifacts = self.compiler.compile(&cv, self.db.catalog(), &self.flags)?;
-        for stmt in artifacts.setup_statements() {
-            self.db
-                .execute(&stmt)
-                .map_err(|e| IvmError::Engine(format!("{e} while running: {stmt}")))?;
+        self.register_view(cv, true)
+    }
+
+    /// Compile a materialized view and register it with the session.
+    /// `run_setup` executes the generated setup statements (create + fill
+    /// the view table, delta tables, metadata rows); restoring a view
+    /// from a recovered durable catalog skips them, since every object
+    /// already exists with its data.
+    fn register_view(
+        &mut self,
+        cv: ivm_sql::ast::CreateView,
+        run_setup: bool,
+    ) -> Result<&RegisteredView, IvmError> {
+        // Restoring skips the collision check too: the recovered catalog
+        // already holds the view's table.
+        let artifacts = if run_setup {
+            self.compiler.compile(&cv, self.db.catalog(), &self.flags)?
+        } else {
+            self.compiler
+                .compile_unchecked(&cv, self.db.catalog(), &self.flags)?
+        };
+        if run_setup {
+            let setup = artifacts.setup_statements();
+            // One durability point: a crash must never recover half the
+            // view's generated objects (table but no metadata row, …).
+            self.atomic(|s| {
+                for stmt in setup {
+                    s.db.execute(&stmt)
+                        .map_err(|e| IvmError::Engine(format!("{e} while running: {stmt}")))?;
+                }
+                Ok(())
+            })?;
         }
         let weighted_rows = artifacts.analysis.aggs.is_empty();
         let visible_columns = artifacts
@@ -300,12 +415,13 @@ impl IvmSession {
             }
         }
         drops.extend(metadata::metadata_remove(name));
-        for stmt in drops {
-            self.db
-                .execute(&stmt)
-                .map_err(|e| IvmError::Engine(e.to_string()))?;
-        }
-        Ok(())
+        self.atomic(|s| {
+            for stmt in drops {
+                s.db.execute(&stmt)
+                    .map_err(|e| IvmError::Engine(e.to_string()))?;
+            }
+            Ok(())
+        })
     }
 
     fn is_tracked(&self, table: &str) -> bool {
@@ -336,6 +452,30 @@ impl IvmSession {
         self.db
             .execute_statement(stmt)
             .map_err(|e| IvmError::Engine(e.to_string()))
+    }
+
+    /// Run `f` as one durability point. The extension's compound
+    /// operations — delta capture around a base-table write, propagation
+    /// scripts, view setup — are several engine statements that must
+    /// never be torn by a crash: half a capture re-derives wrong deltas,
+    /// and a propagated view with undrained deltas double-applies on the
+    /// next refresh. The batch commits even when `f` fails part-way (the
+    /// in-memory state keeps the applied prefix, and recovery must match
+    /// it); the inner error wins over a commit error.
+    fn atomic<T>(
+        &mut self,
+        f: impl FnOnce(&mut IvmSession) -> Result<T, IvmError>,
+    ) -> Result<T, IvmError> {
+        self.db.begin_atomic();
+        let result = f(self);
+        let commit = self
+            .db
+            .end_atomic()
+            .map_err(|e| IvmError::Engine(e.to_string()));
+        match result {
+            Err(e) => Err(e),
+            Ok(v) => commit.map(|()| v),
+        }
     }
 
     fn after_capture(&mut self, table: &str) -> Result<(), IvmError> {
@@ -412,10 +552,12 @@ impl IvmSession {
             or_replace: false,
             on_conflict: None,
         });
-        let result = self.run(&Statement::Insert(ins))?;
-        self.run(&delta_stmt)?;
-        self.after_capture(&table)?;
-        Ok(result)
+        self.atomic(|s| {
+            let result = s.run(&Statement::Insert(ins))?;
+            s.run(&delta_stmt)?;
+            s.after_capture(&table)?;
+            Ok(result)
+        })
     }
 
     /// An UPDATE becomes delete + insert in the delta stream (as in DBSP):
@@ -426,31 +568,44 @@ impl IvmSession {
         let cols = self.base_table_columns(&table)?;
 
         // Pre-image capture.
-        let pre = delta_capture_select(&table, &cols, u.selection.clone(), None);
-        self.run(&insert_into(&delta, pre))?;
+        let pre = insert_into(
+            &delta,
+            delta_capture_select(&table, &cols, u.selection.clone(), None),
+        );
         // Post-image capture: apply SET expressions in the projection.
         let assignments: HashMap<String, Expr> = u
             .assignments
             .iter()
             .map(|a| (a.column.normalized().to_string(), a.value.clone()))
             .collect();
-        let post = delta_capture_select(&table, &cols, u.selection.clone(), Some(&assignments));
-        self.run(&insert_into(&delta, post))?;
-        // The actual update.
-        let result = self.run(&Statement::Update(u))?;
-        self.after_capture(&table)?;
-        Ok(result)
+        let post = insert_into(
+            &delta,
+            delta_capture_select(&table, &cols, u.selection.clone(), Some(&assignments)),
+        );
+        self.atomic(|s| {
+            s.run(&pre)?;
+            s.run(&post)?;
+            // The actual update.
+            let result = s.run(&Statement::Update(u))?;
+            s.after_capture(&table)?;
+            Ok(result)
+        })
     }
 
     fn intercept_delete(&mut self, d: Delete) -> Result<QueryResult, IvmError> {
         let table = d.table.normalized().to_string();
         let delta = names::delta(&table);
         let cols = self.base_table_columns(&table)?;
-        let pre = delta_capture_select(&table, &cols, d.selection.clone(), None);
-        self.run(&insert_into(&delta, pre))?;
-        let result = self.run(&Statement::Delete(d))?;
-        self.after_capture(&table)?;
-        Ok(result)
+        let pre = insert_into(
+            &delta,
+            delta_capture_select(&table, &cols, d.selection.clone(), None),
+        );
+        self.atomic(|s| {
+            s.run(&pre)?;
+            let result = s.run(&Statement::Delete(d))?;
+            s.after_capture(&table)?;
+            Ok(result)
+        })
     }
 
     /// Ingest externally-captured deltas (the cross-system path of
@@ -469,80 +624,87 @@ impl IvmSession {
             return Ok(());
         }
         let tracked = self.is_tracked(table);
-        {
-            let catalog = self.db.catalog_mut();
-            // Apply to the mirror first (deletions locate a matching row).
-            // On keyless tables, per-deletion `find_row` would re-scan the
-            // whole table each time; a [`MirrorIndex`] (row digest → live
-            // slot ids) answers every deletion with one probe. The index
-            // persists across batches — built once, maintained through
-            // this loop's own inserts/deletes, and validated against the
-            // table's mutation generation (foreign DML invalidates it).
-            let deletions = changes.iter().filter(|(_, insertion)| !insertion).count();
-            let mut index: Option<MirrorIndex> = {
-                let base = catalog.table(table).map_err(IvmError::from)?;
-                if base.has_pk_index() {
-                    // PK tables answer find_row through the ART in O(1).
-                    self.victim_index.remove(table);
-                    None
-                } else {
-                    match self.victim_index.remove(table) {
-                        // A warm index is kept current through *every*
-                        // batch — insert-only ones included, so it stays
-                        // warm for the next deleting batch.
-                        Some(ix) if !ix.poisoned && ix.generation == base.generation() => Some(ix),
-                        _ if deletions > 0 && MirrorIndex::worth_building(base, deletions) => {
-                            Some(MirrorIndex::build(base))
+        // Direct catalog mutations bypass the SQL paths' automatic group
+        // commit; the atomic batch makes mirror writes, delta appends, and
+        // any eager propagation one durability point.
+        self.atomic(|this| {
+            {
+                let catalog = this.db.catalog_mut();
+                // Apply to the mirror first (deletions locate a matching row).
+                // On keyless tables, per-deletion `find_row` would re-scan the
+                // whole table each time; a [`MirrorIndex`] (row digest → live
+                // slot ids) answers every deletion with one probe. The index
+                // persists across batches — built once, maintained through
+                // this loop's own inserts/deletes, and validated against the
+                // table's mutation generation (foreign DML invalidates it).
+                let deletions = changes.iter().filter(|(_, insertion)| !insertion).count();
+                let mut index: Option<MirrorIndex> = {
+                    let base = catalog.table(table).map_err(IvmError::from)?;
+                    if base.has_pk_index() {
+                        // PK tables answer find_row through the ART in O(1).
+                        this.victim_index.remove(table);
+                        None
+                    } else {
+                        match this.victim_index.remove(table) {
+                            // A warm index is kept current through *every*
+                            // batch — insert-only ones included, so it stays
+                            // warm for the next deleting batch.
+                            Some(ix) if !ix.poisoned && ix.generation == base.generation() => {
+                                Some(ix)
+                            }
+                            _ if deletions > 0 && MirrorIndex::worth_building(base, deletions) => {
+                                Some(MirrorIndex::build(base))
+                            }
+                            _ => None,
                         }
-                        _ => None,
                     }
-                }
-            };
-            for (row, insertion) in changes {
-                let base = catalog.table_mut(table).map_err(IvmError::from)?;
-                if *insertion {
-                    let id = base.insert(row.clone()).map_err(IvmError::from)?;
-                    // A row inserted earlier in the batch is fair game for a
-                    // later deletion of the same value.
-                    if let Some(ix) = &mut index {
-                        ix.add(row, id);
-                    }
-                } else {
-                    let victim = match &mut index {
-                        Some(ix) if !ix.poisoned && row.len() == base.schema.len() => {
-                            ix.take(row, base)
-                        }
-                        _ => base.find_row(row),
-                    };
-                    let victim = victim.ok_or_else(|| {
-                        IvmError::catalog(format!(
-                            "deletion delta does not match any row of {table}"
-                        ))
-                    })?;
-                    base.delete(victim).map_err(IvmError::from)?;
-                }
-            }
-            if let Some(mut ix) = index {
-                let base = catalog.table(table).map_err(IvmError::from)?;
-                ix.generation = base.generation();
-                self.victim_index.insert(table.to_string(), ix);
-            }
-            // Then append to ΔT with the multiplicity flag — only when some
-            // view actually consumes this table's deltas.
-            if tracked {
-                let delta_name = names::delta(table);
-                let delta = catalog.table_mut(&delta_name).map_err(IvmError::from)?;
+                };
                 for (row, insertion) in changes {
-                    let mut drow = row.clone();
-                    drow.push(Value::Boolean(*insertion));
-                    delta.insert(drow).map_err(IvmError::from)?;
+                    let base = catalog.table_mut(table).map_err(IvmError::from)?;
+                    if *insertion {
+                        let id = base.insert(row.clone()).map_err(IvmError::from)?;
+                        // A row inserted earlier in the batch is fair game for a
+                        // later deletion of the same value.
+                        if let Some(ix) = &mut index {
+                            ix.add(row, id);
+                        }
+                    } else {
+                        let victim = match &mut index {
+                            Some(ix) if !ix.poisoned && row.len() == base.schema.len() => {
+                                ix.take(row, base)
+                            }
+                            _ => base.find_row(row),
+                        };
+                        let victim = victim.ok_or_else(|| {
+                            IvmError::catalog(format!(
+                                "deletion delta does not match any row of {table}"
+                            ))
+                        })?;
+                        base.delete(victim).map_err(IvmError::from)?;
+                    }
+                }
+                if let Some(mut ix) = index {
+                    let base = catalog.table(table).map_err(IvmError::from)?;
+                    ix.generation = base.generation();
+                    this.victim_index.insert(table.to_string(), ix);
+                }
+                // Then append to ΔT with the multiplicity flag — only when some
+                // view actually consumes this table's deltas.
+                if tracked {
+                    let delta_name = names::delta(table);
+                    let delta = catalog.table_mut(&delta_name).map_err(IvmError::from)?;
+                    for (row, insertion) in changes {
+                        let mut drow = row.clone();
+                        drow.push(Value::Boolean(*insertion));
+                        delta.insert(drow).map_err(IvmError::from)?;
+                    }
                 }
             }
-        }
-        if tracked {
-            self.after_capture(table)?;
-        }
-        Ok(())
+            if tracked {
+                this.after_capture(table)?;
+            }
+            Ok(())
+        })
     }
 
     /// Run the propagation scripts for a view (and any dirty views sharing
@@ -611,20 +773,25 @@ impl IvmSession {
             }
             statements.extend(chosen);
         }
-        for sql in &statements {
-            if !self.stmt_cache.contains_key(sql) {
-                self.stmt_cache
-                    .insert(sql.clone(), parse_statement(sql).map_err(IvmError::from)?);
+        // One durability point for the whole script: recovering a view
+        // updated by steps 2–3 whose delta tables step 4 never drained
+        // would re-apply those deltas on the next refresh.
+        self.atomic(|s| {
+            for sql in &statements {
+                if !s.stmt_cache.contains_key(sql) {
+                    s.stmt_cache
+                        .insert(sql.clone(), parse_statement(sql).map_err(IvmError::from)?);
+                }
+                let stmt = &s.stmt_cache[sql];
+                // The SQL text keys the engine's bound-plan cache too: each
+                // maintenance statement is planned/optimized/lowered once and
+                // re-executed from the cached physical plan until DDL changes
+                // the catalog shape.
+                s.db.execute_statement_cached(sql, stmt)
+                    .map_err(|e| IvmError::Engine(format!("{e} while running: {sql}")))?;
             }
-            let stmt = &self.stmt_cache[sql];
-            // The SQL text keys the engine's bound-plan cache too: each
-            // maintenance statement is planned/optimized/lowered once and
-            // re-executed from the cached physical plan until DDL changes
-            // the catalog shape.
-            self.db
-                .execute_statement_cached(sql, stmt)
-                .map_err(|e| IvmError::Engine(format!("{e} while running: {sql}")))?;
-        }
+            Ok(())
+        })?;
         self.stats.maintenance_runs += 1;
         self.stats.maintenance_statements += statements.len();
         for v in affected {

@@ -30,7 +30,7 @@ pub use batch::{BatchBuilder, BatchRow, ColumnData, JoinedRow, RowBatch, DEFAULT
 pub use parallel::{
     execute_parallel, parallel_filter_row_ids, ParallelOptions, DEFAULT_MORSEL_SIZE,
 };
-pub use spill::{MemoryBudget, SpillStats};
+pub use spill::{clean_orphan_spill_files, MemoryBudget, SpillStats};
 pub use typed::{reset_typed_path_stats, typed_path_stats};
 
 use crate::catalog::Catalog;

@@ -55,7 +55,7 @@
 use std::collections::{BinaryHeap, VecDeque};
 use std::fs::File;
 use std::io::{BufReader, Read, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -386,6 +386,53 @@ impl MemoryBudget {
 #[inline]
 pub(crate) fn tuple_bytes(row: &[Value]) -> usize {
     frame::row_bytes(row) + TUPLE_OVERHEAD
+}
+
+/// Whether the process that created a spill file is still alive. Only
+/// Linux gives us a cheap answer (`/proc/<pid>`); elsewhere we stay
+/// conservative and never reclaim another process's files.
+fn spill_owner_alive(pid: u32) -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        std::path::Path::new(&format!("/proc/{pid}")).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = pid;
+        true
+    }
+}
+
+/// Delete `openivm-spill-{pid}-{seq}.bin` files in `dir` whose owning
+/// process is dead — the temp files a crashed process leaves behind.
+/// Files of live processes (including our own) are never touched.
+/// Returns the number of files removed; all I/O errors are swallowed
+/// (cleanup is best-effort and races with concurrent databases).
+pub fn clean_orphan_spill_files(dir: &Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let own_pid = std::process::id();
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(pid) = name
+            .strip_prefix("openivm-spill-")
+            .and_then(|r| r.strip_suffix(".bin"))
+            .and_then(|r| r.split('-').next())
+            .and_then(|p| p.parse::<u32>().ok())
+        else {
+            continue;
+        };
+        if pid == own_pid || spill_owner_alive(pid) {
+            continue;
+        }
+        if std::fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
 }
 
 /// `Read` adapter counting decoded bytes, feeding the `bytes_read` stat.

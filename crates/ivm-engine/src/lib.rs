@@ -32,6 +32,11 @@
 //! - the `Database` session API ([`session`]), with parallelism and
 //!   memory-budget knobs and a DDL-invalidated bound-plan cache for
 //!   repeated scripts
+//! - a durable storage subsystem ([`storage::page`], [`storage::buffer`],
+//!   [`storage::wal`], [`storage::durability`]): checksummed slotted heap
+//!   pages behind a pinning clock buffer pool, a logical-redo write-ahead
+//!   log with group commit, and shadow-paged checkpoints — `Database::open`
+//!   recovers tables, views, and row ids to the last committed statement
 //!
 //! ## Quick example
 //!
@@ -68,6 +73,8 @@ pub use exec::{reset_typed_path_stats, typed_path_stats, MemoryBudget, RowBatch,
 pub use planner::{plan_query, LogicalPlan, PhysicalPlan};
 pub use schema::{Column, Schema};
 pub use session::{Database, QueryResult};
-pub use storage::Table;
+pub use storage::{
+    BufferPoolStats, Durability, DurabilityOptions, RecoveryStats, Table, Wal, WalRecord, WalStats,
+};
 pub use types::DataType;
 pub use value::Value;

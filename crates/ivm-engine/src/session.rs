@@ -12,7 +12,7 @@ use ivm_sql::{parse_statement, parse_statements};
 use crate::catalog::Catalog;
 use crate::error::EngineError;
 use crate::exec::{
-    execute_parallel, execute_physical_budgeted, parallel_filter_row_ids,
+    clean_orphan_spill_files, execute_parallel, execute_physical_budgeted, parallel_filter_row_ids,
     prepare_expr_with_batch_size, MemoryBudget, ParallelOptions, Row, SpillStats,
     DEFAULT_BATCH_SIZE, DEFAULT_MORSEL_SIZE,
 };
@@ -22,7 +22,9 @@ use crate::optimizer::optimize;
 use crate::planner::physical::{lower_with_budget, PhysicalPlan};
 use crate::planner::plan_query;
 use crate::schema::{Column, Schema};
-use crate::storage::Table;
+use crate::storage::durability::{Durability, DurabilityOptions, RecoveryStats};
+use crate::storage::wal::WalStats;
+use crate::storage::{BufferPoolStats, Table};
 use crate::types::DataType;
 use crate::value::Value;
 
@@ -42,6 +44,30 @@ pub const MEMORY_BUDGET_ENV: &str = "OPENIVM_MEMORY_BUDGET";
 /// Environment variable read by [`Database::new`] for the directory
 /// spill files are created in (default: the system temp directory).
 pub const SPILL_DIR_ENV: &str = "OPENIVM_SPILL_DIR";
+
+/// Environment variable read by [`Database::new`]: when set, every
+/// database created through `new`/`default` is durable, backed by a
+/// fresh *ephemeral* subdirectory of the given path (unique per
+/// database, removed on drop). This is the CI switch that runs the
+/// whole test suite against the page/WAL stack; explicitly durable
+/// databases use [`Database::open`] instead. WAL fsync is off in this
+/// mode — crash-safety is exercised by the dedicated harness, not the
+/// suite-wide leg.
+pub const DATA_DIR_ENV: &str = "OPENIVM_DATA_DIR";
+
+/// Parse an `OPENIVM_DATA_DIR` value: a non-empty path.
+///
+/// Shared by the env reader (which turns `Err` into a loud startup
+/// panic — a typo'd setting must never silently fall back) and tests.
+pub fn parse_data_dir_setting(raw: &str) -> Result<std::path::PathBuf, EngineError> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Err(EngineError::bind(format!(
+            "invalid {DATA_DIR_ENV} value {raw:?}: expected a directory path"
+        )));
+    }
+    Ok(std::path::PathBuf::from(trimmed))
+}
 
 /// Parse an `OPENIVM_PARALLELISM` value: a positive integer.
 ///
@@ -178,10 +204,51 @@ pub struct Database {
     plan_cache: HashMap<String, CachedPlan>,
     ddl_generation: u64,
     plan_cache_hits: usize,
+    /// Durable backing (pages + WAL + checkpoints); `None` = in-memory
+    /// mode, where every code path behaves exactly as before.
+    durability: Option<Durability>,
+    /// Depth of open [`begin_atomic`](Database::begin_atomic) batches;
+    /// while positive, per-statement WAL commits are deferred.
+    atomic_depth: u32,
+    /// Removes the (env-driven, per-database) data directory on drop.
+    /// Declared after `durability` so files are closed first.
+    ephemeral_dir: Option<EphemeralDir>,
 }
+
+/// Drop guard deleting an env-driven ephemeral data directory.
+#[derive(Debug)]
+struct EphemeralDir(std::path::PathBuf);
+
+impl std::ops::Drop for EphemeralDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Sequence for unique ephemeral data subdirectories within one process.
+static EPHEMERAL_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl Default for Database {
     fn default() -> Database {
+        let mut db = Database::base();
+        if let Some(root) = env_setting(DATA_DIR_ENV, parse_data_dir_setting) {
+            let seq = EPHEMERAL_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let dir = root.join(format!("db-{}-{seq}", std::process::id()));
+            let opts = DurabilityOptions {
+                sync_on_commit: false,
+                ..DurabilityOptions::default()
+            };
+            db.open_at(&dir, opts)
+                .unwrap_or_else(|e| panic!("{DATA_DIR_ENV}: cannot open {}: {e}", dir.display()));
+            db.ephemeral_dir = Some(EphemeralDir(dir));
+        }
+        db
+    }
+}
+
+impl Database {
+    /// An empty in-memory database, before any `OPENIVM_DATA_DIR` wrap.
+    fn base() -> Database {
         Database {
             catalog: Catalog::new(),
             batch_size: DEFAULT_BATCH_SIZE,
@@ -192,25 +259,172 @@ impl Default for Database {
             plan_cache: HashMap::new(),
             ddl_generation: 0,
             plan_cache_hits: 0,
+            durability: None,
+            atomic_depth: 0,
+            ephemeral_dir: None,
         }
     }
-}
 
-impl Database {
     /// An empty database. Executor parallelism defaults to
     /// `$OPENIVM_PARALLELISM` when set (1 = explicit serial bypass), else
-    /// to `std::thread::available_parallelism()`.
+    /// to `std::thread::available_parallelism()`. With
+    /// `$OPENIVM_DATA_DIR` set, the database is durable in a fresh
+    /// ephemeral subdirectory of that path (see [`DATA_DIR_ENV`]).
     pub fn new() -> Database {
         Database::default()
+    }
+
+    /// Open (or create) a durable database at `path`: recover the last
+    /// checkpoint, replay the committed WAL prefix, and fsync every
+    /// commit from here on. Tables, views, and row ids come back exactly
+    /// as of the last committed statement.
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Database, EngineError> {
+        let mut db = Database::base();
+        db.open_at(path.as_ref(), DurabilityOptions::default())?;
+        Ok(db)
+    }
+
+    /// Attach durable backing from `dir` to this (empty) database.
+    fn open_at(
+        &mut self,
+        dir: &std::path::Path,
+        opts: DurabilityOptions,
+    ) -> Result<(), EngineError> {
+        // A crashed process leaves spill temp files behind; reclaim the
+        // dead ones while we're recovering its durable state anyway.
+        clean_orphan_spill_files(&self.budget.spill_dir());
+        let (durability, mut catalog) = Durability::open(dir, opts)?;
+        catalog.set_wal(Some(durability.wal_handle()));
+        self.catalog = catalog;
+        self.durability = Some(durability);
+        self.invalidate_plans();
+        Ok(())
+    }
+
+    /// Whether this database has durable backing.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The durable data directory, when [`Database::is_durable`].
+    pub fn data_dir(&self) -> Option<&std::path::Path> {
+        self.durability.as_ref().map(Durability::dir)
+    }
+
+    /// Checkpoint the durable state: write dirty tables to fresh pages,
+    /// publish the new catalog meta atomically, and truncate the WAL.
+    /// A no-op for in-memory databases.
+    pub fn checkpoint(&mut self) -> Result<(), EngineError> {
+        match &mut self.durability {
+            Some(d) => d.checkpoint(&self.catalog),
+            None => Ok(()),
+        }
+    }
+
+    /// Checkpoint and drop the database (the clean shutdown path).
+    pub fn close(mut self) -> Result<(), EngineError> {
+        self.checkpoint()
+    }
+
+    /// Make the current WAL statement durable (group-commit point). The
+    /// SQL execution paths call this automatically after every
+    /// statement; direct [`Database::catalog_mut`] mutations should call
+    /// it when they want their writes to survive a crash. A no-op for
+    /// in-memory databases and inside an open atomic batch.
+    pub fn wal_commit(&mut self) -> Result<(), EngineError> {
+        if self.atomic_depth > 0 {
+            return Ok(());
+        }
+        match &self.durability {
+            Some(d) => d.wal_commit(),
+            None => Ok(()),
+        }
+    }
+
+    /// Start an atomic durability batch: until the matching
+    /// [`end_atomic`](Database::end_atomic), per-statement WAL commits are
+    /// deferred, so recovery sees the whole batch or none of it. Callers
+    /// composing one logical operation out of several statements (delta
+    /// capture, view propagation scripts) use this to keep crash recovery
+    /// from resurfacing a half-applied operation. Batches nest; only the
+    /// outermost end commits. A no-op for in-memory databases.
+    pub fn begin_atomic(&mut self) {
+        self.atomic_depth += 1;
+    }
+
+    /// Close an atomic durability batch and, at the outermost level,
+    /// commit its WAL records as one durability point. Call this even
+    /// when a statement inside the batch failed: in-memory semantics keep
+    /// the applied prefix, and recovery must reproduce exactly that.
+    pub fn end_atomic(&mut self) -> Result<(), EngineError> {
+        debug_assert!(self.atomic_depth > 0, "end_atomic without begin_atomic");
+        self.atomic_depth = self.atomic_depth.saturating_sub(1);
+        if self.atomic_depth == 0 {
+            self.wal_commit()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Drop a durable table's rows from memory, keeping it queryable
+    /// metadata-wise (data at rest can exceed RAM; the working set is
+    /// reloaded on demand). Checkpoints first if the table has
+    /// uncheckpointed changes. Errors for in-memory databases.
+    pub fn unload_table(&mut self, name: &str) -> Result<(), EngineError> {
+        if self.durability.is_none() {
+            return Err(EngineError::unsupported(
+                "unload_table requires a durable database",
+            ));
+        }
+        let generation = self.catalog.table(name)?.generation();
+        let clean = self
+            .durability
+            .as_ref()
+            .is_some_and(|d| d.is_clean(name, generation));
+        if !clean {
+            self.checkpoint()?;
+        }
+        self.catalog.evict_table(name)?;
+        Ok(())
+    }
+
+    /// Reload an unloaded table from its checkpointed pages. A no-op if
+    /// the table is already resident.
+    pub fn load_table(&mut self, name: &str) -> Result<(), EngineError> {
+        if !self.catalog.is_unloaded(name) {
+            // Resident (or missing: surface the catalog error).
+            self.catalog.table(name).map(|_| ())?;
+            return Ok(());
+        }
+        let d = self
+            .durability
+            .as_mut()
+            .ok_or_else(|| EngineError::unsupported("load_table requires a durable database"))?;
+        let table = d.load_table(name)?;
+        self.catalog.restore_table(table)
+    }
+
+    /// Counters from the last recovery ([`Database::open`]), when durable.
+    pub fn recovery_stats(&self) -> Option<RecoveryStats> {
+        self.durability.as_ref().map(Durability::recovery_stats)
+    }
+
+    /// Cumulative WAL counters, when durable.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.durability.as_ref().map(Durability::wal_stats)
+    }
+
+    /// Cumulative buffer pool counters, when durable.
+    pub fn buffer_pool_stats(&self) -> Option<BufferPoolStats> {
+        self.durability.as_ref().map(Durability::pool_stats)
     }
 
     /// An empty database with an explicit executor batch size (rows per
     /// [`crate::exec::RowBatch`]; clamped to ≥ 1).
     pub fn with_batch_size(batch_size: usize) -> Database {
-        Database {
-            batch_size: batch_size.max(1),
-            ..Database::default()
-        }
+        let mut db = Database::default();
+        db.set_batch_size(batch_size);
+        db
     }
 
     /// The executor batch size.
@@ -427,8 +641,79 @@ impl Database {
         }
     }
 
-    /// Execute one parsed statement.
+    /// Execute one parsed statement. In a durable database this also (a)
+    /// reloads any unloaded tables the statement touches and (b) commits
+    /// the statement's WAL records afterwards — including after an error,
+    /// because in-memory semantics keep the applied prefix of a partially
+    /// failed statement, and recovery must reproduce exactly that state.
     pub fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult, EngineError> {
+        self.ensure_resident_for(stmt)?;
+        let result = self.execute_statement_inner(stmt);
+        let commit = self.wal_commit();
+        match result {
+            Err(e) => Err(e),
+            Ok(r) => commit.map(|()| r),
+        }
+    }
+
+    /// Tables the statement touches, for the durable residency pre-pass.
+    fn ensure_resident_for(&mut self, stmt: &Statement) -> Result<(), EngineError> {
+        if self.durability.is_none() || self.catalog.unloaded_names().is_empty() {
+            return Ok(());
+        }
+        fn query_tables(q: &Query, out: &mut Vec<String>) {
+            out.extend(
+                q.referenced_tables()
+                    .iter()
+                    .map(|i| i.normalized().to_string()),
+            );
+        }
+        let mut names: Vec<String> = Vec::new();
+        match stmt {
+            Statement::Query(q) => query_tables(q, &mut names),
+            Statement::Insert(ins) => {
+                names.push(ins.table.normalized().to_string());
+                if let InsertSource::Query(q) = &ins.source {
+                    query_tables(q, &mut names);
+                }
+            }
+            Statement::Update(u) => names.push(u.table.normalized().to_string()),
+            Statement::Delete(d) => names.push(d.table.normalized().to_string()),
+            Statement::CreateIndex(ci) => names.push(ci.table.normalized().to_string()),
+            Statement::CreateView(cv) => query_tables(&cv.query, &mut names),
+            Statement::Explain(inner) => {
+                if let Statement::Query(q) = inner.as_ref() {
+                    query_tables(q, &mut names);
+                }
+            }
+            // DROP INDEX searches every table for the index; DROP TABLE of
+            // an unloaded table works without residency.
+            Statement::Drop(d) if matches!(d.kind, DropKind::Index) => {
+                names.extend(self.catalog.unloaded_names());
+            }
+            _ => {}
+        }
+        // Views reference further tables; expand transitively.
+        let mut visited = std::collections::HashSet::new();
+        while let Some(name) = names.pop() {
+            if !visited.insert(name.clone()) {
+                continue;
+            }
+            if let Some(view) = self.catalog.view(&name) {
+                let more: Vec<String> = view
+                    .referenced_tables()
+                    .iter()
+                    .map(|i| i.normalized().to_string())
+                    .collect();
+                names.extend(more);
+            } else if self.catalog.is_unloaded(&name) {
+                self.load_table(&name)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn execute_statement_inner(&mut self, stmt: &Statement) -> Result<QueryResult, EngineError> {
         match stmt {
             Statement::Query(q) => {
                 let plan = optimize(plan_query(q, &self.catalog)?);
@@ -501,11 +786,11 @@ impl Database {
         cache_key: &str,
         stmt: &Statement,
     ) -> Result<QueryResult, EngineError> {
-        match stmt {
+        self.ensure_resident_for(stmt)?;
+        let result = match stmt {
             Statement::Query(q) => {
                 let (physical, columns) = self.cached_physical(cache_key, q)?;
-                let rows = self.run_physical(&physical)?;
-                Ok(QueryResult {
+                self.run_physical(&physical).map(|rows| QueryResult {
                     columns,
                     rows,
                     rows_affected: 0,
@@ -514,7 +799,12 @@ impl Database {
             Statement::Insert(ins) if matches!(ins.source, InsertSource::Query(_)) => {
                 self.insert_impl(ins, Some(cache_key))
             }
-            _ => self.execute_statement(stmt),
+            _ => self.execute_statement_inner(stmt),
+        };
+        let commit = self.wal_commit();
+        match result {
+            Err(e) => Err(e),
+            Ok(r) => commit.map(|()| r),
         }
     }
 

@@ -90,6 +90,36 @@ pub fn write_frame(w: &mut impl Write, rows: &[Vec<Value>]) -> Result<u64, Engin
     Ok(buf.len() as u64)
 }
 
+/// Encode one row as a width-prefixed run of tagged values — the same
+/// value encoding spill frames use, row-major. This is the tuple payload
+/// format of slotted heap pages ([`crate::storage::page`]) and the row
+/// payload of WAL records ([`crate::storage::wal`]), so the durability
+/// layer inherits the frame codec's bounds checking wholesale.
+pub fn encode_row(buf: &mut Vec<u8>, row: &[Value]) {
+    buf.extend_from_slice(&(row.len() as u32).to_le_bytes());
+    for v in row {
+        encode_value(buf, v);
+    }
+}
+
+/// Decode one row written by [`encode_row`]. Width and string lengths are
+/// bounds-checked exactly like frame decoding: corruption comes back as a
+/// clean [`EngineError`], never a panic or an allocation bomb.
+pub fn decode_row(r: &mut impl Read) -> Result<Vec<Value>, EngineError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)
+        .map_err(|_| corrupt("truncated row width"))?;
+    let ncols = u32::from_le_bytes(b);
+    if ncols > MAX_FRAME_COLS {
+        return Err(corrupt(format!("row width {ncols} exceeds column cap")));
+    }
+    let mut row = Vec::with_capacity(ncols as usize);
+    for _ in 0..ncols {
+        row.push(decode_value(r)?);
+    }
+    Ok(row)
+}
+
 fn encode_value(buf: &mut Vec<u8>, v: &Value) {
     match v {
         Value::Null => buf.push(TAG_NULL),

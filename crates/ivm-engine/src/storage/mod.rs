@@ -1,7 +1,17 @@
-//! In-memory columnar table storage and the spill frame codec.
+//! Table storage: in-memory columnar tables, the spill frame codec, and
+//! the durability stack (slotted pages, buffer pool, write-ahead log,
+//! checkpoint/recovery orchestration).
 
+pub mod buffer;
+pub mod checksum;
+pub mod durability;
 pub mod frame;
+pub mod page;
+pub mod wal;
 
 mod table;
 
+pub use buffer::{BufferPool, BufferPoolStats, PageFile, PinnedPage};
+pub use durability::{Durability, DurabilityOptions, RecoveryStats, TableMeta};
 pub use table::{MorselCursor, Table};
+pub use wal::{Wal, WalRecord, WalStats};

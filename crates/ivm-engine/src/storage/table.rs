@@ -9,6 +9,7 @@ use crate::exec::batch::{ColumnData, RowBatch};
 use crate::expr::VectorKernel;
 use crate::index::TableIndex;
 use crate::schema::Schema;
+use crate::storage::wal::{Wal, WalRecord};
 use crate::value::Value;
 
 /// Process-wide generation counter; see [`Table::generation`]. Every
@@ -44,6 +45,10 @@ pub struct Table {
     /// compact); external caches keyed on row content (e.g. the
     /// delta-ingest victim index in `ivm-core`) validate against it.
     generation: u64,
+    /// When attached (durable databases only), every mutation logs a
+    /// logical redo record here. `None` in in-memory mode and during
+    /// WAL replay — mutations then behave exactly as before.
+    wal: Option<Arc<Wal>>,
 }
 
 impl Table {
@@ -63,7 +68,74 @@ impl Table {
             pk_index,
             secondary: Vec::new(),
             generation: next_generation(),
+            wal: None,
         }
+    }
+
+    /// Attach (or detach) the redo log every mutation reports to.
+    pub(crate) fn set_wal(&mut self, wal: Option<Arc<Wal>>) {
+        self.wal = wal;
+    }
+
+    /// Secondary index definitions as `(name, columns, unique)` — the
+    /// durable checkpoint records these so indexes rebuild on recovery.
+    pub fn secondary_index_defs(&self) -> Vec<(String, Vec<usize>, bool)> {
+        self.secondary
+            .iter()
+            .map(|(n, idx)| (n.clone(), idx.columns.clone(), idx.unique))
+            .collect()
+    }
+
+    /// Rebuild a table from checkpointed parts, preserving the physical
+    /// slot layout: `rows` are `(slot_id, row)` pairs and `total_slots`
+    /// the original slot count including tombstones, so row ids (and
+    /// therefore scan order) match the pre-checkpoint table exactly.
+    /// Secondary indexes are rebuilt from `secondary` definitions.
+    pub(crate) fn from_parts(
+        name: String,
+        schema: Schema,
+        primary_key: Vec<usize>,
+        secondary: &[(String, Vec<usize>, bool)],
+        total_slots: u64,
+        rows: Vec<(u64, Vec<Value>)>,
+    ) -> Result<Table, EngineError> {
+        let total = total_slots as usize;
+        let mut table = Table::new(name, schema, primary_key);
+        table.columns = vec![vec![Value::Null; total]; table.schema.len()];
+        table.deleted = vec![true; total];
+        for (slot, row) in rows {
+            let idx = slot as usize;
+            if idx >= total {
+                return Err(EngineError::execution(format!(
+                    "corrupt table {}: slot {slot} beyond {total} slots",
+                    table.name
+                )));
+            }
+            if !table.deleted[idx] {
+                return Err(EngineError::execution(format!(
+                    "corrupt table {}: slot {slot} stored twice",
+                    table.name
+                )));
+            }
+            if row.len() != table.schema.len() {
+                return Err(EngineError::execution(format!(
+                    "corrupt table {}: slot {slot} has {} columns, schema has {}",
+                    table.name,
+                    row.len(),
+                    table.schema.len()
+                )));
+            }
+            for (col, value) in table.columns.iter_mut().zip(row) {
+                col[idx] = value;
+            }
+            table.deleted[idx] = false;
+            table.live += 1;
+        }
+        table.rebuild_indexes();
+        for (iname, cols, unique) in secondary {
+            table.create_secondary_index(iname.clone(), cols.clone(), *unique)?;
+        }
+        Ok(table)
     }
 
     /// Number of live rows.
@@ -181,6 +253,12 @@ impl Table {
     }
 
     fn append_unchecked(&mut self, row: Vec<Value>) -> u64 {
+        if let Some(wal) = &self.wal {
+            wal.log(&WalRecord::Insert {
+                table: self.name.clone(),
+                row: row.clone(),
+            });
+        }
         self.generation = next_generation();
         let id = self.deleted.len() as u64;
         if let Some(pk) = &mut self.pk_index {
@@ -207,6 +285,12 @@ impl Table {
                 "row {row_id} does not exist in table {}",
                 self.name
             )));
+        }
+        if let Some(wal) = &self.wal {
+            wal.log(&WalRecord::Delete {
+                table: self.name.clone(),
+                row_id,
+            });
         }
         let row = self.row(row_id);
         if let Some(pk) = &mut self.pk_index {
@@ -247,6 +331,15 @@ impl Table {
                 pk.remove(&old_key);
                 pk.insert(&new_key, row_id);
             }
+        }
+        // Logged only after the last fallible check: a rejected update
+        // must leave no trace in the redo log.
+        if let Some(wal) = &self.wal {
+            wal.log(&WalRecord::Update {
+                table: self.name.clone(),
+                row_id,
+                row: new_row.clone(),
+            });
         }
         for (_, sidx) in &mut self.secondary {
             let old_key = sidx.key_of(&old_row);
@@ -558,6 +651,11 @@ impl Table {
 
     /// Delete every row (keeps schema and indexes, emptied).
     pub fn truncate(&mut self) {
+        if let Some(wal) = &self.wal {
+            wal.log(&WalRecord::Truncate {
+                table: self.name.clone(),
+            });
+        }
         for col in &mut self.columns {
             col.clear();
         }
@@ -576,6 +674,11 @@ impl Table {
     pub fn compact(&mut self) {
         if self.live == self.deleted.len() {
             return;
+        }
+        if let Some(wal) = &self.wal {
+            wal.log(&WalRecord::Compact {
+                table: self.name.clone(),
+            });
         }
         let keep: Vec<usize> = (0..self.deleted.len())
             .filter(|&i| !self.deleted[i])
@@ -615,6 +718,14 @@ impl Table {
                 )));
             }
         }
+        if let Some(wal) = &self.wal {
+            wal.log(&WalRecord::CreateIndex {
+                table: self.name.clone(),
+                name: name.clone(),
+                columns: idx.columns.clone(),
+                unique,
+            });
+        }
         self.secondary.push((name, idx));
         Ok(())
     }
@@ -623,7 +734,16 @@ impl Table {
     pub fn drop_secondary_index(&mut self, name: &str) -> bool {
         let before = self.secondary.len();
         self.secondary.retain(|(n, _)| n != name);
-        self.secondary.len() != before
+        let removed = self.secondary.len() != before;
+        if removed {
+            if let Some(wal) = &self.wal {
+                wal.log(&WalRecord::DropIndex {
+                    table: self.name.clone(),
+                    name: name.to_string(),
+                });
+            }
+        }
+        removed
     }
 
     /// Build (or rebuild) the PK index from current contents. Used after
@@ -666,6 +786,12 @@ impl Table {
                     self.name
                 )));
             }
+        }
+        if let Some(wal) = &self.wal {
+            wal.log(&WalRecord::AddPk {
+                table: self.name.clone(),
+                columns: columns.clone(),
+            });
         }
         self.primary_key = columns;
         self.pk_index = Some(idx);

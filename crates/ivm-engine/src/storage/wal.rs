@@ -1,0 +1,854 @@
+//! ARIES-lite write-ahead log: logical redo records + committed-prefix
+//! replay.
+//!
+//! The log is a header (`magic`, `epoch`) followed by CRC-framed records:
+//!
+//! ```text
+//! file   := MAGIC epoch:u64 record*
+//! record := len:u32 crc:u32 payload   (crc = crc32(payload))
+//! ```
+//!
+//! Records are *logical redo*: one per row mutation or DDL action, with a
+//! [`WalRecord::Commit`] marker closing each statement. There are no undo
+//! records — recovery replays the longest committed prefix onto the
+//! catalog restored from the last checkpoint, which is exactly the
+//! in-memory engine's statement-at-a-time semantics. Group commit:
+//! [`Wal::log`] only buffers (so hot DML paths never block on I/O), and
+//! [`Wal::commit`] appends the marker, writes, and optionally fsyncs —
+//! one durability point per statement, many records per write.
+//!
+//! The *epoch* ties a log to the checkpoint it extends: every checkpoint
+//! bumps the epoch, rewrites `catalog.meta` (atomic rename), and resets
+//! the log with the new epoch in its header. Replay compares epochs and
+//! discards a log older than the catalog meta — the crash window between
+//! the meta rename and the log reset is thereby safe.
+//!
+//! Torn tails (truncated record, checksum mismatch) end replay at the
+//! last intact committed record — that is a *normal* crash artifact, not
+//! an error. A record whose checksum verifies but whose payload does not
+//! decode is real corruption and comes back as a clean [`EngineError`].
+
+use std::fs::{File, OpenOptions};
+use std::io::{Cursor, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::error::EngineError;
+use crate::schema::Column;
+use crate::storage::checksum::crc32;
+use crate::storage::frame;
+use crate::types::DataType;
+use crate::value::Value;
+
+/// WAL file magic (and format version).
+pub const WAL_MAGIC: &[u8; 8] = b"OIVMWAL1";
+
+/// Header bytes: magic + epoch.
+pub const WAL_HEADER: usize = 16;
+
+/// Buffered bytes above which [`Wal::log`] writes through to the file
+/// (without committing) so huge statements don't balloon memory.
+const FLUSH_THRESHOLD: usize = 1 << 20;
+
+/// Cap on identifier/SQL string lengths in records (decode-side sanity
+/// bound against corrupt lengths).
+const MAX_WAL_TEXT: u32 = 1 << 20;
+
+const TAG_COMMIT: u8 = 1;
+const TAG_INSERT: u8 = 2;
+const TAG_DELETE: u8 = 3;
+const TAG_UPDATE: u8 = 4;
+const TAG_TRUNCATE: u8 = 5;
+const TAG_COMPACT: u8 = 6;
+const TAG_CREATE_TABLE: u8 = 7;
+const TAG_DROP_TABLE: u8 = 8;
+const TAG_CREATE_VIEW: u8 = 9;
+const TAG_DROP_VIEW: u8 = 10;
+const TAG_CREATE_INDEX: u8 = 11;
+const TAG_DROP_INDEX: u8 = 12;
+const TAG_ADD_PK: u8 = 13;
+
+fn corrupt(what: impl Into<String>) -> EngineError {
+    EngineError::execution(format!("corrupt WAL record: {}", what.into()))
+}
+
+fn io_err(op: &str, path: &Path, e: std::io::Error) -> EngineError {
+    EngineError::execution(format!("WAL I/O error ({op}, {}): {e}", path.display()))
+}
+
+/// One logical redo record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// Statement boundary: everything logged since the previous marker is
+    /// durable as a unit once this record reaches disk.
+    Commit,
+    /// Row appended to a table (slot id is implied by replay order).
+    Insert {
+        /// Target table.
+        table: String,
+        /// Full-width row values.
+        row: Vec<Value>,
+    },
+    /// Row tombstoned by slot id.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Physical slot id.
+        row_id: u64,
+    },
+    /// Row replaced in place.
+    Update {
+        /// Target table.
+        table: String,
+        /// Physical slot id.
+        row_id: u64,
+        /// New full-width row values.
+        row: Vec<Value>,
+    },
+    /// All rows deleted (keeps schema and indexes).
+    Truncate {
+        /// Target table.
+        table: String,
+    },
+    /// Tombstones dropped and slots renumbered.
+    Compact {
+        /// Target table.
+        table: String,
+    },
+    /// Table created.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column layout.
+        columns: Vec<Column>,
+        /// Primary-key column positions.
+        primary_key: Vec<usize>,
+    },
+    /// Table dropped.
+    DropTable {
+        /// Table name.
+        name: String,
+    },
+    /// Logical (non-materialized) view created.
+    CreateView {
+        /// View name.
+        name: String,
+        /// The view's defining query, printed as SQL.
+        sql: String,
+    },
+    /// Logical view dropped.
+    DropView {
+        /// View name.
+        name: String,
+    },
+    /// Secondary index created.
+    CreateIndex {
+        /// Owning table.
+        table: String,
+        /// Index name.
+        name: String,
+        /// Indexed column positions.
+        columns: Vec<usize>,
+        /// Uniqueness constraint.
+        unique: bool,
+    },
+    /// Secondary index dropped.
+    DropIndex {
+        /// Owning table.
+        table: String,
+        /// Index name.
+        name: String,
+    },
+    /// Primary-key index attached after creation (UNIQUE index on a
+    /// keyless table).
+    AddPk {
+        /// Owning table.
+        table: String,
+        /// Key column positions.
+        columns: Vec<usize>,
+    },
+}
+
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) fn get_str(r: &mut impl Read) -> Result<String, EngineError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)
+        .map_err(|_| corrupt("truncated string length"))?;
+    let len = u32::from_le_bytes(b);
+    if len > MAX_WAL_TEXT {
+        return Err(corrupt(format!("string length {len} exceeds cap")));
+    }
+    let mut bytes = vec![0u8; len as usize];
+    r.read_exact(&mut bytes)
+        .map_err(|_| corrupt("truncated string"))?;
+    String::from_utf8(bytes).map_err(|_| corrupt("string is not UTF-8"))
+}
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn get_u64(r: &mut impl Read) -> Result<u64, EngineError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b).map_err(|_| corrupt("truncated u64"))?;
+    Ok(u64::from_le_bytes(b))
+}
+
+pub(crate) fn put_positions(buf: &mut Vec<u8>, cols: &[usize]) {
+    buf.extend_from_slice(&(cols.len() as u32).to_le_bytes());
+    for &c in cols {
+        buf.extend_from_slice(&(c as u32).to_le_bytes());
+    }
+}
+
+pub(crate) fn get_positions(r: &mut impl Read) -> Result<Vec<usize>, EngineError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)
+        .map_err(|_| corrupt("truncated position count"))?;
+    let n = u32::from_le_bytes(b);
+    if n > frame::MAX_FRAME_COLS {
+        return Err(corrupt(format!("position count {n} exceeds column cap")));
+    }
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        r.read_exact(&mut b)
+            .map_err(|_| corrupt("truncated position"))?;
+        out.push(u32::from_le_bytes(b) as usize);
+    }
+    Ok(out)
+}
+
+fn type_tag(ty: DataType) -> u8 {
+    match ty {
+        DataType::Boolean => 0,
+        DataType::Integer => 1,
+        DataType::Double => 2,
+        DataType::Varchar => 3,
+        DataType::Date => 4,
+    }
+}
+
+fn type_from_tag(tag: u8) -> Result<DataType, EngineError> {
+    Ok(match tag {
+        0 => DataType::Boolean,
+        1 => DataType::Integer,
+        2 => DataType::Double,
+        3 => DataType::Varchar,
+        4 => DataType::Date,
+        other => return Err(corrupt(format!("unknown type tag {other}"))),
+    })
+}
+
+/// Serialize a column list (shared with the catalog meta encoder).
+pub(crate) fn put_columns(buf: &mut Vec<u8>, columns: &[Column]) {
+    buf.extend_from_slice(&(columns.len() as u32).to_le_bytes());
+    for c in columns {
+        put_str(buf, &c.name);
+        buf.push(type_tag(c.ty));
+        buf.push(u8::from(c.not_null));
+    }
+}
+
+/// Deserialize a column list (shared with the catalog meta decoder).
+pub(crate) fn get_columns(r: &mut impl Read) -> Result<Vec<Column>, EngineError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)
+        .map_err(|_| corrupt("truncated column count"))?;
+    let n = u32::from_le_bytes(b);
+    if n > frame::MAX_FRAME_COLS {
+        return Err(corrupt(format!("column count {n} exceeds cap")));
+    }
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let name = get_str(r)?;
+        let mut two = [0u8; 2];
+        r.read_exact(&mut two)
+            .map_err(|_| corrupt("truncated column flags"))?;
+        out.push(Column {
+            name,
+            ty: type_from_tag(two[0])?,
+            not_null: match two[1] {
+                0 => false,
+                1 => true,
+                other => return Err(corrupt(format!("column not-null byte {other}"))),
+            },
+        });
+    }
+    Ok(out)
+}
+
+impl WalRecord {
+    /// Encode this record's payload (no framing).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            WalRecord::Commit => buf.push(TAG_COMMIT),
+            WalRecord::Insert { table, row } => {
+                buf.push(TAG_INSERT);
+                put_str(buf, table);
+                frame::encode_row(buf, row);
+            }
+            WalRecord::Delete { table, row_id } => {
+                buf.push(TAG_DELETE);
+                put_str(buf, table);
+                put_u64(buf, *row_id);
+            }
+            WalRecord::Update { table, row_id, row } => {
+                buf.push(TAG_UPDATE);
+                put_str(buf, table);
+                put_u64(buf, *row_id);
+                frame::encode_row(buf, row);
+            }
+            WalRecord::Truncate { table } => {
+                buf.push(TAG_TRUNCATE);
+                put_str(buf, table);
+            }
+            WalRecord::Compact { table } => {
+                buf.push(TAG_COMPACT);
+                put_str(buf, table);
+            }
+            WalRecord::CreateTable {
+                name,
+                columns,
+                primary_key,
+            } => {
+                buf.push(TAG_CREATE_TABLE);
+                put_str(buf, name);
+                put_columns(buf, columns);
+                put_positions(buf, primary_key);
+            }
+            WalRecord::DropTable { name } => {
+                buf.push(TAG_DROP_TABLE);
+                put_str(buf, name);
+            }
+            WalRecord::CreateView { name, sql } => {
+                buf.push(TAG_CREATE_VIEW);
+                put_str(buf, name);
+                put_str(buf, sql);
+            }
+            WalRecord::DropView { name } => {
+                buf.push(TAG_DROP_VIEW);
+                put_str(buf, name);
+            }
+            WalRecord::CreateIndex {
+                table,
+                name,
+                columns,
+                unique,
+            } => {
+                buf.push(TAG_CREATE_INDEX);
+                put_str(buf, table);
+                put_str(buf, name);
+                put_positions(buf, columns);
+                buf.push(u8::from(*unique));
+            }
+            WalRecord::DropIndex { table, name } => {
+                buf.push(TAG_DROP_INDEX);
+                put_str(buf, table);
+                put_str(buf, name);
+            }
+            WalRecord::AddPk { table, columns } => {
+                buf.push(TAG_ADD_PK);
+                put_str(buf, table);
+                put_positions(buf, columns);
+            }
+        }
+    }
+
+    /// Decode one payload produced by [`encode`](WalRecord::encode).
+    /// Trailing payload bytes are corruption.
+    pub fn decode(payload: &[u8]) -> Result<WalRecord, EngineError> {
+        let mut r = Cursor::new(payload);
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)
+            .map_err(|_| corrupt("empty record"))?;
+        let rec = match tag[0] {
+            TAG_COMMIT => WalRecord::Commit,
+            TAG_INSERT => WalRecord::Insert {
+                table: get_str(&mut r)?,
+                row: frame::decode_row(&mut r)?,
+            },
+            TAG_DELETE => WalRecord::Delete {
+                table: get_str(&mut r)?,
+                row_id: get_u64(&mut r)?,
+            },
+            TAG_UPDATE => WalRecord::Update {
+                table: get_str(&mut r)?,
+                row_id: get_u64(&mut r)?,
+                row: frame::decode_row(&mut r)?,
+            },
+            TAG_TRUNCATE => WalRecord::Truncate {
+                table: get_str(&mut r)?,
+            },
+            TAG_COMPACT => WalRecord::Compact {
+                table: get_str(&mut r)?,
+            },
+            TAG_CREATE_TABLE => WalRecord::CreateTable {
+                name: get_str(&mut r)?,
+                columns: get_columns(&mut r)?,
+                primary_key: get_positions(&mut r)?,
+            },
+            TAG_DROP_TABLE => WalRecord::DropTable {
+                name: get_str(&mut r)?,
+            },
+            TAG_CREATE_VIEW => WalRecord::CreateView {
+                name: get_str(&mut r)?,
+                sql: get_str(&mut r)?,
+            },
+            TAG_DROP_VIEW => WalRecord::DropView {
+                name: get_str(&mut r)?,
+            },
+            TAG_CREATE_INDEX => {
+                let table = get_str(&mut r)?;
+                let name = get_str(&mut r)?;
+                let columns = get_positions(&mut r)?;
+                let mut b = [0u8; 1];
+                r.read_exact(&mut b)
+                    .map_err(|_| corrupt("truncated unique flag"))?;
+                let unique = match b[0] {
+                    0 => false,
+                    1 => true,
+                    other => return Err(corrupt(format!("unique byte {other}"))),
+                };
+                WalRecord::CreateIndex {
+                    table,
+                    name,
+                    columns,
+                    unique,
+                }
+            }
+            TAG_DROP_INDEX => WalRecord::DropIndex {
+                table: get_str(&mut r)?,
+                name: get_str(&mut r)?,
+            },
+            TAG_ADD_PK => WalRecord::AddPk {
+                table: get_str(&mut r)?,
+                columns: get_positions(&mut r)?,
+            },
+            other => return Err(corrupt(format!("unknown record tag {other}"))),
+        };
+        if r.position() != payload.len() as u64 {
+            return Err(corrupt("trailing bytes after record payload"));
+        }
+        Ok(rec)
+    }
+}
+
+/// Cumulative WAL counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Redo records logged (commit markers excluded).
+    pub records: u64,
+    /// Commit points (markers actually written; empty commits skipped).
+    pub commits: u64,
+    /// fsyncs issued.
+    pub syncs: u64,
+    /// Bytes appended to the log since it was opened or last reset.
+    pub bytes_written: u64,
+}
+
+#[derive(Debug)]
+struct WalInner {
+    file: File,
+    /// Encoded frames not yet written to the file.
+    buf: Vec<u8>,
+    /// Records logged since the last commit marker.
+    pending: bool,
+    /// I/O error from an opportunistic mid-statement flush, surfaced at
+    /// the next [`Wal::commit`].
+    deferred: Option<EngineError>,
+    stats: WalStats,
+}
+
+/// A write-ahead log handle. Shared as `Arc<Wal>` by every table of a
+/// durable catalog; interior mutability makes [`log`](Wal::log)
+/// callable from `&self` hooks deep inside row mutations.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    sync_on_commit: bool,
+    inner: Mutex<WalInner>,
+}
+
+impl Wal {
+    /// Open (creating if missing) the log at `path` for appending. The
+    /// file is not touched until [`reset`](Wal::reset) — callers replay
+    /// first, then reset with a fresh epoch.
+    pub fn open(path: impl Into<PathBuf>, sync_on_commit: bool) -> Result<Wal, EngineError> {
+        let path = path.into();
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| io_err("open", &path, e))?;
+        Ok(Wal {
+            path,
+            sync_on_commit,
+            inner: Mutex::new(WalInner {
+                file,
+                buf: Vec::new(),
+                pending: false,
+                deferred: None,
+                stats: WalStats::default(),
+            }),
+        })
+    }
+
+    /// Truncate the log and write a fresh `epoch` header (fsynced). Called
+    /// by every checkpoint after the catalog meta rename.
+    pub fn reset(&self, epoch: u64) -> Result<(), EngineError> {
+        let mut inner = self.lock();
+        inner.buf.clear();
+        inner.pending = false;
+        inner.deferred = None;
+        inner
+            .file
+            .set_len(0)
+            .map_err(|e| io_err("truncate", &self.path, e))?;
+        inner
+            .file
+            .seek_write_header(epoch)
+            .map_err(|e| io_err("header", &self.path, e))?;
+        inner
+            .file
+            .sync_data()
+            .map_err(|e| io_err("fsync", &self.path, e))?;
+        inner.stats.syncs += 1;
+        inner.stats.bytes_written = WAL_HEADER as u64;
+        Ok(())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, WalInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Append one framed record to the in-memory buffer. Never blocks on
+    /// I/O and never fails: oversized buffers are opportunistically
+    /// written through, with any I/O error deferred to the next
+    /// [`commit`](Wal::commit) — the hook sites inside row mutations have
+    /// no error channel.
+    pub fn log(&self, rec: &WalRecord) {
+        let mut inner = self.lock();
+        let start = inner.buf.len();
+        inner.buf.extend_from_slice(&[0u8; 8]); // frame placeholder
+        let rec_start = inner.buf.len();
+        {
+            let WalInner { buf, .. } = &mut *inner;
+            rec.encode(buf);
+        }
+        let payload_len = (inner.buf.len() - rec_start) as u32;
+        let crc = crc32(&inner.buf[rec_start..]);
+        inner.buf[start..start + 4].copy_from_slice(&payload_len.to_le_bytes());
+        inner.buf[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
+        inner.pending = true;
+        if !matches!(rec, WalRecord::Commit) {
+            inner.stats.records += 1;
+        }
+        if inner.buf.len() >= FLUSH_THRESHOLD {
+            if let Err(e) = Self::write_buf(&mut inner, &self.path) {
+                inner.deferred.get_or_insert(e);
+            }
+        }
+    }
+
+    fn write_buf(inner: &mut WalInner, path: &Path) -> Result<(), EngineError> {
+        if inner.buf.is_empty() {
+            return Ok(());
+        }
+        let buf = std::mem::take(&mut inner.buf);
+        let res = inner
+            .file
+            .write_all(&buf)
+            .map_err(|e| io_err("append", path, e));
+        inner.stats.bytes_written += buf.len() as u64;
+        res
+    }
+
+    /// Close the current statement: append a [`WalRecord::Commit`] marker,
+    /// write everything buffered, and (when configured) fsync. A no-op
+    /// when nothing was logged since the last commit. Returns whether a
+    /// commit point was actually written.
+    pub fn commit(&self) -> Result<bool, EngineError> {
+        let mut inner = self.lock();
+        if let Some(e) = inner.deferred.take() {
+            return Err(e);
+        }
+        if !inner.pending {
+            return Ok(false);
+        }
+        let start = inner.buf.len();
+        inner.buf.extend_from_slice(&[0u8; 8]);
+        let rec_start = inner.buf.len();
+        {
+            let WalInner { buf, .. } = &mut *inner;
+            WalRecord::Commit.encode(buf);
+        }
+        let payload_len = (inner.buf.len() - rec_start) as u32;
+        let crc = crc32(&inner.buf[rec_start..]);
+        inner.buf[start..start + 4].copy_from_slice(&payload_len.to_le_bytes());
+        inner.buf[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
+        Self::write_buf(&mut inner, &self.path)?;
+        if self.sync_on_commit {
+            inner
+                .file
+                .sync_data()
+                .map_err(|e| io_err("fsync", &self.path, e))?;
+            inner.stats.syncs += 1;
+        }
+        inner.pending = false;
+        inner.stats.commits += 1;
+        Ok(true)
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> WalStats {
+        self.lock().stats
+    }
+
+    /// Replay the log at `path`: `(epoch, committed records, file bytes)`.
+    /// Returns `None` when the file is missing or too short to hold a
+    /// header (a crash before the first reset completed). Torn tails end
+    /// the replay at the last committed record; a record that passes its
+    /// checksum but fails to decode is reported as corruption.
+    pub fn replay(path: &Path) -> Result<Option<(u64, Vec<WalRecord>, u64)>, EngineError> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err("read", path, e)),
+        };
+        let total = bytes.len() as u64;
+        if bytes.len() < WAL_HEADER {
+            return Ok(None);
+        }
+        if &bytes[..8] != WAL_MAGIC {
+            return Err(corrupt("bad WAL magic"));
+        }
+        let epoch = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        let mut records = Vec::new();
+        let mut committed = 0usize;
+        let mut off = WAL_HEADER;
+        while bytes.len() - off >= 8 {
+            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
+            let Some(payload) = bytes.get(off + 8..off + 8 + len) else {
+                break; // torn tail: record extends past EOF
+            };
+            if crc32(payload) != crc {
+                break; // torn tail: partially written record
+            }
+            let rec = WalRecord::decode(payload)?;
+            off += 8 + len;
+            if matches!(rec, WalRecord::Commit) {
+                committed = records.len();
+            } else {
+                records.push(rec);
+            }
+        }
+        records.truncate(committed);
+        Ok(Some((epoch, records, total)))
+    }
+}
+
+/// Tiny extension so `reset` reads naturally: seek to 0 and write the
+/// header in one call.
+trait HeaderWrite {
+    fn seek_write_header(&mut self, epoch: u64) -> std::io::Result<()>;
+}
+
+impl HeaderWrite for File {
+    fn seek_write_header(&mut self, epoch: u64) -> std::io::Result<()> {
+        use std::io::Seek;
+        self.seek(std::io::SeekFrom::Start(0))?;
+        self.write_all(WAL_MAGIC)?;
+        self.write_all(&epoch.to_le_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_wal(name: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "openivm-wal-test-{}-{name}.log",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::CreateTable {
+                name: "t".into(),
+                columns: vec![
+                    Column::not_null("k", DataType::Varchar),
+                    Column::new("v", DataType::Integer),
+                ],
+                primary_key: vec![0],
+            },
+            WalRecord::Insert {
+                table: "t".into(),
+                row: vec![Value::from("a"), Value::Integer(1)],
+            },
+            WalRecord::Update {
+                table: "t".into(),
+                row_id: 0,
+                row: vec![Value::from("a"), Value::Integer(2)],
+            },
+            WalRecord::Delete {
+                table: "t".into(),
+                row_id: 0,
+            },
+            WalRecord::Truncate { table: "t".into() },
+            WalRecord::Compact { table: "t".into() },
+            WalRecord::CreateIndex {
+                table: "t".into(),
+                name: "ix".into(),
+                columns: vec![1],
+                unique: false,
+            },
+            WalRecord::DropIndex {
+                table: "t".into(),
+                name: "ix".into(),
+            },
+            WalRecord::AddPk {
+                table: "t".into(),
+                columns: vec![0],
+            },
+            WalRecord::CreateView {
+                name: "v".into(),
+                sql: "SELECT k FROM t".into(),
+            },
+            WalRecord::DropView { name: "v".into() },
+            WalRecord::DropTable { name: "t".into() },
+        ]
+    }
+
+    #[test]
+    fn every_record_roundtrips() {
+        for rec in sample_records() {
+            let mut buf = Vec::new();
+            rec.encode(&mut buf);
+            assert_eq!(WalRecord::decode(&buf).unwrap(), rec, "{rec:?}");
+            // Every strict prefix is a clean error, never a panic.
+            for cut in 0..buf.len() {
+                assert!(WalRecord::decode(&buf[..cut]).is_err(), "{rec:?} cut {cut}");
+            }
+            // Trailing garbage is rejected too.
+            buf.push(0);
+            assert!(WalRecord::decode(&buf).is_err());
+        }
+    }
+
+    #[test]
+    fn log_commit_replay() {
+        let path = temp_wal("basic");
+        let wal = Wal::open(&path, true).unwrap();
+        wal.reset(3).unwrap();
+        let recs = sample_records();
+        for r in &recs[..4] {
+            wal.log(r);
+        }
+        assert!(wal.commit().unwrap());
+        assert!(!wal.commit().unwrap(), "empty commit is skipped");
+        for r in &recs[4..] {
+            wal.log(r);
+        }
+        assert!(wal.commit().unwrap());
+        let (epoch, replayed, bytes) = Wal::replay(&path).unwrap().unwrap();
+        assert_eq!(epoch, 3);
+        assert_eq!(replayed, recs);
+        assert!(bytes > WAL_HEADER as u64);
+        let stats = wal.stats();
+        assert_eq!(stats.records, recs.len() as u64);
+        assert_eq!(stats.commits, 2);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn uncommitted_tail_is_discarded() {
+        let path = temp_wal("uncommitted");
+        let wal = Wal::open(&path, false).unwrap();
+        wal.reset(0).unwrap();
+        wal.log(&WalRecord::Truncate { table: "a".into() });
+        wal.commit().unwrap();
+        // Logged but never committed: must not replay. Force the bytes to
+        // disk without a commit marker via a second reset-open trick —
+        // drop flushes nothing, so write through the internal path.
+        wal.log(&WalRecord::Truncate { table: "b".into() });
+        {
+            let mut inner = wal.lock();
+            Wal::write_buf(&mut inner, &path).unwrap();
+        }
+        let (_, replayed, _) = Wal::replay(&path).unwrap().unwrap();
+        assert_eq!(replayed, vec![WalRecord::Truncate { table: "a".into() }]);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn torn_tail_recovers_committed_prefix_at_every_cut() {
+        let path = temp_wal("torn");
+        let wal = Wal::open(&path, false).unwrap();
+        wal.reset(1).unwrap();
+        let recs = sample_records();
+        // One commit per record → the committed prefix grows record by
+        // record and every cut point must recover some exact prefix.
+        for r in &recs {
+            wal.log(r);
+            wal.commit().unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        let mut prev_len = 0usize;
+        for cut in 0..=full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            match Wal::replay(&path).unwrap() {
+                None => assert!(cut < WAL_HEADER, "header cut {cut}"),
+                Some((epoch, replayed, _)) => {
+                    assert_eq!(epoch, 1);
+                    assert_eq!(replayed, recs[..replayed.len()], "cut {cut}");
+                    assert!(replayed.len() >= prev_len, "prefix must be monotone");
+                    prev_len = replayed.len();
+                }
+            }
+        }
+        assert_eq!(prev_len, recs.len());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn valid_crc_bad_payload_is_real_corruption() {
+        let path = temp_wal("corrupt");
+        let wal = Wal::open(&path, false).unwrap();
+        wal.reset(0).unwrap();
+        drop(wal);
+        // Hand-craft a record with a correct checksum over garbage.
+        let payload = [0xEEu8, 1, 2, 3];
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Wal::replay(&path).unwrap_err();
+        assert!(err.to_string().contains("unknown record tag"), "{err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn reset_discards_history_and_bumps_epoch() {
+        let path = temp_wal("reset");
+        let wal = Wal::open(&path, false).unwrap();
+        wal.reset(0).unwrap();
+        wal.log(&WalRecord::Truncate { table: "x".into() });
+        wal.commit().unwrap();
+        wal.reset(1).unwrap();
+        let (epoch, replayed, _) = Wal::replay(&path).unwrap().unwrap();
+        assert_eq!(epoch, 1);
+        assert!(replayed.is_empty());
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,210 @@
+//! Durable-database integration tests: open/checkpoint/close lifecycle,
+//! WAL-only recovery, residency control, corruption handling, and the
+//! in-memory/durable equivalence contract.
+
+use ivm_engine::{Database, Value};
+
+/// Fresh scratch directory for one test.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir =
+            std::env::temp_dir().join(format!("openivm-durtest-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn seed_workload(db: &mut Database) {
+    db.execute("CREATE TABLE accounts (id INTEGER PRIMARY KEY, owner VARCHAR, balance INTEGER)")
+        .unwrap();
+    db.execute("CREATE TABLE events (tag VARCHAR, amount INTEGER)")
+        .unwrap();
+    db.execute(
+        "INSERT INTO accounts VALUES (1, 'ada', 100), (2, 'bob', 50), (3, 'cyd', 75), \
+         (4, 'dee', 20)",
+    )
+    .unwrap();
+    db.execute("CREATE INDEX idx_owner ON accounts (owner)")
+        .unwrap();
+    db.execute("DELETE FROM accounts WHERE id = 2").unwrap();
+    db.execute("UPDATE accounts SET balance = balance + 5 WHERE id = 3")
+        .unwrap();
+    let values: Vec<String> = (0..50).map(|i| format!("('t{}', {i})", i % 7)).collect();
+    db.execute(&format!("INSERT INTO events VALUES {}", values.join(", ")))
+        .unwrap();
+    db.execute("CREATE VIEW rich AS SELECT owner FROM accounts WHERE balance >= 75")
+        .unwrap();
+}
+
+/// Rows *and* order: scans replay slot order, so a faithful recovery must
+/// reproduce both.
+fn observe(db: &mut Database) -> Vec<Vec<Vec<Value>>> {
+    [
+        "SELECT * FROM accounts",
+        "SELECT * FROM events",
+        "SELECT tag, SUM(amount) AS s FROM events GROUP BY tag ORDER BY tag",
+        "SELECT * FROM rich",
+    ]
+    .iter()
+    .map(|q| db.query(q).unwrap().rows)
+    .collect()
+}
+
+#[test]
+fn close_and_reopen_recovers_rows_and_order() {
+    let dir = TempDir::new("reopen");
+    let expected = {
+        let mut db = Database::open(dir.path()).unwrap();
+        assert!(db.is_durable());
+        assert_eq!(db.data_dir(), Some(dir.path()));
+        seed_workload(&mut db);
+        let snapshot = observe(&mut db);
+        db.close().unwrap();
+        snapshot
+    };
+    let mut db = Database::open(dir.path()).unwrap();
+    assert_eq!(observe(&mut db), expected);
+    // Checkpointed state has no WAL to replay.
+    assert_eq!(db.recovery_stats().unwrap().replayed_records, 0);
+    // The tombstone from the DELETE survives: slot layout is preserved.
+    let t = db.catalog().table("accounts").unwrap();
+    assert_eq!(t.total_slots(), 4);
+    assert_eq!(t.live_rows(), 3);
+    assert_eq!(t.secondary_index_names(), vec!["idx_owner".to_string()]);
+    // Recovered tables keep logging: mutate, drop without close, reopen.
+    db.execute("INSERT INTO accounts VALUES (9, 'zoe', 1)")
+        .unwrap();
+    drop(db);
+    let db = Database::open(dir.path()).unwrap();
+    assert_eq!(db.query("SELECT * FROM accounts").unwrap().rows.len(), 4);
+}
+
+#[test]
+fn wal_replay_recovers_uncheckpointed_state() {
+    let dir = TempDir::new("walonly");
+    let expected = {
+        let mut db = Database::open(dir.path()).unwrap();
+        seed_workload(&mut db);
+        let snapshot = observe(&mut db);
+        // No close(): everything after the initial (empty) checkpoint
+        // lives only in the WAL.
+        drop(db);
+        snapshot
+    };
+    let mut db = Database::open(dir.path()).unwrap();
+    assert!(db.recovery_stats().unwrap().replayed_records > 0);
+    assert_eq!(observe(&mut db), expected);
+}
+
+#[test]
+fn unload_and_reload_round_trip() {
+    let dir = TempDir::new("unload");
+    let mut db = Database::open(dir.path()).unwrap();
+    seed_workload(&mut db);
+    let before = observe(&mut db);
+
+    db.unload_table("events").unwrap();
+    // `query(&self)` cannot reload; it reports the residency problem.
+    let err = db.query("SELECT * FROM events").unwrap_err();
+    assert!(err.to_string().contains("not resident"), "{err}");
+    // Explicit reload restores the exact table.
+    db.load_table("events").unwrap();
+    assert_eq!(observe(&mut db), before);
+
+    // `execute` reloads on demand — including through views.
+    db.unload_table("accounts").unwrap();
+    assert_eq!(db.execute("SELECT * FROM rich").unwrap().rows.len(), 2);
+    assert_eq!(observe(&mut db), before);
+
+    // In-memory databases refuse residency control loudly. (Under the
+    // suite-wide OPENIVM_DATA_DIR leg `new` is durable, so the refusal
+    // only applies when it actually built an in-memory database.)
+    let mut mem = Database::new();
+    mem.execute("CREATE TABLE t (a INTEGER)").unwrap();
+    if !mem.is_durable() {
+        assert!(mem.unload_table("t").is_err());
+    }
+}
+
+#[test]
+fn torn_wal_tail_recovers_committed_prefix() {
+    let dir = TempDir::new("torn");
+    {
+        let mut db = Database::open(dir.path()).unwrap();
+        db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+        db.close().unwrap();
+    }
+    {
+        let mut db = Database::open(dir.path()).unwrap();
+        for i in 0..10 {
+            db.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+        }
+        drop(db);
+    }
+    // Cut the WAL mid-file: recovery must stop at a committed prefix —
+    // cleanly, never with a panic.
+    let wal = dir.path().join("wal.log");
+    let bytes = std::fs::read(&wal).unwrap();
+    std::fs::write(&wal, &bytes[..bytes.len() - bytes.len() / 3]).unwrap();
+    let db = Database::open(dir.path()).unwrap();
+    let rows = db.query("SELECT a FROM t ORDER BY a").unwrap().rows;
+    assert!(rows.len() < 10, "cut WAL cannot yield the full history");
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row[0], Value::Integer(i as i64), "prefix property");
+    }
+}
+
+#[test]
+fn corrupt_page_and_meta_are_clean_errors() {
+    let dir = TempDir::new("corrupt");
+    {
+        let mut db = Database::open(dir.path()).unwrap();
+        seed_workload(&mut db);
+        db.close().unwrap();
+    }
+    // Flip a byte in the page file: checksum verification must turn it
+    // into an `EngineError`, not a panic or silent garbage.
+    let pages = dir.path().join("pages.db");
+    let mut bytes = std::fs::read(&pages).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&pages, &bytes).unwrap();
+    let err = Database::open(dir.path()).unwrap_err();
+    assert!(
+        err.to_string().contains("checksum") || err.to_string().contains("corrupt"),
+        "{err}"
+    );
+}
+
+#[test]
+fn in_memory_and_durable_sessions_agree() {
+    let dir = TempDir::new("equiv");
+    let mut mem = Database::new();
+    let mut dur = Database::open(dir.path()).unwrap();
+    seed_workload(&mut mem);
+    seed_workload(&mut dur);
+    assert_eq!(observe(&mut mem), observe(&mut dur));
+    // Statements that fail half-way must leave identical state too: the
+    // second tuple violates the PK after the first was applied.
+    let stmt = "INSERT INTO accounts VALUES (8, 'kim', 1), (8, 'kim', 1)";
+    assert!(mem.execute(stmt).is_err());
+    assert!(dur.execute(stmt).is_err());
+    assert_eq!(observe(&mut mem), observe(&mut dur));
+    dur.close().unwrap();
+    // ... and the durable session's error-path state survives recovery.
+    let mut dur = Database::open(dir.path()).unwrap();
+    assert_eq!(observe(&mut mem), observe(&mut dur));
+}

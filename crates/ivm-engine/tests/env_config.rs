@@ -93,6 +93,34 @@ fn env_settings_apply_and_invalid_values_fail_loudly() {
             "{msg}"
         );
     }
+    // A valid OPENIVM_DATA_DIR makes every `new` database durable in a
+    // fresh ephemeral subdirectory of that path, removed on drop.
+    {
+        let root = std::env::temp_dir().join(format!("openivm-envdata-{}", std::process::id()));
+        std::fs::create_dir_all(&root).unwrap();
+        let root_str = root.to_str().unwrap().to_string();
+        let _d = EnvGuard::set("OPENIVM_DATA_DIR", Box::leak(root_str.into_boxed_str()));
+        let subdir;
+        {
+            let mut db = Database::new();
+            assert!(db.is_durable(), "OPENIVM_DATA_DIR must make `new` durable");
+            subdir = db.data_dir().unwrap().to_path_buf();
+            assert!(subdir.starts_with(&root), "{subdir:?} not under {root:?}");
+            db.execute("CREATE TABLE t (k INTEGER)").unwrap();
+            db.execute("INSERT INTO t VALUES (1)").unwrap();
+            assert!(subdir.join("wal.log").exists());
+        }
+        // Dropping the database removes its ephemeral subdirectory.
+        assert!(!subdir.exists(), "ephemeral data dir leaked: {subdir:?}");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+    // An empty OPENIVM_DATA_DIR is a loud startup error, not a silent
+    // fall-back to in-memory.
+    {
+        let _d = EnvGuard::set("OPENIVM_DATA_DIR", "   ");
+        let msg = new_database_panic_message().expect("blank data dir must panic");
+        assert!(msg.contains("OPENIVM_DATA_DIR"), "{msg}");
+    }
     // The spill-dir override lands in the budget's directory config, and
     // a session constrained through env actually spills into it.
     {

@@ -33,6 +33,89 @@ impl HtapPipeline {
         HtapPipeline::new(IvmFlags::paper_defaults())
     }
 
+    /// Reopen a pipeline whose OLAP side lives in a durable data
+    /// directory. The OLAP session recovers its tables and views from the
+    /// checkpoint + WAL; the OLTP row store (which stands in for an
+    /// external PostgreSQL and has no log of its own here) is rebuilt
+    /// from the recovered mirrors: each base table is recreated with the
+    /// mirror's schema, bulk-loaded from the mirror's rows, and only then
+    /// gets its capture trigger back — so recovery itself ships nothing.
+    pub fn open(
+        path: impl AsRef<std::path::Path>,
+        flags: IvmFlags,
+    ) -> Result<HtapPipeline, HtapError> {
+        let olap = IvmSession::open(path, flags)?;
+        let mut oltp = OltpEngine::new();
+        let mut bridge = Bridge::new();
+        for name in Self::mirrored_tables(&olap) {
+            let (create_sql, rows) = {
+                let table = olap.database().catalog().table(&name)?;
+                let mut cols: Vec<String> = table
+                    .schema
+                    .columns
+                    .iter()
+                    .map(|c| {
+                        let null = if c.not_null { " NOT NULL" } else { "" };
+                        format!("{} {}{null}", c.name, c.ty)
+                    })
+                    .collect();
+                if !table.primary_key.is_empty() {
+                    let keys: Vec<&str> = table
+                        .primary_key
+                        .iter()
+                        .map(|&i| table.schema.columns[i].name.as_str())
+                        .collect();
+                    cols.push(format!("PRIMARY KEY ({})", keys.join(", ")));
+                }
+                let rows: Vec<Vec<ivm_engine::Value>> = table.scan().map(|(_, row)| row).collect();
+                (format!("CREATE TABLE {name} ({})", cols.join(", ")), rows)
+            };
+            oltp.execute(&create_sql)?;
+            oltp.load_rows(&name, rows)?;
+            oltp.create_capture_trigger(&name)?;
+            bridge.track(name);
+        }
+        Ok(HtapPipeline { oltp, olap, bridge })
+    }
+
+    /// The OLAP-side tables that are OLTP mirrors: everything except
+    /// OpenIVM metadata (`_openivm_*`), IVM plumbing (`_ivm_*` staging),
+    /// materialized-view tables, and the `delta_<name>` tables shadowing
+    /// an existing table or view.
+    fn mirrored_tables(olap: &IvmSession) -> Vec<String> {
+        let catalog = olap.database().catalog();
+        let all = catalog.table_names();
+        let views: Vec<&str> = olap.views().iter().map(|v| v.name.as_str()).collect();
+        all.iter()
+            .filter(|name| {
+                if name.starts_with("_openivm_") || name.starts_with("_ivm_") {
+                    return false;
+                }
+                if views.contains(&name.as_str()) {
+                    return false;
+                }
+                if let Some(base) = name.strip_prefix("delta_") {
+                    if all.iter().any(|t| t.as_str() == base) || views.contains(&base) {
+                        return false;
+                    }
+                }
+                true
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Checkpoint the OLAP side's durable state (no-op for in-memory
+    /// pipelines).
+    pub fn checkpoint(&mut self) -> Result<(), HtapError> {
+        Ok(self.olap.checkpoint()?)
+    }
+
+    /// Checkpoint and drop the pipeline (clean shutdown).
+    pub fn close(mut self) -> Result<(), HtapError> {
+        self.checkpoint()
+    }
+
     /// Borrow the OLTP engine.
     pub fn oltp(&self) -> &OltpEngine {
         &self.oltp

@@ -122,6 +122,40 @@ impl OltpEngine {
         self.tables.get(table).map(|t| t.rows.len()).unwrap_or(0)
     }
 
+    /// Bulk-load already-committed rows into a table, bypassing change
+    /// capture and the undo log. Used when an HTAP pipeline reopens a
+    /// durable database: the OLAP side is the recovered source of truth
+    /// and its rows must reappear here without being re-captured as new
+    /// changes (which would double-apply them to the mirrors).
+    pub fn load_rows(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<(), OltpError> {
+        if self.in_txn {
+            return Err(OltpError::new("cannot bulk-load inside a transaction"));
+        }
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| OltpError::new(format!("table {table} does not exist")))?;
+        for row in rows {
+            if row.len() != t.schema.len() {
+                return Err(OltpError::new(format!(
+                    "bulk-load arity mismatch for {table}: expected {}, got {}",
+                    t.schema.len(),
+                    row.len()
+                )));
+            }
+            let id = t.next_id;
+            if let Some(key) = t.pk_key(&row) {
+                if t.pk_index.contains_key(&key) {
+                    return Err(OltpError::new(format!("duplicate key in {table}")));
+                }
+                t.pk_index.insert(key, id);
+            }
+            t.next_id += 1;
+            t.rows.insert(id, row);
+        }
+        Ok(())
+    }
+
     /// Execute one SQL statement.
     pub fn execute(&mut self, sql: &str) -> Result<OltpResult, OltpError> {
         let stmt = parse_statement(sql)?;

@@ -11,6 +11,8 @@
 //! ```
 //!
 //! `--schema`/`--view` also accept inline SQL instead of a file path.
+//! `--data-dir <dir>` compiles against the recovered catalog of a durable
+//! database directory instead of a `--schema` script.
 
 use std::process::ExitCode;
 
@@ -31,7 +33,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: openivm --schema <file|sql> --view <file|sql>
+const USAGE: &str = "usage: openivm (--schema <file|sql> | --data-dir <dir>) --view <file|sql>
        [--dialect duckdb|postgres]
        [--strategy left_join_upsert|union_regroup|full_outer_join]
        [--index inline|after_populate|none]
@@ -39,6 +41,7 @@ const USAGE: &str = "usage: openivm --schema <file|sql> --view <file|sql>
 
 fn run(args: Vec<String>) -> Result<String, String> {
     let mut schema: Option<String> = None;
+    let mut data_dir: Option<String> = None;
     let mut view: Option<String> = None;
     let mut flags = IvmFlags::paper_defaults();
     let mut it = args.into_iter();
@@ -46,6 +49,7 @@ fn run(args: Vec<String>) -> Result<String, String> {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
         match arg.as_str() {
             "--schema" => schema = Some(value("--schema")?),
+            "--data-dir" => data_dir = Some(value("--data-dir")?),
             "--view" => view = Some(value("--view")?),
             "--dialect" => {
                 let v = value("--dialect")?;
@@ -72,15 +76,25 @@ fn run(args: Vec<String>) -> Result<String, String> {
             other => return Err(format!("unknown argument {other}")),
         }
     }
-    let schema = schema.ok_or("missing --schema")?;
     let view = view.ok_or("missing --view")?;
-    let schema_sql = read_arg(&schema)?;
     let view_sql = read_arg(&view)?;
 
-    // Load the schema into a scratch engine to obtain the catalog.
-    let mut db = Database::new();
-    db.execute_script(&schema_sql)
-        .map_err(|e| format!("schema error: {e}"))?;
+    // Obtain a catalog: either load a schema script into a scratch engine
+    // or reopen a durable database and compile against its recovered state.
+    let db = match (schema, data_dir) {
+        (Some(_), Some(_)) => {
+            return Err("--schema and --data-dir are mutually exclusive".to_string())
+        }
+        (None, None) => return Err("missing --schema or --data-dir".to_string()),
+        (Some(schema), None) => {
+            let schema_sql = read_arg(&schema)?;
+            let mut db = Database::new();
+            db.execute_script(&schema_sql)
+                .map_err(|e| format!("schema error: {e}"))?;
+            db
+        }
+        (None, Some(dir)) => Database::open(&dir).map_err(|e| format!("cannot open {dir}: {e}"))?,
+    };
     let artifacts = IvmCompiler::new()
         .compile_sql(view_sql.trim().trim_end_matches(';'), db.catalog(), &flags)
         .map_err(|e| format!("compile error: {e}"))?;
