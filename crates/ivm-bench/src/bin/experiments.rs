@@ -178,7 +178,9 @@ fn edurable_json(rows: &[EDurableRow]) -> String {
             format!(
                 "  {{\"mode\": \"{}\", \"base_rows\": {}, \"delta_rows\": {}, \
                  \"batches\": {}, \"elapsed_ns\": {}, \"wal_records\": {}, \
-                 \"wal_syncs\": {}, \"wal_bytes\": {}, \"replayed_records\": {}}}",
+                 \"wal_syncs\": {}, \"wal_bytes\": {}, \"replayed_records\": {}, \
+                 \"wal_rotations\": {}, \"wal_segments\": {}, \"io_retries\": {}, \
+                 \"wal_poisoned\": {}}}",
                 r.mode,
                 r.base_rows,
                 r.delta_rows,
@@ -188,6 +190,10 @@ fn edurable_json(rows: &[EDurableRow]) -> String {
                 r.wal_syncs,
                 r.wal_bytes,
                 r.replayed_records,
+                r.wal_rotations,
+                r.wal_segments,
+                r.io_retries,
+                r.wal_poisoned,
             )
         })
         .collect();
@@ -209,6 +215,9 @@ fn print_edurable(rows: &[EDurableRow]) {
         "fsyncs",
         "wal bytes",
         "replayed",
+        "rotations",
+        "segments",
+        "retries",
     ]);
     for r in rows {
         report.row(&[
@@ -219,6 +228,9 @@ fn print_edurable(rows: &[EDurableRow]) {
             r.wal_syncs.to_string(),
             r.wal_bytes.to_string(),
             r.replayed_records.to_string(),
+            r.wal_rotations.to_string(),
+            r.wal_segments.to_string(),
+            r.io_retries.to_string(),
         ]);
     }
     println!("{}", report.render());

@@ -53,8 +53,7 @@
 //! middle — one hash per key, everywhere.
 
 use std::collections::{BinaryHeap, VecDeque};
-use std::fs::File;
-use std::io::{BufReader, Read, Write};
+use std::io::{BufReader, Read};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
@@ -64,6 +63,7 @@ use crate::error::EngineError;
 use crate::exec::batch::RowBatch;
 use crate::exec::Row;
 use crate::storage::frame;
+use crate::storage::io::{self as sio, FileHandle, OpenMode};
 use crate::value::Value;
 
 /// Radix bits per spill level: 16 partitions per level.
@@ -158,7 +158,7 @@ impl SpillStats {
 
 #[derive(Debug)]
 struct SlotState {
-    file: Option<File>,
+    file: Option<FileHandle>,
     pending: usize,
     error: Option<String>,
 }
@@ -192,7 +192,7 @@ fn writer_loop(rx: Receiver<IoMsg>, stats: Arc<StatCells>, inflight: Arc<AtomicU
             IoMsg::Frame { slot, bytes } => {
                 let start = std::time::Instant::now();
                 {
-                    let mut st = slot.state.lock().unwrap();
+                    let mut st = slot.state.lock().unwrap_or_else(|e| e.into_inner());
                     if st.error.is_none() {
                         if let Some(file) = st.file.as_mut() {
                             if let Err(e) = file.write_all(&bytes) {
@@ -305,12 +305,20 @@ impl MemoryBudget {
 
     /// Set the directory spill files are created in.
     pub fn set_spill_dir(&self, dir: PathBuf) {
-        *self.inner.spill_dir.lock().unwrap() = dir;
+        *self
+            .inner
+            .spill_dir
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = dir;
     }
 
     /// The directory spill files are created in.
     pub fn spill_dir(&self) -> PathBuf {
-        self.inner.spill_dir.lock().unwrap().clone()
+        self.inner
+            .spill_dir
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Snapshot the spill/rehydrate counters.
@@ -334,7 +342,7 @@ impl MemoryBudget {
     /// The background writer's queue handle, starting the thread on
     /// first use.
     fn io(&self) -> Result<(SyncSender<IoMsg>, Arc<AtomicU64>), EngineError> {
-        let mut guard = self.inner.io.lock().unwrap();
+        let mut guard = self.inner.io.lock().unwrap_or_else(|e| e.into_inner());
         if guard.is_none() {
             let (tx, rx) = std::sync::mpsc::sync_channel::<IoMsg>(SPILL_QUEUE_FRAMES);
             let stats = Arc::clone(&self.inner.stats);
@@ -352,7 +360,9 @@ impl MemoryBudget {
                 inflight,
             });
         }
-        let io = guard.as_ref().expect("just initialized");
+        let io = guard
+            .as_ref()
+            .ok_or_else(|| EngineError::execution("spill writer thread is not running"))?;
         Ok((io.tx.clone(), Arc::clone(&io.inflight)))
     }
 
@@ -409,14 +419,15 @@ fn spill_owner_alive(pid: u32) -> bool {
 /// Returns the number of files removed; all I/O errors are swallowed
 /// (cleanup is best-effort and races with concurrent databases).
 pub fn clean_orphan_spill_files(dir: &Path) -> usize {
-    let Ok(entries) = std::fs::read_dir(dir) else {
+    let Ok(entries) = sio::read_dir(dir) else {
         return 0;
     };
     let own_pid = std::process::id();
     let mut removed = 0;
-    for entry in entries.flatten() {
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
         let Some(pid) = name
             .strip_prefix("openivm-spill-")
             .and_then(|r| r.strip_suffix(".bin"))
@@ -428,7 +439,7 @@ pub fn clean_orphan_spill_files(dir: &Path) -> usize {
         if pid == own_pid || spill_owner_alive(pid) {
             continue;
         }
-        if std::fs::remove_file(entry.path()).is_ok() {
+        if sio::remove_file(&path).is_ok() {
             removed += 1;
         }
     }
@@ -480,7 +491,7 @@ impl SpillWriter {
     /// directory fails here, synchronously; device-level errors (ENOSPC)
     /// surface later through the async error path.
     fn create_at(path: PathBuf, budget: &MemoryBudget) -> Result<SpillWriter, EngineError> {
-        let file = File::create(&path)
+        let file = sio::open(&path, OpenMode::Create)
             .map_err(|e| EngineError::execution(format!("cannot create spill file: {e}")))?;
         let (tx, inflight) = budget.io()?;
         budget
@@ -516,7 +527,7 @@ impl SpillWriter {
 
     fn enqueue(&mut self, bytes: Vec<u8>) -> Result<(), EngineError> {
         {
-            let mut st = self.slot.state.lock().unwrap();
+            let mut st = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(e) = &st.error {
                 return Err(EngineError::execution(format!("spill write failed: {e}")));
             }
@@ -552,17 +563,17 @@ impl SpillWriter {
     /// seal into a readable [`SpillFile`].
     pub(crate) fn finish(mut self) -> Result<SpillFile, EngineError> {
         let file = {
-            let mut st = self.slot.state.lock().unwrap();
+            let mut st = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
             while st.pending > 0 {
-                st = self.slot.cv.wait(st).unwrap();
+                st = self.slot.cv.wait(st).unwrap_or_else(|e| e.into_inner());
             }
             if let Some(e) = st.error.take() {
                 return Err(EngineError::execution(format!("spill write failed: {e}")));
             }
             st.file.take()
         };
-        if let Some(file) = file {
-            file.sync_all()
+        if let Some(mut file) = file {
+            file.sync_data()
                 .map_err(|e| EngineError::execution(format!("spill fsync failed: {e}")))?;
         }
         Ok(SpillFile {
@@ -577,8 +588,12 @@ impl Drop for SpillWriter {
         // Abandoned writers (error paths) must not leak their file; any
         // still-queued frames find the slot closed and are discarded.
         if !self.path.as_os_str().is_empty() {
-            let _ = std::fs::remove_file(&self.path);
-            self.slot.state.lock().unwrap().file = None;
+            let _ = sio::remove_file(&self.path);
+            self.slot
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .file = None;
         }
     }
 }
@@ -603,7 +618,7 @@ impl SpillFile {
         mut f: impl FnMut(Vec<Row>) -> Result<(), EngineError>,
     ) -> Result<(), EngineError> {
         let stats = &budget.inner.stats;
-        let file = File::open(&self.path)
+        let file = sio::open(&self.path, OpenMode::ReadOnly)
             .map_err(|e| EngineError::execution(format!("cannot reopen spill file: {e}")))?;
         let mut r = CountingReader {
             inner: BufReader::new(file),
@@ -623,7 +638,7 @@ impl SpillFile {
 
 impl Drop for SpillFile {
     fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.path);
+        let _ = sio::remove_file(&self.path);
     }
 }
 
@@ -632,7 +647,7 @@ impl Drop for SpillFile {
 /// frame in memory.
 pub(crate) struct SpillReader {
     _file: SpillFile,
-    r: CountingReader<BufReader<File>>,
+    r: CountingReader<BufReader<FileHandle>>,
     stats: Arc<StatCells>,
     counted: u64,
 }
@@ -641,7 +656,7 @@ impl SpillReader {
     pub(crate) fn open(file: SpillFile, budget: &MemoryBudget) -> Result<SpillReader, EngineError> {
         let stats = Arc::clone(&budget.inner.stats);
         stats.rehydrated_partitions.fetch_add(1, Ordering::Relaxed);
-        let f = File::open(&file.path)
+        let f = sio::open(&file.path, OpenMode::ReadOnly)
             .map_err(|e| EngineError::execution(format!("cannot reopen spill file: {e}")))?;
         let mut r = CountingReader {
             inner: BufReader::new(f),

@@ -210,6 +210,10 @@ pub struct Database {
     /// Depth of open [`begin_atomic`](Database::begin_atomic) batches;
     /// while positive, per-statement WAL commits are deferred.
     atomic_depth: u32,
+    /// Checkpoint automatically once the WAL has this many bytes
+    /// (`None` = only explicit checkpoints). Checked after each
+    /// statement-level commit, outside atomic batches.
+    auto_checkpoint_bytes: Option<u64>,
     /// Removes the (env-driven, per-database) data directory on drop.
     /// Declared after `durability` so files are closed first.
     ephemeral_dir: Option<EphemeralDir>,
@@ -261,6 +265,7 @@ impl Database {
             plan_cache_hits: 0,
             durability: None,
             atomic_depth: 0,
+            auto_checkpoint_bytes: None,
             ephemeral_dir: None,
         }
     }
@@ -279,8 +284,17 @@ impl Database {
     /// commit from here on. Tables, views, and row ids come back exactly
     /// as of the last committed statement.
     pub fn open(path: impl AsRef<std::path::Path>) -> Result<Database, EngineError> {
+        Database::open_with_options(path, DurabilityOptions::default())
+    }
+
+    /// [`Database::open`] with explicit durability tuning (fsync policy,
+    /// buffer pool size, WAL segment size bound).
+    pub fn open_with_options(
+        path: impl AsRef<std::path::Path>,
+        opts: DurabilityOptions,
+    ) -> Result<Database, EngineError> {
         let mut db = Database::base();
-        db.open_at(path.as_ref(), DurabilityOptions::default())?;
+        db.open_at(path.as_ref(), opts)?;
         Ok(db)
     }
 
@@ -321,9 +335,70 @@ impl Database {
         }
     }
 
-    /// Checkpoint and drop the database (the clean shutdown path).
+    /// Checkpoint and drop the database (the clean shutdown path). When
+    /// the WAL is poisoned (read-only degraded mode after a commit-path
+    /// I/O failure) the checkpoint is skipped and close still succeeds:
+    /// the durable state on disk is exactly the last acknowledged commit.
     pub fn close(mut self) -> Result<(), EngineError> {
+        if self.is_degraded() {
+            return Ok(());
+        }
         self.checkpoint()
+    }
+
+    /// Whether the database has dropped into read-only degraded mode: a
+    /// WAL commit-path write or fsync failed, so DML is refused (queries
+    /// keep working) until the database is reopened.
+    pub fn is_degraded(&self) -> bool {
+        self.durability
+            .as_ref()
+            .is_some_and(Durability::wal_poisoned)
+    }
+
+    /// Checkpoint automatically once the WAL holds `bytes` (`None`
+    /// disables, the default). Checked after each statement-level commit,
+    /// outside atomic batches — the knob that keeps a long uncheckpointed
+    /// run from accumulating unbounded WAL segments.
+    pub fn set_auto_checkpoint(&mut self, bytes: Option<u64>) {
+        self.auto_checkpoint_bytes = bytes;
+    }
+
+    /// Refuse mutating statements in degraded mode with a clean error.
+    fn degraded_gate(&self, stmt: &Statement) -> Result<(), EngineError> {
+        let mutates = !matches!(
+            stmt,
+            Statement::Query(_)
+                | Statement::Explain(_)
+                | Statement::Begin
+                | Statement::Commit
+                | Statement::Rollback
+        );
+        if mutates && self.is_degraded() {
+            return Err(EngineError::execution(
+                "database is in read-only degraded mode (WAL commit failed); \
+                 reopen it to resume writes",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Statement-level durability epilogue: commit the WAL, then take the
+    /// size-triggered auto-checkpoint when configured.
+    fn commit_statement(&mut self) -> Result<(), EngineError> {
+        self.wal_commit()?;
+        if let Some(threshold) = self.auto_checkpoint_bytes {
+            if self.atomic_depth == 0 && !self.is_degraded() {
+                let bytes = self
+                    .durability
+                    .as_ref()
+                    .map(|d| d.wal_stats().bytes_written)
+                    .unwrap_or(0);
+                if bytes >= threshold {
+                    self.checkpoint()?;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Make the current WAL statement durable (group-commit point). The
@@ -647,9 +722,10 @@ impl Database {
     /// because in-memory semantics keep the applied prefix of a partially
     /// failed statement, and recovery must reproduce exactly that state.
     pub fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult, EngineError> {
+        self.degraded_gate(stmt)?;
         self.ensure_resident_for(stmt)?;
         let result = self.execute_statement_inner(stmt);
-        let commit = self.wal_commit();
+        let commit = self.commit_statement();
         match result {
             Err(e) => Err(e),
             Ok(r) => commit.map(|()| r),
@@ -786,6 +862,7 @@ impl Database {
         cache_key: &str,
         stmt: &Statement,
     ) -> Result<QueryResult, EngineError> {
+        self.degraded_gate(stmt)?;
         self.ensure_resident_for(stmt)?;
         let result = match stmt {
             Statement::Query(q) => {
@@ -801,7 +878,7 @@ impl Database {
             }
             _ => self.execute_statement_inner(stmt),
         };
-        let commit = self.wal_commit();
+        let commit = self.commit_statement();
         match result {
             Err(e) => Err(e),
             Ok(r) => commit.map(|()| r),

@@ -19,12 +19,12 @@
 //! last durable catalog still points at.
 
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::SeekFrom;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use crate::error::EngineError;
+use crate::storage::io::{self, FileHandle, OpenMode};
 use crate::storage::page::{self, PAGE_SIZE};
 
 fn io_err(op: &str, path: &Path, e: std::io::Error) -> EngineError {
@@ -37,29 +37,26 @@ fn io_err(op: &str, path: &Path, e: std::io::Error) -> EngineError {
 /// The on-disk page store: a flat file of fixed-size pages.
 #[derive(Debug)]
 pub struct PageFile {
-    file: File,
+    file: FileHandle,
     path: PathBuf,
     num_pages: u64,
 }
 
 impl PageFile {
-    /// Open (creating if missing) the page file at `path`. A file whose
-    /// length is not a whole number of pages is reported as corruption.
+    /// Open (creating if missing) the page file at `path`. A trailing
+    /// partial page is a torn tail from a crashed shadow write — the
+    /// published checkpoint never references past-the-end pages, so it
+    /// is truncated away rather than treated as corruption (which would
+    /// wedge recovery on an otherwise intact checkpoint).
     pub fn open(path: impl Into<PathBuf>) -> Result<PageFile, EngineError> {
         let path = path.into();
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&path)
-            .map_err(|e| io_err("open", &path, e))?;
-        let len = file.metadata().map_err(|e| io_err("stat", &path, e))?.len();
+        let mut file =
+            io::open(&path, OpenMode::ReadWrite).map_err(|e| io_err("open", &path, e))?;
+        let mut len = file.len().map_err(|e| io_err("stat", &path, e))?;
         if len % PAGE_SIZE as u64 != 0 {
-            return Err(EngineError::execution(format!(
-                "corrupt page file {}: length {len} is not a multiple of the page size",
-                path.display()
-            )));
+            len -= len % PAGE_SIZE as u64;
+            file.set_len(len)
+                .map_err(|e| io_err("truncate", &path, e))?;
         }
         Ok(PageFile {
             file,
@@ -474,6 +471,32 @@ mod tests {
         let pool = BufferPool::new(PageFile::open(&path).unwrap(), 4);
         let err = pool.pin(id).unwrap_err();
         assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn torn_trailing_partial_page_is_truncated_on_open() {
+        let (pool, path) = temp_pool("tail", 4);
+        let pin = pool.allocate().unwrap();
+        let id = pin.page_id();
+        pin.with_mut(|p| init_heap(p, 1));
+        drop(pin);
+        pool.flush_all().unwrap();
+        drop(pool);
+        // A crashed shadow write leaves a partial page past the end.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0xAB; PAGE_SIZE / 2]);
+        std::fs::write(&path, &bytes).unwrap();
+        let file = PageFile::open(&path).unwrap();
+        assert_eq!(file.num_pages(), 1, "torn tail must be dropped");
+        let pool = BufferPool::new(file, 4);
+        pool.pin(id).unwrap();
+        drop(pool);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            PAGE_SIZE as u64,
+            "open must truncate the torn tail on disk"
+        );
         let _ = std::fs::remove_file(path);
     }
 }

@@ -5,7 +5,8 @@
 //! ```text
 //! <dir>/pages.db       fixed-size slotted pages (tables at rest)
 //! <dir>/catalog.meta   the last checkpoint: epoch, table metas, views
-//! <dir>/wal.log        redo records since that checkpoint
+//! <dir>/wal.NNNN.log   redo segments since that checkpoint (rotated at
+//!                      a size bound; a legacy single wal.log replays)
 //! ```
 //!
 //! **Checkpoint** is shadow-paged: dirty tables (detected via the
@@ -44,14 +45,13 @@ use crate::schema::{Column, Schema};
 use crate::storage::buffer::{BufferPool, BufferPoolStats, PageFile, PinnedPage};
 use crate::storage::checksum::crc32;
 use crate::storage::frame;
+use crate::storage::io::{self, OpenMode};
 use crate::storage::page::{self, HEAP_TUPLE_CAP, NO_PAGE, OVERFLOW_CAP};
 use crate::storage::table::Table;
 use crate::storage::wal::{self, Wal, WalRecord, WalStats};
 
 /// File name of the page store inside a data directory.
 pub const PAGES_FILE: &str = "pages.db";
-/// File name of the write-ahead log inside a data directory.
-pub const WAL_FILE: &str = "wal.log";
 /// File name of the checkpointed catalog inside a data directory.
 pub const META_FILE: &str = "catalog.meta";
 
@@ -84,6 +84,9 @@ pub struct DurabilityOptions {
     /// Buffer pool capacity in frames (bounds checkpoint/recovery I/O
     /// memory at `pool_pages` × 8 KiB).
     pub pool_pages: usize,
+    /// WAL segment size bound: after a commit leaves the active segment
+    /// at or past this many bytes, the log rotates to a fresh segment.
+    pub wal_segment_bytes: u64,
 }
 
 impl Default for DurabilityOptions {
@@ -91,6 +94,7 @@ impl Default for DurabilityOptions {
         DurabilityOptions {
             sync_on_commit: true,
             pool_pages: 1024, // 8 MiB of page cache
+            wal_segment_bytes: wal::DEFAULT_SEGMENT_BYTES,
         }
     }
 }
@@ -160,9 +164,9 @@ impl Durability {
         opts: DurabilityOptions,
     ) -> Result<(Durability, Catalog), EngineError> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir).map_err(|e| io_err("create dir", &dir, e))?;
+        io::create_dir_all(&dir).map_err(|e| io_err("create dir", &dir, e))?;
         let meta_path = dir.join(META_FILE);
-        let meta = match std::fs::read(&meta_path) {
+        let meta = match io::read(&meta_path) {
             Ok(bytes) => Some(decode_meta(&bytes)?),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
             Err(e) => return Err(io_err("read meta", &meta_path, e)),
@@ -201,7 +205,7 @@ impl Durability {
                 catalog.create_view(name, parse_view_sql(&sql)?)?;
             }
         }
-        match Wal::replay(&dir.join(WAL_FILE))? {
+        match Wal::replay(&dir)? {
             Some((wal_epoch, records, bytes)) if wal_epoch == epoch => {
                 recovery.replayed_records = records.len() as u64;
                 recovery.wal_bytes = bytes;
@@ -222,7 +226,11 @@ impl Durability {
             // reset). Missing/headerless: nothing to replay.
             _ => {}
         }
-        let wal = Arc::new(Wal::open(dir.join(WAL_FILE), opts.sync_on_commit)?);
+        let wal = Arc::new(Wal::open(
+            &dir,
+            opts.sync_on_commit,
+            opts.wal_segment_bytes,
+        )?);
         let mut d = Durability {
             dir,
             pool,
@@ -270,6 +278,12 @@ impl Durability {
     /// Commit the current WAL statement (group-commit durability point).
     pub fn wal_commit(&self) -> Result<(), EngineError> {
         self.wal.commit().map(|_| ())
+    }
+
+    /// Whether the WAL has poisoned itself after a commit-path write or
+    /// fsync failure (the database must degrade to read-only).
+    pub fn wal_poisoned(&self) -> bool {
+        self.wal.poisoned()
     }
 
     /// Whether `generation` matches the table's last checkpoint (i.e. the
@@ -327,17 +341,14 @@ impl Durability {
             new_snaps.insert(name, s.clone());
         }
         self.pool.flush_all()?;
-        let views: Vec<(String, String)> = catalog
-            .view_names()
-            .into_iter()
-            .map(|n| {
-                let sql = ivm_sql::print_query(
-                    catalog.view(&n).expect("view_names listed it"),
-                    Dialect::DuckDb,
-                );
-                (n, sql)
-            })
-            .collect();
+        let mut views: Vec<(String, String)> = Vec::new();
+        for n in catalog.view_names() {
+            let query = catalog.view(&n).ok_or_else(|| {
+                EngineError::execution(format!("view {n} vanished during checkpoint"))
+            })?;
+            let sql = ivm_sql::print_query(query, Dialect::DuckDb);
+            views.push((n, sql));
+        }
         write_meta(&self.dir, next_epoch, &new_snaps, &views)?;
         self.wal.reset(next_epoch)?;
         self.epoch = next_epoch;
@@ -689,16 +700,17 @@ fn write_meta(
     let tmp = dir.join(format!("{META_FILE}.tmp"));
     let final_path = dir.join(META_FILE);
     {
-        let mut f = std::fs::File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
-        use std::io::Write;
+        let mut f = io::open(&tmp, OpenMode::Create).map_err(|e| io_err("create", &tmp, e))?;
         f.write_all(&out).map_err(|e| io_err("write", &tmp, e))?;
         f.sync_data().map_err(|e| io_err("fsync", &tmp, e))?;
     }
-    std::fs::rename(&tmp, &final_path).map_err(|e| io_err("rename", &final_path, e))?;
-    // fsync the directory so the rename itself is durable.
-    if let Ok(d) = std::fs::File::open(dir) {
-        let _ = d.sync_all();
-    }
+    io::rename(&tmp, &final_path).map_err(|e| io_err("rename", &final_path, e))?;
+    // fsync the directory so the rename itself is durable across power
+    // loss — checked, not best-effort: a checkpoint that cannot prove
+    // its publish durable must fail. Failing here is safe either way:
+    // whichever meta survives a crash, the epoch protocol discards or
+    // replays the WAL to match.
+    io::sync_dir(dir).map_err(|e| io_err("fsync dir", dir, e))?;
     Ok(())
 }
 

@@ -6,6 +6,7 @@ pub mod buffer;
 pub mod checksum;
 pub mod durability;
 pub mod frame;
+pub mod io;
 pub mod page;
 pub mod wal;
 
@@ -13,5 +14,9 @@ mod table;
 
 pub use buffer::{BufferPool, BufferPoolStats, PageFile, PinnedPage};
 pub use durability::{Durability, DurabilityOptions, RecoveryStats, TableMeta};
+pub use io::{
+    parse_fault_plan_setting, set_fault_plan, FaultKind, FaultPlan, OpClass, Trigger,
+    FAULT_PLAN_ENV,
+};
 pub use table::{MorselCursor, Table};
 pub use wal::{Wal, WalRecord, WalStats};

@@ -1,11 +1,14 @@
 //! ARIES-lite write-ahead log: logical redo records + committed-prefix
-//! replay.
+//! replay, split across size-bounded segments.
 //!
-//! The log is a header (`magic`, `epoch`) followed by CRC-framed records:
+//! The log is a sequence of segment files `wal.0001.log`, `wal.0002.log`,
+//! … in the data directory (a legacy single `wal.log` from older layouts
+//! is accepted as segment 0). Each segment is a header (`magic`, `epoch`)
+//! followed by CRC-framed records:
 //!
 //! ```text
-//! file   := MAGIC epoch:u64 record*
-//! record := len:u32 crc:u32 payload   (crc = crc32(payload))
+//! segment := MAGIC epoch:u64 record*
+//! record  := len:u32 crc:u32 payload   (crc = crc32(payload))
 //! ```
 //!
 //! Records are *logical redo*: one per row mutation or DDL action, with a
@@ -17,19 +20,34 @@
 //! [`Wal::commit`] appends the marker, writes, and optionally fsyncs —
 //! one durability point per statement, many records per write.
 //!
+//! **Rotation.** After a successful commit that leaves the active segment
+//! at or past the configured size bound, the log rotates: the next
+//! segment is created with the current epoch's header, fsynced, and its
+//! directory entry fsynced. A failed rotation is tolerated silently — the
+//! committed data is already durable in the active segment, so the log
+//! simply stays on it and retries at the next commit. Replay walks the
+//! segments in order and tolerates a torn tail only in the *last* one; a
+//! torn frame in an earlier segment is real corruption.
+//!
 //! The *epoch* ties a log to the checkpoint it extends: every checkpoint
 //! bumps the epoch, rewrites `catalog.meta` (atomic rename), and resets
-//! the log with the new epoch in its header. Replay compares epochs and
-//! discards a log older than the catalog meta — the crash window between
-//! the meta rename and the log reset is thereby safe.
+//! the log — higher segments are removed *first* (so every crash window
+//! leaves an epoch-uniform log), then segment 1 is truncated and given
+//! the new epoch. Replay compares epochs and discards a log older than
+//! the catalog meta — the crash window between the meta rename and the
+//! log reset is thereby safe.
 //!
+//! **Poisoning.** Any write or fsync failure inside [`Wal::commit`] marks
+//! the log poisoned: the buffered records were consumed and a torn frame
+//! may sit on disk, so acknowledging any later commit would risk silent
+//! loss. A poisoned log refuses further commits (and resets) with a clean
+//! error; the session layer turns that into read-only degraded mode.
 //! Torn tails (truncated record, checksum mismatch) end replay at the
 //! last intact committed record — that is a *normal* crash artifact, not
 //! an error. A record whose checksum verifies but whose payload does not
 //! decode is real corruption and comes back as a clean [`EngineError`].
 
-use std::fs::{File, OpenOptions};
-use std::io::{Cursor, Read, Write};
+use std::io::{Cursor, Read, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
@@ -37,6 +55,7 @@ use crate::error::EngineError;
 use crate::schema::Column;
 use crate::storage::checksum::crc32;
 use crate::storage::frame;
+use crate::storage::io::{self, FileHandle, OpenMode};
 use crate::types::DataType;
 use crate::value::Value;
 
@@ -45,6 +64,14 @@ pub const WAL_MAGIC: &[u8; 8] = b"OIVMWAL1";
 
 /// Header bytes: magic + epoch.
 pub const WAL_HEADER: usize = 16;
+
+/// Default segment size bound: rotate after the active segment reaches
+/// this many bytes.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 16 << 20;
+
+/// File name of the pre-segmentation single-file layout, still accepted
+/// by [`Wal::replay`] as segment 0.
+pub const LEGACY_WAL_FILE: &str = "wal.log";
 
 /// Buffered bytes above which [`Wal::log`] writes through to the file
 /// (without committing) so huge statements don't balloon memory.
@@ -444,15 +471,32 @@ pub struct WalStats {
     pub records: u64,
     /// Commit points (markers actually written; empty commits skipped).
     pub commits: u64,
-    /// fsyncs issued.
+    /// fsyncs issued (file and directory).
     pub syncs: u64,
     /// Bytes appended to the log since it was opened or last reset.
     pub bytes_written: u64,
+    /// Transient-error I/O retries, process-wide (snapshot of
+    /// [`io::retries`] at the time of the stats call).
+    pub retries: u64,
+    /// Segment rotations performed since open.
+    pub rotations: u64,
+    /// Live segment files (1 after a reset; grows with each rotation).
+    pub segments: u64,
+    /// Whether the log is poisoned (a commit-path write or fsync failed;
+    /// the database is in read-only degraded mode).
+    pub poisoned: bool,
 }
 
 #[derive(Debug)]
 struct WalInner {
-    file: File,
+    file: FileHandle,
+    /// Index of the active segment (1-based; 0 = legacy `wal.log`).
+    seg_index: u64,
+    /// Bytes in the active segment, including any appended after an
+    /// errored write (approximation is fine: the log poisons on error).
+    seg_size: u64,
+    /// Epoch written into segment headers (set by [`Wal::reset`]).
+    epoch: u64,
     /// Encoded frames not yet written to the file.
     buf: Vec<u8>,
     /// Records logged since the last commit marker.
@@ -460,65 +504,151 @@ struct WalInner {
     /// I/O error from an opportunistic mid-statement flush, surfaced at
     /// the next [`Wal::commit`].
     deferred: Option<EngineError>,
+    /// Why the log refuses further commits, once a commit-path write or
+    /// fsync has failed.
+    poisoned: Option<String>,
     stats: WalStats,
 }
 
-/// A write-ahead log handle. Shared as `Arc<Wal>` by every table of a
-/// durable catalog; interior mutability makes [`log`](Wal::log)
-/// callable from `&self` hooks deep inside row mutations.
+impl WalInner {
+    fn poison(&mut self, why: String) {
+        self.buf.clear();
+        self.pending = false;
+        self.stats.poisoned = true;
+        self.poisoned.get_or_insert(why);
+    }
+}
+
+/// A write-ahead log handle over a directory of segment files. Shared as
+/// `Arc<Wal>` by every table of a durable catalog; interior mutability
+/// makes [`log`](Wal::log) callable from `&self` hooks deep inside row
+/// mutations.
 #[derive(Debug)]
 pub struct Wal {
-    path: PathBuf,
+    dir: PathBuf,
     sync_on_commit: bool,
+    segment_bytes: u64,
     inner: Mutex<WalInner>,
 }
 
+/// Path of segment `index` inside `dir` (`wal.0001.log`, …; index 0 is
+/// the legacy single-file name).
+pub fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    if index == 0 {
+        dir.join(LEGACY_WAL_FILE)
+    } else {
+        dir.join(format!("wal.{index:04}.log"))
+    }
+}
+
+/// Segment files present in `dir`, as `(index, path)` sorted by index.
+/// A legacy `wal.log` sorts first as index 0.
+fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, EngineError> {
+    let entries = match io::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(io_err("list", dir, e)),
+    };
+    let mut segs = Vec::new();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if name == LEGACY_WAL_FILE {
+            segs.push((0, path));
+        } else if let Some(digits) = name
+            .strip_prefix("wal.")
+            .and_then(|rest| rest.strip_suffix(".log"))
+        {
+            if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) {
+                if let Ok(idx) = digits.parse::<u64>() {
+                    segs.push((idx, path));
+                }
+            }
+        }
+    }
+    segs.sort_by_key(|&(idx, _)| idx);
+    Ok(segs)
+}
+
 impl Wal {
-    /// Open (creating if missing) the log at `path` for appending. The
-    /// file is not touched until [`reset`](Wal::reset) — callers replay
-    /// first, then reset with a fresh epoch.
-    pub fn open(path: impl Into<PathBuf>, sync_on_commit: bool) -> Result<Wal, EngineError> {
-        let path = path.into();
-        let file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&path)
-            .map_err(|e| io_err("open", &path, e))?;
+    /// Open the log in `dir`, attaching to the highest existing segment
+    /// (creating `wal.0001.log` if none exist). The files are not
+    /// modified until [`reset`](Wal::reset) — callers replay first, then
+    /// reset with a fresh epoch.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        sync_on_commit: bool,
+        segment_bytes: u64,
+    ) -> Result<Wal, EngineError> {
+        let dir = dir.into();
+        let segs = list_segments(&dir)?;
+        let (seg_index, path) = match segs.last() {
+            Some((idx, path)) => (*idx, path.clone()),
+            None => (1, segment_path(&dir, 1)),
+        };
+        let mut file =
+            io::open(&path, OpenMode::ReadWrite).map_err(|e| io_err("open", &path, e))?;
+        let seg_size = file.len().map_err(|e| io_err("stat", &path, e))?;
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| io_err("seek", &path, e))?;
         Ok(Wal {
-            path,
+            dir,
             sync_on_commit,
+            segment_bytes,
             inner: Mutex::new(WalInner {
                 file,
+                seg_index,
+                seg_size,
+                epoch: 0,
                 buf: Vec::new(),
                 pending: false,
                 deferred: None,
-                stats: WalStats::default(),
+                poisoned: None,
+                stats: WalStats {
+                    segments: segs.len().max(1) as u64,
+                    ..WalStats::default()
+                },
             }),
         })
     }
 
-    /// Truncate the log and write a fresh `epoch` header (fsynced). Called
-    /// by every checkpoint after the catalog meta rename.
+    /// Discard all segments and start a fresh epoch: higher segments (and
+    /// a legacy `wal.log`) are removed *first*, then segment 1 is
+    /// truncated, given the new header, fsynced, and its directory entry
+    /// fsynced. Called by every checkpoint after the catalog meta rename;
+    /// the remove-first ordering keeps every crash window epoch-uniform.
     pub fn reset(&self, epoch: u64) -> Result<(), EngineError> {
         let mut inner = self.lock();
+        if let Some(why) = &inner.poisoned {
+            return Err(EngineError::execution(format!("WAL is poisoned: {why}")));
+        }
         inner.buf.clear();
         inner.pending = false;
         inner.deferred = None;
-        inner
-            .file
-            .set_len(0)
-            .map_err(|e| io_err("truncate", &self.path, e))?;
-        inner
-            .file
-            .seek_write_header(epoch)
-            .map_err(|e| io_err("header", &self.path, e))?;
-        inner
-            .file
-            .sync_data()
-            .map_err(|e| io_err("fsync", &self.path, e))?;
-        inner.stats.syncs += 1;
+        for (idx, path) in list_segments(&self.dir)?.into_iter().rev() {
+            if idx != 1 {
+                match io::remove_file(&path) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(io_err("remove segment", &path, e)),
+                }
+            }
+        }
+        let path = segment_path(&self.dir, 1);
+        let mut file =
+            io::open(&path, OpenMode::ReadWrite).map_err(|e| io_err("open", &path, e))?;
+        file.set_len(0).map_err(|e| io_err("truncate", &path, e))?;
+        write_header(&mut file, epoch).map_err(|e| io_err("header", &path, e))?;
+        file.sync_data().map_err(|e| io_err("fsync", &path, e))?;
+        io::sync_dir(&self.dir).map_err(|e| io_err("fsync dir", &self.dir, e))?;
+        inner.file = file;
+        inner.seg_index = 1;
+        inner.seg_size = WAL_HEADER as u64;
+        inner.epoch = epoch;
+        inner.stats.syncs += 2;
         inner.stats.bytes_written = WAL_HEADER as u64;
+        inner.stats.segments = 1;
         Ok(())
     }
 
@@ -526,13 +656,23 @@ impl Wal {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Whether the log has refused a commit and entered the poisoned
+    /// (read-only degraded) state.
+    pub fn poisoned(&self) -> bool {
+        self.lock().poisoned.is_some()
+    }
+
     /// Append one framed record to the in-memory buffer. Never blocks on
     /// I/O and never fails: oversized buffers are opportunistically
     /// written through, with any I/O error deferred to the next
     /// [`commit`](Wal::commit) — the hook sites inside row mutations have
-    /// no error channel.
+    /// no error channel. A poisoned log drops the record (the session
+    /// layer rejects the owning statement before acknowledging it).
     pub fn log(&self, rec: &WalRecord) {
         let mut inner = self.lock();
+        if inner.poisoned.is_some() {
+            return;
+        }
         let start = inner.buf.len();
         inner.buf.extend_from_slice(&[0u8; 8]); // frame placeholder
         let rec_start = inner.buf.len();
@@ -549,32 +689,43 @@ impl Wal {
             inner.stats.records += 1;
         }
         if inner.buf.len() >= FLUSH_THRESHOLD {
-            if let Err(e) = Self::write_buf(&mut inner, &self.path) {
+            if let Err(e) = Self::write_buf(&mut inner) {
                 inner.deferred.get_or_insert(e);
             }
         }
     }
 
-    fn write_buf(inner: &mut WalInner, path: &Path) -> Result<(), EngineError> {
+    fn write_buf(inner: &mut WalInner) -> Result<(), EngineError> {
         if inner.buf.is_empty() {
             return Ok(());
         }
         let buf = std::mem::take(&mut inner.buf);
-        let res = inner
-            .file
-            .write_all(&buf)
-            .map_err(|e| io_err("append", path, e));
+        let res = inner.file.write_all(&buf);
         inner.stats.bytes_written += buf.len() as u64;
-        res
+        inner.seg_size += buf.len() as u64;
+        res.map_err(|e| io_err("append", inner.file.path(), e))
     }
 
     /// Close the current statement: append a [`WalRecord::Commit`] marker,
     /// write everything buffered, and (when configured) fsync. A no-op
     /// when nothing was logged since the last commit. Returns whether a
     /// commit point was actually written.
+    ///
+    /// Any write or fsync failure here — including a deferred error from
+    /// an opportunistic mid-statement flush — poisons the log: the
+    /// buffered records are gone and a torn frame may be on disk, so no
+    /// later commit can be safely acknowledged. After a successful commit
+    /// the log rotates if the active segment reached the size bound; a
+    /// failed rotation is tolerated (retried at the next commit).
     pub fn commit(&self) -> Result<bool, EngineError> {
         let mut inner = self.lock();
+        if let Some(why) = &inner.poisoned {
+            return Err(EngineError::execution(format!(
+                "WAL is poisoned ({why}); database is in read-only degraded mode"
+            )));
+        }
         if let Some(e) = inner.deferred.take() {
+            inner.poison(e.to_string());
             return Err(e);
         }
         if !inner.pending {
@@ -591,94 +742,176 @@ impl Wal {
         let crc = crc32(&inner.buf[rec_start..]);
         inner.buf[start..start + 4].copy_from_slice(&payload_len.to_le_bytes());
         inner.buf[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
-        Self::write_buf(&mut inner, &self.path)?;
+        if let Err(e) = Self::write_buf(&mut inner) {
+            inner.poison(e.to_string());
+            return Err(e);
+        }
         if self.sync_on_commit {
-            inner
-                .file
-                .sync_data()
-                .map_err(|e| io_err("fsync", &self.path, e))?;
+            if let Err(e) = inner.file.sync_data() {
+                let e = io_err("fsync", inner.file.path(), e);
+                inner.poison(e.to_string());
+                return Err(e);
+            }
             inner.stats.syncs += 1;
         }
         inner.pending = false;
         inner.stats.commits += 1;
+        if inner.seg_size >= self.segment_bytes {
+            self.rotate(&mut inner);
+        }
         Ok(true)
     }
 
-    /// Cumulative counters.
-    pub fn stats(&self) -> WalStats {
-        self.lock().stats
+    /// Best-effort rotation to the next segment. On any failure the log
+    /// stays on the current (already durable) segment and retries after
+    /// the next commit.
+    fn rotate(&self, inner: &mut WalInner) {
+        let next = inner.seg_index + 1;
+        let path = segment_path(&self.dir, next);
+        let mut file = match io::open(&path, OpenMode::Create) {
+            Ok(f) => f,
+            Err(_) => return,
+        };
+        let epoch = inner.epoch;
+        if write_header(&mut file, epoch).is_err()
+            || file.sync_data().is_err()
+            || io::sync_dir(&self.dir).is_err()
+        {
+            let _ = io::remove_file(&path);
+            return;
+        }
+        inner.file = file;
+        inner.seg_index = next;
+        inner.seg_size = WAL_HEADER as u64;
+        inner.stats.syncs += 2;
+        inner.stats.bytes_written += WAL_HEADER as u64;
+        inner.stats.rotations += 1;
+        inner.stats.segments += 1;
     }
 
-    /// Replay the log at `path`: `(epoch, committed records, file bytes)`.
-    /// Returns `None` when the file is missing or too short to hold a
-    /// header (a crash before the first reset completed). Torn tails end
-    /// the replay at the last committed record; a record that passes its
-    /// checksum but fails to decode is reported as corruption.
-    pub fn replay(path: &Path) -> Result<Option<(u64, Vec<WalRecord>, u64)>, EngineError> {
-        let bytes = match std::fs::read(path) {
-            Ok(b) => b,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(io_err("read", path, e)),
-        };
-        let total = bytes.len() as u64;
-        if bytes.len() < WAL_HEADER {
+    /// Cumulative counters (plus a snapshot of the process-wide
+    /// transient-retry counter).
+    pub fn stats(&self) -> WalStats {
+        let mut stats = self.lock().stats;
+        stats.retries = io::retries();
+        stats
+    }
+
+    /// Replay the segmented log in `dir`: `(epoch, committed records,
+    /// total file bytes)`. Returns `None` when no segment exists or the
+    /// first one is too short to hold a header (a crash before the first
+    /// reset completed). Segments are replayed in order; the epoch is
+    /// taken from the first segment and scanning stops at the first
+    /// segment whose epoch differs (stale leftovers from an interrupted
+    /// reset). Torn tails end the replay at the last committed record,
+    /// but are tolerated only in the final segment — a torn frame in an
+    /// earlier segment is reported as corruption. A record that passes
+    /// its checksum but fails to decode is always corruption.
+    pub fn replay(dir: &Path) -> Result<Option<(u64, Vec<WalRecord>, u64)>, EngineError> {
+        let segs = list_segments(dir)?;
+        if segs.is_empty() {
             return Ok(None);
         }
-        if &bytes[..8] != WAL_MAGIC {
-            return Err(corrupt("bad WAL magic"));
-        }
-        let epoch = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        let last = segs.len() - 1;
+        let mut log_epoch = None;
         let mut records = Vec::new();
         let mut committed = 0usize;
-        let mut off = WAL_HEADER;
-        while bytes.len() - off >= 8 {
-            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
-            let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
-            let Some(payload) = bytes.get(off + 8..off + 8 + len) else {
-                break; // torn tail: record extends past EOF
+        let mut total = 0u64;
+        for (i, (_, path)) in segs.iter().enumerate() {
+            let bytes = match io::read(path) {
+                Ok(b) => b,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(io_err("read", path, e)),
             };
-            if crc32(payload) != crc {
-                break; // torn tail: partially written record
+            total += bytes.len() as u64;
+            if bytes.len() < WAL_HEADER {
+                if log_epoch.is_none() {
+                    // Crash before the first reset finished writing the
+                    // first header: nothing to replay.
+                    return Ok(None);
+                }
+                if i < last {
+                    return Err(corrupt(format!(
+                        "segment {} is shorter than its header",
+                        path.display()
+                    )));
+                }
+                break;
             }
-            let rec = WalRecord::decode(payload)?;
-            off += 8 + len;
-            if matches!(rec, WalRecord::Commit) {
-                committed = records.len();
-            } else {
-                records.push(rec);
+            if &bytes[..8] != WAL_MAGIC {
+                return Err(corrupt(format!("bad WAL magic in {}", path.display())));
+            }
+            let epoch = u64::from_le_bytes(bytes[8..16].try_into().expect("sliced 8 bytes"));
+            match log_epoch {
+                None => log_epoch = Some(epoch),
+                Some(e) if e != epoch => break,
+                Some(_) => {}
+            }
+            let mut off = WAL_HEADER;
+            while bytes.len() - off >= 8 {
+                let len =
+                    u32::from_le_bytes(bytes[off..off + 4].try_into().expect("sliced 4 bytes"))
+                        as usize;
+                let crc =
+                    u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("sliced 4 bytes"));
+                let torn = match bytes.get(off + 8..off + 8 + len) {
+                    None => true, // record extends past EOF
+                    Some(payload) if crc32(payload) != crc => true,
+                    Some(payload) => {
+                        let rec = WalRecord::decode(payload)?;
+                        off += 8 + len;
+                        if matches!(rec, WalRecord::Commit) {
+                            committed = records.len();
+                        } else {
+                            records.push(rec);
+                        }
+                        false
+                    }
+                };
+                if torn {
+                    if i < last {
+                        return Err(corrupt(format!(
+                            "torn frame in non-final segment {}",
+                            path.display()
+                        )));
+                    }
+                    break;
+                }
+            }
+            if i < last && bytes.len() - off != 0 && bytes.len() - off < 8 {
+                return Err(corrupt(format!(
+                    "torn frame in non-final segment {}",
+                    path.display()
+                )));
             }
         }
+        let Some(epoch) = log_epoch else {
+            return Ok(None);
+        };
         records.truncate(committed);
         Ok(Some((epoch, records, total)))
     }
 }
 
-/// Tiny extension so `reset` reads naturally: seek to 0 and write the
-/// header in one call.
-trait HeaderWrite {
-    fn seek_write_header(&mut self, epoch: u64) -> std::io::Result<()>;
-}
-
-impl HeaderWrite for File {
-    fn seek_write_header(&mut self, epoch: u64) -> std::io::Result<()> {
-        use std::io::Seek;
-        self.seek(std::io::SeekFrom::Start(0))?;
-        self.write_all(WAL_MAGIC)?;
-        self.write_all(&epoch.to_le_bytes())
-    }
+/// Seek to 0 and write the `magic + epoch` header.
+fn write_header(file: &mut FileHandle, epoch: u64) -> std::io::Result<()> {
+    file.seek(SeekFrom::Start(0))?;
+    file.write_all(WAL_MAGIC)?;
+    file.write_all(&epoch.to_le_bytes())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storage::io::{set_fault_plan, FaultKind, FaultPlan, Trigger};
+    use std::sync::Arc;
 
-    fn temp_wal(name: &str) -> PathBuf {
-        let path = std::env::temp_dir().join(format!(
-            "openivm-wal-test-{}-{name}.log",
-            std::process::id()
-        ));
-        let _ = std::fs::remove_file(&path);
-        path
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("openivm-waltest-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
     }
 
     fn sample_records() -> Vec<WalRecord> {
@@ -747,8 +980,8 @@ mod tests {
 
     #[test]
     fn log_commit_replay() {
-        let path = temp_wal("basic");
-        let wal = Wal::open(&path, true).unwrap();
+        let dir = temp_dir("basic");
+        let wal = Wal::open(&dir, true, DEFAULT_SEGMENT_BYTES).unwrap();
         wal.reset(3).unwrap();
         let recs = sample_records();
         for r in &recs[..4] {
@@ -760,40 +993,42 @@ mod tests {
             wal.log(r);
         }
         assert!(wal.commit().unwrap());
-        let (epoch, replayed, bytes) = Wal::replay(&path).unwrap().unwrap();
+        let (epoch, replayed, bytes) = Wal::replay(&dir).unwrap().unwrap();
         assert_eq!(epoch, 3);
         assert_eq!(replayed, recs);
         assert!(bytes > WAL_HEADER as u64);
         let stats = wal.stats();
         assert_eq!(stats.records, recs.len() as u64);
         assert_eq!(stats.commits, 2);
-        let _ = std::fs::remove_file(path);
+        assert_eq!(stats.segments, 1);
+        assert_eq!(stats.rotations, 0);
+        assert!(!stats.poisoned);
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]
     fn uncommitted_tail_is_discarded() {
-        let path = temp_wal("uncommitted");
-        let wal = Wal::open(&path, false).unwrap();
+        let dir = temp_dir("uncommitted");
+        let wal = Wal::open(&dir, false, DEFAULT_SEGMENT_BYTES).unwrap();
         wal.reset(0).unwrap();
         wal.log(&WalRecord::Truncate { table: "a".into() });
         wal.commit().unwrap();
         // Logged but never committed: must not replay. Force the bytes to
-        // disk without a commit marker via a second reset-open trick —
-        // drop flushes nothing, so write through the internal path.
+        // disk without a commit marker via the internal write path.
         wal.log(&WalRecord::Truncate { table: "b".into() });
         {
             let mut inner = wal.lock();
-            Wal::write_buf(&mut inner, &path).unwrap();
+            Wal::write_buf(&mut inner).unwrap();
         }
-        let (_, replayed, _) = Wal::replay(&path).unwrap().unwrap();
+        let (_, replayed, _) = Wal::replay(&dir).unwrap().unwrap();
         assert_eq!(replayed, vec![WalRecord::Truncate { table: "a".into() }]);
-        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]
     fn torn_tail_recovers_committed_prefix_at_every_cut() {
-        let path = temp_wal("torn");
-        let wal = Wal::open(&path, false).unwrap();
+        let dir = temp_dir("torn");
+        let wal = Wal::open(&dir, false, DEFAULT_SEGMENT_BYTES).unwrap();
         wal.reset(1).unwrap();
         let recs = sample_records();
         // One commit per record → the committed prefix grows record by
@@ -802,11 +1037,12 @@ mod tests {
             wal.log(r);
             wal.commit().unwrap();
         }
-        let full = std::fs::read(&path).unwrap();
+        let seg = segment_path(&dir, 1);
+        let full = std::fs::read(&seg).unwrap();
         let mut prev_len = 0usize;
         for cut in 0..=full.len() {
-            std::fs::write(&path, &full[..cut]).unwrap();
-            match Wal::replay(&path).unwrap() {
+            std::fs::write(&seg, &full[..cut]).unwrap();
+            match Wal::replay(&dir).unwrap() {
                 None => assert!(cut < WAL_HEADER, "header cut {cut}"),
                 Some((epoch, replayed, _)) => {
                     assert_eq!(epoch, 1);
@@ -817,38 +1053,152 @@ mod tests {
             }
         }
         assert_eq!(prev_len, recs.len());
-        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]
     fn valid_crc_bad_payload_is_real_corruption() {
-        let path = temp_wal("corrupt");
-        let wal = Wal::open(&path, false).unwrap();
+        let dir = temp_dir("corrupt");
+        let wal = Wal::open(&dir, false, DEFAULT_SEGMENT_BYTES).unwrap();
         wal.reset(0).unwrap();
         drop(wal);
         // Hand-craft a record with a correct checksum over garbage.
+        let seg = segment_path(&dir, 1);
         let payload = [0xEEu8, 1, 2, 3];
-        let mut bytes = std::fs::read(&path).unwrap();
+        let mut bytes = std::fs::read(&seg).unwrap();
         bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
         bytes.extend_from_slice(&payload);
-        std::fs::write(&path, &bytes).unwrap();
-        let err = Wal::replay(&path).unwrap_err();
+        std::fs::write(&seg, &bytes).unwrap();
+        let err = Wal::replay(&dir).unwrap_err();
         assert!(err.to_string().contains("unknown record tag"), "{err}");
-        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]
     fn reset_discards_history_and_bumps_epoch() {
-        let path = temp_wal("reset");
-        let wal = Wal::open(&path, false).unwrap();
+        let dir = temp_dir("reset");
+        let wal = Wal::open(&dir, false, DEFAULT_SEGMENT_BYTES).unwrap();
         wal.reset(0).unwrap();
         wal.log(&WalRecord::Truncate { table: "x".into() });
         wal.commit().unwrap();
         wal.reset(1).unwrap();
-        let (epoch, replayed, _) = Wal::replay(&path).unwrap().unwrap();
+        let (epoch, replayed, _) = Wal::replay(&dir).unwrap().unwrap();
         assert_eq!(epoch, 1);
         assert!(replayed.is_empty());
-        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn rotation_bounds_segments_and_reset_recycles_them() {
+        let dir = temp_dir("rotate");
+        // Tiny bound: every commit rotates once past the header.
+        let wal = Wal::open(&dir, false, 64).unwrap();
+        wal.reset(7).unwrap();
+        let recs = sample_records();
+        for r in &recs {
+            wal.log(r);
+            wal.commit().unwrap();
+        }
+        let stats = wal.stats();
+        assert!(stats.rotations >= 2, "expected rotations, got {stats:?}");
+        assert_eq!(stats.segments, stats.rotations + 1);
+        let on_disk = list_segments(&dir).unwrap();
+        assert_eq!(on_disk.len() as u64, stats.segments);
+        for (_, path) in &on_disk {
+            assert!(
+                std::fs::metadata(path).unwrap().len() <= 64 + 512,
+                "segment {} exceeds bound by more than one commit",
+                path.display()
+            );
+        }
+        // Replay concatenates the segments in order.
+        let (epoch, replayed, _) = Wal::replay(&dir).unwrap().unwrap();
+        assert_eq!(epoch, 7);
+        assert_eq!(replayed, recs);
+        // A checkpoint-driven reset recycles every segment but the first.
+        wal.reset(8).unwrap();
+        let on_disk = list_segments(&dir).unwrap();
+        assert_eq!(on_disk.len(), 1);
+        assert_eq!(on_disk[0].1, segment_path(&dir, 1));
+        assert_eq!(wal.stats().segments, 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn torn_frame_in_non_final_segment_is_corruption() {
+        let dir = temp_dir("torn-mid");
+        let wal = Wal::open(&dir, false, 64).unwrap();
+        wal.reset(1).unwrap();
+        for r in &sample_records() {
+            wal.log(r);
+            wal.commit().unwrap();
+        }
+        assert!(wal.stats().segments >= 2);
+        drop(wal);
+        // Truncate the FIRST segment mid-frame: with later segments
+        // present this cannot be a crash tail, so replay must refuse.
+        let seg1 = segment_path(&dir, 1);
+        let bytes = std::fs::read(&seg1).unwrap();
+        std::fs::write(&seg1, &bytes[..bytes.len() - 3]).unwrap();
+        let err = Wal::replay(&dir).unwrap_err();
+        assert!(err.to_string().contains("non-final segment"), "{err}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn legacy_single_file_layout_replays_as_segment_zero() {
+        let dir = temp_dir("legacy");
+        let wal = Wal::open(&dir, false, DEFAULT_SEGMENT_BYTES).unwrap();
+        wal.reset(5).unwrap();
+        wal.log(&WalRecord::Truncate { table: "t".into() });
+        wal.commit().unwrap();
+        drop(wal);
+        // Rebuild the pre-segmentation layout: one `wal.log`.
+        std::fs::rename(segment_path(&dir, 1), dir.join(LEGACY_WAL_FILE)).unwrap();
+        let (epoch, replayed, _) = Wal::replay(&dir).unwrap().unwrap();
+        assert_eq!(epoch, 5);
+        assert_eq!(replayed, vec![WalRecord::Truncate { table: "t".into() }]);
+        // A reset from the segmented layout removes the legacy file.
+        let wal = Wal::open(&dir, false, DEFAULT_SEGMENT_BYTES).unwrap();
+        wal.reset(6).unwrap();
+        assert!(!dir.join(LEGACY_WAL_FILE).exists());
+        assert!(segment_path(&dir, 1).exists());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn fsync_failure_poisons_the_log() {
+        let _serial = io::test_plan_serial();
+        let dir = temp_dir("poison");
+        let wal = Wal::open(&dir, true, DEFAULT_SEGMENT_BYTES).unwrap();
+        wal.reset(1).unwrap();
+        wal.log(&WalRecord::Truncate { table: "t".into() });
+        wal.commit().unwrap();
+        wal.log(&WalRecord::Truncate { table: "u".into() });
+        let prev = set_fault_plan(Some(Arc::new(FaultPlan::new().with_rule(
+            FaultKind::FsyncFail,
+            "openivm-waltest",
+            Trigger::Once(1),
+        ))));
+        let err = wal.commit().unwrap_err();
+        set_fault_plan(prev);
+        assert!(err.to_string().contains("fsync"), "{err}");
+        assert!(wal.poisoned());
+        assert!(wal.stats().poisoned);
+        // Further commits fail cleanly, log() is a harmless no-op, and
+        // reset (a checkpoint) refuses too.
+        wal.log(&WalRecord::Truncate { table: "v".into() });
+        let err = wal.commit().unwrap_err();
+        assert!(err.to_string().contains("read-only"), "{err}");
+        assert!(wal.reset(2).is_err());
+        // No acknowledged-commit loss: the acknowledged "t" commit must
+        // replay. The unacknowledged "u" frame reached the file but was
+        // never fsynced — whether it survives is exactly the uncertainty
+        // poisoning exists to stop acknowledging, so either way is safe.
+        let (_, replayed, _) = Wal::replay(&dir).unwrap().unwrap();
+        assert!(!replayed.is_empty());
+        assert_eq!(replayed[0], WalRecord::Truncate { table: "t".into() });
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

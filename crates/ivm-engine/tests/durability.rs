@@ -156,7 +156,7 @@ fn torn_wal_tail_recovers_committed_prefix() {
     }
     // Cut the WAL mid-file: recovery must stop at a committed prefix —
     // cleanly, never with a panic.
-    let wal = dir.path().join("wal.log");
+    let wal = dir.path().join("wal.0001.log");
     let bytes = std::fs::read(&wal).unwrap();
     std::fs::write(&wal, &bytes[..bytes.len() - bytes.len() / 3]).unwrap();
     let db = Database::open(dir.path()).unwrap();
@@ -207,4 +207,84 @@ fn in_memory_and_durable_sessions_agree() {
     // ... and the durable session's error-path state survives recovery.
     let mut dur = Database::open(dir.path()).unwrap();
     assert_eq!(observe(&mut mem), observe(&mut dur));
+}
+
+#[test]
+fn wal_segments_rotate_stay_bounded_and_recycle() {
+    let dir = TempDir::new("segments");
+    let opts = ivm_engine::DurabilityOptions {
+        wal_segment_bytes: 512,
+        ..ivm_engine::DurabilityOptions::default()
+    };
+    let mut db = Database::open_with_options(dir.path(), opts).unwrap();
+    db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+    db.checkpoint().unwrap();
+    for i in 0..200 {
+        db.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+    }
+    let stats = db.wal_stats().unwrap();
+    assert!(stats.rotations >= 2, "expected rotations, got {stats:?}");
+    assert_eq!(stats.segments, stats.rotations + 1);
+    let on_disk = || {
+        let mut segs: Vec<String> = std::fs::read_dir(dir.path())
+            .unwrap()
+            .filter_map(|e| e.unwrap().file_name().into_string().ok())
+            .filter(|n| n.starts_with("wal.") && n.ends_with(".log"))
+            .collect();
+        segs.sort();
+        segs
+    };
+    let segs = on_disk();
+    assert_eq!(segs.len() as u64, stats.segments, "{segs:?}");
+    // Each sealed segment respects the bound plus at most one record.
+    for seg in &segs[..segs.len() - 1] {
+        let len = std::fs::metadata(dir.path().join(seg)).unwrap().len();
+        assert!(len <= 512 + 4096, "segment {seg} is {len} bytes");
+    }
+
+    // A crash (drop without close) replays every segment in order.
+    drop(db);
+    let db = Database::open_with_options(dir.path(), opts).unwrap();
+    let rows = db.query("SELECT COUNT(*) FROM t").unwrap().rows;
+    assert_eq!(rows[0][0], Value::Integer(200));
+
+    // Recovery checkpointed, which recycles the log to one segment.
+    assert_eq!(on_disk(), vec!["wal.0001.log".to_string()]);
+    assert_eq!(db.wal_stats().unwrap().segments, 1);
+    db.close().unwrap();
+}
+
+#[test]
+fn auto_checkpoint_bounds_the_wal() {
+    let dir = TempDir::new("autockpt");
+    let opts = ivm_engine::DurabilityOptions {
+        wal_segment_bytes: 512,
+        ..ivm_engine::DurabilityOptions::default()
+    };
+    let mut db = Database::open_with_options(dir.path(), opts).unwrap();
+    db.set_auto_checkpoint(Some(2048));
+    db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+    for i in 0..300 {
+        db.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+        // The WAL never holds more than the threshold plus one statement.
+        let stats = db.wal_stats().unwrap();
+        assert!(
+            stats.bytes_written < 2048 + 1024,
+            "statement {i}: WAL grew to {} bytes",
+            stats.bytes_written
+        );
+    }
+    // The auto-checkpoints also recycled segments along the way.
+    let segs = std::fs::read_dir(dir.path())
+        .unwrap()
+        .filter_map(|e| e.unwrap().file_name().into_string().ok())
+        .filter(|n| n.starts_with("wal.") && n.ends_with(".log"))
+        .count();
+    assert!(segs <= 5, "auto-checkpoint left {segs} segments");
+    db.close().unwrap();
+    let db = Database::open(dir.path()).unwrap();
+    assert_eq!(
+        db.query("SELECT COUNT(*) FROM t").unwrap().rows[0][0],
+        Value::Integer(300)
+    );
 }

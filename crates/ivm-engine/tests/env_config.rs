@@ -108,11 +108,40 @@ fn env_settings_apply_and_invalid_values_fail_loudly() {
             assert!(subdir.starts_with(&root), "{subdir:?} not under {root:?}");
             db.execute("CREATE TABLE t (k INTEGER)").unwrap();
             db.execute("INSERT INTO t VALUES (1)").unwrap();
-            assert!(subdir.join("wal.log").exists());
+            assert!(subdir.join("wal.0001.log").exists());
         }
         // Dropping the database removes its ephemeral subdirectory.
         assert!(!subdir.exists(), "ephemeral data dir leaked: {subdir:?}");
         std::fs::remove_dir_all(&root).unwrap();
+    }
+    // OPENIVM_FAULT_PLAN: the documented grammar parses; garbage is an
+    // error naming the variable (the env path panics with this message
+    // rather than silently running fault-free). A parsed plan installed
+    // process-wide turns the first matching durable operation into a
+    // clean `EngineError`, never a panic.
+    {
+        use ivm_engine::{parse_fault_plan_setting, set_fault_plan, FAULT_PLAN_ENV};
+        assert!(parse_fault_plan_setting("transient@*:%7").is_ok());
+        assert!(parse_fault_plan_setting("enospc@wal.:3;fsync@*:1").is_ok());
+        for bad in ["gremlin@*:1", "enospc@x", "transient@*:%0", "short@*:zero"] {
+            let err = parse_fault_plan_setting(bad).unwrap_err();
+            assert!(err.to_string().contains(FAULT_PLAN_ENV), "{bad:?} → {err}");
+        }
+
+        let dir = std::env::temp_dir().join(format!("openivm-envfault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan = parse_fault_plan_setting("enospc@openivm-envfault:1").unwrap();
+        let prev = set_fault_plan(Some(std::sync::Arc::new(plan)));
+        let result = std::panic::catch_unwind(|| Database::open(&dir));
+        set_fault_plan(prev);
+        let err = result.expect("injected ENOSPC must not panic").unwrap_err();
+        assert!(
+            err.to_string().to_lowercase().contains("space")
+                || err.to_string().contains("os error"),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
     // An empty OPENIVM_DATA_DIR is a loud startup error, not a silent
     // fall-back to in-memory.

@@ -37,12 +37,14 @@ const USAGE: &str = "usage: openivm (--schema <file|sql> | --data-dir <dir>) --v
        [--dialect duckdb|postgres]
        [--strategy left_join_upsert|union_regroup|full_outer_join]
        [--index inline|after_populate|none]
-       [--no-comments]";
+       [--no-comments]
+       openivm --data-dir <dir> --wal-stats";
 
 fn run(args: Vec<String>) -> Result<String, String> {
     let mut schema: Option<String> = None;
     let mut data_dir: Option<String> = None;
     let mut view: Option<String> = None;
+    let mut wal_stats = false;
     let mut flags = IvmFlags::paper_defaults();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -72,10 +74,31 @@ fn run(args: Vec<String>) -> Result<String, String> {
                 };
             }
             "--no-comments" => flags.comments = false,
+            "--wal-stats" => wal_stats = true,
             "--help" | "-h" => return Err("help requested".to_string()),
             other => return Err(format!("unknown argument {other}")),
         }
     }
+    // `--wal-stats`: report the durable log's health (segment count,
+    // rotations, transient-retry tally, poisoned flag) and exit.
+    if wal_stats {
+        let dir = data_dir.ok_or("--wal-stats requires --data-dir")?;
+        let db = Database::open(&dir).map_err(|e| format!("cannot open {dir}: {e}"))?;
+        let s = db.wal_stats().ok_or("database has no write-ahead log")?;
+        return Ok(format!(
+            "wal records={} commits={} syncs={} bytes_written={} \
+             retries={} rotations={} segments={} poisoned={}",
+            s.records,
+            s.commits,
+            s.syncs,
+            s.bytes_written,
+            s.retries,
+            s.rotations,
+            s.segments,
+            s.poisoned
+        ));
+    }
+
     let view = view.ok_or("missing --view")?;
     let view_sql = read_arg(&view)?;
 

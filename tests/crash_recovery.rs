@@ -128,7 +128,7 @@ fn wal_cut_sweep_recovers_a_monotone_committed_prefix() {
         drop(s); // crash: no close(), the WAL carries everything
     }
 
-    let wal_path = dir.path().join("wal.log");
+    let wal_path = dir.path().join("wal.0001.log");
     let full = std::fs::read(&wal_path).unwrap();
     let scratch = TempDir::new("sweep-scratch");
 
@@ -144,7 +144,7 @@ fn wal_cut_sweep_recovers_a_monotone_committed_prefix() {
         for f in ["pages.db", "catalog.meta"] {
             std::fs::copy(dir.path().join(f), scratch.path().join(f)).unwrap();
         }
-        std::fs::write(scratch.path().join("wal.log"), &full[..cut]).unwrap();
+        std::fs::write(scratch.path().join("wal.0001.log"), &full[..cut]).unwrap();
 
         let mut s = IvmSession::open(scratch.path(), IvmFlags::paper_defaults()).unwrap();
         let got = observe_session(&mut s);
@@ -185,7 +185,7 @@ fn torn_write_garbage_tail_is_ignored() {
 
     // A torn write leaves a partial record, possibly preceded by a partial
     // length header of plausible-looking bytes.
-    let wal_path = dir.path().join("wal.log");
+    let wal_path = dir.path().join("wal.0001.log");
     let mut rng = Rng(0xdead_beef);
     for garbage_len in [1usize, 7, 64, 4096] {
         let mut bytes = std::fs::read(&wal_path).unwrap();
