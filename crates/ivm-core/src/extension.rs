@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use ivm_engine::exec::hash::{chain_prepend, hash_row, hash_value_iter, FlatTable};
-use ivm_engine::{Database, ErrorKind, QueryResult, Value};
+use ivm_engine::{Database, ErrorKind, QueryResult, SnapshotHub, Value};
 use ivm_sql::ast::{
     Delete, Expr, Insert, InsertSource, Query, Select, SelectItem, SetExpr, Statement, TableRef,
     Update,
@@ -77,6 +77,10 @@ pub struct IvmSession {
     /// batches and validated against the table's mutation generation.
     victim_index: HashMap<String, MirrorIndex>,
     stats: SessionStats,
+    /// When [`IvmSession::share`]d: the snapshot hub concurrent readers
+    /// pin their statements against. Every completed top-level operation
+    /// republishes, so the hub only ever holds committed points.
+    shared: Option<SnapshotHub>,
 }
 
 impl IvmSession {
@@ -91,6 +95,7 @@ impl IvmSession {
             stmt_cache: HashMap::new(),
             victim_index: HashMap::new(),
             stats: SessionStats::default(),
+            shared: None,
         }
     }
 
@@ -121,6 +126,7 @@ impl IvmSession {
             stmt_cache: HashMap::new(),
             victim_index: HashMap::new(),
             stats: SessionStats::default(),
+            shared: None,
         };
         session.restore_views()?;
         Ok(session)
@@ -130,7 +136,9 @@ impl IvmSession {
     pub fn checkpoint(&mut self) -> Result<(), IvmError> {
         self.db
             .checkpoint()
-            .map_err(|e| IvmError::Engine(e.to_string()))
+            .map_err(|e| IvmError::Engine(e.to_string()))?;
+        self.republish();
+        Ok(())
     }
 
     /// Checkpoint and drop the session (clean shutdown).
@@ -197,6 +205,35 @@ impl IvmSession {
         &mut self.db
     }
 
+    /// Turn on concurrent snapshot serving: returns a [`SnapshotHub`]
+    /// (cheap to clone into reader threads) whose initial snapshot is
+    /// the session's current state. From now on, every completed
+    /// top-level operation — statement, script, delta ingest, refresh,
+    /// view DDL — republishes, so hub readers always see some committed
+    /// point and never a torn intermediate. This session remains the
+    /// single writer; readers are [`ivm_engine::ReadSession`]s.
+    pub fn share(&mut self) -> SnapshotHub {
+        if self.shared.is_none() {
+            self.shared = Some(SnapshotHub::new(&self.db));
+        }
+        self.shared.clone().expect("just set")
+    }
+
+    /// The snapshot hub, when [`IvmSession::share`] has been called.
+    pub fn snapshot_hub(&self) -> Option<&SnapshotHub> {
+        self.shared.as_ref()
+    }
+
+    /// Publish the current state to hub readers (no-op when not shared).
+    /// Called after every committed point; callers that mutate the
+    /// database directly through [`IvmSession::database_mut`] should
+    /// call it themselves.
+    pub fn republish(&self) {
+        if let Some(hub) = &self.shared {
+            hub.publish(&self.db);
+        }
+    }
+
     /// Set the engine's executor parallelism (worker threads; clamped to
     /// ≥ 1). Affects full recomputation and propagation-script execution
     /// alike; 1 is the serial operator tree.
@@ -246,16 +283,22 @@ impl IvmSession {
     /// Execute one SQL statement through the extension pipeline.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult, IvmError> {
         let stmt = parse_statement(sql)?;
-        self.execute_statement(stmt)
+        let result = self.execute_statement(stmt);
+        // Publish even after an error: earlier side effects of the
+        // statement's refresh triggers are committed state.
+        self.republish();
+        result
     }
 
     /// Execute a `;`-separated script.
     pub fn execute_script(&mut self, sql: &str) -> Result<Vec<QueryResult>, IvmError> {
         let stmts = ivm_sql::parse_statements(sql)?;
-        stmts
+        let result = stmts
             .into_iter()
             .map(|s| self.execute_statement(s))
-            .collect()
+            .collect();
+        self.republish();
+        result
     }
 
     fn execute_statement(&mut self, stmt: Statement) -> Result<QueryResult, IvmError> {
@@ -390,6 +433,7 @@ impl IvmSession {
             artifacts,
         };
         self.views.push(view);
+        self.republish();
         Ok(self.views.last().expect("just pushed"))
     }
 
@@ -421,7 +465,9 @@ impl IvmSession {
                     .map_err(|e| IvmError::Engine(e.to_string()))?;
             }
             Ok(())
-        })
+        })?;
+        self.republish();
+        Ok(())
     }
 
     fn is_tracked(&self, table: &str) -> bool {
@@ -704,7 +750,9 @@ impl IvmSession {
                 this.after_capture(table)?;
             }
             Ok(())
-        })
+        })?;
+        self.republish();
+        Ok(())
     }
 
     /// Run the propagation scripts for a view (and any dirty views sharing
@@ -797,6 +845,7 @@ impl IvmSession {
         for v in affected {
             self.pending.remove(&v);
         }
+        self.republish();
         Ok(())
     }
 

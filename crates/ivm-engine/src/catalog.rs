@@ -41,6 +41,25 @@ impl Catalog {
         self.wal = wal;
     }
 
+    /// Freeze a copy-on-write snapshot of the whole catalog: every
+    /// resident table is [`Table::snapshot`]ed (O(columns) refcount
+    /// bumps per table, no rows copied), view definitions and the
+    /// unloaded set are cloned. The snapshot carries no WAL handle —
+    /// it is a read-only image for concurrent readers, and mutating it
+    /// would never reach the redo log by construction.
+    pub fn snapshot(&self) -> Catalog {
+        Catalog {
+            tables: self
+                .tables
+                .iter()
+                .map(|(name, table)| (name.clone(), table.snapshot()))
+                .collect(),
+            views: self.views.clone(),
+            unloaded: self.unloaded.clone(),
+            wal: None,
+        }
+    }
+
     /// Register a table. Errors when a table or view of the same name exists.
     pub fn create_table(&mut self, mut table: Table) -> Result<(), EngineError> {
         let name = table.name.clone();

@@ -1,0 +1,455 @@
+//! Concurrent snapshot reads: the epoch-versioned snapshot hub and the
+//! per-reader session layer.
+//!
+//! [`Database`] is deliberately single-session — every statement takes
+//! `&mut self`, which is the right discipline for the one writer but
+//! means nobody can query a view while the HTAP pipeline ingests and
+//! refreshes. This module adds the missing read side without giving up
+//! that discipline:
+//!
+//! * The writer stays exclusive. After each *committed point* (a
+//!   completed statement, ingest batch, or refresh) it calls
+//!   [`SnapshotHub::publish`], which freezes the catalog into an
+//!   immutable [`Snapshot`] stamped with a monotonically increasing
+//!   epoch. Freezing is O(tables × columns) `Arc` refcount bumps
+//!   ([`Catalog::snapshot`]) — no row is copied, ever.
+//! * Readers are [`ReadSession`]s. At statement start a reader *pins*
+//!   the hub's current snapshot (one `Arc` clone under a briefly-held
+//!   lock) and executes entirely against that frozen image — serial or
+//!   through the morsel-driven parallel executor — while the writer
+//!   keeps appending. Copy-on-write inside [`crate::storage::Table`]
+//!   guarantees the pinned image never changes underneath the reader.
+//! * Because the hub only ever holds images of committed points, every
+//!   read is trivially torn-free: a reader can observe snapshot *n* or
+//!   *n+1*, never half of each.
+//!
+//! The hub also owns the shared cross-session prepared-statement cache:
+//! the per-`Database` bound-plan cache of PR 3, promoted to a
+//! process-wide map keyed by `(SQL, memory budget, parallelism)` and
+//! validated against the snapshot's catalog-shape generation, so N
+//! readers pay each query's plan/optimize/lower cost once.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use ivm_sql::ast::{Query, Statement};
+use ivm_sql::parse_statement;
+
+use crate::catalog::Catalog;
+use crate::error::EngineError;
+use crate::exec::{
+    execute_parallel, execute_physical_budgeted, MemoryBudget, ParallelOptions, DEFAULT_BATCH_SIZE,
+    DEFAULT_MORSEL_SIZE,
+};
+use crate::optimizer::optimize;
+use crate::planner::physical::{lower_with_budget, PhysicalPlan};
+use crate::planner::plan_query;
+use crate::session::{env_budget, env_parallelism, Database, QueryResult};
+
+/// An immutable, epoch-stamped image of the catalog at a committed point.
+///
+/// Obtained from [`SnapshotHub::pin`]; holding the `Arc` keeps the image
+/// alive (and its storage shared) for as long as the reader needs it.
+#[derive(Debug)]
+pub struct Snapshot {
+    epoch: u64,
+    ddl_generation: u64,
+    catalog: Catalog,
+}
+
+impl Snapshot {
+    /// The publication epoch: strictly increasing across publishes, so
+    /// two reads can be ordered by the snapshots they saw.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The frozen catalog image.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+}
+
+/// Key of the shared prepared-statement cache; see
+/// [`crate::session::Database::execute_statement_cached`] for why budget
+/// and parallelism are part of plan identity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SharedPlanKey {
+    sql: String,
+    budget: Option<usize>,
+    parallelism: usize,
+}
+
+#[derive(Debug, Clone)]
+struct SharedPlan {
+    ddl_generation: u64,
+    physical: Arc<PhysicalPlan>,
+    columns: Vec<String>,
+}
+
+#[derive(Debug)]
+struct HubInner {
+    current: RwLock<Arc<Snapshot>>,
+    epochs: AtomicU64,
+    plans: Mutex<HashMap<SharedPlanKey, SharedPlan>>,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+}
+
+/// The shared rendezvous between one writer and N readers.
+///
+/// Cloning the hub is cheap (`Arc`); hand clones to reader threads and
+/// keep one beside the writer for publishing.
+#[derive(Debug, Clone)]
+pub struct SnapshotHub {
+    inner: Arc<HubInner>,
+}
+
+/// Bound on distinct `(SQL, budget, parallelism)` entries in the shared
+/// plan cache; mirrors the per-session cap in `session.rs`.
+const SHARED_PLAN_CACHE_CAP: usize = 1024;
+
+impl SnapshotHub {
+    /// A hub whose initial snapshot is the database's current state.
+    pub fn new(db: &Database) -> SnapshotHub {
+        let snapshot = Arc::new(Snapshot {
+            epoch: 1,
+            ddl_generation: db.ddl_generation(),
+            catalog: db.catalog().snapshot(),
+        });
+        SnapshotHub {
+            inner: Arc::new(HubInner {
+                current: RwLock::new(snapshot),
+                epochs: AtomicU64::new(1),
+                plans: Mutex::new(HashMap::new()),
+                plan_hits: AtomicU64::new(0),
+                plan_misses: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Publish the database's current state as the next snapshot. Call
+    /// only at committed points — readers will serve exactly this image
+    /// until the next publish. Returns the new epoch.
+    pub fn publish(&self, db: &Database) -> u64 {
+        let epoch = self.inner.epochs.fetch_add(1, Ordering::Relaxed) + 1;
+        let snapshot = Arc::new(Snapshot {
+            epoch,
+            ddl_generation: db.ddl_generation(),
+            catalog: db.catalog().snapshot(),
+        });
+        *self.inner.current.write().unwrap() = snapshot;
+        epoch
+    }
+
+    /// Pin the current snapshot: one `Arc` clone under a briefly-held
+    /// read lock. The returned image is immutable for its lifetime.
+    pub fn pin(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.inner.current.read().unwrap())
+    }
+
+    /// The epoch of the currently published snapshot.
+    pub fn current_epoch(&self) -> u64 {
+        self.inner.epochs.load(Ordering::Relaxed)
+    }
+
+    /// A new reader session against this hub. Each reader carries its
+    /// own executor settings (initialized from the same environment
+    /// defaults as [`Database::new`]) and its own statement state; all
+    /// readers share the hub's snapshot stream and plan cache.
+    pub fn reader(&self) -> ReadSession {
+        ReadSession {
+            hub: self.clone(),
+            batch_size: DEFAULT_BATCH_SIZE,
+            parallelism: env_parallelism(),
+            morsel_size: DEFAULT_MORSEL_SIZE,
+            budget: env_budget(),
+            last_epoch: 0,
+        }
+    }
+
+    /// `(entries, hits, misses)` of the shared prepared-statement cache.
+    pub fn plan_cache_stats(&self) -> (usize, u64, u64) {
+        (
+            self.inner.plans.lock().unwrap().len(),
+            self.inner.plan_hits.load(Ordering::Relaxed),
+            self.inner.plan_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The cached plan for `key` when its catalog-shape generation
+    /// matches, else the plan produced by `build`, stored for the next
+    /// session to hit. `build` runs outside the cache lock: a slow
+    /// lowering must not stall other readers (two concurrent misses on
+    /// the same key both build; last insert wins — both plans are
+    /// equally valid for that generation).
+    fn plan_for(
+        &self,
+        key: SharedPlanKey,
+        ddl_generation: u64,
+        build: impl FnOnce() -> Result<(Arc<PhysicalPlan>, Vec<String>), EngineError>,
+    ) -> Result<(Arc<PhysicalPlan>, Vec<String>), EngineError> {
+        {
+            let plans = self.inner.plans.lock().unwrap();
+            if let Some(hit) = plans.get(&key) {
+                if hit.ddl_generation == ddl_generation {
+                    self.inner.plan_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((Arc::clone(&hit.physical), hit.columns.clone()));
+                }
+            }
+        }
+        self.inner.plan_misses.fetch_add(1, Ordering::Relaxed);
+        let (physical, columns) = build()?;
+        let mut plans = self.inner.plans.lock().unwrap();
+        if plans.len() >= SHARED_PLAN_CACHE_CAP {
+            plans.retain(|_, e| e.ddl_generation == ddl_generation);
+            if plans.len() >= SHARED_PLAN_CACHE_CAP {
+                plans.clear();
+            }
+        }
+        plans.insert(
+            key,
+            SharedPlan {
+                ddl_generation,
+                physical: Arc::clone(&physical),
+                columns: columns.clone(),
+            },
+        );
+        Ok((physical, columns))
+    }
+}
+
+/// A read-only session over a [`SnapshotHub`].
+///
+/// Each statement pins the newest published snapshot and runs entirely
+/// against it; repeated statements see monotonically non-decreasing
+/// epochs. Sessions are cheap and single-threaded — create one per
+/// connection/thread rather than sharing one behind a lock.
+#[derive(Debug)]
+pub struct ReadSession {
+    hub: SnapshotHub,
+    batch_size: usize,
+    parallelism: usize,
+    morsel_size: usize,
+    budget: MemoryBudget,
+    last_epoch: u64,
+}
+
+impl ReadSession {
+    /// Set the executor worker count for this reader (clamped to ≥ 1).
+    pub fn set_parallelism(&mut self, workers: usize) {
+        self.parallelism = workers.max(1);
+    }
+
+    /// Set this reader's executor memory budget (`None` = unbounded).
+    pub fn set_memory_budget(&mut self, bytes: Option<usize>) {
+        self.budget.set_limit(bytes);
+    }
+
+    /// Set the scan batch size (clamped to ≥ 1).
+    pub fn set_batch_size(&mut self, batch_size: usize) {
+        self.batch_size = batch_size.max(1);
+    }
+
+    /// The epoch of the snapshot the most recent [`query`](Self::query)
+    /// ran against (0 before the first query).
+    pub fn last_epoch(&self) -> u64 {
+        self.last_epoch
+    }
+
+    /// Execute one `SELECT` against the newest published snapshot.
+    ///
+    /// The statement is planned against the pinned snapshot's catalog
+    /// (through the shared prepared-statement cache) and executed —
+    /// serially, or on the morsel-driven parallel executor when this
+    /// reader's parallelism is above 1 — wholly against that frozen
+    /// image. DML/DDL is rejected: writes go through the single writer.
+    pub fn query(&mut self, sql: &str) -> Result<QueryResult, EngineError> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Query(q) = stmt else {
+            return Err(EngineError::unsupported(
+                "read sessions accept SELECT statements only; writes go through the writer session",
+            ));
+        };
+        let snapshot = self.hub.pin();
+        self.last_epoch = snapshot.epoch();
+        let rows = self.query_snapshot(sql, &q, &snapshot)?;
+        Ok(rows)
+    }
+
+    /// [`query`](Self::query) against an explicitly pinned snapshot —
+    /// the repeatable-read form: every statement of a report can run
+    /// against one consistent epoch regardless of concurrent publishes.
+    pub fn query_pinned(
+        &mut self,
+        sql: &str,
+        snapshot: &Snapshot,
+    ) -> Result<QueryResult, EngineError> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Query(q) = stmt else {
+            return Err(EngineError::unsupported(
+                "read sessions accept SELECT statements only; writes go through the writer session",
+            ));
+        };
+        self.last_epoch = snapshot.epoch();
+        self.query_snapshot(sql, &q, snapshot)
+    }
+
+    /// Pin the current snapshot for use with
+    /// [`query_pinned`](Self::query_pinned).
+    pub fn pin(&self) -> Arc<Snapshot> {
+        self.hub.pin()
+    }
+
+    fn query_snapshot(
+        &self,
+        sql: &str,
+        q: &Query,
+        snapshot: &Snapshot,
+    ) -> Result<QueryResult, EngineError> {
+        let key = SharedPlanKey {
+            sql: sql.to_string(),
+            budget: self.budget.limit(),
+            parallelism: self.parallelism,
+        };
+        let catalog = snapshot.catalog();
+        let (physical, columns) = self.hub.plan_for(key, snapshot.ddl_generation, || {
+            let plan = optimize(plan_query(q, catalog)?);
+            let columns = plan.schema().names();
+            let physical = Arc::new(lower_with_budget(&plan, catalog, self.budget.limit())?);
+            Ok((physical, columns))
+        })?;
+        let rows = if self.parallelism > 1 {
+            execute_parallel(
+                &physical,
+                catalog,
+                self.batch_size,
+                ParallelOptions {
+                    workers: self.parallelism,
+                    morsel_size: self.morsel_size,
+                    budget: self.budget.clone(),
+                    adaptive_morsels: true,
+                },
+            )?
+        } else {
+            execute_physical_budgeted(&physical, catalog, self.batch_size, &self.budget)?
+        };
+        Ok(QueryResult {
+            columns,
+            rows,
+            rows_affected: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn db_with_rows(n: i64) -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (k INTEGER, v INTEGER)").unwrap();
+        for i in 0..n {
+            db.execute(&format!("INSERT INTO t VALUES ({}, {})", i % 4, i))
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn pinned_snapshot_is_frozen_while_writer_appends() {
+        let mut db = db_with_rows(10);
+        let hub = SnapshotHub::new(&db);
+        let pinned = hub.pin();
+        assert_eq!(pinned.epoch(), 1);
+
+        // Writer keeps appending and even compacts; the pinned image
+        // must not move.
+        for i in 10..500 {
+            db.execute(&format!("INSERT INTO t VALUES ({}, {})", i % 4, i))
+                .unwrap();
+        }
+        db.execute("DELETE FROM t WHERE v >= 250").unwrap();
+        db.catalog_mut().table_mut("t").unwrap().compact();
+
+        let mut reader = hub.reader();
+        reader.set_parallelism(1);
+        let old = reader
+            .query_pinned("SELECT COUNT(*) FROM t", &pinned)
+            .unwrap();
+        assert_eq!(old.rows, vec![vec![Value::Integer(10)]]);
+
+        // A fresh publish exposes the new state.
+        hub.publish(&db);
+        let new = reader.query("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(new.rows, vec![vec![Value::Integer(250)]]);
+        assert_eq!(reader.last_epoch(), 2);
+    }
+
+    #[test]
+    fn reader_rejects_writes() {
+        let db = db_with_rows(1);
+        let hub = SnapshotHub::new(&db);
+        let mut reader = hub.reader();
+        let err = reader.query("INSERT INTO t VALUES (9, 9)").unwrap_err();
+        assert!(err.message().contains("read sessions accept SELECT"));
+    }
+
+    #[test]
+    fn epochs_increase_monotonically() {
+        let mut db = db_with_rows(2);
+        let hub = SnapshotHub::new(&db);
+        assert_eq!(hub.current_epoch(), 1);
+        db.execute("INSERT INTO t VALUES (1, 2)").unwrap();
+        assert_eq!(hub.publish(&db), 2);
+        db.execute("INSERT INTO t VALUES (1, 3)").unwrap();
+        assert_eq!(hub.publish(&db), 3);
+        assert_eq!(hub.pin().epoch(), 3);
+    }
+
+    #[test]
+    fn shared_plan_cache_hits_across_readers_and_validates_ddl() {
+        let mut db = db_with_rows(8);
+        let hub = SnapshotHub::new(&db);
+        let mut r1 = hub.reader();
+        let mut r2 = hub.reader();
+        r1.set_parallelism(1);
+        r2.set_parallelism(1);
+        r1.query("SELECT k, COUNT(*) FROM t GROUP BY k ORDER BY k")
+            .unwrap();
+        r2.query("SELECT k, COUNT(*) FROM t GROUP BY k ORDER BY k")
+            .unwrap();
+        let (entries, hits, misses) = hub.plan_cache_stats();
+        assert_eq!((entries, hits, misses), (1, 1, 1), "r2 reuses r1's plan");
+
+        // DDL on the writer → next publish carries a new generation →
+        // the cached plan stops matching and is rebuilt.
+        db.execute("CREATE TABLE other (x INTEGER)").unwrap();
+        hub.publish(&db);
+        r1.query("SELECT k, COUNT(*) FROM t GROUP BY k ORDER BY k")
+            .unwrap();
+        let (_, hits, misses) = hub.plan_cache_stats();
+        assert_eq!((hits, misses), (1, 2), "stale generation re-plans");
+
+        // Different executor settings are different plan identities.
+        r2.set_memory_budget(Some(1));
+        r2.query("SELECT k, COUNT(*) FROM t GROUP BY k ORDER BY k")
+            .unwrap();
+        let (entries, _, misses) = hub.plan_cache_stats();
+        assert_eq!((entries, misses), (2, 3), "budget is part of the key");
+    }
+
+    #[test]
+    fn parallel_reader_matches_serial_reader() {
+        let db = db_with_rows(512);
+        let hub = SnapshotHub::new(&db);
+        let mut serial = hub.reader();
+        serial.set_parallelism(1);
+        let mut parallel = hub.reader();
+        parallel.set_parallelism(4);
+        let sql = "SELECT k, COUNT(*), SUM(v) FROM t GROUP BY k ORDER BY k";
+        assert_eq!(serial.query(sql).unwrap(), parallel.query(sql).unwrap());
+    }
+}

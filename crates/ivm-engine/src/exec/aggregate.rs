@@ -28,18 +28,142 @@ use crate::expr::{AggExpr, AggFunc, BoundExpr, EvalChunk, VectorKernel};
 use crate::planner::physical::AggMode;
 use crate::value::Value;
 
+/// An exactly-rounded floating-point sum accumulator.
+///
+/// Compensated summation generalized to a full error expansion:
+/// instead of one Neumaier-style running compensation term, the
+/// accumulator keeps the *entire* rounding error as a list of
+/// non-overlapping partials of increasing magnitude (Shewchuk's
+/// grow-expansion, as in CPython's `math.fsum`), so the partials
+/// represent the real-number sum of everything added with **no error at
+/// all**. [`value`](ExactSum::value) then rounds that exact sum once,
+/// correctly (round-half-even). Because the represented sum is exact,
+/// the result is independent of addition order and of where partial
+/// accumulators are [`merge`](ExactSum::merge)d — which is what makes
+/// the parallel executor's morsel-boundary merges bitwise identical to
+/// the serial fold, where a single running compensation would differ in
+/// the last ulp.
+///
+/// Non-finite inputs (and exact sums that overflow the `f64` range)
+/// collapse the accumulator to plain IEEE addition semantics: NaN is
+/// sticky, `+inf + -inf` is NaN — matching what a `+` fold produces.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ExactSum {
+    partials: Vec<f64>,
+    /// Set once any input or the exact sum itself leaves the finite
+    /// range; from then on plain IEEE addition applies.
+    special: Option<f64>,
+}
+
+impl ExactSum {
+    /// Add one addend, maintaining the exact expansion.
+    pub(crate) fn add(&mut self, value: f64) {
+        if let Some(s) = &mut self.special {
+            *s += value;
+            return;
+        }
+        if !value.is_finite() {
+            self.special = Some(self.round() + value);
+            self.partials.clear();
+            return;
+        }
+        let mut x = value;
+        let mut out = 0;
+        for i in 0..self.partials.len() {
+            let mut y = self.partials[i];
+            if x.abs() < y.abs() {
+                std::mem::swap(&mut x, &mut y);
+            }
+            // Dekker two-sum: hi is the rounded sum, lo the exact error.
+            let hi = x + y;
+            let lo = y - (hi - x);
+            if lo != 0.0 {
+                self.partials[out] = lo;
+                out += 1;
+            }
+            x = hi;
+        }
+        self.partials.truncate(out);
+        if x != 0.0 {
+            if !x.is_finite() {
+                // The exact sum left the f64 range.
+                self.special = Some(x);
+                self.partials.clear();
+                return;
+            }
+            self.partials.push(x);
+        }
+    }
+
+    /// Fold another accumulator in. Merging expansions adds exact
+    /// quantities, so any merge tree yields the same exact sum — and
+    /// therefore the same rounded [`value`](ExactSum::value) — as the
+    /// serial element-order fold.
+    pub(crate) fn merge(&mut self, later: &ExactSum) {
+        if let Some(s) = later.special {
+            self.add(s);
+            return;
+        }
+        for &x in &later.partials {
+            self.add(x);
+        }
+    }
+
+    /// The correctly rounded (round-half-even) value of the exact sum.
+    pub(crate) fn value(&self) -> f64 {
+        match self.special {
+            Some(s) => s,
+            None => self.round(),
+        }
+    }
+
+    /// CPython `math.fsum`'s backward pass: sum partials highest first,
+    /// stopping at the first nonzero remainder, then apply the halfway
+    /// correction so the result rounds as if computed in one operation.
+    fn round(&self) -> f64 {
+        let p = &self.partials;
+        let Some(mut n) = p.len().checked_sub(1) else {
+            return 0.0;
+        };
+        let mut hi = p[n];
+        let mut lo = 0.0;
+        while n > 0 {
+            let x = hi;
+            n -= 1;
+            let y = p[n];
+            debug_assert!(x.abs() >= y.abs());
+            hi = x + y;
+            lo = y - (hi - x);
+            if lo != 0.0 {
+                break;
+            }
+        }
+        // hi may sit exactly halfway between representable values; if
+        // the remaining partials push in the same direction as lo, the
+        // exact sum is past the halfway point and hi must round away.
+        if n > 0 && ((lo < 0.0 && p[n - 1] < 0.0) || (lo > 0.0 && p[n - 1] > 0.0)) {
+            let y = lo * 2.0;
+            let x = hi + y;
+            if y == x - hi {
+                hi = x;
+            }
+        }
+        hi
+    }
+}
+
 /// One accumulator per aggregate per group.
 #[derive(Debug, Clone)]
 pub(crate) enum Acc {
     Sum {
         total_i: i64,
-        total_f: f64,
+        total_f: ExactSum,
         is_float: bool,
         seen: bool,
     },
     Count(i64),
     Avg {
-        total: f64,
+        total: ExactSum,
         count: i64,
     },
     Min(Option<Value>),
@@ -51,13 +175,13 @@ impl Acc {
         match func {
             AggFunc::Sum => Acc::Sum {
                 total_i: 0,
-                total_f: 0.0,
+                total_f: ExactSum::default(),
                 is_float: false,
                 seen: false,
             },
             AggFunc::Count => Acc::Count(0),
             AggFunc::Avg => Acc::Avg {
-                total: 0.0,
+                total: ExactSum::default(),
                 count: 0,
             },
             AggFunc::Min => Acc::Min(None),
@@ -79,7 +203,7 @@ impl Acc {
                 match v {
                     Value::Integer(i) => {
                         if *is_float {
-                            *total_f += *i as f64;
+                            total_f.add(*i as f64);
                         } else {
                             *total_i = total_i
                                 .checked_add(*i)
@@ -88,10 +212,10 @@ impl Acc {
                     }
                     Value::Double(d) => {
                         if !*is_float {
-                            *total_f = *total_i as f64;
+                            total_f.add(*total_i as f64);
                             *is_float = true;
                         }
-                        *total_f += d;
+                        total_f.add(*d);
                     }
                     other => {
                         return Err(EngineError::execution(format!("SUM of {other}")));
@@ -103,7 +227,7 @@ impl Acc {
                 let d = v
                     .as_f64()
                     .ok_or_else(|| EngineError::execution(format!("AVG of {v}")))?;
-                *total += d;
+                total.add(d);
                 *count += 1;
             }
             Acc::Min(cur) => {
@@ -134,7 +258,7 @@ impl Acc {
             } => {
                 *seen = true;
                 if *is_float {
-                    *total_f += v as f64;
+                    total_f.add(v as f64);
                 } else {
                     *total_i = total_i
                         .checked_add(v)
@@ -143,7 +267,7 @@ impl Acc {
             }
             Acc::Count(c) => *c += 1,
             Acc::Avg { total, count } => {
-                *total += v as f64;
+                total.add(v as f64);
                 *count += 1;
             }
             Acc::Min(cur) => {
@@ -179,14 +303,14 @@ impl Acc {
             } => {
                 *seen = true;
                 if !*is_float {
-                    *total_f = *total_i as f64;
+                    total_f.add(*total_i as f64);
                     *is_float = true;
                 }
-                *total_f += v;
+                total_f.add(v);
             }
             Acc::Count(c) => *c += 1,
             Acc::Avg { total, count } => {
-                *total += v;
+                total.add(v);
                 *count += 1;
             }
             Acc::Min(cur) => {
@@ -232,10 +356,15 @@ impl Acc {
             ) => {
                 *seen |= bs;
                 if *is_float || bfl {
-                    let a = if *is_float { *total_f } else { *total_i as f64 };
-                    let b = if bfl { bf } else { bi as f64 };
-                    *total_f = a + b;
-                    *is_float = true;
+                    if !*is_float {
+                        total_f.add(*total_i as f64);
+                        *is_float = true;
+                    }
+                    if bfl {
+                        total_f.merge(&bf);
+                    } else {
+                        total_f.add(bi as f64);
+                    }
                 } else {
                     *total_i = total_i
                         .checked_add(bi)
@@ -250,7 +379,7 @@ impl Acc {
                     count: bc,
                 },
             ) => {
-                *total += bt;
+                total.merge(&bt);
                 *count += bc;
             }
             (Acc::Min(cur), Acc::Min(other)) => {
@@ -283,7 +412,7 @@ impl Acc {
                 if !seen {
                     Value::Null
                 } else if is_float {
-                    Value::Double(total_f)
+                    Value::Double(total_f.value())
                 } else {
                     Value::Integer(total_i)
                 }
@@ -293,7 +422,7 @@ impl Acc {
                 if count == 0 {
                     Value::Null
                 } else {
-                    Value::Double(total / count as f64)
+                    Value::Double(total.value() / count as f64)
                 }
             }
             Acc::Min(v) | Acc::Max(v) => v.unwrap_or(Value::Null),
@@ -1388,5 +1517,75 @@ mod tests {
         let mut a = Acc::new(AggFunc::Sum);
         a.merge(Acc::new(AggFunc::Sum)).unwrap();
         assert_eq!(a.finish(), Value::Null);
+    }
+
+    #[test]
+    fn exact_sum_is_order_and_split_independent() {
+        // The classic compensation-killer sequence: big and tiny
+        // magnitudes whose naive fold loses the tiny terms entirely.
+        let xs = [1e300, 1.0, -1e300, 1e-7, 1e16, 3.25, -1e16, -1.0];
+        let mut serial = ExactSum::default();
+        for &x in &xs {
+            serial.add(x);
+        }
+        // Every split point, merged as the parallel executor would.
+        for cut in 0..=xs.len() {
+            let (a, b) = xs.split_at(cut);
+            let mut left = ExactSum::default();
+            for &x in a {
+                left.add(x);
+            }
+            let mut right = ExactSum::default();
+            for &x in b {
+                right.add(x);
+            }
+            left.merge(&right);
+            assert_eq!(
+                left.value().to_bits(),
+                serial.value().to_bits(),
+                "split at {cut}"
+            );
+        }
+        // Exactness, not just consistency: the tiny terms survive.
+        assert_eq!(serial.value(), 1e-7 + 3.25);
+    }
+
+    #[test]
+    fn exact_sum_rounds_half_to_even() {
+        // 1 + 2^-53 + 2^-53: the naive left fold loses both halves and
+        // returns 1.0; the exact sum is 1 + 2^-52, representable.
+        let ulp_half = (2.0f64).powi(-53);
+        let mut s = ExactSum::default();
+        s.add(1.0);
+        s.add(ulp_half);
+        s.add(ulp_half);
+        assert_eq!(s.value(), 1.0 + (2.0f64).powi(-52));
+        // 1 + 2^-53 alone sits exactly halfway; round-half-even keeps 1.
+        let mut s = ExactSum::default();
+        s.add(1.0);
+        s.add(ulp_half);
+        assert_eq!(s.value(), 1.0);
+    }
+
+    #[test]
+    fn exact_sum_special_values_follow_ieee() {
+        let mut s = ExactSum::default();
+        s.add(1.0);
+        s.add(f64::INFINITY);
+        s.add(5.0);
+        assert_eq!(s.value(), f64::INFINITY);
+        s.add(f64::NEG_INFINITY);
+        assert!(s.value().is_nan(), "inf + -inf is NaN");
+        let mut s = ExactSum::default();
+        s.add(f64::NAN);
+        s.add(1.0);
+        assert!(s.value().is_nan(), "NaN is sticky");
+        // Exact-sum overflow collapses to infinity like a `+` fold.
+        let mut s = ExactSum::default();
+        s.add(f64::MAX);
+        s.add(f64::MAX);
+        assert_eq!(s.value(), f64::INFINITY);
+        // Empty sum is 0.0.
+        assert_eq!(ExactSum::default().value(), 0.0);
     }
 }

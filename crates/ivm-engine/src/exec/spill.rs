@@ -398,26 +398,74 @@ pub(crate) fn tuple_bytes(row: &[Value]) -> usize {
     frame::row_bytes(row) + TUPLE_OVERHEAD
 }
 
-/// Whether the process that created a spill file is still alive. Only
-/// Linux gives us a cheap answer (`/proc/<pid>`); elsewhere we stay
-/// conservative and never reclaim another process's files.
-fn spill_owner_alive(pid: u32) -> bool {
+/// The start time (clock ticks since boot) of a process, from field 22
+/// of `/proc/<pid>/stat` — the kernel's disambiguator between a pid and
+/// a *recycled* pid: a new process under an old pid gets a new start
+/// time. `None` when the process is gone or the field is unreadable.
+/// Parsed after the last `)` because the comm field may itself contain
+/// spaces and parentheses.
+#[cfg(target_os = "linux")]
+fn proc_start_time(pid: u32) -> Option<u64> {
+    let stat = std::fs::read_to_string(format!("/proc/{pid}/stat")).ok()?;
+    let after_comm = stat.rsplit_once(')')?.1;
+    // Tokens after the comm field start at field 3 (state), so field 22
+    // (starttime) is the 20th token here.
+    after_comm.split_whitespace().nth(19)?.parse().ok()
+}
+
+/// This process's own start time, stamped into every spill filename so
+/// a later process that drew the same pid (PID reuse) — or another
+/// concurrent session in *this* process — can tell our files from a
+/// dead owner's. 0 where `/proc` is unavailable.
+fn own_start_time() -> u64 {
+    static OWN: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *OWN.get_or_init(|| {
+        #[cfg(target_os = "linux")]
+        {
+            proc_start_time(std::process::id()).unwrap_or(0)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            0
+        }
+    })
+}
+
+/// Whether the recorded owner of a spill file is still alive — meaning
+/// the pid exists *and* belongs to the same process incarnation that
+/// created the file. A dead pid is reclaimable; a live pid with a
+/// different start time is a recycled pid, i.e. the real owner is dead
+/// and the file is reclaimable too. Legacy filenames without a start
+/// time (`start_time == None`) fall back to bare pid liveness. Only
+/// Linux gives us a cheap answer (`/proc/<pid>/stat`); elsewhere we
+/// stay conservative and never reclaim another process's files.
+fn spill_owner_alive(pid: u32, start_time: Option<u64>) -> bool {
     #[cfg(target_os = "linux")]
     {
-        std::path::Path::new(&format!("/proc/{pid}")).exists()
+        match proc_start_time(pid) {
+            None => false,
+            Some(current) => match start_time {
+                Some(recorded) => current == recorded,
+                None => true,
+            },
+        }
     }
     #[cfg(not(target_os = "linux"))]
     {
-        let _ = pid;
+        let _ = (pid, start_time);
         true
     }
 }
 
-/// Delete `openivm-spill-{pid}-{seq}.bin` files in `dir` whose owning
-/// process is dead — the temp files a crashed process leaves behind.
-/// Files of live processes (including our own) are never touched.
-/// Returns the number of files removed; all I/O errors are swallowed
-/// (cleanup is best-effort and races with concurrent databases).
+/// Delete `openivm-spill-{pid}-{starttime}-{seq}.bin` files in `dir`
+/// whose owning process incarnation is dead — the temp files a crashed
+/// process leaves behind. Liveness is pid + process start time, so a
+/// recycled pid cannot make a dead owner's files look owned (or, before
+/// this check existed, leak them forever). Files of the live owner
+/// (including our own) are never touched; legacy two-part names
+/// (`pid-seq`) are judged on pid liveness alone. Returns the number of
+/// files removed; all I/O errors are swallowed (cleanup is best-effort
+/// and races with concurrent databases).
 pub fn clean_orphan_spill_files(dir: &Path) -> usize {
     let Ok(entries) = sio::read_dir(dir) else {
         return 0;
@@ -428,15 +476,24 @@ pub fn clean_orphan_spill_files(dir: &Path) -> usize {
         let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
             continue;
         };
-        let Some(pid) = name
+        let Some(stem) = name
             .strip_prefix("openivm-spill-")
             .and_then(|r| r.strip_suffix(".bin"))
-            .and_then(|r| r.split('-').next())
-            .and_then(|p| p.parse::<u32>().ok())
         else {
             continue;
         };
-        if pid == own_pid || spill_owner_alive(pid) {
+        let mut parts = stem.split('-');
+        let Some(pid) = parts.next().and_then(|p| p.parse::<u32>().ok()) else {
+            continue;
+        };
+        // Three-part names carry the owner's start time; legacy
+        // two-part names (`pid-seq`) don't.
+        let start_time = match (parts.next(), parts.next()) {
+            (Some(st), Some(_seq)) => st.parse::<u64>().ok(),
+            _ => None,
+        };
+        let ours = pid == own_pid && start_time.is_none_or(|st| st == own_start_time());
+        if ours || spill_owner_alive(pid, start_time) {
             continue;
         }
         if sio::remove_file(&path).is_ok() {
@@ -480,10 +537,12 @@ impl SpillWriter {
     /// Create a fresh spill file in `budget`'s spill directory.
     pub(crate) fn create(budget: &MemoryBudget) -> Result<SpillWriter, EngineError> {
         let seq = SPILL_FILE_SEQ.fetch_add(1, Ordering::Relaxed);
-        let path =
-            budget
-                .spill_dir()
-                .join(format!("openivm-spill-{}-{}.bin", std::process::id(), seq));
+        let path = budget.spill_dir().join(format!(
+            "openivm-spill-{}-{}-{}.bin",
+            std::process::id(),
+            own_start_time(),
+            seq
+        ));
         SpillWriter::create_at(path, budget)
     }
 
@@ -1707,5 +1766,100 @@ mod tests {
         }
         assert!(budget.stats().spilled(), "256-byte budget must flush runs");
         assert_eq!(budget.inner.used.load(Ordering::Relaxed), 0);
+    }
+
+    /// A scratch directory for reaper tests, removed on drop.
+    struct ReaperDir(PathBuf);
+    impl ReaperDir {
+        fn new(tag: &str) -> ReaperDir {
+            let dir = std::env::temp_dir().join(format!(
+                "openivm-iotest-reaper-{}-{}",
+                std::process::id(),
+                tag
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            ReaperDir(dir)
+        }
+        fn fake(&self, name: &str) -> PathBuf {
+            let path = self.0.join(name);
+            std::fs::write(&path, b"stale marker").unwrap();
+            path
+        }
+    }
+    impl Drop for ReaperDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// A pid that is certainly dead: spawn a short-lived child and reap
+    /// it. (The pid could in principle be recycled immediately, but the
+    /// reaper tests that rely on this also record a bogus start time, so
+    /// even a recycled pid reads as a dead incarnation.)
+    fn dead_pid() -> u32 {
+        let mut child = std::process::Command::new("true").spawn().unwrap();
+        let pid = child.id();
+        child.wait().unwrap();
+        pid
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn orphan_reaper_survives_pid_reuse() {
+        let dir = ReaperDir::new("reuse");
+        let own = std::process::id();
+        // The PID-reuse regression: a file recorded under *our* pid but
+        // a different start time was created by a dead process whose
+        // pid the kernel re-issued to us. The old reaper (bare
+        // `/proc/<pid>` existence) would leak it forever; the
+        // start-time check reclaims it.
+        let recycled = dir.fake(&format!("openivm-spill-{}-{}-0.bin", own, u64::MAX));
+        // Our own live incarnation's file must never be touched.
+        let ours = dir.fake(&format!(
+            "openivm-spill-{}-{}-1.bin",
+            own,
+            super::own_start_time()
+        ));
+        assert_eq!(clean_orphan_spill_files(&dir.0), 1);
+        assert!(!recycled.exists(), "recycled-pid orphan must be reclaimed");
+        assert!(ours.exists(), "live owner's file must survive");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn orphan_reaper_reclaims_dead_owners_only() {
+        let dir = ReaperDir::new("dead");
+        let dead = dead_pid();
+        let dead_new = dir.fake(&format!("openivm-spill-{}-{}-0.bin", dead, u64::MAX));
+        let dead_legacy = dir.fake(&format!("openivm-spill-{dead}-7.bin"));
+        // A live foreign incarnation (pid 1 with its true start time)
+        // must survive, as must files the parser can't attribute.
+        let init_st = super::proc_start_time(1).unwrap();
+        let live_foreign = dir.fake(&format!("openivm-spill-1-{init_st}-0.bin"));
+        let own_legacy = dir.fake(&format!("openivm-spill-{}-9.bin", std::process::id()));
+        let unparseable = dir.fake("openivm-spill-not-a-pid.bin");
+        assert_eq!(clean_orphan_spill_files(&dir.0), 2);
+        assert!(!dead_new.exists(), "dead owner (stamped) reclaimed");
+        assert!(!dead_legacy.exists(), "dead owner (legacy name) reclaimed");
+        assert!(live_foreign.exists(), "live foreign owner kept");
+        assert!(own_legacy.exists(), "own legacy file kept");
+        assert!(unparseable.exists(), "unparseable names are left alone");
+    }
+
+    #[test]
+    fn spill_filenames_carry_start_time() {
+        let budget = MemoryBudget::with_limit(1);
+        let w = SpillWriter::create(&budget).unwrap();
+        let name = w.path.file_name().unwrap().to_str().unwrap().to_string();
+        drop(w);
+        let stem = name
+            .strip_prefix("openivm-spill-")
+            .and_then(|r| r.strip_suffix(".bin"))
+            .unwrap();
+        let parts: Vec<&str> = stem.split('-').collect();
+        assert_eq!(parts.len(), 3, "pid-starttime-seq: {name}");
+        assert_eq!(parts[0].parse::<u32>().unwrap(), std::process::id());
+        assert_eq!(parts[1].parse::<u64>().unwrap(), super::own_start_time());
+        parts[2].parse::<u64>().unwrap();
     }
 }

@@ -11,19 +11,19 @@
 ///
 /// Keys must be prefix-free (no key may be a proper prefix of another); the
 /// [`super::key`] encoding guarantees this for fixed-arity composite keys.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Art {
     root: Option<Box<Node>>,
     len: usize,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Node {
     Leaf { key: Box<[u8]>, value: u64 },
     Inner(Box<Inner>),
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Inner {
     /// Compressed path: bytes shared by every key below this node,
     /// relative to the node's depth.
@@ -32,7 +32,7 @@ struct Inner {
 }
 
 /// The four adaptive node layouts.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Children {
     /// Up to 4 children; linear key array.
     N4 {

@@ -14,7 +14,7 @@ use crate::value::Value;
 /// keys) hold exactly one row per key; the engine's upsert path relies on
 /// this to locate the victim row, mirroring the paper's observation that
 /// "DuckDB requires an index to apply upserts".
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct TableIndex {
     /// Positions of the indexed columns in the table schema.
     pub columns: Vec<usize>,

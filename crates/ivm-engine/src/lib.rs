@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod concurrent;
 pub mod error;
 pub mod exec;
 pub mod expr;
@@ -68,6 +69,7 @@ pub mod types;
 pub mod value;
 
 pub use catalog::Catalog;
+pub use concurrent::{ReadSession, Snapshot, SnapshotHub};
 pub use error::{EngineError, ErrorKind};
 pub use exec::{reset_typed_path_stats, typed_path_stats, MemoryBudget, RowBatch, SpillStats};
 pub use planner::{plan_query, LogicalPlan, PhysicalPlan};

@@ -126,14 +126,14 @@ fn env_setting<T>(name: &str, parse: impl FnOnce(&str) -> Result<T, EngineError>
     }
 }
 
-fn env_parallelism() -> usize {
+pub(crate) fn env_parallelism() -> usize {
     // An explicit setting wins; `1` is the explicit serial bypass.
     // Unset: size the worker pool from the machine.
     env_setting(PARALLELISM_ENV, parse_parallelism_setting)
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
 }
 
-fn env_budget() -> MemoryBudget {
+pub(crate) fn env_budget() -> MemoryBudget {
     let budget = match env_setting(MEMORY_BUDGET_ENV, parse_memory_budget_setting).flatten() {
         Some(bytes) => MemoryBudget::with_limit(bytes),
         None => MemoryBudget::unbounded(),
@@ -142,6 +142,20 @@ fn env_budget() -> MemoryBudget {
         budget.set_spill_dir(std::path::PathBuf::from(dir));
     }
     budget
+}
+
+/// Cache key of a bound plan: the SQL text plus the session settings the
+/// lowered shape depends on. `lower_with_budget` bakes a budget-dependent
+/// build-side choice into the physical plan, so a plan lowered under one
+/// memory budget must never be reused under another — keying (rather
+/// than invalidating) also lets a session that flips a setting back
+/// re-hit its earlier plans, and lets sessions with different settings
+/// share one cache without evicting each other's entries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    sql: String,
+    budget: Option<usize>,
+    parallelism: usize,
 }
 
 /// A cached optimized physical plan, valid while the catalog shape
@@ -201,7 +215,7 @@ pub struct Database {
     budget: MemoryBudget,
     /// Physical-plan cache for repeated statements (maintenance scripts),
     /// invalidated by bumping `ddl_generation`.
-    plan_cache: HashMap<String, CachedPlan>,
+    plan_cache: HashMap<PlanKey, CachedPlan>,
     ddl_generation: u64,
     plan_cache_hits: usize,
     /// Durable backing (pages + WAL + checkpoints); `None` = in-memory
@@ -564,9 +578,9 @@ impl Database {
     /// build side fits).
     pub fn set_memory_budget(&mut self, bytes: Option<usize>) {
         self.budget.set_limit(bytes);
-        // The planner's build-side choice is budget-aware; cached plans
-        // lowered under the old budget may no longer be the right shape.
-        self.invalidate_plans();
+        // The planner's build-side choice is budget-aware; the plan
+        // cache is keyed on the budget, so entries lowered under the old
+        // setting simply stop matching (and match again if it returns).
     }
 
     /// The executor memory budget in bytes (`None` = unbounded).
@@ -625,7 +639,12 @@ impl Database {
         key: &str,
         q: &Query,
     ) -> Result<(Arc<PhysicalPlan>, Vec<String>), EngineError> {
-        if let Some(hit) = self.plan_cache.get(key) {
+        let cache_key = PlanKey {
+            sql: key.to_string(),
+            budget: self.budget.limit(),
+            parallelism: self.parallelism,
+        };
+        if let Some(hit) = self.plan_cache.get(&cache_key) {
             if hit.generation == self.ddl_generation {
                 self.plan_cache_hits += 1;
                 return Ok((Arc::clone(&hit.physical), hit.columns.clone()));
@@ -650,7 +669,7 @@ impl Database {
             }
         }
         self.plan_cache.insert(
-            key.to_string(),
+            cache_key,
             CachedPlan {
                 generation: self.ddl_generation,
                 physical: Arc::clone(&physical),
@@ -678,6 +697,13 @@ impl Database {
     pub fn invalidate_plans(&mut self) {
         self.ddl_generation += 1;
         self.plan_cache.clear();
+    }
+
+    /// The catalog-shape generation the plan cache validates against;
+    /// snapshot publication stamps it into each published snapshot so
+    /// shared prepared-statement caches can do the same validation.
+    pub(crate) fn ddl_generation(&self) -> u64 {
+        self.ddl_generation
     }
 
     /// Execute a single SQL statement.
@@ -1363,6 +1389,44 @@ mod tests {
         // Explicit invalidation clears everything.
         db.invalidate_plans();
         assert_eq!(db.plan_cache_stats().0, 0);
+    }
+
+    #[test]
+    fn plan_cache_keys_on_budget_and_parallelism() {
+        let mut db = seeded();
+        db.set_memory_budget(None);
+        let sql = "SELECT g, SUM(v) AS t FROM s GROUP BY g ORDER BY g";
+        let stmt = parse_statement(sql).unwrap();
+        let baseline = db.execute_statement_cached(sql, &stmt).unwrap();
+        assert_eq!(db.plan_cache_stats(), (1, 0));
+
+        // Flipping the budget between two executions of the same SQL
+        // must re-lower: `lower_with_budget` bakes a budget-dependent
+        // build-side choice into the physical plan, so a plan lowered
+        // under another budget is a different identity — reusing it was
+        // the staleness bug.
+        db.set_memory_budget(Some(123_456_789));
+        let budgeted = db.execute_statement_cached(sql, &stmt).unwrap();
+        assert_eq!(db.plan_cache_stats(), (2, 0), "budget flip re-lowers");
+        assert_eq!(budgeted.rows, baseline.rows, "same data, same answer");
+
+        // Keyed, not invalidated: each budget's plan survives the flips
+        // and re-hits when its setting returns.
+        db.set_memory_budget(None);
+        db.execute_statement_cached(sql, &stmt).unwrap();
+        assert_eq!(db.plan_cache_stats(), (2, 1), "unbounded plan re-hits");
+        db.set_memory_budget(Some(123_456_789));
+        db.execute_statement_cached(sql, &stmt).unwrap();
+        assert_eq!(db.plan_cache_stats(), (2, 2), "budgeted plan re-hits");
+
+        // Parallelism is part of plan identity too.
+        db.set_parallelism(2);
+        let parallel = db.execute_statement_cached(sql, &stmt).unwrap();
+        assert_eq!(db.plan_cache_stats(), (3, 2), "parallelism flip re-lowers");
+        assert_eq!(parallel.rows, baseline.rows);
+        db.set_parallelism(1);
+        db.execute_statement_cached(sql, &stmt).unwrap();
+        assert_eq!(db.plan_cache_stats(), (3, 3));
     }
 
     #[test]

@@ -36,11 +36,24 @@ pub struct Table {
     pub schema: Schema,
     /// Positions of the primary key columns (empty = no PK).
     pub primary_key: Vec<usize>,
-    columns: Vec<Vec<Value>>,
-    deleted: Vec<bool>,
+    /// All row storage — column vectors, tombstone bitmap, and indexes —
+    /// behind a single `Arc` so [`Table::snapshot`] can freeze the table
+    /// with one refcount bump. The writer reaches mutable storage through
+    /// one `Arc::make_mut` per operation: a no-op uniqueness check while
+    /// unshared (the single-session path mutates in place exactly as
+    /// before), and one copy-on-write clone of the storage on the first
+    /// mutation after a snapshot froze it.
+    data: Arc<TableData>,
+    /// Set whenever [`Table::snapshot`] hands `data` to a reader; cleared
+    /// once a mutation re-establishes unique ownership via
+    /// [`Arc::make_mut`]. While clear, [`Table::data_mut`] skips the
+    /// atomic uniqueness check entirely: `&mut self` plus "no snapshot
+    /// taken since the last mutation" proves the refcount is 1, so the
+    /// per-row DML hot path pays a plain branch instead of a CAS.
+    /// Atomic only because `snapshot` takes `&self` and tables are shared
+    /// across scan workers; every access from `&mut self` uses `get_mut`.
+    maybe_shared: AtomicBool,
     live: usize,
-    pk_index: Option<TableIndex>,
-    secondary: Vec<(String, TableIndex)>,
     /// Bumped on every row mutation (insert/delete/update/truncate/
     /// compact); external caches keyed on row content (e.g. the
     /// delta-ingest victim index in `ivm-core`) validate against it.
@@ -49,6 +62,17 @@ pub struct Table {
     /// logical redo record here. `None` in in-memory mode and during
     /// WAL replay — mutations then behave exactly as before.
     wal: Option<Arc<Wal>>,
+}
+
+/// The shareable storage half of a [`Table`]: everything a snapshot
+/// freezes. Cloned as a unit by `Arc::make_mut` when the writer first
+/// mutates storage a snapshot still holds.
+#[derive(Debug, Clone)]
+struct TableData {
+    columns: Vec<Vec<Value>>,
+    deleted: Vec<bool>,
+    pk_index: Option<TableIndex>,
+    secondary: Vec<(String, TableIndex)>,
 }
 
 impl Table {
@@ -62,14 +86,37 @@ impl Table {
             name: name.into(),
             schema,
             primary_key,
-            columns: vec![Vec::new(); ncols],
-            deleted: Vec::new(),
+            data: Arc::new(TableData {
+                columns: vec![Vec::new(); ncols],
+                deleted: Vec::new(),
+                pk_index,
+                secondary: Vec::new(),
+            }),
+            maybe_shared: AtomicBool::new(false),
             live: 0,
-            pk_index,
-            secondary: Vec::new(),
             generation: next_generation(),
             wal: None,
         }
+    }
+
+    /// Mutable storage access. The common case — no snapshot taken since
+    /// the last mutation — is a plain branch on [`Table::maybe_shared`]
+    /// and a pointer cast: no atomic operation at all. The first mutation
+    /// after a snapshot goes through [`Arc::make_mut`], which clones the
+    /// storage if the snapshot still holds it, re-establishing unique
+    /// ownership for every following call.
+    fn data_mut(&mut self) -> &mut TableData {
+        if *self.maybe_shared.get_mut() {
+            Arc::make_mut(&mut self.data);
+            *self.maybe_shared.get_mut() = false;
+        }
+        // SAFETY: `self.data` is uniquely owned here. `maybe_shared` is
+        // set by every clone of the Arc (all of which live in
+        // [`Table::snapshot`]) and only cleared above, immediately after
+        // `make_mut` re-established uniqueness; `&mut self` excludes a
+        // concurrent `snapshot`. This is `Arc::get_mut_unchecked` minus
+        // the unstable feature gate.
+        unsafe { &mut *(Arc::as_ptr(&self.data) as *mut TableData) }
     }
 
     /// Attach (or detach) the redo log every mutation reports to.
@@ -80,7 +127,8 @@ impl Table {
     /// Secondary index definitions as `(name, columns, unique)` — the
     /// durable checkpoint records these so indexes rebuild on recovery.
     pub fn secondary_index_defs(&self) -> Vec<(String, Vec<usize>, bool)> {
-        self.secondary
+        self.data
+            .secondary
             .iter()
             .map(|(n, idx)| (n.clone(), idx.columns.clone(), idx.unique))
             .collect()
@@ -101,8 +149,8 @@ impl Table {
     ) -> Result<Table, EngineError> {
         let total = total_slots as usize;
         let mut table = Table::new(name, schema, primary_key);
-        table.columns = vec![vec![Value::Null; total]; table.schema.len()];
-        table.deleted = vec![true; total];
+        let mut columns = vec![vec![Value::Null; total]; table.schema.len()];
+        let mut deleted = vec![true; total];
         for (slot, row) in rows {
             let idx = slot as usize;
             if idx >= total {
@@ -111,7 +159,7 @@ impl Table {
                     table.name
                 )));
             }
-            if !table.deleted[idx] {
+            if !deleted[idx] {
                 return Err(EngineError::execution(format!(
                     "corrupt table {}: slot {slot} stored twice",
                     table.name
@@ -125,11 +173,16 @@ impl Table {
                     table.schema.len()
                 )));
             }
-            for (col, value) in table.columns.iter_mut().zip(row) {
+            for (col, value) in columns.iter_mut().zip(row) {
                 col[idx] = value;
             }
-            table.deleted[idx] = false;
+            deleted[idx] = false;
             table.live += 1;
+        }
+        {
+            let data = table.data_mut();
+            data.columns = columns;
+            data.deleted = deleted;
         }
         table.rebuild_indexes();
         for (iname, cols, unique) in secondary {
@@ -145,28 +198,36 @@ impl Table {
 
     /// Total slots including tombstones.
     pub fn total_slots(&self) -> usize {
-        self.deleted.len()
+        self.data.deleted.len()
     }
 
     /// Whether the table has a primary key index.
     pub fn has_pk_index(&self) -> bool {
-        self.pk_index.is_some()
+        self.data.pk_index.is_some()
     }
 
     /// Borrow the primary key index.
     pub fn pk_index(&self) -> Option<&TableIndex> {
-        self.pk_index.as_ref()
+        self.data.pk_index.as_ref()
     }
 
     /// Names of secondary indexes.
     pub fn secondary_index_names(&self) -> Vec<&str> {
-        self.secondary.iter().map(|(n, _)| n.as_str()).collect()
+        self.data
+            .secondary
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect()
     }
 
     /// Total approximate index memory (primary + secondary), for E2.
     pub fn index_memory_bytes(&self) -> usize {
-        self.pk_index.as_ref().map_or(0, TableIndex::memory_bytes)
+        self.data
+            .pk_index
+            .as_ref()
+            .map_or(0, TableIndex::memory_bytes)
             + self
+                .data
                 .secondary
                 .iter()
                 .map(|(_, i)| i.memory_bytes())
@@ -208,7 +269,7 @@ impl Table {
     /// Append a row, enforcing the PK. Returns the new row id.
     pub fn insert(&mut self, row: Vec<Value>) -> Result<u64, EngineError> {
         self.check_row(&row)?;
-        if let Some(pk) = &self.pk_index {
+        if let Some(pk) = &self.data.pk_index {
             let key = pk.key_of(&row);
             if pk.get_encoded(&key).is_some() {
                 return Err(EngineError::constraint(format!(
@@ -225,7 +286,7 @@ impl Table {
     /// replaced)`.
     pub fn upsert(&mut self, row: Vec<Value>) -> Result<(u64, bool), EngineError> {
         self.check_row(&row)?;
-        let Some(pk) = &self.pk_index else {
+        let Some(pk) = &self.data.pk_index else {
             return Err(EngineError::constraint(format!(
                 "INSERT OR REPLACE on table {} requires a primary key index",
                 self.name
@@ -252,6 +313,32 @@ impl Table {
         self.generation
     }
 
+    /// Freeze a copy-on-write snapshot of this table. The clone shares
+    /// the entire storage — column vectors, tombstone bitmap, and all
+    /// ART indexes — by one `Arc` reference: a single refcount bump, no
+    /// row is copied. The writer's next mutation goes through
+    /// [`Arc::make_mut`], which clones the storage once while a snapshot
+    /// still shares it, so snapshot readers observe a consistent
+    /// immutable image while the writer proceeds. The snapshot carries
+    /// no WAL handle: it is a read-only view, never a durability
+    /// participant.
+    pub fn snapshot(&self) -> Table {
+        // Relaxed suffices: the snapshot Arc clone below synchronizes the
+        // refcount itself, and the writer rechecks ownership through
+        // `make_mut` whenever the flag is set.
+        self.maybe_shared.store(true, Ordering::Relaxed);
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            primary_key: self.primary_key.clone(),
+            data: Arc::clone(&self.data),
+            maybe_shared: AtomicBool::new(true),
+            live: self.live,
+            generation: self.generation,
+            wal: None,
+        }
+    }
+
     fn append_unchecked(&mut self, row: Vec<Value>) -> u64 {
         if let Some(wal) = &self.wal {
             wal.log(&WalRecord::Insert {
@@ -260,19 +347,20 @@ impl Table {
             });
         }
         self.generation = next_generation();
-        let id = self.deleted.len() as u64;
-        if let Some(pk) = &mut self.pk_index {
+        let data = self.data_mut();
+        let id = data.deleted.len() as u64;
+        if let Some(pk) = &mut data.pk_index {
             let key = pk.key_of(&row);
             pk.insert(&key, id);
         }
-        for (_, idx) in &mut self.secondary {
+        for (_, idx) in &mut data.secondary {
             let key = idx.key_of(&row);
             idx.insert(&key, id);
         }
-        for (col, value) in self.columns.iter_mut().zip(row) {
+        for (col, value) in data.columns.iter_mut().zip(row) {
             col.push(value);
         }
-        self.deleted.push(false);
+        data.deleted.push(false);
         self.live += 1;
         id
     }
@@ -280,7 +368,7 @@ impl Table {
     /// Tombstone a row by id.
     pub fn delete(&mut self, row_id: u64) -> Result<(), EngineError> {
         let idx = row_id as usize;
-        if idx >= self.deleted.len() || self.deleted[idx] {
+        if idx >= self.data.deleted.len() || self.data.deleted[idx] {
             return Err(EngineError::execution(format!(
                 "row {row_id} does not exist in table {}",
                 self.name
@@ -293,15 +381,16 @@ impl Table {
             });
         }
         let row = self.row(row_id);
-        if let Some(pk) = &mut self.pk_index {
+        let data = self.data_mut();
+        if let Some(pk) = &mut data.pk_index {
             let key = pk.key_of(&row);
             pk.remove(&key);
         }
-        for (_, sidx) in &mut self.secondary {
+        for (_, sidx) in &mut data.secondary {
             let key = sidx.key_of(&row);
             sidx.remove(&key);
         }
-        self.deleted[idx] = true;
+        data.deleted[idx] = true;
         self.live -= 1;
         self.generation = next_generation();
         Ok(())
@@ -311,27 +400,34 @@ impl Table {
     pub fn update(&mut self, row_id: u64, new_row: Vec<Value>) -> Result<(), EngineError> {
         self.check_row(&new_row)?;
         let idx = row_id as usize;
-        if idx >= self.deleted.len() || self.deleted[idx] {
+        if idx >= self.data.deleted.len() || self.data.deleted[idx] {
             return Err(EngineError::execution(format!(
                 "row {row_id} does not exist in table {}",
                 self.name
             )));
         }
         let old_row = self.row(row_id);
-        if let Some(pk) = &mut self.pk_index {
-            let old_key = pk.key_of(&old_row);
-            let new_key = pk.key_of(&new_row);
-            if old_key != new_key {
-                if pk.get_encoded(&new_key).is_some() {
-                    return Err(EngineError::constraint(format!(
-                        "duplicate key in table {}",
-                        self.name
-                    )));
+        // Encode the PK keys once: the duplicate check must run before the
+        // WAL record and the copy-on-write below, but the remove/insert
+        // can reuse the same encodings.
+        let pk_change = match &self.data.pk_index {
+            Some(pk) => {
+                let old_key = pk.key_of(&old_row);
+                let new_key = pk.key_of(&new_row);
+                if old_key != new_key {
+                    if pk.get_encoded(&new_key).is_some() {
+                        return Err(EngineError::constraint(format!(
+                            "duplicate key in table {}",
+                            self.name
+                        )));
+                    }
+                    Some((old_key, new_key))
+                } else {
+                    None
                 }
-                pk.remove(&old_key);
-                pk.insert(&new_key, row_id);
             }
-        }
+            None => None,
+        };
         // Logged only after the last fallible check: a rejected update
         // must leave no trace in the redo log.
         if let Some(wal) = &self.wal {
@@ -341,13 +437,19 @@ impl Table {
                 row: new_row.clone(),
             });
         }
-        for (_, sidx) in &mut self.secondary {
+        let data = self.data_mut();
+        if let Some((old_key, new_key)) = pk_change {
+            let pk = data.pk_index.as_mut().expect("pk checked above");
+            pk.remove(&old_key);
+            pk.insert(&new_key, row_id);
+        }
+        for (_, sidx) in &mut data.secondary {
             let old_key = sidx.key_of(&old_row);
             sidx.remove(&old_key);
             let new_key = sidx.key_of(&new_row);
             sidx.insert(&new_key, row_id);
         }
-        for (col, value) in self.columns.iter_mut().zip(new_row) {
+        for (col, value) in data.columns.iter_mut().zip(new_row) {
             col[idx] = value;
         }
         self.generation = next_generation();
@@ -357,12 +459,12 @@ impl Table {
     /// Materialize the row with the given id (caller must know it's live).
     pub fn row(&self, row_id: u64) -> Vec<Value> {
         let idx = row_id as usize;
-        self.columns.iter().map(|c| c[idx].clone()).collect()
+        self.data.columns.iter().map(|c| c[idx].clone()).collect()
     }
 
     /// Row id for a primary-key value, via the ART.
     pub fn lookup_pk(&self, key_values: &[Value]) -> Option<u64> {
-        self.pk_index.as_ref()?.get(key_values)
+        self.data.pk_index.as_ref()?.get(key_values)
     }
 
     /// Find a live row equal to `target` without materializing rows
@@ -372,11 +474,12 @@ impl Table {
         if target.len() != self.schema.len() {
             return None;
         }
-        if let Some(pk) = &self.pk_index {
+        if let Some(pk) = &self.data.pk_index {
             let key: Vec<Value> = pk.columns.iter().map(|&c| target[c].clone()).collect();
             let id = pk.get(&key)?;
             let idx = id as usize;
             let matches = self
+                .data
                 .columns
                 .iter()
                 .zip(target)
@@ -388,37 +491,39 @@ impl Table {
         // doesn't change which rows match.
         let mut order: Vec<usize> = (0..target.len()).collect();
         order.sort_by_key(|&c| matches!(target[c], Value::Varchar(_)));
-        (0..self.deleted.len())
-            .find(|&i| !self.deleted[i] && order.iter().all(|&c| self.columns[c][i] == target[c]))
+        let data = &self.data;
+        (0..data.deleted.len())
+            .find(|&i| !data.deleted[i] && order.iter().all(|&c| data.columns[c][i] == target[c]))
             .map(|i| i as u64)
     }
 
     /// Iterate live rows as `(row_id, row)`.
     pub fn scan(&self) -> impl Iterator<Item = (u64, Vec<Value>)> + '_ {
-        (0..self.deleted.len())
-            .filter(|&i| !self.deleted[i])
+        (0..self.data.deleted.len())
+            .filter(|&i| !self.data.deleted[i])
             .map(move |i| (i as u64, self.row(i as u64)))
     }
 
     /// Borrow one storage column.
     pub fn column(&self, index: usize) -> &[Value] {
-        &self.columns[index]
+        self.data.columns[index].as_slice()
     }
 
     /// True when the table holds no tombstones (a clean append-only window
     /// end to end — the common shape of delta tables). Scans then skip all
     /// per-window tombstone bookkeeping.
     pub fn is_clean(&self) -> bool {
-        self.live == self.deleted.len()
+        self.live == self.data.deleted.len()
     }
 
     /// Build the zero-copy batch for the physical slot `window`. Returns
     /// `None` when the window holds no live rows. `clean` skips the
     /// tombstone check, for tables known to be append-only.
     fn window_batch(&self, window: Range<usize>, clean: bool) -> Option<RowBatch<'_>> {
-        if clean || self.deleted[window.clone()].iter().all(|&d| !d) {
+        if clean || self.data.deleted[window.clone()].iter().all(|&d| !d) {
             // Clean window: contiguous slices, no selection vector.
             let columns = self
+                .data
                 .columns
                 .iter()
                 .map(|c| ColumnData::borrowed(&c[window.clone()]))
@@ -427,7 +532,7 @@ impl Table {
         }
         let live: Arc<Vec<u32>> = Arc::new(
             window
-                .filter(|&i| !self.deleted[i])
+                .filter(|&i| !self.data.deleted[i])
                 .map(|i| i as u32)
                 .collect(),
         );
@@ -436,6 +541,7 @@ impl Table {
         }
         let rows = live.len();
         let columns = self
+            .data
             .columns
             .iter()
             .map(|c| ColumnData::borrowed_with_sel(&c[..], Arc::clone(&live)))
@@ -449,7 +555,7 @@ impl Table {
     /// selection vector across all columns. No `Value` is cloned.
     pub fn scan_batches(&self, batch_size: usize) -> impl Iterator<Item = RowBatch<'_>> + '_ {
         let batch_size = batch_size.max(1);
-        let total = self.deleted.len();
+        let total = self.data.deleted.len();
         let clean = self.is_clean();
         let mut start = 0usize;
         std::iter::from_fn(move || {
@@ -475,7 +581,7 @@ impl Table {
         kernel: Arc<VectorKernel>,
     ) -> impl Iterator<Item = Result<RowBatch<'_>, EngineError>> + '_ {
         let batch_size = batch_size.max(1);
-        let total = self.deleted.len();
+        let total = self.data.deleted.len();
         let clean = self.is_clean();
         let mut start = 0usize;
         std::iter::from_fn(move || {
@@ -512,7 +618,7 @@ impl Table {
     ) -> Result<Vec<RowBatch<'_>>, EngineError> {
         let batch_size = batch_size.max(1);
         let clean = self.is_clean();
-        let end = slots.end.min(self.deleted.len());
+        let end = slots.end.min(self.data.deleted.len());
         let mut out = Vec::new();
         let mut start = slots.start;
         while start < end {
@@ -539,6 +645,7 @@ impl Table {
         let sel: Arc<Vec<u32>> = Arc::new(ids.iter().map(|&id| id as u32).collect());
         let rows = sel.len();
         let columns = self
+            .data
             .columns
             .iter()
             .map(|c| ColumnData::borrowed_with_sel(&c[..], Arc::clone(&sel)))
@@ -564,12 +671,12 @@ impl Table {
             let key = key?;
             Some(idx.get(&key).into_iter().collect())
         };
-        if let Some(pk) = &self.pk_index {
+        if let Some(pk) = &self.data.pk_index {
             if let Some(ids) = try_index(pk) {
                 return Some(ids);
             }
         }
-        for (_, idx) in &self.secondary {
+        for (_, idx) in &self.data.secondary {
             if !idx.unique {
                 continue;
             }
@@ -588,7 +695,7 @@ impl Table {
         batch_size: usize,
         kernel: &VectorKernel,
     ) -> Result<Vec<u64>, EngineError> {
-        self.filter_row_ids_range(0..self.deleted.len(), batch_size, kernel)
+        self.filter_row_ids_range(0..self.data.deleted.len(), batch_size, kernel)
     }
 
     /// [`Table::filter_row_ids`] over one physical slot window — the
@@ -602,7 +709,7 @@ impl Table {
         kernel: &VectorKernel,
     ) -> Result<Vec<u64>, EngineError> {
         let batch_size = batch_size.max(1);
-        let total = slots.end.min(self.deleted.len());
+        let total = slots.end.min(self.data.deleted.len());
         let clean = self.is_clean();
         let mut out = Vec::new();
         let mut start = slots.start.min(total);
@@ -621,7 +728,7 @@ impl Table {
                 out.extend(keep.iter().map(|&i| (window_start + i as usize) as u64));
             } else {
                 let live: Vec<u64> = (window_start..next)
-                    .filter(|&i| !self.deleted[i])
+                    .filter(|&i| !self.data.deleted[i])
                     .map(|i| i as u64)
                     .collect();
                 out.extend(keep.iter().map(|&i| live[i as usize]));
@@ -632,8 +739,8 @@ impl Table {
 
     /// Ids of all live rows.
     pub fn live_row_ids(&self) -> Vec<u64> {
-        (0..self.deleted.len() as u64)
-            .filter(|&i| !self.deleted[i as usize])
+        (0..self.data.deleted.len() as u64)
+            .filter(|&i| !self.data.deleted[i as usize])
             .collect()
     }
 
@@ -642,7 +749,8 @@ impl Table {
     /// victim location stream this; double-ended so reverse-scan index
     /// builds need no transient allocation either).
     pub fn live_slot_ids(&self) -> impl DoubleEndedIterator<Item = u64> + '_ {
-        self.deleted
+        self.data
+            .deleted
             .iter()
             .enumerate()
             .filter(|(_, &d)| !d)
@@ -656,23 +764,49 @@ impl Table {
                 table: self.name.clone(),
             });
         }
-        for col in &mut self.columns {
-            col.clear();
+        // Unshared storage clears in place, keeping its capacity — delta
+        // tables are truncated every refresh cycle and immediately
+        // refilled to a similar size. Storage a snapshot still holds is
+        // replaced wholesale instead: a clear through `Arc::make_mut`
+        // would first copy the shared contents, only to discard them.
+        let shared = *self.maybe_shared.get_mut() && Arc::get_mut(&mut self.data).is_none();
+        if shared {
+            let old = &self.data;
+            let fresh = TableData {
+                columns: vec![Vec::new(); old.columns.len()],
+                deleted: Vec::new(),
+                pk_index: old
+                    .pk_index
+                    .as_ref()
+                    .map(|pk| TableIndex::new(pk.columns.clone(), pk.unique)),
+                secondary: old
+                    .secondary
+                    .iter()
+                    .map(|(n, idx)| (n.clone(), TableIndex::new(idx.columns.clone(), idx.unique)))
+                    .collect(),
+            };
+            self.data = Arc::new(fresh);
+            *self.maybe_shared.get_mut() = false;
+        } else {
+            let data = self.data_mut();
+            for col in &mut data.columns {
+                col.clear();
+            }
+            data.deleted.clear();
+            if let Some(pk) = &mut data.pk_index {
+                pk.clear();
+            }
+            for (_, idx) in &mut data.secondary {
+                idx.clear();
+            }
         }
-        self.deleted.clear();
         self.live = 0;
         self.generation = next_generation();
-        if let Some(pk) = &mut self.pk_index {
-            pk.clear();
-        }
-        for (_, idx) in &mut self.secondary {
-            idx.clear();
-        }
     }
 
     /// Drop tombstones and renumber rows; rebuilds all indexes.
     pub fn compact(&mut self) {
-        if self.live == self.deleted.len() {
+        if self.live == self.data.deleted.len() {
             return;
         }
         if let Some(wal) = &self.wal {
@@ -680,17 +814,47 @@ impl Table {
                 table: self.name.clone(),
             });
         }
-        let keep: Vec<usize> = (0..self.deleted.len())
-            .filter(|&i| !self.deleted[i])
+        let keep: Vec<usize> = (0..self.data.deleted.len())
+            .filter(|&i| !self.data.deleted[i])
             .collect();
-        for col in &mut self.columns {
-            let mut next = Vec::with_capacity(keep.len());
-            for &i in &keep {
-                next.push(std::mem::replace(&mut col[i], Value::Null));
+        let shared = *self.maybe_shared.get_mut() && Arc::get_mut(&mut self.data).is_none();
+        match (!shared).then(|| self.data_mut()) {
+            // Sole owner: steal the kept values without cloning.
+            Some(data) => {
+                for col in &mut data.columns {
+                    let mut next = Vec::with_capacity(keep.len());
+                    for &i in &keep {
+                        next.push(std::mem::replace(&mut col[i], Value::Null));
+                    }
+                    *col = next;
+                }
+                data.deleted = vec![false; keep.len()];
             }
-            *col = next;
+            // A snapshot still shares the storage: leave it intact and
+            // build a compacted copy (indexes are rebuilt below).
+            None => {
+                let old = &self.data;
+                self.data = Arc::new(TableData {
+                    columns: old
+                        .columns
+                        .iter()
+                        .map(|col| keep.iter().map(|&i| col[i].clone()).collect())
+                        .collect(),
+                    deleted: vec![false; keep.len()],
+                    pk_index: old
+                        .pk_index
+                        .as_ref()
+                        .map(|pk| TableIndex::new(pk.columns.clone(), pk.unique)),
+                    secondary: old
+                        .secondary
+                        .iter()
+                        .map(|(n, idx)| {
+                            (n.clone(), TableIndex::new(idx.columns.clone(), idx.unique))
+                        })
+                        .collect(),
+                });
+            }
         }
-        self.deleted = vec![false; keep.len()];
         self.live = keep.len();
         self.generation = next_generation();
         self.rebuild_indexes();
@@ -706,7 +870,7 @@ impl Table {
         unique: bool,
     ) -> Result<(), EngineError> {
         let name = index_name.into();
-        if self.secondary.iter().any(|(n, _)| *n == name) {
+        if self.data.secondary.iter().any(|(n, _)| *n == name) {
             return Err(EngineError::catalog(format!("index {name} already exists")));
         }
         let mut idx = TableIndex::new(columns, unique);
@@ -726,15 +890,17 @@ impl Table {
                 unique,
             });
         }
-        self.secondary.push((name, idx));
+        self.data_mut().secondary.push((name, idx));
         Ok(())
     }
 
     /// Remove a secondary index by name.
     pub fn drop_secondary_index(&mut self, name: &str) -> bool {
-        let before = self.secondary.len();
-        self.secondary.retain(|(n, _)| n != name);
-        let removed = self.secondary.len() != before;
+        if !self.data.secondary.iter().any(|(n, _)| n == name) {
+            return false;
+        }
+        self.data_mut().secondary.retain(|(n, _)| n != name);
+        let removed = true;
         if removed {
             if let Some(wal) = &self.wal {
                 wal.log(&WalRecord::DropIndex {
@@ -749,29 +915,40 @@ impl Table {
     /// Build (or rebuild) the PK index from current contents. Used after
     /// bulk loads, mirroring DuckDB's build-after-populate ART strategy.
     pub fn rebuild_indexes(&mut self) {
-        if let Some(pk) = &mut self.pk_index {
-            pk.clear();
-            for i in 0..self.deleted.len() {
-                if !self.deleted[i] {
-                    let row: Vec<Value> = self.columns.iter().map(|c| c[i].clone()).collect();
-                    let key = pk.key_of(&row);
-                    pk.insert(&key, i as u64);
+        // Build fresh trees and swap them in; callers reach this with
+        // unshared storage (`from_parts`, `compact`), so `data_mut` is a
+        // plain branch, not a copy.
+        let data = self.data_mut();
+        if let Some(pk) = &data.pk_index {
+            let mut fresh = TableIndex::new(pk.columns.clone(), pk.unique);
+            for i in 0..data.deleted.len() {
+                if !data.deleted[i] {
+                    let row: Vec<Value> = data.columns.iter().map(|c| c[i].clone()).collect();
+                    let key = fresh.key_of(&row);
+                    fresh.insert(&key, i as u64);
                 }
             }
+            data.pk_index = Some(fresh);
         }
-        for (_, idx) in &mut self.secondary {
-            idx.clear();
+        if data.secondary.is_empty() {
+            return;
         }
-        for i in 0..self.deleted.len() {
-            if self.deleted[i] {
+        let mut rebuilt: Vec<(String, TableIndex)> = data
+            .secondary
+            .iter()
+            .map(|(n, idx)| (n.clone(), TableIndex::new(idx.columns.clone(), idx.unique)))
+            .collect();
+        for i in 0..data.deleted.len() {
+            if data.deleted[i] {
                 continue;
             }
-            let row: Vec<Value> = self.columns.iter().map(|c| c[i].clone()).collect();
-            for (_, idx) in &mut self.secondary {
+            let row: Vec<Value> = data.columns.iter().map(|c| c[i].clone()).collect();
+            for (_, idx) in &mut rebuilt {
                 let key = idx.key_of(&row);
                 idx.insert(&key, i as u64);
             }
         }
+        data.secondary = rebuilt;
     }
 
     /// Attach a primary key index after creation (bulk build). Errors on
@@ -794,7 +971,7 @@ impl Table {
             });
         }
         self.primary_key = columns;
-        self.pk_index = Some(idx);
+        self.data_mut().pk_index = Some(idx);
         Ok(())
     }
 }

@@ -136,6 +136,13 @@ impl HtapPipeline {
         &mut self.olap
     }
 
+    /// Turn on concurrent snapshot serving on the OLAP side: clone the
+    /// returned hub into reader threads while this pipeline keeps
+    /// ingesting and refreshing (see [`IvmSession::share`]).
+    pub fn share(&mut self) -> ivm_engine::SnapshotHub {
+        self.olap.share()
+    }
+
     /// Set the OLAP engine's executor parallelism (worker threads). The
     /// analytical side — view recomputation, ad-hoc OLAP queries, and
     /// propagation-script execution — runs on the morsel-driven parallel
